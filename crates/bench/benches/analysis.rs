@@ -1,0 +1,52 @@
+//! Benchmarks of the Section III analysis code: binomial tails, the
+//! law-of-total-probability served-chunk CDF, and Monte-Carlo trials.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use opass_analysis::{run_montecarlo, Binomial, ClusterParams, ImbalanceModel, MonteCarloConfig};
+
+fn bench_binomial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binomial");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[512u64, 4096, 32768] {
+        group.bench_with_input(BenchmarkId::new("sf", n), &n, |b, &n| {
+            let dist = Binomial::new(n, 3.0 / 128.0);
+            b.iter(|| dist.sf(5))
+        });
+    }
+    group.finish();
+}
+
+fn bench_served_cdf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("served_cdf");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[512u64, 2048] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let model = ImbalanceModel::new(ClusterParams::new(n, 3, 128));
+            b.iter(|| model.served_cdf(8))
+        });
+    }
+    group.finish();
+}
+
+fn bench_montecarlo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("montecarlo");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for &m in &[64u32, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("m{m}")), &m, |b, &m| {
+            let cfg = MonteCarloConfig {
+                params: ClusterParams::new(512, 3, m),
+                trials: 5,
+                seed: 1,
+            };
+            b.iter(|| run_montecarlo(&cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_binomial, bench_served_cdf, bench_montecarlo);
+criterion_main!(benches);

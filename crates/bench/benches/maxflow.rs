@@ -1,0 +1,65 @@
+//! Max-flow algorithm benchmarks: Edmonds–Karp (as described in the paper)
+//! vs Dinic (the default) on Opass-shaped bipartite quota networks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use opass_matching::maxflow::{dinic, edmonds_karp, FlowNetwork};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Builds the single-data quota network for `m` processes and `n` files
+/// with `r` random co-locations per file — exactly what the planner builds.
+fn build_network(m: usize, n: usize, r: usize, seed: u64) -> (FlowNetwork, usize, usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let s = 0usize;
+    let t = 1 + m + n;
+    let mut net = FlowNetwork::new(t + 1);
+    let quota = (n / m).max(1) as u64;
+    for p in 0..m {
+        net.add_edge(s, 1 + p, quota);
+    }
+    let mut nodes: Vec<usize> = (0..m).collect();
+    for f in 0..n {
+        nodes.shuffle(&mut rng);
+        for &p in &nodes[..r.min(m)] {
+            net.add_edge(1 + p, 1 + m + f, 1);
+        }
+        net.add_edge(1 + m + f, t, 1);
+    }
+    (net, s, t)
+}
+
+fn bench_maxflow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxflow");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    for &(m, n) in &[(16usize, 160usize), (64, 640), (128, 1280)] {
+        group.bench_with_input(
+            BenchmarkId::new("dinic", format!("{m}x{n}")),
+            &(m, n),
+            |b, &(m, n)| {
+                b.iter_batched(
+                    || build_network(m, n, 3, 42),
+                    |(mut net, s, t)| dinic::max_flow(&mut net, s, t),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("edmonds_karp", format!("{m}x{n}")),
+            &(m, n),
+            |b, &(m, n)| {
+                b.iter_batched(
+                    || build_network(m, n, 3, 42),
+                    |(mut net, s, t)| edmonds_karp::max_flow(&mut net, s, t),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_maxflow);
+criterion_main!(benches);

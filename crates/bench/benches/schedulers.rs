@@ -1,0 +1,66 @@
+//! Dispatch-cost benchmarks for the dynamic schedulers: how expensive is
+//! one `next_task` decision under FIFO, delay scheduling, and the Opass
+//! guided scheduler (whose steal step scans the longest list)?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use opass_matching::{
+    Assignment, DelayScheduler, DynamicScheduler, FifoScheduler, GuidedScheduler, MatchingValues,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn values(m: usize, n: usize, seed: u64) -> MatchingValues {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v = MatchingValues::new(m, n);
+    for t in 0..n {
+        for _ in 0..3 {
+            v.add(rng.gen_range(0..m), t, 64 << 20);
+        }
+    }
+    v
+}
+
+/// Drains a scheduler with a rotating idle worker, counting dispensed
+/// tasks (the benchmark body).
+fn drain(mut sched: impl DynamicScheduler, m: usize) -> usize {
+    let mut count = 0usize;
+    loop {
+        let worker = count % m;
+        if sched.next_task(worker).is_none() {
+            break;
+        }
+        count += 1;
+    }
+    count
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic_dispatch");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    for &(m, n) in &[(64usize, 640usize), (128, 2560)] {
+        let table = values(m, n, 42);
+        group.bench_with_input(BenchmarkId::new("fifo", format!("{m}x{n}")), &n, |b, &n| {
+            b.iter(|| drain(FifoScheduler::new(n), m))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("delay16", format!("{m}x{n}")),
+            &n,
+            |b, &n| b.iter(|| drain(DelayScheduler::new(n, table.clone(), 16), m)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("guided", format!("{m}x{n}")),
+            &n,
+            |b, &n| {
+                let owners: Vec<usize> = (0..n).map(|t| t % m).collect();
+                let assignment = Assignment::from_owners(owners, m);
+                b.iter(|| drain(GuidedScheduler::new(&assignment, table.clone()), m))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Discrete-event simulator throughput benchmarks.
+//!
+//! Measures the event-loop cost of fig7-scale runs (the harness's inner
+//! loop) and of the raw max-min rate allocator under heavy fan-in.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use opass_core::experiment::{SingleDataExperiment, SingleStrategy};
+use opass_simio::fairshare::{allocate_rates, FlowPath};
+use opass_simio::{ClusterIo, IoParams, MB_U64};
+
+fn bench_end_to_end_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulated_run");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for &m in &[16usize, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("m{m}")), &m, |b, &m| {
+            let experiment = SingleDataExperiment {
+                n_nodes: m,
+                chunks_per_process: 10,
+                ..Default::default()
+            };
+            b.iter(|| experiment.run(SingleStrategy::RankInterval))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fan_in(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_fan_in");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    // All nodes pull one chunk from node 0: maximum contention, frequent
+    // rate recomputation.
+    for &m in &[16usize, 64, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("m{m}")), &m, |b, &m| {
+            b.iter(|| {
+                let mut cluster = ClusterIo::new(m, IoParams::marmot());
+                for reader in 1..m {
+                    cluster.start_read(reader, 0, 64 * MB_U64, reader as u64);
+                }
+                let mut done = 0;
+                while cluster.next_event().is_some() {
+                    done += 1;
+                }
+                done
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_allocator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxmin_allocator");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &flows in &[32usize, 128, 512] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{flows}flows")),
+            &flows,
+            |b, &flows| {
+                // Flows over 3 resources each out of 3*64 resources.
+                let nr = 192;
+                let paths: Vec<FlowPath> = (0..flows)
+                    .map(|i| FlowPath {
+                        resources: vec![i % nr, (i * 7 + 1) % nr, (i * 13 + 2) % nr],
+                        rate_cap: if i % 2 == 0 { 34e6 } else { f64::INFINITY },
+                    })
+                    .collect();
+                let capacities = vec![72e6; nr];
+                b.iter(|| allocate_rates(&paths, &capacities))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end_run, bench_fan_in, bench_allocator);
+criterion_main!(benches);

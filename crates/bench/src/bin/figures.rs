@@ -1,0 +1,80 @@
+//! Regenerates the paper's figures and tables as CSVs + summary rows.
+//!
+//! ```text
+//! figures all                 # every figure, CSVs under target/figures/
+//! figures fig7ab fig12        # a subset
+//! figures --out /tmp/figs --seed 7 all
+//! figures --list              # available ids
+//! ```
+
+use opass_bench::{run_figure, ALL_FIGURES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut out = PathBuf::from("target/figures");
+    let mut seed = 0x0A55u64;
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list" => {
+                for id in ALL_FIGURES {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--out" => match args.next() {
+                Some(dir) => out = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => {
+                    eprintln!("--seed requires a u64");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "all" => ids.extend(ALL_FIGURES.iter().map(|s| s.to_string())),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!("usage: figures [--out DIR] [--seed N] [--list] <figure-id>... | all");
+        eprintln!("known ids: {}", ALL_FIGURES.join(", "));
+        return ExitCode::FAILURE;
+    }
+
+    let started = std::time::Instant::now();
+    let mut summary = String::new();
+    for id in &ids {
+        match run_figure(id, &out, seed) {
+            Some(report) => {
+                let rendered = report.render();
+                print!("{rendered}");
+                summary.push_str(&rendered);
+            }
+            None => {
+                eprintln!("unknown figure id: {id} (try --list)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    // Persist the combined summary next to the CSVs so EXPERIMENTS.md can
+    // be refreshed from one artifact.
+    if let Err(e) = std::fs::create_dir_all(&out)
+        .and_then(|()| std::fs::write(out.join("SUMMARY.txt"), &summary))
+    {
+        eprintln!("warning: cannot write SUMMARY.txt: {e}");
+    }
+    eprintln!(
+        "regenerated {} figure(s) in {:.1}s; CSVs + SUMMARY.txt under {}",
+        ids.len(),
+        started.elapsed().as_secs_f64(),
+        out.display()
+    );
+    ExitCode::SUCCESS
+}

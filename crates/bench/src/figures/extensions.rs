@@ -1,0 +1,291 @@
+//! Extension experiments beyond the paper's evaluation.
+//!
+//! * `ext-rack` — rack-aware two-tier matching on an oversubscribed racked
+//!   cluster (the paper's testbed was single-switch).
+//! * `ext-hetero` — capability-weighted quotas on a cluster with slow
+//!   disks (the paper assumes homogeneous nodes).
+//! * `ext-write` — the parallel ingest path: aggregate write bandwidth vs
+//!   replication factor (the paper's related-work axis).
+//! * `ext-dynamic-baselines` — FIFO vs delay scheduling vs Opass-guided
+//!   lists (delay scheduling is the literature's scheduler-side answer to
+//!   the same problem; the paper cites it as related work).
+
+use crate::report::{secs, CsvWriter, FigureReport};
+use opass_core::experiment::{
+    DynamicExperiment, DynamicStrategy, HeteroStrategy, HeterogeneousExperiment, RackedExperiment,
+    RackedStrategy,
+};
+use opass_core::OpassPlanner;
+use opass_dfs::{DatasetSpec, DfsConfig, Namenode, Placement};
+use opass_runtime::{write_dataset, ProcessPlacement, WriteConfig};
+use opass_workloads::{single as single_wl, SingleDataConfig, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::Path;
+
+/// Rack-aware matching on a racked cluster.
+pub fn ext_rack(out: &Path, seed: u64) -> FigureReport {
+    let mut report = FigureReport::new("ext-rack");
+    let mut csv = CsvWriter::create(
+        out,
+        "ext_rack_two_tier",
+        &[
+            "strategy",
+            "local_pct",
+            "cross_rack_pct",
+            "avg_io_s",
+            "makespan_s",
+        ],
+    )
+    .expect("write ext_rack");
+
+    let exp = RackedExperiment {
+        seed,
+        ..Default::default()
+    };
+    for (name, strategy) in [
+        ("baseline", RackedStrategy::Baseline),
+        ("opass_node_only", RackedStrategy::OpassNodeOnly),
+        ("opass_rack_aware", RackedStrategy::OpassRackAware),
+    ] {
+        let run = exp.run(strategy);
+        let cross = exp.cross_rack_fraction(&run.result);
+        let io = run.result.io_summary();
+        csv.row(&[
+            name.into(),
+            format!("{:.1}", run.result.local_fraction() * 100.0),
+            format!("{:.1}", cross * 100.0),
+            secs(io.mean),
+            secs(run.result.makespan),
+        ])
+        .expect("row");
+        report.line(format!(
+            "{name}: node-local {:.0}%, cross-rack {:.1}%, avg I/O {} s, makespan {} s",
+            run.result.local_fraction() * 100.0,
+            cross * 100.0,
+            secs(io.mean),
+            secs(run.result.makespan)
+        ));
+    }
+    report.add_file(csv.path());
+    report.line(
+        "two-tier matching keeps the remainder inside the rack, sparing the oversubscribed uplinks",
+    );
+    report
+}
+
+/// Weighted quotas on a heterogeneous cluster.
+pub fn ext_hetero(out: &Path, seed: u64) -> FigureReport {
+    let mut report = FigureReport::new("ext-hetero");
+    let mut csv = CsvWriter::create(
+        out,
+        "ext_hetero_weighted_quotas",
+        &[
+            "strategy",
+            "local_pct",
+            "avg_io_s",
+            "max_io_s",
+            "makespan_s",
+        ],
+    )
+    .expect("write ext_hetero");
+
+    let exp = HeterogeneousExperiment {
+        seed,
+        ..Default::default()
+    };
+    for (name, strategy) in [
+        ("uniform_quotas", HeteroStrategy::OpassUniform),
+        ("weighted_quotas", HeteroStrategy::OpassWeighted),
+    ] {
+        let run = exp.run(strategy);
+        let io = run.result.io_summary();
+        csv.row(&[
+            name.into(),
+            format!("{:.1}", run.result.local_fraction() * 100.0),
+            secs(io.mean),
+            secs(io.max),
+            secs(run.result.makespan),
+        ])
+        .expect("row");
+        report.line(format!(
+            "{name}: locality {:.0}%, avg I/O {} s, makespan {} s",
+            run.result.local_fraction() * 100.0,
+            secs(io.mean),
+            secs(run.result.makespan)
+        ));
+    }
+    report.add_file(csv.path());
+    report.line("half the disks run at 0.5x: weighted quotas shift chunks to fast nodes and cut the barrier wait");
+    report
+}
+
+/// Parallel ingest bandwidth vs replication factor.
+pub fn ext_write(out: &Path, seed: u64) -> FigureReport {
+    let mut report = FigureReport::new("ext-write");
+    let mut csv = CsvWriter::create(
+        out,
+        "ext_write_bandwidth",
+        &["replication", "makespan_s", "aggregate_mb_per_s"],
+    )
+    .expect("write ext_write");
+
+    let n_nodes = 32;
+    let n_chunks = 128;
+    let chunk: u64 = 64 << 20;
+    for r in [1u32, 2, 3] {
+        let mut nn = Namenode::new(n_nodes, DfsConfig { replication: r });
+        let spec = DatasetSpec::uniform(format!("ingest-r{r}"), n_chunks, chunk);
+        let outcome = write_dataset(
+            &mut nn,
+            &spec,
+            &ProcessPlacement::one_per_node(n_nodes),
+            &WriteConfig {
+                seed: seed ^ u64::from(r),
+                ..Default::default()
+            },
+        );
+        let data_mb = (n_chunks as u64 * chunk) as f64 / (1024.0 * 1024.0);
+        let agg = data_mb / outcome.result.makespan;
+        csv.row(&[
+            r.to_string(),
+            secs(outcome.result.makespan),
+            format!("{agg:.0}"),
+        ])
+        .expect("row");
+        report.line(format!(
+            "r={r}: {} s to ingest 8 GB -> {agg:.0} MB/s aggregate",
+            secs(outcome.result.makespan)
+        ));
+    }
+    report.add_file(csv.path());
+    report.line(
+        "replication multiplies pipeline traffic: aggregate ingest bandwidth drops accordingly",
+    );
+    report
+}
+
+/// Dynamic scheduler shoot-out: FIFO vs delay scheduling vs Opass.
+pub fn ext_dynamic_baselines(out: &Path, seed: u64) -> FigureReport {
+    let mut report = FigureReport::new("ext-dynamic-baselines");
+    let mut csv = CsvWriter::create(
+        out,
+        "ext_dynamic_baselines",
+        &["scheduler", "local_pct", "avg_io_s", "makespan_s"],
+    )
+    .expect("write ext_dynamic");
+
+    let exp = DynamicExperiment {
+        n_nodes: 64,
+        tasks_per_process: 10,
+        seed,
+        ..Default::default()
+    };
+    for (name, strategy) in [
+        ("fifo", DynamicStrategy::Fifo),
+        (
+            "delay_sched_8",
+            DynamicStrategy::DelayScheduling { max_skips: 8 },
+        ),
+        (
+            "delay_sched_64",
+            DynamicStrategy::DelayScheduling { max_skips: 64 },
+        ),
+        ("opass_guided", DynamicStrategy::OpassGuided),
+    ] {
+        let run = exp.run(strategy);
+        let io = run.result.io_summary();
+        csv.row(&[
+            name.into(),
+            format!("{:.1}", run.result.local_fraction() * 100.0),
+            secs(io.mean),
+            secs(run.result.makespan),
+        ])
+        .expect("row");
+        report.line(format!(
+            "{name}: locality {:.0}%, avg I/O {} s, makespan {} s",
+            run.result.local_fraction() * 100.0,
+            secs(io.mean),
+            secs(run.result.makespan)
+        ));
+    }
+    report.add_file(csv.path());
+    report.line("delay scheduling recovers much of the locality greedily; the Opass matching plans it and wins the remainder");
+    report
+}
+
+/// Empirical probability that the max-flow matching is *full* (every file
+/// assigned to a co-located process, i.e. 100% locality) as a function of
+/// replication factor and chunks per process. Explains when Opass's
+/// Figure 7 "flat 0.9 s" regime holds and when random fills appear.
+pub fn ext_matching_probability(out: &Path, seed: u64) -> FigureReport {
+    let mut report = FigureReport::new("ext-matching-prob");
+    let mut csv = CsvWriter::create(
+        out,
+        "ext_matching_probability",
+        &[
+            "r",
+            "chunks_per_process",
+            "p_full_matching",
+            "avg_matched_pct",
+        ],
+    )
+    .expect("write ext_matching_probability");
+
+    let n_nodes = 32;
+    let trials = 30u64;
+    for r in [1u32, 2, 3] {
+        for cpp in [2usize, 5, 10, 20] {
+            let mut full = 0u32;
+            let mut matched_pct_acc = 0.0;
+            for t in 0..trials {
+                let mut nn = Namenode::new(n_nodes, DfsConfig { replication: r });
+                let mut rng =
+                    StdRng::seed_from_u64(seed ^ (u64::from(r) << 32) ^ ((cpp as u64) << 16) ^ t);
+                let cfg = SingleDataConfig {
+                    n_procs: n_nodes,
+                    chunks_per_process: cpp,
+                    chunk_size: 64 << 20,
+                };
+                let (_, workload): (_, Workload) =
+                    single_wl::generate(&mut nn, &cfg, &Placement::Random, &mut rng);
+                let placement = ProcessPlacement::one_per_node(n_nodes);
+                let plan = OpassPlanner::default().plan_single_data(&nn, &workload, &placement, t);
+                if plan.filled_files == 0 {
+                    full += 1;
+                }
+                matched_pct_acc += plan.matched_files as f64 / workload.len() as f64 * 100.0;
+            }
+            let p_full = f64::from(full) / trials as f64;
+            let avg_pct = matched_pct_acc / trials as f64;
+            csv.row(&[
+                r.to_string(),
+                cpp.to_string(),
+                format!("{p_full:.2}"),
+                format!("{avg_pct:.1}"),
+            ])
+            .expect("row");
+            if cpp == 10 {
+                report.line(format!(
+                    "r={r}, 10 chunks/proc: P(full matching)={p_full:.2}, avg matched {avg_pct:.1}%"
+                ));
+            }
+        }
+    }
+    report.add_file(csv.path());
+    report.line("r>=2 almost always admits a full matching at the paper's scales; r=1 leaves a few percent to the random fill");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ext_write_shows_replication_cost() {
+        let dir = std::env::temp_dir().join("opass-ext-write-test");
+        let report = ext_write(&dir, 3);
+        assert_eq!(report.summary.len(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,132 @@
+//! Report plumbing: CSV emission and figure summaries.
+//!
+//! Every figure function writes one or more CSV files under the output
+//! directory and returns human-readable summary lines; the `figures` binary
+//! prints those lines and EXPERIMENTS.md quotes them.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A minimal CSV writer (no quoting needed — all fields are numeric or
+/// simple identifiers).
+pub struct CsvWriter {
+    path: PathBuf,
+    out: fs::File,
+}
+
+impl CsvWriter {
+    /// Creates `<dir>/<name>.csv` with the given header columns.
+    pub fn create(dir: &Path, name: &str, header: &[&str]) -> std::io::Result<CsvWriter> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut out = fs::File::create(&path)?;
+        writeln!(out, "{}", header.join(","))?;
+        Ok(CsvWriter { path, out })
+    }
+
+    /// Writes one row.
+    pub fn row(&mut self, fields: &[String]) -> std::io::Result<()> {
+        writeln!(self.out, "{}", fields.join(","))
+    }
+
+    /// Convenience: writes a row of displayable values.
+    pub fn row_display(&mut self, fields: &[&dyn std::fmt::Display]) -> std::io::Result<()> {
+        let strings: Vec<String> = fields.iter().map(|f| f.to_string()).collect();
+        self.row(&strings)
+    }
+
+    /// The file path being written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Outcome of regenerating one figure.
+#[derive(Debug, Clone)]
+pub struct FigureReport {
+    /// Figure identifier ("fig7ab").
+    pub id: String,
+    /// CSV files written.
+    pub files: Vec<PathBuf>,
+    /// Human-readable summary lines (quoted in EXPERIMENTS.md).
+    pub summary: Vec<String>,
+}
+
+impl FigureReport {
+    /// Creates an empty report for `id`.
+    pub fn new(id: impl Into<String>) -> Self {
+        FigureReport {
+            id: id.into(),
+            files: Vec::new(),
+            summary: Vec::new(),
+        }
+    }
+
+    /// Records a written CSV.
+    pub fn add_file(&mut self, path: &Path) {
+        self.files.push(path.to_path_buf());
+    }
+
+    /// Adds a summary line.
+    pub fn line(&mut self, line: impl Into<String>) {
+        self.summary.push(line.into());
+    }
+
+    /// Renders the report for stdout.
+    pub fn render(&self) -> String {
+        let mut out = format!("== {} ==\n", self.id);
+        for line in &self.summary {
+            out.push_str("  ");
+            out.push_str(line);
+            out.push('\n');
+        }
+        for f in &self.files {
+            out.push_str(&format!("  -> {}\n", f.display()));
+        }
+        out
+    }
+}
+
+/// Formats seconds with 3 decimals.
+pub fn secs(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a byte count as MB with 1 decimal.
+pub fn mb(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_writer_produces_header_and_rows() {
+        let dir = std::env::temp_dir().join("opass-csv-test");
+        let mut w = CsvWriter::create(&dir, "t", &["a", "b"]).unwrap();
+        w.row(&["1".into(), "2".into()]).unwrap();
+        w.row_display(&[&3.5, &"x"]).unwrap();
+        let content = std::fs::read_to_string(w.path()).unwrap();
+        assert_eq!(content, "a,b\n1,2\n3.5,x\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_renders_lines_and_files() {
+        let mut r = FigureReport::new("figX");
+        r.line("hello");
+        r.add_file(Path::new("/tmp/x.csv"));
+        let s = r.render();
+        assert!(s.contains("== figX =="));
+        assert!(s.contains("hello"));
+        assert!(s.contains("x.csv"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(secs(1.23456), "1.235");
+        assert_eq!(mb(64 * 1024 * 1024), "64.0");
+    }
+}

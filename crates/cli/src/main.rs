@@ -1,0 +1,223 @@
+//! `opass` — scenario-driven command line for the Opass reproduction.
+//!
+//! ```text
+//! opass init scenario.json          # write a template scenario
+//! opass run scenario.json           # run it, print a text comparison
+//! opass run scenario.json --json    # machine-readable report
+//! opass run scenario.json --parallel
+//! opass analyze --chunks 512 --replication 3 --nodes 128
+//! ```
+
+mod scenario;
+
+use parking_lot::Mutex;
+use scenario::{ExperimentReport, ScenarioFile};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("init") => cmd_init(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        _ => {
+            eprintln!("usage: opass <init|run|analyze> ...");
+            eprintln!("  opass init <file.json>           write a template scenario");
+            eprintln!("  opass run <file.json> [--json] [--parallel]");
+            eprintln!("  opass analyze --chunks N --replication R --nodes M");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_init(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("usage: opass init <file.json>");
+        return ExitCode::FAILURE;
+    };
+    let json = serde_json::to_string_pretty(&scenario::template()).expect("template serializes");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote template scenario to {path}");
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("usage: opass run <file.json> [--json] [--parallel] [--trace-dir DIR]");
+        return ExitCode::FAILURE;
+    };
+    let as_json = args.iter().any(|a| a == "--json");
+    let parallel = args.iter().any(|a| a == "--parallel");
+    let trace_dir = args
+        .iter()
+        .position(|a| a == "--trace-dir")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+
+    let content = match std::fs::read_to_string(path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let file: ScenarioFile = match serde_json::from_str(&content) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("invalid scenario {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let reports: Vec<Result<ExperimentReport, String>> = if parallel {
+        // Experiments are independent; run them on scoped threads and
+        // collect results under a lock (order preserved by index).
+        let slots: Mutex<Vec<Option<Result<ExperimentReport, String>>>> =
+            Mutex::new((0..file.experiments.len()).map(|_| None).collect());
+        crossbeam::scope(|scope| {
+            for (i, exp) in file.experiments.iter().enumerate() {
+                let slots = &slots;
+                scope.spawn(move |_| {
+                    let result = exp.run().map_err(|e| e.to_string());
+                    slots.lock()[i] = Some(result);
+                });
+            }
+        })
+        .expect("experiment threads");
+        slots
+            .into_inner()
+            .into_iter()
+            .map(|r| r.expect("slot filled"))
+            .collect()
+    } else {
+        file.experiments
+            .iter()
+            .map(|e| e.run().map_err(|e| e.to_string()))
+            .collect()
+    };
+
+    let mut failed = false;
+    let mut ok_reports = Vec::new();
+    for r in reports {
+        match r {
+            Ok(rep) => ok_reports.push(rep),
+            Err(e) => {
+                eprintln!("error: {e}");
+                failed = true;
+            }
+        }
+    }
+    if let Some(dir) = &trace_dir {
+        if let Err(e) = scenario::dump_traces(dir, &file, &ok_reports) {
+            eprintln!("cannot write traces to {}: {e}", dir.display());
+            failed = true;
+        } else {
+            eprintln!("per-read traces written under {}", dir.display());
+        }
+    }
+    if as_json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&ok_reports).expect("reports serialize")
+        );
+    } else {
+        println!("scenario: {}", file.name);
+        for rep in &ok_reports {
+            println!("\n[{}]", rep.experiment);
+            println!(
+                "  {:<16} {:>8} {:>10} {:>10} {:>11} {:>10}",
+                "strategy", "local%", "avg I/O s", "max I/O s", "makespan s", "plan ms"
+            );
+            for s in &rep.strategies {
+                println!(
+                    "  {:<16} {:>7.1}% {:>10.3} {:>10.3} {:>11.2} {:>10.2}",
+                    s.strategy,
+                    s.local_fraction * 100.0,
+                    s.avg_io_seconds,
+                    s.max_io_seconds,
+                    s.makespan_seconds,
+                    s.planning_seconds * 1e3,
+                );
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_analyze(args: &[String]) -> ExitCode {
+    let mut chunks = 512u64;
+    let mut replication = 3u32;
+    let mut nodes = 128u32;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut grab = |target: &mut u64| -> bool {
+            match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) => {
+                    *target = v;
+                    true
+                }
+                None => false,
+            }
+        };
+        let ok = match arg.as_str() {
+            "--chunks" => grab(&mut chunks),
+            "--replication" => {
+                let mut v = replication as u64;
+                let ok = grab(&mut v);
+                replication = v as u32;
+                ok
+            }
+            "--nodes" => {
+                let mut v = nodes as u64;
+                let ok = grab(&mut v);
+                nodes = v as u32;
+                ok
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                false
+            }
+        };
+        if !ok {
+            eprintln!("usage: opass analyze --chunks N --replication R --nodes M");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let params = opass_analysis::ClusterParams::new(chunks, replication, nodes);
+    let locality = opass_analysis::LocalityModel::new(params);
+    let imbalance = opass_analysis::ImbalanceModel::new(params);
+    println!("cluster: {chunks} chunks, {replication}-way replication, {nodes} nodes");
+    println!(
+        "  P(chunk readable locally)          r/m = {:.4}",
+        params.p_local()
+    );
+    println!(
+        "  expected local reads (app-wide)    {:.1} of {chunks}",
+        locality.expected_local()
+    );
+    println!(
+        "  P(X > 5) published calibration     {:.2}%",
+        locality.published_p_more_than(5) * 100.0
+    );
+    println!(
+        "  expected chunks served per node    {:.2}",
+        imbalance.expected_served()
+    );
+    println!(
+        "  nodes serving <= 1 chunk           {:.1}",
+        imbalance.expected_nodes_serving_at_most(1)
+    );
+    println!(
+        "  nodes serving >= 8 chunks          {:.1}",
+        imbalance.expected_nodes_serving_more_than(7)
+    );
+    ExitCode::SUCCESS
+}

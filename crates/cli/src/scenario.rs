@@ -1,0 +1,687 @@
+//! Scenario descriptions: the JSON schema users feed to `opass run`.
+//!
+//! A scenario file contains one or more experiments; every experiment maps
+//! onto one of the drivers in `opass-core` and lists the strategies to
+//! compare. Missing fields take the paper's defaults, so
+//! `{"type": "single_data", "strategies": ["rank_interval", "opass"]}`
+//! already works.
+
+use opass_core::experiment::{
+    DynamicExperiment, DynamicStrategy, HeteroStrategy, HeterogeneousExperiment,
+    MultiDataExperiment, MultiStrategy, ParaViewExperiment, ParaViewStrategy, RackedExperiment,
+    RackedStrategy, SingleDataExperiment, SingleStrategy,
+};
+use opass_core::workloads::ParaViewConfig;
+use serde::{Deserialize, Serialize};
+
+/// A batch of experiments, each run under each of its strategies.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ScenarioFile {
+    /// Free-form label echoed into the report.
+    #[serde(default = "default_name")]
+    pub name: String,
+    /// The experiments to run.
+    pub experiments: Vec<Experiment>,
+}
+
+fn default_name() -> String {
+    "unnamed scenario".into()
+}
+
+/// One experiment: a paper scenario plus the strategies to compare.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum Experiment {
+    /// Section V-A1: equal single-data assignment.
+    SingleData {
+        #[serde(default = "d64")]
+        /// Cluster size.
+        n_nodes: usize,
+        #[serde(default = "d10")]
+        /// Chunks per process.
+        chunks_per_process: usize,
+        #[serde(default = "d3")]
+        /// Replication factor.
+        replication: u32,
+        #[serde(default)]
+        /// RNG seed.
+        seed: u64,
+        /// Strategies: `rank_interval`, `random`, `opass`.
+        strategies: Vec<String>,
+    },
+    /// Section V-A2: triple-input tasks.
+    MultiData {
+        #[serde(default = "d64")]
+        /// Cluster size.
+        n_nodes: usize,
+        #[serde(default = "d10")]
+        /// Tasks per process.
+        tasks_per_process: usize,
+        #[serde(default)]
+        /// RNG seed.
+        seed: u64,
+        /// Strategies: `rank_interval`, `opass`.
+        strategies: Vec<String>,
+    },
+    /// Section V-A3: master/worker with irregular compute.
+    Dynamic {
+        #[serde(default = "d64")]
+        /// Cluster size.
+        n_nodes: usize,
+        #[serde(default = "d10")]
+        /// Tasks per process.
+        tasks_per_process: usize,
+        #[serde(default)]
+        /// RNG seed.
+        seed: u64,
+        /// Strategies: `fifo`, `delay:<skips>`, `opass`.
+        strategies: Vec<String>,
+    },
+    /// Section V-B: ParaView multi-block rendering.
+    Paraview {
+        #[serde(default = "d64")]
+        /// Cluster size.
+        n_nodes: usize,
+        #[serde(default = "d10")]
+        /// Rendering steps.
+        n_steps: usize,
+        #[serde(default)]
+        /// RNG seed.
+        seed: u64,
+        /// Strategies: `default`, `opass`.
+        strategies: Vec<String>,
+    },
+    /// Rack-locality extension.
+    Racked {
+        #[serde(default = "d64")]
+        /// Cluster size.
+        n_nodes: usize,
+        #[serde(default = "d8")]
+        /// Nodes per rack.
+        nodes_per_rack: usize,
+        #[serde(default)]
+        /// RNG seed.
+        seed: u64,
+        /// Strategies: `baseline`, `node_only`, `rack_aware`.
+        strategies: Vec<String>,
+    },
+    /// Replay a user task trace (CSV: `size_bytes,compute_seconds`).
+    Replay {
+        /// Path to the trace CSV.
+        trace_file: String,
+        #[serde(default = "d32")]
+        /// Cluster size.
+        n_nodes: usize,
+        #[serde(default)]
+        /// RNG seed.
+        seed: u64,
+        /// Strategies: `rank_interval`, `opass`.
+        strategies: Vec<String>,
+    },
+    /// Heterogeneous-cluster extension.
+    Heterogeneous {
+        #[serde(default = "d32")]
+        /// Cluster size.
+        n_nodes: usize,
+        #[serde(default)]
+        /// RNG seed.
+        seed: u64,
+        /// Strategies: `uniform`, `weighted`.
+        strategies: Vec<String>,
+    },
+}
+
+fn d64() -> usize {
+    64
+}
+fn d32() -> usize {
+    32
+}
+fn d10() -> usize {
+    10
+}
+fn d8() -> usize {
+    8
+}
+fn d3() -> u32 {
+    3
+}
+
+/// One strategy's measurements.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct StrategyReport {
+    /// Per-read trace (proc, chunk, source node, reader node, issue and
+    /// completion seconds), kept for `--trace-dir` dumps. Skipped in JSON
+    /// reports to keep them small.
+    #[serde(skip)]
+    pub trace: Vec<TraceRow>,
+    /// Strategy label as given in the scenario.
+    pub strategy: String,
+    /// Fraction of reads served node-locally.
+    pub local_fraction: f64,
+    /// Mean per-read I/O seconds.
+    pub avg_io_seconds: f64,
+    /// Worst per-read I/O seconds.
+    pub max_io_seconds: f64,
+    /// Whole-run simulated seconds.
+    pub makespan_seconds: f64,
+    /// Host seconds spent planning.
+    pub planning_seconds: f64,
+}
+
+/// A flattened per-read trace row for CSV dumping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRow {
+    /// Reading process rank.
+    pub proc: usize,
+    /// Raw chunk id.
+    pub chunk: u64,
+    /// Serving node id.
+    pub source: u32,
+    /// Reader node id.
+    pub reader: u32,
+    /// Issue time, seconds.
+    pub issued_at: f64,
+    /// Completion time, seconds.
+    pub completed_at: f64,
+}
+
+fn trace_of(result: &opass_core::runtime::RunResult) -> Vec<TraceRow> {
+    result
+        .records
+        .iter()
+        .map(|r| TraceRow {
+            proc: r.proc,
+            chunk: r.chunk.0,
+            source: r.source.0,
+            reader: r.reader.0,
+            issued_at: r.issued_at,
+            completed_at: r.completed_at,
+        })
+        .collect()
+}
+
+/// Writes one CSV per (experiment, strategy) with the full read trace.
+pub fn dump_traces(
+    dir: &std::path::Path,
+    scenario: &ScenarioFile,
+    reports: &[ExperimentReport],
+) -> std::io::Result<()> {
+    use std::io::Write;
+    std::fs::create_dir_all(dir)?;
+    let _ = scenario;
+    for (i, report) in reports.iter().enumerate() {
+        for strat in &report.strategies {
+            let safe: String = strat
+                .strategy
+                .chars()
+                .map(|c| if c.is_alphanumeric() { c } else { '_' })
+                .collect();
+            let path = dir.join(format!("{}_{}_{safe}.csv", i, report.experiment));
+            let mut f = std::fs::File::create(path)?;
+            writeln!(f, "proc,chunk,source,reader,issued_at,completed_at")?;
+            for row in &strat.trace {
+                writeln!(
+                    f,
+                    "{},{},{},{},{:.6},{:.6}",
+                    row.proc, row.chunk, row.source, row.reader, row.issued_at, row.completed_at
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One experiment's report: the strategies side by side.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ExperimentReport {
+    /// Experiment label (`single_data`, `racked`, …).
+    pub experiment: String,
+    /// Per-strategy measurements, in scenario order.
+    pub strategies: Vec<StrategyReport>,
+}
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// A strategy string did not parse for the experiment type.
+    UnknownStrategy {
+        /// Experiment label.
+        experiment: String,
+        /// The offending strategy string.
+        strategy: String,
+    },
+    /// A replay trace could not be read or parsed.
+    Trace {
+        /// Trace file path.
+        path: String,
+        /// Underlying error.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::UnknownStrategy {
+                experiment,
+                strategy,
+            } => write!(
+                f,
+                "unknown strategy {strategy:?} for experiment {experiment:?}"
+            ),
+            ScenarioError::Trace { path, message } => {
+                write!(f, "trace {path:?}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+fn report_from(strategy: &str, run: opass_core::experiment::ExperimentRun) -> StrategyReport {
+    let io = run.result.io_summary();
+    StrategyReport {
+        strategy: strategy.to_string(),
+        trace: trace_of(&run.result),
+        local_fraction: run.result.local_fraction(),
+        avg_io_seconds: io.mean,
+        max_io_seconds: io.max,
+        makespan_seconds: run.result.makespan,
+        planning_seconds: run.planning_seconds,
+    }
+}
+
+impl Experiment {
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Experiment::SingleData { .. } => "single_data",
+            Experiment::MultiData { .. } => "multi_data",
+            Experiment::Dynamic { .. } => "dynamic",
+            Experiment::Paraview { .. } => "paraview",
+            Experiment::Racked { .. } => "racked",
+            Experiment::Replay { .. } => "replay",
+            Experiment::Heterogeneous { .. } => "heterogeneous",
+        }
+    }
+
+    /// Runs every listed strategy and returns the comparison.
+    pub fn run(&self) -> Result<ExperimentReport, ScenarioError> {
+        let unknown = |s: &str| ScenarioError::UnknownStrategy {
+            experiment: self.label().into(),
+            strategy: s.into(),
+        };
+        let mut out = Vec::new();
+        match self {
+            Experiment::SingleData {
+                n_nodes,
+                chunks_per_process,
+                replication,
+                seed,
+                strategies,
+            } => {
+                let exp = SingleDataExperiment {
+                    n_nodes: *n_nodes,
+                    chunks_per_process: *chunks_per_process,
+                    replication: *replication,
+                    seed: *seed,
+                    ..Default::default()
+                };
+                for s in strategies {
+                    let strategy = match s.as_str() {
+                        "rank_interval" => SingleStrategy::RankInterval,
+                        "random" => SingleStrategy::RandomAssign,
+                        "opass" => SingleStrategy::Opass,
+                        other => return Err(unknown(other)),
+                    };
+                    out.push(report_from(s, exp.run(strategy)));
+                }
+            }
+            Experiment::MultiData {
+                n_nodes,
+                tasks_per_process,
+                seed,
+                strategies,
+            } => {
+                let exp = MultiDataExperiment {
+                    n_nodes: *n_nodes,
+                    tasks_per_process: *tasks_per_process,
+                    seed: *seed,
+                    ..Default::default()
+                };
+                for s in strategies {
+                    let strategy = match s.as_str() {
+                        "rank_interval" => MultiStrategy::RankInterval,
+                        "opass" => MultiStrategy::Opass,
+                        other => return Err(unknown(other)),
+                    };
+                    out.push(report_from(s, exp.run(strategy)));
+                }
+            }
+            Experiment::Dynamic {
+                n_nodes,
+                tasks_per_process,
+                seed,
+                strategies,
+            } => {
+                let exp = DynamicExperiment {
+                    n_nodes: *n_nodes,
+                    tasks_per_process: *tasks_per_process,
+                    seed: *seed,
+                    ..Default::default()
+                };
+                for s in strategies {
+                    let strategy = if s == "fifo" {
+                        DynamicStrategy::Fifo
+                    } else if s == "opass" {
+                        DynamicStrategy::OpassGuided
+                    } else if let Some(skips) = s.strip_prefix("delay:") {
+                        let max_skips = skips.parse().map_err(|_| unknown(s))?;
+                        DynamicStrategy::DelayScheduling { max_skips }
+                    } else {
+                        return Err(unknown(s));
+                    };
+                    out.push(report_from(s, exp.run(strategy)));
+                }
+            }
+            Experiment::Paraview {
+                n_nodes,
+                n_steps,
+                seed,
+                strategies,
+            } => {
+                let exp = ParaViewExperiment {
+                    n_nodes: *n_nodes,
+                    workload: ParaViewConfig {
+                        n_steps: *n_steps,
+                        ..Default::default()
+                    },
+                    seed: *seed,
+                    ..Default::default()
+                };
+                for s in strategies {
+                    let strategy = match s.as_str() {
+                        "default" => ParaViewStrategy::Default,
+                        "opass" => ParaViewStrategy::Opass,
+                        other => return Err(unknown(other)),
+                    };
+                    let run = exp.run(strategy);
+                    let io = run.combined.io_summary();
+                    out.push(StrategyReport {
+                        strategy: s.clone(),
+                        trace: trace_of(&run.combined),
+                        local_fraction: run.combined.local_fraction(),
+                        avg_io_seconds: io.mean,
+                        max_io_seconds: io.max,
+                        makespan_seconds: run.combined.makespan,
+                        planning_seconds: run.planning_seconds,
+                    });
+                }
+            }
+            Experiment::Racked {
+                n_nodes,
+                nodes_per_rack,
+                seed,
+                strategies,
+            } => {
+                let exp = RackedExperiment {
+                    n_nodes: *n_nodes,
+                    nodes_per_rack: *nodes_per_rack,
+                    seed: *seed,
+                    ..Default::default()
+                };
+                for s in strategies {
+                    let strategy = match s.as_str() {
+                        "baseline" => RackedStrategy::Baseline,
+                        "node_only" => RackedStrategy::OpassNodeOnly,
+                        "rack_aware" => RackedStrategy::OpassRackAware,
+                        other => return Err(unknown(other)),
+                    };
+                    out.push(report_from(s, exp.run(strategy)));
+                }
+            }
+            Experiment::Replay {
+                trace_file,
+                n_nodes,
+                seed,
+                strategies,
+            } => {
+                use opass_core::dfs::{DfsConfig, Namenode, Placement, ReplicaChoice};
+                use opass_core::runtime::{
+                    baseline, execute, ExecConfig, ProcessPlacement, TaskSource,
+                };
+                use rand::rngs::StdRng;
+                use rand::SeedableRng;
+                let csv =
+                    std::fs::read_to_string(trace_file).map_err(|e| ScenarioError::Trace {
+                        path: trace_file.clone(),
+                        message: e.to_string(),
+                    })?;
+                let mut nn = Namenode::new(*n_nodes, DfsConfig::default());
+                let mut rng = StdRng::seed_from_u64(*seed);
+                let (_, workload) = opass_core::workloads::replay::from_csv(
+                    &mut nn,
+                    "replay",
+                    &csv,
+                    &Placement::Random,
+                    &mut rng,
+                )
+                .map_err(|e| ScenarioError::Trace {
+                    path: trace_file.clone(),
+                    message: e.to_string(),
+                })?;
+                let placement = ProcessPlacement::one_per_node(*n_nodes);
+                for s in strategies {
+                    let assignment = match s.as_str() {
+                        "rank_interval" => baseline::rank_interval(workload.len(), *n_nodes),
+                        "opass" => {
+                            opass_core::OpassPlanner::default()
+                                .plan_single_data(&nn, &workload, &placement, *seed)
+                                .assignment
+                        }
+                        other => return Err(unknown(other)),
+                    };
+                    let started = std::time::Instant::now();
+                    let result = execute(
+                        &nn,
+                        &workload,
+                        &placement,
+                        TaskSource::Static(assignment),
+                        &ExecConfig {
+                            replica_choice: ReplicaChoice::PreferLocalRandom,
+                            seed: *seed ^ 0xEE,
+                            ..Default::default()
+                        },
+                    );
+                    let run = opass_core::experiment::ExperimentRun {
+                        result,
+                        planning_seconds: started.elapsed().as_secs_f64(),
+                    };
+                    out.push(report_from(s, run));
+                }
+            }
+            Experiment::Heterogeneous {
+                n_nodes,
+                seed,
+                strategies,
+            } => {
+                let exp = HeterogeneousExperiment {
+                    n_nodes: *n_nodes,
+                    seed: *seed,
+                    ..Default::default()
+                };
+                for s in strategies {
+                    let strategy = match s.as_str() {
+                        "uniform" => HeteroStrategy::OpassUniform,
+                        "weighted" => HeteroStrategy::OpassWeighted,
+                        other => return Err(unknown(other)),
+                    };
+                    out.push(report_from(s, exp.run(strategy)));
+                }
+            }
+        }
+        Ok(ExperimentReport {
+            experiment: self.label().into(),
+            strategies: out,
+        })
+    }
+}
+
+/// A ready-to-edit template scenario covering every experiment type.
+pub fn template() -> ScenarioFile {
+    ScenarioFile {
+        name: "opass demo scenario".into(),
+        experiments: vec![
+            Experiment::SingleData {
+                n_nodes: 16,
+                chunks_per_process: 5,
+                replication: 3,
+                seed: 1,
+                strategies: vec!["rank_interval".into(), "opass".into()],
+            },
+            Experiment::Dynamic {
+                n_nodes: 16,
+                tasks_per_process: 5,
+                seed: 1,
+                strategies: vec!["fifo".into(), "delay:16".into(), "opass".into()],
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn template_round_trips_through_json() {
+        let t = template();
+        let json = serde_json::to_string_pretty(&t).unwrap();
+        let back: ScenarioFile = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn minimal_json_uses_defaults() {
+        let json = r#"{"experiments":[{"type":"single_data","strategies":["opass"]}]}"#;
+        let file: ScenarioFile = serde_json::from_str(json).unwrap();
+        assert_eq!(file.name, "unnamed scenario");
+        match &file.experiments[0] {
+            Experiment::SingleData {
+                n_nodes,
+                chunks_per_process,
+                replication,
+                ..
+            } => {
+                assert_eq!(*n_nodes, 64);
+                assert_eq!(*chunks_per_process, 10);
+                assert_eq!(*replication, 3);
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tiny_experiment_runs_and_reports() {
+        let exp = Experiment::SingleData {
+            n_nodes: 8,
+            chunks_per_process: 2,
+            replication: 3,
+            seed: 1,
+            strategies: vec!["rank_interval".into(), "opass".into()],
+        };
+        let report = exp.run().unwrap();
+        assert_eq!(report.experiment, "single_data");
+        assert_eq!(report.strategies.len(), 2);
+        let base = &report.strategies[0];
+        let opass = &report.strategies[1];
+        assert!(opass.local_fraction > base.local_fraction);
+    }
+
+    #[test]
+    fn unknown_strategy_is_an_error() {
+        let exp = Experiment::MultiData {
+            n_nodes: 8,
+            tasks_per_process: 1,
+            seed: 0,
+            strategies: vec!["nonsense".into()],
+        };
+        let err = exp.run().unwrap_err();
+        assert!(err.to_string().contains("nonsense"));
+    }
+
+    #[test]
+    fn replay_experiment_runs_a_trace_file() {
+        let dir = std::env::temp_dir().join("opass-cli-replay-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("trace.csv");
+        std::fs::write(
+            &trace,
+            "size_bytes,compute_seconds
+67108864,0.1
+33554432,0.2
+67108864,0
+67108864,0
+",
+        )
+        .unwrap();
+        let exp = Experiment::Replay {
+            trace_file: trace.to_string_lossy().into_owned(),
+            n_nodes: 4,
+            seed: 1,
+            strategies: vec!["rank_interval".into(), "opass".into()],
+        };
+        let report = exp.run().unwrap();
+        assert_eq!(report.experiment, "replay");
+        assert_eq!(report.strategies.len(), 2);
+        assert_eq!(report.strategies[0].trace.len(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_missing_file_is_an_error() {
+        let exp = Experiment::Replay {
+            trace_file: "/nonexistent/trace.csv".into(),
+            n_nodes: 4,
+            seed: 0,
+            strategies: vec!["opass".into()],
+        };
+        assert!(exp.run().is_err());
+    }
+
+    #[test]
+    fn trace_dump_writes_csv_per_strategy() {
+        let exp = Experiment::SingleData {
+            n_nodes: 8,
+            chunks_per_process: 2,
+            replication: 3,
+            seed: 2,
+            strategies: vec!["opass".into()],
+        };
+        let report = exp.run().unwrap();
+        assert_eq!(report.strategies[0].trace.len(), 16);
+        let dir = std::env::temp_dir().join("opass-cli-trace-test");
+        let scenario = ScenarioFile {
+            name: "t".into(),
+            experiments: vec![exp],
+        };
+        dump_traces(&dir, &scenario, &[report]).unwrap();
+        let content = std::fs::read_to_string(dir.join("0_single_data_opass.csv")).unwrap();
+        assert!(content.starts_with("proc,chunk,source,reader"));
+        assert_eq!(content.lines().count(), 17); // header + 16 reads
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn delay_strategy_parses_skip_count() {
+        let exp = Experiment::Dynamic {
+            n_nodes: 8,
+            tasks_per_process: 2,
+            seed: 0,
+            strategies: vec!["delay:4".into()],
+        };
+        let report = exp.run().unwrap();
+        assert_eq!(report.strategies[0].strategy, "delay:4");
+    }
+}

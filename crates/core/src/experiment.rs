@@ -1,0 +1,873 @@
+//! End-to-end experiment drivers for the paper's evaluation scenarios.
+//!
+//! Each experiment builds a deterministic cluster + dataset from its seed,
+//! applies a strategy (a baseline or Opass), executes on the simulator, and
+//! returns the full [`RunResult`] plus the planning cost. Baseline and Opass
+//! runs of the same experiment see the *same* data layout, so comparisons
+//! isolate the assignment policy — the paper's methodology.
+
+use crate::planner::OpassPlanner;
+use opass_dfs::{DfsConfig, Namenode, Placement, RackMap, ReplicaChoice};
+use opass_runtime::{baseline, execute, ExecConfig, ProcessPlacement, RunResult, TaskSource};
+use opass_simio::{IoParams, Topology};
+use opass_workloads::{
+    dynamic as dyn_wl, multi as multi_wl, paraview as pv_wl, single as single_wl, DynamicConfig,
+    MultiDataConfig, ParaViewConfig, SingleDataConfig, Workload,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// A run result annotated with how long planning took (host wall clock).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentRun {
+    /// The simulated execution trace.
+    pub result: RunResult,
+    /// Host seconds spent computing the assignment (0 for trivial
+    /// baselines) — the Section V-C overhead discussion.
+    pub planning_seconds: f64,
+}
+
+/// Assignment strategies for single-input workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SingleStrategy {
+    /// ParaView's rank-interval static assignment (the paper's baseline).
+    RankInterval,
+    /// Uniformly random balanced assignment (Section III's model).
+    RandomAssign,
+    /// The Opass max-flow matching.
+    Opass,
+}
+
+/// The Section V-A1 experiment: equal single-data assignment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SingleDataExperiment {
+    /// Cluster size `m` (one process per node).
+    pub n_nodes: usize,
+    /// Chunks per process (paper: ~10).
+    pub chunks_per_process: usize,
+    /// Chunk size, bytes (paper: 64 MB).
+    pub chunk_size: u64,
+    /// Replication factor (paper: 3).
+    pub replication: u32,
+    /// Hardware calibration.
+    pub io: IoParams,
+    /// Master seed: drives placement, replica choice, and random fills.
+    pub seed: u64,
+}
+
+impl Default for SingleDataExperiment {
+    fn default() -> Self {
+        SingleDataExperiment {
+            n_nodes: 64,
+            chunks_per_process: 10,
+            chunk_size: 64 << 20,
+            replication: 3,
+            io: IoParams::marmot(),
+            seed: 0x0A55,
+        }
+    }
+}
+
+impl SingleDataExperiment {
+    fn build(&self) -> (Namenode, Workload, ProcessPlacement) {
+        let mut nn = Namenode::new(
+            self.n_nodes,
+            DfsConfig {
+                replication: self.replication,
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let cfg = SingleDataConfig {
+            n_procs: self.n_nodes,
+            chunks_per_process: self.chunks_per_process,
+            chunk_size: self.chunk_size,
+        };
+        let (_, workload) = single_wl::generate(&mut nn, &cfg, &Placement::Random, &mut rng);
+        let placement = ProcessPlacement::one_per_node(self.n_nodes);
+        (nn, workload, placement)
+    }
+
+    /// Runs the experiment under a strategy.
+    pub fn run(&self, strategy: SingleStrategy) -> ExperimentRun {
+        let (nn, workload, placement) = self.build();
+        let n = workload.len();
+        let started = Instant::now();
+        let assignment = match strategy {
+            SingleStrategy::RankInterval => baseline::rank_interval(n, self.n_nodes),
+            SingleStrategy::RandomAssign => {
+                let mut rng = StdRng::seed_from_u64(self.seed ^ 0xA5A5);
+                baseline::random_assignment(n, self.n_nodes, &mut rng)
+            }
+            SingleStrategy::Opass => {
+                OpassPlanner::default()
+                    .plan_single_data(&nn, &workload, &placement, self.seed ^ 0x51)
+                    .assignment
+            }
+        };
+        let planning_seconds = started.elapsed().as_secs_f64();
+        let result = execute(
+            &nn,
+            &workload,
+            &placement,
+            TaskSource::Static(assignment),
+            &ExecConfig {
+                io: self.io,
+                replica_choice: ReplicaChoice::PreferLocalRandom,
+                seed: self.seed ^ 0xE0,
+                ..Default::default()
+            },
+        );
+        ExperimentRun {
+            result,
+            planning_seconds,
+        }
+    }
+}
+
+/// Assignment strategies for multi-input workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MultiStrategy {
+    /// Rank-interval assignment of tasks (locality-oblivious default).
+    RankInterval,
+    /// Opass Algorithm 1.
+    Opass,
+}
+
+/// The Section V-A2 experiment: tasks with 30/20/10 MB inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiDataExperiment {
+    /// Cluster size `m`.
+    pub n_nodes: usize,
+    /// Tasks per process.
+    pub tasks_per_process: usize,
+    /// Per-input chunk sizes (paper: 30/20/10 MB).
+    pub input_sizes: Vec<u64>,
+    /// Replication factor.
+    pub replication: u32,
+    /// Hardware calibration.
+    pub io: IoParams,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for MultiDataExperiment {
+    fn default() -> Self {
+        let mb = 1u64 << 20;
+        MultiDataExperiment {
+            n_nodes: 64,
+            tasks_per_process: 10,
+            input_sizes: vec![30 * mb, 20 * mb, 10 * mb],
+            replication: 3,
+            io: IoParams::marmot(),
+            seed: 0x3017,
+        }
+    }
+}
+
+impl MultiDataExperiment {
+    fn build(&self) -> (Namenode, Workload, ProcessPlacement) {
+        let mut nn = Namenode::new(
+            self.n_nodes,
+            DfsConfig {
+                replication: self.replication,
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let cfg = MultiDataConfig {
+            n_tasks: self.n_nodes * self.tasks_per_process,
+            input_sizes: self.input_sizes.clone(),
+        };
+        let (_, workload) = multi_wl::generate(&mut nn, &cfg, &Placement::Random, &mut rng);
+        (nn, workload, ProcessPlacement::one_per_node(self.n_nodes))
+    }
+
+    /// Runs the experiment under a strategy.
+    pub fn run(&self, strategy: MultiStrategy) -> ExperimentRun {
+        let (nn, workload, placement) = self.build();
+        let started = Instant::now();
+        let assignment = match strategy {
+            MultiStrategy::RankInterval => baseline::rank_interval(workload.len(), self.n_nodes),
+            MultiStrategy::Opass => {
+                OpassPlanner::default()
+                    .plan_multi_data(&nn, &workload, &placement)
+                    .assignment
+            }
+        };
+        let planning_seconds = started.elapsed().as_secs_f64();
+        let result = execute(
+            &nn,
+            &workload,
+            &placement,
+            TaskSource::Static(assignment),
+            &ExecConfig {
+                io: self.io,
+                replica_choice: ReplicaChoice::PreferLocalRandom,
+                seed: self.seed ^ 0xE1,
+                ..Default::default()
+            },
+        );
+        ExperimentRun {
+            result,
+            planning_seconds,
+        }
+    }
+}
+
+/// Scheduling strategies for dynamic workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DynamicStrategy {
+    /// Central FIFO queue — the default master/worker dispatcher.
+    Fifo,
+    /// Delay scheduling (Zaharia et al.): bounded lookahead in the shared
+    /// queue for a local task. The literature's scheduler-side baseline.
+    DelayScheduling {
+        /// Queue positions an idle worker may look ahead.
+        max_skips: usize,
+    },
+    /// Opass guided lists with locality-aware stealing.
+    OpassGuided,
+}
+
+/// The Section V-A3 experiment: master/worker with irregular compute.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynamicExperiment {
+    /// Cluster size `m`.
+    pub n_nodes: usize,
+    /// Tasks per process.
+    pub tasks_per_process: usize,
+    /// Chunk size, bytes.
+    pub chunk_size: u64,
+    /// Median per-task compute seconds.
+    pub compute_median: f64,
+    /// Log-normal sigma of compute times.
+    pub compute_sigma: f64,
+    /// Replication factor.
+    pub replication: u32,
+    /// Hardware calibration.
+    pub io: IoParams,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for DynamicExperiment {
+    fn default() -> Self {
+        DynamicExperiment {
+            n_nodes: 64,
+            tasks_per_process: 10,
+            chunk_size: 64 << 20,
+            compute_median: 0.5,
+            compute_sigma: 1.0,
+            replication: 3,
+            io: IoParams::marmot(),
+            seed: 0xD1A,
+        }
+    }
+}
+
+impl DynamicExperiment {
+    fn build(&self) -> (Namenode, Workload, ProcessPlacement) {
+        let mut nn = Namenode::new(
+            self.n_nodes,
+            DfsConfig {
+                replication: self.replication,
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let cfg = DynamicConfig {
+            n_tasks: self.n_nodes * self.tasks_per_process,
+            chunk_size: self.chunk_size,
+            compute_median: self.compute_median,
+            compute_sigma: self.compute_sigma,
+        };
+        let (_, workload) = dyn_wl::generate(&mut nn, &cfg, &Placement::Random, &mut rng);
+        (nn, workload, ProcessPlacement::one_per_node(self.n_nodes))
+    }
+
+    /// Runs the experiment under a strategy.
+    pub fn run(&self, strategy: DynamicStrategy) -> ExperimentRun {
+        let (nn, workload, placement) = self.build();
+        let started = Instant::now();
+        let source: TaskSource = match strategy {
+            DynamicStrategy::Fifo => {
+                TaskSource::Dynamic(Box::new(opass_matching::FifoScheduler::new(workload.len())))
+            }
+            DynamicStrategy::DelayScheduling { max_skips } => {
+                let values = crate::builder::build_matching_values(&nn, &workload, &placement);
+                TaskSource::Dynamic(Box::new(opass_matching::DelayScheduler::new(
+                    workload.len(),
+                    values,
+                    max_skips,
+                )))
+            }
+            DynamicStrategy::OpassGuided => {
+                let sched = OpassPlanner::default().plan_dynamic(
+                    &nn,
+                    &workload,
+                    &placement,
+                    self.seed ^ 0x6D,
+                );
+                TaskSource::Dynamic(Box::new(sched))
+            }
+        };
+        let planning_seconds = started.elapsed().as_secs_f64();
+        let result = execute(
+            &nn,
+            &workload,
+            &placement,
+            source,
+            &ExecConfig {
+                io: self.io,
+                replica_choice: ReplicaChoice::PreferLocalRandom,
+                seed: self.seed ^ 0xE2,
+                ..Default::default()
+            },
+        );
+        ExperimentRun {
+            result,
+            planning_seconds,
+        }
+    }
+}
+
+/// Strategies for the ParaView run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParaViewStrategy {
+    /// Stock vtkXMLCompositeDataReader rank-interval assignment.
+    Default,
+    /// Opass hooked into ReadXMLData (per-step max-flow matching).
+    Opass,
+}
+
+/// Result of a multi-step ParaView run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParaViewRunResult {
+    /// All steps chained into one trace.
+    pub combined: RunResult,
+    /// Makespan of every rendering step.
+    pub step_makespans: Vec<f64>,
+    /// Total planning seconds across steps.
+    pub planning_seconds: f64,
+}
+
+/// The Section V-B experiment: multi-block rendering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParaViewExperiment {
+    /// Cluster size `m`.
+    pub n_nodes: usize,
+    /// Workload shape (library size, blocks per step, steps, block size,
+    /// render delay).
+    pub workload: ParaViewConfig,
+    /// Replication factor.
+    pub replication: u32,
+    /// Hardware calibration.
+    pub io: IoParams,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ParaViewExperiment {
+    fn default() -> Self {
+        ParaViewExperiment {
+            n_nodes: 64,
+            workload: ParaViewConfig::default(),
+            replication: 3,
+            io: IoParams::marmot(),
+            seed: 0x9A7A,
+        }
+    }
+}
+
+impl ParaViewExperiment {
+    /// Runs all rendering steps under a strategy.
+    pub fn run(&self, strategy: ParaViewStrategy) -> ParaViewRunResult {
+        let mut nn = Namenode::new(
+            self.n_nodes,
+            DfsConfig {
+                replication: self.replication,
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let run = pv_wl::generate(&mut nn, &self.workload, &Placement::Random, &mut rng);
+        let placement = ProcessPlacement::one_per_node(self.n_nodes);
+
+        let mut combined: Option<RunResult> = None;
+        let mut step_makespans = Vec::with_capacity(run.steps.len());
+        let mut planning_seconds = 0.0;
+        // The vtk reader overhead rides on the per-read latency: it delays
+        // every block read without consuming disk or network bandwidth.
+        let mut io = self.io;
+        io.local_latency += self.workload.reader_overhead_seconds;
+        io.remote_latency += self.workload.reader_overhead_seconds;
+        for (i, step) in run.steps.iter().enumerate() {
+            let started = Instant::now();
+            let assignment = match strategy {
+                ParaViewStrategy::Default => baseline::rank_interval(step.len(), self.n_nodes),
+                ParaViewStrategy::Opass => {
+                    OpassPlanner::default()
+                        .plan_single_data(&nn, step, &placement, self.seed ^ (i as u64))
+                        .assignment
+                }
+            };
+            planning_seconds += started.elapsed().as_secs_f64();
+            let result = execute(
+                &nn,
+                step,
+                &placement,
+                TaskSource::Static(assignment),
+                &ExecConfig {
+                    io,
+                    replica_choice: ReplicaChoice::PreferLocalRandom,
+                    seed: self.seed ^ 0xE3 ^ (i as u64) << 8,
+                    ..Default::default()
+                },
+            );
+            step_makespans.push(result.makespan);
+            match combined.as_mut() {
+                None => combined = Some(result),
+                Some(acc) => acc.chain(result),
+            }
+        }
+        ParaViewRunResult {
+            combined: combined.expect("at least one step"),
+            step_makespans,
+            planning_seconds,
+        }
+    }
+}
+
+/// Strategies for the racked-cluster extension experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RackedStrategy {
+    /// Rank-interval assignment, rack-oblivious reads.
+    Baseline,
+    /// Opass node-level matching only (reads prefer local, then rack).
+    OpassNodeOnly,
+    /// Two-tier Opass: node-local matching, then rack-local matching.
+    OpassRackAware,
+}
+
+/// The rack-locality extension experiment: a racked cluster with
+/// oversubscribed uplinks, HDFS rack-aware placement, and rack-preferring
+/// clients. Not in the paper (Marmot is single-switch); demonstrates that
+/// the matching framework extends to hierarchical locality. To make the
+/// second tier load-bearing, the last `late_per_rack` nodes of every rack
+/// join *after* the dataset is written — they hold no data, so their quota
+/// must be placed rack-locally (or shipped cross-rack by the baseline).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RackedExperiment {
+    /// Cluster size `m`.
+    pub n_nodes: usize,
+    /// Nodes per rack.
+    pub nodes_per_rack: usize,
+    /// Empty late-joining nodes per rack (hold no data).
+    pub late_per_rack: usize,
+    /// Rack uplink bandwidth per direction, bytes/second.
+    pub uplink_bandwidth: f64,
+    /// Chunks per process.
+    pub chunks_per_process: usize,
+    /// Chunk size, bytes.
+    pub chunk_size: u64,
+    /// Replication factor.
+    pub replication: u32,
+    /// Hardware calibration.
+    pub io: IoParams,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for RackedExperiment {
+    fn default() -> Self {
+        RackedExperiment {
+            n_nodes: 64,
+            nodes_per_rack: 8,
+            late_per_rack: 2,
+            // 8 nodes x 117 MB/s behind a ~468 MB/s uplink: 2:1
+            // oversubscription.
+            uplink_bandwidth: 4.0 * 117.0 * 1024.0 * 1024.0,
+            chunks_per_process: 10,
+            chunk_size: 64 << 20,
+            replication: 3,
+            io: IoParams::marmot(),
+            seed: 0x4ACC,
+        }
+    }
+}
+
+impl RackedExperiment {
+    /// Nodes that held data at write time (the first
+    /// `nodes_per_rack - late_per_rack` of every rack).
+    fn storage_nodes(&self) -> Vec<opass_dfs::NodeId> {
+        (0..self.n_nodes)
+            .filter(|i| i % self.nodes_per_rack < self.nodes_per_rack - self.late_per_rack)
+            .map(|i| opass_dfs::NodeId(i as u32))
+            .collect()
+    }
+
+    /// Runs the experiment under a strategy.
+    pub fn run(&self, strategy: RackedStrategy) -> ExperimentRun {
+        assert!(
+            self.late_per_rack < self.nodes_per_rack,
+            "a rack must keep at least one storage node"
+        );
+        let racks = RackMap::uniform(self.n_nodes, self.nodes_per_rack);
+        let mut nn = Namenode::new(
+            self.n_nodes,
+            DfsConfig {
+                replication: self.replication,
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n_chunks = self.n_nodes * self.chunks_per_process;
+        // Rack-aware placement restricted to the storage nodes (the late
+        // nodes join empty).
+        let placement_policy = Placement::RackAware {
+            racks: racks.clone(),
+        };
+        let storage = self.storage_nodes();
+        let spec = opass_dfs::DatasetSpec::uniform("racked", n_chunks, self.chunk_size);
+        let locations: Vec<Vec<opass_dfs::NodeId>> = (0..n_chunks)
+            .map(|i| placement_policy.place(i, self.replication as usize, &storage, &mut rng))
+            .collect();
+        let ds = nn.create_dataset_placed(&spec, locations);
+        let workload = Workload::new(
+            "racked",
+            nn.dataset(ds)
+                .expect("created")
+                .chunks
+                .iter()
+                .map(|&c| opass_workloads::Task::single(c))
+                .collect(),
+        );
+        let placement = ProcessPlacement::one_per_node(self.n_nodes);
+
+        let started = Instant::now();
+        let assignment = match strategy {
+            RackedStrategy::Baseline => baseline::rank_interval(workload.len(), self.n_nodes),
+            RackedStrategy::OpassNodeOnly => {
+                OpassPlanner::default()
+                    .plan_single_data(&nn, &workload, &placement, self.seed ^ 0x11)
+                    .assignment
+            }
+            RackedStrategy::OpassRackAware => {
+                OpassPlanner::default()
+                    .plan_single_data_rack_aware(
+                        &nn,
+                        &workload,
+                        &placement,
+                        &racks,
+                        self.seed ^ 0x12,
+                    )
+                    .assignment
+            }
+        };
+        let planning_seconds = started.elapsed().as_secs_f64();
+        let result = execute(
+            &nn,
+            &workload,
+            &placement,
+            TaskSource::Static(assignment),
+            &ExecConfig {
+                io: self.io,
+                topology: Topology::Racked {
+                    nodes_per_rack: self.nodes_per_rack,
+                    uplink_bandwidth: self.uplink_bandwidth,
+                },
+                replica_choice: ReplicaChoice::PreferLocalThenRack(racks),
+                seed: self.seed ^ 0xE4,
+                ..Default::default()
+            },
+        );
+        ExperimentRun {
+            result,
+            planning_seconds,
+        }
+    }
+
+    /// Fraction of reads in `result` that crossed a rack boundary.
+    pub fn cross_rack_fraction(&self, result: &RunResult) -> f64 {
+        if result.records.is_empty() {
+            return 0.0;
+        }
+        let racks = RackMap::uniform(self.n_nodes, self.nodes_per_rack);
+        let crossing = result
+            .records
+            .iter()
+            .filter(|r| !racks.same_rack(r.source, r.reader))
+            .count();
+        crossing as f64 / result.records.len() as f64
+    }
+}
+
+/// Strategies for the heterogeneous-cluster extension experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeteroStrategy {
+    /// Opass with uniform quotas (the paper's assumption).
+    OpassUniform,
+    /// Opass with quotas proportional to disk speed.
+    OpassWeighted,
+}
+
+/// The heterogeneous-cluster extension: a fraction of the nodes has slower
+/// disks; weighted quotas give fast nodes proportionally more tasks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeterogeneousExperiment {
+    /// Cluster size `m`.
+    pub n_nodes: usize,
+    /// Every `slow_every`-th node runs its disk at `slow_factor` speed.
+    pub slow_every: usize,
+    /// Disk speed multiplier of slow nodes (e.g. 0.5).
+    pub slow_factor: f64,
+    /// Chunks per process.
+    pub chunks_per_process: usize,
+    /// Chunk size, bytes.
+    pub chunk_size: u64,
+    /// Replication factor.
+    pub replication: u32,
+    /// Hardware calibration (fast-node baseline).
+    pub io: IoParams,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for HeterogeneousExperiment {
+    fn default() -> Self {
+        HeterogeneousExperiment {
+            n_nodes: 32,
+            slow_every: 2,
+            slow_factor: 0.5,
+            chunks_per_process: 10,
+            chunk_size: 64 << 20,
+            replication: 3,
+            io: IoParams::marmot(),
+            seed: 0x4E7,
+        }
+    }
+}
+
+impl HeterogeneousExperiment {
+    /// Per-node disk speed factors.
+    pub fn disk_factors(&self) -> Vec<f64> {
+        (0..self.n_nodes)
+            .map(|i| {
+                if self.slow_every > 0 && i % self.slow_every == 0 {
+                    self.slow_factor
+                } else {
+                    1.0
+                }
+            })
+            .collect()
+    }
+
+    /// Runs the experiment under a strategy.
+    ///
+    /// Note: `ExecConfig` models homogeneous clusters; this experiment
+    /// drives the simulator directly to apply per-node disk factors.
+    pub fn run(&self, strategy: HeteroStrategy) -> ExperimentRun {
+        let mut nn = Namenode::new(
+            self.n_nodes,
+            DfsConfig {
+                replication: self.replication,
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let cfg = SingleDataConfig {
+            n_procs: self.n_nodes,
+            chunks_per_process: self.chunks_per_process,
+            chunk_size: self.chunk_size,
+        };
+        let (_, workload) = single_wl::generate(&mut nn, &cfg, &Placement::Random, &mut rng);
+        let placement = ProcessPlacement::one_per_node(self.n_nodes);
+        let factors = self.disk_factors();
+
+        let started = Instant::now();
+        let assignment = match strategy {
+            HeteroStrategy::OpassUniform => {
+                OpassPlanner::default()
+                    .plan_single_data(&nn, &workload, &placement, self.seed ^ 0x21)
+                    .assignment
+            }
+            HeteroStrategy::OpassWeighted => {
+                OpassPlanner::default()
+                    .plan_single_data_weighted(
+                        &nn,
+                        &workload,
+                        &placement,
+                        &factors,
+                        self.seed ^ 0x22,
+                    )
+                    .assignment
+            }
+        };
+        let planning_seconds = started.elapsed().as_secs_f64();
+        let result = execute(
+            &nn,
+            &workload,
+            &placement,
+            TaskSource::Static(assignment),
+            &ExecConfig {
+                io: self.io,
+                disk_factors: Some(factors),
+                replica_choice: ReplicaChoice::PreferLocalRandom,
+                seed: self.seed ^ 0xE5,
+                ..Default::default()
+            },
+        );
+        ExperimentRun {
+            result,
+            planning_seconds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_io() -> IoParams {
+        IoParams::marmot()
+    }
+
+    #[test]
+    fn single_data_opass_beats_baseline() {
+        let exp = SingleDataExperiment {
+            n_nodes: 16,
+            chunks_per_process: 4,
+            io: tiny_io(),
+            ..Default::default()
+        };
+        let base = exp.run(SingleStrategy::RankInterval);
+        let opass = exp.run(SingleStrategy::Opass);
+        assert_eq!(base.result.records.len(), 64);
+        assert_eq!(opass.result.records.len(), 64);
+        assert!(
+            opass.result.local_fraction() > 0.9,
+            "opass locality {}",
+            opass.result.local_fraction()
+        );
+        assert!(base.result.local_fraction() < 0.5);
+        assert!(opass.result.io_summary().mean < base.result.io_summary().mean);
+        assert!(opass.result.makespan < base.result.makespan);
+    }
+
+    #[test]
+    fn same_seed_same_layout_across_strategies() {
+        let exp = SingleDataExperiment {
+            n_nodes: 8,
+            chunks_per_process: 2,
+            ..Default::default()
+        };
+        // Identical served-bytes *totals* (same data volume) even though
+        // distribution differs.
+        let a = exp.run(SingleStrategy::RankInterval);
+        let b = exp.run(SingleStrategy::Opass);
+        let ta: u64 = a.result.served_bytes.iter().sum();
+        let tb: u64 = b.result.served_bytes.iter().sum();
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn multi_data_opass_improves_but_less_than_single() {
+        let exp = MultiDataExperiment {
+            n_nodes: 16,
+            tasks_per_process: 4,
+            ..Default::default()
+        };
+        let base = exp.run(MultiStrategy::RankInterval);
+        let opass = exp.run(MultiStrategy::Opass);
+        assert!(opass.result.local_byte_fraction() > base.result.local_byte_fraction());
+        // Multi-input locality is partial by nature (paper Section V-A2).
+        assert!(opass.result.local_byte_fraction() < 1.0);
+    }
+
+    #[test]
+    fn dynamic_guided_beats_fifo() {
+        let exp = DynamicExperiment {
+            n_nodes: 16,
+            tasks_per_process: 4,
+            compute_median: 0.2,
+            ..Default::default()
+        };
+        let fifo = exp.run(DynamicStrategy::Fifo);
+        let guided = exp.run(DynamicStrategy::OpassGuided);
+        assert_eq!(fifo.result.records.len(), 64);
+        assert_eq!(guided.result.records.len(), 64);
+        assert!(guided.result.local_fraction() > fifo.result.local_fraction());
+        assert!(guided.result.io_summary().mean < fifo.result.io_summary().mean);
+    }
+
+    #[test]
+    fn racked_rack_aware_reduces_cross_rack_traffic() {
+        let exp = RackedExperiment {
+            n_nodes: 16,
+            nodes_per_rack: 4,
+            chunks_per_process: 4,
+            ..Default::default()
+        };
+        let base = exp.run(RackedStrategy::Baseline);
+        let node_only = exp.run(RackedStrategy::OpassNodeOnly);
+        let rack_aware = exp.run(RackedStrategy::OpassRackAware);
+        let xb = exp.cross_rack_fraction(&base.result);
+        let xn = exp.cross_rack_fraction(&node_only.result);
+        let xr = exp.cross_rack_fraction(&rack_aware.result);
+        assert!(xr <= xn + 1e-9, "rack-aware {xr} vs node-only {xn}");
+        assert!(xr < xb, "rack-aware {xr} vs baseline {xb}");
+        assert!(rack_aware.result.io_summary().mean <= base.result.io_summary().mean);
+    }
+
+    #[test]
+    fn hetero_weighted_quotas_shift_load_to_fast_nodes() {
+        let exp = HeterogeneousExperiment {
+            n_nodes: 16,
+            chunks_per_process: 6,
+            ..Default::default()
+        };
+        let uniform = exp.run(HeteroStrategy::OpassUniform);
+        let weighted = exp.run(HeteroStrategy::OpassWeighted);
+        // Weighted quotas should cut the makespan: slow disks hold fewer
+        // chunks to stream.
+        assert!(
+            weighted.result.makespan < uniform.result.makespan,
+            "weighted {} vs uniform {}",
+            weighted.result.makespan,
+            uniform.result.makespan
+        );
+    }
+
+    #[test]
+    fn delay_scheduling_sits_between_fifo_and_guided() {
+        let exp = DynamicExperiment {
+            n_nodes: 16,
+            tasks_per_process: 4,
+            compute_median: 0.2,
+            ..Default::default()
+        };
+        let fifo = exp.run(DynamicStrategy::Fifo);
+        let delay = exp.run(DynamicStrategy::DelayScheduling { max_skips: 16 });
+        let guided = exp.run(DynamicStrategy::OpassGuided);
+        assert!(delay.result.local_fraction() > fifo.result.local_fraction());
+        assert!(guided.result.local_fraction() >= delay.result.local_fraction() - 0.05);
+    }
+
+    #[test]
+    fn paraview_runs_all_steps() {
+        let exp = ParaViewExperiment {
+            n_nodes: 8,
+            workload: ParaViewConfig {
+                library_size: 32,
+                blocks_per_step: 8,
+                n_steps: 3,
+                block_size: 56 << 20,
+                render_seconds_per_block: 0.1,
+                reader_overhead_seconds: 0.0,
+            },
+            ..Default::default()
+        };
+        let base = exp.run(ParaViewStrategy::Default);
+        let opass = exp.run(ParaViewStrategy::Opass);
+        assert_eq!(base.step_makespans.len(), 3);
+        assert_eq!(base.combined.records.len(), 24);
+        assert!(opass.combined.makespan < base.combined.makespan);
+        assert!((base.combined.makespan - base.step_makespans.iter().sum::<f64>()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,344 @@
+//! The Opass planner — the paper's contribution as a library facade.
+//!
+//! Given the file-system layout, a workload, and where the parallel
+//! processes run, the planner produces assignments that maximize local,
+//! balanced reads:
+//!
+//! * [`OpassPlanner::plan_single_data`] — max-flow matching (Section IV-B);
+//! * [`OpassPlanner::plan_multi_data`] — Algorithm 1 (Section IV-C);
+//! * [`OpassPlanner::plan_dynamic`] — guided per-worker lists with
+//!   locality-aware stealing (Section IV-D).
+
+use crate::builder::{build_locality_graph, build_matching_values, build_rack_graph};
+use opass_dfs::{Namenode, RackMap};
+use opass_matching::{
+    assign_multi_data, locality_report, weighted_quotas, Assignment, FillPolicy, FlowAlgo,
+    GuidedScheduler, LocalityReport, Objective, SingleDataMatcher, TwoTierOutcome,
+};
+use opass_runtime::ProcessPlacement;
+use opass_workloads::Workload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Planner configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpassPlanner {
+    /// Max-flow implementation for the single-data matcher.
+    pub algo: FlowAlgo,
+    /// Fill policy for files the matching cannot place locally.
+    pub fill: FillPolicy,
+    /// Matching objective: file count (paper) or locally-kept bytes
+    /// (min-cost max-flow; preferable with mixed chunk sizes).
+    pub objective: Objective,
+}
+
+/// A single-data plan: assignment plus quality metrics.
+#[derive(Debug, Clone)]
+pub struct SingleDataPlan {
+    /// The balanced assignment to execute.
+    pub assignment: Assignment,
+    /// Files matched to co-located processes by max-flow.
+    pub matched_files: usize,
+    /// Files placed by the fill policy (will read remotely).
+    pub filled_files: usize,
+    /// Locality metrics under the produced assignment.
+    pub locality: LocalityReport,
+}
+
+/// A multi-data plan.
+#[derive(Debug, Clone)]
+pub struct MultiDataPlan {
+    /// The balanced assignment to execute.
+    pub assignment: Assignment,
+    /// Total bytes of task input co-located with the owning process.
+    pub matched_bytes: u64,
+    /// Total bytes demanded by the workload.
+    pub total_bytes: u64,
+    /// Trade-up events during Algorithm 1.
+    pub reassignments: usize,
+}
+
+impl MultiDataPlan {
+    /// Fraction of input bytes readable locally.
+    pub fn local_byte_fraction(&self) -> f64 {
+        if self.total_bytes == 0 {
+            return 1.0;
+        }
+        self.matched_bytes as f64 / self.total_bytes as f64
+    }
+}
+
+impl OpassPlanner {
+    /// Plans a single-input workload with the flow-network matcher.
+    ///
+    /// `seed` drives only the random fill of unmatched files.
+    pub fn plan_single_data(
+        &self,
+        namenode: &Namenode,
+        workload: &Workload,
+        placement: &ProcessPlacement,
+        seed: u64,
+    ) -> SingleDataPlan {
+        let graph = build_locality_graph(namenode, workload, placement);
+        let matcher = SingleDataMatcher {
+            algo: self.algo,
+            fill: self.fill,
+            objective: self.objective,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let outcome = matcher.assign(&graph, &mut rng);
+        let sizes: Vec<u64> = workload
+            .tasks
+            .iter()
+            .map(|t| namenode.chunk(t.inputs[0]).expect("chunk exists").size)
+            .collect();
+        let locality = locality_report(&outcome.assignment, &graph, &sizes);
+        SingleDataPlan {
+            assignment: outcome.assignment,
+            matched_files: outcome.matched_files,
+            filled_files: outcome.filled_files,
+            locality,
+        }
+    }
+
+    /// Plans a single-input workload on a racked cluster with two-tier
+    /// matching: node-local first, rack-local for the remainder, random
+    /// fill last (this repository's rack-locality extension).
+    pub fn plan_single_data_rack_aware(
+        &self,
+        namenode: &Namenode,
+        workload: &Workload,
+        placement: &ProcessPlacement,
+        racks: &RackMap,
+        seed: u64,
+    ) -> TwoTierOutcome {
+        let node_graph = build_locality_graph(namenode, workload, placement);
+        let rack_graph = build_rack_graph(namenode, workload, placement, racks);
+        let matcher = SingleDataMatcher {
+            algo: self.algo,
+            fill: self.fill,
+            objective: self.objective,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        matcher.assign_two_tier(&node_graph, &rack_graph, &mut rng)
+    }
+
+    /// Plans a single-input workload on a *heterogeneous* cluster: quotas
+    /// proportional to each process's `speed` (e.g. relative disk
+    /// bandwidth), so fast nodes take proportionally more tasks while
+    /// locality is still maximized by max-flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `speeds` has one entry per process.
+    pub fn plan_single_data_weighted(
+        &self,
+        namenode: &Namenode,
+        workload: &Workload,
+        placement: &ProcessPlacement,
+        speeds: &[f64],
+        seed: u64,
+    ) -> SingleDataPlan {
+        assert_eq!(speeds.len(), placement.n_procs(), "one speed per process");
+        let graph = build_locality_graph(namenode, workload, placement);
+        let quota = weighted_quotas(workload.len(), speeds);
+        let matcher = SingleDataMatcher {
+            algo: self.algo,
+            fill: self.fill,
+            objective: self.objective,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let outcome = matcher.assign_with_quotas(&graph, &quota, &mut rng);
+        let sizes: Vec<u64> = workload
+            .tasks
+            .iter()
+            .map(|t| namenode.chunk(t.inputs[0]).expect("chunk exists").size)
+            .collect();
+        let locality = locality_report(&outcome.assignment, &graph, &sizes);
+        SingleDataPlan {
+            assignment: outcome.assignment,
+            matched_files: outcome.matched_files,
+            filled_files: outcome.filled_files,
+            locality,
+        }
+    }
+
+    /// Plans a multi-input workload with Algorithm 1.
+    pub fn plan_multi_data(
+        &self,
+        namenode: &Namenode,
+        workload: &Workload,
+        placement: &ProcessPlacement,
+    ) -> MultiDataPlan {
+        let values = build_matching_values(namenode, workload, placement);
+        let outcome = assign_multi_data(&values);
+        let total_bytes =
+            workload.total_input_bytes(|c| namenode.chunk(c).expect("chunk exists").size);
+        MultiDataPlan {
+            assignment: outcome.assignment,
+            matched_bytes: outcome.matched_bytes,
+            total_bytes,
+            reassignments: outcome.reassignments,
+        }
+    }
+
+    /// Plans a dynamic run: computes a matching up front (single-data when
+    /// every task has one input, Algorithm 1 otherwise) and wraps it in the
+    /// guided scheduler.
+    pub fn plan_dynamic(
+        &self,
+        namenode: &Namenode,
+        workload: &Workload,
+        placement: &ProcessPlacement,
+        seed: u64,
+    ) -> GuidedScheduler {
+        let single_input = workload.tasks.iter().all(|t| t.inputs.len() == 1);
+        let values = build_matching_values(namenode, workload, placement);
+        let assignment = if single_input {
+            self.plan_single_data(namenode, workload, placement, seed)
+                .assignment
+        } else {
+            assign_multi_data(&values).assignment
+        };
+        GuidedScheduler::new(&assignment, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opass_dfs::{DatasetSpec, DfsConfig, Placement};
+    use opass_matching::DynamicScheduler;
+    use opass_workloads::Task;
+
+    fn fs(n_nodes: usize, n_chunks: usize) -> (Namenode, Workload) {
+        let mut nn = Namenode::new(n_nodes, DfsConfig::default());
+        let mut rng = StdRng::seed_from_u64(17);
+        let ds = nn.create_dataset(
+            &DatasetSpec::uniform("d", n_chunks, 64 << 20),
+            &Placement::Random,
+            &mut rng,
+        );
+        let tasks = nn
+            .dataset(ds)
+            .unwrap()
+            .chunks
+            .iter()
+            .map(|&c| Task::single(c))
+            .collect();
+        (nn, Workload::new("w", tasks))
+    }
+
+    #[test]
+    fn single_data_plan_is_balanced_and_mostly_local() {
+        let (nn, w) = fs(8, 80);
+        let placement = ProcessPlacement::one_per_node(8);
+        let plan = OpassPlanner::default().plan_single_data(&nn, &w, &placement, 3);
+        assert!(plan.assignment.is_balanced());
+        assert_eq!(plan.matched_files + plan.filled_files, 80);
+        // With r=3 on 8 nodes, nearly everything should match locally.
+        assert!(
+            plan.locality.task_fraction() > 0.9,
+            "local fraction {}",
+            plan.locality.task_fraction()
+        );
+    }
+
+    #[test]
+    fn multi_data_plan_counts_bytes() {
+        let mut nn = Namenode::new(6, DfsConfig::default());
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = nn.create_dataset(
+            &DatasetSpec::uniform("a", 12, 30 << 20),
+            &Placement::Random,
+            &mut rng,
+        );
+        let b = nn.create_dataset(
+            &DatasetSpec::uniform("b", 12, 20 << 20),
+            &Placement::Random,
+            &mut rng,
+        );
+        let ca = nn.dataset(a).unwrap().chunks.clone();
+        let cb = nn.dataset(b).unwrap().chunks.clone();
+        let w = Workload::new(
+            "multi",
+            (0..12).map(|i| Task::multi(vec![ca[i], cb[i]])).collect(),
+        );
+        let placement = ProcessPlacement::one_per_node(6);
+        let plan = OpassPlanner::default().plan_multi_data(&nn, &w, &placement);
+        assert!(plan.assignment.is_balanced());
+        assert_eq!(plan.total_bytes, 12 * (50 << 20));
+        assert!(plan.matched_bytes <= plan.total_bytes);
+        assert!(
+            plan.local_byte_fraction() > 0.3,
+            "{}",
+            plan.local_byte_fraction()
+        );
+    }
+
+    #[test]
+    fn dynamic_plan_dispenses_all_tasks() {
+        let (nn, w) = fs(6, 30);
+        let placement = ProcessPlacement::one_per_node(6);
+        let mut sched = OpassPlanner::default().plan_dynamic(&nn, &w, &placement, 1);
+        let mut count = 0;
+        while sched.next_task(count % 6).is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 30);
+    }
+
+    #[test]
+    fn bytes_objective_plan_keeps_more_bytes_on_mixed_sizes() {
+        // Two datasets with very different chunk sizes merged into one
+        // single-input workload: the bytes objective must keep at least as
+        // many bytes local as the unit objective.
+        let mut nn = Namenode::new(6, DfsConfig::default());
+        let mut rng = StdRng::seed_from_u64(77);
+        let big = nn.create_dataset(
+            &DatasetSpec::uniform("big", 12, 64 << 20),
+            &Placement::Random,
+            &mut rng,
+        );
+        let small = nn.create_dataset(
+            &DatasetSpec::uniform("small", 12, 4 << 20),
+            &Placement::Random,
+            &mut rng,
+        );
+        let mut chunks = nn.dataset(big).unwrap().chunks.clone();
+        chunks.extend(nn.dataset(small).unwrap().chunks.clone());
+        let w = Workload::new("mixed", chunks.iter().map(|&c| Task::single(c)).collect());
+        let placement = ProcessPlacement::one_per_node(6);
+        let unit = OpassPlanner::default().plan_single_data(&nn, &w, &placement, 1);
+        let bytes = OpassPlanner {
+            objective: opass_matching::Objective::MatchedBytes,
+            ..Default::default()
+        }
+        .plan_single_data(&nn, &w, &placement, 1);
+        assert_eq!(unit.matched_files, bytes.matched_files, "same cardinality");
+        assert!(
+            bytes.locality.local_bytes >= unit.locality.local_bytes,
+            "bytes {} < unit {}",
+            bytes.locality.local_bytes,
+            unit.locality.local_bytes
+        );
+    }
+
+    #[test]
+    fn planner_beats_rank_interval_locality() {
+        let (nn, w) = fs(16, 160);
+        let placement = ProcessPlacement::one_per_node(16);
+        let plan = OpassPlanner::default().plan_single_data(&nn, &w, &placement, 9);
+        // Rank-interval baseline locality for comparison.
+        let graph = crate::builder::build_locality_graph(&nn, &w, &placement);
+        let baseline = opass_runtime::baseline::rank_interval(160, 16);
+        let sizes = vec![64u64 << 20; 160];
+        let base_report = locality_report(&baseline, &graph, &sizes);
+        assert!(
+            plan.locality.task_fraction() > base_report.task_fraction() + 0.3,
+            "opass {} vs baseline {}",
+            plan.locality.task_fraction(),
+            base_report.task_fraction()
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Error types for file-system operations.
+
+use crate::ids::{ChunkId, DatasetId, NodeId};
+use std::fmt;
+
+/// Errors returned by [`crate::Namenode`] and the reader layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DfsError {
+    /// The chunk id is not registered.
+    UnknownChunk(ChunkId),
+    /// The dataset id is not registered.
+    UnknownDataset(DatasetId),
+    /// The node id is not registered.
+    UnknownNode(NodeId),
+    /// The node is decommissioned.
+    NodeDown(NodeId),
+    /// An operation would leave fewer alive nodes than replicas required.
+    InsufficientNodes {
+        /// Replicas required.
+        needed: usize,
+        /// Alive nodes that would remain.
+        available: usize,
+    },
+}
+
+impl fmt::Display for DfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfsError::UnknownChunk(c) => write!(f, "unknown chunk {c}"),
+            DfsError::UnknownDataset(d) => write!(f, "unknown dataset {d}"),
+            DfsError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            DfsError::NodeDown(n) => write!(f, "{n} is decommissioned"),
+            DfsError::InsufficientNodes { needed, available } => write!(
+                f,
+                "operation needs {needed} alive nodes but only {available} would remain"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DfsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            DfsError::UnknownChunk(ChunkId(3)).to_string(),
+            "unknown chunk chunk-3"
+        );
+        assert_eq!(
+            DfsError::NodeDown(NodeId(1)).to_string(),
+            "node-1 is decommissioned"
+        );
+        let e = DfsError::InsufficientNodes {
+            needed: 3,
+            available: 2,
+        };
+        assert!(e.to_string().contains("needs 3"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&DfsError::UnknownNode(NodeId(0)));
+    }
+}

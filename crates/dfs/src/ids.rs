@@ -1,0 +1,77 @@
+//! Strongly typed identifiers for cluster nodes, chunks, and datasets.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A cluster node (one DataNode in HDFS terms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// A chunk file (one HDFS block-sized file).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ChunkId(pub u64);
+
+/// A named dataset: an ordered collection of chunks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DatasetId(pub u32);
+
+impl NodeId {
+    /// Raw index into per-node tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ChunkId {
+    /// Raw index into the namenode's chunk table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl DatasetId {
+    /// Raw index into the namenode's dataset table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node-{}", self.0)
+    }
+}
+
+impl fmt::Display for ChunkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chunk-{}", self.0)
+    }
+}
+
+impl fmt::Display for DatasetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dataset-{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId(43).to_string(), "node-43");
+        assert_eq!(ChunkId(7).to_string(), "chunk-7");
+        assert_eq!(DatasetId(0).to_string(), "dataset-0");
+    }
+
+    #[test]
+    fn ids_order_by_raw_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(ChunkId(10) > ChunkId(9));
+        assert_eq!(NodeId(5).index(), 5);
+    }
+}

@@ -1,0 +1,186 @@
+//! Layout snapshots — what Opass retrieves from the namenode.
+//!
+//! A [`LayoutSnapshot`] is an immutable copy of the chunk→locations map for
+//! a set of chunks of interest, decoupling the optimizer from namenode
+//! mutations (the real system would fetch this over RPC via
+//! `getFileBlockLocations`). It also provides the inverse co-location view
+//! used to build the bipartite matching graph.
+
+use crate::ids::{ChunkId, NodeId};
+use crate::namenode::Namenode;
+use serde::{Deserialize, Serialize};
+
+/// One chunk's layout entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChunkLayout {
+    /// The chunk.
+    pub chunk: ChunkId,
+    /// Size in bytes.
+    pub size: u64,
+    /// Replica holders, sorted.
+    pub locations: Vec<NodeId>,
+}
+
+/// Immutable layout of a set of chunks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayoutSnapshot {
+    entries: Vec<ChunkLayout>,
+}
+
+impl LayoutSnapshot {
+    /// Captures the layout of `chunks` from the namenode, in the given
+    /// order (the order defines the task indexing downstream).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown chunk ids — snapshots are taken from ids the
+    /// namenode itself returned.
+    pub fn capture(namenode: &Namenode, chunks: &[ChunkId]) -> Self {
+        let entries = chunks
+            .iter()
+            .map(|&c| {
+                let meta = namenode.chunk(c).expect("chunk must exist");
+                ChunkLayout {
+                    chunk: c,
+                    size: meta.size,
+                    locations: meta.locations.clone(),
+                }
+            })
+            .collect();
+        LayoutSnapshot { entries }
+    }
+
+    /// Captures every chunk the namenode knows about, in id order.
+    pub fn capture_all(namenode: &Namenode) -> Self {
+        let ids: Vec<ChunkId> = namenode.chunks().iter().map(|c| c.id).collect();
+        Self::capture(namenode, &ids)
+    }
+
+    /// Entries in capture order.
+    pub fn entries(&self) -> &[ChunkLayout] {
+        &self.entries
+    }
+
+    /// Number of chunks in the snapshot.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sizes in capture order (the task demand vector).
+    pub fn sizes(&self) -> Vec<u64> {
+        self.entries.iter().map(|e| e.size).collect()
+    }
+
+    /// Total bytes in the snapshot.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.size).sum()
+    }
+
+    /// Chunk indices (into this snapshot) co-located with `node`, with
+    /// their sizes — the raw material for locality edges.
+    pub fn colocated_with(&self, node: NodeId) -> Vec<(usize, u64)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.locations.binary_search(&node).is_ok())
+            .map(|(i, e)| (i, e.size))
+            .collect()
+    }
+
+    /// Bytes stored per node among the snapshot's chunks, indexed by raw
+    /// node id (`n_nodes` sizes the vector).
+    pub fn bytes_per_node(&self, n_nodes: usize) -> Vec<u64> {
+        let mut out = vec![0u64; n_nodes];
+        for e in &self.entries {
+            for &n in &e.locations {
+                out[n.index()] += e.size;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::DatasetSpec;
+    use crate::namenode::DfsConfig;
+    use crate::placement::Placement;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Namenode, Vec<ChunkId>) {
+        let mut nn = Namenode::new(6, DfsConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        let id = nn.create_dataset(
+            &DatasetSpec::uniform("d", 12, 64),
+            &Placement::Random,
+            &mut rng,
+        );
+        let chunks = nn.dataset(id).unwrap().chunks.clone();
+        (nn, chunks)
+    }
+
+    #[test]
+    fn capture_preserves_order_and_sizes() {
+        let (nn, chunks) = setup();
+        let snap = LayoutSnapshot::capture(&nn, &chunks);
+        assert_eq!(snap.len(), 12);
+        assert!(!snap.is_empty());
+        assert_eq!(snap.total_bytes(), 12 * 64);
+        for (i, e) in snap.entries().iter().enumerate() {
+            assert_eq!(e.chunk, chunks[i]);
+            assert_eq!(e.size, 64);
+            assert_eq!(e.locations.len(), 3);
+        }
+    }
+
+    #[test]
+    fn capture_all_covers_everything() {
+        let (nn, _) = setup();
+        let snap = LayoutSnapshot::capture_all(&nn);
+        assert_eq!(snap.len(), nn.chunk_count());
+    }
+
+    #[test]
+    fn colocated_matches_namenode_view() {
+        let (nn, chunks) = setup();
+        let snap = LayoutSnapshot::capture(&nn, &chunks);
+        for node in nn.alive_nodes() {
+            let from_snap: Vec<ChunkId> = snap
+                .colocated_with(node)
+                .into_iter()
+                .map(|(i, _)| chunks[i])
+                .collect();
+            let from_nn: Vec<ChunkId> = nn.chunks_on(node).unwrap().to_vec();
+            assert_eq!(from_snap, from_nn, "{node}");
+        }
+    }
+
+    #[test]
+    fn bytes_per_node_sums_to_replicated_total() {
+        let (nn, chunks) = setup();
+        let snap = LayoutSnapshot::capture(&nn, &chunks);
+        let total: u64 = snap.bytes_per_node(nn.node_count()).iter().sum();
+        assert_eq!(total, snap.total_bytes() * 3);
+    }
+
+    #[test]
+    fn snapshot_is_immune_to_later_mutations() {
+        let (mut nn, chunks) = setup();
+        let snap = LayoutSnapshot::capture(&nn, &chunks);
+        let before = snap.entries()[0].locations.clone();
+        let mut rng = StdRng::seed_from_u64(9);
+        nn.decommission(before[0], &mut rng).unwrap();
+        assert_eq!(
+            snap.entries()[0].locations,
+            before,
+            "snapshot must not change"
+        );
+    }
+}

@@ -1,0 +1,254 @@
+//! Replica placement policies.
+//!
+//! HDFS decides where each chunk's `r` replicas live when the dataset is
+//! written. The paper's analysis assumes the default *random* placement
+//! ("data are randomly distributed within HDFS"); the writer-local and
+//! round-robin variants exist for the ablation study (Opass's benefit
+//! depends on how skewed placement is).
+
+use crate::ids::NodeId;
+use crate::topology::RackMap;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+/// How replicas are placed across alive nodes at write time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// `r` distinct nodes chosen uniformly at random — the HDFS default the
+    /// paper analyzes.
+    Random,
+    /// First replica on the writing node, remaining `r - 1` random — HDFS's
+    /// actual behaviour when the writer is a cluster node.
+    WriterLocal {
+        /// The node performing the write.
+        writer: NodeId,
+    },
+    /// Consecutive chunks start at consecutive nodes (`chunk i` →
+    /// nodes `i, i+1, …, i+r-1` mod alive count) — a perfectly even
+    /// distribution used as the "ideal" baseline in tests and ablations.
+    RoundRobin,
+    /// HDFS's production rack-aware policy (this repository's rack
+    /// extension): the first replica on a random node, the second and
+    /// third together on one *different* random rack, any further
+    /// replicas random. Survives a whole-rack failure while keeping
+    /// cross-rack write traffic low.
+    RackAware {
+        /// Node→rack membership.
+        racks: RackMap,
+    },
+}
+
+impl Placement {
+    /// Chooses the `replication` nodes for the `chunk_seq`-th chunk placed
+    /// under this policy. Returned nodes are distinct and sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replication` exceeds the number of alive nodes or is zero.
+    pub fn place(
+        &self,
+        chunk_seq: usize,
+        replication: usize,
+        alive: &[NodeId],
+        rng: &mut StdRng,
+    ) -> Vec<NodeId> {
+        assert!(replication >= 1, "replication must be at least 1");
+        assert!(
+            replication <= alive.len(),
+            "replication {replication} exceeds alive node count {}",
+            alive.len()
+        );
+        let mut chosen: Vec<NodeId> = match self {
+            Placement::Random => {
+                let mut pool: Vec<NodeId> = alive.to_vec();
+                pool.shuffle(rng);
+                pool.truncate(replication);
+                pool
+            }
+            Placement::WriterLocal { writer } => {
+                assert!(
+                    alive.contains(writer),
+                    "writer {writer} is not an alive node"
+                );
+                let mut pool: Vec<NodeId> = alive.iter().copied().filter(|n| n != writer).collect();
+                pool.shuffle(rng);
+                pool.truncate(replication - 1);
+                pool.push(*writer);
+                pool
+            }
+            Placement::RoundRobin => (0..replication)
+                .map(|k| alive[(chunk_seq + k) % alive.len()])
+                .collect(),
+            Placement::RackAware { racks } => {
+                let mut chosen: Vec<NodeId> = Vec::with_capacity(replication);
+                let mut pool: Vec<NodeId> = alive.to_vec();
+                pool.shuffle(rng);
+                let first = pool[0];
+                chosen.push(first);
+                if replication > 1 {
+                    // Second (and third) replica on one different rack.
+                    let other_racks: Vec<u32> = {
+                        let mut rs: Vec<u32> = pool
+                            .iter()
+                            .filter(|&&n| racks.rack_of(n) != racks.rack_of(first))
+                            .map(|&n| racks.rack_of(n))
+                            .collect();
+                        rs.sort_unstable();
+                        rs.dedup();
+                        rs
+                    };
+                    if let Some(&remote_rack) = other_racks.choose(rng) {
+                        let candidates: Vec<NodeId> = pool
+                            .iter()
+                            .copied()
+                            .filter(|&n| racks.rack_of(n) == remote_rack && !chosen.contains(&n))
+                            .collect();
+                        for n in candidates {
+                            if chosen.len() >= replication.min(3) {
+                                break;
+                            }
+                            chosen.push(n);
+                        }
+                    }
+                    // Fill any remainder (r > 3, tiny clusters, single
+                    // rack) from the shuffled pool.
+                    let leftovers: Vec<NodeId> = pool
+                        .iter()
+                        .copied()
+                        .filter(|n| !chosen.contains(n))
+                        .collect();
+                    for n in leftovers {
+                        if chosen.len() >= replication {
+                            break;
+                        }
+                        chosen.push(n);
+                    }
+                }
+                chosen
+            }
+        };
+        chosen.sort_unstable();
+        debug_assert!(
+            chosen.windows(2).all(|w| w[0] != w[1]),
+            "replicas must land on distinct nodes"
+        );
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn nodes(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn random_placement_gives_distinct_sorted_nodes() {
+        let alive = nodes(10);
+        let mut rng = StdRng::seed_from_u64(3);
+        for seq in 0..50 {
+            let locs = Placement::Random.place(seq, 3, &alive, &mut rng);
+            assert_eq!(locs.len(), 3);
+            assert!(locs.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn random_placement_covers_all_nodes_eventually() {
+        let alive = nodes(8);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut hit = [false; 8];
+        for seq in 0..200 {
+            for n in Placement::Random.place(seq, 3, &alive, &mut rng) {
+                hit[n.index()] = true;
+            }
+        }
+        assert!(hit.iter().all(|&h| h));
+    }
+
+    #[test]
+    fn writer_local_always_includes_writer() {
+        let alive = nodes(6);
+        let mut rng = StdRng::seed_from_u64(5);
+        for seq in 0..20 {
+            let locs = Placement::WriterLocal { writer: NodeId(2) }.place(seq, 3, &alive, &mut rng);
+            assert!(locs.contains(&NodeId(2)), "seq {seq}: {locs:?}");
+            assert_eq!(locs.len(), 3);
+        }
+    }
+
+    #[test]
+    fn round_robin_is_even() {
+        let alive = nodes(5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut counts = vec![0usize; 5];
+        for seq in 0..10 {
+            for n in Placement::RoundRobin.place(seq, 2, &alive, &mut rng) {
+                counts[n.index()] += 1;
+            }
+        }
+        // 10 chunks x 2 replicas over 5 nodes = exactly 4 each.
+        assert!(counts.iter().all(|&c| c == 4), "{counts:?}");
+    }
+
+    #[test]
+    fn replication_one_is_allowed() {
+        let alive = nodes(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let locs = Placement::Random.place(0, 1, &alive, &mut rng);
+        assert_eq!(locs.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds alive node count")]
+    fn rejects_replication_above_alive() {
+        let alive = nodes(2);
+        let mut rng = StdRng::seed_from_u64(1);
+        Placement::Random.place(0, 3, &alive, &mut rng);
+    }
+
+    #[test]
+    fn rack_aware_spans_exactly_two_racks_at_r3() {
+        let alive = nodes(12);
+        let racks = RackMap::uniform(12, 4);
+        let placement = Placement::RackAware {
+            racks: racks.clone(),
+        };
+        let mut rng = StdRng::seed_from_u64(8);
+        for seq in 0..50 {
+            let locs = placement.place(seq, 3, &alive, &mut rng);
+            assert_eq!(locs.len(), 3);
+            let mut rs: Vec<u32> = locs.iter().map(|&n| racks.rack_of(n)).collect();
+            rs.sort_unstable();
+            rs.dedup();
+            assert_eq!(
+                rs.len(),
+                2,
+                "seq {seq}: replicas must span two racks, got {locs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rack_aware_single_rack_degrades_gracefully() {
+        let alive = nodes(4);
+        let racks = RackMap::uniform(4, 4); // everything in rack 0
+        let placement = Placement::RackAware { racks };
+        let mut rng = StdRng::seed_from_u64(3);
+        let locs = placement.place(0, 3, &alive, &mut rng);
+        assert_eq!(locs.len(), 3);
+    }
+
+    #[test]
+    fn rack_aware_replication_one_is_single_node() {
+        let alive = nodes(8);
+        let racks = RackMap::uniform(8, 4);
+        let placement = Placement::RackAware { racks };
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(placement.place(0, 1, &alive, &mut rng).len(), 1);
+    }
+}

@@ -1,0 +1,188 @@
+//! Replica selection — which node serves a read.
+//!
+//! The paper (Section V setup): "When reading data, the client will attempt
+//! to read from a local disk. If the required data is not on a local disk,
+//! the client will read data from another node that is chosen at random."
+//! [`ReplicaChoice::PreferLocalRandom`] is that default; the other variants
+//! support the ablation study and Opass-directed sourcing.
+
+use crate::ids::{ChunkId, NodeId};
+use crate::topology::RackMap;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use std::collections::HashMap;
+
+/// Policy deciding which replica holder serves a chunk read.
+#[derive(Debug, Clone, Default)]
+pub enum ReplicaChoice {
+    /// Local replica when present, otherwise a uniformly random holder —
+    /// the HDFS default behaviour the paper evaluates against.
+    #[default]
+    PreferLocalRandom,
+    /// Always a uniformly random holder, even when a local copy exists.
+    /// Models locality-oblivious clients (worst case).
+    RandomReplica,
+    /// A fixed source per chunk (e.g. chosen by a planner to spread load);
+    /// falls back to prefer-local-random for unmapped chunks.
+    Directed(HashMap<ChunkId, NodeId>),
+    /// Local replica when present, else a random *same-rack* holder, else
+    /// a random holder — HDFS's rack-aware client behaviour (this
+    /// repository's rack extension).
+    PreferLocalThenRack(RackMap),
+}
+
+impl ReplicaChoice {
+    /// Selects the serving node for `chunk` read by a process on `reader`.
+    ///
+    /// `locations` must be the chunk's replica holders (non-empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `locations` is empty or a directed source is not among the
+    /// holders (a planner bug worth failing loudly on).
+    pub fn select(
+        &self,
+        chunk: ChunkId,
+        reader: NodeId,
+        locations: &[NodeId],
+        rng: &mut StdRng,
+    ) -> NodeId {
+        assert!(!locations.is_empty(), "chunk {chunk} has no replicas");
+        match self {
+            ReplicaChoice::PreferLocalRandom => {
+                if locations.contains(&reader) {
+                    reader
+                } else {
+                    *locations.choose(rng).expect("non-empty locations")
+                }
+            }
+            ReplicaChoice::RandomReplica => *locations.choose(rng).expect("non-empty locations"),
+            ReplicaChoice::Directed(map) => match map.get(&chunk) {
+                Some(&src) => {
+                    assert!(
+                        locations.contains(&src),
+                        "directed source {src} does not hold {chunk}"
+                    );
+                    src
+                }
+                None => ReplicaChoice::PreferLocalRandom.select(chunk, reader, locations, rng),
+            },
+            ReplicaChoice::PreferLocalThenRack(racks) => {
+                if locations.contains(&reader) {
+                    return reader;
+                }
+                let same_rack: Vec<NodeId> = locations
+                    .iter()
+                    .copied()
+                    .filter(|&n| racks.same_rack(n, reader))
+                    .collect();
+                match same_rack.choose(rng) {
+                    Some(&n) => n,
+                    None => *locations.choose(rng).expect("non-empty locations"),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn prefer_local_picks_reader_when_colocated() {
+        let locs = [NodeId(1), NodeId(4), NodeId(6)];
+        let mut r = rng();
+        for _ in 0..10 {
+            let s = ReplicaChoice::PreferLocalRandom.select(ChunkId(0), NodeId(4), &locs, &mut r);
+            assert_eq!(s, NodeId(4));
+        }
+    }
+
+    #[test]
+    fn prefer_local_falls_back_to_random_holder() {
+        let locs = [NodeId(1), NodeId(4), NodeId(6)];
+        let mut r = rng();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let s = ReplicaChoice::PreferLocalRandom.select(ChunkId(0), NodeId(9), &locs, &mut r);
+            assert!(locs.contains(&s));
+            seen.insert(s);
+        }
+        assert_eq!(seen.len(), 3, "all holders should be hit eventually");
+    }
+
+    #[test]
+    fn random_replica_ignores_locality() {
+        let locs = [NodeId(1), NodeId(4)];
+        let mut r = rng();
+        let mut picked_remote = false;
+        for _ in 0..50 {
+            let s = ReplicaChoice::RandomReplica.select(ChunkId(0), NodeId(1), &locs, &mut r);
+            if s != NodeId(1) {
+                picked_remote = true;
+            }
+        }
+        assert!(
+            picked_remote,
+            "random policy must sometimes skip the local copy"
+        );
+    }
+
+    #[test]
+    fn directed_uses_map_and_falls_back() {
+        let locs = [NodeId(1), NodeId(4)];
+        let mut map = HashMap::new();
+        map.insert(ChunkId(0), NodeId(4));
+        let policy = ReplicaChoice::Directed(map);
+        let mut r = rng();
+        assert_eq!(
+            policy.select(ChunkId(0), NodeId(1), &locs, &mut r),
+            NodeId(4)
+        );
+        // Unmapped chunk: prefer-local fallback.
+        assert_eq!(
+            policy.select(ChunkId(1), NodeId(1), &locs, &mut r),
+            NodeId(1)
+        );
+    }
+
+    #[test]
+    fn rack_preference_picks_same_rack_holder() {
+        let racks = RackMap::uniform(8, 4); // racks {0..3}, {4..7}
+        let policy = ReplicaChoice::PreferLocalThenRack(racks);
+        let locs = [NodeId(2), NodeId(5), NodeId(6)];
+        let mut r = rng();
+        for _ in 0..20 {
+            // Reader 1 is in rack 0; only holder 2 shares it.
+            assert_eq!(
+                policy.select(ChunkId(0), NodeId(1), &locs, &mut r),
+                NodeId(2)
+            );
+            // Reader 2 holds the chunk itself.
+            assert_eq!(
+                policy.select(ChunkId(0), NodeId(2), &locs, &mut r),
+                NodeId(2)
+            );
+        }
+        // Reader with no same-rack holder falls back to any holder.
+        let far_locs = [NodeId(5), NodeId(6)];
+        let picked = policy.select(ChunkId(0), NodeId(0), &far_locs, &mut r);
+        assert!(far_locs.contains(&picked));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold")]
+    fn directed_source_must_hold_chunk() {
+        let locs = [NodeId(1)];
+        let mut map = HashMap::new();
+        map.insert(ChunkId(0), NodeId(9));
+        let mut r = rng();
+        ReplicaChoice::Directed(map).select(ChunkId(0), NodeId(1), &locs, &mut r);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for the file-system substrate.
+//!
+//! Invariants on randomized configurations and operation sequences:
+//! * every placement policy returns distinct, sorted, alive nodes of the
+//!   requested count;
+//! * namenode invariants (replica counts, index consistency) survive
+//!   arbitrary sequences of dataset creation, node addition, and
+//!   decommission;
+//! * replica selection always returns a holder;
+//! * layout snapshots agree with the namenode at capture time.
+
+use opass_dfs::{
+    ChunkId, DatasetSpec, DfsConfig, LayoutSnapshot, Namenode, NodeId, Placement, RackMap,
+    ReplicaChoice,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn node_ids(n: usize) -> Vec<NodeId> {
+    (0..n as u32).map(NodeId).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn placements_return_distinct_alive_nodes(
+        n_nodes in 3usize..20,
+        replication in 1usize..4,
+        seq in 0usize..100,
+        seed in 0u64..500,
+        policy_pick in 0usize..4,
+    ) {
+        prop_assume!(replication <= n_nodes);
+        let alive = node_ids(n_nodes);
+        let racks = RackMap::uniform(n_nodes, 4.min(n_nodes));
+        let policy = match policy_pick {
+            0 => Placement::Random,
+            1 => Placement::WriterLocal { writer: NodeId((seed % n_nodes as u64) as u32) },
+            2 => Placement::RoundRobin,
+            _ => Placement::RackAware { racks },
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let locs = policy.place(seq, replication, &alive, &mut rng);
+        prop_assert_eq!(locs.len(), replication);
+        for w in locs.windows(2) {
+            prop_assert!(w[0] < w[1], "locations must be sorted and distinct");
+        }
+        for n in &locs {
+            prop_assert!(alive.contains(n));
+        }
+    }
+
+    #[test]
+    fn namenode_invariants_survive_churn(
+        n_nodes in 4usize..12,
+        ops in proptest::collection::vec((0u8..3, 0u64..1000), 1..12),
+    ) {
+        let mut nn = Namenode::new(n_nodes, DfsConfig::default());
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut created = 0usize;
+        for (op, arg) in ops {
+            match op {
+                0 => {
+                    // Create a small dataset.
+                    let spec = DatasetSpec::uniform(
+                        format!("d{created}"),
+                        (arg % 8 + 1) as usize,
+                        1 + arg % 64,
+                    );
+                    nn.create_dataset(&spec, &Placement::Random, &mut rng);
+                    created += 1;
+                }
+                1 => {
+                    nn.add_node();
+                }
+                _ => {
+                    // Try to decommission an arbitrary node; failures
+                    // (already down, too few alive) are fine — invariants
+                    // must hold either way.
+                    let victim = NodeId((arg % nn.node_count() as u64) as u32);
+                    let _ = nn.decommission(victim, &mut rng);
+                }
+            }
+            prop_assert!(nn.check_invariants().is_ok(), "{:?}", nn.check_invariants());
+        }
+    }
+
+    #[test]
+    fn replica_choice_always_returns_a_holder(
+        n_nodes in 3usize..16,
+        reader in 0usize..16,
+        seed in 0u64..300,
+        policy_pick in 0usize..3,
+    ) {
+        prop_assume!(reader < n_nodes);
+        let mut nn = Namenode::new(n_nodes.max(3), DfsConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ds = nn.create_dataset(
+            &DatasetSpec::uniform("d", 6, 10),
+            &Placement::Random,
+            &mut rng,
+        );
+        let racks = RackMap::uniform(nn.node_count(), 4.min(nn.node_count()));
+        let policy = match policy_pick {
+            0 => ReplicaChoice::PreferLocalRandom,
+            1 => ReplicaChoice::RandomReplica,
+            _ => ReplicaChoice::PreferLocalThenRack(racks),
+        };
+        for &chunk in &nn.dataset(ds).unwrap().chunks {
+            let locations = nn.locate(chunk).unwrap();
+            let picked = policy.select(chunk, NodeId(reader as u32), locations, &mut rng);
+            prop_assert!(locations.contains(&picked));
+        }
+    }
+
+    #[test]
+    fn snapshot_matches_namenode(
+        n_chunks in 1usize..30,
+        seed in 0u64..300,
+    ) {
+        let mut nn = Namenode::new(8, DfsConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ds = nn.create_dataset(
+            &DatasetSpec::uniform("d", n_chunks, 64),
+            &Placement::Random,
+            &mut rng,
+        );
+        let chunks = nn.dataset(ds).unwrap().chunks.clone();
+        let snap = LayoutSnapshot::capture(&nn, &chunks);
+        prop_assert_eq!(snap.len(), n_chunks);
+        for (i, entry) in snap.entries().iter().enumerate() {
+            prop_assert_eq!(entry.chunk, chunks[i]);
+            prop_assert_eq!(&entry.locations[..], nn.locate(chunks[i]).unwrap());
+        }
+        prop_assert_eq!(snap.total_bytes(), n_chunks as u64 * 64);
+    }
+
+    #[test]
+    fn chunk_payload_prefixes_are_consistent(
+        id in 0u64..10_000,
+        short in 1usize..128,
+        long in 128usize..1024,
+    ) {
+        use opass_dfs::datanode::chunk_payload;
+        let a = chunk_payload(ChunkId(id), short);
+        let b = chunk_payload(ChunkId(id), long);
+        prop_assert_eq!(&b[..short], &a[..]);
+    }
+}

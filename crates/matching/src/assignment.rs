@@ -1,0 +1,189 @@
+//! Task-to-process assignments and their quality metrics.
+//!
+//! Every matcher in this crate produces an [`Assignment`]; the runtime crate
+//! executes one, and the figure harness reports its locality and balance.
+
+use crate::graph::BipartiteGraph;
+use serde::{Deserialize, Serialize};
+
+/// A complete mapping of `n_tasks` tasks onto `n_procs` processes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// `owner[t]` = process that executes task `t`.
+    owner: Vec<usize>,
+    /// `per_proc[p]` = tasks of process `p`, in assignment order.
+    per_proc: Vec<Vec<usize>>,
+}
+
+impl Assignment {
+    /// Builds an assignment from an owner vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any owner index is `>= n_procs`.
+    pub fn from_owners(owner: Vec<usize>, n_procs: usize) -> Self {
+        let mut per_proc = vec![Vec::new(); n_procs];
+        for (task, &p) in owner.iter().enumerate() {
+            assert!(p < n_procs, "task {task} assigned to unknown process {p}");
+            per_proc[p].push(task);
+        }
+        Assignment { owner, per_proc }
+    }
+
+    /// Number of tasks.
+    pub fn n_tasks(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Number of processes.
+    pub fn n_procs(&self) -> usize {
+        self.per_proc.len()
+    }
+
+    /// The process that owns `task`.
+    pub fn owner_of(&self, task: usize) -> usize {
+        self.owner[task]
+    }
+
+    /// Tasks assigned to `proc`, in assignment order.
+    pub fn tasks_of(&self, proc: usize) -> &[usize] {
+        &self.per_proc[proc]
+    }
+
+    /// The owner vector (task index → process index).
+    pub fn owners(&self) -> &[usize] {
+        &self.owner
+    }
+
+    /// Task counts per process.
+    pub fn load_vector(&self) -> Vec<usize> {
+        self.per_proc.iter().map(Vec::len).collect()
+    }
+
+    /// Largest minus smallest per-process task count; 0 means perfectly
+    /// balanced, ≤1 is the best achievable when `n_tasks % n_procs != 0`.
+    pub fn load_spread(&self) -> usize {
+        let loads = self.load_vector();
+        match (loads.iter().max(), loads.iter().min()) {
+            (Some(&max), Some(&min)) => max - min,
+            _ => 0,
+        }
+    }
+
+    /// True when per-process loads differ by at most one task — the paper's
+    /// "equal number of tasks" requirement.
+    pub fn is_balanced(&self) -> bool {
+        self.load_spread() <= 1
+    }
+}
+
+/// Locality metrics of an assignment against a bipartite locality graph
+/// whose files coincide with the assignment's tasks (single-data case).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocalityReport {
+    /// Tasks whose data is fully local to their owner.
+    pub local_tasks: usize,
+    /// Total tasks.
+    pub total_tasks: usize,
+    /// Bytes readable locally under this assignment.
+    pub local_bytes: u64,
+    /// Total bytes demanded by all tasks.
+    pub total_bytes: u64,
+}
+
+impl LocalityReport {
+    /// Fraction of tasks served locally.
+    pub fn task_fraction(&self) -> f64 {
+        if self.total_tasks == 0 {
+            return 1.0;
+        }
+        self.local_tasks as f64 / self.total_tasks as f64
+    }
+
+    /// Fraction of bytes served locally.
+    pub fn byte_fraction(&self) -> f64 {
+        if self.total_bytes == 0 {
+            return 1.0;
+        }
+        self.local_bytes as f64 / self.total_bytes as f64
+    }
+}
+
+/// Scores a single-data assignment: task `t` is local iff the graph has an
+/// edge between its owner and file `t`. `file_sizes[t]` gives each task's
+/// demand in bytes.
+pub fn locality_report(
+    assignment: &Assignment,
+    graph: &BipartiteGraph,
+    file_sizes: &[u64],
+) -> LocalityReport {
+    assert_eq!(assignment.n_tasks(), graph.n_files(), "task/file mismatch");
+    assert_eq!(file_sizes.len(), graph.n_files(), "size vector mismatch");
+    let mut local_tasks = 0usize;
+    let mut local_bytes = 0u64;
+    for (task, &size) in file_sizes.iter().enumerate() {
+        if graph.weight(assignment.owner_of(task), task).is_some() {
+            local_tasks += 1;
+            local_bytes += size;
+        }
+    }
+    LocalityReport {
+        local_tasks,
+        total_tasks: assignment.n_tasks(),
+        local_bytes,
+        total_bytes: file_sizes.iter().sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_owners_builds_per_proc_lists() {
+        let a = Assignment::from_owners(vec![0, 1, 0, 1], 2);
+        assert_eq!(a.tasks_of(0), &[0, 2]);
+        assert_eq!(a.tasks_of(1), &[1, 3]);
+        assert_eq!(a.owner_of(3), 1);
+        assert!(a.is_balanced());
+        assert_eq!(a.load_spread(), 0);
+    }
+
+    #[test]
+    fn imbalanced_assignment_detected() {
+        let a = Assignment::from_owners(vec![0, 0, 0, 1], 2);
+        assert!(!a.is_balanced());
+        assert_eq!(a.load_spread(), 2);
+        assert_eq!(a.load_vector(), vec![3, 1]);
+    }
+
+    #[test]
+    fn locality_report_counts_edges() {
+        let mut g = BipartiteGraph::new(2, 3);
+        g.add_edge(0, 0, 10);
+        g.add_edge(1, 1, 20);
+        // task 2 has no locality anywhere
+        let a = Assignment::from_owners(vec![0, 1, 0], 2);
+        let report = locality_report(&a, &g, &[10, 20, 30]);
+        assert_eq!(report.local_tasks, 2);
+        assert_eq!(report.local_bytes, 30);
+        assert_eq!(report.total_bytes, 60);
+        assert!((report.task_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((report.byte_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_assignment_is_fully_local() {
+        let g = BipartiteGraph::new(1, 0);
+        let a = Assignment::from_owners(vec![], 1);
+        let report = locality_report(&a, &g, &[]);
+        assert_eq!(report.task_fraction(), 1.0);
+        assert_eq!(report.byte_fraction(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown process")]
+    fn rejects_bad_owner() {
+        let _ = Assignment::from_owners(vec![2], 2);
+    }
+}

@@ -1,0 +1,178 @@
+//! The process-to-data bipartite graph (paper Section IV-A, Figure 4).
+//!
+//! Vertices are parallel processes on one side and chunk files on the other.
+//! An edge `(p, f)` means a replica of `f` lives on the node where process
+//! `p` runs; its weight is the number of bytes of `f` that `p` could read
+//! locally (the full chunk size in HDFS, since replication is whole-chunk).
+//! Opass builds this graph from the file-system layout and feeds it to the
+//! matchers in [`crate::single_data`] and [`crate::multi_data`].
+
+use serde::{Deserialize, Serialize};
+
+/// Weighted bipartite graph between `n_procs` processes and `n_files` files.
+///
+/// Indices are dense (`0..n_procs`, `0..n_files`); richer identifiers are
+/// mapped by the caller. Duplicate edges are merged by taking the larger
+/// weight (a process is either co-located with a chunk or not; HDFS never
+/// stores two replicas of one chunk on a node).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BipartiteGraph {
+    n_procs: usize,
+    n_files: usize,
+    /// Per-process adjacency: sorted `(file, bytes)` pairs.
+    proc_adj: Vec<Vec<(usize, u64)>>,
+    /// Per-file adjacency: sorted `(proc, bytes)` pairs.
+    file_adj: Vec<Vec<(usize, u64)>>,
+}
+
+impl BipartiteGraph {
+    /// Creates an empty graph with the given vertex counts.
+    pub fn new(n_procs: usize, n_files: usize) -> Self {
+        BipartiteGraph {
+            n_procs,
+            n_files,
+            proc_adj: vec![Vec::new(); n_procs],
+            file_adj: vec![Vec::new(); n_files],
+        }
+    }
+
+    /// Number of process vertices.
+    pub fn n_procs(&self) -> usize {
+        self.n_procs
+    }
+
+    /// Number of file vertices.
+    pub fn n_files(&self) -> usize {
+        self.n_files
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.proc_adj.iter().map(Vec::len).sum()
+    }
+
+    /// Adds (or widens) the locality edge between `proc` and `file`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range or `bytes` is zero.
+    pub fn add_edge(&mut self, proc: usize, file: usize, bytes: u64) {
+        assert!(proc < self.n_procs, "process index {proc} out of range");
+        assert!(file < self.n_files, "file index {file} out of range");
+        assert!(bytes > 0, "locality edges must carry positive bytes");
+        upsert(&mut self.proc_adj[proc], file, bytes);
+        upsert(&mut self.file_adj[file], proc, bytes);
+    }
+
+    /// Bytes of `file` readable locally by `proc`, or `None` if not
+    /// co-located.
+    pub fn weight(&self, proc: usize, file: usize) -> Option<u64> {
+        debug_assert!(proc < self.n_procs && file < self.n_files);
+        self.proc_adj[proc]
+            .binary_search_by_key(&file, |&(f, _)| f)
+            .ok()
+            .map(|i| self.proc_adj[proc][i].1)
+    }
+
+    /// Files co-located with `proc`, as sorted `(file, bytes)` pairs.
+    pub fn files_of(&self, proc: usize) -> &[(usize, u64)] {
+        &self.proc_adj[proc]
+    }
+
+    /// Processes co-located with `file`, as sorted `(proc, bytes)` pairs.
+    pub fn procs_of(&self, file: usize) -> &[(usize, u64)] {
+        &self.file_adj[file]
+    }
+
+    /// Sum of the weights of all edges incident to `proc` — the paper's
+    /// `d(p_i)`, the total data available locally to the process.
+    pub fn local_bytes_of(&self, proc: usize) -> u64 {
+        self.proc_adj[proc].iter().map(|&(_, b)| b).sum()
+    }
+
+    /// Files with no co-located process at all (isolated file vertices);
+    /// these can never be read locally and force remote assignments.
+    pub fn isolated_files(&self) -> Vec<usize> {
+        (0..self.n_files)
+            .filter(|&f| self.file_adj[f].is_empty())
+            .collect()
+    }
+
+    /// Upper bound on any matching: a full matching assigns every file to a
+    /// co-located process, so the bound is the number of non-isolated files.
+    pub fn full_matching_size(&self) -> usize {
+        self.n_files - self.isolated_files().len()
+    }
+}
+
+fn upsert(adj: &mut Vec<(usize, u64)>, key: usize, bytes: u64) {
+    match adj.binary_search_by_key(&key, |&(k, _)| k) {
+        Ok(i) => adj[i].1 = adj[i].1.max(bytes),
+        Err(i) => adj.insert(i, (key, bytes)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = BipartiteGraph::new(3, 5);
+        assert_eq!(g.n_procs(), 3);
+        assert_eq!(g.n_files(), 5);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.isolated_files().len(), 5);
+        assert_eq!(g.full_matching_size(), 0);
+    }
+
+    #[test]
+    fn add_and_query_edges() {
+        let mut g = BipartiteGraph::new(2, 3);
+        g.add_edge(0, 1, 64);
+        g.add_edge(0, 2, 64);
+        g.add_edge(1, 1, 64);
+        assert_eq!(g.weight(0, 1), Some(64));
+        assert_eq!(g.weight(1, 0), None);
+        assert_eq!(g.files_of(0), &[(1, 64), (2, 64)]);
+        assert_eq!(g.procs_of(1), &[(0, 64), (1, 64)]);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.local_bytes_of(0), 128);
+        assert_eq!(g.isolated_files(), vec![0]);
+        assert_eq!(g.full_matching_size(), 2);
+    }
+
+    #[test]
+    fn duplicate_edges_keep_max_weight() {
+        let mut g = BipartiteGraph::new(1, 1);
+        g.add_edge(0, 0, 10);
+        g.add_edge(0, 0, 30);
+        g.add_edge(0, 0, 20);
+        assert_eq!(g.weight(0, 0), Some(30));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn adjacency_stays_sorted() {
+        let mut g = BipartiteGraph::new(1, 10);
+        for f in [7usize, 2, 9, 0, 4] {
+            g.add_edge(0, f, 1);
+        }
+        let files: Vec<usize> = g.files_of(0).iter().map(|&(f, _)| f).collect();
+        assert_eq!(files, vec![0, 2, 4, 7, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_index() {
+        let mut g = BipartiteGraph::new(1, 1);
+        g.add_edge(1, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bytes")]
+    fn rejects_zero_weight() {
+        let mut g = BipartiteGraph::new(1, 1);
+        g.add_edge(0, 0, 0);
+    }
+}

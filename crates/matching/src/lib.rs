@@ -1,0 +1,56 @@
+//! # opass-matching — matching-based parallel data-access optimizers
+//!
+//! The algorithmic heart of the Opass reproduction (paper Section IV):
+//!
+//! * [`graph`] — the process↔chunk bipartite locality graph built from the
+//!   file-system layout (Figure 4);
+//! * [`maxflow`] — Edmonds–Karp (as in the paper) and Dinic implementations
+//!   over one residual network representation;
+//! * [`single_data`] — the flow-network matcher for equal-quota tasks with
+//!   one input each (Section IV-B, Figure 5), with the paper's random fill
+//!   for unmatched files plus a least-loaded ablation variant;
+//! * [`multi_data`] — Algorithm 1 for tasks with several inputs
+//!   (Section IV-C, Figure 6): quota-constrained deferred acceptance with
+//!   strict trade-up;
+//! * [`dynamic`] — the guided master/worker scheduler (Section IV-D):
+//!   per-worker lists from a matching, locality-aware stealing from the
+//!   longest list, plus the FIFO baseline;
+//! * [`stable_marriage`] — reference Gale–Shapley, the one-to-one ancestor
+//!   the paper cites;
+//! * [`assignment`] — the shared assignment type and locality/balance
+//!   metrics.
+//!
+//! ```
+//! use opass_matching::{BipartiteGraph, SingleDataMatcher};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // Two processes, four chunks; each process co-located with two chunks.
+//! let mut graph = BipartiteGraph::new(2, 4);
+//! graph.add_edge(0, 0, 64); graph.add_edge(0, 1, 64);
+//! graph.add_edge(1, 2, 64); graph.add_edge(1, 3, 64);
+//!
+//! let out = SingleDataMatcher::default().assign(&graph, &mut StdRng::seed_from_u64(1));
+//! assert_eq!(out.matched_files, 4);       // full matching: all reads local
+//! assert!(out.assignment.is_balanced());  // two tasks each
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod assignment;
+pub mod dynamic;
+pub mod graph;
+pub mod maxflow;
+pub mod multi_data;
+pub mod single_data;
+pub mod stable_marriage;
+
+pub use assignment::{locality_report, Assignment, LocalityReport};
+pub use dynamic::{DelayScheduler, DynamicScheduler, FifoScheduler, GuidedScheduler, StealPolicy};
+pub use graph::BipartiteGraph;
+pub use maxflow::{FlowAlgo, FlowNetwork};
+pub use multi_data::{assign_multi_data, MatchingValues, MultiDataOutcome};
+pub use single_data::{
+    quotas, weighted_quotas, FillPolicy, Objective, SingleDataMatcher, SingleDataOutcome,
+    TwoTierOutcome,
+};

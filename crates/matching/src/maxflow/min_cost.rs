@@ -1,0 +1,252 @@
+//! Minimum-cost maximum-flow via successive shortest augmenting paths.
+//!
+//! The paper's flow network (Figure 5) annotates edges with *byte*
+//! capacities; the unit-capacity matcher in [`crate::single_data`]
+//! deliberately drops sizes because the evaluation uses equal chunks. When
+//! chunk sizes differ, a maximum matching is no longer unique in value:
+//! among all maximum matchings we prefer the one that keeps the most
+//! *bytes* local. Encoding the preference as a negative cost per matched
+//! byte and running min-cost max-flow finds exactly that matching.
+//!
+//! The implementation is textbook SPFA-based successive shortest paths
+//! (Bellman–Ford queue variant, required because preference costs are
+//! negative), `O(F · V · E)` — ample for planner-sized networks.
+
+use std::collections::VecDeque;
+
+/// Handle to an edge added with [`MinCostFlowNetwork::add_edge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CostEdgeId(usize);
+
+#[derive(Debug, Clone)]
+struct CostEdge {
+    to: usize,
+    cap: u64,
+    cost: i64,
+}
+
+/// A directed flow network with per-edge costs.
+#[derive(Debug, Clone)]
+pub struct MinCostFlowNetwork {
+    edges: Vec<CostEdge>,
+    adj: Vec<Vec<usize>>,
+    original_caps: Vec<u64>,
+}
+
+impl MinCostFlowNetwork {
+    /// Creates a network with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        MinCostFlowNetwork {
+            edges: Vec::new(),
+            adj: vec![Vec::new(); n],
+            original_caps: Vec::new(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Adds a directed edge with capacity and per-unit cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range vertices or self-loops.
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: u64, cost: i64) -> CostEdgeId {
+        let n = self.adj.len();
+        assert!(from < n && to < n, "vertex out of range ({from}->{to})");
+        assert_ne!(from, to, "self-loops are not allowed");
+        let id = self.edges.len();
+        self.edges.push(CostEdge { to, cap, cost });
+        self.edges.push(CostEdge {
+            to: from,
+            cap: 0,
+            cost: -cost,
+        });
+        self.adj[from].push(id);
+        self.adj[to].push(id + 1);
+        self.original_caps.push(cap);
+        CostEdgeId(id)
+    }
+
+    /// Flow routed through an edge.
+    pub fn flow_on(&self, edge: CostEdgeId) -> u64 {
+        self.original_caps[edge.0 / 2] - self.edges[edge.0].cap
+    }
+
+    /// Computes the minimum-cost maximum flow from `s` to `t`.
+    ///
+    /// Returns `(flow, cost)`. Costs may be negative (preferences); the
+    /// flow value always equals the plain max flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == t` or either is out of range.
+    pub fn min_cost_max_flow(&mut self, s: usize, t: usize) -> (u64, i64) {
+        let n = self.vertex_count();
+        assert!(s < n && t < n, "s/t out of range");
+        assert_ne!(s, t, "source and sink must differ");
+        let mut total_flow = 0u64;
+        let mut total_cost = 0i64;
+
+        loop {
+            // SPFA: shortest (by cost) residual path from s.
+            let mut dist = vec![i64::MAX; n];
+            let mut in_queue = vec![false; n];
+            let mut prev_edge = vec![usize::MAX; n];
+            dist[s] = 0;
+            let mut queue = VecDeque::new();
+            queue.push_back(s);
+            in_queue[s] = true;
+            while let Some(u) = queue.pop_front() {
+                in_queue[u] = false;
+                let du = dist[u];
+                for &eid in &self.adj[u] {
+                    let e = &self.edges[eid];
+                    if e.cap == 0 {
+                        continue;
+                    }
+                    let nd = du + e.cost;
+                    if nd < dist[e.to] {
+                        dist[e.to] = nd;
+                        prev_edge[e.to] = eid;
+                        if !in_queue[e.to] {
+                            queue.push_back(e.to);
+                            in_queue[e.to] = true;
+                        }
+                    }
+                }
+            }
+            if dist[t] == i64::MAX {
+                break; // no augmenting path remains
+            }
+
+            // Bottleneck along the path.
+            let mut bottleneck = u64::MAX;
+            let mut v = t;
+            while v != s {
+                let eid = prev_edge[v];
+                bottleneck = bottleneck.min(self.edges[eid].cap);
+                v = self.edges[eid ^ 1].to;
+            }
+            // Augment.
+            let mut v = t;
+            while v != s {
+                let eid = prev_edge[v];
+                self.edges[eid].cap -= bottleneck;
+                self.edges[eid ^ 1].cap += bottleneck;
+                v = self.edges[eid ^ 1].to;
+            }
+            total_flow += bottleneck;
+            total_cost += dist[t] * bottleneck as i64;
+        }
+        (total_flow, total_cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maxflow::{dinic, FlowNetwork};
+
+    #[test]
+    fn single_edge() {
+        let mut net = MinCostFlowNetwork::new(2);
+        let e = net.add_edge(0, 1, 5, 3);
+        let (flow, cost) = net.min_cost_max_flow(0, 1);
+        assert_eq!(flow, 5);
+        assert_eq!(cost, 15);
+        assert_eq!(net.flow_on(e), 5);
+    }
+
+    #[test]
+    fn prefers_cheap_path_at_equal_flow() {
+        // Two parallel 1-unit paths; the cheaper one is used first, but
+        // max flow forces both.
+        let mut net = MinCostFlowNetwork::new(4);
+        let cheap = net.add_edge(0, 1, 1, 1);
+        net.add_edge(1, 3, 1, 0);
+        let pricey = net.add_edge(0, 2, 1, 10);
+        net.add_edge(2, 3, 1, 0);
+        let (flow, cost) = net.min_cost_max_flow(0, 3);
+        assert_eq!(flow, 2);
+        assert_eq!(cost, 11);
+        assert_eq!(net.flow_on(cheap), 1);
+        assert_eq!(net.flow_on(pricey), 1);
+    }
+
+    #[test]
+    fn negative_costs_express_preferences() {
+        // One unit of flow, two options: cost -5 vs cost -2. The matching
+        // maximizing "bytes" (negated) takes the -5 branch.
+        let mut net = MinCostFlowNetwork::new(4);
+        let big = net.add_edge(0, 1, 1, -5);
+        net.add_edge(1, 3, 1, 0);
+        let small = net.add_edge(0, 2, 1, -2);
+        net.add_edge(2, 3, 1, 0);
+        // Restrict to one unit via a bottleneck source edge pattern:
+        // rebuild with a pre-source.
+        let mut net2 = MinCostFlowNetwork::new(5);
+        let pre = net2.add_edge(4, 0, 1, 0);
+        let big2 = net2.add_edge(0, 1, 1, -5);
+        net2.add_edge(1, 3, 1, 0);
+        let small2 = net2.add_edge(0, 2, 1, -2);
+        net2.add_edge(2, 3, 1, 0);
+        let (flow, cost) = net2.min_cost_max_flow(4, 3);
+        assert_eq!(flow, 1);
+        assert_eq!(cost, -5);
+        assert_eq!(net2.flow_on(big2), 1);
+        assert_eq!(net2.flow_on(small2), 0);
+        assert_eq!(net2.flow_on(pre), 1);
+        // The unrestricted variant pushes both units.
+        let (flow, cost) = net.min_cost_max_flow(0, 3);
+        assert_eq!(flow, 2);
+        assert_eq!(cost, -7);
+        assert_eq!(net.flow_on(big), 1);
+        assert_eq!(net.flow_on(small), 1);
+    }
+
+    #[test]
+    fn flow_value_matches_plain_max_flow() {
+        // Deterministic pseudo-random network: the min-cost variant must
+        // reach the same flow value as Dinic.
+        let n = 10;
+        let mut state = 0xC0FFEEu64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in 0..n {
+                if u != v && next() % 3 == 0 {
+                    // Non-negative costs: arbitrary negative costs could
+                    // form negative cycles, which successive shortest
+                    // paths does not support (the planner's bipartite
+                    // networks are acyclic, so they never hit this).
+                    edges.push((u, v, next() % 20 + 1, (next() % 11) as i64));
+                }
+            }
+        }
+        let mut mc = MinCostFlowNetwork::new(n);
+        let mut plain = FlowNetwork::new(n);
+        for &(u, v, c, w) in &edges {
+            mc.add_edge(u, v, c, w);
+            plain.add_edge(u, v, c);
+        }
+        let (flow, _) = mc.min_cost_max_flow(0, n - 1);
+        let reference = dinic::max_flow(&mut plain, 0, n - 1);
+        assert_eq!(flow, reference);
+    }
+
+    #[test]
+    fn disconnected_gives_zero() {
+        let mut net = MinCostFlowNetwork::new(3);
+        net.add_edge(0, 1, 4, 2);
+        let (flow, cost) = net.min_cost_max_flow(0, 2);
+        assert_eq!((flow, cost), (0, 0));
+    }
+}

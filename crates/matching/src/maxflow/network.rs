@@ -1,0 +1,150 @@
+//! Flow-network representation shared by the max-flow algorithms.
+//!
+//! Edges are stored in forward/reverse pairs (indices `2k` and `2k+1`), the
+//! classic residual-graph layout: pushing flow on one edge adds residual
+//! capacity to its partner. Capacities are `u64` (bytes or task units).
+
+/// Handle to an edge added with [`FlowNetwork::add_edge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdgeId(pub(crate) usize);
+
+#[derive(Debug, Clone)]
+pub(crate) struct Edge {
+    pub to: usize,
+    /// Remaining (residual) capacity.
+    pub cap: u64,
+}
+
+/// A directed flow network over `n` vertices.
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    pub(crate) edges: Vec<Edge>,
+    pub(crate) adj: Vec<Vec<usize>>,
+    original_caps: Vec<u64>,
+}
+
+impl FlowNetwork {
+    /// Creates a network with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        FlowNetwork {
+            edges: Vec::new(),
+            adj: vec![Vec::new(); n],
+            original_caps: Vec::new(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of forward edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len() / 2
+    }
+
+    /// Adds a directed edge `from -> to` with the given capacity and returns
+    /// its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a vertex is out of range or `from == to`.
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: u64) -> EdgeId {
+        let n = self.adj.len();
+        assert!(
+            from < n && to < n,
+            "vertex out of range ({from}->{to}, n={n})"
+        );
+        assert_ne!(from, to, "self-loops are not allowed");
+        let id = self.edges.len();
+        self.edges.push(Edge { to, cap });
+        self.edges.push(Edge { to: from, cap: 0 });
+        self.adj[from].push(id);
+        self.adj[to].push(id + 1);
+        self.original_caps.push(cap);
+        EdgeId(id)
+    }
+
+    /// Flow currently routed through an edge (original capacity minus
+    /// residual capacity).
+    pub fn flow_on(&self, edge: EdgeId) -> u64 {
+        let original = self.original_caps[edge.0 / 2];
+        original - self.edges[edge.0].cap
+    }
+
+    /// Original capacity of an edge.
+    pub fn capacity_of(&self, edge: EdgeId) -> u64 {
+        self.original_caps[edge.0 / 2]
+    }
+
+    /// Resets all flow to zero, keeping the topology.
+    pub fn reset_flow(&mut self) {
+        for (k, &cap) in self.original_caps.iter().enumerate() {
+            self.edges[2 * k].cap = cap;
+            self.edges[2 * k + 1].cap = 0;
+        }
+    }
+
+    /// Checks flow conservation at every vertex except `s` and `t`:
+    /// inflow equals outflow. Used by tests and debug assertions.
+    pub fn conserves_flow(&self, s: usize, t: usize) -> bool {
+        let mut balance = vec![0i128; self.adj.len()];
+        for k in 0..self.original_caps.len() {
+            let flow = self.flow_on(EdgeId(2 * k)) as i128;
+            let to = self.edges[2 * k].to;
+            let from = self.edges[2 * k + 1].to;
+            balance[from] -= flow;
+            balance[to] += flow;
+        }
+        balance
+            .iter()
+            .enumerate()
+            .all(|(v, &b)| v == s || v == t || b == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_edge_creates_residual_pair() {
+        let mut net = FlowNetwork::new(3);
+        let e = net.add_edge(0, 1, 10);
+        assert_eq!(net.edge_count(), 1);
+        assert_eq!(net.flow_on(e), 0);
+        assert_eq!(net.capacity_of(e), 10);
+    }
+
+    #[test]
+    fn reset_restores_capacities() {
+        let mut net = FlowNetwork::new(2);
+        let e = net.add_edge(0, 1, 5);
+        // Manually push 3 units through the residual representation.
+        net.edges[0].cap -= 3;
+        net.edges[1].cap += 3;
+        assert_eq!(net.flow_on(e), 3);
+        net.reset_flow();
+        assert_eq!(net.flow_on(e), 0);
+    }
+
+    #[test]
+    fn conservation_of_empty_network() {
+        let net = FlowNetwork::new(4);
+        assert!(net.conserves_flow(0, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loop() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(1, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "vertex out of range")]
+    fn rejects_out_of_range() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 2, 1);
+    }
+}

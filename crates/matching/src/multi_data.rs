@@ -1,0 +1,376 @@
+//! Optimization of Parallel Multi-Data Access (paper Section IV-C,
+//! Algorithm 1).
+//!
+//! Tasks now have *several* inputs (e.g. a genome-comparison task reading a
+//! human, a mouse, and a chimpanzee subset), so a task's data can be partly
+//! local to one process and partly local to another. The matching value
+//! `m_i^j = |d(p_i) ∩ d(t_j)|` is the number of bytes of task `j`'s inputs
+//! stored on process `i`'s node.
+//!
+//! The algorithm is a quota-constrained variant of deferred acceptance
+//! (stable marriage): every process below its `n/m` quota repeatedly
+//! proposes to its best not-yet-considered task; an unassigned task accepts;
+//! an assigned task trades up if the new process has a strictly larger
+//! matching value. Like the paper we add a liveness fallback: a process that
+//! has considered every task (possible when all its candidates keep losing
+//! ties) takes arbitrary unassigned tasks, so the algorithm always
+//! terminates with a complete balanced assignment.
+
+use crate::assignment::Assignment;
+use serde::{Deserialize, Serialize};
+
+/// Sparse matching values between processes and tasks.
+///
+/// `values[p]` holds `(task, bytes)` pairs for tasks with non-zero
+/// co-located data on process `p`'s node; everything absent is zero.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatchingValues {
+    n_procs: usize,
+    n_tasks: usize,
+    values: Vec<Vec<(usize, u64)>>,
+}
+
+impl MatchingValues {
+    /// Creates an all-zero table.
+    pub fn new(n_procs: usize, n_tasks: usize) -> Self {
+        MatchingValues {
+            n_procs,
+            n_tasks,
+            values: vec![Vec::new(); n_procs],
+        }
+    }
+
+    /// Number of processes.
+    pub fn n_procs(&self) -> usize {
+        self.n_procs
+    }
+
+    /// Number of tasks.
+    pub fn n_tasks(&self) -> usize {
+        self.n_tasks
+    }
+
+    /// Adds `bytes` of co-located data between `proc` and `task`.
+    pub fn add(&mut self, proc: usize, task: usize, bytes: u64) {
+        assert!(proc < self.n_procs, "process {proc} out of range");
+        assert!(task < self.n_tasks, "task {task} out of range");
+        if bytes == 0 {
+            return;
+        }
+        let row = &mut self.values[proc];
+        match row.binary_search_by_key(&task, |&(t, _)| t) {
+            Ok(i) => row[i].1 += bytes,
+            Err(i) => row.insert(i, (task, bytes)),
+        }
+    }
+
+    /// The matching value `m_proc^task` (0 when not co-located).
+    pub fn value(&self, proc: usize, task: usize) -> u64 {
+        let row = &self.values[proc];
+        row.binary_search_by_key(&task, |&(t, _)| t)
+            .map(|i| row[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Non-zero `(task, bytes)` pairs for `proc`, sorted by task index.
+    pub fn tasks_of(&self, proc: usize) -> &[(usize, u64)] {
+        &self.values[proc]
+    }
+
+    /// Total co-located bytes achieved by an assignment under this table.
+    pub fn total_value(&self, assignment: &Assignment) -> u64 {
+        (0..assignment.n_tasks())
+            .map(|t| self.value(assignment.owner_of(t), t))
+            .sum()
+    }
+}
+
+/// Outcome of the multi-data matcher.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiDataOutcome {
+    /// The complete balanced assignment.
+    pub assignment: Assignment,
+    /// Total co-located bytes `Σ_t m_owner(t)^t`.
+    pub matched_bytes: u64,
+    /// Number of reassignment (trade-up) events that occurred — the paper's
+    /// Figure 6(b) cancellation mechanism.
+    pub reassignments: usize,
+}
+
+/// # Example
+///
+/// ```
+/// use opass_matching::{assign_multi_data, MatchingValues};
+///
+/// // Two processes, two tasks; process 1 holds far more of task 0's data.
+/// let mut values = MatchingValues::new(2, 2);
+/// values.add(0, 0, 10);
+/// values.add(1, 0, 50);
+/// values.add(0, 1, 30);
+///
+/// let out = assign_multi_data(&values);
+/// assert_eq!(out.assignment.owner_of(0), 1); // trade-up wins task 0
+/// assert_eq!(out.assignment.owner_of(1), 0);
+/// assert_eq!(out.matched_bytes, 80);
+/// ```
+/// Runs paper Algorithm 1.
+///
+/// Every process receives either `⌊n/m⌋` or `⌈n/m⌉` tasks (the paper assumes
+/// `m | n`; we generalize). Complexity is `O(m·n)` proposals, each `O(1)`
+/// with the pre-sorted candidate lists (`O(m·n·log n)` setup).
+pub fn assign_multi_data(values: &MatchingValues) -> MultiDataOutcome {
+    let m = values.n_procs();
+    let n = values.n_tasks();
+    assert!(m > 0, "need at least one process");
+    let quota = crate::single_data::quotas(n, m);
+
+    // Candidate lists: all tasks sorted by (value desc, task asc). Tasks
+    // with zero value are included so the proposal loop is complete.
+    let mut candidates: Vec<Vec<usize>> = Vec::with_capacity(m);
+    for p in 0..m {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| values.value(p, b).cmp(&values.value(p, a)).then(a.cmp(&b)));
+        candidates.push(order);
+    }
+    let mut cursor = vec![0usize; m];
+
+    let mut owner: Vec<Option<usize>> = vec![None; n];
+    let mut load = vec![0usize; m];
+    let mut reassignments = 0usize;
+
+    // Work queue of processes below quota. Deterministic order.
+    let mut queue: std::collections::VecDeque<usize> = (0..m).filter(|&p| quota[p] > 0).collect();
+
+    while let Some(p) = queue.pop_front() {
+        if load[p] >= quota[p] {
+            continue;
+        }
+        // Propose to the best not-yet-considered task.
+        if cursor[p] >= n {
+            // Fallback: p has considered everything; grab any unassigned
+            // tasks (they must exist because quotas sum to n).
+            while load[p] < quota[p] {
+                let task = owner
+                    .iter()
+                    .position(Option::is_none)
+                    .expect("quotas sum to n, an unassigned task must exist");
+                owner[task] = Some(p);
+                load[p] += 1;
+            }
+            continue;
+        }
+        let task = candidates[p][cursor[p]];
+        cursor[p] += 1;
+
+        match owner[task] {
+            None => {
+                owner[task] = Some(p);
+                load[p] += 1;
+            }
+            Some(current) => {
+                // Trade up only on strictly larger value (paper line 11).
+                if values.value(current, task) < values.value(p, task) {
+                    owner[task] = Some(p);
+                    load[p] += 1;
+                    load[current] -= 1;
+                    reassignments += 1;
+                    queue.push_back(current);
+                }
+            }
+        }
+        if load[p] < quota[p] {
+            queue.push_back(p);
+        }
+    }
+
+    debug_assert!(owner.iter().all(Option::is_some));
+    let owner: Vec<usize> = owner.into_iter().map(Option::unwrap).collect();
+    let assignment = Assignment::from_owners(owner, m);
+    let matched_bytes = values.total_value(&assignment);
+    MultiDataOutcome {
+        assignment,
+        matched_bytes,
+        reassignments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1 << 20;
+
+    #[test]
+    fn empty_table_still_balances() {
+        let values = MatchingValues::new(4, 8);
+        let out = assign_multi_data(&values);
+        assert!(out.assignment.is_balanced());
+        assert_eq!(out.matched_bytes, 0);
+        assert_eq!(out.assignment.n_tasks(), 8);
+    }
+
+    #[test]
+    fn value_accumulates_multiple_inputs() {
+        let mut v = MatchingValues::new(1, 1);
+        v.add(0, 0, 30 * MB);
+        v.add(0, 0, 10 * MB);
+        assert_eq!(v.value(0, 0), 40 * MB);
+    }
+
+    #[test]
+    fn paper_figure6_example() {
+        // Figure 6(a): 4 processes, 8 tasks, with the table of co-located
+        // sizes (MB). Zero entries omitted.
+        let table: [[u64; 8]; 4] = [
+            // t0  t1  t2  t3  t4  t5  t6  t7
+            [30, 10, 20, 20, 40, 40, 10, 0],  // p0
+            [30, 30, 20, 20, 0, 0, 10, 10],   // p1
+            [10, 30, 30, 20, 20, 10, 10, 10], // p2
+            [20, 10, 10, 20, 20, 10, 20, 0],  // p3
+        ];
+        let mut v = MatchingValues::new(4, 8);
+        for (p, row) in table.iter().enumerate() {
+            for (t, &mb) in row.iter().enumerate() {
+                v.add(p, t, mb * MB);
+            }
+        }
+        let out = assign_multi_data(&v);
+        assert!(out.assignment.is_balanced());
+        assert_eq!(out.assignment.tasks_of(0).len(), 2);
+        // p0's top matches (t4, t5 at 40 MB) must be won by p0: nobody
+        // else values them higher.
+        assert_eq!(out.assignment.owner_of(4), 0);
+        assert_eq!(out.assignment.owner_of(5), 0);
+        // The greedy per-process optimum from each process's perspective
+        // should reach a large total; the best possible here is bounded by
+        // the sum of each task's max column value.
+        let upper: u64 = (0..8)
+            .map(|t| (0..4).map(|p| v.value(p, t)).max().unwrap())
+            .sum();
+        assert!(out.matched_bytes <= upper);
+        assert!(
+            out.matched_bytes >= upper / 2,
+            "matched {} of {}",
+            out.matched_bytes,
+            upper
+        );
+    }
+
+    #[test]
+    fn reassignment_happens_when_later_proc_values_more() {
+        // Task 0: p0 values 10, p1 values 50. p0 proposes first (queue
+        // order), then p1 must steal it.
+        let mut v = MatchingValues::new(2, 2);
+        v.add(0, 0, 10);
+        v.add(1, 0, 50);
+        v.add(0, 1, 5);
+        let out = assign_multi_data(&v);
+        assert_eq!(out.assignment.owner_of(0), 1);
+        assert_eq!(out.assignment.owner_of(1), 0);
+        assert!(out.reassignments >= 1);
+    }
+
+    #[test]
+    fn ties_do_not_cause_churn() {
+        // All values equal: no reassignment should ever fire (strict
+        // inequality), and the result must still balance.
+        let mut v = MatchingValues::new(3, 6);
+        for p in 0..3 {
+            for t in 0..6 {
+                v.add(p, t, 64);
+            }
+        }
+        let out = assign_multi_data(&v);
+        assert_eq!(out.reassignments, 0);
+        assert!(out.assignment.is_balanced());
+        assert_eq!(out.matched_bytes, 6 * 64);
+    }
+
+    #[test]
+    fn quota_is_exact_when_divisible() {
+        let mut v = MatchingValues::new(4, 12);
+        // Skew everything toward p0; quota still caps it at 3.
+        for t in 0..12 {
+            v.add(0, t, 1000);
+        }
+        let out = assign_multi_data(&v);
+        for p in 0..4 {
+            assert_eq!(out.assignment.tasks_of(p).len(), 3, "p={p}");
+        }
+    }
+
+    #[test]
+    fn indivisible_task_counts_spread_by_one() {
+        let v = MatchingValues::new(4, 10);
+        let out = assign_multi_data(&v);
+        let loads = out.assignment.load_vector();
+        assert_eq!(loads.iter().sum::<usize>(), 10);
+        assert!(out.assignment.load_spread() <= 1, "loads={loads:?}");
+    }
+
+    #[test]
+    fn no_task_duplicated_or_dropped() {
+        let mut v = MatchingValues::new(5, 23);
+        // Deterministic pseudo-random values.
+        let mut state = 12345u64;
+        for p in 0..5 {
+            for t in 0..23 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if state % 3 == 0 {
+                    v.add(p, t, state % 100 + 1);
+                }
+            }
+        }
+        let out = assign_multi_data(&v);
+        let mut seen = [false; 23];
+        for p in 0..5 {
+            for &t in out.assignment.tasks_of(p) {
+                assert!(!seen[t], "task {t} duplicated");
+                seen[t] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "all tasks assigned");
+    }
+
+    #[test]
+    fn process_perspective_optimality() {
+        // Stable-marriage-style check: no process p and task t exist such
+        // that p values t strictly more than one of its own tasks AND t's
+        // owner values t strictly less than p does (a blocking pair under
+        // quota exchange).
+        let mut v = MatchingValues::new(3, 9);
+        let mut state = 99u64;
+        for p in 0..3 {
+            for t in 0..9 {
+                state = state
+                    .wrapping_mul(2862933555777941757)
+                    .wrapping_add(3037000493);
+                v.add(p, t, state % 64 + 1);
+            }
+        }
+        let out = assign_multi_data(&v);
+        for p in 0..3 {
+            let my_min = out
+                .assignment
+                .tasks_of(p)
+                .iter()
+                .map(|&t| v.value(p, t))
+                .min()
+                .unwrap();
+            for t in 0..9 {
+                let owner = out.assignment.owner_of(t);
+                if owner == p {
+                    continue;
+                }
+                let blocking = v.value(p, t) > my_min && v.value(owner, t) < v.value(p, t);
+                assert!(
+                    !blocking,
+                    "blocking pair: p={p} t={t} (value {} > own min {my_min}, owner {} holds at {})",
+                    v.value(p, t),
+                    owner,
+                    v.value(owner, t)
+                );
+            }
+        }
+    }
+}

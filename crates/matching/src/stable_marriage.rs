@@ -1,0 +1,199 @@
+//! Classic Gale–Shapley stable matching (one-to-one).
+//!
+//! The paper motivates its multi-data matcher by analogy with the stable
+//! marriage problem ("which however only deals with one-to-one matching").
+//! The reference implementation lives here: it documents the relationship,
+//! anchors the property tests for [`crate::multi_data`] (whose trade-up rule
+//! is deferred acceptance under quotas), and is exercised by the test suite
+//! for stability in the textbook sense.
+
+/// # Example
+///
+/// ```
+/// use opass_matching::stable_marriage::{gale_shapley, is_stable};
+///
+/// let proposers = vec![vec![0, 1], vec![0, 1]];
+/// let acceptors = vec![vec![1, 0], vec![0, 1]];
+/// let matching = gale_shapley(&proposers, &acceptors);
+/// assert!(is_stable(&proposers, &acceptors, &matching));
+/// assert_eq!(matching, vec![1, 0]); // acceptor 0 prefers proposer 1
+/// ```
+///
+/// Computes the proposer-optimal stable matching.
+///
+/// `proposer_prefs[p]` lists acceptor indices in descending preference;
+/// `acceptor_prefs[a]` lists proposer indices in descending preference.
+/// Both sides must have the same size `n`, and every preference list must be
+/// a permutation of `0..n`.
+///
+/// Returns `match_of[p] = a`.
+///
+/// # Panics
+///
+/// Panics if the preference lists are malformed.
+pub fn gale_shapley(proposer_prefs: &[Vec<usize>], acceptor_prefs: &[Vec<usize>]) -> Vec<usize> {
+    let n = proposer_prefs.len();
+    assert_eq!(acceptor_prefs.len(), n, "both sides must have equal size");
+    for (i, prefs) in proposer_prefs
+        .iter()
+        .chain(acceptor_prefs.iter())
+        .enumerate()
+    {
+        assert_eq!(prefs.len(), n, "preference list {i} has wrong length");
+        let mut seen = vec![false; n];
+        for &x in prefs {
+            assert!(
+                x < n && !seen[x],
+                "preference list {i} is not a permutation"
+            );
+            seen[x] = true;
+        }
+    }
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // rank[a][p] = position of proposer p in acceptor a's list (lower =
+    // preferred).
+    let mut rank = vec![vec![0usize; n]; n];
+    for (a, prefs) in acceptor_prefs.iter().enumerate() {
+        for (pos, &p) in prefs.iter().enumerate() {
+            rank[a][p] = pos;
+        }
+    }
+
+    let mut next_proposal = vec![0usize; n];
+    let mut engaged_to: Vec<Option<usize>> = vec![None; n]; // acceptor -> proposer
+    let mut free: Vec<usize> = (0..n).rev().collect();
+
+    while let Some(p) = free.pop() {
+        let a = proposer_prefs[p][next_proposal[p]];
+        next_proposal[p] += 1;
+        match engaged_to[a] {
+            None => engaged_to[a] = Some(p),
+            Some(current) => {
+                if rank[a][p] < rank[a][current] {
+                    engaged_to[a] = Some(p);
+                    free.push(current);
+                } else {
+                    free.push(p);
+                }
+            }
+        }
+    }
+
+    let mut match_of = vec![usize::MAX; n];
+    for (a, p) in engaged_to.into_iter().enumerate() {
+        match_of[p.expect("perfect matching exists")] = a;
+    }
+    match_of
+}
+
+/// Checks stability: no proposer–acceptor pair prefer each other to their
+/// assigned partners.
+pub fn is_stable(
+    proposer_prefs: &[Vec<usize>],
+    acceptor_prefs: &[Vec<usize>],
+    match_of: &[usize],
+) -> bool {
+    let n = proposer_prefs.len();
+    let mut acceptor_of = vec![usize::MAX; n];
+    for (p, &a) in match_of.iter().enumerate() {
+        acceptor_of[a] = p;
+    }
+    let pos = |prefs: &[usize], x: usize| prefs.iter().position(|&y| y == x).unwrap();
+    for p in 0..n {
+        let my_a = match_of[p];
+        let my_rank = pos(&proposer_prefs[p], my_a);
+        for &a in proposer_prefs[p].iter().take(my_rank) {
+            let a_current = acceptor_of[a];
+            if pos(&acceptor_prefs[a], p) < pos(&acceptor_prefs[a], a_current) {
+                return false; // blocking pair (p, a)
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_single_pair() {
+        let m = gale_shapley(&[vec![0]], &[vec![0]]);
+        assert_eq!(m, vec![0]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let m = gale_shapley(&[], &[]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn textbook_instance_is_stable() {
+        // 3x3 instance with conflicting preferences.
+        let proposers = vec![vec![0, 1, 2], vec![1, 0, 2], vec![0, 1, 2]];
+        let acceptors = vec![vec![1, 0, 2], vec![0, 1, 2], vec![0, 1, 2]];
+        let m = gale_shapley(&proposers, &acceptors);
+        assert!(is_stable(&proposers, &acceptors, &m));
+        // Everyone matched exactly once.
+        let mut seen = [false; 3];
+        for &a in &m {
+            assert!(!seen[a]);
+            seen[a] = true;
+        }
+    }
+
+    #[test]
+    fn proposer_optimality() {
+        // When all proposers prefer the same acceptor, the one the acceptor
+        // ranks highest wins it.
+        let proposers = vec![vec![0, 1, 2], vec![0, 1, 2], vec![0, 2, 1]];
+        let acceptors = vec![vec![2, 1, 0], vec![0, 1, 2], vec![1, 2, 0]];
+        let m = gale_shapley(&proposers, &acceptors);
+        assert_eq!(m[2], 0, "acceptor 0 prefers proposer 2");
+        assert!(is_stable(&proposers, &acceptors, &m));
+    }
+
+    #[test]
+    fn stability_detects_blocking_pair() {
+        let proposers = vec![vec![0, 1], vec![1, 0]];
+        let acceptors = vec![vec![0, 1], vec![1, 0]];
+        // Swap the stable matching to create blocking pairs.
+        let unstable = vec![1, 0];
+        assert!(!is_stable(&proposers, &acceptors, &unstable));
+    }
+
+    #[test]
+    fn deterministic_pseudorandom_instances_are_stable() {
+        let n = 16;
+        let mut state = 0xBADC0FFEu64;
+        let mut shuffled = |seed_bump: u64| -> Vec<usize> {
+            state = state.wrapping_add(seed_bump);
+            let mut v: Vec<usize> = (0..n).collect();
+            // Fisher-Yates with an xorshift generator.
+            for i in (1..n).rev() {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let j = (state % (i as u64 + 1)) as usize;
+                v.swap(i, j);
+            }
+            v
+        };
+        for trial in 0..10u64 {
+            let proposers: Vec<Vec<usize>> = (0..n).map(|_| shuffled(trial)).collect();
+            let acceptors: Vec<Vec<usize>> = (0..n).map(|_| shuffled(trial + 99)).collect();
+            let m = gale_shapley(&proposers, &acceptors);
+            assert!(is_stable(&proposers, &acceptors, &m), "trial {trial}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn rejects_malformed_preferences() {
+        let _ = gale_shapley(&[vec![0, 0], vec![0, 1]], &[vec![0, 1], vec![0, 1]]);
+    }
+}

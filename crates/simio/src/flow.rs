@@ -1,0 +1,172 @@
+//! Flow descriptions and lifecycle state.
+
+use crate::resource::ResourceId;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Identifies a flow submitted to an [`crate::Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FlowId(pub(crate) u64);
+
+impl FlowId {
+    /// Returns the raw index of this flow.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Description of a data transfer submitted to the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowSpec {
+    /// Payload size in bytes. Zero-byte flows complete after `latency`.
+    pub bytes: u64,
+    /// Resources traversed, in path order (e.g. source disk, source NIC-out,
+    /// destination NIC-in). Duplicates are merged.
+    pub path: Vec<ResourceId>,
+    /// Fixed startup latency (seconds) before the transfer consumes any
+    /// bandwidth: request dispatch, positioning, protocol setup.
+    pub latency: f64,
+    /// Per-flow rate ceiling in bytes/second (`f64::INFINITY` = none) —
+    /// end-to-end protocol limits that bind before any shared resource.
+    pub rate_cap: f64,
+    /// Opaque caller tag, echoed back in the completion event. The runtime
+    /// uses it to map completions to (process, task) pairs.
+    pub token: u64,
+}
+
+impl FlowSpec {
+    /// Creates a flow spec with zero latency and no rate cap.
+    pub fn new(bytes: u64, path: Vec<ResourceId>, token: u64) -> Self {
+        FlowSpec {
+            bytes,
+            path,
+            latency: 0.0,
+            rate_cap: f64::INFINITY,
+            token,
+        }
+    }
+
+    /// Sets the startup latency.
+    pub fn with_latency(mut self, latency: f64) -> Self {
+        assert!(
+            latency.is_finite() && latency >= 0.0,
+            "latency must be finite and non-negative"
+        );
+        self.latency = latency;
+        self
+    }
+
+    /// Sets the per-flow rate ceiling (bytes/second).
+    pub fn with_rate_cap(mut self, cap: f64) -> Self {
+        assert!(cap > 0.0, "rate cap must be positive");
+        self.rate_cap = cap;
+        self
+    }
+}
+
+/// Lifecycle phase of a flow inside the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FlowPhase {
+    /// Waiting out the startup latency; consumes no bandwidth.
+    Latent,
+    /// Actively transferring.
+    Active,
+    /// Done; kept only until the completion event is delivered.
+    Completed,
+}
+
+/// Internal per-flow state.
+#[derive(Debug, Clone)]
+pub(crate) struct FlowState {
+    pub spec: FlowSpec,
+    /// Deduplicated resource indices (engine-internal form).
+    pub resources: Vec<usize>,
+    pub phase: FlowPhase,
+    /// Bytes still to transfer (fluid, hence f64).
+    pub remaining: f64,
+    /// Current allocated rate in bytes/second.
+    pub rate: f64,
+    /// When the flow was submitted.
+    pub issued_at: SimTime,
+    /// When the transfer became active (after latency).
+    pub active_at: Option<SimTime>,
+}
+
+impl FlowState {
+    pub fn new(spec: FlowSpec, issued_at: SimTime) -> Self {
+        let mut resources: Vec<usize> = spec.path.iter().map(|r| r.index()).collect();
+        resources.sort_unstable();
+        resources.dedup();
+        let remaining = spec.bytes as f64;
+        FlowState {
+            spec,
+            resources,
+            phase: FlowPhase::Latent,
+            remaining,
+            rate: 0.0,
+            issued_at,
+            active_at: None,
+        }
+    }
+}
+
+/// A finished transfer, as reported by [`crate::Engine::next_event`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowCompletion {
+    /// The flow that finished.
+    pub flow: FlowId,
+    /// Caller tag from the [`FlowSpec`].
+    pub token: u64,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Submission time.
+    pub issued_at: SimTime,
+    /// Completion time.
+    pub completed_at: SimTime,
+}
+
+impl FlowCompletion {
+    /// End-to-end duration (latency + transfer), in seconds.
+    #[inline]
+    pub fn duration(&self) -> f64 {
+        self.completed_at - self.issued_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_builder_sets_latency() {
+        let s = FlowSpec::new(64, vec![], 7).with_latency(0.5);
+        assert_eq!(s.latency, 0.5);
+        assert_eq!(s.token, 7);
+    }
+
+    #[test]
+    fn state_dedups_path() {
+        let spec = FlowSpec::new(10, vec![ResourceId(2), ResourceId(1), ResourceId(2)], 0);
+        let st = FlowState::new(spec, SimTime::ZERO);
+        assert_eq!(st.resources, vec![1, 2]);
+    }
+
+    #[test]
+    fn completion_duration() {
+        let c = FlowCompletion {
+            flow: FlowId(0),
+            token: 0,
+            bytes: 1,
+            issued_at: SimTime::from_secs(1.0),
+            completed_at: SimTime::from_secs(3.5),
+        };
+        assert!((c.duration() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency must be finite")]
+    fn rejects_bad_latency() {
+        let _ = FlowSpec::new(1, vec![], 0).with_latency(-0.1);
+    }
+}

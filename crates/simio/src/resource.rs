@@ -1,0 +1,168 @@
+//! Shared I/O resources: disks and network interfaces.
+//!
+//! A [`Resource`] is anything with a finite aggregate bandwidth that
+//! concurrent flows must share: a disk spindle, the transmit side of a NIC,
+//! the receive side of a NIC. Aggregate capacity may *degrade* as the number
+//! of concurrent streams grows — the dominant effect on rotating media, where
+//! interleaved streams force the head to seek between file extents. This
+//! degradation is what turns the imbalanced access patterns of the paper's
+//! Section III into the long I/O-time tails of its Figure 7.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a resource registered with an [`crate::Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ResourceId(pub(crate) u32);
+
+impl ResourceId {
+    /// Returns the raw index of this resource.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// How a resource's aggregate capacity responds to concurrent streams.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Degradation {
+    /// Aggregate capacity is constant regardless of concurrency.
+    ///
+    /// Appropriate for switched network links and idealized storage.
+    None,
+    /// Seek-style degradation for rotating disks.
+    ///
+    /// With `n` concurrent streams the aggregate capacity is
+    /// `base * (floor + (1 - floor) / (1 + alpha * (n - 1)))`:
+    /// one stream gets the full streaming bandwidth, and additional
+    /// streams interleave seeks, asymptotically approaching
+    /// `floor * base`.
+    Seek {
+        /// Per-extra-stream seek penalty factor (typical: 0.2–0.4).
+        alpha: f64,
+        /// Fraction of base bandwidth retained under unbounded
+        /// concurrency (typical: 0.15–0.3).
+        floor: f64,
+    },
+}
+
+impl Degradation {
+    /// Multiplier applied to the base capacity for `n` concurrent streams.
+    ///
+    /// Returns 1.0 for `n <= 1` under every model.
+    #[inline]
+    pub fn factor(&self, n: usize) -> f64 {
+        if n <= 1 {
+            return 1.0;
+        }
+        match *self {
+            Degradation::None => 1.0,
+            Degradation::Seek { alpha, floor } => {
+                debug_assert!((0.0..=1.0).contains(&floor), "floor must be in [0,1]");
+                debug_assert!(alpha >= 0.0, "alpha must be non-negative");
+                floor + (1.0 - floor) / (1.0 + alpha * (n as f64 - 1.0))
+            }
+        }
+    }
+}
+
+/// A bandwidth-shared resource.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Resource {
+    /// Human-readable label, used in traces and error messages.
+    pub name: String,
+    /// Aggregate capacity with a single stream, in bytes/second.
+    pub base_capacity: f64,
+    /// Concurrency-degradation model.
+    pub degradation: Degradation,
+}
+
+impl Resource {
+    /// Creates a constant-capacity resource (e.g. a NIC direction).
+    pub fn constant(name: impl Into<String>, capacity_bps: f64) -> Self {
+        assert!(
+            capacity_bps.is_finite() && capacity_bps > 0.0,
+            "resource capacity must be positive and finite"
+        );
+        Resource {
+            name: name.into(),
+            base_capacity: capacity_bps,
+            degradation: Degradation::None,
+        }
+    }
+
+    /// Creates a rotating-disk resource with seek degradation.
+    pub fn disk(name: impl Into<String>, capacity_bps: f64, alpha: f64, floor: f64) -> Self {
+        assert!(
+            capacity_bps.is_finite() && capacity_bps > 0.0,
+            "resource capacity must be positive and finite"
+        );
+        assert!(alpha >= 0.0, "seek alpha must be non-negative");
+        assert!((0.0..=1.0).contains(&floor), "seek floor must be in [0,1]");
+        Resource {
+            name: name.into(),
+            base_capacity: capacity_bps,
+            degradation: Degradation::Seek { alpha, floor },
+        }
+    }
+
+    /// Aggregate capacity (bytes/second) available to `n` concurrent streams.
+    #[inline]
+    pub fn capacity(&self, n: usize) -> f64 {
+        self.base_capacity * self.degradation.factor(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_resource_ignores_concurrency() {
+        let r = Resource::constant("nic", 117e6);
+        assert_eq!(r.capacity(1), 117e6);
+        assert_eq!(r.capacity(64), 117e6);
+    }
+
+    #[test]
+    fn single_stream_gets_full_bandwidth() {
+        let r = Resource::disk("sda", 72e6, 0.25, 0.2);
+        assert!((r.capacity(1) - 72e6).abs() < 1e-9);
+        assert_eq!(r.capacity(0), 72e6);
+    }
+
+    #[test]
+    fn seek_degradation_is_monotone_decreasing() {
+        let r = Resource::disk("sda", 72e6, 0.25, 0.2);
+        let mut prev = r.capacity(1);
+        for n in 2..64 {
+            let cap = r.capacity(n);
+            assert!(cap < prev, "capacity must strictly decrease, n={n}");
+            assert!(cap > 72e6 * 0.2, "capacity must stay above the floor");
+            prev = cap;
+        }
+    }
+
+    #[test]
+    fn seek_degradation_approaches_floor() {
+        let r = Resource::disk("sda", 100.0, 0.5, 0.25);
+        let cap = r.capacity(100_000);
+        assert!((cap - 25.0).abs() < 0.1, "cap={cap}");
+    }
+
+    #[test]
+    fn degradation_factor_matches_formula() {
+        let d = Degradation::Seek {
+            alpha: 0.25,
+            floor: 0.2,
+        };
+        // n = 6 -> 0.2 + 0.8 / (1 + 1.25) = 0.5555...
+        let f = d.factor(6);
+        assert!((f - (0.2 + 0.8 / 2.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn rejects_zero_capacity() {
+        let _ = Resource::constant("bad", 0.0);
+    }
+}

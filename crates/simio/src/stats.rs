@@ -1,0 +1,152 @@
+//! Small descriptive-statistics helpers shared by traces and reports.
+//!
+//! The evaluation figures all reduce to the same handful of summaries —
+//! average/max/min, standard deviation, and empirical CDFs — so they live
+//! here once rather than in each experiment.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics over a set of samples.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Smallest sample (0 when empty).
+    pub min: f64,
+    /// Largest sample (0 when empty).
+    pub max: f64,
+    /// Population standard deviation (0 when empty).
+    pub stddev: f64,
+}
+
+impl Summary {
+    /// Computes a summary over `samples`.
+    pub fn of(samples: &[f64]) -> Summary {
+        if samples.is_empty() {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                min: 0.0,
+                max: 0.0,
+                stddev: 0.0,
+            };
+        }
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut var = 0.0;
+        for &s in samples {
+            min = min.min(s);
+            max = max.max(s);
+            var += (s - mean) * (s - mean);
+        }
+        Summary {
+            count,
+            mean,
+            min,
+            max,
+            stddev: (var / count as f64).sqrt(),
+        }
+    }
+
+    /// Ratio of the largest to the smallest sample (`inf` when min is 0).
+    pub fn max_over_min(&self) -> f64 {
+        if self.min > 0.0 {
+            self.max / self.min
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// One point of an empirical CDF: `fraction` of samples are `<= value`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CdfPoint {
+    /// Sample value.
+    pub value: f64,
+    /// Cumulative fraction in `[0, 1]`.
+    pub fraction: f64,
+}
+
+/// Builds the empirical CDF of `samples` (sorted, one point per sample).
+pub fn empirical_cdf(samples: &[f64]) -> Vec<CdfPoint> {
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    sorted
+        .into_iter()
+        .enumerate()
+        .map(|(i, value)| CdfPoint {
+            value,
+            fraction: (i + 1) as f64 / n as f64,
+        })
+        .collect()
+}
+
+/// Returns the `q`-quantile (0 ≤ q ≤ 1) of `samples` by nearest-rank.
+///
+/// Returns 0 for an empty slice.
+pub fn quantile(samples: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_empty_is_zero() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        // population stddev of 1..4 = sqrt(1.25)
+        assert!((s.stddev - 1.25_f64.sqrt()).abs() < 1e-12);
+        assert!((s.max_over_min() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_over_min_handles_zero() {
+        let s = Summary::of(&[0.0, 5.0]);
+        assert!(s.max_over_min().is_infinite());
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let cdf = empirical_cdf(&[3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(cdf.len(), 4);
+        assert_eq!(cdf[0].value, 1.0);
+        assert!((cdf.last().unwrap().fraction - 1.0).abs() < 1e-12);
+        for w in cdf.windows(2) {
+            assert!(w[0].value <= w[1].value);
+            assert!(w[0].fraction <= w[1].fraction);
+        }
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 0.5), 3.0);
+        assert_eq!(quantile(&xs, 1.0), 5.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Network topology: flat (single switch) or racked (top-of-rack switches
+//! with oversubscribed uplinks).
+//!
+//! The paper's Marmot testbed hangs every node off one switch, so the
+//! reproduction defaults to [`Topology::Flat`]. Real HDFS deployments are
+//! racked, which is why HDFS placement is rack-aware; the racked model here
+//! supports the repository's rack-locality extension: cross-rack transfers
+//! traverse the source rack's uplink transmit side and the destination
+//! rack's uplink receive side, both shared by everything crossing that
+//! rack boundary.
+
+use serde::{Deserialize, Serialize};
+
+/// Cluster network topology.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum Topology {
+    /// All nodes on one non-blocking switch (Marmot; the paper's setup).
+    #[default]
+    Flat,
+    /// Nodes grouped into racks of `nodes_per_rack`; each rack's uplink to
+    /// the core has `uplink_bandwidth` bytes/second per direction. The last
+    /// rack may be smaller when the node count is not divisible.
+    Racked {
+        /// Nodes per rack (last rack may hold fewer).
+        nodes_per_rack: usize,
+        /// Uplink capacity per direction, bytes/second. Choosing this below
+        /// `nodes_per_rack × nic_bandwidth` models oversubscription.
+        uplink_bandwidth: f64,
+    },
+}
+
+impl Topology {
+    /// The rack index of `node`, or `None` under a flat topology.
+    pub fn rack_of(&self, node: usize) -> Option<usize> {
+        match *self {
+            Topology::Flat => None,
+            Topology::Racked { nodes_per_rack, .. } => Some(node / nodes_per_rack),
+        }
+    }
+
+    /// Number of racks for `n_nodes`, or `None` under a flat topology.
+    pub fn rack_count(&self, n_nodes: usize) -> Option<usize> {
+        match *self {
+            Topology::Flat => None,
+            Topology::Racked { nodes_per_rack, .. } => Some(n_nodes.div_ceil(nodes_per_rack)),
+        }
+    }
+
+    /// Whether two nodes share a rack (true for all pairs when flat — a
+    /// single switch behaves like one big rack).
+    pub fn same_rack(&self, a: usize, b: usize) -> bool {
+        match self.rack_of(a) {
+            None => true,
+            Some(ra) => Some(ra) == self.rack_of(b),
+        }
+    }
+
+    /// Validates the topology parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            Topology::Flat => Ok(()),
+            Topology::Racked {
+                nodes_per_rack,
+                uplink_bandwidth,
+            } => {
+                if nodes_per_rack == 0 {
+                    return Err("nodes_per_rack must be positive".into());
+                }
+                if !(uplink_bandwidth.is_finite() && uplink_bandwidth > 0.0) {
+                    return Err(format!(
+                        "uplink_bandwidth must be positive: {uplink_bandwidth}"
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_has_no_racks() {
+        let t = Topology::Flat;
+        assert_eq!(t.rack_of(5), None);
+        assert_eq!(t.rack_count(64), None);
+        assert!(t.same_rack(0, 63));
+    }
+
+    #[test]
+    fn racked_groups_nodes() {
+        let t = Topology::Racked {
+            nodes_per_rack: 4,
+            uplink_bandwidth: 1e9,
+        };
+        assert_eq!(t.rack_of(0), Some(0));
+        assert_eq!(t.rack_of(3), Some(0));
+        assert_eq!(t.rack_of(4), Some(1));
+        assert!(t.same_rack(0, 3));
+        assert!(!t.same_rack(3, 4));
+        assert_eq!(t.rack_count(9), Some(3)); // last rack has one node
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Topology::Flat.validate().is_ok());
+        assert!(Topology::Racked {
+            nodes_per_rack: 0,
+            uplink_bandwidth: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(Topology::Racked {
+            nodes_per_rack: 4,
+            uplink_bandwidth: -1.0
+        }
+        .validate()
+        .is_err());
+    }
+}

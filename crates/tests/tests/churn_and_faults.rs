@@ -1,0 +1,195 @@
+//! Integration: cluster churn. The paper notes node addition/removal skews
+//! placement so the max-flow matching is no longer full; Opass must still
+//! produce balanced assignments and beat the baseline on the skewed layout.
+
+use opass_core::planner::OpassPlanner;
+use opass_dfs::{DatasetSpec, DfsConfig, Namenode, NodeId, Placement, ReplicaChoice};
+use opass_runtime::{baseline, execute, ExecConfig, ProcessPlacement, TaskSource};
+use opass_workloads::{single, SingleDataConfig, Task, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn skewed_cluster(seed: u64) -> (Namenode, opass_workloads::Workload) {
+    // Write on 12 nodes, then decommission 2 and add 6 empty ones.
+    let mut nn = Namenode::new(12, DfsConfig::default());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = SingleDataConfig {
+        n_procs: 16,
+        chunks_per_process: 4,
+        chunk_size: 64 << 20,
+    };
+    let (_, workload) = single::generate(&mut nn, &cfg, &Placement::Random, &mut rng);
+    nn.decommission(NodeId(0), &mut rng).expect("decommission");
+    nn.decommission(NodeId(5), &mut rng).expect("decommission");
+    for _ in 0..6 {
+        nn.add_node();
+    }
+    nn.check_invariants()
+        .expect("namenode invariants after churn");
+    (nn, workload)
+}
+
+#[test]
+fn planner_handles_skewed_layout() {
+    let (nn, workload) = skewed_cluster(31);
+    // Processes on every registered node, including dead/empty ones —
+    // the planner must still balance; dead nodes simply have no locality.
+    let placement = ProcessPlacement::one_per_node(nn.node_count());
+    let plan = OpassPlanner::default().plan_single_data(&nn, &workload, &placement, 1);
+    assert!(plan.assignment.is_balanced());
+    assert_eq!(plan.matched_files + plan.filled_files, workload.len());
+    // Skew means no full matching: some files must be filled.
+    assert!(
+        plan.filled_files > 0,
+        "expected a partial matching after churn"
+    );
+}
+
+#[test]
+fn opass_still_beats_baseline_after_churn() {
+    let (nn, workload) = skewed_cluster(32);
+    let placement = ProcessPlacement::one_per_node(nn.node_count());
+    let plan = OpassPlanner::default().plan_single_data(&nn, &workload, &placement, 2);
+    let config = ExecConfig {
+        replica_choice: ReplicaChoice::PreferLocalRandom,
+        seed: 3,
+        ..Default::default()
+    };
+    let base = execute(
+        &nn,
+        &workload,
+        &placement,
+        TaskSource::Static(baseline::rank_interval(workload.len(), nn.node_count())),
+        &config,
+    );
+    let opass = execute(
+        &nn,
+        &workload,
+        &placement,
+        TaskSource::Static(plan.assignment),
+        &config,
+    );
+    assert!(opass.local_fraction() > base.local_fraction());
+    assert!(opass.io_summary().mean < base.io_summary().mean);
+}
+
+#[test]
+fn decommissioned_nodes_serve_nothing() {
+    let (nn, workload) = skewed_cluster(33);
+    let placement = ProcessPlacement::one_per_node(nn.node_count());
+    let run = execute(
+        &nn,
+        &workload,
+        &placement,
+        TaskSource::Static(baseline::rank_interval(workload.len(), nn.node_count())),
+        &ExecConfig::default(),
+    );
+    // Nodes 0 and 5 are decommissioned: their replicas moved, so they must
+    // never appear as read sources.
+    for r in &run.records {
+        assert_ne!(r.source, NodeId(0));
+        assert_ne!(r.source, NodeId(5));
+    }
+}
+
+#[test]
+fn added_nodes_hold_no_data_but_can_read() {
+    let (nn, workload) = skewed_cluster(34);
+    let placement = ProcessPlacement::one_per_node(nn.node_count());
+    let run = execute(
+        &nn,
+        &workload,
+        &placement,
+        TaskSource::Static(baseline::rank_interval(workload.len(), nn.node_count())),
+        &ExecConfig::default(),
+    );
+    // New nodes (ids 12..17) joined empty: they serve nothing...
+    for node in 12..18u32 {
+        assert_eq!(run.served_bytes[node as usize], 0, "node {node}");
+    }
+    // ...but their processes still execute reads (remotely).
+    let new_node_reads = run
+        .records
+        .iter()
+        .filter(|r| r.reader.0 >= 12 && r.reader.0 < 18)
+        .count();
+    assert!(new_node_reads > 0);
+}
+
+#[test]
+fn crash_repair_cycle_preserves_readability() {
+    // Fail a node, repair, then execute a full read: every chunk must be
+    // servable from the repaired layout.
+    let mut nn = Namenode::new(10, DfsConfig::default());
+    let mut rng = StdRng::seed_from_u64(41);
+    let ds = nn.create_dataset(
+        &DatasetSpec::uniform("survive", 30, 16 << 20),
+        &Placement::Random,
+        &mut rng,
+    );
+    nn.fail_node(NodeId(4)).expect("crash");
+    assert!(!nn.under_replicated().is_empty());
+    nn.repair_under_replicated(&mut rng).expect("repair");
+    nn.check_invariants().expect("healthy after repair");
+
+    let tasks: Vec<Task> = nn
+        .dataset(ds)
+        .unwrap()
+        .chunks
+        .iter()
+        .map(|&c| Task::single(c))
+        .collect();
+    let workload = Workload::new("survive", tasks);
+    let placement = ProcessPlacement::one_per_node(10);
+    let run = execute(
+        &nn,
+        &workload,
+        &placement,
+        TaskSource::Static(baseline::rank_interval(30, 10)),
+        &ExecConfig::default(),
+    );
+    assert_eq!(run.records.len(), 30);
+    for r in &run.records {
+        assert_ne!(r.source, NodeId(4), "dead node must not serve");
+    }
+}
+
+#[test]
+fn balancer_improves_opass_locality_after_skewed_ingest() {
+    // Writer-local ingest piles replicas on one node; the balancer spreads
+    // them, which unlocks a fuller matching for everyone else.
+    let build = || {
+        let mut nn = Namenode::new(8, DfsConfig::default());
+        let mut rng = StdRng::seed_from_u64(55);
+        let ds = nn.create_dataset(
+            &DatasetSpec::uniform("skew", 40, 16 << 20),
+            &Placement::WriterLocal { writer: NodeId(0) },
+            &mut rng,
+        );
+        let tasks: Vec<Task> = nn
+            .dataset(ds)
+            .unwrap()
+            .chunks
+            .iter()
+            .map(|&c| Task::single(c))
+            .collect();
+        (nn, Workload::new("skew", tasks), rng)
+    };
+    let placement = ProcessPlacement::one_per_node(8);
+
+    let (nn_before, w, _) = build();
+    let before = OpassPlanner::default().plan_single_data(&nn_before, &w, &placement, 1);
+
+    let (mut nn_after, w2, mut rng) = build();
+    let moved = nn_after.rebalance(1.2, &mut rng);
+    assert!(moved > 0, "balancer should move replicas off the writer");
+    nn_after.check_invariants().unwrap();
+    let after = OpassPlanner::default().plan_single_data(&nn_after, &w2, &placement, 1);
+
+    assert!(
+        after.matched_files >= before.matched_files,
+        "balanced layout cannot match fewer files: {} < {}",
+        after.matched_files,
+        before.matched_files
+    );
+}

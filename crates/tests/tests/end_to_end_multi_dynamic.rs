@@ -1,0 +1,101 @@
+//! Integration: multi-input (Figure 9/10) and dynamic (Figure 11)
+//! pipelines in miniature.
+
+use opass_core::experiment::{
+    DynamicExperiment, DynamicStrategy, MultiDataExperiment, MultiStrategy,
+};
+
+fn multi(m: usize, seed: u64) -> MultiDataExperiment {
+    MultiDataExperiment {
+        n_nodes: m,
+        tasks_per_process: 5,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn dynamic(m: usize, seed: u64) -> DynamicExperiment {
+    DynamicExperiment {
+        n_nodes: m,
+        tasks_per_process: 5,
+        compute_median: 0.3,
+        compute_sigma: 1.0,
+        seed,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn multi_input_improvement_is_partial() {
+    // Paper Section V-A2: Opass improves multi-input reads, but less than
+    // single-input, because a task's three inputs rarely share a node.
+    let exp = multi(16, 2);
+    let base = exp.run(MultiStrategy::RankInterval);
+    let opass = exp.run(MultiStrategy::Opass);
+
+    assert!(opass.result.local_byte_fraction() > base.result.local_byte_fraction() + 0.2);
+    // Partial: some bytes still remote.
+    assert!(opass.result.local_byte_fraction() < 0.95);
+    assert!(opass.result.io_summary().mean < base.result.io_summary().mean);
+}
+
+#[test]
+fn multi_input_reads_three_chunks_per_task() {
+    let exp = multi(8, 3);
+    let run = exp.run(MultiStrategy::Opass);
+    assert_eq!(run.result.records.len(), 8 * 5 * 3);
+    // Every task contributes exactly its three distinct inputs.
+    let mut per_task = std::collections::HashMap::new();
+    for r in &run.result.records {
+        per_task
+            .entry(r.task)
+            .or_insert_with(Vec::new)
+            .push(r.chunk);
+    }
+    for (task, chunks) in per_task {
+        assert_eq!(chunks.len(), 3, "task {task}");
+        let set: std::collections::HashSet<_> = chunks.iter().collect();
+        assert_eq!(set.len(), 3, "task {task} has duplicate inputs");
+    }
+}
+
+#[test]
+fn dynamic_guided_beats_fifo_on_io() {
+    let exp = dynamic(16, 4);
+    let fifo = exp.run(DynamicStrategy::Fifo);
+    let guided = exp.run(DynamicStrategy::OpassGuided);
+
+    assert!(
+        guided.result.local_fraction() > 0.7,
+        "{}",
+        guided.result.local_fraction()
+    );
+    assert!(fifo.result.local_fraction() < 0.5);
+    assert!(guided.result.io_summary().mean < fifo.result.io_summary().mean);
+}
+
+#[test]
+fn dynamic_completes_every_task_under_both_schedulers() {
+    let exp = dynamic(12, 9);
+    for strategy in [DynamicStrategy::Fifo, DynamicStrategy::OpassGuided] {
+        let run = exp.run(strategy);
+        assert_eq!(run.result.records.len(), 12 * 5, "{strategy:?}");
+    }
+}
+
+#[test]
+fn dynamic_irregular_compute_spreads_finish_times() {
+    // With heavy-tailed compute, some workers finish long before others
+    // would under a static split; the dynamic dispatcher must still keep
+    // the makespan below the static worst case of (max task) * quota.
+    let exp = dynamic(8, 12);
+    let run = exp.run(DynamicStrategy::OpassGuided);
+    let max_io_plus_compute = run
+        .result
+        .records
+        .iter()
+        .map(|r| r.completed_at - r.issued_at)
+        .fold(0.0f64, f64::max);
+    assert!(run.result.makespan > max_io_plus_compute);
+    assert!(run.result.makespan.is_finite());
+}

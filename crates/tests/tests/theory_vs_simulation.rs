@@ -1,0 +1,98 @@
+//! Integration: the Section III closed forms against the *full* execution
+//! stack (namenode placement + random assignment + HDFS read policy +
+//! event simulator), not just the lightweight Monte-Carlo model.
+
+use opass_analysis::{ClusterParams, ImbalanceModel, LocalityModel};
+use opass_core::experiment::{SingleDataExperiment, SingleStrategy};
+use opass_simio::Summary;
+
+/// Runs the random-assignment experiment and returns per-node served chunk
+/// counts plus the local-read fraction.
+fn observe(m: usize, chunks_per_process: usize, seed: u64) -> (Vec<f64>, f64) {
+    let exp = SingleDataExperiment {
+        n_nodes: m,
+        chunks_per_process,
+        seed,
+        ..Default::default()
+    };
+    let run = exp.run(SingleStrategy::RandomAssign);
+    (
+        run.result.chunks_served_per_node(64 << 20),
+        run.result.local_fraction(),
+    )
+}
+
+#[test]
+fn local_fraction_matches_r_over_m() {
+    // Theory: a random assignment reads locally with probability r/m.
+    // Aggregate over several seeds to tame the variance.
+    let m = 32;
+    let mut fractions = Vec::new();
+    for seed in 0..6 {
+        let (_, local) = observe(m, 8, seed);
+        fractions.push(local);
+    }
+    let avg = Summary::of(&fractions).mean;
+    let expected = 3.0 / m as f64;
+    assert!(
+        (avg - expected).abs() < 0.05,
+        "measured {avg:.4}, theory {expected:.4}"
+    );
+}
+
+#[test]
+fn served_chunk_spread_matches_imbalance_model() {
+    // Theory: served chunks per node ~ Bin(n, 1/m). Check the expected
+    // count of idle-ish and overloaded nodes against the model within
+    // generous sampling tolerance.
+    let m = 64;
+    let n: u64 = 64 * 8;
+    let model = ImbalanceModel::new(ClusterParams::new(n, 3, m as u32));
+    let mut light = 0usize;
+    let mut heavy = 0usize;
+    let trials = 6;
+    for seed in 100..100 + trials {
+        let (served, _) = observe(m, 8, seed);
+        light += served.iter().filter(|&&c| c <= 2.0).count();
+        heavy += served.iter().filter(|&&c| c >= 16.0).count();
+    }
+    let light_avg = light as f64 / trials as f64;
+    let heavy_avg = heavy as f64 / trials as f64;
+    let light_theory = model.expected_nodes_serving_at_most(2);
+    let heavy_theory = model.expected_nodes_serving_more_than(15);
+    assert!(
+        (light_avg - light_theory).abs() < light_theory.max(1.0),
+        "light: measured {light_avg:.1}, theory {light_theory:.1}"
+    );
+    assert!(
+        (heavy_avg - heavy_theory).abs() < heavy_theory.max(2.0),
+        "heavy: measured {heavy_avg:.1}, theory {heavy_theory:.1}"
+    );
+}
+
+#[test]
+fn expected_local_reads_scale_with_replication() {
+    // LocalityModel's headline trend — locality decays with m — must show
+    // up in the executed system too.
+    let mut locals = Vec::new();
+    for m in [8usize, 32] {
+        let mut acc = 0.0;
+        for seed in 0..4 {
+            let (_, local) = observe(m, 6, 7000 + seed);
+            acc += local;
+        }
+        locals.push(acc / 4.0);
+    }
+    assert!(
+        locals[1] < locals[0],
+        "locality must decay with cluster size: {locals:?}"
+    );
+    // And the closed form predicts the same ordering.
+    let t8 = LocalityModel::new(ClusterParams::new(48, 3, 8))
+        .params()
+        .p_local();
+    let t32 = LocalityModel::new(ClusterParams::new(192, 3, 32))
+        .params()
+        .p_local();
+    assert!(t32 < t8);
+}

@@ -1,0 +1,148 @@
+//! Dynamic/irregular workloads (paper Section V-A3).
+//!
+//! mpiBLAST-style gene comparison: task I/O is one chunk, but compute time
+//! "could vary greatly and \[is\] difficult to predict according to the input
+//! data". The paper simulates this with a random policy; we draw per-task
+//! compute times from a seeded log-normal distribution (heavy-tailed, always
+//! positive — the standard model for service-time skew).
+
+use crate::task::{Task, Workload};
+use opass_dfs::{DatasetId, DatasetSpec, Namenode, Placement, DEFAULT_CHUNK_SIZE};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Parameters for the dynamic workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynamicConfig {
+    /// Number of tasks (= chunks).
+    pub n_tasks: usize,
+    /// Chunk size in bytes.
+    pub chunk_size: u64,
+    /// Median compute time per task, seconds.
+    pub compute_median: f64,
+    /// Log-normal shape parameter sigma; 0 makes compute deterministic,
+    /// ~1.0 gives the heavy skew irregular workloads show.
+    pub compute_sigma: f64,
+}
+
+impl Default for DynamicConfig {
+    fn default() -> Self {
+        DynamicConfig {
+            n_tasks: 640,
+            chunk_size: DEFAULT_CHUNK_SIZE,
+            compute_median: 0.5,
+            compute_sigma: 1.0,
+        }
+    }
+}
+
+/// Draws a log-normal sample `exp(mu + sigma·Z)` using Box–Muller, so the
+/// only dependency is the uniform RNG.
+fn lognormal(rng: &mut StdRng, median: f64, sigma: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    median * (sigma * z).exp()
+}
+
+/// Creates the dataset and the irregular-compute workload over it.
+pub fn generate(
+    namenode: &mut Namenode,
+    config: &DynamicConfig,
+    placement: &Placement,
+    rng: &mut StdRng,
+) -> (DatasetId, Workload) {
+    assert!(config.n_tasks > 0, "need at least one task");
+    assert!(
+        config.compute_median >= 0.0 && config.compute_sigma >= 0.0,
+        "compute parameters must be non-negative"
+    );
+    let spec = DatasetSpec::uniform("dynamic-gene-db", config.n_tasks, config.chunk_size);
+    let ds = namenode.create_dataset(&spec, placement, rng);
+    let tasks = namenode
+        .dataset(ds)
+        .expect("dataset just created")
+        .chunks
+        .clone()
+        .into_iter()
+        .map(|c| {
+            let compute = if config.compute_median == 0.0 {
+                0.0
+            } else {
+                lognormal(rng, config.compute_median, config.compute_sigma)
+            };
+            Task::single(c).with_compute(compute)
+        })
+        .collect();
+    (ds, Workload::new("dynamic-irregular", tasks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opass_dfs::DfsConfig;
+    use rand::SeedableRng;
+
+    fn generate_with(seed: u64, cfg: &DynamicConfig) -> Workload {
+        let mut nn = Namenode::new(8, DfsConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        generate(&mut nn, cfg, &Placement::Random, &mut rng).1
+    }
+
+    #[test]
+    fn compute_times_are_positive_and_irregular() {
+        let cfg = DynamicConfig {
+            n_tasks: 200,
+            chunk_size: 64,
+            compute_median: 1.0,
+            compute_sigma: 1.0,
+        };
+        let w = generate_with(7, &cfg);
+        let times: Vec<f64> = w.tasks.iter().map(|t| t.compute_seconds).collect();
+        assert!(times.iter().all(|&t| t > 0.0));
+        let max = times.iter().cloned().fold(0.0, f64::max);
+        let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            max / min > 5.0,
+            "sigma=1 should be visibly skewed: {max}/{min}"
+        );
+    }
+
+    #[test]
+    fn median_is_roughly_respected() {
+        let cfg = DynamicConfig {
+            n_tasks: 2000,
+            chunk_size: 64,
+            compute_median: 0.5,
+            compute_sigma: 0.8,
+        };
+        let w = generate_with(11, &cfg);
+        let mut times: Vec<f64> = w.tasks.iter().map(|t| t.compute_seconds).collect();
+        times.sort_by(f64::total_cmp);
+        let median = times[times.len() / 2];
+        assert!((median - 0.5).abs() < 0.1, "empirical median {median}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = DynamicConfig {
+            n_tasks: 50,
+            chunk_size: 64,
+            compute_median: 1.0,
+            compute_sigma: 0.5,
+        };
+        assert_eq!(generate_with(3, &cfg), generate_with(3, &cfg));
+    }
+
+    #[test]
+    fn zero_median_disables_compute() {
+        let cfg = DynamicConfig {
+            n_tasks: 10,
+            chunk_size: 64,
+            compute_median: 0.0,
+            compute_sigma: 1.0,
+        };
+        let w = generate_with(5, &cfg);
+        assert!(w.tasks.iter().all(|t| t.compute_seconds == 0.0));
+    }
+}

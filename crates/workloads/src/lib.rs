@@ -1,0 +1,34 @@
+//! # opass-workloads — evaluation workload generators
+//!
+//! Synthetic equivalents of every workload the Opass paper evaluates:
+//!
+//! * [`single`] — equal-data single-input tasks (Section V-A1; ~10 chunks
+//!   per process, 64 MB each);
+//! * [`multi`] — triple-input tasks over three datasets of 30/20/10 MB
+//!   chunks (Section V-A2, the gene-comparison pattern of Figure 2);
+//! * [`dynamic`] — single-input tasks with heavy-tailed compute times, the
+//!   mpiBLAST-style irregular workload (Section V-A3);
+//! * [`paraview`] — the multi-block rendering run: a 640-sub-file library,
+//!   64 sub-files of ≈56 MB per rendering step (Section V-B), complete with
+//!   a meta-file model;
+//! * [`task`] — the shared [`Task`]/[`Workload`] types.
+//!
+//! All generators write their datasets into an [`opass_dfs::Namenode`] under
+//! a caller-chosen placement policy and are deterministic given an RNG seed.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dynamic;
+pub mod multi;
+pub mod paraview;
+pub mod replay;
+pub mod single;
+pub mod task;
+
+pub use dynamic::DynamicConfig;
+pub use multi::MultiDataConfig;
+pub use paraview::{BlockKind, BlockRef, MetaFile, ParaViewConfig, ParaViewRun};
+pub use replay::{ReplayError, TraceTask};
+pub use single::SingleDataConfig;
+pub use task::{Task, Workload};

@@ -1,0 +1,95 @@
+//! Single-data workloads (paper Section V-A1).
+//!
+//! "Our test dataset contains approximately ten chunk files for every
+//! process" — one dataset of `chunks_per_process × m` equal 64 MB chunks,
+//! one task per chunk, no compute phase. This is the equal-data-assignment
+//! scenario that ParaView-style applications produce.
+
+use crate::task::{Task, Workload};
+use opass_dfs::{DatasetId, DatasetSpec, Namenode, Placement, DEFAULT_CHUNK_SIZE};
+use rand::rngs::StdRng;
+
+/// Parameters for the single-data workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SingleDataConfig {
+    /// Number of parallel processes (usually = cluster size).
+    pub n_procs: usize,
+    /// Chunks per process; the paper uses ~10.
+    pub chunks_per_process: usize,
+    /// Chunk size in bytes (default 64 MB).
+    pub chunk_size: u64,
+}
+
+impl Default for SingleDataConfig {
+    fn default() -> Self {
+        SingleDataConfig {
+            n_procs: 64,
+            chunks_per_process: 10,
+            chunk_size: DEFAULT_CHUNK_SIZE,
+        }
+    }
+}
+
+impl SingleDataConfig {
+    /// Total chunk count `n = chunks_per_process × n_procs`.
+    pub fn n_chunks(&self) -> usize {
+        self.n_procs * self.chunks_per_process
+    }
+}
+
+/// Creates the dataset on the namenode and returns the workload over it.
+pub fn generate(
+    namenode: &mut Namenode,
+    config: &SingleDataConfig,
+    placement: &Placement,
+    rng: &mut StdRng,
+) -> (DatasetId, Workload) {
+    assert!(config.n_procs > 0, "need at least one process");
+    assert!(
+        config.chunks_per_process > 0,
+        "need at least one chunk per process"
+    );
+    let spec = DatasetSpec::uniform("single-data", config.n_chunks(), config.chunk_size);
+    let ds = namenode.create_dataset(&spec, placement, rng);
+    let tasks = namenode
+        .dataset(ds)
+        .expect("dataset just created")
+        .chunks
+        .iter()
+        .map(|&c| Task::single(c))
+        .collect();
+    (ds, Workload::new("single-data", tasks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opass_dfs::DfsConfig;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_one_task_per_chunk() {
+        let mut nn = Namenode::new(8, DfsConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = SingleDataConfig {
+            n_procs: 8,
+            chunks_per_process: 3,
+            chunk_size: 64,
+        };
+        let (ds, w) = generate(&mut nn, &cfg, &Placement::Random, &mut rng);
+        assert_eq!(w.len(), 24);
+        assert_eq!(cfg.n_chunks(), 24);
+        let chunks = &nn.dataset(ds).unwrap().chunks;
+        for (i, task) in w.tasks.iter().enumerate() {
+            assert_eq!(task.inputs, vec![chunks[i]]);
+            assert_eq!(task.compute_seconds, 0.0);
+        }
+    }
+
+    #[test]
+    fn default_matches_paper_scale() {
+        let cfg = SingleDataConfig::default();
+        assert_eq!(cfg.n_chunks(), 640);
+        assert_eq!(cfg.chunk_size, 64 * 1024 * 1024);
+    }
+}

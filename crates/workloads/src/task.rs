@@ -1,0 +1,131 @@
+//! Data-processing tasks — the unit the paper's matchers assign.
+//!
+//! A task reads one or more input chunks and then computes for a while
+//! (rendering, sequence alignment, …). The paper's three evaluation modes
+//! differ only in how tasks look: single-input with zero compute
+//! (Section V-A1), triple-input (V-A2), single-input with irregular compute
+//! (V-A3), and ParaView render steps (V-B).
+
+use opass_dfs::ChunkId;
+use serde::{Deserialize, Serialize};
+
+/// One data-processing task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Input chunks, read in order.
+    pub inputs: Vec<ChunkId>,
+    /// Simulated compute time after all inputs arrive, in seconds.
+    pub compute_seconds: f64,
+}
+
+impl Task {
+    /// A task reading a single chunk with no compute phase.
+    pub fn single(chunk: ChunkId) -> Self {
+        Task {
+            inputs: vec![chunk],
+            compute_seconds: 0.0,
+        }
+    }
+
+    /// A task with several inputs and no compute phase.
+    pub fn multi(inputs: Vec<ChunkId>) -> Self {
+        assert!(!inputs.is_empty(), "a task needs at least one input");
+        Task {
+            inputs,
+            compute_seconds: 0.0,
+        }
+    }
+
+    /// Attaches a compute phase.
+    pub fn with_compute(mut self, seconds: f64) -> Self {
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "compute time must be finite and non-negative"
+        );
+        self.compute_seconds = seconds;
+        self
+    }
+}
+
+/// A named collection of tasks analyzed in one parallel run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Human-readable name for reports.
+    pub name: String,
+    /// The tasks, indexed densely (task id = position).
+    pub tasks: Vec<Task>,
+}
+
+impl Workload {
+    /// Creates a workload.
+    pub fn new(name: impl Into<String>, tasks: Vec<Task>) -> Self {
+        Workload {
+            name: name.into(),
+            tasks,
+        }
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when there are no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Total bytes demanded across all tasks (inputs are counted per task;
+    /// shared chunks are counted each time they are read).
+    pub fn total_input_bytes(&self, size_of: impl Fn(ChunkId) -> u64) -> u64 {
+        self.tasks
+            .iter()
+            .flat_map(|t| t.inputs.iter())
+            .map(|&c| size_of(c))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_task_shape() {
+        let t = Task::single(ChunkId(3));
+        assert_eq!(t.inputs, vec![ChunkId(3)]);
+        assert_eq!(t.compute_seconds, 0.0);
+    }
+
+    #[test]
+    fn with_compute_sets_phase() {
+        let t = Task::single(ChunkId(0)).with_compute(2.5);
+        assert_eq!(t.compute_seconds, 2.5);
+    }
+
+    #[test]
+    fn workload_totals() {
+        let w = Workload::new(
+            "w",
+            vec![
+                Task::multi(vec![ChunkId(0), ChunkId(1)]),
+                Task::single(ChunkId(2)),
+            ],
+        );
+        assert_eq!(w.len(), 2);
+        assert!(!w.is_empty());
+        assert_eq!(w.total_input_bytes(|c| 10 + c.0), 10 + 11 + 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn multi_rejects_empty() {
+        let _ = Task::multi(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_negative_compute() {
+        let _ = Task::single(ChunkId(0)).with_compute(-1.0);
+    }
+}

@@ -1,0 +1,56 @@
+//! mpiBLAST-style dynamic scheduling (paper Section IV-D, V-A3).
+//!
+//! A master process hands gene-database chunks to whichever worker is idle;
+//! per-task compute times are heavy-tailed (sequence alignment cost is
+//! input-dependent). The default dispatcher is a FIFO queue; Opass computes
+//! per-worker lists by matching and steals by co-location when a worker
+//! runs dry.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p opass-examples --example dynamic_blast
+//! ```
+
+use opass_core::experiment::{DynamicExperiment, DynamicStrategy};
+
+fn main() {
+    let experiment = DynamicExperiment {
+        n_nodes: 32,
+        tasks_per_process: 10,
+        compute_median: 0.5,
+        compute_sigma: 1.2, // heavy skew: some alignments take much longer
+        seed: 1234,
+        ..Default::default()
+    };
+
+    println!(
+        "dynamic gene search: {} workers, {} chunks, irregular compute\n",
+        experiment.n_nodes,
+        experiment.n_nodes * experiment.tasks_per_process
+    );
+
+    let fifo = experiment.run(DynamicStrategy::Fifo);
+    let guided = experiment.run(DynamicStrategy::OpassGuided);
+
+    for (label, run) in [
+        ("FIFO master/worker", &fifo),
+        ("Opass-guided lists", &guided),
+    ] {
+        let io = run.result.io_summary();
+        println!("{label}:");
+        println!(
+            "  local reads {:5.1}%   avg I/O {:.2}s   max I/O {:.2}s   makespan {:.1}s",
+            run.result.local_fraction() * 100.0,
+            io.mean,
+            io.max,
+            run.result.makespan
+        );
+    }
+
+    let speedup = fifo.result.io_summary().mean / guided.result.io_summary().mean;
+    println!(
+        "\nOpass guidance cuts the average I/O operation {speedup:.1}x \
+         (paper reports 2.7x on Marmot)"
+    );
+    println!("and the irregular compute still balances: dynamic stealing kept every worker busy.");
+}

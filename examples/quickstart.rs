@@ -1,0 +1,49 @@
+//! Quickstart: see Opass beat the default assignment in ~30 lines.
+//!
+//! Builds a 16-node simulated HDFS cluster holding 64 chunks of 64 MB,
+//! reads the dataset with ParaView-style rank-interval assignment and then
+//! with the Opass max-flow matching, and prints the comparison.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p opass-examples --example quickstart
+//! ```
+
+use opass_core::experiment::{SingleDataExperiment, SingleStrategy};
+
+fn main() {
+    let experiment = SingleDataExperiment {
+        n_nodes: 16,
+        chunks_per_process: 4,
+        seed: 42,
+        ..Default::default()
+    };
+
+    println!("Opass quickstart: 16 nodes, 64 chunks x 64 MB, 3-way replication\n");
+    for (label, strategy) in [
+        (
+            "rank-interval (ParaView default)",
+            SingleStrategy::RankInterval,
+        ),
+        ("random balanced assignment", SingleStrategy::RandomAssign),
+        ("Opass max-flow matching", SingleStrategy::Opass),
+    ] {
+        let run = experiment.run(strategy);
+        let io = run.result.io_summary();
+        println!("{label}:");
+        println!(
+            "  local reads    {:5.1}%",
+            run.result.local_fraction() * 100.0
+        );
+        println!(
+            "  I/O time       avg {:.2}s  max {:.2}s  min {:.2}s",
+            io.mean, io.max, io.min
+        );
+        println!("  makespan       {:.2}s", run.result.makespan);
+        println!("  planning cost  {:.2} ms\n", run.planning_seconds * 1e3);
+    }
+
+    println!("Opass serves (nearly) every read from the reader's own disk, so");
+    println!("per-read times stay at the ~0.9 s a lone local 64 MB read costs,");
+    println!("and no storage node becomes a contended hot spot.");
+}

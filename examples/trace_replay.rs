@@ -1,0 +1,98 @@
+//! Replay your own task trace through the Opass stack.
+//!
+//! Writes a small `size_bytes,compute_seconds` CSV (as your job logs
+//! would), loads it into a simulated cluster, and compares the default
+//! assignment against the Opass matching on *your* workload — including
+//! the byte-weighted objective, since replayed chunk sizes are mixed.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p opass-examples --example trace_replay
+//! ```
+
+use opass_core::planner::OpassPlanner;
+use opass_dfs::{DfsConfig, Namenode, Placement};
+use opass_matching::Objective;
+use opass_runtime::{baseline, execute, ExecConfig, ProcessPlacement, TaskSource};
+use opass_workloads::replay;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // A synthetic "job log": alternating large scans and small index reads
+    // with varying compute.
+    let mut csv = String::from("size_bytes,compute_seconds\n");
+    for i in 0..96 {
+        if i % 3 == 0 {
+            csv.push_str("67108864,0.8\n"); // 64 MB scan + compute
+        } else {
+            csv.push_str("8388608,0.1\n"); // 8 MB index lookup
+        }
+    }
+
+    // Single replication: locality is scarce, so the matching cannot keep
+    // everything local and the *objective* decides what stays.
+    let n_nodes = 12;
+    let mut namenode = Namenode::new(n_nodes, DfsConfig { replication: 1 });
+    let mut rng = StdRng::seed_from_u64(3);
+    let (_, workload) =
+        replay::from_csv(&mut namenode, "job-log", &csv, &Placement::Random, &mut rng)
+            .expect("valid trace");
+    println!(
+        "replayed {} tasks ({} MB total input) onto {n_nodes} nodes\n",
+        workload.len(),
+        workload.total_input_bytes(|c| namenode.chunk(c).unwrap().size) >> 20
+    );
+
+    let placement = ProcessPlacement::one_per_node(n_nodes);
+    let exec = ExecConfig {
+        seed: 9,
+        ..Default::default()
+    };
+
+    let plans = [
+        (
+            "rank-interval",
+            baseline::rank_interval(workload.len(), n_nodes),
+        ),
+        (
+            "opass (count)",
+            OpassPlanner::default()
+                .plan_single_data(&namenode, &workload, &placement, 5)
+                .assignment,
+        ),
+        (
+            "opass (bytes)",
+            OpassPlanner {
+                objective: Objective::MatchedBytes,
+                ..Default::default()
+            }
+            .plan_single_data(&namenode, &workload, &placement, 5)
+            .assignment,
+        ),
+    ];
+    println!(
+        "  {:<16} {:>11} {:>12} {:>10}",
+        "strategy", "local bytes", "avg I/O", "makespan"
+    );
+    for (name, assignment) in plans {
+        let run = execute(
+            &namenode,
+            &workload,
+            &placement,
+            TaskSource::Static(assignment),
+            &exec,
+        );
+        println!(
+            "  {:<16} {:>10.0}% {:>11.3}s {:>9.2}s",
+            name,
+            run.local_byte_fraction() * 100.0,
+            run.io_summary().mean,
+            run.makespan
+        );
+    }
+    println!("\nWith r = 1 the matching cannot keep everything local; the byte");
+    println!("objective spends the scarce locality on the 64 MB scans instead of");
+    println!("the 8 MB lookups. (With r >= 2 both objectives reach ~100% local");
+    println!("bytes and the choice stops mattering — see ext-matching-prob.)");
+}
