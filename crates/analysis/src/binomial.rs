@@ -6,8 +6,6 @@
 //! factorials overflow long before that, so probabilities are computed in
 //! log space via `ln n!`.
 
-use serde::{Deserialize, Serialize};
-
 /// Natural log of `n!`, exact summation for small `n`, Stirling series
 /// beyond (absolute error below 1e-10 for all `n`).
 pub fn ln_factorial(n: u64) -> f64 {
@@ -41,7 +39,7 @@ pub fn ln_choose(n: u64, k: u64) -> f64 {
 }
 
 /// A binomial distribution `Bin(n, p)`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Binomial {
     n: u64,
     p: f64,

@@ -18,7 +18,6 @@
 
 use crate::binomial::Binomial;
 use crate::locality::ClusterParams;
-use serde::{Deserialize, Serialize};
 
 /// # Example
 ///
@@ -33,7 +32,7 @@ use serde::{Deserialize, Serialize};
 /// ```
 ///
 /// Distribution of the number of chunks served by one storage node.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ImbalanceModel {
     params: ClusterParams,
 }

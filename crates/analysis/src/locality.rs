@@ -19,10 +19,9 @@
 //! conclusion stands: locality decays quickly as the cluster grows.
 
 use crate::binomial::Binomial;
-use serde::{Deserialize, Serialize};
 
 /// Cluster/workload parameters shared by the Section III models.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ClusterParams {
     /// Number of chunks in the dataset (`n`).
     pub n_chunks: u64,
@@ -62,7 +61,7 @@ impl ClusterParams {
 }
 
 /// Distribution of the number of chunks a process can read locally.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LocalityModel {
     params: ClusterParams,
 }

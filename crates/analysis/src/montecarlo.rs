@@ -12,10 +12,9 @@ use crate::locality::ClusterParams;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Configuration for a Monte-Carlo run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MonteCarloConfig {
     /// Cluster and dataset parameters.
     pub params: ClusterParams,
@@ -26,7 +25,7 @@ pub struct MonteCarloConfig {
 }
 
 /// Empirical distributions gathered from the trials.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MonteCarloResult {
     /// `local_reads[k]` = number of (trial, process) observations in which a
     /// process read exactly `k` of its assigned chunks locally

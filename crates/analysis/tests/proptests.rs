@@ -1,6 +1,7 @@
-//! Property-based tests for the probabilistic analysis.
+//! Randomized property tests for the probabilistic analysis.
 //!
-//! Invariants on randomized parameters:
+//! Invariants on randomized parameters (seeded `StdRng` loops, so every run
+//! exercises the same cases deterministically):
 //! * binomial pmf sums to 1, cdf is monotone, cdf + sf = 1;
 //! * `ln_choose` satisfies Pascal's rule in log space;
 //! * the locality CDF is monotone in `k` and decreasing in cluster size;
@@ -8,87 +9,119 @@
 //! * the expected-max order statistic is bounded by mean and total.
 
 use opass_analysis::{ln_choose, Binomial, ClusterParams, ImbalanceModel, LocalityModel};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn pmf_sums_to_one(n in 1u64..400, p in 0.0f64..1.0) {
+#[test]
+fn pmf_sums_to_one() {
+    let mut rng = StdRng::seed_from_u64(0xA1);
+    for _ in 0..64 {
+        let n = rng.gen_range(1u64..400);
+        let p = rng.gen_range(0.0f64..1.0);
         let b = Binomial::new(n, p);
         let total: f64 = (0..=n).map(|k| b.pmf(k)).sum();
-        prop_assert!((total - 1.0).abs() < 1e-8, "total={}", total);
+        assert!((total - 1.0).abs() < 1e-8, "n={n} p={p} total={total}");
     }
+}
 
-    #[test]
-    fn cdf_monotone_and_complements_sf(n in 1u64..300, p in 0.0f64..1.0, k in 0u64..300) {
+#[test]
+fn cdf_monotone_and_complements_sf() {
+    let mut rng = StdRng::seed_from_u64(0xA2);
+    for _ in 0..64 {
+        let n = rng.gen_range(1u64..300);
+        let p = rng.gen_range(0.0f64..1.0);
+        let k = rng.gen_range(0u64..300).min(n);
         let b = Binomial::new(n, p);
-        let k = k.min(n);
         if k > 0 {
-            prop_assert!(b.cdf(k) + 1e-12 >= b.cdf(k - 1));
+            assert!(b.cdf(k) + 1e-12 >= b.cdf(k - 1), "n={n} p={p} k={k}");
         }
-        prop_assert!((b.cdf(k) + b.sf(k) - 1.0).abs() < 1e-8);
+        assert!((b.cdf(k) + b.sf(k) - 1.0).abs() < 1e-8, "n={n} p={p} k={k}");
     }
+}
 
-    #[test]
-    fn pascals_rule_in_log_space(n in 2u64..500, k in 1u64..500) {
-        prop_assume!(k < n);
-        // C(n,k) = C(n-1,k-1) + C(n-1,k): compare in linear space via exp
-        // of the log forms (values stay finite for n<=500 only in log
-        // space, so compare ratios).
+#[test]
+fn pascals_rule_in_log_space() {
+    let mut rng = StdRng::seed_from_u64(0xA3);
+    let mut checked = 0;
+    while checked < 64 {
+        let n = rng.gen_range(2u64..500);
+        let k = rng.gen_range(1u64..500);
+        if k >= n {
+            continue;
+        }
+        checked += 1;
+        // C(n,k) = C(n-1,k-1) + C(n-1,k), compared via log-sum-exp.
         let lhs = ln_choose(n, k);
         let a = ln_choose(n - 1, k - 1);
         let b = ln_choose(n - 1, k);
-        // log-sum-exp of the right side.
         let m = a.max(b);
         let rhs = m + ((a - m).exp() + (b - m).exp()).ln();
-        prop_assert!((lhs - rhs).abs() < 1e-8, "lhs={} rhs={}", lhs, rhs);
+        assert!((lhs - rhs).abs() < 1e-8, "n={n} k={k} lhs={lhs} rhs={rhs}");
     }
+}
 
-    #[test]
-    fn locality_decreases_with_cluster_size(
-        n_chunks in 16u64..600,
-        r in 1u32..4,
-        m1 in 8u32..64,
-        factor in 2u32..6,
-    ) {
+#[test]
+fn locality_decreases_with_cluster_size() {
+    let mut rng = StdRng::seed_from_u64(0xA4);
+    let mut checked = 0;
+    while checked < 64 {
+        let n_chunks = rng.gen_range(16u64..600);
+        let r = rng.gen_range(1u32..4);
+        let m1 = rng.gen_range(8u32..64);
+        let factor = rng.gen_range(2u32..6);
         let m2 = m1 * factor;
-        prop_assume!(r <= m1);
+        if r > m1 {
+            continue;
+        }
+        checked += 1;
         let small = LocalityModel::new(ClusterParams::new(n_chunks, r, m1));
         let large = LocalityModel::new(ClusterParams::new(n_chunks, r, m2));
-        prop_assert!(large.expected_local() < small.expected_local());
+        assert!(
+            large.expected_local() < small.expected_local(),
+            "n={n_chunks} r={r} m1={m1} m2={m2}"
+        );
         // CDF at any k is at least as high on the large cluster (fewer
         // local reads stochastically).
         for k in [0u64, 1, 4, 16] {
-            prop_assert!(large.cdf(k) + 1e-12 >= small.cdf(k), "k={}", k);
+            assert!(large.cdf(k) + 1e-12 >= small.cdf(k), "k={k}");
         }
     }
+}
 
-    #[test]
-    fn served_mixture_equals_marginal(
-        n_chunks in 16u64..400,
-        r in 1u32..4,
-        m in 8u32..128,
-        k in 0u64..30,
-    ) {
-        prop_assume!(r <= m);
+#[test]
+fn served_mixture_equals_marginal() {
+    let mut rng = StdRng::seed_from_u64(0xA5);
+    let mut checked = 0;
+    while checked < 64 {
+        let n_chunks = rng.gen_range(16u64..400);
+        let r = rng.gen_range(1u32..4);
+        let m = rng.gen_range(8u32..128);
+        let k = rng.gen_range(0u64..30);
+        if r > m {
+            continue;
+        }
+        checked += 1;
         let model = ImbalanceModel::new(ClusterParams::new(n_chunks, r, m));
         let marginal = Binomial::new(n_chunks, 1.0 / f64::from(m));
-        prop_assert!(
+        assert!(
             (model.served_cdf(k) - marginal.cdf(k)).abs() < 1e-7,
             "k={}: mixture={} marginal={}",
-            k, model.served_cdf(k), marginal.cdf(k)
+            k,
+            model.served_cdf(k),
+            marginal.cdf(k)
         );
     }
+}
 
-    #[test]
-    fn expected_max_is_between_mean_and_total(
-        n_chunks in 16u64..300,
-        m in 4u32..64,
-    ) {
+#[test]
+fn expected_max_is_between_mean_and_total() {
+    let mut rng = StdRng::seed_from_u64(0xA6);
+    for _ in 0..64 {
+        let n_chunks = rng.gen_range(16u64..300);
+        let m = rng.gen_range(4u32..64);
         let model = ImbalanceModel::new(ClusterParams::new(n_chunks, 3.min(m), m));
         let max = model.expected_max_served();
-        prop_assert!(max + 1e-9 >= model.expected_served(), "max {} < mean", max);
-        prop_assert!(max <= n_chunks as f64 + 1e-9, "max {} > total", max);
+        assert!(max + 1e-9 >= model.expected_served(), "max {max} < mean");
+        assert!(max <= n_chunks as f64 + 1e-9, "max {max} > total");
     }
 }

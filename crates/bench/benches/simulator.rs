@@ -4,7 +4,7 @@
 //! loop) and of the raw max-min rate allocator under heavy fan-in.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use opass_core::experiment::{SingleDataExperiment, SingleStrategy};
+use opass_core::{ClusterSpec, Experiment, SingleData, Strategy};
 use opass_simio::fairshare::{allocate_rates, FlowPath};
 use opass_simio::{ClusterIo, IoParams, MB_U64};
 
@@ -15,12 +15,14 @@ fn bench_end_to_end_run(c: &mut Criterion) {
     group.sample_size(10);
     for &m in &[16usize, 64] {
         group.bench_with_input(BenchmarkId::from_parameter(format!("m{m}")), &m, |b, &m| {
-            let experiment = SingleDataExperiment {
-                n_nodes: m,
+            let experiment = SingleData {
+                cluster: ClusterSpec {
+                    n_nodes: m,
+                    ..Default::default()
+                },
                 chunks_per_process: 10,
-                ..Default::default()
             };
-            b.iter(|| experiment.run(SingleStrategy::RankInterval))
+            b.iter(|| experiment.run(Strategy::RankInterval))
         });
     }
     group.finish();

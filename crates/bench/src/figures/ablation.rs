@@ -10,8 +10,8 @@
 //!   head stealing in the dynamic scheduler.
 
 use crate::report::{mb, secs, CsvWriter, FigureReport};
-use opass_core::experiment::{SingleDataExperiment, SingleStrategy};
 use opass_core::planner::OpassPlanner;
+use opass_core::{ClusterSpec, Experiment, SingleData, Strategy};
 use opass_dfs::{DatasetSpec, DfsConfig, Namenode, Placement, ReplicaChoice};
 use opass_matching::{FillPolicy, GuidedScheduler, StealPolicy};
 use opass_runtime::{baseline, execute, ExecConfig, ProcessPlacement, RunResult, TaskSource};
@@ -32,27 +32,25 @@ pub fn ablate_replication(out: &Path, seed: u64) -> FigureReport {
     .expect("write ablate_replication");
 
     for r in [1u32, 2, 3, 5] {
-        for strategy in [SingleStrategy::RankInterval, SingleStrategy::Opass] {
-            let experiment = SingleDataExperiment {
-                n_nodes: 32,
+        for strategy in [Strategy::RankInterval, Strategy::Opass] {
+            let experiment = SingleData {
+                cluster: ClusterSpec {
+                    n_nodes: 32,
+                    replication: r,
+                    seed: seed ^ u64::from(r),
+                    ..Default::default()
+                },
                 chunks_per_process: 5,
-                replication: r,
-                seed: seed ^ u64::from(r),
-                ..Default::default()
             };
-            let run = experiment.run(strategy);
-            let name = match strategy {
-                SingleStrategy::Opass => "with_opass",
-                _ => "without_opass",
-            };
+            let run = experiment.run(strategy).expect("single-data strategy");
             csv.row(&[
                 r.to_string(),
-                name.into(),
+                strategy.label(),
                 format!("{:.1}", run.result.local_fraction() * 100.0),
                 secs(run.result.io_summary().mean),
             ])
             .expect("row");
-            if strategy == SingleStrategy::Opass {
+            if strategy == Strategy::Opass {
                 report.line(format!(
                     "r={r}: Opass locality {:.0}%, avg I/O {} s",
                     run.result.local_fraction() * 100.0,
@@ -80,23 +78,26 @@ pub fn ablate_seek(out: &Path, seed: u64) -> FigureReport {
         ("with_seek_degradation", IoParams::marmot()),
         ("constant_disk", IoParams::marmot().no_seek_degradation()),
     ] {
-        for strategy in [SingleStrategy::RankInterval, SingleStrategy::Opass] {
-            let experiment = SingleDataExperiment {
-                n_nodes: 64,
+        for strategy in [Strategy::RankInterval, Strategy::Opass] {
+            let experiment = SingleData {
+                cluster: ClusterSpec {
+                    n_nodes: 64,
+                    io,
+                    seed,
+                    ..Default::default()
+                },
                 chunks_per_process: 10,
-                io,
-                seed,
-                ..Default::default()
             };
-            let run = experiment.run(strategy);
+            let run = experiment.run(strategy).expect("single-data strategy");
             let s = run.result.io_summary();
-            let sname = match strategy {
-                SingleStrategy::Opass => "with_opass",
-                _ => "without_opass",
-            };
-            csv.row(&[model_name.into(), sname.into(), secs(s.mean), secs(s.max)])
-                .expect("row");
-            if strategy == SingleStrategy::RankInterval {
+            csv.row(&[
+                model_name.into(),
+                strategy.label(),
+                secs(s.mean),
+                secs(s.max),
+            ])
+            .expect("row");
+            if strategy == Strategy::RankInterval {
                 report.line(format!(
                     "{model_name}: baseline avg {} s max {} s",
                     secs(s.mean),

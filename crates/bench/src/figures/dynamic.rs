@@ -6,20 +6,28 @@
 //! The paper reports a 2.7× lower average I/O operation time with Opass.
 
 use crate::report::{secs, CsvWriter, FigureReport};
-use opass_core::experiment::{DynamicExperiment, DynamicStrategy};
+use opass_core::{ClusterSpec, Dynamic, Experiment, Strategy};
 use std::path::Path;
 
-/// Regenerates Figure 11.
+/// Regenerates Figure 11. Runs instrumented so the steal counter — which
+/// only the event recorder tracks — makes it into the summary.
 pub fn fig11(out: &Path, seed: u64) -> FigureReport {
     let mut report = FigureReport::new("fig11");
-    let experiment = DynamicExperiment {
-        n_nodes: 64,
+    let experiment = Dynamic {
+        cluster: ClusterSpec {
+            n_nodes: 64,
+            seed,
+            ..Dynamic::default().cluster
+        },
         tasks_per_process: 10,
-        seed,
         ..Default::default()
     };
-    let fifo = experiment.run(DynamicStrategy::Fifo);
-    let guided = experiment.run(DynamicStrategy::OpassGuided);
+    let fifo = experiment
+        .run_instrumented(Strategy::Fifo)
+        .expect("fifo supported");
+    let guided = experiment
+        .run_instrumented(Strategy::OpassGuided)
+        .expect("guided supported");
 
     let mut trace_csv = CsvWriter::create(
         out,
@@ -27,10 +35,10 @@ pub fn fig11(out: &Path, seed: u64) -> FigureReport {
         &["op_index", "strategy", "io_seconds"],
     )
     .expect("write fig11");
-    for (name, run) in [("without_opass", &fifo), ("with_opass", &guided)] {
+    for (strategy, run) in [(Strategy::Fifo, &fifo), (Strategy::OpassGuided, &guided)] {
         for (i, d) in run.result.durations().iter().enumerate() {
             trace_csv
-                .row(&[i.to_string(), name.into(), secs(*d)])
+                .row(&[i.to_string(), strategy.label(), secs(*d)])
                 .expect("row");
         }
     }
@@ -49,6 +57,11 @@ pub fn fig11(out: &Path, seed: u64) -> FigureReport {
         fifo.result.local_fraction() * 100.0,
         guided.result.local_fraction() * 100.0
     ));
+    let gm = guided.metrics().expect("instrumented");
+    report.line(format!(
+        "guided run: {} of {} tasks stolen cross-list (locality-aware stealing keeps workers busy)",
+        gm.counters.steals, gm.counters.tasks_started
+    ));
     report.line(format!(
         "makespan: default {} s, guided {} s",
         secs(fifo.result.makespan),
@@ -63,7 +76,7 @@ mod tests {
 
     #[test]
     fn defaults_match_paper_scale() {
-        let e = DynamicExperiment::default();
-        assert_eq!(e.n_nodes * e.tasks_per_process, 640);
+        let e = Dynamic::default();
+        assert_eq!(e.cluster.n_nodes * e.tasks_per_process, 640);
     }
 }

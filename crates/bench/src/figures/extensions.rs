@@ -11,11 +11,7 @@
 //!   the same problem; the paper cites it as related work).
 
 use crate::report::{secs, CsvWriter, FigureReport};
-use opass_core::experiment::{
-    DynamicExperiment, DynamicStrategy, HeteroStrategy, HeterogeneousExperiment, RackedExperiment,
-    RackedStrategy,
-};
-use opass_core::OpassPlanner;
+use opass_core::{ClusterSpec, Dynamic, Experiment, Heterogeneous, OpassPlanner, Racked, Strategy};
 use opass_dfs::{DatasetSpec, DfsConfig, Namenode, Placement};
 use opass_runtime::{write_dataset, ProcessPlacement, WriteConfig};
 use opass_workloads::{single as single_wl, SingleDataConfig, Workload};
@@ -39,20 +35,24 @@ pub fn ext_rack(out: &Path, seed: u64) -> FigureReport {
     )
     .expect("write ext_rack");
 
-    let exp = RackedExperiment {
-        seed,
+    let exp = Racked {
+        cluster: ClusterSpec {
+            seed,
+            ..Racked::default().cluster
+        },
         ..Default::default()
     };
-    for (name, strategy) in [
-        ("baseline", RackedStrategy::Baseline),
-        ("opass_node_only", RackedStrategy::OpassNodeOnly),
-        ("opass_rack_aware", RackedStrategy::OpassRackAware),
+    for strategy in [
+        Strategy::RankInterval,
+        Strategy::Opass,
+        Strategy::OpassRackAware,
     ] {
-        let run = exp.run(strategy);
+        let run = exp.run(strategy).expect("racked strategy");
         let cross = exp.cross_rack_fraction(&run.result);
         let io = run.result.io_summary();
+        let name = strategy.label();
         csv.row(&[
-            name.into(),
+            name.clone(),
             format!("{:.1}", run.result.local_fraction() * 100.0),
             format!("{:.1}", cross * 100.0),
             secs(io.mean),
@@ -90,18 +90,19 @@ pub fn ext_hetero(out: &Path, seed: u64) -> FigureReport {
     )
     .expect("write ext_hetero");
 
-    let exp = HeterogeneousExperiment {
-        seed,
+    let exp = Heterogeneous {
+        cluster: ClusterSpec {
+            seed,
+            ..Heterogeneous::default().cluster
+        },
         ..Default::default()
     };
-    for (name, strategy) in [
-        ("uniform_quotas", HeteroStrategy::OpassUniform),
-        ("weighted_quotas", HeteroStrategy::OpassWeighted),
-    ] {
-        let run = exp.run(strategy);
+    for strategy in [Strategy::Opass, Strategy::OpassWeighted] {
+        let run = exp.run(strategy).expect("hetero strategy");
         let io = run.result.io_summary();
+        let name = strategy.label();
         csv.row(&[
-            name.into(),
+            name.clone(),
             format!("{:.1}", run.result.local_fraction() * 100.0),
             secs(io.mean),
             secs(io.max),
@@ -175,28 +176,26 @@ pub fn ext_dynamic_baselines(out: &Path, seed: u64) -> FigureReport {
     )
     .expect("write ext_dynamic");
 
-    let exp = DynamicExperiment {
-        n_nodes: 64,
+    let exp = Dynamic {
+        cluster: ClusterSpec {
+            n_nodes: 64,
+            seed,
+            ..Dynamic::default().cluster
+        },
         tasks_per_process: 10,
-        seed,
         ..Default::default()
     };
-    for (name, strategy) in [
-        ("fifo", DynamicStrategy::Fifo),
-        (
-            "delay_sched_8",
-            DynamicStrategy::DelayScheduling { max_skips: 8 },
-        ),
-        (
-            "delay_sched_64",
-            DynamicStrategy::DelayScheduling { max_skips: 64 },
-        ),
-        ("opass_guided", DynamicStrategy::OpassGuided),
+    for strategy in [
+        Strategy::Fifo,
+        Strategy::DelayScheduling { max_skips: 8 },
+        Strategy::DelayScheduling { max_skips: 64 },
+        Strategy::OpassGuided,
     ] {
-        let run = exp.run(strategy);
+        let run = exp.run(strategy).expect("dynamic strategy");
         let io = run.result.io_summary();
+        let name = strategy.label();
         csv.row(&[
-            name.into(),
+            name.clone(),
             format!("{:.1}", run.result.local_fraction() * 100.0),
             secs(io.mean),
             secs(run.result.makespan),

@@ -8,19 +8,23 @@
 //! CDF of I/O operation times.
 
 use crate::report::{secs, CsvWriter, FigureReport};
-use opass_core::experiment::{SingleDataExperiment, SingleStrategy};
+use opass_core::{ClusterSpec, Experiment, SingleData, Strategy};
 use std::path::Path;
 
 /// Regenerates Figure 1(a) and 1(b).
 pub fn fig1(out: &Path, seed: u64) -> FigureReport {
     let mut report = FigureReport::new("fig1");
-    let experiment = SingleDataExperiment {
-        n_nodes: 64,
+    let experiment = SingleData {
+        cluster: ClusterSpec {
+            n_nodes: 64,
+            seed,
+            ..Default::default()
+        },
         chunks_per_process: 2, // 128 chunks on 64 nodes, as in the paper
-        seed,
-        ..Default::default()
     };
-    let run = experiment.run(SingleStrategy::RankInterval);
+    let run = experiment
+        .run(Strategy::RankInterval)
+        .expect("baseline supported");
 
     // Figure 1(a): chunks served per node.
     let chunks = run.result.chunks_served_per_node(64 << 20);

@@ -4,10 +4,12 @@
 //! overhead involved with accessing the whole dataset." We time the planner
 //! (host wall clock) against the *simulated* I/O time of the run it plans —
 //! the same comparison the paper makes, with the caveat (recorded in
-//! EXPERIMENTS.md) that our I/O seconds are simulated.
+//! EXPERIMENTS.md) that our I/O seconds are simulated. Runs stay
+//! uninstrumented on purpose: recording would bill the recorder's own cost
+//! to the planner.
 
 use crate::report::{secs, CsvWriter, FigureReport};
-use opass_core::experiment::{SingleDataExperiment, SingleStrategy};
+use opass_core::{ClusterSpec, Experiment, SingleData, Strategy};
 use std::path::Path;
 
 /// Regenerates the overhead table: planning time vs I/O time across
@@ -28,13 +30,15 @@ pub fn overhead(out: &Path, seed: u64) -> FigureReport {
     .expect("write overhead");
 
     for m in [16usize, 32, 64, 128] {
-        let experiment = SingleDataExperiment {
-            n_nodes: m,
+        let experiment = SingleData {
+            cluster: ClusterSpec {
+                n_nodes: m,
+                seed: seed ^ (m as u64),
+                ..Default::default()
+            },
             chunks_per_process: 10,
-            seed: seed ^ (m as u64),
-            ..Default::default()
         };
-        let run = experiment.run(SingleStrategy::Opass);
+        let run = experiment.run(Strategy::Opass).expect("opass supported");
         // Total I/O time experienced by processes (sum of read durations),
         // matching the paper's "overhead involved with accessing the whole
         // dataset".

@@ -7,22 +7,31 @@
 //! total execution times of ~167 s vs ~98 s.
 
 use crate::report::{secs, CsvWriter, FigureReport};
-use opass_core::experiment::{ParaViewExperiment, ParaViewStrategy};
+use opass_core::{ClusterSpec, Experiment, ParaView, Strategy};
 use opass_simio::Summary;
 use std::path::Path;
+
+fn paraview_at(seed: u64) -> ParaView {
+    ParaView {
+        cluster: ClusterSpec {
+            n_nodes: 64,
+            seed,
+            ..ParaView::default().cluster
+        },
+        ..Default::default()
+    }
+}
 
 /// Regenerates Figure 12 plus the total-execution-time comparison.
 pub fn fig12(out: &Path, seed: u64) -> FigureReport {
     let mut report = FigureReport::new("fig12");
 
     // Trace one run per strategy for the figure...
-    let experiment = ParaViewExperiment {
-        n_nodes: 64,
-        seed,
-        ..Default::default()
-    };
-    let base = experiment.run(ParaViewStrategy::Default);
-    let opass = experiment.run(ParaViewStrategy::Opass);
+    let experiment = paraview_at(seed);
+    let base = experiment
+        .run(Strategy::RankInterval)
+        .expect("baseline supported");
+    let opass = experiment.run(Strategy::Opass).expect("opass supported");
 
     let mut trace_csv = CsvWriter::create(
         out,
@@ -30,10 +39,10 @@ pub fn fig12(out: &Path, seed: u64) -> FigureReport {
         &["op_index", "strategy", "read_seconds"],
     )
     .expect("write fig12");
-    for (name, run) in [("without_opass", &base), ("with_opass", &opass)] {
-        for (i, d) in run.combined.durations().iter().enumerate() {
+    for (strategy, run) in [(Strategy::RankInterval, &base), (Strategy::Opass, &opass)] {
+        for (i, d) in run.result.durations().iter().enumerate() {
             trace_csv
-                .row(&[i.to_string(), name.into(), secs(*d)])
+                .row(&[i.to_string(), strategy.label(), secs(*d)])
                 .expect("row");
         }
     }
@@ -44,17 +53,25 @@ pub fn fig12(out: &Path, seed: u64) -> FigureReport {
     let mut base_makespans = Vec::new();
     let mut opass_makespans = Vec::new();
     for i in 0..5u64 {
-        let experiment = ParaViewExperiment {
-            n_nodes: 64,
-            seed: seed ^ (i + 1),
-            ..Default::default()
-        };
-        base_makespans.push(experiment.run(ParaViewStrategy::Default).combined.makespan);
-        opass_makespans.push(experiment.run(ParaViewStrategy::Opass).combined.makespan);
+        let experiment = paraview_at(seed ^ (i + 1));
+        base_makespans.push(
+            experiment
+                .run(Strategy::RankInterval)
+                .expect("baseline supported")
+                .result
+                .makespan,
+        );
+        opass_makespans.push(
+            experiment
+                .run(Strategy::Opass)
+                .expect("opass supported")
+                .result
+                .makespan,
+        );
     }
 
-    let bs = base.combined.io_summary();
-    let os = opass.combined.io_summary();
+    let bs = base.result.io_summary();
+    let os = opass.result.io_summary();
     report.line(format!(
         "read time without Opass: avg {} s sigma {} (paper: 5.48 sigma 1.339)",
         secs(bs.mean),
@@ -85,8 +102,29 @@ mod tests {
 
     #[test]
     fn defaults_match_paper_scale() {
-        let e = ParaViewExperiment::default();
+        let e = ParaView::default();
         assert_eq!(e.workload.blocks_per_step, 64);
         assert_eq!(e.workload.library_size, 640);
+    }
+
+    #[test]
+    fn step_makespans_cover_every_rendering_step() {
+        let e = ParaView {
+            cluster: ClusterSpec {
+                n_nodes: 8,
+                seed: 3,
+                ..ParaView::default().cluster
+            },
+            workload: opass_core::workloads::ParaViewConfig {
+                library_size: 32,
+                blocks_per_step: 8,
+                n_steps: 2,
+                ..Default::default()
+            },
+        };
+        let run = e.run(Strategy::Opass).unwrap();
+        assert_eq!(run.step_makespans.len(), 2);
+        let total: f64 = run.step_makespans.iter().sum();
+        assert!((total - run.result.makespan).abs() < 1e-9);
     }
 }

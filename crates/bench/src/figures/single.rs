@@ -9,46 +9,49 @@
 
 use crate::report::{mb, secs, CsvWriter, FigureReport};
 use opass_core::analysis::{ClusterParams, ImbalanceModel};
-use opass_core::experiment::{ExperimentRun, SingleDataExperiment, SingleStrategy};
+use opass_core::{ClusterSpec, Experiment, ExperimentRun, SingleData, Strategy};
 use std::path::Path;
 
 const SWEEP: [usize; 5] = [16, 32, 48, 64, 80];
 
-fn strategy_name(s: SingleStrategy) -> &'static str {
-    match s {
-        SingleStrategy::RankInterval => "without_opass",
-        SingleStrategy::RandomAssign => "random_assign",
-        SingleStrategy::Opass => "with_opass",
+fn single_at(m: usize, seed: u64) -> SingleData {
+    SingleData {
+        cluster: ClusterSpec {
+            n_nodes: m,
+            seed,
+            ..Default::default()
+        },
+        chunks_per_process: 10,
     }
 }
 
 /// Runs the cluster-size sweep for both strategies in parallel threads.
-fn run_sweep(seed: u64) -> Vec<(usize, SingleStrategy, ExperimentRun)> {
-    let jobs: Vec<(usize, SingleStrategy)> = SWEEP
+fn run_sweep(seed: u64) -> Vec<(usize, Strategy, ExperimentRun)> {
+    let jobs: Vec<(usize, Strategy)> = SWEEP
         .iter()
         .flat_map(|&m| {
-            [SingleStrategy::RankInterval, SingleStrategy::Opass]
+            [Strategy::RankInterval, Strategy::Opass]
                 .into_iter()
                 .map(move |s| (m, s))
         })
         .collect();
-    let mut results: Vec<Option<(usize, SingleStrategy, ExperimentRun)>> =
-        (0..jobs.len()).map(|_| None).collect();
-    crossbeam::scope(|scope| {
-        for (slot, &(m, strategy)) in results.iter_mut().zip(&jobs) {
-            scope.spawn(move |_| {
-                let experiment = SingleDataExperiment {
-                    n_nodes: m,
-                    chunks_per_process: 10,
-                    seed: seed ^ (m as u64),
-                    ..Default::default()
-                };
-                *slot = Some((m, strategy, experiment.run(strategy)));
-            });
-        }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .iter()
+            .map(|&(m, strategy)| {
+                scope.spawn(move || {
+                    let run = single_at(m, seed ^ (m as u64))
+                        .run(strategy)
+                        .expect("single-data strategy");
+                    (m, strategy, run)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep thread"))
+            .collect()
     })
-    .expect("sweep threads");
-    results.into_iter().map(|r| r.expect("job ran")).collect()
 }
 
 /// Regenerates Figures 7(a,b) and 8(a,b) from one sweep.
@@ -74,7 +77,7 @@ pub fn fig7ab_fig8ab(out: &Path, seed: u64) -> FigureReport {
         io_csv
             .row(&[
                 m.to_string(),
-                strategy_name(*strategy).into(),
+                strategy.label(),
                 secs(io.mean),
                 secs(io.max),
                 secs(io.min),
@@ -85,7 +88,7 @@ pub fn fig7ab_fig8ab(out: &Path, seed: u64) -> FigureReport {
         served_csv
             .row(&[
                 m.to_string(),
-                strategy_name(*strategy).into(),
+                strategy.label(),
                 format!("{:.1}", served.mean / (1024.0 * 1024.0)),
                 format!("{:.1}", served.max / (1024.0 * 1024.0)),
                 format!("{:.1}", served.min / (1024.0 * 1024.0)),
@@ -96,14 +99,14 @@ pub fn fig7ab_fig8ab(out: &Path, seed: u64) -> FigureReport {
     report.add_file(served_csv.path());
 
     // Summary lines echoing the paper's claims.
-    let find = |m: usize, s: SingleStrategy| {
+    let find = |m: usize, s: Strategy| {
         runs.iter()
             .find(|(rm, rs, _)| *rm == m && *rs == s)
             .map(|(_, _, r)| r)
             .expect("run present")
     };
-    let base16 = find(16, SingleStrategy::RankInterval).result.io_summary();
-    let base80 = find(80, SingleStrategy::RankInterval).result.io_summary();
+    let base16 = find(16, Strategy::RankInterval).result.io_summary();
+    let base80 = find(80, Strategy::RankInterval).result.io_summary();
     report.line(format!(
         "w/o Opass max/min I/O ratio: {:.0}x at m=16 -> {:.0}x at m=80 (paper: 9x -> 21x)",
         base16.max_over_min(),
@@ -111,16 +114,14 @@ pub fn fig7ab_fig8ab(out: &Path, seed: u64) -> FigureReport {
     ));
     let opass_means: Vec<f64> = SWEEP
         .iter()
-        .map(|&m| find(m, SingleStrategy::Opass).result.io_summary().mean)
+        .map(|&m| find(m, Strategy::Opass).result.io_summary().mean)
         .collect();
     report.line(format!(
         "with Opass avg I/O stays flat: {} .. {} s across m=16..80 (paper: ~0.9 s)",
         secs(opass_means.iter().cloned().fold(f64::INFINITY, f64::min)),
         secs(opass_means.iter().cloned().fold(0.0, f64::max)),
     ));
-    let served80_base = find(80, SingleStrategy::RankInterval)
-        .result
-        .served_summary(80);
+    let served80_base = find(80, Strategy::RankInterval).result.served_summary(80);
     report.line(format!(
         "w/o Opass served bytes at m=80: max {} MB vs min {} MB (paper: 1500 vs 64)",
         mb(served80_base.max as u64),
@@ -130,16 +131,21 @@ pub fn fig7ab_fig8ab(out: &Path, seed: u64) -> FigureReport {
 }
 
 /// Regenerates Figures 7(c) and 8(c): the 64-node, 640-chunk run.
+///
+/// Both strategies run instrumented so the recorded [`RunMetrics`]
+/// cross-check the trace-derived numbers (read counters, peak queue
+/// depth on the hottest node).
+///
+/// [`RunMetrics`]: opass_core::runtime::RunMetrics
 pub fn fig7c_fig8c(out: &Path, seed: u64) -> FigureReport {
     let mut report = FigureReport::new("fig7c+fig8c");
-    let experiment = SingleDataExperiment {
-        n_nodes: 64,
-        chunks_per_process: 10,
-        seed,
-        ..Default::default()
-    };
-    let base = experiment.run(SingleStrategy::RankInterval);
-    let opass = experiment.run(SingleStrategy::Opass);
+    let experiment = single_at(64, seed);
+    let base = experiment
+        .run_instrumented(Strategy::RankInterval)
+        .expect("baseline supported");
+    let opass = experiment
+        .run_instrumented(Strategy::Opass)
+        .expect("opass supported");
 
     let mut trace_csv = CsvWriter::create(
         out,
@@ -147,10 +153,10 @@ pub fn fig7c_fig8c(out: &Path, seed: u64) -> FigureReport {
         &["op_index", "strategy", "io_seconds"],
     )
     .expect("write fig7c");
-    for (name, run) in [("without_opass", &base), ("with_opass", &opass)] {
+    for (strategy, run) in [(Strategy::RankInterval, &base), (Strategy::Opass, &opass)] {
         for (i, d) in run.result.durations().iter().enumerate() {
             trace_csv
-                .row(&[i.to_string(), name.into(), secs(*d)])
+                .row(&[i.to_string(), strategy.label(), secs(*d)])
                 .expect("row");
         }
     }
@@ -162,10 +168,10 @@ pub fn fig7c_fig8c(out: &Path, seed: u64) -> FigureReport {
         &["node", "strategy", "served_mb"],
     )
     .expect("write fig8c");
-    for (name, run) in [("without_opass", &base), ("with_opass", &opass)] {
+    for (strategy, run) in [(Strategy::RankInterval, &base), (Strategy::Opass, &opass)] {
         for (node, &bytes) in run.result.served_bytes.iter().enumerate() {
             served_csv
-                .row(&[node.to_string(), name.into(), mb(bytes)])
+                .row(&[node.to_string(), strategy.label(), mb(bytes)])
                 .expect("row");
         }
     }
@@ -198,6 +204,29 @@ pub fn fig7c_fig8c(out: &Path, seed: u64) -> FigureReport {
     report.line(format!(
         "balance: Jain {:.3} -> {:.3}, Gini {:.3} -> {:.3} (without -> with Opass)",
         bal_base.jain_index, bal_opass.jain_index, bal_base.gini, bal_opass.gini
+    ));
+    // The recorded event stream must agree with the trace-derived
+    // counters; quote both views plus the queue-depth contrast only the
+    // recorder can see.
+    let mb_ = |m: &opass_core::runtime::RunMetrics| {
+        m.per_node
+            .iter()
+            .map(|n| n.peak_queue_depth)
+            .max()
+            .unwrap_or(0)
+    };
+    let (bm, om) = (
+        base.metrics().expect("instrumented"),
+        opass.metrics().expect("instrumented"),
+    );
+    report.line(format!(
+        "recorder: {} reads ({} local / {} remote) without vs {} local with; peak queue depth {} -> {}",
+        bm.counters.reads,
+        bm.counters.local_reads,
+        bm.counters.remote_reads,
+        om.counters.local_reads,
+        mb_(bm),
+        mb_(om)
     ));
     // Close the loop with Section III: the order-statistic prediction of
     // the hottest node vs what the executed baseline measured.

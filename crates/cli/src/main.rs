@@ -5,37 +5,41 @@
 //! opass run scenario.json           # run it, print a text comparison
 //! opass run scenario.json --json    # machine-readable report
 //! opass run scenario.json --parallel
+//! opass run scenario.json --metrics out/   # per-node metrics + event log
 //! opass analyze --chunks 512 --replication 3 --nodes 128
 //! ```
 
+mod args;
 mod scenario;
 
-use parking_lot::Mutex;
+use args::Flags;
 use scenario::{ExperimentReport, ScenarioFile};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("init") => cmd_init(&args[1..]),
-        Some("run") => cmd_run(&args[1..]),
-        Some("analyze") => cmd_analyze(&args[1..]),
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("init") => cmd_init(&argv[1..]),
+        Some("run") => cmd_run(&argv[1..]),
+        Some("analyze") => cmd_analyze(&argv[1..]),
         _ => {
             eprintln!("usage: opass <init|run|analyze> ...");
             eprintln!("  opass init <file.json>           write a template scenario");
-            eprintln!("  opass run <file.json> [--json] [--parallel]");
+            eprintln!(
+                "  opass run <file.json> [--json] [--parallel] [--trace-dir DIR] [--metrics DIR]"
+            );
             eprintln!("  opass analyze --chunks N --replication R --nodes M");
             ExitCode::FAILURE
         }
     }
 }
 
-fn cmd_init(args: &[String]) -> ExitCode {
-    let Some(path) = args.first() else {
+fn cmd_init(argv: &[String]) -> ExitCode {
+    let Some(path) = argv.first() else {
         eprintln!("usage: opass init <file.json>");
         return ExitCode::FAILURE;
     };
-    let json = serde_json::to_string_pretty(&scenario::template()).expect("template serializes");
+    let json = scenario::template().to_json().to_pretty();
     if let Err(e) = std::fs::write(path, json) {
         eprintln!("cannot write {path}: {e}");
         return ExitCode::FAILURE;
@@ -44,18 +48,31 @@ fn cmd_init(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_run(args: &[String]) -> ExitCode {
-    let Some(path) = args.first() else {
-        eprintln!("usage: opass run <file.json> [--json] [--parallel] [--trace-dir DIR]");
+const RUN_USAGE: &str =
+    "usage: opass run <file.json> [--json] [--parallel] [--trace-dir DIR] [--metrics DIR]";
+
+fn cmd_run(argv: &[String]) -> ExitCode {
+    let flags = match Flags::parse(
+        argv,
+        &["--json", "--parallel"],
+        &["--trace-dir", "--metrics"],
+    ) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("{RUN_USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(path) = flags.positionals().first() else {
+        eprintln!("{RUN_USAGE}");
         return ExitCode::FAILURE;
     };
-    let as_json = args.iter().any(|a| a == "--json");
-    let parallel = args.iter().any(|a| a == "--parallel");
-    let trace_dir = args
-        .iter()
-        .position(|a| a == "--trace-dir")
-        .and_then(|i| args.get(i + 1))
-        .map(std::path::PathBuf::from);
+    let as_json = flags.is_set("--json");
+    let parallel = flags.is_set("--parallel");
+    let trace_dir = flags.value("--trace-dir").map(std::path::PathBuf::from);
+    let metrics_dir = flags.value("--metrics").map(std::path::PathBuf::from);
+    let instrument = metrics_dir.is_some();
 
     let content = match std::fs::read_to_string(path) {
         Ok(c) => c,
@@ -64,7 +81,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let file: ScenarioFile = match serde_json::from_str(&content) {
+    let file = match ScenarioFile::parse(&content) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("invalid scenario {path}: {e}");
@@ -73,29 +90,24 @@ fn cmd_run(args: &[String]) -> ExitCode {
     };
 
     let reports: Vec<Result<ExperimentReport, String>> = if parallel {
-        // Experiments are independent; run them on scoped threads and
-        // collect results under a lock (order preserved by index).
-        let slots: Mutex<Vec<Option<Result<ExperimentReport, String>>>> =
-            Mutex::new((0..file.experiments.len()).map(|_| None).collect());
-        crossbeam::scope(|scope| {
-            for (i, exp) in file.experiments.iter().enumerate() {
-                let slots = &slots;
-                scope.spawn(move |_| {
-                    let result = exp.run().map_err(|e| e.to_string());
-                    slots.lock()[i] = Some(result);
-                });
-            }
+        // Experiments are independent; run each on a scoped thread. The
+        // joins preserve scenario order by construction — no shared slot
+        // vector or lock needed.
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = file
+                .experiments
+                .iter()
+                .map(|exp| scope.spawn(move || exp.run_with(instrument).map_err(|e| e.to_string())))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("experiment thread"))
+                .collect()
         })
-        .expect("experiment threads");
-        slots
-            .into_inner()
-            .into_iter()
-            .map(|r| r.expect("slot filled"))
-            .collect()
     } else {
         file.experiments
             .iter()
-            .map(|e| e.run().map_err(|e| e.to_string()))
+            .map(|e| e.run_with(instrument).map_err(|e| e.to_string()))
             .collect()
     };
 
@@ -118,11 +130,17 @@ fn cmd_run(args: &[String]) -> ExitCode {
             eprintln!("per-read traces written under {}", dir.display());
         }
     }
+    if let Some(dir) = &metrics_dir {
+        match dump_metrics(dir, &ok_reports) {
+            Ok(n) => eprintln!("{n} metrics files written under {}", dir.display()),
+            Err(e) => {
+                eprintln!("cannot write metrics to {}: {e}", dir.display());
+                failed = true;
+            }
+        }
+    }
     if as_json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&ok_reports).expect("reports serialize")
-        );
+        println!("{}", scenario::reports_json(&ok_reports).to_pretty());
     } else {
         println!("scenario: {}", file.name);
         for rep in &ok_reports {
@@ -151,45 +169,47 @@ fn cmd_run(args: &[String]) -> ExitCode {
     }
 }
 
-fn cmd_analyze(args: &[String]) -> ExitCode {
-    let mut chunks = 512u64;
-    let mut replication = 3u32;
-    let mut nodes = 128u32;
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        let mut grab = |target: &mut u64| -> bool {
-            match it.next().and_then(|v| v.parse::<u64>().ok()) {
-                Some(v) => {
-                    *target = v;
-                    true
-                }
-                None => false,
-            }
-        };
-        let ok = match arg.as_str() {
-            "--chunks" => grab(&mut chunks),
-            "--replication" => {
-                let mut v = replication as u64;
-                let ok = grab(&mut v);
-                replication = v as u32;
-                ok
-            }
-            "--nodes" => {
-                let mut v = nodes as u64;
-                let ok = grab(&mut v);
-                nodes = v as u32;
-                ok
-            }
-            other => {
-                eprintln!("unknown flag {other}");
-                false
-            }
-        };
-        if !ok {
-            eprintln!("usage: opass analyze --chunks N --replication R --nodes M");
-            return ExitCode::FAILURE;
+/// Writes each instrumented run's metrics bundle (summary JSON, event
+/// log, per-node time-series and totals CSVs) under `dir`, one file set
+/// per (experiment, strategy) prefixed `<i>_<experiment>_<strategy>_`.
+fn dump_metrics(dir: &std::path::Path, reports: &[ExperimentReport]) -> std::io::Result<usize> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = 0;
+    for (i, report) in reports.iter().enumerate() {
+        for strat in &report.strategies {
+            let Some(metrics) = &strat.metrics else {
+                continue;
+            };
+            let prefix = format!(
+                "{}_{}_{}_",
+                i,
+                report.experiment,
+                scenario::sanitize(&strat.strategy)
+            );
+            written += metrics.write_files(dir, &prefix)?.len();
         }
     }
+    Ok(written)
+}
+
+fn cmd_analyze(argv: &[String]) -> ExitCode {
+    const USAGE: &str = "usage: opass analyze --chunks N --replication R --nodes M";
+    let parsed =
+        Flags::parse(argv, &[], &["--chunks", "--replication", "--nodes"]).and_then(|flags| {
+            Ok((
+                flags.value_or("--chunks", 512u64)?,
+                flags.value_or("--replication", 3u32)?,
+                flags.value_or("--nodes", 128u32)?,
+            ))
+        });
+    let (chunks, replication, nodes) = match parsed {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     let params = opass_analysis::ClusterParams::new(chunks, replication, nodes);
     let locality = opass_analysis::LocalityModel::new(params);

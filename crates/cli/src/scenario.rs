@@ -1,49 +1,39 @@
 //! Scenario descriptions: the JSON schema users feed to `opass run`.
 //!
 //! A scenario file contains one or more experiments; every experiment maps
-//! onto one of the drivers in `opass-core` and lists the strategies to
-//! compare. Missing fields take the paper's defaults, so
+//! onto one of the [`opass_core::Experiment`] drivers and lists the
+//! strategies to compare (parsed by [`opass_core::Strategy::parse`], so
+//! every experiment shares one strategy vocabulary). Missing fields take
+//! the paper's defaults, so
 //! `{"type": "single_data", "strategies": ["rank_interval", "opass"]}`
 //! already works.
 
-use opass_core::experiment::{
-    DynamicExperiment, DynamicStrategy, HeteroStrategy, HeterogeneousExperiment,
-    MultiDataExperiment, MultiStrategy, ParaViewExperiment, ParaViewStrategy, RackedExperiment,
-    RackedStrategy, SingleDataExperiment, SingleStrategy,
-};
+use opass_core::experiment::Experiment as Driver;
+use opass_core::runtime::RunMetrics;
 use opass_core::workloads::ParaViewConfig;
-use serde::{Deserialize, Serialize};
+use opass_core::{ClusterSpec, Strategy};
+use opass_json::Json;
 
 /// A batch of experiments, each run under each of its strategies.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioFile {
     /// Free-form label echoed into the report.
-    #[serde(default = "default_name")]
     pub name: String,
     /// The experiments to run.
     pub experiments: Vec<Experiment>,
 }
 
-fn default_name() -> String {
-    "unnamed scenario".into()
-}
-
 /// One experiment: a paper scenario plus the strategies to compare.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
-#[serde(tag = "type", rename_all = "snake_case")]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Experiment {
     /// Section V-A1: equal single-data assignment.
     SingleData {
-        #[serde(default = "d64")]
         /// Cluster size.
         n_nodes: usize,
-        #[serde(default = "d10")]
         /// Chunks per process.
         chunks_per_process: usize,
-        #[serde(default = "d3")]
         /// Replication factor.
         replication: u32,
-        #[serde(default)]
         /// RNG seed.
         seed: u64,
         /// Strategies: `rank_interval`, `random`, `opass`.
@@ -51,13 +41,10 @@ pub enum Experiment {
     },
     /// Section V-A2: triple-input tasks.
     MultiData {
-        #[serde(default = "d64")]
         /// Cluster size.
         n_nodes: usize,
-        #[serde(default = "d10")]
         /// Tasks per process.
         tasks_per_process: usize,
-        #[serde(default)]
         /// RNG seed.
         seed: u64,
         /// Strategies: `rank_interval`, `opass`.
@@ -65,13 +52,10 @@ pub enum Experiment {
     },
     /// Section V-A3: master/worker with irregular compute.
     Dynamic {
-        #[serde(default = "d64")]
         /// Cluster size.
         n_nodes: usize,
-        #[serde(default = "d10")]
         /// Tasks per process.
         tasks_per_process: usize,
-        #[serde(default)]
         /// RNG seed.
         seed: u64,
         /// Strategies: `fifo`, `delay:<skips>`, `opass`.
@@ -79,13 +63,10 @@ pub enum Experiment {
     },
     /// Section V-B: ParaView multi-block rendering.
     Paraview {
-        #[serde(default = "d64")]
         /// Cluster size.
         n_nodes: usize,
-        #[serde(default = "d10")]
         /// Rendering steps.
         n_steps: usize,
-        #[serde(default)]
         /// RNG seed.
         seed: u64,
         /// Strategies: `default`, `opass`.
@@ -93,13 +74,10 @@ pub enum Experiment {
     },
     /// Rack-locality extension.
     Racked {
-        #[serde(default = "d64")]
         /// Cluster size.
         n_nodes: usize,
-        #[serde(default = "d8")]
         /// Nodes per rack.
         nodes_per_rack: usize,
-        #[serde(default)]
         /// RNG seed.
         seed: u64,
         /// Strategies: `baseline`, `node_only`, `rack_aware`.
@@ -109,10 +87,8 @@ pub enum Experiment {
     Replay {
         /// Path to the trace CSV.
         trace_file: String,
-        #[serde(default = "d32")]
         /// Cluster size.
         n_nodes: usize,
-        #[serde(default)]
         /// RNG seed.
         seed: u64,
         /// Strategies: `rank_interval`, `opass`.
@@ -120,10 +96,8 @@ pub enum Experiment {
     },
     /// Heterogeneous-cluster extension.
     Heterogeneous {
-        #[serde(default = "d32")]
         /// Cluster size.
         n_nodes: usize,
-        #[serde(default)]
         /// RNG seed.
         seed: u64,
         /// Strategies: `uniform`, `weighted`.
@@ -131,30 +105,17 @@ pub enum Experiment {
     },
 }
 
-fn d64() -> usize {
-    64
-}
-fn d32() -> usize {
-    32
-}
-fn d10() -> usize {
-    10
-}
-fn d8() -> usize {
-    8
-}
-fn d3() -> u32 {
-    3
-}
-
 /// One strategy's measurements.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StrategyReport {
     /// Per-read trace (proc, chunk, source node, reader node, issue and
-    /// completion seconds), kept for `--trace-dir` dumps. Skipped in JSON
-    /// reports to keep them small.
-    #[serde(skip)]
+    /// completion seconds), kept for `--trace-dir` dumps. Not part of the
+    /// JSON report to keep it small.
     pub trace: Vec<TraceRow>,
+    /// Observability metrics, present when the scenario ran instrumented
+    /// (`--metrics`); dumped to files by the CLI, not inlined in the
+    /// report JSON.
+    pub metrics: Option<Box<RunMetrics>>,
     /// Strategy label as given in the scenario.
     pub strategy: String,
     /// Fraction of reads served node-locally.
@@ -169,8 +130,37 @@ pub struct StrategyReport {
     pub planning_seconds: f64,
 }
 
+impl StrategyReport {
+    /// The report row as a JSON object (trace and metrics omitted).
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("strategy".to_string(), Json::from(self.strategy.as_str())),
+            (
+                "local_fraction".to_string(),
+                Json::from(self.local_fraction),
+            ),
+            (
+                "avg_io_seconds".to_string(),
+                Json::from(self.avg_io_seconds),
+            ),
+            (
+                "max_io_seconds".to_string(),
+                Json::from(self.max_io_seconds),
+            ),
+            (
+                "makespan_seconds".to_string(),
+                Json::from(self.makespan_seconds),
+            ),
+            (
+                "planning_seconds".to_string(),
+                Json::from(self.planning_seconds),
+            ),
+        ])
+    }
+}
+
 /// A flattened per-read trace row for CSV dumping.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceRow {
     /// Reading process rank.
     pub proc: usize,
@@ -201,6 +191,15 @@ fn trace_of(result: &opass_core::runtime::RunResult) -> Vec<TraceRow> {
         .collect()
 }
 
+/// Replaces non-alphanumeric characters so a strategy label is usable in
+/// a file name (`delay:16` → `delay_16`).
+pub fn sanitize(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
 /// Writes one CSV per (experiment, strategy) with the full read trace.
 pub fn dump_traces(
     dir: &std::path::Path,
@@ -212,11 +211,7 @@ pub fn dump_traces(
     let _ = scenario;
     for (i, report) in reports.iter().enumerate() {
         for strat in &report.strategies {
-            let safe: String = strat
-                .strategy
-                .chars()
-                .map(|c| if c.is_alphanumeric() { c } else { '_' })
-                .collect();
+            let safe = sanitize(&strat.strategy);
             let path = dir.join(format!("{}_{}_{safe}.csv", i, report.experiment));
             let mut f = std::fs::File::create(path)?;
             writeln!(f, "proc,chunk,source,reader,issued_at,completed_at")?;
@@ -233,7 +228,7 @@ pub fn dump_traces(
 }
 
 /// One experiment's report: the strategies side by side.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentReport {
     /// Experiment label (`single_data`, `racked`, …).
     pub experiment: String,
@@ -241,9 +236,35 @@ pub struct ExperimentReport {
     pub strategies: Vec<StrategyReport>,
 }
 
+impl ExperimentReport {
+    /// The report as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            (
+                "experiment".to_string(),
+                Json::from(self.experiment.as_str()),
+            ),
+            (
+                "strategies".to_string(),
+                Json::array(self.strategies.iter().map(StrategyReport::to_json)),
+            ),
+        ])
+    }
+}
+
+/// All reports as one JSON array (the `--json` output).
+pub fn reports_json(reports: &[ExperimentReport]) -> Json {
+    Json::array(reports.iter().map(ExperimentReport::to_json))
+}
+
 /// Errors surfaced to the CLI user.
 #[derive(Debug)]
 pub enum ScenarioError {
+    /// The scenario JSON was malformed or did not match the schema.
+    Parse {
+        /// What was wrong.
+        message: String,
+    },
     /// A strategy string did not parse for the experiment type.
     UnknownStrategy {
         /// Experiment label.
@@ -263,6 +284,7 @@ pub enum ScenarioError {
 impl std::fmt::Display for ScenarioError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            ScenarioError::Parse { message } => write!(f, "invalid scenario: {message}"),
             ScenarioError::UnknownStrategy {
                 experiment,
                 strategy,
@@ -279,10 +301,227 @@ impl std::fmt::Display for ScenarioError {
 
 impl std::error::Error for ScenarioError {}
 
-fn report_from(strategy: &str, run: opass_core::experiment::ExperimentRun) -> StrategyReport {
+fn parse_err(message: impl Into<String>) -> ScenarioError {
+    ScenarioError::Parse {
+        message: message.into(),
+    }
+}
+
+fn field_usize(obj: &Json, key: &str, default: usize) -> Result<usize, ScenarioError> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_usize()
+            .ok_or_else(|| parse_err(format!("field {key:?} must be a non-negative integer"))),
+    }
+}
+
+fn field_u64(obj: &Json, key: &str, default: u64) -> Result<u64, ScenarioError> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| parse_err(format!("field {key:?} must be a non-negative integer"))),
+    }
+}
+
+fn field_strategies(obj: &Json) -> Result<Vec<String>, ScenarioError> {
+    let arr = obj
+        .get("strategies")
+        .and_then(Json::as_array)
+        .ok_or_else(|| parse_err("every experiment needs a \"strategies\" array"))?;
+    arr.iter()
+        .map(|s| {
+            s.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| parse_err("strategies must be strings"))
+        })
+        .collect()
+}
+
+impl ScenarioFile {
+    /// Parses a scenario from its JSON text.
+    pub fn parse(input: &str) -> Result<ScenarioFile, ScenarioError> {
+        let root = Json::parse(input).map_err(|e| parse_err(e.to_string()))?;
+        let name = root
+            .get("name")
+            .and_then(Json::as_str)
+            .unwrap_or("unnamed scenario")
+            .to_string();
+        let experiments = root
+            .get("experiments")
+            .and_then(Json::as_array)
+            .ok_or_else(|| parse_err("scenario needs an \"experiments\" array"))?
+            .iter()
+            .map(Experiment::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ScenarioFile { name, experiments })
+    }
+
+    /// The scenario as a JSON document (inverse of [`ScenarioFile::parse`]).
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("name".to_string(), Json::from(self.name.as_str())),
+            (
+                "experiments".to_string(),
+                Json::array(self.experiments.iter().map(Experiment::to_json)),
+            ),
+        ])
+    }
+}
+
+fn strategies_json(strategies: &[String]) -> Json {
+    Json::array(strategies.iter().map(|s| Json::from(s.as_str())))
+}
+
+impl Experiment {
+    fn from_json(v: &Json) -> Result<Experiment, ScenarioError> {
+        let kind = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| parse_err("every experiment needs a \"type\" string"))?;
+        let strategies = field_strategies(v)?;
+        let seed = field_u64(v, "seed", 0)?;
+        Ok(match kind {
+            "single_data" => Experiment::SingleData {
+                n_nodes: field_usize(v, "n_nodes", 64)?,
+                chunks_per_process: field_usize(v, "chunks_per_process", 10)?,
+                replication: field_u64(v, "replication", 3)? as u32,
+                seed,
+                strategies,
+            },
+            "multi_data" => Experiment::MultiData {
+                n_nodes: field_usize(v, "n_nodes", 64)?,
+                tasks_per_process: field_usize(v, "tasks_per_process", 10)?,
+                seed,
+                strategies,
+            },
+            "dynamic" => Experiment::Dynamic {
+                n_nodes: field_usize(v, "n_nodes", 64)?,
+                tasks_per_process: field_usize(v, "tasks_per_process", 10)?,
+                seed,
+                strategies,
+            },
+            "paraview" => Experiment::Paraview {
+                n_nodes: field_usize(v, "n_nodes", 64)?,
+                n_steps: field_usize(v, "n_steps", 10)?,
+                seed,
+                strategies,
+            },
+            "racked" => Experiment::Racked {
+                n_nodes: field_usize(v, "n_nodes", 64)?,
+                nodes_per_rack: field_usize(v, "nodes_per_rack", 8)?,
+                seed,
+                strategies,
+            },
+            "replay" => Experiment::Replay {
+                trace_file: v
+                    .get("trace_file")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| parse_err("replay needs a \"trace_file\" string"))?
+                    .to_string(),
+                n_nodes: field_usize(v, "n_nodes", 32)?,
+                seed,
+                strategies,
+            },
+            "heterogeneous" => Experiment::Heterogeneous {
+                n_nodes: field_usize(v, "n_nodes", 32)?,
+                seed,
+                strategies,
+            },
+            other => return Err(parse_err(format!("unknown experiment type {other:?}"))),
+        })
+    }
+
+    /// The experiment as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut pairs: Vec<(String, Json)> = vec![("type".to_string(), Json::from(self.label()))];
+        let push_usize = |pairs: &mut Vec<(String, Json)>, k: &str, v: usize| {
+            pairs.push((k.to_string(), Json::from(v as u64)));
+        };
+        match self {
+            Experiment::SingleData {
+                n_nodes,
+                chunks_per_process,
+                replication,
+                seed,
+                strategies,
+            } => {
+                push_usize(&mut pairs, "n_nodes", *n_nodes);
+                push_usize(&mut pairs, "chunks_per_process", *chunks_per_process);
+                pairs.push(("replication".to_string(), Json::from(*replication as u64)));
+                pairs.push(("seed".to_string(), Json::from(*seed)));
+                pairs.push(("strategies".to_string(), strategies_json(strategies)));
+            }
+            Experiment::MultiData {
+                n_nodes,
+                tasks_per_process,
+                seed,
+                strategies,
+            }
+            | Experiment::Dynamic {
+                n_nodes,
+                tasks_per_process,
+                seed,
+                strategies,
+            } => {
+                push_usize(&mut pairs, "n_nodes", *n_nodes);
+                push_usize(&mut pairs, "tasks_per_process", *tasks_per_process);
+                pairs.push(("seed".to_string(), Json::from(*seed)));
+                pairs.push(("strategies".to_string(), strategies_json(strategies)));
+            }
+            Experiment::Paraview {
+                n_nodes,
+                n_steps,
+                seed,
+                strategies,
+            } => {
+                push_usize(&mut pairs, "n_nodes", *n_nodes);
+                push_usize(&mut pairs, "n_steps", *n_steps);
+                pairs.push(("seed".to_string(), Json::from(*seed)));
+                pairs.push(("strategies".to_string(), strategies_json(strategies)));
+            }
+            Experiment::Racked {
+                n_nodes,
+                nodes_per_rack,
+                seed,
+                strategies,
+            } => {
+                push_usize(&mut pairs, "n_nodes", *n_nodes);
+                push_usize(&mut pairs, "nodes_per_rack", *nodes_per_rack);
+                pairs.push(("seed".to_string(), Json::from(*seed)));
+                pairs.push(("strategies".to_string(), strategies_json(strategies)));
+            }
+            Experiment::Replay {
+                trace_file,
+                n_nodes,
+                seed,
+                strategies,
+            } => {
+                pairs.push(("trace_file".to_string(), Json::from(trace_file.as_str())));
+                push_usize(&mut pairs, "n_nodes", *n_nodes);
+                pairs.push(("seed".to_string(), Json::from(*seed)));
+                pairs.push(("strategies".to_string(), strategies_json(strategies)));
+            }
+            Experiment::Heterogeneous {
+                n_nodes,
+                seed,
+                strategies,
+            } => {
+                push_usize(&mut pairs, "n_nodes", *n_nodes);
+                pairs.push(("seed".to_string(), Json::from(*seed)));
+                pairs.push(("strategies".to_string(), strategies_json(strategies)));
+            }
+        }
+        Json::Object(pairs)
+    }
+}
+
+fn report_from(strategy: &str, mut run: opass_core::experiment::ExperimentRun) -> StrategyReport {
     let io = run.result.io_summary();
     StrategyReport {
         strategy: strategy.to_string(),
+        metrics: run.result.metrics.take(),
         trace: trace_of(&run.result),
         local_fraction: run.result.local_fraction(),
         avg_io_seconds: io.mean,
@@ -290,6 +529,24 @@ fn report_from(strategy: &str, run: opass_core::experiment::ExperimentRun) -> St
         makespan_seconds: run.result.makespan,
         planning_seconds: run.planning_seconds,
     }
+}
+
+/// Runs one strategy string through a core driver, mapping both parse
+/// failures and per-experiment rejections to [`ScenarioError`].
+fn run_strategy(
+    driver: &dyn Driver,
+    s: &str,
+    instrument: bool,
+) -> Result<StrategyReport, ScenarioError> {
+    let unknown = || ScenarioError::UnknownStrategy {
+        experiment: driver.name().into(),
+        strategy: s.into(),
+    };
+    let strategy = Strategy::parse(s).ok_or_else(unknown)?;
+    let run = driver
+        .run_with(strategy, instrument)
+        .map_err(|_| unknown())?;
+    Ok(report_from(s, run))
 }
 
 impl Experiment {
@@ -307,11 +564,14 @@ impl Experiment {
     }
 
     /// Runs every listed strategy and returns the comparison.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn run(&self) -> Result<ExperimentReport, ScenarioError> {
-        let unknown = |s: &str| ScenarioError::UnknownStrategy {
-            experiment: self.label().into(),
-            strategy: s.into(),
-        };
+        self.run_with(false)
+    }
+
+    /// Like [`Experiment::run`]; with `instrument` the runs also record
+    /// the event trace and attach [`RunMetrics`] to each report row.
+    pub fn run_with(&self, instrument: bool) -> Result<ExperimentReport, ScenarioError> {
         let mut out = Vec::new();
         match self {
             Experiment::SingleData {
@@ -321,21 +581,17 @@ impl Experiment {
                 seed,
                 strategies,
             } => {
-                let exp = SingleDataExperiment {
-                    n_nodes: *n_nodes,
+                let exp = opass_core::SingleData {
+                    cluster: ClusterSpec {
+                        n_nodes: *n_nodes,
+                        replication: *replication,
+                        seed: *seed,
+                        ..Default::default()
+                    },
                     chunks_per_process: *chunks_per_process,
-                    replication: *replication,
-                    seed: *seed,
-                    ..Default::default()
                 };
                 for s in strategies {
-                    let strategy = match s.as_str() {
-                        "rank_interval" => SingleStrategy::RankInterval,
-                        "random" => SingleStrategy::RandomAssign,
-                        "opass" => SingleStrategy::Opass,
-                        other => return Err(unknown(other)),
-                    };
-                    out.push(report_from(s, exp.run(strategy)));
+                    out.push(run_strategy(&exp, s, instrument)?);
                 }
             }
             Experiment::MultiData {
@@ -344,19 +600,17 @@ impl Experiment {
                 seed,
                 strategies,
             } => {
-                let exp = MultiDataExperiment {
-                    n_nodes: *n_nodes,
+                let exp = opass_core::MultiData {
+                    cluster: ClusterSpec {
+                        n_nodes: *n_nodes,
+                        seed: *seed,
+                        ..opass_core::MultiData::default().cluster
+                    },
                     tasks_per_process: *tasks_per_process,
-                    seed: *seed,
                     ..Default::default()
                 };
                 for s in strategies {
-                    let strategy = match s.as_str() {
-                        "rank_interval" => MultiStrategy::RankInterval,
-                        "opass" => MultiStrategy::Opass,
-                        other => return Err(unknown(other)),
-                    };
-                    out.push(report_from(s, exp.run(strategy)));
+                    out.push(run_strategy(&exp, s, instrument)?);
                 }
             }
             Experiment::Dynamic {
@@ -365,24 +619,17 @@ impl Experiment {
                 seed,
                 strategies,
             } => {
-                let exp = DynamicExperiment {
-                    n_nodes: *n_nodes,
+                let exp = opass_core::Dynamic {
+                    cluster: ClusterSpec {
+                        n_nodes: *n_nodes,
+                        seed: *seed,
+                        ..opass_core::Dynamic::default().cluster
+                    },
                     tasks_per_process: *tasks_per_process,
-                    seed: *seed,
                     ..Default::default()
                 };
                 for s in strategies {
-                    let strategy = if s == "fifo" {
-                        DynamicStrategy::Fifo
-                    } else if s == "opass" {
-                        DynamicStrategy::OpassGuided
-                    } else if let Some(skips) = s.strip_prefix("delay:") {
-                        let max_skips = skips.parse().map_err(|_| unknown(s))?;
-                        DynamicStrategy::DelayScheduling { max_skips }
-                    } else {
-                        return Err(unknown(s));
-                    };
-                    out.push(report_from(s, exp.run(strategy)));
+                    out.push(run_strategy(&exp, s, instrument)?);
                 }
             }
             Experiment::Paraview {
@@ -391,32 +638,19 @@ impl Experiment {
                 seed,
                 strategies,
             } => {
-                let exp = ParaViewExperiment {
-                    n_nodes: *n_nodes,
+                let exp = opass_core::ParaView {
+                    cluster: ClusterSpec {
+                        n_nodes: *n_nodes,
+                        seed: *seed,
+                        ..opass_core::ParaView::default().cluster
+                    },
                     workload: ParaViewConfig {
                         n_steps: *n_steps,
                         ..Default::default()
                     },
-                    seed: *seed,
-                    ..Default::default()
                 };
                 for s in strategies {
-                    let strategy = match s.as_str() {
-                        "default" => ParaViewStrategy::Default,
-                        "opass" => ParaViewStrategy::Opass,
-                        other => return Err(unknown(other)),
-                    };
-                    let run = exp.run(strategy);
-                    let io = run.combined.io_summary();
-                    out.push(StrategyReport {
-                        strategy: s.clone(),
-                        trace: trace_of(&run.combined),
-                        local_fraction: run.combined.local_fraction(),
-                        avg_io_seconds: io.mean,
-                        max_io_seconds: io.max,
-                        makespan_seconds: run.combined.makespan,
-                        planning_seconds: run.planning_seconds,
-                    });
+                    out.push(run_strategy(&exp, s, instrument)?);
                 }
             }
             Experiment::Racked {
@@ -425,20 +659,17 @@ impl Experiment {
                 seed,
                 strategies,
             } => {
-                let exp = RackedExperiment {
-                    n_nodes: *n_nodes,
+                let exp = opass_core::Racked {
+                    cluster: ClusterSpec {
+                        n_nodes: *n_nodes,
+                        seed: *seed,
+                        ..opass_core::Racked::default().cluster
+                    },
                     nodes_per_rack: *nodes_per_rack,
-                    seed: *seed,
                     ..Default::default()
                 };
                 for s in strategies {
-                    let strategy = match s.as_str() {
-                        "baseline" => RackedStrategy::Baseline,
-                        "node_only" => RackedStrategy::OpassNodeOnly,
-                        "rack_aware" => RackedStrategy::OpassRackAware,
-                        other => return Err(unknown(other)),
-                    };
-                    out.push(report_from(s, exp.run(strategy)));
+                    out.push(run_strategy(&exp, s, instrument)?);
                 }
             }
             Experiment::Replay {
@@ -447,77 +678,23 @@ impl Experiment {
                 seed,
                 strategies,
             } => {
-                use opass_core::dfs::{DfsConfig, Namenode, Placement, ReplicaChoice};
-                use opass_core::runtime::{
-                    baseline, execute, ExecConfig, ProcessPlacement, TaskSource,
-                };
-                use rand::rngs::StdRng;
-                use rand::SeedableRng;
-                let csv =
-                    std::fs::read_to_string(trace_file).map_err(|e| ScenarioError::Trace {
-                        path: trace_file.clone(),
-                        message: e.to_string(),
-                    })?;
-                let mut nn = Namenode::new(*n_nodes, DfsConfig::default());
-                let mut rng = StdRng::seed_from_u64(*seed);
-                let (_, workload) = opass_core::workloads::replay::from_csv(
-                    &mut nn,
-                    "replay",
-                    &csv,
-                    &Placement::Random,
-                    &mut rng,
-                )
-                .map_err(|e| ScenarioError::Trace {
-                    path: trace_file.clone(),
-                    message: e.to_string(),
-                })?;
-                let placement = ProcessPlacement::one_per_node(*n_nodes);
-                for s in strategies {
-                    let assignment = match s.as_str() {
-                        "rank_interval" => baseline::rank_interval(workload.len(), *n_nodes),
-                        "opass" => {
-                            opass_core::OpassPlanner::default()
-                                .plan_single_data(&nn, &workload, &placement, *seed)
-                                .assignment
-                        }
-                        other => return Err(unknown(other)),
-                    };
-                    let started = std::time::Instant::now();
-                    let result = execute(
-                        &nn,
-                        &workload,
-                        &placement,
-                        TaskSource::Static(assignment),
-                        &ExecConfig {
-                            replica_choice: ReplicaChoice::PreferLocalRandom,
-                            seed: *seed ^ 0xEE,
-                            ..Default::default()
-                        },
-                    );
-                    let run = opass_core::experiment::ExperimentRun {
-                        result,
-                        planning_seconds: started.elapsed().as_secs_f64(),
-                    };
-                    out.push(report_from(s, run));
-                }
+                out = self.run_replay(trace_file, *n_nodes, *seed, strategies, instrument)?;
             }
             Experiment::Heterogeneous {
                 n_nodes,
                 seed,
                 strategies,
             } => {
-                let exp = HeterogeneousExperiment {
-                    n_nodes: *n_nodes,
-                    seed: *seed,
+                let exp = opass_core::Heterogeneous {
+                    cluster: ClusterSpec {
+                        n_nodes: *n_nodes,
+                        seed: *seed,
+                        ..opass_core::Heterogeneous::default().cluster
+                    },
                     ..Default::default()
                 };
                 for s in strategies {
-                    let strategy = match s.as_str() {
-                        "uniform" => HeteroStrategy::OpassUniform,
-                        "weighted" => HeteroStrategy::OpassWeighted,
-                        other => return Err(unknown(other)),
-                    };
-                    out.push(report_from(s, exp.run(strategy)));
+                    out.push(run_strategy(&exp, s, instrument)?);
                 }
             }
         }
@@ -525,6 +702,90 @@ impl Experiment {
             experiment: self.label().into(),
             strategies: out,
         })
+    }
+
+    fn run_replay(
+        &self,
+        trace_file: &str,
+        n_nodes: usize,
+        seed: u64,
+        strategies: &[String],
+        instrument: bool,
+    ) -> Result<Vec<StrategyReport>, ScenarioError> {
+        use opass_core::dfs::{DfsConfig, Namenode, Placement, ReplicaChoice};
+        use opass_core::runtime::{
+            baseline, execute, execute_instrumented, ExecConfig, ProcessPlacement, TaskSource,
+        };
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let csv = std::fs::read_to_string(trace_file).map_err(|e| ScenarioError::Trace {
+            path: trace_file.to_string(),
+            message: e.to_string(),
+        })?;
+        let mut nn = Namenode::new(n_nodes, DfsConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (_, workload) = opass_core::workloads::replay::from_csv(
+            &mut nn,
+            "replay",
+            &csv,
+            &Placement::Random,
+            &mut rng,
+        )
+        .map_err(|e| ScenarioError::Trace {
+            path: trace_file.to_string(),
+            message: e.to_string(),
+        })?;
+        let placement = ProcessPlacement::one_per_node(n_nodes);
+        let mut out = Vec::new();
+        for s in strategies {
+            let unknown = || ScenarioError::UnknownStrategy {
+                experiment: "replay".into(),
+                strategy: s.clone(),
+            };
+            let started = std::time::Instant::now();
+            let assignment = match Strategy::parse(s).ok_or_else(unknown)? {
+                Strategy::RankInterval => baseline::rank_interval(workload.len(), n_nodes),
+                Strategy::Opass => {
+                    opass_core::OpassPlanner::default()
+                        .plan_single_data(&nn, &workload, &placement, seed)
+                        .assignment
+                }
+                _ => return Err(unknown()),
+            };
+            let planning_seconds = started.elapsed().as_secs_f64();
+            let config = ExecConfig {
+                replica_choice: ReplicaChoice::PreferLocalRandom,
+                seed: seed ^ 0xEE,
+                ..Default::default()
+            };
+            let mut result = if instrument {
+                execute_instrumented(
+                    &nn,
+                    &workload,
+                    &placement,
+                    TaskSource::Static(assignment),
+                    &config,
+                )
+            } else {
+                execute(
+                    &nn,
+                    &workload,
+                    &placement,
+                    TaskSource::Static(assignment),
+                    &config,
+                )
+            };
+            if let Some(m) = result.metrics.as_mut() {
+                m.planning_seconds = planning_seconds;
+            }
+            let run = opass_core::ExperimentRun {
+                result,
+                planning_seconds,
+                step_makespans: Vec::new(),
+            };
+            out.push(report_from(s, run));
+        }
+        Ok(out)
     }
 }
 
@@ -557,15 +818,15 @@ mod tests {
     #[test]
     fn template_round_trips_through_json() {
         let t = template();
-        let json = serde_json::to_string_pretty(&t).unwrap();
-        let back: ScenarioFile = serde_json::from_str(&json).unwrap();
+        let json = t.to_json().to_pretty();
+        let back = ScenarioFile::parse(&json).unwrap();
         assert_eq!(t, back);
     }
 
     #[test]
     fn minimal_json_uses_defaults() {
         let json = r#"{"experiments":[{"type":"single_data","strategies":["opass"]}]}"#;
-        let file: ScenarioFile = serde_json::from_str(json).unwrap();
+        let file = ScenarioFile::parse(json).unwrap();
         assert_eq!(file.name, "unnamed scenario");
         match &file.experiments[0] {
             Experiment::SingleData {
@@ -583,6 +844,16 @@ mod tests {
     }
 
     #[test]
+    fn malformed_scenarios_are_rejected() {
+        assert!(ScenarioFile::parse("not json").is_err());
+        assert!(ScenarioFile::parse(r#"{"name":"x"}"#).is_err());
+        let bad_type = r#"{"experiments":[{"type":"wat","strategies":[]}]}"#;
+        assert!(ScenarioFile::parse(bad_type).is_err());
+        let no_strategies = r#"{"experiments":[{"type":"single_data"}]}"#;
+        assert!(ScenarioFile::parse(no_strategies).is_err());
+    }
+
+    #[test]
     fn tiny_experiment_runs_and_reports() {
         let exp = Experiment::SingleData {
             n_nodes: 8,
@@ -597,6 +868,27 @@ mod tests {
         let base = &report.strategies[0];
         let opass = &report.strategies[1];
         assert!(opass.local_fraction > base.local_fraction);
+        assert!(base.metrics.is_none(), "plain runs carry no metrics");
+    }
+
+    #[test]
+    fn instrumented_run_attaches_metrics_without_changing_results() {
+        let exp = Experiment::SingleData {
+            n_nodes: 8,
+            chunks_per_process: 2,
+            replication: 3,
+            seed: 1,
+            strategies: vec!["opass".into()],
+        };
+        let plain = exp.run().unwrap();
+        let inst = exp.run_with(true).unwrap();
+        let metrics = inst.strategies[0].metrics.as_ref().expect("metrics");
+        assert_eq!(metrics.counters.reads, 16);
+        assert_eq!(inst.strategies[0].trace, plain.strategies[0].trace);
+        assert_eq!(
+            inst.strategies[0].makespan_seconds,
+            plain.strategies[0].makespan_seconds
+        );
     }
 
     #[test]
@@ -609,6 +901,36 @@ mod tests {
         };
         let err = exp.run().unwrap_err();
         assert!(err.to_string().contains("nonsense"));
+        // Parseable but unsupported for this experiment type.
+        let exp = Experiment::MultiData {
+            n_nodes: 8,
+            tasks_per_process: 1,
+            seed: 0,
+            strategies: vec!["fifo".into()],
+        };
+        assert!(exp.run().is_err());
+    }
+
+    #[test]
+    fn report_json_matches_the_schema() {
+        let exp = Experiment::SingleData {
+            n_nodes: 8,
+            chunks_per_process: 2,
+            replication: 3,
+            seed: 1,
+            strategies: vec!["opass".into()],
+        };
+        let report = exp.run().unwrap();
+        let json = reports_json(&[report]);
+        let row = &json.as_array().unwrap()[0];
+        assert_eq!(
+            row.get("experiment").and_then(Json::as_str),
+            Some("single_data")
+        );
+        let strat = &row.get("strategies").and_then(Json::as_array).unwrap()[0];
+        assert_eq!(strat.get("strategy").and_then(Json::as_str), Some("opass"));
+        assert!(strat.get("local_fraction").and_then(Json::as_f64).is_some());
+        assert!(strat.get("trace").is_none(), "trace stays out of reports");
     }
 
     #[test]

@@ -1,15 +1,38 @@
 //! End-to-end experiment drivers for the paper's evaluation scenarios.
 //!
-//! Each experiment builds a deterministic cluster + dataset from its seed,
-//! applies a strategy (a baseline or Opass), executes on the simulator, and
-//! returns the full [`RunResult`] plus the planning cost. Baseline and Opass
+//! Every evaluation scenario is a type implementing the [`Experiment`]
+//! trait: it builds a deterministic cluster + dataset from a shared
+//! [`ClusterSpec`], applies a [`Strategy`] (a baseline or Opass), executes
+//! on the simulator, and returns an [`ExperimentRun`]. Baseline and Opass
 //! runs of the same experiment see the *same* data layout, so comparisons
 //! isolate the assignment policy — the paper's methodology.
+//!
+//! The six experiments:
+//!
+//! * [`SingleData`] — Section V-A1, equal single-data assignment;
+//! * [`MultiData`] — Section V-A2, tasks with 30/20/10 MB inputs;
+//! * [`Dynamic`] — Section V-A3, master/worker with irregular compute;
+//! * [`ParaView`] — Section V-B, multi-block rendering;
+//! * [`Racked`] — rack-locality extension (two-tier matching);
+//! * [`Heterogeneous`] — heterogeneous-cluster extension (weighted quotas).
+//!
+//! Each accepts a subset of the unified [`Strategy`] enum; passing an
+//! unsupported strategy returns [`UnsupportedStrategy`] listing what the
+//! experiment does accept. [`Experiment::run_instrumented`] additionally
+//! records the structured event trace and derives
+//! [`RunMetrics`](opass_runtime::RunMetrics) (utilization time-series,
+//! counters, histograms), exposed as `run.result.metrics`.
+//!
+//! The pre-trait types ([`SingleDataExperiment`] and friends, with their
+//! per-family strategy enums) remain as deprecated thin wrappers.
 
 use crate::planner::OpassPlanner;
 use opass_dfs::{DfsConfig, Namenode, Placement, RackMap, ReplicaChoice};
-use opass_runtime::{baseline, execute, ExecConfig, ProcessPlacement, RunResult, TaskSource};
-use opass_simio::{IoParams, Topology};
+use opass_runtime::{
+    baseline, execute, execute_instrumented, execute_with_recorder, ExecConfig, ProcessPlacement,
+    RunMetrics, RunResult, TaskSource,
+};
+use opass_simio::{IoParams, MemoryRecorder, Recorder, Topology};
 use opass_workloads::{
     dynamic as dyn_wl, multi as multi_wl, paraview as pv_wl, single as single_wl, DynamicConfig,
     MultiDataConfig, ParaViewConfig, SingleDataConfig, Workload,
@@ -17,6 +40,164 @@ use opass_workloads::{
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
+
+/// Cluster parameters shared by every experiment: how many nodes, how big
+/// a chunk is, how often it is replicated, how the hardware is calibrated,
+/// and the master seed that drives placement, replica choice, and random
+/// fills.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterSpec {
+    /// Cluster size `m` (one process per node).
+    pub n_nodes: usize,
+    /// Chunk size, bytes (paper: 64 MB). Experiments whose workload fixes
+    /// its own sizes ([`MultiData::input_sizes`], [`ParaView::workload`])
+    /// ignore this field.
+    pub chunk_size: u64,
+    /// Replication factor (paper: 3).
+    pub replication: u32,
+    /// Hardware calibration.
+    pub io: IoParams,
+    /// Master seed: drives placement, replica choice, and random fills.
+    pub seed: u64,
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        ClusterSpec {
+            n_nodes: 64,
+            chunk_size: 64 << 20,
+            replication: 3,
+            io: IoParams::marmot(),
+            seed: 0x0A55,
+        }
+    }
+}
+
+impl ClusterSpec {
+    /// Returns the spec with a different seed (builder-style convenience).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// A fresh namenode for this spec.
+    fn namenode(&self) -> Namenode {
+        Namenode::new(
+            self.n_nodes,
+            DfsConfig {
+                replication: self.replication,
+            },
+        )
+    }
+}
+
+/// The unified assignment/scheduling strategy vocabulary.
+///
+/// Each experiment validates the subset it supports (see
+/// [`Experiment::strategies`]); [`Strategy::Opass`] always means "the
+/// paper's method at node level" and is accepted by every experiment —
+/// [`Dynamic`] normalizes it to [`Strategy::OpassGuided`], [`Racked`] runs
+/// node-level matching only, [`Heterogeneous`] runs uniform quotas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// ParaView's rank-interval static assignment — the paper's baseline
+    /// (scenario-file aliases: `baseline`, `default`).
+    RankInterval,
+    /// Uniformly random balanced assignment (Section III's model).
+    RandomAssign,
+    /// The Opass matching at node level (max-flow for single-input tasks,
+    /// Algorithm 1 for multi-input ones).
+    Opass,
+    /// Two-tier Opass: node-local matching, then rack-local matching
+    /// ([`Racked`] only).
+    OpassRackAware,
+    /// Opass with quotas proportional to disk speed ([`Heterogeneous`]
+    /// only).
+    OpassWeighted,
+    /// Central FIFO queue — the default master/worker dispatcher
+    /// ([`Dynamic`] only).
+    Fifo,
+    /// Delay scheduling (Zaharia et al.): bounded lookahead in the shared
+    /// queue for a local task ([`Dynamic`] only).
+    DelayScheduling {
+        /// Queue positions an idle worker may look ahead.
+        max_skips: usize,
+    },
+    /// Opass guided lists with locality-aware stealing ([`Dynamic`] only).
+    OpassGuided,
+}
+
+impl Strategy {
+    /// Parses a scenario-file strategy string. Accepts the canonical
+    /// labels (`rank_interval`, `random`, `opass`, `rack_aware`,
+    /// `weighted`, `fifo`, `delay:<skips>`, `opass_guided`) plus the
+    /// legacy per-experiment aliases (`baseline`, `default`, `node_only`,
+    /// `uniform`, `guided`, `random_assign`).
+    pub fn parse(s: &str) -> Option<Strategy> {
+        Some(match s {
+            "rank_interval" | "baseline" | "default" => Strategy::RankInterval,
+            "random" | "random_assign" => Strategy::RandomAssign,
+            "opass" | "node_only" | "uniform" => Strategy::Opass,
+            "rack_aware" | "opass_rack_aware" => Strategy::OpassRackAware,
+            "weighted" | "opass_weighted" => Strategy::OpassWeighted,
+            "fifo" => Strategy::Fifo,
+            "guided" | "opass_guided" => Strategy::OpassGuided,
+            other => {
+                let skips = other.strip_prefix("delay:")?;
+                Strategy::DelayScheduling {
+                    max_skips: skips.parse().ok()?,
+                }
+            }
+        })
+    }
+
+    /// The canonical label, inverse of [`Strategy::parse`].
+    pub fn label(&self) -> String {
+        match self {
+            Strategy::RankInterval => "rank_interval".into(),
+            Strategy::RandomAssign => "random".into(),
+            Strategy::Opass => "opass".into(),
+            Strategy::OpassRackAware => "rack_aware".into(),
+            Strategy::OpassWeighted => "weighted".into(),
+            Strategy::Fifo => "fifo".into(),
+            Strategy::DelayScheduling { max_skips } => format!("delay:{max_skips}"),
+            Strategy::OpassGuided => "opass_guided".into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Error returned when an experiment is asked to run a strategy it does
+/// not model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnsupportedStrategy {
+    /// Experiment label (`single_data`, `racked`, …).
+    pub experiment: &'static str,
+    /// The rejected strategy.
+    pub strategy: Strategy,
+    /// What the experiment does accept.
+    pub supported: Vec<Strategy>,
+}
+
+impl std::fmt::Display for UnsupportedStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let supported: Vec<String> = self.supported.iter().map(Strategy::label).collect();
+        write!(
+            f,
+            "experiment {:?} does not support strategy {:?} (supported: {})",
+            self.experiment,
+            self.strategy.label(),
+            supported.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnsupportedStrategy {}
 
 /// A run result annotated with how long planning took (host wall clock).
 #[derive(Debug, Clone, PartialEq)]
@@ -26,9 +207,780 @@ pub struct ExperimentRun {
     /// Host seconds spent computing the assignment (0 for trivial
     /// baselines) — the Section V-C overhead discussion.
     pub planning_seconds: f64,
+    /// Makespan of every phase for multi-phase experiments ([`ParaView`]
+    /// rendering steps); empty for single-phase runs.
+    pub step_makespans: Vec<f64>,
 }
 
+impl ExperimentRun {
+    /// The derived observability metrics; present after
+    /// [`Experiment::run_instrumented`], absent after [`Experiment::run`].
+    pub fn metrics(&self) -> Option<&RunMetrics> {
+        self.result.metrics.as_deref()
+    }
+}
+
+/// Stamps the planner cost into any attached metrics and wraps up a
+/// single-phase run.
+fn finish(mut result: RunResult, planning_seconds: f64) -> ExperimentRun {
+    if let Some(m) = result.metrics.as_mut() {
+        m.planning_seconds = planning_seconds;
+    }
+    ExperimentRun {
+        result,
+        planning_seconds,
+        step_makespans: Vec::new(),
+    }
+}
+
+/// Dispatches to the plain or instrumented executor.
+fn run_source(
+    nn: &Namenode,
+    workload: &Workload,
+    placement: &ProcessPlacement,
+    source: TaskSource,
+    config: &ExecConfig,
+    instrument: bool,
+) -> RunResult {
+    if instrument {
+        execute_instrumented(nn, workload, placement, source, config)
+    } else {
+        execute(nn, workload, placement, source, config)
+    }
+}
+
+/// Builds the rejection error for an experiment.
+fn unsupported(
+    experiment: &'static str,
+    strategy: Strategy,
+    supported: Vec<Strategy>,
+) -> UnsupportedStrategy {
+    UnsupportedStrategy {
+        experiment,
+        strategy,
+        supported,
+    }
+}
+
+/// One of the paper's evaluation scenarios, behind a uniform interface.
+///
+/// [`run`](Experiment::run) executes the scenario under one [`Strategy`];
+/// [`compare`](Experiment::compare) runs every supported strategy on the
+/// *same* layout — the side-by-side view all of Section V's figures are
+/// built from. [`run_instrumented`](Experiment::run_instrumented) is `run`
+/// plus the observability pipeline: the structured event trace is recorded
+/// and distilled into [`RunMetrics`] on `result.metrics`.
+pub trait Experiment {
+    /// Snake-case scenario label (`single_data`, `racked`, …).
+    fn name(&self) -> &'static str;
+
+    /// The strategies this experiment accepts, in presentation order.
+    /// Parameterized strategies appear with a representative parameter.
+    fn strategies(&self) -> Vec<Strategy>;
+
+    /// Runs the experiment under `strategy`, optionally recording the
+    /// event trace and deriving metrics. This is the one method impls
+    /// provide; prefer calling [`Experiment::run`] or
+    /// [`Experiment::run_instrumented`].
+    fn run_with(
+        &self,
+        strategy: Strategy,
+        instrument: bool,
+    ) -> Result<ExperimentRun, UnsupportedStrategy>;
+
+    /// Runs the experiment under `strategy`.
+    fn run(&self, strategy: Strategy) -> Result<ExperimentRun, UnsupportedStrategy> {
+        self.run_with(strategy, false)
+    }
+
+    /// Runs the experiment under `strategy` with event recording; the
+    /// returned run carries [`RunMetrics`] in `result.metrics`.
+    fn run_instrumented(&self, strategy: Strategy) -> Result<ExperimentRun, UnsupportedStrategy> {
+        self.run_with(strategy, true)
+    }
+
+    /// Runs every supported strategy and returns the comparison.
+    fn compare(&self) -> Vec<(Strategy, ExperimentRun)> {
+        self.strategies()
+            .into_iter()
+            .map(|s| {
+                let run = self.run(s).expect("strategies() entries are supported");
+                (s, run)
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Single-data access (Section V-A1)
+// ---------------------------------------------------------------------------
+
+/// The Section V-A1 experiment: equal single-data assignment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SingleData {
+    /// Shared cluster parameters.
+    pub cluster: ClusterSpec,
+    /// Chunks per process (paper: ~10).
+    pub chunks_per_process: usize,
+}
+
+impl Default for SingleData {
+    fn default() -> Self {
+        SingleData {
+            cluster: ClusterSpec::default(),
+            chunks_per_process: 10,
+        }
+    }
+}
+
+impl SingleData {
+    fn build(&self) -> (Namenode, Workload, ProcessPlacement) {
+        let mut nn = self.cluster.namenode();
+        let mut rng = StdRng::seed_from_u64(self.cluster.seed);
+        let cfg = SingleDataConfig {
+            n_procs: self.cluster.n_nodes,
+            chunks_per_process: self.chunks_per_process,
+            chunk_size: self.cluster.chunk_size,
+        };
+        let (_, workload) = single_wl::generate(&mut nn, &cfg, &Placement::Random, &mut rng);
+        let placement = ProcessPlacement::one_per_node(self.cluster.n_nodes);
+        (nn, workload, placement)
+    }
+}
+
+impl Experiment for SingleData {
+    fn name(&self) -> &'static str {
+        "single_data"
+    }
+
+    fn strategies(&self) -> Vec<Strategy> {
+        vec![
+            Strategy::RankInterval,
+            Strategy::RandomAssign,
+            Strategy::Opass,
+        ]
+    }
+
+    fn run_with(
+        &self,
+        strategy: Strategy,
+        instrument: bool,
+    ) -> Result<ExperimentRun, UnsupportedStrategy> {
+        let (nn, workload, placement) = self.build();
+        let n = workload.len();
+        let seed = self.cluster.seed;
+        let started = Instant::now();
+        let assignment = match strategy {
+            Strategy::RankInterval => baseline::rank_interval(n, self.cluster.n_nodes),
+            Strategy::RandomAssign => {
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5);
+                baseline::random_assignment(n, self.cluster.n_nodes, &mut rng)
+            }
+            Strategy::Opass => {
+                OpassPlanner::default()
+                    .plan_single_data(&nn, &workload, &placement, seed ^ 0x51)
+                    .assignment
+            }
+            other => return Err(unsupported(self.name(), other, self.strategies())),
+        };
+        let planning_seconds = started.elapsed().as_secs_f64();
+        let result = run_source(
+            &nn,
+            &workload,
+            &placement,
+            TaskSource::Static(assignment),
+            &ExecConfig {
+                io: self.cluster.io,
+                replica_choice: ReplicaChoice::PreferLocalRandom,
+                seed: seed ^ 0xE0,
+                ..Default::default()
+            },
+            instrument,
+        );
+        Ok(finish(result, planning_seconds))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-data access (Section V-A2)
+// ---------------------------------------------------------------------------
+
+/// The Section V-A2 experiment: tasks with 30/20/10 MB inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiData {
+    /// Shared cluster parameters (`chunk_size` is unused — the inputs fix
+    /// their own sizes).
+    pub cluster: ClusterSpec,
+    /// Tasks per process.
+    pub tasks_per_process: usize,
+    /// Per-input chunk sizes (paper: 30/20/10 MB).
+    pub input_sizes: Vec<u64>,
+}
+
+impl Default for MultiData {
+    fn default() -> Self {
+        let mb = 1u64 << 20;
+        MultiData {
+            cluster: ClusterSpec::default().with_seed(0x3017),
+            tasks_per_process: 10,
+            input_sizes: vec![30 * mb, 20 * mb, 10 * mb],
+        }
+    }
+}
+
+impl MultiData {
+    fn build(&self) -> (Namenode, Workload, ProcessPlacement) {
+        let mut nn = self.cluster.namenode();
+        let mut rng = StdRng::seed_from_u64(self.cluster.seed);
+        let cfg = MultiDataConfig {
+            n_tasks: self.cluster.n_nodes * self.tasks_per_process,
+            input_sizes: self.input_sizes.clone(),
+        };
+        let (_, workload) = multi_wl::generate(&mut nn, &cfg, &Placement::Random, &mut rng);
+        let placement = ProcessPlacement::one_per_node(self.cluster.n_nodes);
+        (nn, workload, placement)
+    }
+}
+
+impl Experiment for MultiData {
+    fn name(&self) -> &'static str {
+        "multi_data"
+    }
+
+    fn strategies(&self) -> Vec<Strategy> {
+        vec![Strategy::RankInterval, Strategy::Opass]
+    }
+
+    fn run_with(
+        &self,
+        strategy: Strategy,
+        instrument: bool,
+    ) -> Result<ExperimentRun, UnsupportedStrategy> {
+        let (nn, workload, placement) = self.build();
+        let started = Instant::now();
+        let assignment = match strategy {
+            Strategy::RankInterval => baseline::rank_interval(workload.len(), self.cluster.n_nodes),
+            Strategy::Opass => {
+                OpassPlanner::default()
+                    .plan_multi_data(&nn, &workload, &placement)
+                    .assignment
+            }
+            other => return Err(unsupported(self.name(), other, self.strategies())),
+        };
+        let planning_seconds = started.elapsed().as_secs_f64();
+        let result = run_source(
+            &nn,
+            &workload,
+            &placement,
+            TaskSource::Static(assignment),
+            &ExecConfig {
+                io: self.cluster.io,
+                replica_choice: ReplicaChoice::PreferLocalRandom,
+                seed: self.cluster.seed ^ 0xE1,
+                ..Default::default()
+            },
+            instrument,
+        );
+        Ok(finish(result, planning_seconds))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic access (Section V-A3)
+// ---------------------------------------------------------------------------
+
+/// The Section V-A3 experiment: master/worker with irregular compute.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dynamic {
+    /// Shared cluster parameters.
+    pub cluster: ClusterSpec,
+    /// Tasks per process.
+    pub tasks_per_process: usize,
+    /// Median per-task compute seconds.
+    pub compute_median: f64,
+    /// Log-normal sigma of compute times.
+    pub compute_sigma: f64,
+}
+
+impl Default for Dynamic {
+    fn default() -> Self {
+        Dynamic {
+            cluster: ClusterSpec::default().with_seed(0xD1A),
+            tasks_per_process: 10,
+            compute_median: 0.5,
+            compute_sigma: 1.0,
+        }
+    }
+}
+
+impl Dynamic {
+    fn build(&self) -> (Namenode, Workload, ProcessPlacement) {
+        let mut nn = self.cluster.namenode();
+        let mut rng = StdRng::seed_from_u64(self.cluster.seed);
+        let cfg = DynamicConfig {
+            n_tasks: self.cluster.n_nodes * self.tasks_per_process,
+            chunk_size: self.cluster.chunk_size,
+            compute_median: self.compute_median,
+            compute_sigma: self.compute_sigma,
+        };
+        let (_, workload) = dyn_wl::generate(&mut nn, &cfg, &Placement::Random, &mut rng);
+        let placement = ProcessPlacement::one_per_node(self.cluster.n_nodes);
+        (nn, workload, placement)
+    }
+}
+
+impl Experiment for Dynamic {
+    fn name(&self) -> &'static str {
+        "dynamic"
+    }
+
+    fn strategies(&self) -> Vec<Strategy> {
+        vec![
+            Strategy::Fifo,
+            Strategy::DelayScheduling { max_skips: 16 },
+            Strategy::OpassGuided,
+        ]
+    }
+
+    fn run_with(
+        &self,
+        strategy: Strategy,
+        instrument: bool,
+    ) -> Result<ExperimentRun, UnsupportedStrategy> {
+        let (nn, workload, placement) = self.build();
+        let seed = self.cluster.seed;
+        let started = Instant::now();
+        let source: TaskSource = match strategy {
+            Strategy::Fifo => {
+                TaskSource::Dynamic(Box::new(opass_matching::FifoScheduler::new(workload.len())))
+            }
+            Strategy::DelayScheduling { max_skips } => {
+                let values = crate::builder::build_matching_values(&nn, &workload, &placement);
+                TaskSource::Dynamic(Box::new(opass_matching::DelayScheduler::new(
+                    workload.len(),
+                    values,
+                    max_skips,
+                )))
+            }
+            // `opass` means "the paper's method" everywhere; here that is
+            // the guided scheduler.
+            Strategy::OpassGuided | Strategy::Opass => {
+                let sched =
+                    OpassPlanner::default().plan_dynamic(&nn, &workload, &placement, seed ^ 0x6D);
+                TaskSource::Dynamic(Box::new(sched))
+            }
+            other => return Err(unsupported(self.name(), other, self.strategies())),
+        };
+        let planning_seconds = started.elapsed().as_secs_f64();
+        let result = run_source(
+            &nn,
+            &workload,
+            &placement,
+            source,
+            &ExecConfig {
+                io: self.cluster.io,
+                replica_choice: ReplicaChoice::PreferLocalRandom,
+                seed: seed ^ 0xE2,
+                ..Default::default()
+            },
+            instrument,
+        );
+        Ok(finish(result, planning_seconds))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ParaView (Section V-B)
+// ---------------------------------------------------------------------------
+
+/// The Section V-B experiment: multi-block rendering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParaView {
+    /// Shared cluster parameters (`chunk_size` is unused — the workload's
+    /// `block_size` governs).
+    pub cluster: ClusterSpec,
+    /// Workload shape (library size, blocks per step, steps, block size,
+    /// render delay).
+    pub workload: ParaViewConfig,
+}
+
+impl Default for ParaView {
+    fn default() -> Self {
+        ParaView {
+            cluster: ClusterSpec::default().with_seed(0x9A7A),
+            workload: ParaViewConfig::default(),
+        }
+    }
+}
+
+impl Experiment for ParaView {
+    fn name(&self) -> &'static str {
+        "paraview"
+    }
+
+    fn strategies(&self) -> Vec<Strategy> {
+        vec![Strategy::RankInterval, Strategy::Opass]
+    }
+
+    fn run_with(
+        &self,
+        strategy: Strategy,
+        instrument: bool,
+    ) -> Result<ExperimentRun, UnsupportedStrategy> {
+        if !matches!(strategy, Strategy::RankInterval | Strategy::Opass) {
+            return Err(unsupported(self.name(), strategy, self.strategies()));
+        }
+        let seed = self.cluster.seed;
+        let mut nn = self.cluster.namenode();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let run = pv_wl::generate(&mut nn, &self.workload, &Placement::Random, &mut rng);
+        let placement = ProcessPlacement::one_per_node(self.cluster.n_nodes);
+
+        let mut combined: Option<RunResult> = None;
+        let mut step_makespans = Vec::with_capacity(run.steps.len());
+        let mut planning_seconds = 0.0;
+        let mut all_events = Vec::new();
+        let mut offset = 0.0;
+        // The vtk reader overhead rides on the per-read latency: it delays
+        // every block read without consuming disk or network bandwidth.
+        let mut io = self.cluster.io;
+        io.local_latency += self.workload.reader_overhead_seconds;
+        io.remote_latency += self.workload.reader_overhead_seconds;
+        for (i, step) in run.steps.iter().enumerate() {
+            let started = Instant::now();
+            let assignment = match strategy {
+                Strategy::RankInterval => baseline::rank_interval(step.len(), self.cluster.n_nodes),
+                _ => {
+                    OpassPlanner::default()
+                        .plan_single_data(&nn, step, &placement, seed ^ (i as u64))
+                        .assignment
+                }
+            };
+            planning_seconds += started.elapsed().as_secs_f64();
+            let config = ExecConfig {
+                io,
+                replica_choice: ReplicaChoice::PreferLocalRandom,
+                seed: seed ^ 0xE3 ^ (i as u64) << 8,
+                ..Default::default()
+            };
+            let result = if instrument {
+                // Record each step with its own log and shift the events
+                // onto the chained timeline, mirroring what `chain` does
+                // to the records below.
+                let log = MemoryRecorder::new();
+                let result = execute_with_recorder(
+                    &nn,
+                    step,
+                    &placement,
+                    TaskSource::Static(assignment),
+                    &config,
+                    Box::new(log.clone()) as Box<dyn Recorder>,
+                );
+                let mut events = log.take_events();
+                for ev in &mut events {
+                    ev.shift_at(offset);
+                }
+                all_events.extend(events);
+                result
+            } else {
+                execute(
+                    &nn,
+                    step,
+                    &placement,
+                    TaskSource::Static(assignment),
+                    &config,
+                )
+            };
+            offset += result.makespan;
+            step_makespans.push(result.makespan);
+            match combined.as_mut() {
+                None => combined = Some(result),
+                Some(acc) => acc.chain(result),
+            }
+        }
+        let mut combined = combined.expect("at least one step");
+        if instrument {
+            let mut metrics =
+                RunMetrics::from_run(&combined, all_events, self.cluster.n_nodes, &io);
+            metrics.planning_seconds = planning_seconds;
+            combined.metrics = Some(Box::new(metrics));
+        }
+        Ok(ExperimentRun {
+            result: combined,
+            planning_seconds,
+            step_makespans,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Racked clusters (extension)
+// ---------------------------------------------------------------------------
+
+/// The rack-locality extension experiment: a racked cluster with
+/// oversubscribed uplinks, HDFS rack-aware placement, and rack-preferring
+/// clients. Not in the paper (Marmot is single-switch); demonstrates that
+/// the matching framework extends to hierarchical locality. To make the
+/// second tier load-bearing, the last `late_per_rack` nodes of every rack
+/// join *after* the dataset is written — they hold no data, so their quota
+/// must be placed rack-locally (or shipped cross-rack by the baseline).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Racked {
+    /// Shared cluster parameters.
+    pub cluster: ClusterSpec,
+    /// Nodes per rack.
+    pub nodes_per_rack: usize,
+    /// Empty late-joining nodes per rack (hold no data).
+    pub late_per_rack: usize,
+    /// Rack uplink bandwidth per direction, bytes/second.
+    pub uplink_bandwidth: f64,
+    /// Chunks per process.
+    pub chunks_per_process: usize,
+}
+
+impl Default for Racked {
+    fn default() -> Self {
+        Racked {
+            cluster: ClusterSpec::default().with_seed(0x4ACC),
+            nodes_per_rack: 8,
+            late_per_rack: 2,
+            // 8 nodes x 117 MB/s behind a ~468 MB/s uplink: 2:1
+            // oversubscription.
+            uplink_bandwidth: 4.0 * 117.0 * 1024.0 * 1024.0,
+            chunks_per_process: 10,
+        }
+    }
+}
+
+impl Racked {
+    /// Nodes that held data at write time (the first
+    /// `nodes_per_rack - late_per_rack` of every rack).
+    fn storage_nodes(&self) -> Vec<opass_dfs::NodeId> {
+        (0..self.cluster.n_nodes)
+            .filter(|i| i % self.nodes_per_rack < self.nodes_per_rack - self.late_per_rack)
+            .map(|i| opass_dfs::NodeId(i as u32))
+            .collect()
+    }
+
+    /// Fraction of reads in `result` that crossed a rack boundary.
+    pub fn cross_rack_fraction(&self, result: &RunResult) -> f64 {
+        if result.records.is_empty() {
+            return 0.0;
+        }
+        let racks = RackMap::uniform(self.cluster.n_nodes, self.nodes_per_rack);
+        let crossing = result
+            .records
+            .iter()
+            .filter(|r| !racks.same_rack(r.source, r.reader))
+            .count();
+        crossing as f64 / result.records.len() as f64
+    }
+}
+
+impl Experiment for Racked {
+    fn name(&self) -> &'static str {
+        "racked"
+    }
+
+    fn strategies(&self) -> Vec<Strategy> {
+        vec![
+            Strategy::RankInterval,
+            Strategy::Opass,
+            Strategy::OpassRackAware,
+        ]
+    }
+
+    fn run_with(
+        &self,
+        strategy: Strategy,
+        instrument: bool,
+    ) -> Result<ExperimentRun, UnsupportedStrategy> {
+        assert!(
+            self.late_per_rack < self.nodes_per_rack,
+            "a rack must keep at least one storage node"
+        );
+        let seed = self.cluster.seed;
+        let racks = RackMap::uniform(self.cluster.n_nodes, self.nodes_per_rack);
+        let mut nn = self.cluster.namenode();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_chunks = self.cluster.n_nodes * self.chunks_per_process;
+        // Rack-aware placement restricted to the storage nodes (the late
+        // nodes join empty).
+        let placement_policy = Placement::RackAware {
+            racks: racks.clone(),
+        };
+        let storage = self.storage_nodes();
+        let spec = opass_dfs::DatasetSpec::uniform("racked", n_chunks, self.cluster.chunk_size);
+        let locations: Vec<Vec<opass_dfs::NodeId>> = (0..n_chunks)
+            .map(|i| {
+                placement_policy.place(i, self.cluster.replication as usize, &storage, &mut rng)
+            })
+            .collect();
+        let ds = nn.create_dataset_placed(&spec, locations);
+        let workload = Workload::new(
+            "racked",
+            nn.dataset(ds)
+                .expect("created")
+                .chunks
+                .iter()
+                .map(|&c| opass_workloads::Task::single(c))
+                .collect(),
+        );
+        let placement = ProcessPlacement::one_per_node(self.cluster.n_nodes);
+
+        let started = Instant::now();
+        let assignment = match strategy {
+            Strategy::RankInterval => baseline::rank_interval(workload.len(), self.cluster.n_nodes),
+            // Node-level matching only (reads still prefer local, then
+            // rack).
+            Strategy::Opass => {
+                OpassPlanner::default()
+                    .plan_single_data(&nn, &workload, &placement, seed ^ 0x11)
+                    .assignment
+            }
+            Strategy::OpassRackAware => {
+                OpassPlanner::default()
+                    .plan_single_data_rack_aware(&nn, &workload, &placement, &racks, seed ^ 0x12)
+                    .assignment
+            }
+            other => return Err(unsupported(self.name(), other, self.strategies())),
+        };
+        let planning_seconds = started.elapsed().as_secs_f64();
+        let result = run_source(
+            &nn,
+            &workload,
+            &placement,
+            TaskSource::Static(assignment),
+            &ExecConfig {
+                io: self.cluster.io,
+                topology: Topology::Racked {
+                    nodes_per_rack: self.nodes_per_rack,
+                    uplink_bandwidth: self.uplink_bandwidth,
+                },
+                replica_choice: ReplicaChoice::PreferLocalThenRack(racks),
+                seed: seed ^ 0xE4,
+                ..Default::default()
+            },
+            instrument,
+        );
+        Ok(finish(result, planning_seconds))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Heterogeneous clusters (extension)
+// ---------------------------------------------------------------------------
+
+/// The heterogeneous-cluster extension: a fraction of the nodes has slower
+/// disks; weighted quotas give fast nodes proportionally more tasks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Heterogeneous {
+    /// Shared cluster parameters (`io` is the fast-node baseline).
+    pub cluster: ClusterSpec,
+    /// Every `slow_every`-th node runs its disk at `slow_factor` speed.
+    pub slow_every: usize,
+    /// Disk speed multiplier of slow nodes (e.g. 0.5).
+    pub slow_factor: f64,
+    /// Chunks per process.
+    pub chunks_per_process: usize,
+}
+
+impl Default for Heterogeneous {
+    fn default() -> Self {
+        Heterogeneous {
+            cluster: ClusterSpec {
+                n_nodes: 32,
+                seed: 0x4E7,
+                ..Default::default()
+            },
+            slow_every: 2,
+            slow_factor: 0.5,
+            chunks_per_process: 10,
+        }
+    }
+}
+
+impl Heterogeneous {
+    /// Per-node disk speed factors.
+    pub fn disk_factors(&self) -> Vec<f64> {
+        (0..self.cluster.n_nodes)
+            .map(|i| {
+                if self.slow_every > 0 && i % self.slow_every == 0 {
+                    self.slow_factor
+                } else {
+                    1.0
+                }
+            })
+            .collect()
+    }
+}
+
+impl Experiment for Heterogeneous {
+    fn name(&self) -> &'static str {
+        "heterogeneous"
+    }
+
+    fn strategies(&self) -> Vec<Strategy> {
+        vec![Strategy::Opass, Strategy::OpassWeighted]
+    }
+
+    fn run_with(
+        &self,
+        strategy: Strategy,
+        instrument: bool,
+    ) -> Result<ExperimentRun, UnsupportedStrategy> {
+        let seed = self.cluster.seed;
+        let mut nn = self.cluster.namenode();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = SingleDataConfig {
+            n_procs: self.cluster.n_nodes,
+            chunks_per_process: self.chunks_per_process,
+            chunk_size: self.cluster.chunk_size,
+        };
+        let (_, workload) = single_wl::generate(&mut nn, &cfg, &Placement::Random, &mut rng);
+        let placement = ProcessPlacement::one_per_node(self.cluster.n_nodes);
+        let factors = self.disk_factors();
+
+        let started = Instant::now();
+        let assignment = match strategy {
+            // Uniform quotas — the paper's homogeneity assumption.
+            Strategy::Opass => {
+                OpassPlanner::default()
+                    .plan_single_data(&nn, &workload, &placement, seed ^ 0x21)
+                    .assignment
+            }
+            Strategy::OpassWeighted => {
+                OpassPlanner::default()
+                    .plan_single_data_weighted(&nn, &workload, &placement, &factors, seed ^ 0x22)
+                    .assignment
+            }
+            other => return Err(unsupported(self.name(), other, self.strategies())),
+        };
+        let planning_seconds = started.elapsed().as_secs_f64();
+        let result = run_source(
+            &nn,
+            &workload,
+            &placement,
+            TaskSource::Static(assignment),
+            &ExecConfig {
+                io: self.cluster.io,
+                disk_factors: Some(factors),
+                replica_choice: ReplicaChoice::PreferLocalRandom,
+                seed: seed ^ 0xE5,
+                ..Default::default()
+            },
+            instrument,
+        );
+        Ok(finish(result, planning_seconds))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated pre-trait API (thin wrappers)
+// ---------------------------------------------------------------------------
+
 /// Assignment strategies for single-input workloads.
+#[deprecated(since = "0.1.0", note = "use the unified `Strategy` enum")]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SingleStrategy {
     /// ParaView's rank-interval static assignment (the paper's baseline).
@@ -39,7 +991,130 @@ pub enum SingleStrategy {
     Opass,
 }
 
-/// The Section V-A1 experiment: equal single-data assignment.
+#[allow(deprecated)]
+impl From<SingleStrategy> for Strategy {
+    fn from(s: SingleStrategy) -> Strategy {
+        match s {
+            SingleStrategy::RankInterval => Strategy::RankInterval,
+            SingleStrategy::RandomAssign => Strategy::RandomAssign,
+            SingleStrategy::Opass => Strategy::Opass,
+        }
+    }
+}
+
+/// Assignment strategies for multi-input workloads.
+#[deprecated(since = "0.1.0", note = "use the unified `Strategy` enum")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MultiStrategy {
+    /// Rank-interval assignment of tasks (locality-oblivious default).
+    RankInterval,
+    /// Opass Algorithm 1.
+    Opass,
+}
+
+#[allow(deprecated)]
+impl From<MultiStrategy> for Strategy {
+    fn from(s: MultiStrategy) -> Strategy {
+        match s {
+            MultiStrategy::RankInterval => Strategy::RankInterval,
+            MultiStrategy::Opass => Strategy::Opass,
+        }
+    }
+}
+
+/// Scheduling strategies for dynamic workloads.
+#[deprecated(since = "0.1.0", note = "use the unified `Strategy` enum")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DynamicStrategy {
+    /// Central FIFO queue — the default master/worker dispatcher.
+    Fifo,
+    /// Delay scheduling (Zaharia et al.).
+    DelayScheduling {
+        /// Queue positions an idle worker may look ahead.
+        max_skips: usize,
+    },
+    /// Opass guided lists with locality-aware stealing.
+    OpassGuided,
+}
+
+#[allow(deprecated)]
+impl From<DynamicStrategy> for Strategy {
+    fn from(s: DynamicStrategy) -> Strategy {
+        match s {
+            DynamicStrategy::Fifo => Strategy::Fifo,
+            DynamicStrategy::DelayScheduling { max_skips } => {
+                Strategy::DelayScheduling { max_skips }
+            }
+            DynamicStrategy::OpassGuided => Strategy::OpassGuided,
+        }
+    }
+}
+
+/// Strategies for the ParaView run.
+#[deprecated(since = "0.1.0", note = "use the unified `Strategy` enum")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParaViewStrategy {
+    /// Stock vtkXMLCompositeDataReader rank-interval assignment.
+    Default,
+    /// Opass hooked into ReadXMLData (per-step max-flow matching).
+    Opass,
+}
+
+#[allow(deprecated)]
+impl From<ParaViewStrategy> for Strategy {
+    fn from(s: ParaViewStrategy) -> Strategy {
+        match s {
+            ParaViewStrategy::Default => Strategy::RankInterval,
+            ParaViewStrategy::Opass => Strategy::Opass,
+        }
+    }
+}
+
+/// Strategies for the racked-cluster extension experiment.
+#[deprecated(since = "0.1.0", note = "use the unified `Strategy` enum")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RackedStrategy {
+    /// Rank-interval assignment, rack-oblivious reads.
+    Baseline,
+    /// Opass node-level matching only (reads prefer local, then rack).
+    OpassNodeOnly,
+    /// Two-tier Opass: node-local matching, then rack-local matching.
+    OpassRackAware,
+}
+
+#[allow(deprecated)]
+impl From<RackedStrategy> for Strategy {
+    fn from(s: RackedStrategy) -> Strategy {
+        match s {
+            RackedStrategy::Baseline => Strategy::RankInterval,
+            RackedStrategy::OpassNodeOnly => Strategy::Opass,
+            RackedStrategy::OpassRackAware => Strategy::OpassRackAware,
+        }
+    }
+}
+
+/// Strategies for the heterogeneous-cluster extension experiment.
+#[deprecated(since = "0.1.0", note = "use the unified `Strategy` enum")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeteroStrategy {
+    /// Opass with uniform quotas (the paper's assumption).
+    OpassUniform,
+    /// Opass with quotas proportional to disk speed.
+    OpassWeighted,
+}
+
+#[allow(deprecated)]
+impl From<HeteroStrategy> for Strategy {
+    fn from(s: HeteroStrategy) -> Strategy {
+        match s {
+            HeteroStrategy::OpassUniform => Strategy::Opass,
+            HeteroStrategy::OpassWeighted => Strategy::OpassWeighted,
+        }
+    }
+}
+
+/// The Section V-A1 experiment with pre-trait flat fields.
+#[deprecated(since = "0.1.0", note = "use `SingleData` with the `Experiment` trait")]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SingleDataExperiment {
     /// Cluster size `m` (one process per node).
@@ -56,85 +1131,46 @@ pub struct SingleDataExperiment {
     pub seed: u64,
 }
 
+#[allow(deprecated)]
 impl Default for SingleDataExperiment {
     fn default() -> Self {
+        let modern = SingleData::default();
         SingleDataExperiment {
-            n_nodes: 64,
-            chunks_per_process: 10,
-            chunk_size: 64 << 20,
-            replication: 3,
-            io: IoParams::marmot(),
-            seed: 0x0A55,
+            n_nodes: modern.cluster.n_nodes,
+            chunks_per_process: modern.chunks_per_process,
+            chunk_size: modern.cluster.chunk_size,
+            replication: modern.cluster.replication,
+            io: modern.cluster.io,
+            seed: modern.cluster.seed,
         }
     }
 }
 
+#[allow(deprecated)]
 impl SingleDataExperiment {
-    fn build(&self) -> (Namenode, Workload, ProcessPlacement) {
-        let mut nn = Namenode::new(
-            self.n_nodes,
-            DfsConfig {
+    fn modern(&self) -> SingleData {
+        SingleData {
+            cluster: ClusterSpec {
+                n_nodes: self.n_nodes,
+                chunk_size: self.chunk_size,
                 replication: self.replication,
+                io: self.io,
+                seed: self.seed,
             },
-        );
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let cfg = SingleDataConfig {
-            n_procs: self.n_nodes,
             chunks_per_process: self.chunks_per_process,
-            chunk_size: self.chunk_size,
-        };
-        let (_, workload) = single_wl::generate(&mut nn, &cfg, &Placement::Random, &mut rng);
-        let placement = ProcessPlacement::one_per_node(self.n_nodes);
-        (nn, workload, placement)
+        }
     }
 
     /// Runs the experiment under a strategy.
     pub fn run(&self, strategy: SingleStrategy) -> ExperimentRun {
-        let (nn, workload, placement) = self.build();
-        let n = workload.len();
-        let started = Instant::now();
-        let assignment = match strategy {
-            SingleStrategy::RankInterval => baseline::rank_interval(n, self.n_nodes),
-            SingleStrategy::RandomAssign => {
-                let mut rng = StdRng::seed_from_u64(self.seed ^ 0xA5A5);
-                baseline::random_assignment(n, self.n_nodes, &mut rng)
-            }
-            SingleStrategy::Opass => {
-                OpassPlanner::default()
-                    .plan_single_data(&nn, &workload, &placement, self.seed ^ 0x51)
-                    .assignment
-            }
-        };
-        let planning_seconds = started.elapsed().as_secs_f64();
-        let result = execute(
-            &nn,
-            &workload,
-            &placement,
-            TaskSource::Static(assignment),
-            &ExecConfig {
-                io: self.io,
-                replica_choice: ReplicaChoice::PreferLocalRandom,
-                seed: self.seed ^ 0xE0,
-                ..Default::default()
-            },
-        );
-        ExperimentRun {
-            result,
-            planning_seconds,
-        }
+        self.modern()
+            .run(strategy.into())
+            .expect("single-data strategies are supported")
     }
 }
 
-/// Assignment strategies for multi-input workloads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum MultiStrategy {
-    /// Rank-interval assignment of tasks (locality-oblivious default).
-    RankInterval,
-    /// Opass Algorithm 1.
-    Opass,
-}
-
-/// The Section V-A2 experiment: tasks with 30/20/10 MB inputs.
+/// The Section V-A2 experiment with pre-trait flat fields.
+#[deprecated(since = "0.1.0", note = "use `MultiData` with the `Experiment` trait")]
 #[derive(Debug, Clone, PartialEq)]
 pub struct MultiDataExperiment {
     /// Cluster size `m`.
@@ -151,85 +1187,47 @@ pub struct MultiDataExperiment {
     pub seed: u64,
 }
 
+#[allow(deprecated)]
 impl Default for MultiDataExperiment {
     fn default() -> Self {
-        let mb = 1u64 << 20;
+        let modern = MultiData::default();
         MultiDataExperiment {
-            n_nodes: 64,
-            tasks_per_process: 10,
-            input_sizes: vec![30 * mb, 20 * mb, 10 * mb],
-            replication: 3,
-            io: IoParams::marmot(),
-            seed: 0x3017,
+            n_nodes: modern.cluster.n_nodes,
+            tasks_per_process: modern.tasks_per_process,
+            input_sizes: modern.input_sizes,
+            replication: modern.cluster.replication,
+            io: modern.cluster.io,
+            seed: modern.cluster.seed,
         }
     }
 }
 
+#[allow(deprecated)]
 impl MultiDataExperiment {
-    fn build(&self) -> (Namenode, Workload, ProcessPlacement) {
-        let mut nn = Namenode::new(
-            self.n_nodes,
-            DfsConfig {
+    fn modern(&self) -> MultiData {
+        MultiData {
+            cluster: ClusterSpec {
+                n_nodes: self.n_nodes,
+                chunk_size: ClusterSpec::default().chunk_size,
                 replication: self.replication,
+                io: self.io,
+                seed: self.seed,
             },
-        );
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let cfg = MultiDataConfig {
-            n_tasks: self.n_nodes * self.tasks_per_process,
+            tasks_per_process: self.tasks_per_process,
             input_sizes: self.input_sizes.clone(),
-        };
-        let (_, workload) = multi_wl::generate(&mut nn, &cfg, &Placement::Random, &mut rng);
-        (nn, workload, ProcessPlacement::one_per_node(self.n_nodes))
+        }
     }
 
     /// Runs the experiment under a strategy.
     pub fn run(&self, strategy: MultiStrategy) -> ExperimentRun {
-        let (nn, workload, placement) = self.build();
-        let started = Instant::now();
-        let assignment = match strategy {
-            MultiStrategy::RankInterval => baseline::rank_interval(workload.len(), self.n_nodes),
-            MultiStrategy::Opass => {
-                OpassPlanner::default()
-                    .plan_multi_data(&nn, &workload, &placement)
-                    .assignment
-            }
-        };
-        let planning_seconds = started.elapsed().as_secs_f64();
-        let result = execute(
-            &nn,
-            &workload,
-            &placement,
-            TaskSource::Static(assignment),
-            &ExecConfig {
-                io: self.io,
-                replica_choice: ReplicaChoice::PreferLocalRandom,
-                seed: self.seed ^ 0xE1,
-                ..Default::default()
-            },
-        );
-        ExperimentRun {
-            result,
-            planning_seconds,
-        }
+        self.modern()
+            .run(strategy.into())
+            .expect("multi-data strategies are supported")
     }
 }
 
-/// Scheduling strategies for dynamic workloads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DynamicStrategy {
-    /// Central FIFO queue — the default master/worker dispatcher.
-    Fifo,
-    /// Delay scheduling (Zaharia et al.): bounded lookahead in the shared
-    /// queue for a local task. The literature's scheduler-side baseline.
-    DelayScheduling {
-        /// Queue positions an idle worker may look ahead.
-        max_skips: usize,
-    },
-    /// Opass guided lists with locality-aware stealing.
-    OpassGuided,
-}
-
-/// The Section V-A3 experiment: master/worker with irregular compute.
+/// The Section V-A3 experiment with pre-trait flat fields.
+#[deprecated(since = "0.1.0", note = "use `Dynamic` with the `Experiment` trait")]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DynamicExperiment {
     /// Cluster size `m`.
@@ -250,96 +1248,53 @@ pub struct DynamicExperiment {
     pub seed: u64,
 }
 
+#[allow(deprecated)]
 impl Default for DynamicExperiment {
     fn default() -> Self {
+        let modern = Dynamic::default();
         DynamicExperiment {
-            n_nodes: 64,
-            tasks_per_process: 10,
-            chunk_size: 64 << 20,
-            compute_median: 0.5,
-            compute_sigma: 1.0,
-            replication: 3,
-            io: IoParams::marmot(),
-            seed: 0xD1A,
+            n_nodes: modern.cluster.n_nodes,
+            tasks_per_process: modern.tasks_per_process,
+            chunk_size: modern.cluster.chunk_size,
+            compute_median: modern.compute_median,
+            compute_sigma: modern.compute_sigma,
+            replication: modern.cluster.replication,
+            io: modern.cluster.io,
+            seed: modern.cluster.seed,
         }
     }
 }
 
+#[allow(deprecated)]
 impl DynamicExperiment {
-    fn build(&self) -> (Namenode, Workload, ProcessPlacement) {
-        let mut nn = Namenode::new(
-            self.n_nodes,
-            DfsConfig {
+    fn modern(&self) -> Dynamic {
+        Dynamic {
+            cluster: ClusterSpec {
+                n_nodes: self.n_nodes,
+                chunk_size: self.chunk_size,
                 replication: self.replication,
+                io: self.io,
+                seed: self.seed,
             },
-        );
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let cfg = DynamicConfig {
-            n_tasks: self.n_nodes * self.tasks_per_process,
-            chunk_size: self.chunk_size,
+            tasks_per_process: self.tasks_per_process,
             compute_median: self.compute_median,
             compute_sigma: self.compute_sigma,
-        };
-        let (_, workload) = dyn_wl::generate(&mut nn, &cfg, &Placement::Random, &mut rng);
-        (nn, workload, ProcessPlacement::one_per_node(self.n_nodes))
+        }
     }
 
     /// Runs the experiment under a strategy.
     pub fn run(&self, strategy: DynamicStrategy) -> ExperimentRun {
-        let (nn, workload, placement) = self.build();
-        let started = Instant::now();
-        let source: TaskSource = match strategy {
-            DynamicStrategy::Fifo => {
-                TaskSource::Dynamic(Box::new(opass_matching::FifoScheduler::new(workload.len())))
-            }
-            DynamicStrategy::DelayScheduling { max_skips } => {
-                let values = crate::builder::build_matching_values(&nn, &workload, &placement);
-                TaskSource::Dynamic(Box::new(opass_matching::DelayScheduler::new(
-                    workload.len(),
-                    values,
-                    max_skips,
-                )))
-            }
-            DynamicStrategy::OpassGuided => {
-                let sched = OpassPlanner::default().plan_dynamic(
-                    &nn,
-                    &workload,
-                    &placement,
-                    self.seed ^ 0x6D,
-                );
-                TaskSource::Dynamic(Box::new(sched))
-            }
-        };
-        let planning_seconds = started.elapsed().as_secs_f64();
-        let result = execute(
-            &nn,
-            &workload,
-            &placement,
-            source,
-            &ExecConfig {
-                io: self.io,
-                replica_choice: ReplicaChoice::PreferLocalRandom,
-                seed: self.seed ^ 0xE2,
-                ..Default::default()
-            },
-        );
-        ExperimentRun {
-            result,
-            planning_seconds,
-        }
+        self.modern()
+            .run(strategy.into())
+            .expect("dynamic strategies are supported")
     }
 }
 
-/// Strategies for the ParaView run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ParaViewStrategy {
-    /// Stock vtkXMLCompositeDataReader rank-interval assignment.
-    Default,
-    /// Opass hooked into ReadXMLData (per-step max-flow matching).
-    Opass,
-}
-
 /// Result of a multi-step ParaView run.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ParaView` with the `Experiment` trait; `ExperimentRun` now carries `step_makespans`"
+)]
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParaViewRunResult {
     /// All steps chained into one trace.
@@ -350,13 +1305,13 @@ pub struct ParaViewRunResult {
     pub planning_seconds: f64,
 }
 
-/// The Section V-B experiment: multi-block rendering.
+/// The Section V-B experiment with pre-trait flat fields.
+#[deprecated(since = "0.1.0", note = "use `ParaView` with the `Experiment` trait")]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ParaViewExperiment {
     /// Cluster size `m`.
     pub n_nodes: usize,
-    /// Workload shape (library size, blocks per step, steps, block size,
-    /// render delay).
+    /// Workload shape.
     pub workload: ParaViewConfig,
     /// Replication factor.
     pub replication: u32,
@@ -366,94 +1321,51 @@ pub struct ParaViewExperiment {
     pub seed: u64,
 }
 
+#[allow(deprecated)]
 impl Default for ParaViewExperiment {
     fn default() -> Self {
+        let modern = ParaView::default();
         ParaViewExperiment {
-            n_nodes: 64,
-            workload: ParaViewConfig::default(),
-            replication: 3,
-            io: IoParams::marmot(),
-            seed: 0x9A7A,
+            n_nodes: modern.cluster.n_nodes,
+            workload: modern.workload,
+            replication: modern.cluster.replication,
+            io: modern.cluster.io,
+            seed: modern.cluster.seed,
         }
     }
 }
 
+#[allow(deprecated)]
 impl ParaViewExperiment {
+    fn modern(&self) -> ParaView {
+        ParaView {
+            cluster: ClusterSpec {
+                n_nodes: self.n_nodes,
+                chunk_size: ClusterSpec::default().chunk_size,
+                replication: self.replication,
+                io: self.io,
+                seed: self.seed,
+            },
+            workload: self.workload,
+        }
+    }
+
     /// Runs all rendering steps under a strategy.
     pub fn run(&self, strategy: ParaViewStrategy) -> ParaViewRunResult {
-        let mut nn = Namenode::new(
-            self.n_nodes,
-            DfsConfig {
-                replication: self.replication,
-            },
-        );
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let run = pv_wl::generate(&mut nn, &self.workload, &Placement::Random, &mut rng);
-        let placement = ProcessPlacement::one_per_node(self.n_nodes);
-
-        let mut combined: Option<RunResult> = None;
-        let mut step_makespans = Vec::with_capacity(run.steps.len());
-        let mut planning_seconds = 0.0;
-        // The vtk reader overhead rides on the per-read latency: it delays
-        // every block read without consuming disk or network bandwidth.
-        let mut io = self.io;
-        io.local_latency += self.workload.reader_overhead_seconds;
-        io.remote_latency += self.workload.reader_overhead_seconds;
-        for (i, step) in run.steps.iter().enumerate() {
-            let started = Instant::now();
-            let assignment = match strategy {
-                ParaViewStrategy::Default => baseline::rank_interval(step.len(), self.n_nodes),
-                ParaViewStrategy::Opass => {
-                    OpassPlanner::default()
-                        .plan_single_data(&nn, step, &placement, self.seed ^ (i as u64))
-                        .assignment
-                }
-            };
-            planning_seconds += started.elapsed().as_secs_f64();
-            let result = execute(
-                &nn,
-                step,
-                &placement,
-                TaskSource::Static(assignment),
-                &ExecConfig {
-                    io,
-                    replica_choice: ReplicaChoice::PreferLocalRandom,
-                    seed: self.seed ^ 0xE3 ^ (i as u64) << 8,
-                    ..Default::default()
-                },
-            );
-            step_makespans.push(result.makespan);
-            match combined.as_mut() {
-                None => combined = Some(result),
-                Some(acc) => acc.chain(result),
-            }
-        }
+        let run = self
+            .modern()
+            .run(strategy.into())
+            .expect("paraview strategies are supported");
         ParaViewRunResult {
-            combined: combined.expect("at least one step"),
-            step_makespans,
-            planning_seconds,
+            combined: run.result,
+            step_makespans: run.step_makespans,
+            planning_seconds: run.planning_seconds,
         }
     }
 }
 
-/// Strategies for the racked-cluster extension experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum RackedStrategy {
-    /// Rank-interval assignment, rack-oblivious reads.
-    Baseline,
-    /// Opass node-level matching only (reads prefer local, then rack).
-    OpassNodeOnly,
-    /// Two-tier Opass: node-local matching, then rack-local matching.
-    OpassRackAware,
-}
-
-/// The rack-locality extension experiment: a racked cluster with
-/// oversubscribed uplinks, HDFS rack-aware placement, and rack-preferring
-/// clients. Not in the paper (Marmot is single-switch); demonstrates that
-/// the matching framework extends to hierarchical locality. To make the
-/// second tier load-bearing, the last `late_per_rack` nodes of every rack
-/// join *after* the dataset is written — they hold no data, so their quota
-/// must be placed rack-locally (or shipped cross-rack by the baseline).
+/// The rack-locality extension experiment with pre-trait flat fields.
+#[deprecated(since = "0.1.0", note = "use `Racked` with the `Experiment` trait")]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RackedExperiment {
     /// Cluster size `m`.
@@ -476,140 +1388,60 @@ pub struct RackedExperiment {
     pub seed: u64,
 }
 
+#[allow(deprecated)]
 impl Default for RackedExperiment {
     fn default() -> Self {
+        let modern = Racked::default();
         RackedExperiment {
-            n_nodes: 64,
-            nodes_per_rack: 8,
-            late_per_rack: 2,
-            // 8 nodes x 117 MB/s behind a ~468 MB/s uplink: 2:1
-            // oversubscription.
-            uplink_bandwidth: 4.0 * 117.0 * 1024.0 * 1024.0,
-            chunks_per_process: 10,
-            chunk_size: 64 << 20,
-            replication: 3,
-            io: IoParams::marmot(),
-            seed: 0x4ACC,
+            n_nodes: modern.cluster.n_nodes,
+            nodes_per_rack: modern.nodes_per_rack,
+            late_per_rack: modern.late_per_rack,
+            uplink_bandwidth: modern.uplink_bandwidth,
+            chunks_per_process: modern.chunks_per_process,
+            chunk_size: modern.cluster.chunk_size,
+            replication: modern.cluster.replication,
+            io: modern.cluster.io,
+            seed: modern.cluster.seed,
         }
     }
 }
 
+#[allow(deprecated)]
 impl RackedExperiment {
-    /// Nodes that held data at write time (the first
-    /// `nodes_per_rack - late_per_rack` of every rack).
-    fn storage_nodes(&self) -> Vec<opass_dfs::NodeId> {
-        (0..self.n_nodes)
-            .filter(|i| i % self.nodes_per_rack < self.nodes_per_rack - self.late_per_rack)
-            .map(|i| opass_dfs::NodeId(i as u32))
-            .collect()
+    fn modern(&self) -> Racked {
+        Racked {
+            cluster: ClusterSpec {
+                n_nodes: self.n_nodes,
+                chunk_size: self.chunk_size,
+                replication: self.replication,
+                io: self.io,
+                seed: self.seed,
+            },
+            nodes_per_rack: self.nodes_per_rack,
+            late_per_rack: self.late_per_rack,
+            uplink_bandwidth: self.uplink_bandwidth,
+            chunks_per_process: self.chunks_per_process,
+        }
     }
 
     /// Runs the experiment under a strategy.
     pub fn run(&self, strategy: RackedStrategy) -> ExperimentRun {
-        assert!(
-            self.late_per_rack < self.nodes_per_rack,
-            "a rack must keep at least one storage node"
-        );
-        let racks = RackMap::uniform(self.n_nodes, self.nodes_per_rack);
-        let mut nn = Namenode::new(
-            self.n_nodes,
-            DfsConfig {
-                replication: self.replication,
-            },
-        );
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let n_chunks = self.n_nodes * self.chunks_per_process;
-        // Rack-aware placement restricted to the storage nodes (the late
-        // nodes join empty).
-        let placement_policy = Placement::RackAware {
-            racks: racks.clone(),
-        };
-        let storage = self.storage_nodes();
-        let spec = opass_dfs::DatasetSpec::uniform("racked", n_chunks, self.chunk_size);
-        let locations: Vec<Vec<opass_dfs::NodeId>> = (0..n_chunks)
-            .map(|i| placement_policy.place(i, self.replication as usize, &storage, &mut rng))
-            .collect();
-        let ds = nn.create_dataset_placed(&spec, locations);
-        let workload = Workload::new(
-            "racked",
-            nn.dataset(ds)
-                .expect("created")
-                .chunks
-                .iter()
-                .map(|&c| opass_workloads::Task::single(c))
-                .collect(),
-        );
-        let placement = ProcessPlacement::one_per_node(self.n_nodes);
-
-        let started = Instant::now();
-        let assignment = match strategy {
-            RackedStrategy::Baseline => baseline::rank_interval(workload.len(), self.n_nodes),
-            RackedStrategy::OpassNodeOnly => {
-                OpassPlanner::default()
-                    .plan_single_data(&nn, &workload, &placement, self.seed ^ 0x11)
-                    .assignment
-            }
-            RackedStrategy::OpassRackAware => {
-                OpassPlanner::default()
-                    .plan_single_data_rack_aware(
-                        &nn,
-                        &workload,
-                        &placement,
-                        &racks,
-                        self.seed ^ 0x12,
-                    )
-                    .assignment
-            }
-        };
-        let planning_seconds = started.elapsed().as_secs_f64();
-        let result = execute(
-            &nn,
-            &workload,
-            &placement,
-            TaskSource::Static(assignment),
-            &ExecConfig {
-                io: self.io,
-                topology: Topology::Racked {
-                    nodes_per_rack: self.nodes_per_rack,
-                    uplink_bandwidth: self.uplink_bandwidth,
-                },
-                replica_choice: ReplicaChoice::PreferLocalThenRack(racks),
-                seed: self.seed ^ 0xE4,
-                ..Default::default()
-            },
-        );
-        ExperimentRun {
-            result,
-            planning_seconds,
-        }
+        self.modern()
+            .run(strategy.into())
+            .expect("racked strategies are supported")
     }
 
     /// Fraction of reads in `result` that crossed a rack boundary.
     pub fn cross_rack_fraction(&self, result: &RunResult) -> f64 {
-        if result.records.is_empty() {
-            return 0.0;
-        }
-        let racks = RackMap::uniform(self.n_nodes, self.nodes_per_rack);
-        let crossing = result
-            .records
-            .iter()
-            .filter(|r| !racks.same_rack(r.source, r.reader))
-            .count();
-        crossing as f64 / result.records.len() as f64
+        self.modern().cross_rack_fraction(result)
     }
 }
 
-/// Strategies for the heterogeneous-cluster extension experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum HeteroStrategy {
-    /// Opass with uniform quotas (the paper's assumption).
-    OpassUniform,
-    /// Opass with quotas proportional to disk speed.
-    OpassWeighted,
-}
-
-/// The heterogeneous-cluster extension: a fraction of the nodes has slower
-/// disks; weighted quotas give fast nodes proportionally more tasks.
+/// The heterogeneous-cluster extension with pre-trait flat fields.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Heterogeneous` with the `Experiment` trait"
+)]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HeterogeneousExperiment {
     /// Cluster size `m`.
@@ -630,93 +1462,50 @@ pub struct HeterogeneousExperiment {
     pub seed: u64,
 }
 
+#[allow(deprecated)]
 impl Default for HeterogeneousExperiment {
     fn default() -> Self {
+        let modern = Heterogeneous::default();
         HeterogeneousExperiment {
-            n_nodes: 32,
-            slow_every: 2,
-            slow_factor: 0.5,
-            chunks_per_process: 10,
-            chunk_size: 64 << 20,
-            replication: 3,
-            io: IoParams::marmot(),
-            seed: 0x4E7,
+            n_nodes: modern.cluster.n_nodes,
+            slow_every: modern.slow_every,
+            slow_factor: modern.slow_factor,
+            chunks_per_process: modern.chunks_per_process,
+            chunk_size: modern.cluster.chunk_size,
+            replication: modern.cluster.replication,
+            io: modern.cluster.io,
+            seed: modern.cluster.seed,
         }
     }
 }
 
+#[allow(deprecated)]
 impl HeterogeneousExperiment {
+    fn modern(&self) -> Heterogeneous {
+        Heterogeneous {
+            cluster: ClusterSpec {
+                n_nodes: self.n_nodes,
+                chunk_size: self.chunk_size,
+                replication: self.replication,
+                io: self.io,
+                seed: self.seed,
+            },
+            slow_every: self.slow_every,
+            slow_factor: self.slow_factor,
+            chunks_per_process: self.chunks_per_process,
+        }
+    }
+
     /// Per-node disk speed factors.
     pub fn disk_factors(&self) -> Vec<f64> {
-        (0..self.n_nodes)
-            .map(|i| {
-                if self.slow_every > 0 && i % self.slow_every == 0 {
-                    self.slow_factor
-                } else {
-                    1.0
-                }
-            })
-            .collect()
+        self.modern().disk_factors()
     }
 
     /// Runs the experiment under a strategy.
-    ///
-    /// Note: `ExecConfig` models homogeneous clusters; this experiment
-    /// drives the simulator directly to apply per-node disk factors.
     pub fn run(&self, strategy: HeteroStrategy) -> ExperimentRun {
-        let mut nn = Namenode::new(
-            self.n_nodes,
-            DfsConfig {
-                replication: self.replication,
-            },
-        );
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let cfg = SingleDataConfig {
-            n_procs: self.n_nodes,
-            chunks_per_process: self.chunks_per_process,
-            chunk_size: self.chunk_size,
-        };
-        let (_, workload) = single_wl::generate(&mut nn, &cfg, &Placement::Random, &mut rng);
-        let placement = ProcessPlacement::one_per_node(self.n_nodes);
-        let factors = self.disk_factors();
-
-        let started = Instant::now();
-        let assignment = match strategy {
-            HeteroStrategy::OpassUniform => {
-                OpassPlanner::default()
-                    .plan_single_data(&nn, &workload, &placement, self.seed ^ 0x21)
-                    .assignment
-            }
-            HeteroStrategy::OpassWeighted => {
-                OpassPlanner::default()
-                    .plan_single_data_weighted(
-                        &nn,
-                        &workload,
-                        &placement,
-                        &factors,
-                        self.seed ^ 0x22,
-                    )
-                    .assignment
-            }
-        };
-        let planning_seconds = started.elapsed().as_secs_f64();
-        let result = execute(
-            &nn,
-            &workload,
-            &placement,
-            TaskSource::Static(assignment),
-            &ExecConfig {
-                io: self.io,
-                disk_factors: Some(factors),
-                replica_choice: ReplicaChoice::PreferLocalRandom,
-                seed: self.seed ^ 0xE5,
-                ..Default::default()
-            },
-        );
-        ExperimentRun {
-            result,
-            planning_seconds,
-        }
+        self.modern()
+            .run(strategy.into())
+            .expect("heterogeneous strategies are supported")
     }
 }
 
@@ -724,20 +1513,21 @@ impl HeterogeneousExperiment {
 mod tests {
     use super::*;
 
-    fn tiny_io() -> IoParams {
-        IoParams::marmot()
+    fn single(n_nodes: usize, chunks_per_process: usize) -> SingleData {
+        SingleData {
+            cluster: ClusterSpec {
+                n_nodes,
+                ..Default::default()
+            },
+            chunks_per_process,
+        }
     }
 
     #[test]
     fn single_data_opass_beats_baseline() {
-        let exp = SingleDataExperiment {
-            n_nodes: 16,
-            chunks_per_process: 4,
-            io: tiny_io(),
-            ..Default::default()
-        };
-        let base = exp.run(SingleStrategy::RankInterval);
-        let opass = exp.run(SingleStrategy::Opass);
+        let exp = single(16, 4);
+        let base = exp.run(Strategy::RankInterval).unwrap();
+        let opass = exp.run(Strategy::Opass).unwrap();
         assert_eq!(base.result.records.len(), 64);
         assert_eq!(opass.result.records.len(), 64);
         assert!(
@@ -752,61 +1542,126 @@ mod tests {
 
     #[test]
     fn same_seed_same_layout_across_strategies() {
-        let exp = SingleDataExperiment {
-            n_nodes: 8,
-            chunks_per_process: 2,
-            ..Default::default()
-        };
+        let exp = single(8, 2);
         // Identical served-bytes *totals* (same data volume) even though
         // distribution differs.
-        let a = exp.run(SingleStrategy::RankInterval);
-        let b = exp.run(SingleStrategy::Opass);
+        let a = exp.run(Strategy::RankInterval).unwrap();
+        let b = exp.run(Strategy::Opass).unwrap();
         let ta: u64 = a.result.served_bytes.iter().sum();
         let tb: u64 = b.result.served_bytes.iter().sum();
         assert_eq!(ta, tb);
     }
 
     #[test]
+    fn unsupported_strategy_is_rejected_with_the_supported_list() {
+        let exp = single(8, 2);
+        let err = exp.run(Strategy::Fifo).unwrap_err();
+        assert_eq!(err.experiment, "single_data");
+        assert_eq!(err.strategy, Strategy::Fifo);
+        assert_eq!(err.supported, exp.strategies());
+        assert!(err.to_string().contains("fifo"));
+        assert!(err.to_string().contains("rank_interval"));
+    }
+
+    #[test]
+    fn compare_runs_every_supported_strategy() {
+        let exp = single(8, 2);
+        let runs = exp.compare();
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs[0].0, Strategy::RankInterval);
+        assert_eq!(runs[2].0, Strategy::Opass);
+        for (_, run) in &runs {
+            assert_eq!(run.result.records.len(), 16);
+        }
+    }
+
+    #[test]
+    fn instrumented_run_attaches_metrics_and_plain_run_does_not() {
+        let exp = single(8, 2);
+        let plain = exp.run(Strategy::Opass).unwrap();
+        let inst = exp.run_instrumented(Strategy::Opass).unwrap();
+        assert!(plain.metrics().is_none());
+        let metrics = inst.metrics().expect("instrumented run carries metrics");
+        assert_eq!(metrics.counters.reads, 16);
+        assert_eq!(metrics.planning_seconds, inst.planning_seconds);
+        // Instrumentation is observational: the trace is identical.
+        assert_eq!(plain.result.records, inst.result.records);
+        assert_eq!(plain.result.makespan, inst.result.makespan);
+    }
+
+    #[test]
     fn multi_data_opass_improves_but_less_than_single() {
-        let exp = MultiDataExperiment {
-            n_nodes: 16,
+        let exp = MultiData {
+            cluster: ClusterSpec {
+                n_nodes: 16,
+                ..MultiData::default().cluster
+            },
             tasks_per_process: 4,
             ..Default::default()
         };
-        let base = exp.run(MultiStrategy::RankInterval);
-        let opass = exp.run(MultiStrategy::Opass);
+        let base = exp.run(Strategy::RankInterval).unwrap();
+        let opass = exp.run(Strategy::Opass).unwrap();
         assert!(opass.result.local_byte_fraction() > base.result.local_byte_fraction());
         // Multi-input locality is partial by nature (paper Section V-A2).
         assert!(opass.result.local_byte_fraction() < 1.0);
     }
 
     #[test]
-    fn dynamic_guided_beats_fifo() {
-        let exp = DynamicExperiment {
-            n_nodes: 16,
+    fn dynamic_guided_beats_fifo_and_opass_normalizes_to_guided() {
+        let exp = Dynamic {
+            cluster: ClusterSpec {
+                n_nodes: 16,
+                ..Dynamic::default().cluster
+            },
             tasks_per_process: 4,
             compute_median: 0.2,
             ..Default::default()
         };
-        let fifo = exp.run(DynamicStrategy::Fifo);
-        let guided = exp.run(DynamicStrategy::OpassGuided);
+        let fifo = exp.run(Strategy::Fifo).unwrap();
+        let guided = exp.run(Strategy::OpassGuided).unwrap();
         assert_eq!(fifo.result.records.len(), 64);
         assert_eq!(guided.result.records.len(), 64);
         assert!(guided.result.local_fraction() > fifo.result.local_fraction());
         assert!(guided.result.io_summary().mean < fifo.result.io_summary().mean);
+        // `opass` is accepted as an alias for the guided scheduler.
+        let aliased = exp.run(Strategy::Opass).unwrap();
+        assert_eq!(aliased.result.records, guided.result.records);
+    }
+
+    #[test]
+    fn delay_scheduling_sits_between_fifo_and_guided() {
+        let exp = Dynamic {
+            cluster: ClusterSpec {
+                n_nodes: 16,
+                ..Dynamic::default().cluster
+            },
+            tasks_per_process: 4,
+            compute_median: 0.2,
+            ..Default::default()
+        };
+        let fifo = exp.run(Strategy::Fifo).unwrap();
+        let delay = exp
+            .run(Strategy::DelayScheduling { max_skips: 16 })
+            .unwrap();
+        let guided = exp.run(Strategy::OpassGuided).unwrap();
+        assert!(delay.result.local_fraction() > fifo.result.local_fraction());
+        assert!(guided.result.local_fraction() >= delay.result.local_fraction() - 0.05);
     }
 
     #[test]
     fn racked_rack_aware_reduces_cross_rack_traffic() {
-        let exp = RackedExperiment {
-            n_nodes: 16,
+        let exp = Racked {
+            cluster: ClusterSpec {
+                n_nodes: 16,
+                ..Racked::default().cluster
+            },
             nodes_per_rack: 4,
             chunks_per_process: 4,
             ..Default::default()
         };
-        let base = exp.run(RackedStrategy::Baseline);
-        let node_only = exp.run(RackedStrategy::OpassNodeOnly);
-        let rack_aware = exp.run(RackedStrategy::OpassRackAware);
+        let base = exp.run(Strategy::RankInterval).unwrap();
+        let node_only = exp.run(Strategy::Opass).unwrap();
+        let rack_aware = exp.run(Strategy::OpassRackAware).unwrap();
         let xb = exp.cross_rack_fraction(&base.result);
         let xn = exp.cross_rack_fraction(&node_only.result);
         let xr = exp.cross_rack_fraction(&rack_aware.result);
@@ -817,13 +1672,16 @@ mod tests {
 
     #[test]
     fn hetero_weighted_quotas_shift_load_to_fast_nodes() {
-        let exp = HeterogeneousExperiment {
-            n_nodes: 16,
+        let exp = Heterogeneous {
+            cluster: ClusterSpec {
+                n_nodes: 16,
+                ..Heterogeneous::default().cluster
+            },
             chunks_per_process: 6,
             ..Default::default()
         };
-        let uniform = exp.run(HeteroStrategy::OpassUniform);
-        let weighted = exp.run(HeteroStrategy::OpassWeighted);
+        let uniform = exp.run(Strategy::Opass).unwrap();
+        let weighted = exp.run(Strategy::OpassWeighted).unwrap();
         // Weighted quotas should cut the makespan: slow disks hold fewer
         // chunks to stream.
         assert!(
@@ -835,24 +1693,12 @@ mod tests {
     }
 
     #[test]
-    fn delay_scheduling_sits_between_fifo_and_guided() {
-        let exp = DynamicExperiment {
-            n_nodes: 16,
-            tasks_per_process: 4,
-            compute_median: 0.2,
-            ..Default::default()
-        };
-        let fifo = exp.run(DynamicStrategy::Fifo);
-        let delay = exp.run(DynamicStrategy::DelayScheduling { max_skips: 16 });
-        let guided = exp.run(DynamicStrategy::OpassGuided);
-        assert!(delay.result.local_fraction() > fifo.result.local_fraction());
-        assert!(guided.result.local_fraction() >= delay.result.local_fraction() - 0.05);
-    }
-
-    #[test]
     fn paraview_runs_all_steps() {
-        let exp = ParaViewExperiment {
-            n_nodes: 8,
+        let exp = ParaView {
+            cluster: ClusterSpec {
+                n_nodes: 8,
+                ..ParaView::default().cluster
+            },
             workload: ParaViewConfig {
                 library_size: 32,
                 blocks_per_step: 8,
@@ -861,13 +1707,92 @@ mod tests {
                 render_seconds_per_block: 0.1,
                 reader_overhead_seconds: 0.0,
             },
+        };
+        let base = exp.run(Strategy::RankInterval).unwrap();
+        let opass = exp.run(Strategy::Opass).unwrap();
+        assert_eq!(base.step_makespans.len(), 3);
+        assert_eq!(base.result.records.len(), 24);
+        assert!(opass.result.makespan < base.result.makespan);
+        assert!((base.result.makespan - base.step_makespans.iter().sum::<f64>()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paraview_instrumented_covers_every_step() {
+        let exp = ParaView {
+            cluster: ClusterSpec {
+                n_nodes: 8,
+                ..ParaView::default().cluster
+            },
+            workload: ParaViewConfig {
+                library_size: 32,
+                blocks_per_step: 8,
+                n_steps: 3,
+                block_size: 56 << 20,
+                render_seconds_per_block: 0.1,
+                reader_overhead_seconds: 0.0,
+            },
+        };
+        let plain = exp.run(Strategy::Opass).unwrap();
+        let inst = exp.run_instrumented(Strategy::Opass).unwrap();
+        assert_eq!(plain.result.records, inst.result.records);
+        let metrics = inst.metrics().expect("metrics attached");
+        // All three steps' reads are counted, on the chained timeline.
+        assert_eq!(metrics.counters.reads, 24);
+        let last_event_at = metrics.events.iter().map(|e| e.at()).fold(0.0f64, f64::max);
+        assert!(last_event_at > inst.step_makespans[0]);
+        assert!(last_event_at <= inst.result.makespan + 1e-9);
+    }
+
+    #[test]
+    fn strategy_parse_round_trips_and_accepts_aliases() {
+        for s in [
+            Strategy::RankInterval,
+            Strategy::RandomAssign,
+            Strategy::Opass,
+            Strategy::OpassRackAware,
+            Strategy::OpassWeighted,
+            Strategy::Fifo,
+            Strategy::DelayScheduling { max_skips: 9 },
+            Strategy::OpassGuided,
+        ] {
+            assert_eq!(Strategy::parse(&s.label()), Some(s), "{}", s.label());
+        }
+        assert_eq!(Strategy::parse("baseline"), Some(Strategy::RankInterval));
+        assert_eq!(Strategy::parse("default"), Some(Strategy::RankInterval));
+        assert_eq!(Strategy::parse("node_only"), Some(Strategy::Opass));
+        assert_eq!(Strategy::parse("uniform"), Some(Strategy::Opass));
+        assert_eq!(Strategy::parse("guided"), Some(Strategy::OpassGuided));
+        assert_eq!(Strategy::parse("delay:nope"), None);
+        assert_eq!(Strategy::parse("nonsense"), None);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_the_trait_api() {
+        let old = SingleDataExperiment {
+            n_nodes: 8,
+            chunks_per_process: 2,
             ..Default::default()
         };
-        let base = exp.run(ParaViewStrategy::Default);
-        let opass = exp.run(ParaViewStrategy::Opass);
-        assert_eq!(base.step_makespans.len(), 3);
-        assert_eq!(base.combined.records.len(), 24);
-        assert!(opass.combined.makespan < base.combined.makespan);
-        assert!((base.combined.makespan - base.step_makespans.iter().sum::<f64>()).abs() < 1e-9);
+        let new = single(8, 2);
+        let a = old.run(SingleStrategy::Opass);
+        let b = new.run(Strategy::Opass).unwrap();
+        assert_eq!(a.result, b.result);
+
+        let old_pv = ParaViewExperiment {
+            n_nodes: 8,
+            workload: ParaViewConfig {
+                library_size: 16,
+                blocks_per_step: 8,
+                n_steps: 2,
+                block_size: 8 << 20,
+                render_seconds_per_block: 0.0,
+                reader_overhead_seconds: 0.0,
+            },
+            ..Default::default()
+        };
+        let pv = old_pv.run(ParaViewStrategy::Default);
+        assert_eq!(pv.step_makespans.len(), 2);
+        assert_eq!(pv.combined.records.len(), 16);
     }
 }

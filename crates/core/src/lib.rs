@@ -28,21 +28,28 @@
 //!
 //! ## Quick start
 //!
-//! ```
-//! use opass_core::experiment::{SingleDataExperiment, SingleStrategy};
+//! Every evaluation scenario implements the [`Experiment`] trait over a
+//! shared [`ClusterSpec`] and the unified [`Strategy`] enum:
 //!
-//! let experiment = SingleDataExperiment {
-//!     n_nodes: 16,
+//! ```
+//! use opass_core::{ClusterSpec, Experiment, SingleData, Strategy};
+//!
+//! let experiment = SingleData {
+//!     cluster: ClusterSpec { n_nodes: 16, ..Default::default() },
 //!     chunks_per_process: 4,
-//!     ..Default::default()
 //! };
-//! let baseline = experiment.run(SingleStrategy::RankInterval);
-//! let opass = experiment.run(SingleStrategy::Opass);
+//! let baseline = experiment.run(Strategy::RankInterval).unwrap();
+//! let opass = experiment.run(Strategy::Opass).unwrap();
 //!
 //! // Opass turns mostly-remote reads into mostly-local ones...
 //! assert!(opass.result.local_fraction() > baseline.result.local_fraction());
 //! // ...which shrinks the average I/O time and the whole run.
 //! assert!(opass.result.io_summary().mean < baseline.result.io_summary().mean);
+//!
+//! // `run_instrumented` additionally records the structured event trace
+//! // and derives per-node utilization metrics (see `RunMetrics`):
+//! let observed = experiment.run_instrumented(Strategy::Opass).unwrap();
+//! assert!(observed.metrics().is_some());
 //! ```
 
 #![warn(missing_docs)]
@@ -53,6 +60,10 @@ pub mod experiment;
 pub mod planner;
 
 pub use builder::{build_locality_graph, build_matching_values, build_rack_graph};
+pub use experiment::{
+    ClusterSpec, Dynamic, Experiment, ExperimentRun, Heterogeneous, MultiData, ParaView, Racked,
+    SingleData, Strategy, UnsupportedStrategy,
+};
 pub use planner::{MultiDataPlan, OpassPlanner, SingleDataPlan};
 
 pub use opass_analysis as analysis;

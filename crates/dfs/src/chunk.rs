@@ -1,13 +1,12 @@
 //! Chunk and dataset metadata.
 
 use crate::ids::{ChunkId, DatasetId, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// The HDFS default chunk size used throughout the paper: 64 MB.
 pub const DEFAULT_CHUNK_SIZE: u64 = 64 * 1024 * 1024;
 
 /// Metadata of one chunk file.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChunkMeta {
     /// Global chunk id.
     pub id: ChunkId,
@@ -29,7 +28,7 @@ impl ChunkMeta {
 }
 
 /// Specification of a dataset to create.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DatasetSpec {
     /// Human-readable name ("macromolecular-0042").
     pub name: String,
@@ -75,7 +74,7 @@ impl DatasetSpec {
 }
 
 /// Metadata of a created dataset.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DatasetMeta {
     /// Dataset id.
     pub id: DatasetId,

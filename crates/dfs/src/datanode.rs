@@ -7,15 +7,14 @@
 //! replicas coordinating.
 
 use crate::ids::ChunkId;
-use bytes::{BufMut, Bytes, BytesMut};
 
 /// Generates the first `len` bytes of a chunk's canonical content.
 ///
 /// The stream is a 64-bit xorshift sequence seeded by the chunk id, packed
 /// little-endian — cheap, deterministic, and with no repeating prefix
 /// between different chunks.
-pub fn chunk_payload(chunk: ChunkId, len: usize) -> Bytes {
-    let mut buf = BytesMut::with_capacity(len.next_multiple_of(8));
+pub fn chunk_payload(chunk: ChunkId, len: usize) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(len.next_multiple_of(8));
     let mut state = chunk.0 ^ 0x9E37_79B9_7F4A_7C15;
     // Avoid the all-zero fixed point for ChunkId whose xor happens to be 0.
     if state == 0 {
@@ -25,10 +24,10 @@ pub fn chunk_payload(chunk: ChunkId, len: usize) -> Bytes {
         state ^= state << 13;
         state ^= state >> 7;
         state ^= state << 17;
-        buf.put_u64_le(state);
+        buf.extend_from_slice(&state.to_le_bytes());
     }
     buf.truncate(len);
-    buf.freeze()
+    buf
 }
 
 /// Fletcher-style checksum of a chunk's first `len` bytes, as a datanode

@@ -1,18 +1,17 @@
 //! Strongly typed identifiers for cluster nodes, chunks, and datasets.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A cluster node (one DataNode in HDFS terms).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
 /// A chunk file (one HDFS block-sized file).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ChunkId(pub u64);
 
 /// A named dataset: an ordered collection of chunks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DatasetId(pub u32);
 
 impl NodeId {

@@ -8,10 +8,9 @@
 
 use crate::ids::{ChunkId, NodeId};
 use crate::namenode::Namenode;
-use serde::{Deserialize, Serialize};
 
 /// One chunk's layout entry.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChunkLayout {
     /// The chunk.
     pub chunk: ChunkId,
@@ -22,7 +21,7 @@ pub struct ChunkLayout {
 }
 
 /// Immutable layout of a set of chunks.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LayoutSnapshot {
     entries: Vec<ChunkLayout>,
 }

@@ -14,10 +14,9 @@ use crate::ids::{ChunkId, DatasetId, NodeId};
 use crate::placement::Placement;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use serde::{Deserialize, Serialize};
 
 /// Namenode configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DfsConfig {
     /// Replication factor (HDFS default: 3).
     pub replication: u32,
@@ -30,7 +29,7 @@ impl Default for DfsConfig {
 }
 
 /// In-memory namenode over `n` nodes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Namenode {
     config: DfsConfig,
     /// `alive[i]` — whether node `i` is in service.

@@ -10,10 +10,9 @@ use crate::ids::NodeId;
 use crate::topology::RackMap;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use serde::{Deserialize, Serialize};
 
 /// How replicas are placed across alive nodes at write time.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Placement {
     /// `r` distinct nodes chosen uniformly at random — the HDFS default the
     /// paper analyzes.

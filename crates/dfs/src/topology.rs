@@ -7,10 +7,9 @@
 //! selection, and two-tier (node-then-rack) matching.
 
 use crate::ids::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// Maps every node to a rack.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RackMap {
     rack_of: Vec<u32>,
 }

@@ -1,6 +1,7 @@
-//! Property-based tests for the file-system substrate.
+//! Randomized property tests for the file-system substrate.
 //!
-//! Invariants on randomized configurations and operation sequences:
+//! Invariants on randomized configurations and operation sequences (seeded
+//! `StdRng` loops, deterministic across runs):
 //! * every placement policy returns distinct, sorted, alive nodes of the
 //!   requested count;
 //! * namenode invariants (replica counts, index consistency) survive
@@ -13,54 +14,61 @@ use opass_dfs::{
     ChunkId, DatasetSpec, DfsConfig, LayoutSnapshot, Namenode, NodeId, Placement, RackMap,
     ReplicaChoice,
 };
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 fn node_ids(n: usize) -> Vec<NodeId> {
     (0..n as u32).map(NodeId).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn placements_return_distinct_alive_nodes(
-        n_nodes in 3usize..20,
-        replication in 1usize..4,
-        seq in 0usize..100,
-        seed in 0u64..500,
-        policy_pick in 0usize..4,
-    ) {
-        prop_assume!(replication <= n_nodes);
+#[test]
+fn placements_return_distinct_alive_nodes() {
+    let mut rng = StdRng::seed_from_u64(0xD1);
+    let mut checked = 0;
+    while checked < 48 {
+        let n_nodes = rng.gen_range(3usize..20);
+        let replication = rng.gen_range(1usize..4);
+        let seq = rng.gen_range(0usize..100);
+        let seed = rng.gen_range(0u64..500);
+        let policy_pick = rng.gen_range(0usize..4);
+        if replication > n_nodes {
+            continue;
+        }
+        checked += 1;
         let alive = node_ids(n_nodes);
         let racks = RackMap::uniform(n_nodes, 4.min(n_nodes));
         let policy = match policy_pick {
             0 => Placement::Random,
-            1 => Placement::WriterLocal { writer: NodeId((seed % n_nodes as u64) as u32) },
+            1 => Placement::WriterLocal {
+                writer: NodeId((seed % n_nodes as u64) as u32),
+            },
             2 => Placement::RoundRobin,
             _ => Placement::RackAware { racks },
         };
-        let mut rng = StdRng::seed_from_u64(seed);
-        let locs = policy.place(seq, replication, &alive, &mut rng);
-        prop_assert_eq!(locs.len(), replication);
+        let mut place_rng = StdRng::seed_from_u64(seed);
+        let locs = policy.place(seq, replication, &alive, &mut place_rng);
+        assert_eq!(locs.len(), replication);
         for w in locs.windows(2) {
-            prop_assert!(w[0] < w[1], "locations must be sorted and distinct");
+            assert!(w[0] < w[1], "locations must be sorted and distinct");
         }
         for n in &locs {
-            prop_assert!(alive.contains(n));
+            assert!(alive.contains(n));
         }
     }
+}
 
-    #[test]
-    fn namenode_invariants_survive_churn(
-        n_nodes in 4usize..12,
-        ops in proptest::collection::vec((0u8..3, 0u64..1000), 1..12),
-    ) {
+#[test]
+fn namenode_invariants_survive_churn() {
+    let mut meta_rng = StdRng::seed_from_u64(0xD2);
+    for _ in 0..48 {
+        let n_nodes = meta_rng.gen_range(4usize..12);
+        let n_ops = meta_rng.gen_range(1usize..12);
         let mut nn = Namenode::new(n_nodes, DfsConfig::default());
         let mut rng = StdRng::seed_from_u64(7);
         let mut created = 0usize;
-        for (op, arg) in ops {
+        for _ in 0..n_ops {
+            let op = meta_rng.gen_range(0u8..3);
+            let arg = meta_rng.gen_range(0u64..1000);
             match op {
                 0 => {
                     // Create a small dataset.
@@ -83,18 +91,24 @@ proptest! {
                     let _ = nn.decommission(victim, &mut rng);
                 }
             }
-            prop_assert!(nn.check_invariants().is_ok(), "{:?}", nn.check_invariants());
+            assert!(nn.check_invariants().is_ok(), "{:?}", nn.check_invariants());
         }
     }
+}
 
-    #[test]
-    fn replica_choice_always_returns_a_holder(
-        n_nodes in 3usize..16,
-        reader in 0usize..16,
-        seed in 0u64..300,
-        policy_pick in 0usize..3,
-    ) {
-        prop_assume!(reader < n_nodes);
+#[test]
+fn replica_choice_always_returns_a_holder() {
+    let mut meta_rng = StdRng::seed_from_u64(0xD3);
+    let mut checked = 0;
+    while checked < 48 {
+        let n_nodes = meta_rng.gen_range(3usize..16);
+        let reader = meta_rng.gen_range(0usize..16);
+        let seed = meta_rng.gen_range(0u64..300);
+        let policy_pick = meta_rng.gen_range(0usize..3);
+        if reader >= n_nodes {
+            continue;
+        }
+        checked += 1;
         let mut nn = Namenode::new(n_nodes.max(3), DfsConfig::default());
         let mut rng = StdRng::seed_from_u64(seed);
         let ds = nn.create_dataset(
@@ -111,15 +125,17 @@ proptest! {
         for &chunk in &nn.dataset(ds).unwrap().chunks {
             let locations = nn.locate(chunk).unwrap();
             let picked = policy.select(chunk, NodeId(reader as u32), locations, &mut rng);
-            prop_assert!(locations.contains(&picked));
+            assert!(locations.contains(&picked));
         }
     }
+}
 
-    #[test]
-    fn snapshot_matches_namenode(
-        n_chunks in 1usize..30,
-        seed in 0u64..300,
-    ) {
+#[test]
+fn snapshot_matches_namenode() {
+    let mut meta_rng = StdRng::seed_from_u64(0xD4);
+    for _ in 0..48 {
+        let n_chunks = meta_rng.gen_range(1usize..30);
+        let seed = meta_rng.gen_range(0u64..300);
         let mut nn = Namenode::new(8, DfsConfig::default());
         let mut rng = StdRng::seed_from_u64(seed);
         let ds = nn.create_dataset(
@@ -129,23 +145,25 @@ proptest! {
         );
         let chunks = nn.dataset(ds).unwrap().chunks.clone();
         let snap = LayoutSnapshot::capture(&nn, &chunks);
-        prop_assert_eq!(snap.len(), n_chunks);
+        assert_eq!(snap.len(), n_chunks);
         for (i, entry) in snap.entries().iter().enumerate() {
-            prop_assert_eq!(entry.chunk, chunks[i]);
-            prop_assert_eq!(&entry.locations[..], nn.locate(chunks[i]).unwrap());
+            assert_eq!(entry.chunk, chunks[i]);
+            assert_eq!(&entry.locations[..], nn.locate(chunks[i]).unwrap());
         }
-        prop_assert_eq!(snap.total_bytes(), n_chunks as u64 * 64);
+        assert_eq!(snap.total_bytes(), n_chunks as u64 * 64);
     }
+}
 
-    #[test]
-    fn chunk_payload_prefixes_are_consistent(
-        id in 0u64..10_000,
-        short in 1usize..128,
-        long in 128usize..1024,
-    ) {
-        use opass_dfs::datanode::chunk_payload;
+#[test]
+fn chunk_payload_prefixes_are_consistent() {
+    use opass_dfs::datanode::chunk_payload;
+    let mut rng = StdRng::seed_from_u64(0xD5);
+    for _ in 0..48 {
+        let id = rng.gen_range(0u64..10_000);
+        let short = rng.gen_range(1usize..128);
+        let long = rng.gen_range(128usize..1024);
         let a = chunk_payload(ChunkId(id), short);
         let b = chunk_payload(ChunkId(id), long);
-        prop_assert_eq!(&b[..short], &a[..]);
+        assert_eq!(&b[..short], &a[..]);
     }
 }

@@ -4,10 +4,9 @@
 //! executes one, and the figure harness reports its locality and balance.
 
 use crate::graph::BipartiteGraph;
-use serde::{Deserialize, Serialize};
 
 /// A complete mapping of `n_tasks` tasks onto `n_procs` processes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Assignment {
     /// `owner[t]` = process that executes task `t`.
     owner: Vec<usize>,
@@ -79,7 +78,7 @@ impl Assignment {
 
 /// Locality metrics of an assignment against a bipartite locality graph
 /// whose files coincide with the assignment's tasks (single-data case).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LocalityReport {
     /// Tasks whose data is fully local to their owner.
     pub local_tasks: usize,

@@ -12,6 +12,19 @@ use crate::assignment::Assignment;
 use crate::multi_data::MatchingValues;
 use std::collections::VecDeque;
 
+/// One steal decision made by a work-stealing scheduler: `thief` went idle
+/// and took `task` from `victim`'s list. Plain data so observability layers
+/// can consume it without knowing the scheduler type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StealRecord {
+    /// Worker that went idle and stole.
+    pub thief: usize,
+    /// Worker whose list the task came from.
+    pub victim: usize,
+    /// The stolen task.
+    pub task: usize,
+}
+
 /// A task dispenser driven by the master loop: `next_task(worker)` is called
 /// whenever `worker` goes idle; `None` means no work remains anywhere.
 pub trait DynamicScheduler {
@@ -20,6 +33,13 @@ pub trait DynamicScheduler {
 
     /// Tasks not yet dispensed.
     fn remaining(&self) -> usize;
+
+    /// Drains steal decisions made since the last call. Schedulers without
+    /// a stealing phase keep the default (always empty); consumers poll
+    /// this after `next_task` to attribute steals to a point in time.
+    fn drain_steals(&mut self) -> Vec<StealRecord> {
+        Vec::new()
+    }
 }
 
 /// Baseline: a single FIFO queue, no locality awareness — the "default
@@ -139,6 +159,8 @@ pub struct GuidedScheduler {
     values: MatchingValues,
     steal_policy: StealPolicy,
     remaining: usize,
+    /// Steal decisions not yet drained (see [`DynamicScheduler::drain_steals`]).
+    steal_log: Vec<StealRecord>,
 }
 
 impl GuidedScheduler {
@@ -178,6 +200,7 @@ impl GuidedScheduler {
             values,
             steal_policy,
             remaining,
+            steal_log: Vec::new(),
         }
     }
 
@@ -205,7 +228,15 @@ impl GuidedScheduler {
             }
             StealPolicy::Head => 0,
         };
-        self.lists[longest].remove(best_pos)
+        let stolen = self.lists[longest].remove(best_pos);
+        if let Some(task) = stolen {
+            self.steal_log.push(StealRecord {
+                thief: worker,
+                victim: longest,
+                task,
+            });
+        }
+        stolen
     }
 }
 
@@ -224,6 +255,10 @@ impl DynamicScheduler for GuidedScheduler {
 
     fn remaining(&self) -> usize {
         self.remaining
+    }
+
+    fn drain_steals(&mut self) -> Vec<StealRecord> {
+        std::mem::take(&mut self.steal_log)
     }
 }
 
@@ -356,6 +391,33 @@ mod tests {
         // Head policy takes the front of worker 1's list even though task 2
         // is the better-colocated choice.
         assert_eq!(s.next_task(0), Some(0));
+    }
+
+    #[test]
+    fn steals_are_logged_and_drained() {
+        let assignment = Assignment::from_owners(vec![1, 1, 1], 2);
+        let values = values_with(2, 3, &[(0, 2, 100)]);
+        let mut s = GuidedScheduler::new(&assignment, values);
+        // Worker 1 draining its own list is not a steal.
+        assert_eq!(s.next_task(1), Some(0));
+        assert!(s.drain_steals().is_empty());
+        // Worker 0 has no list: its task comes from worker 1's.
+        assert_eq!(s.next_task(0), Some(2));
+        let steals = s.drain_steals();
+        assert_eq!(
+            steals,
+            vec![StealRecord {
+                thief: 0,
+                victim: 1,
+                task: 2
+            }]
+        );
+        // Draining is destructive.
+        assert!(s.drain_steals().is_empty());
+        // FIFO never steals.
+        let mut fifo = FifoScheduler::new(2);
+        fifo.next_task(0);
+        assert!(fifo.drain_steals().is_empty());
     }
 
     #[test]

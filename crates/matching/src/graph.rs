@@ -7,15 +7,13 @@
 //! Opass builds this graph from the file-system layout and feeds it to the
 //! matchers in [`crate::single_data`] and [`crate::multi_data`].
 
-use serde::{Deserialize, Serialize};
-
 /// Weighted bipartite graph between `n_procs` processes and `n_files` files.
 ///
 /// Indices are dense (`0..n_procs`, `0..n_files`); richer identifiers are
 /// mapped by the caller. Duplicate edges are merged by taking the larger
 /// weight (a process is either co-located with a chunk or not; HDFS never
 /// stores two replicas of one chunk on a node).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BipartiteGraph {
     n_procs: usize,
     n_files: usize,

@@ -46,7 +46,9 @@ pub mod single_data;
 pub mod stable_marriage;
 
 pub use assignment::{locality_report, Assignment, LocalityReport};
-pub use dynamic::{DelayScheduler, DynamicScheduler, FifoScheduler, GuidedScheduler, StealPolicy};
+pub use dynamic::{
+    DelayScheduler, DynamicScheduler, FifoScheduler, GuidedScheduler, StealPolicy, StealRecord,
+};
 pub use graph::BipartiteGraph;
 pub use maxflow::{FlowAlgo, FlowNetwork};
 pub use multi_data::{assign_multi_data, MatchingValues, MultiDataOutcome};

@@ -17,13 +17,12 @@
 //! terminates with a complete balanced assignment.
 
 use crate::assignment::Assignment;
-use serde::{Deserialize, Serialize};
 
 /// Sparse matching values between processes and tasks.
 ///
 /// `values[p]` holds `(task, bytes)` pairs for tasks with non-zero
 /// co-located data on process `p`'s node; everything absent is zero.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MatchingValues {
     n_procs: usize,
     n_tasks: usize,

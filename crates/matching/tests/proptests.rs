@@ -1,6 +1,7 @@
-//! Property-based tests for the matching algorithms.
+//! Randomized property tests for the matching algorithms.
 //!
-//! Invariants checked on randomized instances:
+//! Invariants checked on randomized instances (seeded `StdRng` loops, so
+//! every run exercises the same cases deterministically):
 //! * Dinic and Edmonds–Karp always agree on the max-flow value;
 //! * flow conservation and capacity constraints hold after every run;
 //! * the single-data matcher always produces a complete, balanced
@@ -16,27 +17,32 @@ use opass_matching::{
     assign_multi_data, quotas, BipartiteGraph, DynamicScheduler, FifoScheduler, FillPolicy,
     GuidedScheduler, MatchingValues, SingleDataMatcher,
 };
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a random directed network as (n, edge list).
-fn arb_network() -> impl Strategy<Value = (usize, Vec<(usize, usize, u64)>)> {
-    (3usize..12).prop_flat_map(|n| {
-        let edges = proptest::collection::vec(
-            (0..n, 0..n, 1u64..100).prop_filter("no self loops", |(u, v, _)| u != v),
-            0..60,
-        );
-        (Just(n), edges)
-    })
+/// A random directed network as (n, edge list) with no self loops.
+fn random_network(rng: &mut StdRng) -> (usize, Vec<(usize, usize, u64)>) {
+    let n = rng.gen_range(3usize..12);
+    let n_edges = rng.gen_range(0usize..60);
+    let mut edges = Vec::with_capacity(n_edges);
+    while edges.len() < n_edges {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            edges.push((u, v, rng.gen_range(1u64..100)));
+        }
+    }
+    (n, edges)
 }
 
-/// Strategy: a random bipartite locality graph as (m, n, edges).
-fn arb_bipartite() -> impl Strategy<Value = (usize, usize, Vec<(usize, usize)>)> {
-    (1usize..8, 1usize..40).prop_flat_map(|(m, n)| {
-        let edges = proptest::collection::vec((0..m, 0..n), 0..120);
-        (Just(m), Just(n), edges)
-    })
+/// A random bipartite locality graph as (m, n, edges).
+fn random_bipartite(rng: &mut StdRng) -> (usize, usize, Vec<(usize, usize)>) {
+    let m = rng.gen_range(1usize..8);
+    let n = rng.gen_range(1usize..40);
+    let edges = (0..rng.gen_range(0usize..120))
+        .map(|_| (rng.gen_range(0..m), rng.gen_range(0..n)))
+        .collect();
+    (m, n, edges)
 }
 
 fn build_graph(m: usize, n: usize, edges: &[(usize, usize)]) -> BipartiteGraph {
@@ -47,11 +53,11 @@ fn build_graph(m: usize, n: usize, edges: &[(usize, usize)]) -> BipartiteGraph {
     g
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn dinic_agrees_with_edmonds_karp((n, edges) in arb_network()) {
+#[test]
+fn dinic_agrees_with_edmonds_karp() {
+    let mut rng = StdRng::seed_from_u64(0xB1);
+    for _ in 0..64 {
+        let (n, edges) = random_network(&mut rng);
         let build = || {
             let mut net = FlowNetwork::new(n);
             for &(u, v, c) in &edges {
@@ -63,13 +69,17 @@ proptest! {
         let mut b = build();
         let fa = dinic::max_flow(&mut a, 0, n - 1);
         let fb = edmonds_karp::max_flow(&mut b, 0, n - 1);
-        prop_assert_eq!(fa, fb);
-        prop_assert!(a.conserves_flow(0, n - 1));
-        prop_assert!(b.conserves_flow(0, n - 1));
+        assert_eq!(fa, fb);
+        assert!(a.conserves_flow(0, n - 1));
+        assert!(b.conserves_flow(0, n - 1));
     }
+}
 
-    #[test]
-    fn flow_never_exceeds_capacity((n, edges) in arb_network()) {
+#[test]
+fn flow_never_exceeds_capacity() {
+    let mut rng = StdRng::seed_from_u64(0xB2);
+    for _ in 0..64 {
+        let (n, edges) = random_network(&mut rng);
         let mut net = FlowNetwork::new(n);
         let mut ids = Vec::new();
         for &(u, v, c) in &edges {
@@ -77,32 +87,37 @@ proptest! {
         }
         dinic::max_flow(&mut net, 0, n - 1);
         for (id, cap) in ids {
-            prop_assert!(net.flow_on(id) <= cap);
+            assert!(net.flow_on(id) <= cap);
         }
     }
+}
 
-    #[test]
-    fn single_data_assignment_is_complete_balanced_and_maximum(
-        (m, n, edges) in arb_bipartite(),
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn single_data_assignment_is_complete_balanced_and_maximum() {
+    let mut rng = StdRng::seed_from_u64(0xB3);
+    for _ in 0..64 {
+        let (m, n, edges) = random_bipartite(&mut rng);
+        let seed = rng.gen_range(0u64..1000);
         let g = build_graph(m, n, &edges);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let out = SingleDataMatcher::default().assign(&g, &mut rng);
+        let mut assign_rng = StdRng::seed_from_u64(seed);
+        let out = SingleDataMatcher::default().assign(&g, &mut assign_rng);
 
         // Complete: every task owned; balanced: quota respected exactly.
-        prop_assert_eq!(out.assignment.n_tasks(), n);
+        assert_eq!(out.assignment.n_tasks(), n);
         let quota = quotas(n, m);
         for (p, &q) in quota.iter().enumerate() {
-            prop_assert_eq!(out.assignment.tasks_of(p).len(), q);
+            assert_eq!(out.assignment.tasks_of(p).len(), q);
         }
 
         // Matched files lie on locality edges.
         let matched = (0..n)
             .filter(|&t| g.weight(out.assignment.owner_of(t), t).is_some())
             .count();
-        prop_assert!(matched >= out.matched_files,
-            "reported {} matched, found {matched} local", out.matched_files);
+        assert!(
+            matched >= out.matched_files,
+            "reported {} matched, found {matched} local",
+            out.matched_files
+        );
 
         // Maximality: matched_files equals an independently computed
         // max-flow over the same quota network (via Edmonds-Karp).
@@ -110,7 +125,9 @@ proptest! {
         let t = 1 + m + n;
         let mut net = FlowNetwork::new(t + 1);
         for (p, &q) in quota.iter().enumerate() {
-            if q > 0 { net.add_edge(s, 1 + p, q as u64); }
+            if q > 0 {
+                net.add_edge(s, 1 + p, q as u64);
+            }
         }
         for p in 0..m {
             for &(f, _) in g.files_of(p) {
@@ -121,60 +138,73 @@ proptest! {
             net.add_edge(1 + m + f, t, 1);
         }
         let reference = edmonds_karp::max_flow(&mut net, s, t) as usize;
-        prop_assert_eq!(out.matched_files, reference);
+        assert_eq!(out.matched_files, reference);
     }
+}
 
-    #[test]
-    fn fill_policies_only_differ_in_fill_choice(
-        (m, n, edges) in arb_bipartite(),
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn fill_policies_only_differ_in_fill_choice() {
+    let mut rng = StdRng::seed_from_u64(0xB4);
+    for _ in 0..64 {
+        let (m, n, edges) = random_bipartite(&mut rng);
+        let seed = rng.gen_range(0u64..1000);
         let g = build_graph(m, n, &edges);
-        let random = SingleDataMatcher { fill: FillPolicy::Random, ..Default::default() }
-            .assign(&g, &mut StdRng::seed_from_u64(seed));
-        let least = SingleDataMatcher { fill: FillPolicy::LeastLoaded, ..Default::default() }
-            .assign(&g, &mut StdRng::seed_from_u64(seed));
-        prop_assert_eq!(random.matched_files, least.matched_files);
-        prop_assert_eq!(random.filled_files, least.filled_files);
-    }
-
-    #[test]
-    fn multi_data_respects_quotas_and_conserves_tasks(
-        m in 1usize..8,
-        n in 1usize..40,
-        entries in proptest::collection::vec((0usize..8, 0usize..40, 1u64..200), 0..150),
-    ) {
-        let mut v = MatchingValues::new(m, n);
-        for (p, t, b) in entries {
-            if p < m && t < n {
-                v.add(p, t, b);
-            }
+        let random = SingleDataMatcher {
+            fill: FillPolicy::Random,
+            ..Default::default()
         }
+        .assign(&g, &mut StdRng::seed_from_u64(seed));
+        let least = SingleDataMatcher {
+            fill: FillPolicy::LeastLoaded,
+            ..Default::default()
+        }
+        .assign(&g, &mut StdRng::seed_from_u64(seed));
+        assert_eq!(random.matched_files, least.matched_files);
+        assert_eq!(random.filled_files, least.filled_files);
+    }
+}
+
+fn random_values(rng: &mut StdRng, m_max: usize, n_max: usize, e_max: usize) -> MatchingValues {
+    let m = rng.gen_range(1usize..m_max);
+    let n = rng.gen_range(1usize..n_max);
+    let mut v = MatchingValues::new(m, n);
+    for _ in 0..rng.gen_range(0usize..e_max) {
+        let p = rng.gen_range(0usize..m_max);
+        let t = rng.gen_range(0usize..n_max);
+        let b = rng.gen_range(1u64..200);
+        if p < m && t < n {
+            v.add(p, t, b);
+        }
+    }
+    v
+}
+
+#[test]
+fn multi_data_respects_quotas_and_conserves_tasks() {
+    let mut rng = StdRng::seed_from_u64(0xB5);
+    for _ in 0..64 {
+        let v = random_values(&mut rng, 8, 40, 150);
+        let (m, n) = (v.n_procs(), v.n_tasks());
         let out = assign_multi_data(&v);
         let quota = quotas(n, m);
         let mut seen = vec![false; n];
         for (p, &q) in quota.iter().enumerate() {
-            prop_assert_eq!(out.assignment.tasks_of(p).len(), q, "p={}", p);
+            assert_eq!(out.assignment.tasks_of(p).len(), q, "p={p}");
             for &t in out.assignment.tasks_of(p) {
-                prop_assert!(!seen[t], "task {} duplicated", t);
+                assert!(!seen[t], "task {t} duplicated");
                 seen[t] = true;
             }
         }
-        prop_assert!(seen.iter().all(|&s| s));
+        assert!(seen.iter().all(|&s| s));
     }
+}
 
-    #[test]
-    fn multi_data_has_no_blocking_pair(
-        m in 1usize..6,
-        n in 1usize..30,
-        entries in proptest::collection::vec((0usize..6, 0usize..30, 1u64..200), 0..100),
-    ) {
-        let mut v = MatchingValues::new(m, n);
-        for (p, t, b) in entries {
-            if p < m && t < n {
-                v.add(p, t, b);
-            }
-        }
+#[test]
+fn multi_data_has_no_blocking_pair() {
+    let mut rng = StdRng::seed_from_u64(0xB6);
+    for _ in 0..64 {
+        let v = random_values(&mut rng, 6, 30, 100);
+        let (m, n) = (v.n_procs(), v.n_tasks());
         let out = assign_multi_data(&v);
         // Deferred-acceptance stability under quotas: there is no (p, t)
         // where p values t strictly above its own least-valued task while
@@ -192,21 +222,29 @@ proptest! {
                     continue;
                 }
                 let blocking = v.value(p, t) > my_min && v.value(owner, t) < v.value(p, t);
-                prop_assert!(
+                assert!(
                     !blocking,
                     "blocking pair p={} t={}: v(p,t)={} my_min={} v(owner,t)={}",
-                    p, t, v.value(p, t), my_min, v.value(owner, t)
+                    p,
+                    t,
+                    v.value(p, t),
+                    my_min,
+                    v.value(owner, t)
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn guided_scheduler_dispenses_each_task_once(
-        m in 1usize..6,
-        n in 1usize..30,
-        idle_order in proptest::collection::vec(0usize..6, 0..80),
-    ) {
+#[test]
+fn guided_scheduler_dispenses_each_task_once() {
+    let mut rng = StdRng::seed_from_u64(0xB7);
+    for _ in 0..64 {
+        let m = rng.gen_range(1usize..6);
+        let n = rng.gen_range(1usize..30);
+        let idle_order: Vec<usize> = (0..rng.gen_range(0usize..80))
+            .map(|_| rng.gen_range(0usize..6))
+            .collect();
         let owners: Vec<usize> = (0..n).map(|t| t % m).collect();
         let assignment = opass_matching::Assignment::from_owners(owners, m);
         let values = MatchingValues::new(m, n);
@@ -216,27 +254,29 @@ proptest! {
         // Arbitrary idle pattern, then drain deterministically.
         for &w in idle_order.iter().filter(|&&w| w < m) {
             if let Some(t) = sched.next_task(w) {
-                prop_assert!(!seen[t]);
+                assert!(!seen[t]);
                 seen[t] = true;
                 dispensed += 1;
             }
         }
         while let Some(t) = sched.next_task(0) {
-            prop_assert!(!seen[t]);
+            assert!(!seen[t]);
             seen[t] = true;
             dispensed += 1;
         }
-        prop_assert_eq!(dispensed, n);
-        prop_assert_eq!(sched.remaining(), 0);
+        assert_eq!(dispensed, n);
+        assert_eq!(sched.remaining(), 0);
     }
+}
 
-    #[test]
-    fn fifo_scheduler_dispenses_everything(n in 0usize..60) {
+#[test]
+fn fifo_scheduler_dispenses_everything() {
+    for n in [0usize, 1, 2, 7, 33, 59] {
         let mut sched = FifoScheduler::new(n);
         let mut count = 0;
         while sched.next_task(count % 3).is_some() {
             count += 1;
         }
-        prop_assert_eq!(count, n);
+        assert_eq!(count, n);
     }
 }

@@ -10,11 +10,13 @@
 //! * **dynamic** (master/worker / mpiBLAST): an idle process asks a
 //!   [`DynamicScheduler`] for its next task.
 
+use crate::metrics::RunMetrics;
 use crate::placement::ProcessPlacement;
 use crate::trace::{IoRecord, RunResult};
 use opass_dfs::{Namenode, ReplicaChoice};
-use opass_matching::{Assignment, DynamicScheduler};
-use opass_simio::{ClusterIo, Event, IoParams, Topology};
+use opass_matching::{Assignment, DynamicScheduler, StealRecord};
+use opass_simio::record::Recorder;
+use opass_simio::{ClusterIo, Event, IoParams, MemoryRecorder, Topology, TraceEvent};
 use opass_workloads::Workload;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -68,6 +70,13 @@ impl SourceState {
             SourceState::Dynamic(sched) => sched.next_task(proc),
         }
     }
+
+    fn drain_steals(&mut self) -> Vec<StealRecord> {
+        match self {
+            SourceState::Static(_) => Vec::new(),
+            SourceState::Dynamic(sched) => sched.drain_steals(),
+        }
+    }
 }
 
 /// Per-process execution cursor.
@@ -84,6 +93,9 @@ struct Pending {
     chunk: opass_dfs::ChunkId,
     source: opass_dfs::NodeId,
     bytes: u64,
+    /// No replica on the reader's node: the read is forced remote (only
+    /// computed when a recorder is installed).
+    degraded: bool,
 }
 
 /// Executes `workload` on the simulated cluster and returns the full trace.
@@ -99,6 +111,71 @@ pub fn execute(
     placement: &ProcessPlacement,
     source: TaskSource,
     config: &ExecConfig,
+) -> RunResult {
+    execute_inner(namenode, workload, placement, source, config, None)
+}
+
+/// Like [`execute`] with a structured-event [`Recorder`] installed on the
+/// simulator: the recorder sees the full interleaved stream (task
+/// dispatch, read issue/finish with locality context, rate recomputes,
+/// steal decisions). The returned result itself carries no derived
+/// metrics — use [`execute_instrumented`] for that.
+pub fn execute_with_recorder(
+    namenode: &Namenode,
+    workload: &Workload,
+    placement: &ProcessPlacement,
+    source: TaskSource,
+    config: &ExecConfig,
+    recorder: Box<dyn Recorder>,
+) -> RunResult {
+    execute_inner(
+        namenode,
+        workload,
+        placement,
+        source,
+        config,
+        Some(recorder),
+    )
+}
+
+/// Like [`execute`], but records the run and attaches derived
+/// [`RunMetrics`] (counters, per-node utilization time-series, served
+/// histograms, and the raw event log) to [`RunResult::metrics`].
+///
+/// The simulated outcome (records, makespan, served bytes) is identical
+/// to an uninstrumented [`execute`]: recording observes, never perturbs.
+pub fn execute_instrumented(
+    namenode: &Namenode,
+    workload: &Workload,
+    placement: &ProcessPlacement,
+    source: TaskSource,
+    config: &ExecConfig,
+) -> RunResult {
+    let log = MemoryRecorder::new();
+    let mut result = execute_inner(
+        namenode,
+        workload,
+        placement,
+        source,
+        config,
+        Some(Box::new(log.clone())),
+    );
+    result.metrics = Some(Box::new(RunMetrics::from_run(
+        &result,
+        log.take_events(),
+        namenode.node_count(),
+        &config.io,
+    )));
+    result
+}
+
+fn execute_inner(
+    namenode: &Namenode,
+    workload: &Workload,
+    placement: &ProcessPlacement,
+    source: TaskSource,
+    config: &ExecConfig,
+    recorder: Option<Box<dyn Recorder>>,
 ) -> RunResult {
     let n_procs = placement.n_procs();
     assert!(n_procs > 0, "need at least one process");
@@ -133,13 +210,16 @@ pub fn execute(
         TaskSource::Dynamic(sched) => SourceState::Dynamic(sched),
     };
 
-    let cluster = match &config.disk_factors {
+    let mut cluster = match &config.disk_factors {
         None => ClusterIo::with_topology(n_nodes, config.io, config.topology),
         Some(factors) => {
             assert_eq!(factors.len(), n_nodes, "one disk factor per node");
             ClusterIo::with_disk_factors(config.io, config.topology, factors)
         }
     };
+    if let Some(recorder) = recorder {
+        cluster.set_recorder(recorder);
+    }
 
     let mut engine = ExecEngine {
         cluster,
@@ -166,6 +246,7 @@ pub fn execute(
         records: engine.records,
         makespan: engine.makespan,
         served_bytes: engine.served_bytes,
+        metrics: None,
     }
 }
 
@@ -197,18 +278,39 @@ impl ExecEngine {
         loop {
             let cursor = match self.cursors[proc] {
                 Some(c) => c,
-                None => match self.src.next_task(proc) {
-                    Some(task) => {
-                        self.dispensed += 1;
-                        let c = Cursor {
-                            task,
-                            next_input: 0,
-                        };
-                        self.cursors[proc] = Some(c);
-                        c
+                None => {
+                    let fetched = self.src.next_task(proc);
+                    if self.cluster.recording() {
+                        let at = self.cluster.now().as_secs();
+                        for s in self.src.drain_steals() {
+                            self.cluster.emit(TraceEvent::TaskStolen {
+                                at,
+                                thief: s.thief,
+                                victim: s.victim,
+                                task: s.task,
+                            });
+                        }
+                        match fetched {
+                            Some(task) => {
+                                self.cluster
+                                    .emit(TraceEvent::TaskStarted { at, proc, task })
+                            }
+                            None => self.cluster.emit(TraceEvent::ProcFinished { at, proc }),
+                        }
                     }
-                    None => return, // no work anywhere: proc is done
-                },
+                    match fetched {
+                        Some(task) => {
+                            self.dispensed += 1;
+                            let c = Cursor {
+                                task,
+                                next_input: 0,
+                            };
+                            self.cursors[proc] = Some(c);
+                            c
+                        }
+                        None => return, // no work anywhere: proc is done
+                    }
+                }
             };
             let task = &workload.tasks[cursor.task];
             if cursor.next_input < task.inputs.len() {
@@ -219,11 +321,14 @@ impl ExecEngine {
                     .expect("workload references unknown chunk");
                 let source = replica_choice.select(chunk, reader, locations, &mut self.rng);
                 let bytes = namenode.chunk(chunk).expect("chunk exists").size;
+                let degraded =
+                    self.cluster.recording() && source != reader && !locations.contains(&reader);
                 self.pending[proc] = Some(Pending {
                     task: cursor.task,
                     chunk,
                     source,
                     bytes,
+                    degraded,
                 });
                 self.cluster
                     .start_read(reader.index(), source.index(), bytes, proc as u64);
@@ -232,6 +337,13 @@ impl ExecEngine {
             // All inputs read: run the compute phase, then fetch new work.
             self.cursors[proc] = None;
             if task.compute_seconds > 0.0 {
+                if self.cluster.recording() {
+                    self.cluster.emit(TraceEvent::ComputeStarted {
+                        at: self.cluster.now().as_secs(),
+                        proc,
+                        seconds: task.compute_seconds,
+                    });
+                }
                 self.cluster
                     .start_compute(task.compute_seconds, proc as u64);
                 return;
@@ -267,6 +379,19 @@ impl ExecEngine {
                     });
                     self.served_bytes[p.source.index()] += p.bytes;
                     self.makespan = self.makespan.max(c.completed_at.as_secs());
+                    if self.cluster.recording() {
+                        self.cluster.emit(TraceEvent::ReadFinished {
+                            at: c.completed_at.as_secs(),
+                            proc,
+                            task: p.task,
+                            chunk: p.chunk.0,
+                            source: p.source.index(),
+                            reader: reader.index(),
+                            bytes: p.bytes,
+                            local: p.source == reader,
+                            degraded: p.degraded,
+                        });
+                    }
                     let cursor = self.cursors[proc]
                         .as_mut()
                         .expect("cursor present mid-task");
@@ -304,6 +429,33 @@ pub fn execute_bulk_synchronous(
     assignment: &Assignment,
     config: &ExecConfig,
 ) -> RunResult {
+    bulk_synchronous_inner(namenode, workload, placement, assignment, config, false)
+}
+
+/// Like [`execute_bulk_synchronous`], but records every round and attaches
+/// [`RunMetrics`] derived over the whole chained run. The event stream
+/// additionally carries the synchronization structure: a
+/// [`TraceEvent::BarrierEntered`] per process per round (at the time the
+/// process finished its round work) and a [`TraceEvent::BarrierReleased`]
+/// when the slowest process arrives and the round ends.
+pub fn execute_bulk_synchronous_instrumented(
+    namenode: &Namenode,
+    workload: &Workload,
+    placement: &ProcessPlacement,
+    assignment: &Assignment,
+    config: &ExecConfig,
+) -> RunResult {
+    bulk_synchronous_inner(namenode, workload, placement, assignment, config, true)
+}
+
+fn bulk_synchronous_inner(
+    namenode: &Namenode,
+    workload: &Workload,
+    placement: &ProcessPlacement,
+    assignment: &Assignment,
+    config: &ExecConfig,
+    instrument: bool,
+) -> RunResult {
     assert_eq!(
         assignment.n_tasks(),
         workload.len(),
@@ -320,6 +472,7 @@ pub fn execute_bulk_synchronous(
         .unwrap_or(0);
 
     let mut combined: Option<RunResult> = None;
+    let mut all_events: Vec<TraceEvent> = Vec::new();
     for round in 0..rounds {
         // The round's sub-workload: the k-th task of every process that
         // still has one. Owners are re-expressed against the sub-workload.
@@ -334,31 +487,79 @@ pub fn execute_bulk_synchronous(
             }
         }
         let sub = Workload::new(format!("{}-round{round}", workload.name), tasks);
-        let sub_assignment = Assignment::from_owners(owners, placement.n_procs());
-        let mut result = execute(
+        let sub_assignment = Assignment::from_owners(owners.clone(), placement.n_procs());
+        let round_config = ExecConfig {
+            seed: config.seed ^ ((round as u64) << 16),
+            ..config.clone()
+        };
+        let log = instrument.then(MemoryRecorder::new);
+        let mut result = execute_inner(
             namenode,
             &sub,
             placement,
             TaskSource::Static(sub_assignment),
-            &ExecConfig {
-                seed: config.seed ^ ((round as u64) << 16),
-                ..config.clone()
-            },
+            &round_config,
+            log.clone().map(|l| Box::new(l) as Box<dyn Recorder>),
         );
         // Restore global task ids in the trace.
         for r in &mut result.records {
             r.task = original_ids[r.task];
+        }
+        if let Some(log) = log {
+            // Shift the round's events onto the chained clock, restore
+            // global task ids, then add the barrier structure.
+            let offset = combined.as_ref().map_or(0.0, |acc| acc.makespan);
+            let mut events = log.take_events();
+            for ev in &mut events {
+                ev.shift_at(offset);
+                match ev {
+                    TraceEvent::TaskStarted { task, .. }
+                    | TraceEvent::ReadFinished { task, .. }
+                    | TraceEvent::TaskStolen { task, .. } => *task = original_ids[*task],
+                    _ => {}
+                }
+            }
+            // A process arrives at the barrier when it runs out of round
+            // work — exactly its (already shifted) ProcFinished event.
+            let mut arrivals = vec![0.0f64; placement.n_procs()];
+            for ev in &events {
+                if let TraceEvent::ProcFinished { at, proc } = *ev {
+                    arrivals[proc] = arrivals[proc].max(at);
+                }
+            }
+            for &p in &owners {
+                events.push(TraceEvent::BarrierEntered {
+                    at: arrivals[p],
+                    round,
+                    proc: p,
+                });
+            }
+            events.push(TraceEvent::BarrierReleased {
+                at: offset + result.makespan,
+                round,
+            });
+            all_events.extend(events);
         }
         match combined.as_mut() {
             None => combined = Some(result),
             Some(acc) => acc.chain(result),
         }
     }
-    combined.unwrap_or(RunResult {
+    let mut combined = combined.unwrap_or(RunResult {
         records: Vec::new(),
         makespan: 0.0,
         served_bytes: vec![0; namenode.node_count()],
-    })
+        metrics: None,
+    });
+    if instrument {
+        combined.metrics = Some(Box::new(RunMetrics::from_run(
+            &combined,
+            all_events,
+            namenode.node_count(),
+            &config.io,
+        )));
+    }
+    combined
 }
 
 #[cfg(test)]

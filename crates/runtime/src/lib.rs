@@ -44,12 +44,17 @@
 
 pub mod baseline;
 pub mod exec;
+pub mod metrics;
 pub mod monitor;
 pub mod placement;
 pub mod trace;
 pub mod write;
 
-pub use exec::{execute, execute_bulk_synchronous, ExecConfig, TaskSource};
+pub use exec::{
+    execute, execute_bulk_synchronous, execute_bulk_synchronous_instrumented, execute_instrumented,
+    execute_with_recorder, ExecConfig, TaskSource,
+};
+pub use metrics::{NodeMetrics, NodeSeries, RunCounters, RunMetrics, TimeSeries};
 pub use monitor::BalanceReport;
 pub use placement::ProcessPlacement;
 pub use trace::{IoRecord, RunResult};

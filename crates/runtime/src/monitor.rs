@@ -7,10 +7,8 @@
 //! everything), the Gini coefficient (0 = even, →1 = concentrated), and
 //! the coefficient of variation.
 
-use serde::{Deserialize, Serialize};
-
 /// Balance indices over a served-bytes (or served-chunks) vector.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BalanceReport {
     /// Jain's fairness index `(Σx)² / (n·Σx²)`, in `(0, 1]`.
     pub jain_index: f64,

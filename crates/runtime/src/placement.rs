@@ -6,10 +6,9 @@
 //! sub-cluster launches.
 
 use opass_dfs::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// Maps process ranks to the cluster nodes they run on.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProcessPlacement {
     node_of: Vec<NodeId>,
 }

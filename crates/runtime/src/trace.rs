@@ -7,10 +7,9 @@
 
 use opass_dfs::{ChunkId, NodeId};
 use opass_simio::{empirical_cdf, CdfPoint, Summary};
-use serde::{Deserialize, Serialize};
 
 /// One completed chunk read.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IoRecord {
     /// Reading process rank.
     pub proc: usize,
@@ -43,7 +42,7 @@ impl IoRecord {
 }
 
 /// The outcome of one simulated parallel run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// All reads, in completion order.
     pub records: Vec<IoRecord>,
@@ -51,6 +50,12 @@ pub struct RunResult {
     pub makespan: f64,
     /// Bytes served by each node (indexed by raw node id).
     pub served_bytes: Vec<u64>,
+    /// Derived observability metrics. `None` unless the run was executed
+    /// through an instrumented entry point
+    /// ([`crate::exec::execute_instrumented`] and friends); plain
+    /// [`crate::exec::execute`] leaves it empty so uninstrumented results
+    /// are identical to what the executor always produced.
+    pub metrics: Option<Box<crate::metrics::RunMetrics>>,
 }
 
 impl RunResult {
@@ -144,8 +149,12 @@ impl RunResult {
     }
 
     /// Merges another run into this one, offsetting its records by this
-    /// run's makespan — used to chain ParaView rendering steps.
+    /// run's makespan — used to chain ParaView rendering steps. Any
+    /// attached metrics are dropped: aggregates derived for a single
+    /// segment do not describe the chained whole (instrumented entry
+    /// points re-derive them after chaining).
     pub fn chain(&mut self, mut next: RunResult) {
+        self.metrics = None;
         let offset = self.makespan;
         for r in &mut next.records {
             r.issued_at += offset;
@@ -188,6 +197,7 @@ mod tests {
             ],
             makespan: 3.0,
             served_bytes: vec![100, 0, 200],
+            metrics: None,
         }
     }
 
@@ -238,6 +248,7 @@ mod tests {
             records: vec![],
             makespan: 0.0,
             served_bytes: vec![],
+            metrics: None,
         };
         assert_eq!(empty.straggler_report(4), (0.0, 0.0, 0.0));
     }
@@ -268,6 +279,7 @@ mod tests {
             records: vec![],
             makespan: 0.0,
             served_bytes: vec![],
+            metrics: None,
         };
         assert_eq!(r.local_fraction(), 1.0);
         assert_eq!(r.local_byte_fraction(), 1.0);

@@ -137,6 +137,7 @@ pub fn write_dataset(
             records,
             makespan,
             served_bytes,
+            metrics: None,
         },
     }
 }

@@ -10,10 +10,10 @@
 
 use crate::engine::{Engine, Event};
 use crate::flow::{FlowId, FlowSpec};
+use crate::record::{Recorder, TraceEvent};
 use crate::resource::{Resource, ResourceId};
 use crate::time::SimTime;
 use crate::topology::Topology;
-use serde::{Deserialize, Serialize};
 
 /// Calibration parameters for the per-node I/O model.
 ///
@@ -21,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// numbers the paper reports for Marmot: a lone local 64 MB chunk read takes
 /// ≈0.9 s (Fig. 7b), and contended remote reads span roughly 2–12 s
 /// (Section V-C2).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IoParams {
     /// Streaming bandwidth of a node's disk, bytes/second.
     pub disk_bandwidth: f64,
@@ -269,6 +269,16 @@ impl ClusterIo {
             source < self.nodes.len(),
             "source node {source} out of range"
         );
+        if self.engine.recording() {
+            self.engine.emit(TraceEvent::ReadIssued {
+                at: self.engine.now().as_secs(),
+                token,
+                reader,
+                source,
+                bytes,
+                local: reader == source,
+            });
+        }
         let spec = if reader == source {
             FlowSpec::new(bytes, vec![self.nodes[source].disk], token)
                 .with_latency(self.params.local_latency)
@@ -311,6 +321,15 @@ impl ClusterIo {
             "writer node {writer} out of range"
         );
         assert!(!targets.is_empty(), "write needs at least one target");
+        if self.engine.recording() {
+            self.engine.emit(TraceEvent::WriteIssued {
+                at: self.engine.now().as_secs(),
+                token,
+                writer,
+                targets: targets.len(),
+                bytes,
+            });
+        }
         let mut path = Vec::with_capacity(2 + 3 * targets.len());
         let mut any_remote = false;
         for &t in targets {
@@ -354,6 +373,24 @@ impl ClusterIo {
             }
             None => 0.0,
         }
+    }
+
+    /// Installs a structured-event [`Recorder`] on the underlying engine.
+    pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
+        self.engine.set_recorder(recorder);
+    }
+
+    /// Whether a recorder is installed.
+    pub fn recording(&self) -> bool {
+        self.engine.recording()
+    }
+
+    /// Emits an event into the recorder stream (no-op without a recorder).
+    /// Lets callers above the I/O layer (the executor) interleave their
+    /// own events with the simulator's.
+    #[inline]
+    pub fn emit(&mut self, event: TraceEvent) {
+        self.engine.emit(event);
     }
 
     /// Direct access to the underlying engine (for custom resource use).

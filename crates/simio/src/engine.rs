@@ -11,6 +11,7 @@
 
 use crate::fairshare::{allocate_rates, FlowPath};
 use crate::flow::{FlowCompletion, FlowId, FlowPhase, FlowSpec, FlowState};
+use crate::record::{Recorder, RecorderSlot, TraceEvent};
 use crate::resource::{Resource, ResourceId};
 use crate::time::SimTime;
 use std::cmp::Reverse;
@@ -90,6 +91,8 @@ pub struct Engine {
     rates_dirty: bool,
     /// Bytes that have traversed each resource (utilization accounting).
     delivered: Vec<f64>,
+    /// Optional structured-event sink (observability; disabled by default).
+    recorder: RecorderSlot,
 }
 
 impl Default for Engine {
@@ -110,7 +113,27 @@ impl Engine {
             timer_seq: 0,
             rates_dirty: false,
             delivered: Vec::new(),
+            recorder: RecorderSlot::empty(),
         }
+    }
+
+    /// Installs a structured-event [`Recorder`]. Without one, emit sites
+    /// cost a single branch and build no events.
+    pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
+        self.recorder.install(recorder);
+    }
+
+    /// Whether a recorder is installed.
+    pub fn recording(&self) -> bool {
+        self.recorder.enabled()
+    }
+
+    /// Emits an event to the installed recorder (no-op without one). Public
+    /// so higher layers ([`crate::ClusterIo`], the runtime executor) can
+    /// interleave their own events with the engine's in one stream.
+    #[inline]
+    pub fn emit(&mut self, event: TraceEvent) {
+        self.recorder.emit(event);
     }
 
     /// Registers a resource and returns its id.
@@ -246,6 +269,23 @@ impl Engine {
             self.flows[fi].rate = rate;
         }
         self.rates_dirty = false;
+        if self.recorder.enabled() {
+            let (mut min_rate, mut max_rate) = (f64::INFINITY, 0.0f64);
+            for &fi in &self.active {
+                let r = self.flows[fi].rate;
+                min_rate = min_rate.min(r);
+                max_rate = max_rate.max(r);
+            }
+            if self.active.is_empty() {
+                min_rate = 0.0;
+            }
+            self.recorder.emit(TraceEvent::RatesRecomputed {
+                at: self.now.as_secs(),
+                active_flows: self.active.len(),
+                min_rate,
+                max_rate,
+            });
+        }
     }
 
     /// Earliest completion among active flows: `(time, flow index)`.
@@ -348,6 +388,11 @@ impl Engine {
                     .expect("completed flow must be active");
                 self.active.remove(pos);
                 self.rates_dirty = true;
+                self.recorder.emit_with(|| TraceEvent::FlowFinished {
+                    at: completion.completed_at.as_secs(),
+                    token: completion.token,
+                    bytes: completion.bytes,
+                });
                 return Some(Event::FlowCompleted(completion));
             }
         }

@@ -2,10 +2,9 @@
 
 use crate::resource::ResourceId;
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Identifies a flow submitted to an [`crate::Engine`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FlowId(pub(crate) u64);
 
 impl FlowId {
@@ -112,7 +111,7 @@ impl FlowState {
 }
 
 /// A finished transfer, as reported by [`crate::Engine::next_event`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlowCompletion {
     /// The flow that finished.
     pub flow: FlowId,

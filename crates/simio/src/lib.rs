@@ -41,6 +41,7 @@ pub mod cluster;
 pub mod engine;
 pub mod fairshare;
 pub mod flow;
+pub mod record;
 pub mod resource;
 pub mod stats;
 pub mod time;
@@ -49,6 +50,7 @@ pub mod topology;
 pub use cluster::{ClusterIo, IoParams, MB, MB_U64};
 pub use engine::{Engine, Event};
 pub use flow::{FlowCompletion, FlowId, FlowSpec};
+pub use record::{MemoryRecorder, NoopRecorder, Recorder, TraceEvent};
 pub use resource::{Degradation, Resource, ResourceId};
 pub use stats::{empirical_cdf, quantile, CdfPoint, Summary};
 pub use time::SimTime;

@@ -8,10 +8,8 @@
 //! degradation is what turns the imbalanced access patterns of the paper's
 //! Section III into the long I/O-time tails of its Figure 7.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifies a resource registered with an [`crate::Engine`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ResourceId(pub(crate) u32);
 
 impl ResourceId {
@@ -23,7 +21,7 @@ impl ResourceId {
 }
 
 /// How a resource's aggregate capacity responds to concurrent streams.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Degradation {
     /// Aggregate capacity is constant regardless of concurrency.
     ///
@@ -66,7 +64,7 @@ impl Degradation {
 }
 
 /// A bandwidth-shared resource.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Resource {
     /// Human-readable label, used in traces and error messages.
     pub name: String,

@@ -4,10 +4,8 @@
 //! average/max/min, standard deviation, and empirical CDFs — so they live
 //! here once rather than in each experiment.
 
-use serde::{Deserialize, Serialize};
-
 /// Summary statistics over a set of samples.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Number of samples.
     pub count: usize,
@@ -63,7 +61,7 @@ impl Summary {
 }
 
 /// One point of an empirical CDF: `fraction` of samples are `<= value`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CdfPoint {
     /// Sample value.
     pub value: f64,

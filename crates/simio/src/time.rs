@@ -4,7 +4,6 @@
 //! an `f64`. The newtype guarantees the value is finite and non-negative,
 //! which gives us a total order ([`Ord`]) that the event queue relies on.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
@@ -13,7 +12,7 @@ use std::ops::{Add, AddAssign, Sub};
 /// Construction is checked: `SimTime` values are always finite and
 /// non-negative, so they form a total order and can be used as binary-heap
 /// keys without `PartialOrd` escape hatches.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimTime(f64);
 
 impl SimTime {

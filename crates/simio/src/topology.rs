@@ -9,10 +9,8 @@
 //! rack's uplink receive side, both shared by everything crossing that
 //! rack boundary.
 
-use serde::{Deserialize, Serialize};
-
 /// Cluster network topology.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Topology {
     /// All nodes on one non-blocking switch (Marmot; the paper's setup).
     #[default]

@@ -1,6 +1,7 @@
-//! Property-based tests for the discrete-event simulator.
+//! Randomized property tests for the discrete-event simulator.
 //!
-//! Invariants on randomized flow sets:
+//! Invariants on randomized flow sets (seeded `StdRng` loops, so every run
+//! exercises the same cases deterministically):
 //! * every submitted flow completes exactly once, never before
 //!   `latency + bytes / fastest_possible_rate`;
 //! * the clock never runs backwards and completions are delivered in time
@@ -11,106 +12,127 @@
 
 use opass_simio::fairshare::{allocate_rates, respects_capacities, FlowPath};
 use opass_simio::{Engine, Event, FlowSpec, Resource};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a small resource pool (capacities in B/s).
-fn arb_resources() -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(10.0f64..1000.0, 1..6)
+/// A small resource pool (capacities in B/s).
+fn random_resources(rng: &mut StdRng) -> Vec<f64> {
+    (0..rng.gen_range(1usize..6))
+        .map(|_| rng.gen_range(10.0f64..1000.0))
+        .collect()
 }
 
-/// Strategy: flows over `nr` resources: (bytes, path indices, latency).
-fn arb_flows(nr: usize) -> impl Strategy<Value = Vec<(u64, Vec<usize>, f64)>> {
-    proptest::collection::vec(
-        (
-            1u64..100_000,
-            proptest::collection::vec(0..nr, 1..=nr.min(3)),
-            0.0f64..2.0,
-        ),
-        1..20,
-    )
+/// Flows over `nr` resources: (bytes, path indices, latency).
+fn random_flows(rng: &mut StdRng, nr: usize) -> Vec<(u64, Vec<usize>, f64)> {
+    (0..rng.gen_range(1usize..20))
+        .map(|_| {
+            let path = (0..rng.gen_range(1usize..=nr.min(3)))
+                .map(|_| rng.gen_range(0..nr))
+                .collect();
+            (
+                rng.gen_range(1u64..100_000),
+                path,
+                rng.gen_range(0.0f64..2.0),
+            )
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn every_flow_completes_once_and_not_too_early(flows in arb_flows(5)) {
+#[test]
+fn every_flow_completes_once_and_not_too_early() {
+    let mut rng = StdRng::seed_from_u64(0xC1);
+    for _ in 0..48 {
+        let flows = random_flows(&mut rng, 5);
         let mut engine = Engine::new();
         let ids: Vec<_> = flows_desc_resources(&flows)
             .iter()
             .map(|&cap| engine.add_resource(Resource::constant("r", cap)))
             .collect();
-        let max_cap = flows_desc_resources(&flows).iter().cloned().fold(0.0, f64::max);
+        let max_cap = flows_desc_resources(&flows)
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max);
 
         for (i, (bytes, path, latency)) in flows.iter().enumerate() {
             let path: Vec<_> = path.iter().map(|&r| ids[r % ids.len()]).collect();
-            engine.start_flow(
-                FlowSpec::new(*bytes, path, i as u64).with_latency(*latency),
-            );
+            engine.start_flow(FlowSpec::new(*bytes, path, i as u64).with_latency(*latency));
         }
         let completions = engine.drain();
-        prop_assert_eq!(completions.len(), flows.len());
+        assert_eq!(completions.len(), flows.len());
         let mut seen = vec![false; flows.len()];
         let mut last = 0.0f64;
         for c in &completions {
             let i = c.token as usize;
-            prop_assert!(!seen[i], "flow {} completed twice", i);
+            assert!(!seen[i], "flow {i} completed twice");
             seen[i] = true;
             // Time order.
-            prop_assert!(c.completed_at.as_secs() >= last - 1e-9);
+            assert!(c.completed_at.as_secs() >= last - 1e-9);
             last = c.completed_at.as_secs();
             // Lower bound: latency + bytes / best-possible rate.
             let (bytes, _, latency) = flows[i];
             let min_time = latency + bytes as f64 / max_cap;
-            prop_assert!(
+            assert!(
                 c.duration() >= min_time - 1e-6,
                 "flow {} too fast: {} < {}",
-                i, c.duration(), min_time
+                i,
+                c.duration(),
+                min_time
             );
         }
     }
+}
 
-    #[test]
-    fn allocator_respects_caps_and_capacities(
-        caps in arb_resources(),
-        paths in proptest::collection::vec(
-            (proptest::collection::vec(0usize..6, 1..4), 1.0f64..500.0, any::<bool>()),
-            1..25,
-        ),
-    ) {
+#[test]
+fn allocator_respects_caps_and_capacities() {
+    let mut rng = StdRng::seed_from_u64(0xC2);
+    for _ in 0..48 {
+        let caps = random_resources(&mut rng);
         let nr = caps.len();
-        let flows: Vec<FlowPath> = paths
-            .iter()
-            .map(|(rs, cap, capped)| {
-                let mut resources: Vec<usize> = rs.iter().map(|&r| r % nr).collect();
+        let flows: Vec<FlowPath> = (0..rng.gen_range(1usize..25))
+            .map(|_| {
+                let mut resources: Vec<usize> = (0..rng.gen_range(1usize..4))
+                    .map(|_| rng.gen_range(0usize..6) % nr)
+                    .collect();
                 resources.sort_unstable();
                 resources.dedup();
+                let capped = rng.gen_bool(0.5);
                 FlowPath {
                     resources,
-                    rate_cap: if *capped { *cap } else { f64::INFINITY },
+                    rate_cap: if capped {
+                        rng.gen_range(1.0f64..500.0)
+                    } else {
+                        f64::INFINITY
+                    },
                 }
             })
             .collect();
         let rates = allocate_rates(&flows, &caps);
-        prop_assert!(respects_capacities(&flows, &caps, &rates, 1e-6));
+        assert!(respects_capacities(&flows, &caps, &rates, 1e-6));
         for (f, &r) in flows.iter().zip(&rates) {
-            prop_assert!(r <= f.rate_cap + 1e-6, "rate {} above cap {}", r, f.rate_cap);
-            prop_assert!(r >= 0.0);
+            assert!(
+                r <= f.rate_cap + 1e-6,
+                "rate {} above cap {}",
+                r,
+                f.rate_cap
+            );
+            assert!(r >= 0.0);
         }
         // Work conservation on each saturated single-flow path is implied;
         // at minimum no flow with a non-empty path is starved when its
         // resources have capacity.
         for (f, &r) in flows.iter().zip(&rates) {
             if !f.resources.is_empty() {
-                prop_assert!(r > 0.0, "flow starved: {:?}", f.resources);
+                assert!(r > 0.0, "flow starved: {:?}", f.resources);
             }
         }
     }
+}
 
-    #[test]
-    fn replay_is_bit_identical(
-        flows in arb_flows(3),
-    ) {
+#[test]
+fn replay_is_bit_identical() {
+    let mut rng = StdRng::seed_from_u64(0xC3);
+    for _ in 0..48 {
+        let flows = random_flows(&mut rng, 3);
         let run = || {
             let mut e = Engine::new();
             let ids = [
@@ -127,11 +149,17 @@ proptest! {
                 .map(|c| (c.token, c.completed_at.as_secs()))
                 .collect::<Vec<_>>()
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run());
     }
+}
 
-    #[test]
-    fn timers_fire_in_order(delays in proptest::collection::vec(0.0f64..100.0, 1..20)) {
+#[test]
+fn timers_fire_in_order() {
+    let mut rng = StdRng::seed_from_u64(0xC4);
+    for _ in 0..48 {
+        let delays: Vec<f64> = (0..rng.gen_range(1usize..20))
+            .map(|_| rng.gen_range(0.0f64..100.0))
+            .collect();
         let mut e = Engine::new();
         for (i, &d) in delays.iter().enumerate() {
             e.set_timer(d, i as u64);
@@ -139,16 +167,16 @@ proptest! {
         let mut last = 0.0f64;
         let mut count = 0;
         while let Some(Event::TimerFired { at, .. }) = e.next_event() {
-            prop_assert!(at.as_secs() >= last - 1e-12);
+            assert!(at.as_secs() >= last - 1e-12);
             last = at.as_secs();
             count += 1;
         }
-        prop_assert_eq!(count, delays.len());
+        assert_eq!(count, delays.len());
     }
 }
 
 /// Derives a deterministic capacity pool from the flow set so the first
-/// proptest can size resources without a second independent sample.
+/// test can size resources without a second independent sample.
 fn flows_desc_resources(flows: &[(u64, Vec<usize>, f64)]) -> Vec<f64> {
     let nr = flows
         .iter()

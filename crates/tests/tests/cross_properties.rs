@@ -1,15 +1,15 @@
 //! Cross-crate property tests: arbitrary workloads and assignments through
 //! the full executor must conserve work, respect causality, and stay
-//! deterministic.
+//! deterministic. Cases are drawn from seeded `StdRng` loops so every run
+//! exercises the same instances.
 
 use opass_core::planner::OpassPlanner;
 use opass_dfs::{DatasetSpec, DfsConfig, Namenode, Placement, ReplicaChoice};
 use opass_matching::Assignment;
 use opass_runtime::{execute, ExecConfig, ProcessPlacement, TaskSource};
 use opass_workloads::{Task, Workload};
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// Builds a namenode + single-input workload from compact parameters.
 fn build(n_nodes: usize, n_chunks: usize, replication: u32, seed: u64) -> (Namenode, Workload) {
@@ -30,15 +30,13 @@ fn build(n_nodes: usize, n_chunks: usize, replication: u32, seed: u64) -> (Namen
     (nn, Workload::new("prop", tasks))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn executor_conserves_reads_and_bytes(
-        n_nodes in 3usize..12,
-        chunks_per in 1usize..6,
-        owners_seed in 0u64..500,
-    ) {
+#[test]
+fn executor_conserves_reads_and_bytes() {
+    let mut rng = StdRng::seed_from_u64(0xE1);
+    for _ in 0..24 {
+        let n_nodes = rng.gen_range(3usize..12);
+        let chunks_per = rng.gen_range(1usize..6);
+        let owners_seed = rng.gen_range(0u64..500);
         let n_chunks = n_nodes * chunks_per;
         let (nn, workload) = build(n_nodes, n_chunks, 3, owners_seed);
         // Arbitrary (possibly unbalanced) deterministic assignment.
@@ -51,34 +49,39 @@ proptest! {
             &workload,
             &ProcessPlacement::one_per_node(n_nodes),
             TaskSource::Static(assignment),
-            &ExecConfig { seed: owners_seed, ..Default::default() },
+            &ExecConfig {
+                seed: owners_seed,
+                ..Default::default()
+            },
         );
-        prop_assert_eq!(run.records.len(), n_chunks);
+        assert_eq!(run.records.len(), n_chunks);
         let total: u64 = run.served_bytes.iter().sum();
-        prop_assert_eq!(total, n_chunks as u64 * (8 << 20));
+        assert_eq!(total, n_chunks as u64 * (8 << 20));
         // Causality: completion after issue, all within the makespan.
         for r in &run.records {
-            prop_assert!(r.completed_at >= r.issued_at);
-            prop_assert!(r.completed_at <= run.makespan + 1e-9);
+            assert!(r.completed_at >= r.issued_at);
+            assert!(r.completed_at <= run.makespan + 1e-9);
         }
         // Every read sourced from an actual replica holder.
         for r in &run.records {
             let locations = nn.locate(r.chunk).expect("chunk exists");
-            prop_assert!(locations.contains(&r.source));
+            assert!(locations.contains(&r.source));
         }
     }
+}
 
-    #[test]
-    fn planner_locality_never_below_baseline_for_same_layout(
-        n_nodes in 3usize..10,
-        chunks_per in 1usize..5,
-        seed in 0u64..300,
-    ) {
+#[test]
+fn planner_locality_never_below_baseline_for_same_layout() {
+    let mut rng = StdRng::seed_from_u64(0xE2);
+    for _ in 0..24 {
+        let n_nodes = rng.gen_range(3usize..10);
+        let chunks_per = rng.gen_range(1usize..5);
+        let seed = rng.gen_range(0u64..300);
         let n_chunks = n_nodes * chunks_per;
         let (nn, workload) = build(n_nodes, n_chunks, 3, seed);
         let placement = ProcessPlacement::one_per_node(n_nodes);
         let plan = OpassPlanner::default().plan_single_data(&nn, &workload, &placement, seed);
-        prop_assert!(plan.assignment.is_balanced());
+        assert!(plan.assignment.is_balanced());
 
         // Matched files are an upper bound for what any balanced
         // assignment achieves; rank-interval is one such assignment.
@@ -86,19 +89,26 @@ proptest! {
         let graph = opass_core::build_locality_graph(&nn, &workload, &placement);
         let sizes = vec![8u64 << 20; n_chunks];
         let base = opass_matching::locality_report(&baseline, &graph, &sizes);
-        prop_assert!(
+        assert!(
             plan.matched_files >= base.local_tasks,
-            "opass {} < baseline {}", plan.matched_files, base.local_tasks
+            "opass {} < baseline {}",
+            plan.matched_files,
+            base.local_tasks
         );
     }
+}
 
-    #[test]
-    fn replica_choice_policies_always_pick_holders(
-        n_nodes in 3usize..10,
-        seed in 0u64..300,
-    ) {
+#[test]
+fn replica_choice_policies_always_pick_holders() {
+    let mut rng = StdRng::seed_from_u64(0xE3);
+    for _ in 0..24 {
+        let n_nodes = rng.gen_range(3usize..10);
+        let seed = rng.gen_range(0u64..300);
         let (nn, workload) = build(n_nodes, n_nodes * 2, 2, seed);
-        for choice in [ReplicaChoice::PreferLocalRandom, ReplicaChoice::RandomReplica] {
+        for choice in [
+            ReplicaChoice::PreferLocalRandom,
+            ReplicaChoice::RandomReplica,
+        ] {
             let run = execute(
                 &nn,
                 &workload,
@@ -107,11 +117,15 @@ proptest! {
                     workload.len(),
                     n_nodes,
                 )),
-                &ExecConfig { replica_choice: choice, seed, ..Default::default() },
+                &ExecConfig {
+                    replica_choice: choice,
+                    seed,
+                    ..Default::default()
+                },
             );
             for r in &run.records {
                 let locations = nn.locate(r.chunk).expect("chunk exists");
-                prop_assert!(locations.contains(&r.source));
+                assert!(locations.contains(&r.source));
             }
         }
     }

@@ -1,27 +1,30 @@
 //! Integration: multi-input (Figure 9/10) and dynamic (Figure 11)
 //! pipelines in miniature.
 
-use opass_core::experiment::{
-    DynamicExperiment, DynamicStrategy, MultiDataExperiment, MultiStrategy,
-};
+use opass_core::{ClusterSpec, Dynamic, Experiment, MultiData, Strategy};
 
-fn multi(m: usize, seed: u64) -> MultiDataExperiment {
-    MultiDataExperiment {
-        n_nodes: m,
+fn multi(m: usize, seed: u64) -> MultiData {
+    MultiData {
+        cluster: ClusterSpec {
+            n_nodes: m,
+            seed,
+            ..MultiData::default().cluster
+        },
         tasks_per_process: 5,
-        seed,
         ..Default::default()
     }
 }
 
-fn dynamic(m: usize, seed: u64) -> DynamicExperiment {
-    DynamicExperiment {
-        n_nodes: m,
+fn dynamic(m: usize, seed: u64) -> Dynamic {
+    Dynamic {
+        cluster: ClusterSpec {
+            n_nodes: m,
+            seed,
+            ..Dynamic::default().cluster
+        },
         tasks_per_process: 5,
         compute_median: 0.3,
         compute_sigma: 1.0,
-        seed,
-        ..Default::default()
     }
 }
 
@@ -30,8 +33,8 @@ fn multi_input_improvement_is_partial() {
     // Paper Section V-A2: Opass improves multi-input reads, but less than
     // single-input, because a task's three inputs rarely share a node.
     let exp = multi(16, 2);
-    let base = exp.run(MultiStrategy::RankInterval);
-    let opass = exp.run(MultiStrategy::Opass);
+    let base = exp.run(Strategy::RankInterval).unwrap();
+    let opass = exp.run(Strategy::Opass).unwrap();
 
     assert!(opass.result.local_byte_fraction() > base.result.local_byte_fraction() + 0.2);
     // Partial: some bytes still remote.
@@ -42,7 +45,7 @@ fn multi_input_improvement_is_partial() {
 #[test]
 fn multi_input_reads_three_chunks_per_task() {
     let exp = multi(8, 3);
-    let run = exp.run(MultiStrategy::Opass);
+    let run = exp.run(Strategy::Opass).unwrap();
     assert_eq!(run.result.records.len(), 8 * 5 * 3);
     // Every task contributes exactly its three distinct inputs.
     let mut per_task = std::collections::HashMap::new();
@@ -62,8 +65,8 @@ fn multi_input_reads_three_chunks_per_task() {
 #[test]
 fn dynamic_guided_beats_fifo_on_io() {
     let exp = dynamic(16, 4);
-    let fifo = exp.run(DynamicStrategy::Fifo);
-    let guided = exp.run(DynamicStrategy::OpassGuided);
+    let fifo = exp.run(Strategy::Fifo).unwrap();
+    let guided = exp.run(Strategy::OpassGuided).unwrap();
 
     assert!(
         guided.result.local_fraction() > 0.7,
@@ -77,8 +80,8 @@ fn dynamic_guided_beats_fifo_on_io() {
 #[test]
 fn dynamic_completes_every_task_under_both_schedulers() {
     let exp = dynamic(12, 9);
-    for strategy in [DynamicStrategy::Fifo, DynamicStrategy::OpassGuided] {
-        let run = exp.run(strategy);
+    for strategy in [Strategy::Fifo, Strategy::OpassGuided] {
+        let run = exp.run(strategy).unwrap();
         assert_eq!(run.result.records.len(), 12 * 5, "{strategy:?}");
     }
 }
@@ -89,7 +92,7 @@ fn dynamic_irregular_compute_spreads_finish_times() {
     // would under a static split; the dynamic dispatcher must still keep
     // the makespan below the static worst case of (max task) * quota.
     let exp = dynamic(8, 12);
-    let run = exp.run(DynamicStrategy::OpassGuided);
+    let run = exp.run(Strategy::OpassGuided).unwrap();
     let max_io_plus_compute = run
         .result
         .records

@@ -2,14 +2,16 @@
 //! miniature). Asserts the paper's qualitative claims — who wins, and
 //! roughly by how much — across cluster sizes and seeds.
 
-use opass_core::experiment::{SingleDataExperiment, SingleStrategy};
+use opass_core::{ClusterSpec, Experiment, SingleData, Strategy};
 
-fn experiment(m: usize, seed: u64) -> SingleDataExperiment {
-    SingleDataExperiment {
-        n_nodes: m,
+fn experiment(m: usize, seed: u64) -> SingleData {
+    SingleData {
+        cluster: ClusterSpec {
+            n_nodes: m,
+            seed,
+            ..Default::default()
+        },
         chunks_per_process: 5,
-        seed,
-        ..Default::default()
     }
 }
 
@@ -17,8 +19,8 @@ fn experiment(m: usize, seed: u64) -> SingleDataExperiment {
 fn opass_wins_across_cluster_sizes() {
     for m in [8usize, 16, 32] {
         let exp = experiment(m, 0xF00D ^ m as u64);
-        let base = exp.run(SingleStrategy::RankInterval);
-        let opass = exp.run(SingleStrategy::Opass);
+        let base = exp.run(Strategy::RankInterval).unwrap();
+        let opass = exp.run(Strategy::Opass).unwrap();
 
         // Locality flips from mostly-remote to mostly-local.
         assert!(
@@ -43,8 +45,8 @@ fn opass_wins_across_cluster_sizes() {
 #[test]
 fn baseline_imbalance_grows_with_cluster_size() {
     // Paper Fig. 7(a): the max/min I/O ratio worsens as the cluster grows.
-    let small = experiment(8, 1).run(SingleStrategy::RankInterval);
-    let large = experiment(48, 1).run(SingleStrategy::RankInterval);
+    let small = experiment(8, 1).run(Strategy::RankInterval).unwrap();
+    let large = experiment(48, 1).run(Strategy::RankInterval).unwrap();
     assert!(
         large.result.io_summary().max_over_min() > small.result.io_summary().max_over_min(),
         "large {} vs small {}",
@@ -58,8 +60,8 @@ fn opass_balances_served_bytes() {
     // Paper Fig. 8: with Opass every node serves about chunks_per_process
     // chunks; without, the spread is wide.
     let exp = experiment(32, 7);
-    let base = exp.run(SingleStrategy::RankInterval);
-    let opass = exp.run(SingleStrategy::Opass);
+    let base = exp.run(Strategy::RankInterval).unwrap();
+    let opass = exp.run(Strategy::Opass).unwrap();
     let served_base = base.result.served_summary(32);
     let served_opass = opass.result.served_summary(32);
     assert!(
@@ -78,11 +80,11 @@ fn opass_balances_served_bytes() {
 fn every_chunk_read_exactly_once() {
     let exp = experiment(16, 3);
     for strategy in [
-        SingleStrategy::RankInterval,
-        SingleStrategy::RandomAssign,
-        SingleStrategy::Opass,
+        Strategy::RankInterval,
+        Strategy::RandomAssign,
+        Strategy::Opass,
     ] {
-        let run = exp.run(strategy);
+        let run = exp.run(strategy).unwrap();
         let mut chunks: Vec<u64> = run.result.records.iter().map(|r| r.chunk.0).collect();
         chunks.sort_unstable();
         chunks.dedup();
@@ -95,10 +97,10 @@ fn every_chunk_read_exactly_once() {
 
 #[test]
 fn runs_are_deterministic_per_seed_and_differ_across_seeds() {
-    let a = experiment(12, 5).run(SingleStrategy::Opass);
-    let b = experiment(12, 5).run(SingleStrategy::Opass);
+    let a = experiment(12, 5).run(Strategy::Opass).unwrap();
+    let b = experiment(12, 5).run(Strategy::Opass).unwrap();
     assert_eq!(a.result, b.result);
-    let c = experiment(12, 6).run(SingleStrategy::Opass);
+    let c = experiment(12, 6).run(Strategy::Opass).unwrap();
     assert_ne!(a.result, c.result, "different seeds must differ");
 }
 
@@ -107,7 +109,7 @@ fn opass_io_times_are_tight_around_local_read_time() {
     // Paper Fig. 7(b): with Opass the avg I/O stays ~0.9 s with tiny
     // variance at every cluster size.
     for m in [8usize, 24, 40] {
-        let run = experiment(m, 11).run(SingleStrategy::Opass);
+        let run = experiment(m, 11).run(Strategy::Opass).unwrap();
         let s = run.result.io_summary();
         assert!((s.mean - 0.9).abs() < 0.3, "m={m} mean {}", s.mean);
         assert!(s.stddev < 0.5, "m={m} stddev {}", s.stddev);

@@ -2,21 +2,21 @@
 //! rack-aware two-tier matching, heterogeneous weighted quotas, the
 //! parallel write path, and the delay-scheduling baseline.
 
-use opass_core::experiment::{
-    DynamicExperiment, DynamicStrategy, HeteroStrategy, HeterogeneousExperiment, RackedExperiment,
-    RackedStrategy,
-};
+use opass_core::{ClusterSpec, Dynamic, Experiment, Heterogeneous, Racked, Strategy};
 use opass_dfs::{DatasetSpec, DfsConfig, Namenode, Placement, RackMap};
 use opass_runtime::{write_dataset, ProcessPlacement, WriteConfig};
 use opass_simio::Topology;
 
-fn racked(seed: u64) -> RackedExperiment {
-    RackedExperiment {
-        n_nodes: 16,
+fn racked(seed: u64) -> Racked {
+    Racked {
+        cluster: ClusterSpec {
+            n_nodes: 16,
+            seed,
+            ..Racked::default().cluster
+        },
         nodes_per_rack: 4,
         late_per_rack: 1,
         chunks_per_process: 4,
-        seed,
         ..Default::default()
     }
 }
@@ -25,8 +25,8 @@ fn racked(seed: u64) -> RackedExperiment {
 fn rack_aware_matching_dominates_node_only() {
     for seed in [1u64, 2, 3] {
         let exp = racked(seed);
-        let node_only = exp.run(RackedStrategy::OpassNodeOnly);
-        let rack_aware = exp.run(RackedStrategy::OpassRackAware);
+        let node_only = exp.run(Strategy::Opass).unwrap();
+        let rack_aware = exp.run(Strategy::OpassRackAware).unwrap();
         let xn = exp.cross_rack_fraction(&node_only.result);
         let xr = exp.cross_rack_fraction(&rack_aware.result);
         assert!(xr <= xn + 1e-9, "seed {seed}: rack {xr} vs node {xn}");
@@ -42,7 +42,7 @@ fn rack_aware_matching_dominates_node_only() {
 #[test]
 fn late_nodes_hold_no_data_but_get_balanced_quota() {
     let exp = racked(9);
-    let run = exp.run(RackedStrategy::OpassRackAware);
+    let run = exp.run(Strategy::OpassRackAware).unwrap();
     // Every process executes its fair share of tasks.
     let mut per_proc = vec![0usize; 16];
     for r in &run.result.records {
@@ -59,12 +59,12 @@ fn late_nodes_hold_no_data_but_get_balanced_quota() {
 fn oversubscribed_uplink_punishes_cross_rack_baseline() {
     // Squeeze the uplink hard: the baseline (75%+ cross-rack) must slow
     // down much more than the rack-aware plan.
-    let exp = RackedExperiment {
+    let exp = Racked {
         uplink_bandwidth: 60.0 * 1024.0 * 1024.0,
         ..racked(4)
     };
-    let base = exp.run(RackedStrategy::Baseline);
-    let rack = exp.run(RackedStrategy::OpassRackAware);
+    let base = exp.run(Strategy::RankInterval).unwrap();
+    let rack = exp.run(Strategy::OpassRackAware).unwrap();
     assert!(
         base.result.makespan > rack.result.makespan * 1.5,
         "baseline {} vs rack-aware {}",
@@ -75,16 +75,18 @@ fn oversubscribed_uplink_punishes_cross_rack_baseline() {
 
 #[test]
 fn weighted_quotas_match_disk_speeds() {
-    let exp = HeterogeneousExperiment {
-        n_nodes: 8,
+    let exp = Heterogeneous {
+        cluster: ClusterSpec {
+            n_nodes: 8,
+            seed: 5,
+            ..Heterogeneous::default().cluster
+        },
         slow_every: 2,
         slow_factor: 0.5,
         chunks_per_process: 6,
-        seed: 5,
-        ..Default::default()
     };
-    let uniform = exp.run(HeteroStrategy::OpassUniform);
-    let weighted = exp.run(HeteroStrategy::OpassWeighted);
+    let uniform = exp.run(Strategy::Opass).unwrap();
+    let weighted = exp.run(Strategy::OpassWeighted).unwrap();
     // Count tasks per process: weighted quotas give slow (even-id) nodes
     // fewer chunks.
     let mut per_proc = vec![0usize; 8];
@@ -133,16 +135,21 @@ fn write_then_plan_round_trip_on_racked_cluster() {
 #[test]
 fn delay_scheduling_skip_budget_is_monotone() {
     // More skips -> at least as much locality (same workload & seed).
-    let exp = DynamicExperiment {
-        n_nodes: 16,
+    let exp = Dynamic {
+        cluster: ClusterSpec {
+            n_nodes: 16,
+            seed: 8,
+            ..Dynamic::default().cluster
+        },
         tasks_per_process: 6,
         compute_median: 0.2,
-        seed: 8,
         ..Default::default()
     };
     let mut last = 0.0f64;
     for skips in [0usize, 4, 32, 96] {
-        let run = exp.run(DynamicStrategy::DelayScheduling { max_skips: skips });
+        let run = exp
+            .run(Strategy::DelayScheduling { max_skips: skips })
+            .unwrap();
         let local = run.result.local_fraction();
         assert!(
             local >= last - 0.08,
@@ -151,7 +158,7 @@ fn delay_scheduling_skip_budget_is_monotone() {
         last = last.max(local);
     }
     // Zero skips behaves like FIFO.
-    let fifo = exp.run(DynamicStrategy::Fifo);
-    let zero = exp.run(DynamicStrategy::DelayScheduling { max_skips: 0 });
+    let fifo = exp.run(Strategy::Fifo).unwrap();
+    let zero = exp.run(Strategy::DelayScheduling { max_skips: 0 }).unwrap();
     assert!((fifo.result.local_fraction() - zero.result.local_fraction()).abs() < 1e-9);
 }

@@ -1,11 +1,15 @@
 //! Integration: the ParaView multi-step pipeline (Figure 12 in miniature).
 
-use opass_core::experiment::{ParaViewExperiment, ParaViewStrategy};
+use opass_core::{ClusterSpec, Experiment, ParaView, Strategy};
 use opass_workloads::ParaViewConfig;
 
-fn experiment(seed: u64) -> ParaViewExperiment {
-    ParaViewExperiment {
-        n_nodes: 16,
+fn experiment(seed: u64) -> ParaView {
+    ParaView {
+        cluster: ClusterSpec {
+            n_nodes: 16,
+            seed,
+            ..ParaView::default().cluster
+        },
         workload: ParaViewConfig {
             library_size: 80,
             blocks_per_step: 16,
@@ -14,19 +18,17 @@ fn experiment(seed: u64) -> ParaViewExperiment {
             render_seconds_per_block: 1.0,
             reader_overhead_seconds: 2.0,
         },
-        seed,
-        ..Default::default()
     }
 }
 
 #[test]
 fn opass_lowers_read_time_and_variance() {
     let exp = experiment(21);
-    let base = exp.run(ParaViewStrategy::Default);
-    let opass = exp.run(ParaViewStrategy::Opass);
+    let base = exp.run(Strategy::RankInterval).unwrap();
+    let opass = exp.run(Strategy::Opass).unwrap();
 
-    let bs = base.combined.io_summary();
-    let os = opass.combined.io_summary();
+    let bs = base.result.io_summary();
+    let os = opass.result.io_summary();
     // Paper: 5.48 sigma 1.339 -> 3.07 sigma 0.316: both mean and spread
     // must shrink.
     assert!(os.mean < bs.mean, "mean {} !< {}", os.mean, bs.mean);
@@ -36,52 +38,46 @@ fn opass_lowers_read_time_and_variance() {
         os.stddev,
         bs.stddev
     );
-    assert!(opass.combined.makespan < base.combined.makespan);
+    assert!(opass.result.makespan < base.result.makespan);
 }
 
 #[test]
 fn reader_overhead_floors_read_times() {
     // Every vtk read carries the 2 s parse overhead, so even local reads
     // cannot beat it.
-    let run = experiment(22).run(ParaViewStrategy::Opass);
-    let min = run.combined.io_summary().min;
+    let run = experiment(22).run(Strategy::Opass).unwrap();
+    let min = run.result.io_summary().min;
     assert!(min >= 2.0, "min read {min}");
 }
 
 #[test]
 fn steps_chain_into_one_trace() {
     let exp = experiment(23);
-    let run = exp.run(ParaViewStrategy::Default);
+    let run = exp.run(Strategy::RankInterval).unwrap();
     assert_eq!(run.step_makespans.len(), 4);
-    assert_eq!(run.combined.records.len(), 4 * 16);
+    assert_eq!(run.result.records.len(), 4 * 16);
     let sum: f64 = run.step_makespans.iter().sum();
-    assert!((run.combined.makespan - sum).abs() < 1e-9);
+    assert!((run.result.makespan - sum).abs() < 1e-9);
     // Record timestamps must be non-decreasing across step boundaries
     // after chaining offsets.
     let mut last_end = 0.0f64;
-    for (i, r) in run.combined.records.iter().enumerate() {
+    for (i, r) in run.result.records.iter().enumerate() {
         assert!(
             r.completed_at >= last_end - 1e9, // sanity: finite ordering only
             "record {i}"
         );
         last_end = last_end.max(r.completed_at);
     }
-    assert!(last_end <= run.combined.makespan + 1e-9);
+    assert!(last_end <= run.result.makespan + 1e-9);
 }
 
 #[test]
 fn each_step_reads_only_selected_blocks() {
     let exp = experiment(24);
-    let run = exp.run(ParaViewStrategy::Opass);
+    let run = exp.run(Strategy::Opass).unwrap();
     // 16 blocks per step, all distinct within a step.
     for step in 0..4 {
-        let in_step: Vec<_> = run
-            .combined
-            .records
-            .iter()
-            .skip(step * 16)
-            .take(16)
-            .collect();
+        let in_step: Vec<_> = run.result.records.iter().skip(step * 16).take(16).collect();
         let chunks: std::collections::HashSet<_> = in_step.iter().map(|r| r.chunk).collect();
         assert_eq!(chunks.len(), 16, "step {step}");
     }

@@ -3,19 +3,21 @@
 //! event simulator), not just the lightweight Monte-Carlo model.
 
 use opass_analysis::{ClusterParams, ImbalanceModel, LocalityModel};
-use opass_core::experiment::{SingleDataExperiment, SingleStrategy};
+use opass_core::{ClusterSpec, Experiment, SingleData, Strategy};
 use opass_simio::Summary;
 
 /// Runs the random-assignment experiment and returns per-node served chunk
 /// counts plus the local-read fraction.
 fn observe(m: usize, chunks_per_process: usize, seed: u64) -> (Vec<f64>, f64) {
-    let exp = SingleDataExperiment {
-        n_nodes: m,
+    let exp = SingleData {
+        cluster: ClusterSpec {
+            n_nodes: m,
+            seed,
+            ..Default::default()
+        },
         chunks_per_process,
-        seed,
-        ..Default::default()
     };
-    let run = exp.run(SingleStrategy::RandomAssign);
+    let run = exp.run(Strategy::RandomAssign).unwrap();
     (
         run.result.chunks_served_per_node(64 << 20),
         run.result.local_fraction(),

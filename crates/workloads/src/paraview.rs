@@ -13,7 +13,6 @@ use crate::task::{Task, Workload};
 use opass_dfs::{ChunkId, DatasetId, DatasetSpec, Namenode, Placement};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use serde::{Deserialize, Serialize};
 
 /// One megabyte in bytes.
 const MB: u64 = 1024 * 1024;
@@ -52,7 +51,7 @@ impl Default for ParaViewConfig {
 
 /// The kind of VTK XML sub-file a block represents (metadata only; all
 /// block kinds read identically).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BlockKind {
     /// `.vtp` polygonal data (the protein surfaces in the paper).
     PolyData,
@@ -79,7 +78,7 @@ impl BlockKind {
 }
 
 /// An entry of the multi-block meta-file: one sub-file reference.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlockRef {
     /// Sub-file name as it would appear in the meta-file.
     pub name: String,
@@ -90,7 +89,7 @@ pub struct BlockRef {
 }
 
 /// The meta-file: the index of the whole multi-block library.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MetaFile {
     /// All sub-files, in library order.
     pub blocks: Vec<BlockRef>,

@@ -7,10 +7,9 @@
 //! (V-A3), and ParaView render steps (V-B).
 
 use opass_dfs::ChunkId;
-use serde::{Deserialize, Serialize};
 
 /// One data-processing task.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Task {
     /// Input chunks, read in order.
     pub inputs: Vec<ChunkId>,
@@ -48,7 +47,7 @@ impl Task {
 }
 
 /// A named collection of tasks analyzed in one parallel run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Workload {
     /// Human-readable name for reports.
     pub name: String,

@@ -11,26 +11,30 @@
 //! cargo run --release -p opass-examples --example dynamic_blast
 //! ```
 
-use opass_core::experiment::{DynamicExperiment, DynamicStrategy};
+use opass_core::{ClusterSpec, Dynamic, Experiment, Strategy};
 
 fn main() {
-    let experiment = DynamicExperiment {
-        n_nodes: 32,
+    let experiment = Dynamic {
+        cluster: ClusterSpec {
+            n_nodes: 32,
+            seed: 1234,
+            ..Dynamic::default().cluster
+        },
         tasks_per_process: 10,
         compute_median: 0.5,
         compute_sigma: 1.2, // heavy skew: some alignments take much longer
-        seed: 1234,
-        ..Default::default()
     };
 
     println!(
         "dynamic gene search: {} workers, {} chunks, irregular compute\n",
-        experiment.n_nodes,
-        experiment.n_nodes * experiment.tasks_per_process
+        experiment.cluster.n_nodes,
+        experiment.cluster.n_nodes * experiment.tasks_per_process
     );
 
-    let fifo = experiment.run(DynamicStrategy::Fifo);
-    let guided = experiment.run(DynamicStrategy::OpassGuided);
+    let fifo = experiment.run(Strategy::Fifo).expect("dynamic strategy");
+    let guided = experiment
+        .run(Strategy::OpassGuided)
+        .expect("dynamic strategy");
 
     for (label, run) in [
         ("FIFO master/worker", &fifo),

@@ -12,23 +12,27 @@
 //! cargo run --release -p opass-examples --example paraview_render
 //! ```
 
-use opass_core::experiment::{ParaViewExperiment, ParaViewStrategy};
+use opass_core::{ClusterSpec, Experiment, ParaView, Strategy};
 use opass_workloads::ParaViewConfig;
 
 fn main() {
-    let experiment = ParaViewExperiment {
-        n_nodes: 64,
+    let experiment = ParaView {
+        cluster: ClusterSpec {
+            n_nodes: 64,
+            seed: 7,
+            ..ParaView::default().cluster
+        },
         workload: ParaViewConfig {
             n_steps: 5,
             ..Default::default()
         },
-        seed: 7,
-        ..Default::default()
     };
 
     println!("ParaView multi-block rendering: 64 data servers, 64 x 56 MB blocks per step\n");
-    let base = experiment.run(ParaViewStrategy::Default);
-    let opass = experiment.run(ParaViewStrategy::Opass);
+    let base = experiment
+        .run(Strategy::RankInterval)
+        .expect("paraview strategy");
+    let opass = experiment.run(Strategy::Opass).expect("paraview strategy");
 
     println!("per-step makespans (seconds):");
     println!("  step   default    opass");
@@ -41,8 +45,8 @@ fn main() {
         println!("  {i:>4}   {b:7.2}   {o:7.2}");
     }
 
-    let bs = base.combined.io_summary();
-    let os = opass.combined.io_summary();
+    let bs = base.result.io_summary();
+    let os = opass.result.io_summary();
     println!("\nvtkFileSeriesReader call times:");
     println!(
         "  default: avg {:.2}s sigma {:.2}  (paper: 5.48 sigma 1.339)",
@@ -54,9 +58,9 @@ fn main() {
     );
     println!(
         "\ntotal execution: default {:.1}s vs opass {:.1}s ({:.2}x faster)",
-        base.combined.makespan,
-        opass.combined.makespan,
-        base.combined.makespan / opass.combined.makespan
+        base.result.makespan,
+        opass.result.makespan,
+        base.result.makespan / opass.result.makespan
     );
     println!(
         "planning cost across all steps: {:.2} ms",

@@ -9,26 +9,25 @@
 //! cargo run --release -p opass-examples --example quickstart
 //! ```
 
-use opass_core::experiment::{SingleDataExperiment, SingleStrategy};
+use opass_core::{ClusterSpec, Experiment, SingleData, Strategy};
 
 fn main() {
-    let experiment = SingleDataExperiment {
-        n_nodes: 16,
+    let experiment = SingleData {
+        cluster: ClusterSpec {
+            n_nodes: 16,
+            seed: 42,
+            ..Default::default()
+        },
         chunks_per_process: 4,
-        seed: 42,
-        ..Default::default()
     };
 
     println!("Opass quickstart: 16 nodes, 64 chunks x 64 MB, 3-way replication\n");
     for (label, strategy) in [
-        (
-            "rank-interval (ParaView default)",
-            SingleStrategy::RankInterval,
-        ),
-        ("random balanced assignment", SingleStrategy::RandomAssign),
-        ("Opass max-flow matching", SingleStrategy::Opass),
+        ("rank-interval (ParaView default)", Strategy::RankInterval),
+        ("random balanced assignment", Strategy::RandomAssign),
+        ("Opass max-flow matching", Strategy::Opass),
     ] {
-        let run = experiment.run(strategy);
+        let run = experiment.run(strategy).expect("single-data strategy");
         let io = run.result.io_summary();
         println!("{label}:");
         println!(

@@ -12,7 +12,7 @@
 //! cargo run --release -p opass-examples --example rack_cluster
 //! ```
 
-use opass_core::experiment::{RackedExperiment, RackedStrategy};
+use opass_core::{ClusterSpec, Experiment, Racked, Strategy};
 use opass_dfs::{DatasetSpec, DfsConfig, Namenode, Placement, RackMap};
 use opass_runtime::{write_dataset, ProcessPlacement, WriteConfig};
 use opass_simio::Topology;
@@ -58,12 +58,15 @@ fn main() {
     println!("placement: {spanning}/64 chunks span two racks (rack-aware policy)\n");
 
     // Part 2: the read-side comparison, with late-joining empty nodes.
-    let experiment = RackedExperiment {
-        n_nodes: 64,
+    let experiment = Racked {
+        cluster: ClusterSpec {
+            n_nodes: 64,
+            seed: 12,
+            ..Racked::default().cluster
+        },
         nodes_per_rack: 8,
         late_per_rack: 2,
         chunks_per_process: 10,
-        seed: 12,
         ..Default::default()
     };
     println!("reads: 64 nodes in 8 racks (2 joined late per rack), 640 x 64 MB chunks");
@@ -72,11 +75,11 @@ fn main() {
         "strategy", "node-local", "cross-rack", "avg I/O", "makespan"
     );
     for (label, strategy) in [
-        ("rank-interval", RackedStrategy::Baseline),
-        ("opass node-only", RackedStrategy::OpassNodeOnly),
-        ("opass two-tier", RackedStrategy::OpassRackAware),
+        ("rank-interval", Strategy::RankInterval),
+        ("opass node-only", Strategy::Opass),
+        ("opass two-tier", Strategy::OpassRackAware),
     ] {
-        let run = experiment.run(strategy);
+        let run = experiment.run(strategy).expect("racked strategy");
         println!(
             "  {:<18} {:>9.0}% {:>11.1}% {:>9.2}s {:>10.1}s",
             label,

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Repo-wide hygiene gate: formatting, lints, build, tests.
+# Offline-friendly: everything runs with --offline against the vendored
+# dependencies, so it works without network access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all -- --check
+run cargo clippy --workspace --all-targets --offline -- -D warnings
+run cargo build --workspace --release --offline
+run cargo test --workspace --quiet --offline
+
+echo "All checks passed."
