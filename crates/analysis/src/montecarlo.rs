@@ -111,76 +111,206 @@ fn cdf_of(hist: &[u64], total: u64, k: usize) -> f64 {
     upto as f64 / total as f64
 }
 
+/// SplitMix64 finalizer — the standard way to derive well-mixed per-stream
+/// seeds from a base seed and a stream index.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seed for trial `t`: trials are independent RNG streams, so a run's
+/// histograms do not depend on which thread executes which trial.
+fn trial_seed(seed: u64, trial: u32) -> u64 {
+    splitmix64(seed ^ splitmix64(0x5EED_0000_0000_0000 ^ trial as u64))
+}
+
+/// Additive per-thread accumulator; merging is plain integer addition, so
+/// any partition of trials across threads sums to the same totals.
+struct Accum {
+    local_hist: Vec<u64>,
+    total_local_hist: Vec<u64>,
+    served_hist: Vec<u64>,
+    local_reads_total: u64,
+    reads_total: u64,
+}
+
+impl Accum {
+    fn new(n: usize) -> Self {
+        Accum {
+            local_hist: vec![0; n + 1],
+            total_local_hist: vec![0; n + 1],
+            served_hist: vec![0; n + 1],
+            local_reads_total: 0,
+            reads_total: 0,
+        }
+    }
+
+    fn merge(&mut self, other: &Accum) {
+        for (a, b) in self.local_hist.iter_mut().zip(&other.local_hist) {
+            *a += b;
+        }
+        for (a, b) in self
+            .total_local_hist
+            .iter_mut()
+            .zip(&other.total_local_hist)
+        {
+            *a += b;
+        }
+        for (a, b) in self.served_hist.iter_mut().zip(&other.served_hist) {
+            *a += b;
+        }
+        self.local_reads_total += other.local_reads_total;
+        self.reads_total += other.reads_total;
+    }
+}
+
+/// Per-trial scratch buffers, reused across the trials a thread runs.
+struct Scratch {
+    node_pool: Vec<usize>,
+    local_count: Vec<u64>,
+    served_count: Vec<u64>,
+}
+
+impl Scratch {
+    fn new(m: usize) -> Self {
+        Scratch {
+            node_pool: (0..m).collect(),
+            local_count: vec![0; m],
+            served_count: vec![0; m],
+        }
+    }
+}
+
+/// One trial: random `r`-way placement on distinct nodes, random task
+/// assignment, prefer-local-else-random-replica reads.
+fn run_trial(params: &ClusterParams, rng: &mut StdRng, scratch: &mut Scratch, acc: &mut Accum) {
+    let n = params.n_chunks as usize;
+    let r = params.replication as usize;
+    let m = params.cluster_size as usize;
+    // Reset the pool to the identity permutation: a trial's output must
+    // depend only on its own RNG stream, not on which trials (if any) the
+    // same scratch buffer served before.
+    for (i, slot) in scratch.node_pool.iter_mut().enumerate() {
+        *slot = i;
+    }
+    scratch.local_count.iter_mut().for_each(|c| *c = 0);
+    scratch.served_count.iter_mut().for_each(|c| *c = 0);
+
+    let mut hs = Vec::with_capacity(r);
+    for _ in 0..n {
+        // r-way placement on distinct nodes (HDFS random placement).
+        scratch.node_pool.shuffle(rng);
+        hs.clear();
+        hs.extend_from_slice(&scratch.node_pool[..r]);
+        hs.sort_unstable();
+
+        // Random task assignment: chunk -> process (process rank == node).
+        let proc_node = rng.gen_range(0..m);
+        acc.reads_total += 1;
+        if hs.contains(&proc_node) {
+            scratch.local_count[proc_node] += 1;
+            scratch.served_count[proc_node] += 1;
+            acc.local_reads_total += 1;
+        } else {
+            let source = hs[rng.gen_range(0..hs.len())];
+            scratch.served_count[source] += 1;
+        }
+    }
+    let trial_local: u64 = scratch.local_count.iter().sum();
+    acc.total_local_hist[trial_local as usize] += 1;
+    for &c in &scratch.local_count {
+        acc.local_hist[c as usize] += 1;
+    }
+    for &c in &scratch.served_count {
+        acc.served_hist[c as usize] += 1;
+    }
+}
+
+fn finish(config: &MonteCarloConfig, acc: Accum) -> MonteCarloResult {
+    let observations = config.trials as u64 * config.params.cluster_size as u64;
+    MonteCarloResult {
+        local_reads: acc.local_hist,
+        total_local: acc.total_local_hist,
+        served: acc.served_hist,
+        observations_local: observations,
+        observations_served: observations,
+        local_fraction: if acc.reads_total == 0 {
+            0.0
+        } else {
+            acc.local_reads_total as f64 / acc.reads_total as f64
+        },
+    }
+}
+
 /// Runs the simulation described in Section III: random `r`-way placement on
 /// distinct nodes, one process per node, chunks assigned to processes
 /// uniformly at random, reads served locally when possible and otherwise by
 /// a uniformly random replica holder.
+///
+/// Trials use independent per-trial RNG streams (seed split via SplitMix64),
+/// so this sequential runner and [`run_parallel`] produce byte-identical
+/// results for the same config.
 pub fn run(config: &MonteCarloConfig) -> MonteCarloResult {
-    let ClusterParams {
-        n_chunks,
-        replication,
-        cluster_size,
-    } = config.params;
-    let n = n_chunks as usize;
-    let r = replication as usize;
-    let m = cluster_size as usize;
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.params.n_chunks as usize;
+    let m = config.params.cluster_size as usize;
+    let mut acc = Accum::new(n);
+    let mut scratch = Scratch::new(m);
+    for t in 0..config.trials {
+        let mut rng = StdRng::seed_from_u64(trial_seed(config.seed, t));
+        run_trial(&config.params, &mut rng, &mut scratch, &mut acc);
+    }
+    finish(config, acc)
+}
 
-    let mut local_hist = vec![0u64; n + 1];
-    let mut total_local_hist = vec![0u64; n + 1];
-    let mut served_hist = vec![0u64; n + 1];
-    let mut local_reads_total = 0u64;
-    let mut reads_total = 0u64;
-
-    let mut node_pool: Vec<usize> = (0..m).collect();
-    for _ in 0..config.trials {
-        // r-way placement on distinct nodes (HDFS random placement).
-        let mut holders: Vec<Vec<usize>> = Vec::with_capacity(n);
-        for _ in 0..n {
-            node_pool.shuffle(&mut rng);
-            let mut hs = node_pool[..r].to_vec();
-            hs.sort_unstable();
-            holders.push(hs);
-        }
-
-        // Random task assignment: chunk -> process (process rank == node).
-        let mut local_count = vec![0u64; m];
-        let mut served_count = vec![0u64; m];
-        for hs in &holders {
-            let proc_node = rng.gen_range(0..m);
-            reads_total += 1;
-            if hs.contains(&proc_node) {
-                local_count[proc_node] += 1;
-                served_count[proc_node] += 1;
-                local_reads_total += 1;
-            } else {
-                let source = hs[rng.gen_range(0..hs.len())];
-                served_count[source] += 1;
-            }
-        }
-        let trial_local: u64 = local_count.iter().sum();
-        total_local_hist[trial_local as usize] += 1;
-        for &c in &local_count {
-            local_hist[c as usize] += 1;
-        }
-        for &c in &served_count {
-            served_hist[c as usize] += 1;
-        }
+/// Parallel variant of [`run`]: trials are partitioned into contiguous
+/// blocks across `threads` scoped worker threads (capped to the trial
+/// count; `None` = available parallelism) and the per-thread histograms are
+/// summed in block order. Because trials are independent RNG streams and
+/// the accumulators merge by addition, the result is identical to [`run`].
+pub fn run_parallel(config: &MonteCarloConfig, threads: Option<usize>) -> MonteCarloResult {
+    let n = config.params.n_chunks as usize;
+    let m = config.params.cluster_size as usize;
+    let trials = config.trials as usize;
+    let nt = threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+        .clamp(1, trials.max(1));
+    if nt <= 1 {
+        return run(config);
     }
 
-    let observations = config.trials as u64 * m as u64;
-    MonteCarloResult {
-        local_reads: local_hist,
-        total_local: total_local_hist,
-        served: served_hist,
-        observations_local: observations,
-        observations_served: observations,
-        local_fraction: if reads_total == 0 {
-            0.0
-        } else {
-            local_reads_total as f64 / reads_total as f64
-        },
+    let mut partials: Vec<Accum> = Vec::with_capacity(nt);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nt);
+        for w in 0..nt {
+            // Contiguous block [lo, hi) for worker w; blocks differ by at
+            // most one trial.
+            let lo = trials * w / nt;
+            let hi = trials * (w + 1) / nt;
+            handles.push(scope.spawn(move || {
+                let mut acc = Accum::new(n);
+                let mut scratch = Scratch::new(m);
+                for t in lo..hi {
+                    let mut rng = StdRng::seed_from_u64(trial_seed(config.seed, t as u32));
+                    run_trial(&config.params, &mut rng, &mut scratch, &mut acc);
+                }
+                acc
+            }));
+        }
+        for h in handles {
+            partials.push(h.join().expect("monte-carlo worker panicked"));
+        }
+    });
+    let mut acc = Accum::new(n);
+    for p in &partials {
+        acc.merge(p);
     }
+    finish(config, acc)
 }
 
 #[cfg(test)]
@@ -202,6 +332,30 @@ mod tests {
         let a = run(&config(64, 5));
         let b = run(&config(64, 5));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        // Trials are independent RNG streams, so the thread partition must
+        // not affect the histograms at all.
+        let cfg = config(64, 23);
+        let seq = run(&cfg);
+        for threads in [1, 2, 3, 8, 64] {
+            let par = run_parallel(&cfg, Some(threads));
+            assert_eq!(seq, par, "threads={threads}");
+        }
+        // Auto-sized thread pool agrees too.
+        assert_eq!(seq, run_parallel(&cfg, None));
+    }
+
+    #[test]
+    fn parallel_handles_degenerate_sizes() {
+        // Zero trials and more threads than trials must not panic.
+        let empty = run_parallel(&config(16, 0), Some(4));
+        assert_eq!(empty.observations_local, 0);
+        assert_eq!(empty.local_fraction, 0.0);
+        let one = run_parallel(&config(16, 1), Some(8));
+        assert_eq!(one, run(&config(16, 1)));
     }
 
     #[test]

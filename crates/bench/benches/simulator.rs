@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use opass_core::{ClusterSpec, Experiment, SingleData, Strategy};
 use opass_simio::fairshare::{allocate_rates, FlowPath};
-use opass_simio::{ClusterIo, IoParams, MB_U64};
+use opass_simio::{ClusterIo, Engine, FlowSpec, IoParams, Resource, MB_U64};
 
 fn bench_end_to_end_run(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulated_run");
@@ -78,5 +78,62 @@ fn bench_allocator(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_end_to_end_run, bench_fan_in, bench_allocator);
+/// SplitMix64 — deterministic workload generation without RNG state.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn bench_large_cluster(c: &mut Criterion) {
+    // The incremental engine's raison d'être: thousands of nodes, tens of
+    // thousands of flows, sustained concurrency in the hundreds. Events
+    // only touch the affected sharing component, so throughput stays
+    // roughly flat as the cluster grows.
+    let mut group = c.benchmark_group("engine_large_cluster");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.sample_size(10);
+    for &nodes in &[256usize, 1024, 4096] {
+        let flows = nodes * 8;
+        let concurrency = (nodes / 8).max(32);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{nodes}")),
+            &nodes,
+            |b, &nodes| {
+                // Arrivals staggered so ~concurrency flows are in flight.
+                let spacing = (64.0 * 1024.0 * 1024.0 / 72e6) / concurrency as f64;
+                b.iter(|| {
+                    let mut e = Engine::new();
+                    let disks: Vec<_> = (0..nodes)
+                        .map(|_| e.add_resource(Resource::disk("d", 72e6, 0.35, 0.15)))
+                        .collect();
+                    for i in 0..flows {
+                        let h = splitmix64(0xBE_7C4 ^ i as u64);
+                        let src = (h % nodes as u64) as usize;
+                        e.start_flow(
+                            FlowSpec::new(64 * MB_U64, vec![disks[src]], i as u64)
+                                .with_latency(i as f64 * spacing),
+                        );
+                    }
+                    let mut done = 0u64;
+                    while e.next_event().is_some() {
+                        done += 1;
+                    }
+                    done
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_end_to_end_run,
+    bench_fan_in,
+    bench_allocator,
+    bench_large_cluster
+);
 criterion_main!(benches);

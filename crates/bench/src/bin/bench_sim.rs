@@ -1,0 +1,367 @@
+//! `bench_sim` — engine throughput benchmark and regression gate.
+//!
+//! Measures the incremental flow-engine's event throughput on large
+//! synthetic clusters (up to 4096 nodes), compares it against the retained
+//! dense reference engine on a 4096-node scenario, and writes the numbers
+//! as `BENCH_sim.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_sim [--out PATH] [--smoke] [--check-against PATH] [--max-regression F]
+//! ```
+//!
+//! * `--out PATH` — where to write the JSON report (default
+//!   `BENCH_sim.json`; pass `-` to skip writing).
+//! * `--smoke` — run only the small smoke scenario (fast; used by
+//!   `scripts/check.sh --bench-smoke`).
+//! * `--check-against PATH` — load a committed report and exit non-zero if
+//!   any scenario run this invocation regressed by more than
+//!   `--max-regression` (default 0.30) in events/sec.
+
+use opass_json::Json;
+use opass_simio::engine::reference::ReferenceEngine;
+use opass_simio::{Engine, FlowSpec, Resource, ResourceId};
+use std::time::Instant;
+
+/// Marmot-calibrated hardware constants (see `IoParams::marmot`).
+const DISK_BW: f64 = 72e6;
+const DISK_ALPHA: f64 = 0.35;
+const DISK_FLOOR: f64 = 0.15;
+const NIC_BW: f64 = 117e6;
+const REMOTE_CAP: f64 = 34e6;
+const CHUNK: u64 = 64 << 20;
+
+/// A synthetic cluster workload: per-node disk + NIC directions, chunk
+/// reads from random sources with staggered arrivals so roughly
+/// `concurrency` flows are in flight at any instant.
+struct Scenario {
+    name: &'static str,
+    nodes: usize,
+    flows: usize,
+    concurrency: usize,
+    /// Run in `--smoke` mode too (must stay fast on the reference engine's
+    /// slowest machine — this gates `scripts/check.sh --bench-smoke`).
+    smoke: bool,
+}
+
+const SCENARIOS: &[Scenario] = &[
+    Scenario {
+        name: "sweep_256",
+        nodes: 256,
+        flows: 6_400,
+        concurrency: 64,
+        smoke: false,
+    },
+    Scenario {
+        name: "sweep_1024",
+        nodes: 1024,
+        flows: 25_600,
+        concurrency: 128,
+        smoke: false,
+    },
+    Scenario {
+        name: "sweep_4096",
+        nodes: 4096,
+        flows: 102_400,
+        concurrency: 512,
+        smoke: true,
+    },
+];
+
+/// Runs per scenario; the best (highest events/sec) is reported, which
+/// filters out scheduler noise and cold caches when gating regressions.
+const REPEATS: usize = 3;
+
+/// The scenario both engines run for the speedup claim. Smaller than the
+/// 4096-node sweep because the dense engine is the bottleneck: every event
+/// re-solves and re-scans all in-flight flows.
+const COMPARE: Scenario = Scenario {
+    name: "compare_4096",
+    nodes: 4096,
+    flows: 20_000,
+    concurrency: 128,
+    smoke: false,
+};
+
+/// SplitMix64 — deterministic stream without pulling RNG state around.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A flow description with index-based resource references ([`ResourceId`]s
+/// are minted by `add_resource`, so paths are resolved per engine).
+struct FlowTemplate {
+    path: Vec<usize>,
+    rate_cap: f64,
+    latency: f64,
+    token: u64,
+}
+
+/// Builds the per-node resources (disk, NIC-out, NIC-in) and the staggered
+/// flow list for a scenario. Roughly 70% of reads are remote (disk +
+/// both NIC directions + protocol cap), the rest local (disk only).
+fn build(s: &Scenario, seed: u64) -> (Vec<Resource>, Vec<FlowTemplate>) {
+    let mut resources = Vec::with_capacity(s.nodes * 3);
+    for _ in 0..s.nodes {
+        resources.push(Resource::disk("disk", DISK_BW, DISK_ALPHA, DISK_FLOOR));
+        resources.push(Resource::constant("nic_out", NIC_BW));
+        resources.push(Resource::constant("nic_in", NIC_BW));
+    }
+    let disk = |n: usize| n * 3;
+    let nic_out = |n: usize| n * 3 + 1;
+    let nic_in = |n: usize| n * 3 + 2;
+
+    // A lone local read takes bytes/disk_bw seconds; space arrivals so the
+    // target concurrency is sustained.
+    let est_duration = CHUNK as f64 / DISK_BW;
+    let spacing = est_duration / s.concurrency as f64;
+
+    let flows = (0..s.flows)
+        .map(|i| {
+            let h = splitmix64(seed ^ (i as u64));
+            let src = (h % s.nodes as u64) as usize;
+            let dst = ((h >> 20) % s.nodes as u64) as usize;
+            let remote = src != dst && (h >> 40) % 10 < 7;
+            let (path, rate_cap) = if remote {
+                (vec![disk(src), nic_out(src), nic_in(dst)], REMOTE_CAP)
+            } else {
+                (vec![disk(src)], f64::INFINITY)
+            };
+            FlowTemplate {
+                path,
+                rate_cap,
+                latency: i as f64 * spacing,
+                token: i as u64,
+            }
+        })
+        .collect();
+    (resources, flows)
+}
+
+struct RunStats {
+    completions: u64,
+    seconds: f64,
+    events_per_sec: f64,
+    final_time: f64,
+}
+
+/// Drives one engine (either implementation — same method surface) through
+/// a prepared workload and measures wall-clock throughput.
+macro_rules! run_engine {
+    ($engine:expr, $resources:expr, $flows:expr) => {{
+        let engine = $engine;
+        let ids: Vec<ResourceId> = $resources
+            .iter()
+            .map(|r| engine.add_resource(r.clone()))
+            .collect();
+        let t0 = Instant::now();
+        for t in $flows {
+            let mut spec = FlowSpec::new(CHUNK, t.path.iter().map(|&i| ids[i]).collect(), t.token)
+                .with_latency(t.latency);
+            if t.rate_cap.is_finite() {
+                spec = spec.with_rate_cap(t.rate_cap);
+            }
+            engine.start_flow(spec);
+        }
+        let mut completions = 0u64;
+        while engine.next_event().is_some() {
+            completions += 1;
+        }
+        let seconds = t0.elapsed().as_secs_f64();
+        RunStats {
+            completions,
+            seconds,
+            events_per_sec: completions as f64 / seconds.max(1e-9),
+            final_time: engine.now().as_secs(),
+        }
+    }};
+}
+
+fn scenario_json(s: &Scenario, inc: &RunStats, engine: &opass_simio::EngineStats) -> Json {
+    Json::object([
+        ("name".to_string(), Json::from(s.name)),
+        ("nodes".to_string(), Json::from(s.nodes)),
+        ("flows".to_string(), Json::from(s.flows)),
+        ("concurrency".to_string(), Json::from(s.concurrency)),
+        ("completions".to_string(), Json::from(inc.completions)),
+        ("seconds".to_string(), Json::from(inc.seconds)),
+        ("events_per_sec".to_string(), Json::from(inc.events_per_sec)),
+        ("sim_seconds".to_string(), Json::from(inc.final_time)),
+        (
+            "recompute_passes".to_string(),
+            Json::from(engine.recompute_passes),
+        ),
+        (
+            "components_recomputed".to_string(),
+            Json::from(engine.components_recomputed),
+        ),
+        (
+            "flows_rerated".to_string(),
+            Json::from(engine.flows_rerated),
+        ),
+        ("eta_pushed".to_string(), Json::from(engine.eta_pushed)),
+        ("eta_stale".to_string(), Json::from(engine.eta_stale)),
+    ])
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_sim.json");
+    let mut smoke = false;
+    let mut check_against: Option<String> = None;
+    let mut max_regression = 0.30f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--smoke" => smoke = true,
+            "--check-against" => {
+                check_against = Some(args.next().expect("--check-against needs a path"))
+            }
+            "--max-regression" => {
+                max_regression = args
+                    .next()
+                    .expect("--max-regression needs a value")
+                    .parse()
+                    .expect("--max-regression must be a float")
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let seed = 0x0A55_5EED;
+    let mut scenario_reports = Vec::new();
+    let mut measured: Vec<(String, f64)> = Vec::new();
+
+    for s in SCENARIOS {
+        if smoke && !s.smoke {
+            continue;
+        }
+        let (resources, flows) = build(s, seed);
+        let mut engine = Engine::new();
+        let mut inc = run_engine!(&mut engine, &resources, &flows);
+        for _ in 1..REPEATS {
+            let mut e = Engine::new();
+            let again = run_engine!(&mut e, &resources, &flows);
+            if again.events_per_sec > inc.events_per_sec {
+                inc = again;
+                engine = e;
+            }
+        }
+        assert_eq!(inc.completions as usize, s.flows, "every flow completes");
+        eprintln!(
+            "{:>12}: {} nodes, {} flows -> {:.2} s, {:.0} events/s",
+            s.name, s.nodes, s.flows, inc.seconds, inc.events_per_sec
+        );
+        measured.push((s.name.to_string(), inc.events_per_sec));
+        scenario_reports.push(scenario_json(s, &inc, &engine.stats()));
+    }
+
+    let mut comparison = Json::Null;
+    if !smoke {
+        let (resources, flows) = build(&COMPARE, seed);
+        let mut inc = {
+            let mut e = Engine::new();
+            run_engine!(&mut e, &resources, &flows)
+        };
+        for _ in 1..REPEATS {
+            let mut e = Engine::new();
+            let again = run_engine!(&mut e, &resources, &flows);
+            if again.events_per_sec > inc.events_per_sec {
+                inc = again;
+            }
+        }
+        // The dense engine is far too slow to repeat; one run suffices for
+        // the order-of-magnitude speedup claim.
+        let mut reference = ReferenceEngine::new();
+        let dense = run_engine!(&mut reference, &resources, &flows);
+        assert_eq!(
+            inc.completions, dense.completions,
+            "engines must deliver the same completions"
+        );
+        assert!(
+            (inc.final_time - dense.final_time).abs() <= 1e-6 * (1.0 + inc.final_time),
+            "engines must agree on the final clock: {} vs {}",
+            inc.final_time,
+            dense.final_time
+        );
+        let speedup = inc.events_per_sec / dense.events_per_sec;
+        eprintln!(
+            "{:>12}: incremental {:.0} events/s vs reference {:.0} events/s -> {:.1}x",
+            COMPARE.name, inc.events_per_sec, dense.events_per_sec, speedup
+        );
+        measured.push((COMPARE.name.to_string(), inc.events_per_sec));
+        comparison = Json::object([
+            ("name".to_string(), Json::from(COMPARE.name)),
+            ("nodes".to_string(), Json::from(COMPARE.nodes)),
+            ("flows".to_string(), Json::from(COMPARE.flows)),
+            (
+                "incremental_events_per_sec".to_string(),
+                Json::from(inc.events_per_sec),
+            ),
+            (
+                "reference_events_per_sec".to_string(),
+                Json::from(dense.events_per_sec),
+            ),
+            ("speedup".to_string(), Json::from(speedup)),
+        ]);
+    }
+
+    let report = Json::object([
+        ("benchmark".to_string(), Json::from("sim_engine")),
+        ("scenarios".to_string(), Json::array(scenario_reports)),
+        ("reference_comparison".to_string(), comparison),
+    ]);
+
+    if out_path != "-" {
+        std::fs::write(&out_path, report.to_pretty()).expect("write report");
+        eprintln!("wrote {out_path}");
+    }
+
+    if let Some(baseline_path) = check_against {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        let baseline = Json::parse(&text).expect("baseline must be valid JSON");
+        let baseline_eps = |name: &str| -> Option<f64> {
+            baseline
+                .get("scenarios")?
+                .as_array()?
+                .iter()
+                .find(|s| s.get("name").and_then(Json::as_str) == Some(name))?
+                .get("events_per_sec")?
+                .as_f64()
+        };
+        let mut failed = false;
+        for (name, eps) in &measured {
+            match baseline_eps(name) {
+                Some(base) if base > 0.0 => {
+                    let ratio = eps / base;
+                    let verdict = if ratio < 1.0 - max_regression {
+                        failed = true;
+                        "REGRESSED"
+                    } else {
+                        "ok"
+                    };
+                    eprintln!(
+                        "{name}: {eps:.0} events/s vs baseline {base:.0} ({:.0}%) {verdict}",
+                        ratio * 100.0
+                    );
+                }
+                _ => eprintln!("{name}: no baseline entry, skipping"),
+            }
+        }
+        if failed {
+            eprintln!(
+                "FAIL: events/sec regressed more than {:.0}% vs {baseline_path}",
+                max_regression * 100.0
+            );
+            std::process::exit(1);
+        }
+    }
+}

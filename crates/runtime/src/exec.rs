@@ -16,7 +16,7 @@ use crate::trace::{IoRecord, RunResult};
 use opass_dfs::{Namenode, ReplicaChoice};
 use opass_matching::{Assignment, DynamicScheduler, StealRecord};
 use opass_simio::record::Recorder;
-use opass_simio::{ClusterIo, Event, IoParams, MemoryRecorder, Topology, TraceEvent};
+use opass_simio::{ClusterIo, EngineStats, Event, IoParams, MemoryRecorder, Topology, TraceEvent};
 use opass_workloads::Workload;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -247,6 +247,7 @@ fn execute_inner(
         makespan: engine.makespan,
         served_bytes: engine.served_bytes,
         metrics: None,
+        engine: engine.cluster.engine_stats(),
     }
 }
 
@@ -550,6 +551,7 @@ fn bulk_synchronous_inner(
         makespan: 0.0,
         served_bytes: vec![0; namenode.node_count()],
         metrics: None,
+        engine: EngineStats::default(),
     });
     if instrument {
         combined.metrics = Some(Box::new(RunMetrics::from_run(

@@ -10,7 +10,7 @@
 
 use crate::trace::{IoRecord, RunResult};
 use opass_json::Json;
-use opass_simio::{IoParams, TraceEvent};
+use opass_simio::{EngineStats, IoParams, TraceEvent};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -122,6 +122,10 @@ pub struct RunMetrics {
     /// Wall-clock the planner spent computing the assignment, seconds.
     /// Zero unless the experiment layer stamps it in.
     pub planning_seconds: f64,
+    /// Simulator work counters for the run (copied from
+    /// [`RunResult::engine`]): how many recompute passes ran, how many
+    /// flow rates actually changed, ETA-heap churn.
+    pub engine: EngineStats,
     /// The raw event stream the aggregates were derived from.
     pub events: Vec<TraceEvent>,
 }
@@ -167,6 +171,7 @@ impl RunMetrics {
             series,
             served_histogram,
             planning_seconds: 0.0,
+            engine: result.engine,
             events,
         }
     }
@@ -179,6 +184,7 @@ impl RunMetrics {
                 "planning_seconds".to_string(),
                 Json::from(self.planning_seconds),
             ),
+            ("engine".to_string(), self.engine_json()),
             (
                 "per_node".to_string(),
                 Json::array(self.per_node.iter().map(|n| {
@@ -257,6 +263,25 @@ impl RunMetrics {
             ("steals".to_string(), Json::from(c.steals)),
             ("rate_recomputes".to_string(), Json::from(c.rate_recomputes)),
             ("barrier_rounds".to_string(), Json::from(c.barrier_rounds)),
+        ])
+    }
+
+    fn engine_json(&self) -> Json {
+        let e = &self.engine;
+        Json::object([
+            (
+                "recompute_passes".to_string(),
+                Json::from(e.recompute_passes),
+            ),
+            (
+                "components_recomputed".to_string(),
+                Json::from(e.components_recomputed),
+            ),
+            ("flows_rerated".to_string(), Json::from(e.flows_rerated)),
+            ("eta_pushed".to_string(), Json::from(e.eta_pushed)),
+            ("eta_stale".to_string(), Json::from(e.eta_stale)),
+            ("completions".to_string(), Json::from(e.completions)),
+            ("timers_fired".to_string(), Json::from(e.timers_fired)),
         ])
     }
 
@@ -619,6 +644,7 @@ mod tests {
             makespan: 2.0,
             served_bytes: vec![200, 0, 50],
             metrics: None,
+            engine: EngineStats::default(),
         }
     }
 

@@ -6,7 +6,7 @@
 //! comparison).
 
 use opass_dfs::{ChunkId, NodeId};
-use opass_simio::{empirical_cdf, CdfPoint, Summary};
+use opass_simio::{empirical_cdf, CdfPoint, EngineStats, Summary};
 
 /// One completed chunk read.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,6 +56,10 @@ pub struct RunResult {
     /// [`crate::exec::execute`] leaves it empty so uninstrumented results
     /// are identical to what the executor always produced.
     pub metrics: Option<Box<crate::metrics::RunMetrics>>,
+    /// Simulator work counters (recompute passes, rerated flows, ETA
+    /// churn). Always populated — the engine counts regardless of
+    /// instrumentation; chained runs carry the summed totals.
+    pub engine: EngineStats,
 }
 
 impl RunResult {
@@ -155,6 +159,7 @@ impl RunResult {
     /// points re-derive them after chaining).
     pub fn chain(&mut self, mut next: RunResult) {
         self.metrics = None;
+        self.engine.merge(&next.engine);
         let offset = self.makespan;
         for r in &mut next.records {
             r.issued_at += offset;
@@ -198,6 +203,7 @@ mod tests {
             makespan: 3.0,
             served_bytes: vec![100, 0, 200],
             metrics: None,
+            engine: EngineStats::default(),
         }
     }
 
@@ -249,6 +255,7 @@ mod tests {
             makespan: 0.0,
             served_bytes: vec![],
             metrics: None,
+            engine: EngineStats::default(),
         };
         assert_eq!(empty.straggler_report(4), (0.0, 0.0, 0.0));
     }
@@ -280,6 +287,7 @@ mod tests {
             makespan: 0.0,
             served_bytes: vec![],
             metrics: None,
+            engine: EngineStats::default(),
         };
         assert_eq!(r.local_fraction(), 1.0);
         assert_eq!(r.local_byte_fraction(), 1.0);

@@ -138,6 +138,7 @@ pub fn write_dataset(
             makespan,
             served_bytes,
             metrics: None,
+            engine: cluster.engine_stats(),
         },
     }
 }

@@ -393,6 +393,13 @@ impl ClusterIo {
         self.engine.emit(event);
     }
 
+    /// Work counters of the underlying engine (recompute passes, rerated
+    /// flows, ETA churn) — see [`crate::EngineStats`].
+    #[inline]
+    pub fn engine_stats(&self) -> crate::EngineStats {
+        self.engine.stats()
+    }
+
     /// Direct access to the underlying engine (for custom resource use).
     pub fn engine_mut(&mut self) -> &mut Engine {
         &mut self.engine

@@ -82,10 +82,18 @@ pub(crate) struct FlowState {
     /// Deduplicated resource indices (engine-internal form).
     pub resources: Vec<usize>,
     pub phase: FlowPhase,
-    /// Bytes still to transfer (fluid, hence f64).
+    /// Bytes still to transfer *as of* `updated_at` (fluid, hence f64).
+    /// Progress between rate changes is virtual: it is settled into this
+    /// field only when the rate changes or the flow completes.
     pub remaining: f64,
     /// Current allocated rate in bytes/second.
     pub rate: f64,
+    /// Simulated time at which `remaining` was last settled.
+    pub updated_at: SimTime,
+    /// Generation stamp, bumped on every rate change (and at completion).
+    /// Completion-heap entries carry the stamp they were pushed with, so
+    /// stale predictions are recognized and discarded lazily.
+    pub gen: u32,
     /// When the flow was submitted.
     pub issued_at: SimTime,
     /// When the transfer became active (after latency).
@@ -104,6 +112,8 @@ impl FlowState {
             phase: FlowPhase::Latent,
             remaining,
             rate: 0.0,
+            updated_at: issued_at,
+            gen: 0,
             issued_at,
             active_at: None,
         }

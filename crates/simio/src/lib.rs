@@ -38,6 +38,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod cluster;
+mod components;
 pub mod engine;
 pub mod fairshare;
 pub mod flow;
@@ -48,7 +49,7 @@ pub mod time;
 pub mod topology;
 
 pub use cluster::{ClusterIo, IoParams, MB, MB_U64};
-pub use engine::{Engine, Event};
+pub use engine::{Engine, EngineStats, Event};
 pub use flow::{FlowCompletion, FlowId, FlowSpec};
 pub use record::{MemoryRecorder, NoopRecorder, Recorder, TraceEvent};
 pub use resource::{Degradation, Resource, ResourceId};

@@ -2,6 +2,13 @@
 # Repo-wide hygiene gate: formatting, lints, build, tests.
 # Offline-friendly: everything runs with --offline against the vendored
 # dependencies, so it works without network access.
+#
+# Modes:
+#   check.sh                 full gate (fmt, clippy, build, tests)
+#   check.sh --bench-smoke   engine-throughput smoke: runs the bench_sim
+#                            smoke scenario in release and fails if
+#                            events/sec regressed >30% vs the committed
+#                            BENCH_sim.json baseline
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -9,6 +16,19 @@ run() {
     echo "==> $*"
     "$@"
 }
+
+if [[ "${1:-}" == "--bench-smoke" ]]; then
+    if [[ ! -f BENCH_sim.json ]]; then
+        echo "error: BENCH_sim.json baseline missing; run" >&2
+        echo "  cargo run --release -p opass-bench --bin bench_sim --offline" >&2
+        exit 1
+    fi
+    run cargo build --release -p opass-bench --bin bench_sim --offline
+    run ./target/release/bench_sim --smoke --out - \
+        --check-against BENCH_sim.json --max-regression 0.30
+    echo "Bench smoke passed."
+    exit 0
+fi
 
 run cargo fmt --all -- --check
 run cargo clippy --workspace --all-targets --offline -- -D warnings
