@@ -19,6 +19,9 @@
 //!   any scenario run this invocation regressed by more than
 //!   `--max-regression` (default 0.30) in events/sec.
 
+// Printing is this binary's user interface.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use opass_json::Json;
 use opass_simio::engine::reference::ReferenceEngine;
 use opass_simio::{Engine, FlowSpec, Resource, ResourceId};

@@ -7,6 +7,9 @@
 //! figures --list              # available ids
 //! ```
 
+// Printing is this binary's user interface.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use opass_bench::{run_figure, ALL_FIGURES};
 use std::path::PathBuf;
 use std::process::ExitCode;

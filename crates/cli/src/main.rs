@@ -9,6 +9,9 @@
 //! opass analyze --chunks 512 --replication 3 --nodes 128
 //! ```
 
+// Printing is this binary's user interface.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 mod args;
 mod scenario;
 

@@ -11,7 +11,7 @@ use opass_dfs::{ChunkId, LayoutSnapshot, Namenode, RackMap};
 use opass_matching::{BipartiteGraph, MatchingValues};
 use opass_runtime::ProcessPlacement;
 use opass_workloads::Workload;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Builds the process↔chunk locality graph for a single-input workload.
 ///
@@ -96,10 +96,12 @@ pub fn build_matching_values(
     placement: &ProcessPlacement,
 ) -> MatchingValues {
     // Location cache: chunk -> (locations, size), looked up once per chunk.
-    let mut cache: HashMap<ChunkId, (Vec<opass_dfs::NodeId>, u64)> = HashMap::new();
+    // Ordered maps keep every traversal deterministic (matching inputs feed
+    // the bit-exactness assertions downstream).
+    let mut cache: BTreeMap<ChunkId, (Vec<opass_dfs::NodeId>, u64)> = BTreeMap::new();
     let mut values = MatchingValues::new(placement.n_procs(), workload.len());
     // node -> procs on it, precomputed.
-    let mut procs_on: HashMap<opass_dfs::NodeId, Vec<usize>> = HashMap::new();
+    let mut procs_on: BTreeMap<opass_dfs::NodeId, Vec<usize>> = BTreeMap::new();
     for proc in 0..placement.n_procs() {
         procs_on
             .entry(placement.node_of(proc))

@@ -369,6 +369,7 @@ impl Experiment for SingleData {
         let (nn, workload, placement) = self.build();
         let n = workload.len();
         let seed = self.cluster.seed;
+        // lint:allow(no-wallclock): observability only — planning_seconds reports real solver cost and never feeds simulated state
         let started = Instant::now();
         let assignment = match strategy {
             Strategy::RankInterval => baseline::rank_interval(n, self.cluster.n_nodes),
@@ -457,6 +458,7 @@ impl Experiment for MultiData {
         instrument: bool,
     ) -> Result<ExperimentRun, UnsupportedStrategy> {
         let (nn, workload, placement) = self.build();
+        // lint:allow(no-wallclock): observability only — planning_seconds reports real solver cost and never feeds simulated state
         let started = Instant::now();
         let assignment = match strategy {
             Strategy::RankInterval => baseline::rank_interval(workload.len(), self.cluster.n_nodes),
@@ -549,6 +551,7 @@ impl Experiment for Dynamic {
     ) -> Result<ExperimentRun, UnsupportedStrategy> {
         let (nn, workload, placement) = self.build();
         let seed = self.cluster.seed;
+        // lint:allow(no-wallclock): observability only — planning_seconds reports real solver cost and never feeds simulated state
         let started = Instant::now();
         let source: TaskSource = match strategy {
             Strategy::Fifo => {
@@ -647,6 +650,7 @@ impl Experiment for ParaView {
         io.local_latency += self.workload.reader_overhead_seconds;
         io.remote_latency += self.workload.reader_overhead_seconds;
         for (i, step) in run.steps.iter().enumerate() {
+            // lint:allow(no-wallclock): observability only — planning_seconds reports real solver cost and never feeds simulated state
             let started = Instant::now();
             let assignment = match strategy {
                 Strategy::RankInterval => baseline::rank_interval(step.len(), self.cluster.n_nodes),
@@ -828,6 +832,7 @@ impl Experiment for Racked {
         );
         let placement = ProcessPlacement::one_per_node(self.cluster.n_nodes);
 
+        // lint:allow(no-wallclock): observability only — planning_seconds reports real solver cost and never feeds simulated state
         let started = Instant::now();
         let assignment = match strategy {
             Strategy::RankInterval => baseline::rank_interval(workload.len(), self.cluster.n_nodes),
@@ -941,6 +946,7 @@ impl Experiment for Heterogeneous {
         let placement = ProcessPlacement::one_per_node(self.cluster.n_nodes);
         let factors = self.disk_factors();
 
+        // lint:allow(no-wallclock): observability only — planning_seconds reports real solver cost and never feeds simulated state
         let started = Instant::now();
         let assignment = match strategy {
             // Uniform quotas — the paper's homogeneity assumption.

@@ -10,7 +10,7 @@ use crate::ids::{ChunkId, NodeId};
 use crate::topology::RackMap;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Policy deciding which replica holder serves a chunk read.
 #[derive(Debug, Clone, Default)]
@@ -23,8 +23,9 @@ pub enum ReplicaChoice {
     /// Models locality-oblivious clients (worst case).
     RandomReplica,
     /// A fixed source per chunk (e.g. chosen by a planner to spread load);
-    /// falls back to prefer-local-random for unmapped chunks.
-    Directed(HashMap<ChunkId, NodeId>),
+    /// falls back to prefer-local-random for unmapped chunks. Ordered so
+    /// that debug dumps and any future iteration are deterministic.
+    Directed(BTreeMap<ChunkId, NodeId>),
     /// Local replica when present, else a random *same-rack* holder, else
     /// a random holder — HDFS's rack-aware client behaviour (this
     /// repository's rack extension).
@@ -108,7 +109,7 @@ mod tests {
     fn prefer_local_falls_back_to_random_holder() {
         let locs = [NodeId(1), NodeId(4), NodeId(6)];
         let mut r = rng();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..100 {
             let s = ReplicaChoice::PreferLocalRandom.select(ChunkId(0), NodeId(9), &locs, &mut r);
             assert!(locs.contains(&s));
@@ -137,7 +138,7 @@ mod tests {
     #[test]
     fn directed_uses_map_and_falls_back() {
         let locs = [NodeId(1), NodeId(4)];
-        let mut map = HashMap::new();
+        let mut map = BTreeMap::new();
         map.insert(ChunkId(0), NodeId(4));
         let policy = ReplicaChoice::Directed(map);
         let mut r = rng();
@@ -180,7 +181,7 @@ mod tests {
     #[should_panic(expected = "does not hold")]
     fn directed_source_must_hold_chunk() {
         let locs = [NodeId(1)];
-        let mut map = HashMap::new();
+        let mut map = BTreeMap::new();
         map.insert(ChunkId(0), NodeId(9));
         let mut r = rng();
         ReplicaChoice::Directed(map).select(ChunkId(0), NodeId(1), &locs, &mut r);

@@ -406,7 +406,10 @@ impl Parser<'_> {
                     // boundaries are valid).
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| self.err("invalid utf-8"))?;
-                    let c = rest.chars().next().unwrap();
+                    let c = rest
+                        .chars()
+                        .next()
+                        .expect("non-empty: pos < bytes.len() inside the string loop");
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

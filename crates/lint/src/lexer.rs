@@ -1,0 +1,442 @@
+//! A minimal Rust lexer for static analysis.
+//!
+//! The workspace builds fully offline, so `opass-lint` cannot depend on
+//! `syn`/`proc-macro2`. The rules shipped here only need a faithful token
+//! stream (identifiers and punctuation with line numbers) plus the comment
+//! text (for suppression directives) — both of which a few hundred lines of
+//! hand-rolled lexing provide, with correct handling of the classic traps:
+//! strings, raw strings, byte strings, char literals vs. lifetimes, nested
+//! block comments, and raw identifiers.
+//!
+//! The lexer never fails: unterminated constructs are consumed to the end
+//! of input. Lint rules prefer a best-effort token stream over refusing to
+//! analyze a file that `rustc` itself would reject.
+
+/// Token classification — just enough structure for pattern matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (raw identifiers are stripped of `r#`).
+    Ident,
+    /// Punctuation. `::` is fused into a single token; everything else is
+    /// one character.
+    Punct,
+    /// Numeric literal (integers and floats, any base, with suffixes).
+    Num,
+    /// String, byte-string, raw-string, or char literal (contents dropped).
+    Lit,
+    /// Lifetime such as `'a` (includes the quote in `text`).
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token text. Literals are collapsed to `"\"\""` / `"''"` markers.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// Classification.
+    pub kind: TokKind,
+}
+
+/// A comment (line or block) with its starting line. `text` excludes the
+/// comment markers themselves.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment body without `//`, `/*`, `*/`.
+    pub text: String,
+}
+
+/// Result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// All comments (doc comments included) in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.bytes.get(self.pos).copied()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into tokens and comments. Infallible by design.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Lexed::default();
+    while let Some(b) = cur.peek(0) {
+        let line = cur.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek(1) == Some(b'/') => {
+                cur.bump();
+                cur.bump();
+                let start = cur.pos;
+                while let Some(c) = cur.peek(0) {
+                    if c == b'\n' {
+                        break;
+                    }
+                    cur.bump();
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: String::from_utf8_lossy(&cur.bytes[start..cur.pos]).into_owned(),
+                });
+            }
+            b'/' if cur.peek(1) == Some(b'*') => {
+                cur.bump();
+                cur.bump();
+                let start = cur.pos;
+                let mut depth = 1usize;
+                let mut end = cur.pos;
+                while let Some(c) = cur.bump() {
+                    if c == b'/' && cur.peek(0) == Some(b'*') {
+                        cur.bump();
+                        depth += 1;
+                    } else if c == b'*' && cur.peek(0) == Some(b'/') {
+                        depth -= 1;
+                        end = cur.pos - 1;
+                        cur.bump();
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    end = cur.pos;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: String::from_utf8_lossy(&cur.bytes[start..end]).into_owned(),
+                });
+            }
+            b'"' => {
+                consume_string(&mut cur);
+                out.tokens.push(Tok {
+                    text: "\"\"".into(),
+                    line,
+                    kind: TokKind::Lit,
+                });
+            }
+            b'\'' => {
+                lex_quote(&mut cur, line, &mut out);
+            }
+            b if b.is_ascii_digit() => {
+                let text = consume_number(&mut cur);
+                out.tokens.push(Tok {
+                    text,
+                    line,
+                    kind: TokKind::Num,
+                });
+            }
+            b if is_ident_start(b) => {
+                lex_ident_or_prefixed(&mut cur, line, &mut out);
+            }
+            b':' if cur.peek(1) == Some(b':') => {
+                cur.bump();
+                cur.bump();
+                out.tokens.push(Tok {
+                    text: "::".into(),
+                    line,
+                    kind: TokKind::Punct,
+                });
+            }
+            _ => {
+                cur.bump();
+                out.tokens.push(Tok {
+                    text: (b as char).to_string(),
+                    line,
+                    kind: TokKind::Punct,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Consumes a `"…"` string starting at the opening quote, honoring
+/// backslash escapes.
+fn consume_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        match c {
+            b'\\' => {
+                cur.bump();
+            }
+            b'"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a raw string `r"…"` / `r#"…"#` starting at the first `#` or
+/// quote (the `r`/`br` prefix has already been consumed).
+fn consume_raw_string(cur: &mut Cursor<'_>) {
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some(b'#') {
+        cur.bump();
+        hashes += 1;
+    }
+    if cur.peek(0) != Some(b'"') {
+        return; // not actually a raw string; leave the rest to the main loop
+    }
+    cur.bump();
+    'outer: while let Some(c) = cur.bump() {
+        if c == b'"' {
+            for k in 0..hashes {
+                if cur.peek(k) != Some(b'#') {
+                    continue 'outer;
+                }
+            }
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            break;
+        }
+    }
+}
+
+/// Handles `'`: either a lifetime (`'a`) or a char literal (`'x'`, `'\n'`).
+fn lex_quote(cur: &mut Cursor<'_>, line: u32, out: &mut Lexed) {
+    // Lifetime: 'ident NOT followed by a closing quote.
+    if let Some(first) = cur.peek(1) {
+        if is_ident_start(first) && first != b'\\' {
+            let mut k = 2;
+            while cur.peek(k).map(is_ident_continue) == Some(true) {
+                k += 1;
+            }
+            if cur.peek(k) != Some(b'\'') {
+                // Lifetime.
+                let start = cur.pos;
+                for _ in 0..k {
+                    cur.bump();
+                }
+                out.tokens.push(Tok {
+                    text: String::from_utf8_lossy(&cur.bytes[start..cur.pos]).into_owned(),
+                    line,
+                    kind: TokKind::Lifetime,
+                });
+                return;
+            }
+        }
+    }
+    // Char literal.
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        match c {
+            b'\\' => {
+                cur.bump();
+            }
+            b'\'' => break,
+            _ => {}
+        }
+    }
+    out.tokens.push(Tok {
+        text: "''".into(),
+        line,
+        kind: TokKind::Lit,
+    });
+}
+
+fn consume_number(cur: &mut Cursor<'_>) -> String {
+    let start = cur.pos;
+    while cur.peek(0).map(is_ident_continue) == Some(true) {
+        cur.bump();
+    }
+    // Fractional part: `1.5` but not the range `1..5` or a method `1.max(2)`.
+    if cur.peek(0) == Some(b'.') && cur.peek(1).map(|c| c.is_ascii_digit()) == Some(true) {
+        cur.bump();
+        while cur.peek(0).map(is_ident_continue) == Some(true) {
+            cur.bump();
+        }
+    }
+    String::from_utf8_lossy(&cur.bytes[start..cur.pos]).into_owned()
+}
+
+/// Lexes an identifier; recognizes the string-literal prefixes
+/// (`r"…"`, `b"…"`, `br#"…"#`, `c"…"`) and raw identifiers (`r#ident`).
+fn lex_ident_or_prefixed(cur: &mut Cursor<'_>, line: u32, out: &mut Lexed) {
+    let start = cur.pos;
+    while cur.peek(0).map(is_ident_continue) == Some(true) {
+        cur.bump();
+    }
+    let text = String::from_utf8_lossy(&cur.bytes[start..cur.pos]).into_owned();
+    match (text.as_str(), cur.peek(0)) {
+        // Raw string / raw byte string: r"…", r#"…"#, br"…", cr#"…"#.
+        ("r" | "br" | "cr", Some(b'"' | b'#')) => {
+            // r# could also start a raw identifier r#foo.
+            if cur.peek(0) == Some(b'#') && cur.peek(1).map(is_ident_start) == Some(true) {
+                cur.bump(); // '#'
+                let id_start = cur.pos;
+                while cur.peek(0).map(is_ident_continue) == Some(true) {
+                    cur.bump();
+                }
+                out.tokens.push(Tok {
+                    text: String::from_utf8_lossy(&cur.bytes[id_start..cur.pos]).into_owned(),
+                    line,
+                    kind: TokKind::Ident,
+                });
+                return;
+            }
+            consume_raw_string(cur);
+            out.tokens.push(Tok {
+                text: "\"\"".into(),
+                line,
+                kind: TokKind::Lit,
+            });
+        }
+        // Byte string b"…" or C string c"…".
+        ("b" | "c", Some(b'"')) => {
+            consume_string(cur);
+            out.tokens.push(Tok {
+                text: "\"\"".into(),
+                line,
+                kind: TokKind::Lit,
+            });
+        }
+        // Byte char b'x'.
+        ("b", Some(b'\'')) => {
+            cur.bump();
+            while let Some(c) = cur.bump() {
+                match c {
+                    b'\\' => {
+                        cur.bump();
+                    }
+                    b'\'' => break,
+                    _ => {}
+                }
+            }
+            out.tokens.push(Tok {
+                text: "''".into(),
+                line,
+                kind: TokKind::Lit,
+            });
+        }
+        _ => out.tokens.push(Tok {
+            text,
+            line,
+            kind: TokKind::Ident,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_code_like_content() {
+        let l = lex(r#"let s = "HashMap::new() // not a comment"; use x;"#);
+        assert!(!l.tokens.iter().any(|t| t.text == "HashMap"));
+        assert!(l.comments.is_empty());
+        assert!(l.tokens.iter().any(|t| t.text == "use"));
+    }
+
+    #[test]
+    fn raw_strings_and_byte_strings() {
+        let l = lex(r###"let a = r#"thread_rng inside"#; let b = b"SystemTime"; foo();"###);
+        assert!(!l.tokens.iter().any(|t| t.text == "thread_rng"));
+        assert!(!l.tokens.iter().any(|t| t.text == "SystemTime"));
+        assert!(l.tokens.iter().any(|t| t.text == "foo"));
+    }
+
+    #[test]
+    fn raw_identifier_is_an_ident() {
+        assert!(idents("let r#type = 1;").contains(&"type".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> &'a str { x } let c = 'x'; let nl = '\\n';");
+        let lifetimes: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 3);
+        let chars = l.tokens.iter().filter(|t| t.kind == TokKind::Lit).count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still comment */ fn f() {}");
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("inner"));
+        assert!(l.tokens.iter().any(|t| t.text == "fn"));
+    }
+
+    #[test]
+    fn line_numbers_and_comment_capture() {
+        let l = lex("fn a() {}\n// lint:allow(x): y\nfn b() {}\n");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.comments[0].line, 2);
+        assert_eq!(l.comments[0].text.trim(), "lint:allow(x): y");
+        let b = l.tokens.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn double_colon_is_fused() {
+        let l = lex("Instant::now()");
+        let texts: Vec<_> = l.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["Instant", "::", "now", "(", ")"]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let l = lex("for i in 0..8 { let x = 1.5e3f64; }");
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.text == ".." || (t.kind == TokKind::Punct && t.text == ".")));
+        assert!(l.tokens.iter().any(|t| t.text == "1.5e3f64"));
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_hang() {
+        lex("let s = \"unterminated");
+        lex("/* unterminated");
+        lex("let c = 'u");
+    }
+}

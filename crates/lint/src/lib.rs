@@ -1,0 +1,106 @@
+//! # opass-lint — workspace determinism & invariant linter
+//!
+//! The Opass reproduction's correctness story rests on bit-exact replay:
+//! the incremental engine is asserted identical to `ReferenceEngine`, and
+//! parallel Monte Carlo must match sequential runs bit for bit. Nothing in
+//! `rustc` or clippy stops the classic determinism killers — unordered
+//! `HashMap` iteration, wall-clock reads, ambient RNG — from creeping into
+//! the simulation crates. This crate is the static gate that does.
+//!
+//! It is a self-contained analyzer (the workspace builds offline, so no
+//! `syn`): a hand-rolled Rust lexer ([`lexer`]), a rule engine ([`rules`])
+//! and a `lint.toml` config layer ([`config`]). See `DESIGN.md`
+//! ("Determinism invariants & static enforcement") for the rule catalog
+//! and the rationale behind each rule.
+//!
+//! ```
+//! use opass_lint::{config::Config, rules::lint_source};
+//!
+//! let findings = lint_source(
+//!     "crates/dfs/src/x.rs",
+//!     "use std::collections::HashMap;",
+//!     &Config::default(),
+//! );
+//! assert_eq!(findings[0].rule, "unordered-iteration");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+use config::{Config, ConfigError};
+use rules::Finding;
+use std::path::{Path, PathBuf};
+
+/// Loads `lint.toml` from `root`, falling back to [`Config::default`]
+/// when the file does not exist.
+pub fn load_config(root: &Path) -> Result<Config, ConfigError> {
+    let path = root.join("lint.toml");
+    match std::fs::read_to_string(&path) {
+        Ok(src) => Config::from_toml(&src),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Config::default()),
+        Err(e) => Err(ConfigError {
+            message: format!("cannot read {}: {e}", path.display()),
+            line: 0,
+        }),
+    }
+}
+
+/// Lints every `.rs` file under `root`, honoring `cfg.exclude`, and
+/// returns all findings (suppressed ones included — callers filter).
+/// Files are visited in sorted path order so output is deterministic —
+/// the linter holds itself to the invariants it enforces.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, cfg, &mut files)?;
+    files.sort();
+    let mut findings = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .expect("collected under root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(&path)?;
+        findings.extend(rules::lint_source(&rel, &source, cfg));
+    }
+    Ok(findings)
+}
+
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    cfg: &Config,
+    out: &mut Vec<PathBuf>,
+) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') {
+            continue;
+        }
+        let rel = path
+            .strip_prefix(root)
+            .expect("walked under root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        if cfg
+            .exclude
+            .iter()
+            .any(|p| rel == *p || rel.starts_with(&format!("{p}/")))
+        {
+            continue;
+        }
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            collect_rs_files(root, &path, cfg, out)?;
+        } else if ty.is_file() && name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

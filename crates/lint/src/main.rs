@@ -1,0 +1,210 @@
+//! `opass-lint` binary: walk the workspace, run every rule, report.
+//!
+//! ```text
+//! opass-lint [--root DIR] [--format human|json] [--fix-hints]
+//!            [--strict] [--show-suppressed] [PATH...]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 deny-level findings (any finding under
+//! `--strict`), 2 usage/config/IO error.
+
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
+use opass_json::Json;
+use opass_lint::rules::Finding;
+use opass_lint::{config::Severity, load_config};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: Option<PathBuf>,
+    json: bool,
+    fix_hints: bool,
+    strict: bool,
+    show_suppressed: bool,
+    paths: Vec<String>,
+}
+
+const USAGE: &str = "usage: opass-lint [--root DIR] [--format human|json] \
+                     [--fix-hints] [--strict] [--show-suppressed] [PATH...]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        json: false,
+        fix_hints: false,
+        strict: false,
+        show_suppressed: false,
+        paths: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                args.root = Some(PathBuf::from(it.next().ok_or("--root needs a directory")?));
+            }
+            "--format" => match it.next().as_deref() {
+                Some("human") => args.json = false,
+                Some("json") => args.json = true,
+                other => return Err(format!("--format human|json, got {other:?}")),
+            },
+            "--fix-hints" => args.fix_hints = true,
+            "--strict" => args.strict = true,
+            "--show-suppressed" => args.show_suppressed = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            p if !p.starts_with('-') => args.paths.push(p.to_string()),
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+/// The workspace root: `--root` if given, else the nearest ancestor of the
+/// current directory containing `lint.toml` (falling back to cwd).
+fn find_root(args: &Args) -> PathBuf {
+    if let Some(r) = &args.root {
+        return r.clone();
+    }
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = cwd.clone();
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return dir;
+        }
+        if !dir.pop() {
+            return cwd;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = find_root(&args);
+    let cfg = match load_config(&root) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("opass-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut findings = match opass_lint::lint_workspace(&root, &cfg) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("opass-lint: {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if !args.paths.is_empty() {
+        findings.retain(|f| args.paths.iter().any(|p| f.file.starts_with(p.as_str())));
+    }
+
+    let (suppressed, active): (Vec<Finding>, Vec<Finding>) =
+        findings.into_iter().partition(|f| f.suppressed.is_some());
+    let denies = active
+        .iter()
+        .filter(|f| f.severity == Severity::Deny)
+        .count();
+    let warns = active.len() - denies;
+
+    let out = if args.json {
+        render_json(&active, &suppressed, denies, warns)
+    } else {
+        render_human(&args, &active, &suppressed, denies, warns)
+    };
+    // Ignore write errors: a closed pipe (`opass-lint | head`) must not
+    // panic, and the exit code below is the contract that matters.
+    use std::io::Write;
+    let _ = std::io::stdout().write_all(out.as_bytes());
+
+    if denies > 0 || (args.strict && !active.is_empty()) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn render_human(
+    args: &Args,
+    active: &[Finding],
+    suppressed: &[Finding],
+    denies: usize,
+    warns: usize,
+) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for f in active {
+        let _ = writeln!(
+            out,
+            "{}:{}: {} [{}]: {}",
+            f.file, f.line, f.rule, f.severity, f.message
+        );
+        if args.fix_hints {
+            let _ = writeln!(out, "    fix: {}", f.hint);
+        }
+    }
+    if args.show_suppressed {
+        for f in suppressed {
+            let _ = writeln!(
+                out,
+                "{}:{}: {} [suppressed]: {}",
+                f.file,
+                f.line,
+                f.rule,
+                f.suppressed.as_deref().unwrap_or("")
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "opass-lint: {denies} deny, {warns} warn, {} suppressed",
+        suppressed.len()
+    );
+    out
+}
+
+fn render_json(active: &[Finding], suppressed: &[Finding], denies: usize, warns: usize) -> String {
+    let finding_json = |f: &Finding| {
+        Json::object([
+            ("file".into(), Json::from(f.file.as_str())),
+            ("line".into(), Json::from(f.line as u64)),
+            ("rule".into(), Json::from(f.rule)),
+            ("severity".into(), Json::from(f.severity.to_string())),
+            ("message".into(), Json::from(f.message.as_str())),
+            ("hint".into(), Json::from(f.hint)),
+            (
+                "suppressed".into(),
+                match &f.suppressed {
+                    Some(reason) => Json::from(reason.as_str()),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    };
+    let out = Json::object([
+        (
+            "findings".into(),
+            Json::array(active.iter().map(finding_json)),
+        ),
+        (
+            "suppressed".into(),
+            Json::array(suppressed.iter().map(finding_json)),
+        ),
+        (
+            "summary".into(),
+            Json::object([
+                ("deny".into(), Json::from(denies)),
+                ("warn".into(), Json::from(warns)),
+                ("suppressed".into(), Json::from(suppressed.len())),
+            ]),
+        ),
+    ]);
+    let mut s = out.to_pretty();
+    s.push('\n');
+    s
+}

@@ -1,0 +1,7 @@
+// Fixture: suppressed case for `float-accumulation-order`.
+use std::collections::HashMap;
+
+pub fn total_load(per_node: &HashMap<u32, f64>) -> f64 {
+    // lint:allow(float-accumulation-order): diagnostic display value, compared with a tolerance
+    per_node.values().sum::<f64>()
+}

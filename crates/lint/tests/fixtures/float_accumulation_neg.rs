@@ -1,0 +1,9 @@
+// Fixture: negative case for `float-accumulation-order` — summing a slice
+// has a fixed order, and integer sums over anything are exact.
+pub fn total_load(per_node: &[f64]) -> f64 {
+    per_node.iter().sum::<f64>()
+}
+
+pub fn total_bytes(sizes: &[u64]) -> u64 {
+    sizes.iter().sum()
+}

@@ -1,0 +1,11 @@
+// Fixture: positive case for `float-accumulation-order` — folding floats
+// straight out of an unordered container.
+use std::collections::HashMap;
+
+pub fn total_load(per_node: &HashMap<u32, f64>) -> f64 {
+    per_node.values().sum::<f64>()
+}
+
+pub fn total_fold(per_node: &HashMap<u32, f64>) -> f64 {
+    per_node.values().fold(0.0, |acc, v| acc + v)
+}

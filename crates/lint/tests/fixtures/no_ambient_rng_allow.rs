@@ -1,0 +1,5 @@
+// Fixture: suppressed case for `no-ambient-rng`.
+pub fn session_nonce() -> u64 {
+    // lint:allow(no-ambient-rng): nonce for log correlation, not simulation
+    rand::random()
+}

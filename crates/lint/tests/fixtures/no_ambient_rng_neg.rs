@@ -1,0 +1,8 @@
+// Fixture: negative case for `no-ambient-rng` — an explicitly seeded
+// generator threaded from the caller.
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub fn jitter(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

@@ -1,0 +1,7 @@
+// Fixture: positive case for `no-ambient-rng`.
+pub fn jitter() -> (u64, f64) {
+    let mut rng = rand::thread_rng();
+    let a = rng.next_u64();
+    let b: f64 = rand::random();
+    (a, b)
+}

@@ -1,0 +1,5 @@
+// Fixture: suppressed case for `no-wallclock`.
+pub fn planning_cost() -> std::time::Instant {
+    // lint:allow(no-wallclock): observability-only timing, never simulated state
+    std::time::Instant::now()
+}

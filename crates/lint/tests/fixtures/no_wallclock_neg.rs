@@ -1,0 +1,6 @@
+// Fixture: negative case for `no-wallclock` — consuming an Instant the
+// caller measured is fine; only the `now()` constructors are wall-clock
+// reads.
+pub fn elapsed_secs(started: std::time::Instant) -> f64 {
+    started.elapsed().as_secs_f64()
+}

@@ -1,0 +1,8 @@
+// Fixture: positive case for `no-wallclock`.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> f64 {
+    let t = Instant::now();
+    let _epoch = SystemTime::now();
+    t.elapsed().as_secs_f64()
+}

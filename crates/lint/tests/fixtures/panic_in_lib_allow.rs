@@ -1,0 +1,5 @@
+// Fixture: suppressed case for `panic-in-lib`.
+pub fn first(xs: &[u32]) -> u32 {
+    // lint:allow(panic-in-lib): bounds proven by the caller's loop invariant
+    xs.first().copied().unwrap()
+}

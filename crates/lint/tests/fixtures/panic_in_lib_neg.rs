@@ -1,0 +1,21 @@
+// Fixture: negative case for `panic-in-lib` — typed errors, documented
+// invariants via expect, and unwraps confined to test code.
+pub fn first(xs: &[u32]) -> Result<u32, String> {
+    xs.first()
+        .copied()
+        .ok_or_else(|| "empty input".to_string())
+}
+
+pub fn first_nonempty(xs: &[u32]) -> u32 {
+    xs.first()
+        .copied()
+        .expect("caller guarantees xs is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(super::first(&[7]).unwrap(), 7);
+    }
+}

@@ -1,0 +1,7 @@
+// Fixture: positive case for `panic-in-lib`.
+pub fn first(xs: &[u32]) -> u32 {
+    if xs.is_empty() {
+        panic!("empty input");
+    }
+    xs.first().copied().unwrap()
+}

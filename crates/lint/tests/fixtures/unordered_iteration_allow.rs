@@ -1,0 +1,5 @@
+// Fixture: suppressed case for `unordered-iteration`.
+// lint:allow(unordered-iteration): keyed lookups only, never iterated
+use std::collections::HashMap;
+
+pub type Cache = HashMap<u64, u64>; // lint:allow(unordered-iteration): perf cache, order never observed

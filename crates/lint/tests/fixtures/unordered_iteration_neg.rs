@@ -1,0 +1,10 @@
+// Fixture: negative case for `unordered-iteration` — ordered collections
+// (and a string mentioning HashMap, which must not count).
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn chunk_owners() -> Vec<(u64, u32)> {
+    let owners: BTreeMap<u64, u32> = BTreeMap::new();
+    let _distinct: BTreeSet<u32> = owners.values().copied().collect();
+    let _doc = "HashMap would be wrong here";
+    owners.into_iter().collect()
+}

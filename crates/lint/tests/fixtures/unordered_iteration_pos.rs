@@ -1,0 +1,8 @@
+// Fixture: positive case for `unordered-iteration` (linted under a
+// deterministic-crate path; not compiled as part of any target).
+use std::collections::HashMap;
+
+pub fn chunk_owners() -> Vec<(u64, u32)> {
+    let owners: HashMap<u64, u32> = HashMap::new();
+    owners.into_iter().collect() // nondeterministic order escapes here
+}

@@ -1,0 +1,163 @@
+//! Table-driven fixture tests: every shipped rule has a positive, a
+//! negative, and a suppressed (`lint:allow`) fixture under
+//! `tests/fixtures/`. Fixtures are linted under a *pretend* workspace path
+//! so each one exercises exactly the crate context its rule targets; the
+//! files themselves are excluded from workspace linting by `lint.toml` and
+//! are never compiled.
+
+use opass_lint::config::{Config, RULE_NAMES};
+use opass_lint::rules::{lint_source, Finding};
+use std::path::Path;
+
+struct Case {
+    rule: &'static str,
+    /// Pretend workspace-relative path the fixture is linted under.
+    context: &'static str,
+    /// (fixture file, expected active findings, expected suppressed).
+    pos: (&'static str, usize),
+    neg: &'static str,
+    allow: (&'static str, usize),
+}
+
+const CASES: [Case; 5] = [
+    Case {
+        rule: "unordered-iteration",
+        context: "crates/dfs/src/fixture.rs",
+        pos: ("unordered_iteration_pos.rs", 3),
+        neg: "unordered_iteration_neg.rs",
+        allow: ("unordered_iteration_allow.rs", 2),
+    },
+    Case {
+        rule: "no-wallclock",
+        context: "crates/core/src/fixture.rs",
+        pos: ("no_wallclock_pos.rs", 3),
+        neg: "no_wallclock_neg.rs",
+        allow: ("no_wallclock_allow.rs", 1),
+    },
+    Case {
+        rule: "no-ambient-rng",
+        context: "crates/runtime/src/fixture.rs",
+        pos: ("no_ambient_rng_pos.rs", 2),
+        neg: "no_ambient_rng_neg.rs",
+        allow: ("no_ambient_rng_allow.rs", 1),
+    },
+    Case {
+        rule: "float-accumulation-order",
+        context: "crates/runtime/src/fixture.rs",
+        pos: ("float_accumulation_pos.rs", 2),
+        neg: "float_accumulation_neg.rs",
+        allow: ("float_accumulation_allow.rs", 1),
+    },
+    Case {
+        rule: "panic-in-lib",
+        context: "crates/matching/src/fixture.rs",
+        pos: ("panic_in_lib_pos.rs", 2),
+        neg: "panic_in_lib_neg.rs",
+        allow: ("panic_in_lib_allow.rs", 1),
+    },
+];
+
+fn lint_fixture(name: &str, context: &str) -> Vec<Finding> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()));
+    lint_source(context, &src, &Config::default())
+}
+
+#[test]
+fn every_shipped_rule_has_a_case() {
+    for rule in RULE_NAMES {
+        assert!(
+            CASES.iter().any(|c| c.rule == rule),
+            "rule {rule} has no fixture case"
+        );
+    }
+}
+
+#[test]
+fn positive_fixtures_fire() {
+    for c in &CASES {
+        let findings = lint_fixture(c.pos.0, c.context);
+        let hits: Vec<&Finding> = findings.iter().filter(|f| f.rule == c.rule).collect();
+        assert_eq!(
+            hits.len(),
+            c.pos.1,
+            "{}: expected {} findings of {}, got {findings:#?}",
+            c.pos.0,
+            c.pos.1,
+            c.rule
+        );
+        assert!(
+            hits.iter().all(|f| f.suppressed.is_none()),
+            "{}: findings must not be suppressed",
+            c.pos.0
+        );
+        // A fixture exercises exactly its rule — no cross-rule noise.
+        assert!(
+            findings.iter().all(|f| f.rule == c.rule),
+            "{}: unexpected extra rules in {findings:#?}",
+            c.pos.0
+        );
+    }
+}
+
+#[test]
+fn negative_fixtures_stay_silent() {
+    for c in &CASES {
+        let findings = lint_fixture(c.neg, c.context);
+        assert!(
+            findings.is_empty(),
+            "{}: expected no findings, got {findings:#?}",
+            c.neg
+        );
+    }
+}
+
+#[test]
+fn allow_fixtures_are_fully_suppressed_with_reasons() {
+    for c in &CASES {
+        let findings = lint_fixture(c.allow.0, c.context);
+        let (suppressed, active): (Vec<&Finding>, Vec<&Finding>) =
+            findings.iter().partition(|f| f.suppressed.is_some());
+        assert!(
+            active.is_empty(),
+            "{}: unsuppressed findings remain: {active:#?}",
+            c.allow.0
+        );
+        assert_eq!(
+            suppressed.len(),
+            c.allow.1,
+            "{}: expected {} suppressed findings, got {suppressed:#?}",
+            c.allow.0,
+            c.allow.1
+        );
+        for f in suppressed {
+            assert_eq!(f.rule, c.rule);
+            assert!(
+                !f.suppressed.as_deref().unwrap_or("").is_empty(),
+                "{}: suppression must carry a reason",
+                c.allow.0
+            );
+        }
+    }
+}
+
+#[test]
+fn severities_come_from_config() {
+    use opass_lint::config::Severity;
+    for c in &CASES {
+        let findings = lint_fixture(c.pos.0, c.context);
+        let expected = Config::default().rule(c.rule).severity;
+        assert!(
+            findings
+                .iter()
+                .filter(|f| f.rule == c.rule)
+                .all(|f| f.severity == expected),
+            "{}: severity mismatch",
+            c.pos.0
+        );
+        assert!(expected >= Severity::Warn, "{}: rule disabled?", c.rule);
+    }
+}

@@ -1,0 +1,66 @@
+//! Meta-tests: the linter holds the workspace — and itself — to its own
+//! rules. `workspace_is_clean` is the same invariant `scripts/check.sh
+//! --lint` enforces, so reverting any satellite fix (say, reintroducing a
+//! `HashMap` in `dfs::reader`) fails `cargo test` too, not just the shell
+//! gate.
+
+use opass_lint::{lint_workspace, load_config, rules::Finding};
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+fn lint_all() -> Vec<Finding> {
+    let root = workspace_root();
+    let cfg = load_config(&root).expect("committed lint.toml parses");
+    lint_workspace(&root, &cfg).expect("workspace walk succeeds")
+}
+
+#[test]
+fn workspace_is_clean() {
+    let active: Vec<Finding> = lint_all()
+        .into_iter()
+        .filter(|f| f.suppressed.is_none())
+        .collect();
+    assert!(
+        active.is_empty(),
+        "workspace has unsuppressed lint findings:\n{}",
+        active
+            .iter()
+            .map(|f| format!("  {}:{}: {}: {}", f.file, f.line, f.rule, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn linter_own_source_is_clean() {
+    let findings: Vec<Finding> = lint_all()
+        .into_iter()
+        .filter(|f| f.file.starts_with("crates/lint/"))
+        .collect();
+    assert!(
+        findings.is_empty(),
+        "opass-lint does not satisfy its own rules: {findings:#?}"
+    );
+}
+
+#[test]
+fn suppressions_carry_reasons() {
+    // Every suppressed finding in the workspace must have a non-empty
+    // reason — the directive grammar enforces it, this pins it.
+    for f in lint_all() {
+        if let Some(reason) = &f.suppressed {
+            assert!(
+                !reason.is_empty(),
+                "{}:{}: empty suppression reason",
+                f.file,
+                f.line
+            );
+        }
+    }
+}

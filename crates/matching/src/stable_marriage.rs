@@ -101,7 +101,12 @@ pub fn is_stable(
     for (p, &a) in match_of.iter().enumerate() {
         acceptor_of[a] = p;
     }
-    let pos = |prefs: &[usize], x: usize| prefs.iter().position(|&y| y == x).unwrap();
+    let pos = |prefs: &[usize], x: usize| {
+        prefs
+            .iter()
+            .position(|&y| y == x)
+            .expect("preference lists are permutations of 0..n, so x is present")
+    };
     for p in 0..n {
         let my_a = match_of[p];
         let my_rank = pos(&proposer_prefs[p], my_a);

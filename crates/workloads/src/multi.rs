@@ -117,7 +117,7 @@ mod tests {
         };
         let (_, w) = generate(&mut nn, &cfg, &Placement::Random, &mut rng);
         for task in &w.tasks {
-            let datasets: std::collections::HashSet<_> = task
+            let datasets: std::collections::BTreeSet<_> = task
                 .inputs
                 .iter()
                 .map(|&c| nn.chunk(c).unwrap().dataset)

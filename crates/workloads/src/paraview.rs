@@ -215,7 +215,7 @@ mod tests {
         assert_eq!(run.steps.len(), 3);
         for step in &run.steps {
             assert_eq!(step.len(), 8);
-            let set: std::collections::HashSet<_> =
+            let set: std::collections::BTreeSet<_> =
                 step.tasks.iter().map(|t| t.inputs[0]).collect();
             assert_eq!(set.len(), 8, "blocks within a step must be distinct");
             assert!(step.tasks.iter().all(|t| t.compute_seconds == 0.1));

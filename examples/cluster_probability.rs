@@ -10,6 +10,9 @@
 //! cargo run --release -p opass-examples --example cluster_probability
 //! ```
 
+// Printing is this binary's user interface.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use opass_analysis::{
     run_montecarlo, ClusterParams, ImbalanceModel, LocalityModel, MonteCarloConfig,
 };

@@ -11,6 +11,9 @@
 //! cargo run --release -p opass-examples --example dynamic_blast
 //! ```
 
+// Printing is this binary's user interface.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use opass_core::{ClusterSpec, Dynamic, Experiment, Strategy};
 
 fn main() {

@@ -12,6 +12,9 @@
 //! cargo run --release -p opass-examples --example genome_compare
 //! ```
 
+// Printing is this binary's user interface.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use opass_core::planner::OpassPlanner;
 use opass_dfs::datanode::{checksum_of, chunk_payload};
 use opass_dfs::{DfsConfig, Namenode, Placement, ReplicaChoice};

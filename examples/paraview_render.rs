@@ -12,6 +12,9 @@
 //! cargo run --release -p opass-examples --example paraview_render
 //! ```
 
+// Printing is this binary's user interface.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use opass_core::{ClusterSpec, Experiment, ParaView, Strategy};
 use opass_workloads::ParaViewConfig;
 

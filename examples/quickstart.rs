@@ -9,6 +9,9 @@
 //! cargo run --release -p opass-examples --example quickstart
 //! ```
 
+// Printing is this binary's user interface.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use opass_core::{ClusterSpec, Experiment, SingleData, Strategy};
 
 fn main() {

@@ -12,6 +12,9 @@
 //! cargo run --release -p opass-examples --example rack_cluster
 //! ```
 
+// Printing is this binary's user interface.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use opass_core::{ClusterSpec, Experiment, Racked, Strategy};
 use opass_dfs::{DatasetSpec, DfsConfig, Namenode, Placement, RackMap};
 use opass_runtime::{write_dataset, ProcessPlacement, WriteConfig};

@@ -10,6 +10,9 @@
 //! cargo run --release -p opass-examples --example trace_replay
 //! ```
 
+// Printing is this binary's user interface.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use opass_core::planner::OpassPlanner;
 use opass_dfs::{DfsConfig, Namenode, Placement};
 use opass_matching::Objective;

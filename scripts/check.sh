@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# Repo-wide hygiene gate: formatting, lints, build, tests.
+# Repo-wide hygiene gate: formatting, determinism linter, lints, build, tests.
 # Offline-friendly: everything runs with --offline against the vendored
 # dependencies, so it works without network access.
 #
 # Modes:
-#   check.sh                 full gate (fmt, clippy, build, tests)
+#   check.sh                 full gate (fmt, opass-lint, clippy, build, tests)
+#   check.sh --lint          determinism & invariant linter only: runs
+#                            opass-lint over the workspace (config in
+#                            lint.toml) and fails on any unsuppressed
+#                            finding, printing fix hints
 #   check.sh --bench-smoke   engine-throughput smoke: runs the bench_sim
 #                            smoke scenario in release and fails if
 #                            events/sec regressed >30% vs the committed
@@ -16,6 +20,19 @@ run() {
     echo "==> $*"
     "$@"
 }
+
+lint() {
+    run cargo build --release -p opass-lint --offline
+    # --strict: warn-level findings (panic-in-lib) also fail the gate, so
+    # "clean" means zero unsuppressed findings of any severity.
+    run ./target/release/opass-lint --root . --strict --fix-hints
+}
+
+if [[ "${1:-}" == "--lint" ]]; then
+    lint
+    echo "Lint passed."
+    exit 0
+fi
 
 if [[ "${1:-}" == "--bench-smoke" ]]; then
     if [[ ! -f BENCH_sim.json ]]; then
@@ -31,6 +48,7 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
 fi
 
 run cargo fmt --all -- --check
+lint
 run cargo clippy --workspace --all-targets --offline -- -D warnings
 run cargo build --workspace --release --offline
 run cargo test --workspace --quiet --offline
