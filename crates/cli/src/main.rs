@@ -7,12 +7,15 @@
 //! opass run scenario.json --parallel
 //! opass run scenario.json --metrics out/   # per-node metrics + event log
 //! opass analyze --chunks 512 --replication 3 --nodes 128
+//! opass serve --addr 127.0.0.1:7455 --workers 4
+//! opass plan --remote 127.0.0.1:7455 --dataset 0 --strategy opass
 //! ```
 
 // Printing is this binary's user interface.
 #![allow(clippy::print_stdout, clippy::print_stderr)]
 
 mod args;
+mod remote;
 mod scenario;
 
 use args::Flags;
@@ -25,13 +28,17 @@ fn main() -> ExitCode {
         Some("init") => cmd_init(&argv[1..]),
         Some("run") => cmd_run(&argv[1..]),
         Some("analyze") => cmd_analyze(&argv[1..]),
+        Some("serve") => remote::cmd_serve(&argv[1..]),
+        Some("plan") => remote::cmd_plan(&argv[1..]),
         _ => {
-            eprintln!("usage: opass <init|run|analyze> ...");
+            eprintln!("usage: opass <init|run|analyze|serve|plan> ...");
             eprintln!("  opass init <file.json>           write a template scenario");
             eprintln!(
                 "  opass run <file.json> [--json] [--parallel] [--trace-dir DIR] [--metrics DIR]"
             );
             eprintln!("  opass analyze --chunks N --replication R --nodes M");
+            eprintln!("  {}", remote::SERVE_USAGE);
+            eprintln!("  {}", remote::PLAN_USAGE);
             ExitCode::FAILURE
         }
     }

@@ -1,0 +1,194 @@
+//! `opass serve` and `opass plan --remote` — the CLI face of the
+//! planning service.
+
+use crate::args::Flags;
+use opass_json::Json;
+use opass_serve::{serve, Client, ServeSpec, ServerConfig, Strategy};
+use std::process::ExitCode;
+
+pub const SERVE_USAGE: &str = "usage: opass serve [--addr HOST:PORT] [--workers N] \
+     [--queue-depth N] [--nodes N] [--datasets N] [--chunks N] [--replication R] [--seed S]";
+
+/// `opass serve`: run the planning daemon in the foreground until a
+/// client sends `shutdown` (or the process is killed).
+pub fn cmd_serve(argv: &[String]) -> ExitCode {
+    let parsed = Flags::parse(
+        argv,
+        &[],
+        &[
+            "--addr",
+            "--workers",
+            "--queue-depth",
+            "--nodes",
+            "--datasets",
+            "--chunks",
+            "--replication",
+            "--seed",
+        ],
+    )
+    .and_then(|flags| {
+        let defaults = ServeSpec::default();
+        let spec = ServeSpec {
+            n_nodes: flags.value_or("--nodes", defaults.n_nodes)?,
+            n_datasets: flags.value_or("--datasets", defaults.n_datasets)?,
+            chunks_per_dataset: flags.value_or("--chunks", defaults.chunks_per_dataset)?,
+            chunk_size: defaults.chunk_size,
+            replication: flags.value_or("--replication", defaults.replication)?,
+            seed: flags.value_or("--seed", defaults.seed)?,
+        };
+        Ok(ServerConfig {
+            addr: flags
+                .value("--addr")
+                .unwrap_or("127.0.0.1:7455")
+                .to_string(),
+            workers: flags.value_or("--workers", 4usize)?,
+            queue_depth: flags.value_or("--queue-depth", 64usize)?,
+            spec,
+        })
+    });
+    let config = match parsed {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("{SERVE_USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let workers = config.workers;
+    let queue_depth = config.queue_depth;
+    let spec = config.spec;
+    let handle = match serve(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "opass-serve listening on {} ({} nodes, {} datasets x {} chunks, {} workers, queue {})",
+        handle.addr(),
+        spec.n_nodes,
+        spec.n_datasets,
+        spec.chunks_per_dataset,
+        workers,
+        queue_depth,
+    );
+    println!("send a `shutdown` request (e.g. via `opass plan --remote ... --shutdown`) to stop");
+    handle.wait();
+    println!("opass-serve drained and stopped");
+    ExitCode::SUCCESS
+}
+
+pub const PLAN_USAGE: &str = "usage: opass plan --remote HOST:PORT [--dataset N] \
+     [--strategy NAME] [--seed S] [--json] [--stats] [--invalidate] [--shutdown]";
+
+/// `opass plan --remote`: ask a running `opass serve` for a plan (or
+/// stats / invalidation / shutdown) and print the result.
+pub fn cmd_plan(argv: &[String]) -> ExitCode {
+    let flags = match Flags::parse(
+        argv,
+        &["--json", "--stats", "--invalidate", "--shutdown"],
+        &["--remote", "--dataset", "--strategy", "--seed"],
+    ) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("{PLAN_USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(addr) = flags.value("--remote") else {
+        eprintln!("opass plan requires --remote HOST:PORT (local planning: `opass run`)");
+        eprintln!("{PLAN_USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if flags.is_set("--shutdown") {
+        return match client.shutdown() {
+            Ok(()) => {
+                println!("server at {addr} is shutting down");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("shutdown failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if flags.is_set("--invalidate") {
+        return match client.invalidate() {
+            Ok(generation) => {
+                println!("invalidated; server now at generation {generation}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("invalidate failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if flags.is_set("--stats") {
+        return match client.stats() {
+            Ok(stats) => {
+                println!("{}", stats.to_json().to_pretty());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("stats failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let parsed = flags.value_or("--dataset", 0usize).and_then(|dataset| {
+        let seed = flags.value_or("--seed", 42u64)?;
+        let label = flags.value("--strategy").unwrap_or("opass");
+        let strategy = Strategy::parse(label).ok_or_else(|| {
+            format!("unknown strategy {label:?} (try opass, rank_interval, random)")
+        })?;
+        Ok((dataset, strategy, seed))
+    });
+    let (dataset, strategy, seed) = match parsed {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("{PLAN_USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match client.plan(dataset, strategy, seed) {
+        Ok(plan) => {
+            if flags.is_set("--json") {
+                println!("{}", plan.to_json().to_pretty());
+            } else {
+                println!(
+                    "plan: dataset {} strategy {} seed {} (generation {})",
+                    plan.dataset, plan.strategy, plan.seed, plan.generation
+                );
+                println!(
+                    "  tasks {}  matched {}  filled {}  local tasks {:.1}%  local bytes {:.1}%",
+                    plan.owners.len(),
+                    plan.matched_files,
+                    plan.filled_files,
+                    plan.local_task_fraction * 100.0,
+                    plan.local_byte_fraction * 100.0,
+                );
+                println!("  cached {}  coalesced {}", plan.cached, plan.coalesced);
+                println!(
+                    "  owners: {}",
+                    Json::array(plan.owners.iter().map(|&o| Json::from(o))).to_compact()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("plan failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

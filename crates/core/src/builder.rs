@@ -26,6 +26,21 @@ pub fn build_locality_graph(
     workload: &Workload,
     placement: &ProcessPlacement,
 ) -> BipartiteGraph {
+    let snapshot = capture_workload_layout(namenode, workload);
+    build_locality_graph_from_layout(&snapshot, placement)
+}
+
+/// Captures the layout snapshot of a single-input workload: one entry per
+/// task, in task order (the order defines the graph's file indexing).
+///
+/// This is the only step of single-data planning that talks to the
+/// namenode; the snapshot can be cached and re-planned against via
+/// [`build_locality_graph_from_layout`] without repeating the walk.
+///
+/// # Panics
+///
+/// Panics if any task has more than one input.
+pub fn capture_workload_layout(namenode: &Namenode, workload: &Workload) -> LayoutSnapshot {
     let chunks: Vec<ChunkId> = workload
         .tasks
         .iter()
@@ -38,8 +53,19 @@ pub fn build_locality_graph(
             t.inputs[0]
         })
         .collect();
-    let snapshot = LayoutSnapshot::capture(namenode, &chunks);
-    let mut graph = BipartiteGraph::new(placement.n_procs(), workload.len());
+    LayoutSnapshot::capture(namenode, &chunks)
+}
+
+/// Builds the process↔chunk locality graph from an already-captured
+/// layout snapshot (entry `i` = task `i` = file vertex `i`).
+///
+/// Pure function of its inputs: no namenode access, safe to call from any
+/// thread against a shared snapshot.
+pub fn build_locality_graph_from_layout(
+    snapshot: &LayoutSnapshot,
+    placement: &ProcessPlacement,
+) -> BipartiteGraph {
+    let mut graph = BipartiteGraph::new(placement.n_procs(), snapshot.len());
     for proc in 0..placement.n_procs() {
         let node = placement.node_of(proc);
         for (task_idx, size) in snapshot.colocated_with(node) {

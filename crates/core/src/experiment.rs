@@ -22,9 +22,6 @@
 //! records the structured event trace and derives
 //! [`RunMetrics`](opass_runtime::RunMetrics) (utilization time-series,
 //! counters, histograms), exposed as `run.result.metrics`.
-//!
-//! The pre-trait types ([`SingleDataExperiment`] and friends, with their
-//! per-family strategy enums) remain as deprecated thin wrappers.
 
 use crate::planner::OpassPlanner;
 use opass_dfs::{DfsConfig, Namenode, Placement, RackMap, ReplicaChoice};
@@ -981,540 +978,6 @@ impl Experiment for Heterogeneous {
     }
 }
 
-// ---------------------------------------------------------------------------
-// Deprecated pre-trait API (thin wrappers)
-// ---------------------------------------------------------------------------
-
-/// Assignment strategies for single-input workloads.
-#[deprecated(since = "0.1.0", note = "use the unified `Strategy` enum")]
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SingleStrategy {
-    /// ParaView's rank-interval static assignment (the paper's baseline).
-    RankInterval,
-    /// Uniformly random balanced assignment (Section III's model).
-    RandomAssign,
-    /// The Opass max-flow matching.
-    Opass,
-}
-
-#[allow(deprecated)]
-impl From<SingleStrategy> for Strategy {
-    fn from(s: SingleStrategy) -> Strategy {
-        match s {
-            SingleStrategy::RankInterval => Strategy::RankInterval,
-            SingleStrategy::RandomAssign => Strategy::RandomAssign,
-            SingleStrategy::Opass => Strategy::Opass,
-        }
-    }
-}
-
-/// Assignment strategies for multi-input workloads.
-#[deprecated(since = "0.1.0", note = "use the unified `Strategy` enum")]
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum MultiStrategy {
-    /// Rank-interval assignment of tasks (locality-oblivious default).
-    RankInterval,
-    /// Opass Algorithm 1.
-    Opass,
-}
-
-#[allow(deprecated)]
-impl From<MultiStrategy> for Strategy {
-    fn from(s: MultiStrategy) -> Strategy {
-        match s {
-            MultiStrategy::RankInterval => Strategy::RankInterval,
-            MultiStrategy::Opass => Strategy::Opass,
-        }
-    }
-}
-
-/// Scheduling strategies for dynamic workloads.
-#[deprecated(since = "0.1.0", note = "use the unified `Strategy` enum")]
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DynamicStrategy {
-    /// Central FIFO queue — the default master/worker dispatcher.
-    Fifo,
-    /// Delay scheduling (Zaharia et al.).
-    DelayScheduling {
-        /// Queue positions an idle worker may look ahead.
-        max_skips: usize,
-    },
-    /// Opass guided lists with locality-aware stealing.
-    OpassGuided,
-}
-
-#[allow(deprecated)]
-impl From<DynamicStrategy> for Strategy {
-    fn from(s: DynamicStrategy) -> Strategy {
-        match s {
-            DynamicStrategy::Fifo => Strategy::Fifo,
-            DynamicStrategy::DelayScheduling { max_skips } => {
-                Strategy::DelayScheduling { max_skips }
-            }
-            DynamicStrategy::OpassGuided => Strategy::OpassGuided,
-        }
-    }
-}
-
-/// Strategies for the ParaView run.
-#[deprecated(since = "0.1.0", note = "use the unified `Strategy` enum")]
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ParaViewStrategy {
-    /// Stock vtkXMLCompositeDataReader rank-interval assignment.
-    Default,
-    /// Opass hooked into ReadXMLData (per-step max-flow matching).
-    Opass,
-}
-
-#[allow(deprecated)]
-impl From<ParaViewStrategy> for Strategy {
-    fn from(s: ParaViewStrategy) -> Strategy {
-        match s {
-            ParaViewStrategy::Default => Strategy::RankInterval,
-            ParaViewStrategy::Opass => Strategy::Opass,
-        }
-    }
-}
-
-/// Strategies for the racked-cluster extension experiment.
-#[deprecated(since = "0.1.0", note = "use the unified `Strategy` enum")]
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum RackedStrategy {
-    /// Rank-interval assignment, rack-oblivious reads.
-    Baseline,
-    /// Opass node-level matching only (reads prefer local, then rack).
-    OpassNodeOnly,
-    /// Two-tier Opass: node-local matching, then rack-local matching.
-    OpassRackAware,
-}
-
-#[allow(deprecated)]
-impl From<RackedStrategy> for Strategy {
-    fn from(s: RackedStrategy) -> Strategy {
-        match s {
-            RackedStrategy::Baseline => Strategy::RankInterval,
-            RackedStrategy::OpassNodeOnly => Strategy::Opass,
-            RackedStrategy::OpassRackAware => Strategy::OpassRackAware,
-        }
-    }
-}
-
-/// Strategies for the heterogeneous-cluster extension experiment.
-#[deprecated(since = "0.1.0", note = "use the unified `Strategy` enum")]
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum HeteroStrategy {
-    /// Opass with uniform quotas (the paper's assumption).
-    OpassUniform,
-    /// Opass with quotas proportional to disk speed.
-    OpassWeighted,
-}
-
-#[allow(deprecated)]
-impl From<HeteroStrategy> for Strategy {
-    fn from(s: HeteroStrategy) -> Strategy {
-        match s {
-            HeteroStrategy::OpassUniform => Strategy::Opass,
-            HeteroStrategy::OpassWeighted => Strategy::OpassWeighted,
-        }
-    }
-}
-
-/// The Section V-A1 experiment with pre-trait flat fields.
-#[deprecated(since = "0.1.0", note = "use `SingleData` with the `Experiment` trait")]
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct SingleDataExperiment {
-    /// Cluster size `m` (one process per node).
-    pub n_nodes: usize,
-    /// Chunks per process (paper: ~10).
-    pub chunks_per_process: usize,
-    /// Chunk size, bytes (paper: 64 MB).
-    pub chunk_size: u64,
-    /// Replication factor (paper: 3).
-    pub replication: u32,
-    /// Hardware calibration.
-    pub io: IoParams,
-    /// Master seed: drives placement, replica choice, and random fills.
-    pub seed: u64,
-}
-
-#[allow(deprecated)]
-impl Default for SingleDataExperiment {
-    fn default() -> Self {
-        let modern = SingleData::default();
-        SingleDataExperiment {
-            n_nodes: modern.cluster.n_nodes,
-            chunks_per_process: modern.chunks_per_process,
-            chunk_size: modern.cluster.chunk_size,
-            replication: modern.cluster.replication,
-            io: modern.cluster.io,
-            seed: modern.cluster.seed,
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl SingleDataExperiment {
-    fn modern(&self) -> SingleData {
-        SingleData {
-            cluster: ClusterSpec {
-                n_nodes: self.n_nodes,
-                chunk_size: self.chunk_size,
-                replication: self.replication,
-                io: self.io,
-                seed: self.seed,
-            },
-            chunks_per_process: self.chunks_per_process,
-        }
-    }
-
-    /// Runs the experiment under a strategy.
-    pub fn run(&self, strategy: SingleStrategy) -> ExperimentRun {
-        self.modern()
-            .run(strategy.into())
-            .expect("single-data strategies are supported")
-    }
-}
-
-/// The Section V-A2 experiment with pre-trait flat fields.
-#[deprecated(since = "0.1.0", note = "use `MultiData` with the `Experiment` trait")]
-#[derive(Debug, Clone, PartialEq)]
-pub struct MultiDataExperiment {
-    /// Cluster size `m`.
-    pub n_nodes: usize,
-    /// Tasks per process.
-    pub tasks_per_process: usize,
-    /// Per-input chunk sizes (paper: 30/20/10 MB).
-    pub input_sizes: Vec<u64>,
-    /// Replication factor.
-    pub replication: u32,
-    /// Hardware calibration.
-    pub io: IoParams,
-    /// Master seed.
-    pub seed: u64,
-}
-
-#[allow(deprecated)]
-impl Default for MultiDataExperiment {
-    fn default() -> Self {
-        let modern = MultiData::default();
-        MultiDataExperiment {
-            n_nodes: modern.cluster.n_nodes,
-            tasks_per_process: modern.tasks_per_process,
-            input_sizes: modern.input_sizes,
-            replication: modern.cluster.replication,
-            io: modern.cluster.io,
-            seed: modern.cluster.seed,
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl MultiDataExperiment {
-    fn modern(&self) -> MultiData {
-        MultiData {
-            cluster: ClusterSpec {
-                n_nodes: self.n_nodes,
-                chunk_size: ClusterSpec::default().chunk_size,
-                replication: self.replication,
-                io: self.io,
-                seed: self.seed,
-            },
-            tasks_per_process: self.tasks_per_process,
-            input_sizes: self.input_sizes.clone(),
-        }
-    }
-
-    /// Runs the experiment under a strategy.
-    pub fn run(&self, strategy: MultiStrategy) -> ExperimentRun {
-        self.modern()
-            .run(strategy.into())
-            .expect("multi-data strategies are supported")
-    }
-}
-
-/// The Section V-A3 experiment with pre-trait flat fields.
-#[deprecated(since = "0.1.0", note = "use `Dynamic` with the `Experiment` trait")]
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct DynamicExperiment {
-    /// Cluster size `m`.
-    pub n_nodes: usize,
-    /// Tasks per process.
-    pub tasks_per_process: usize,
-    /// Chunk size, bytes.
-    pub chunk_size: u64,
-    /// Median per-task compute seconds.
-    pub compute_median: f64,
-    /// Log-normal sigma of compute times.
-    pub compute_sigma: f64,
-    /// Replication factor.
-    pub replication: u32,
-    /// Hardware calibration.
-    pub io: IoParams,
-    /// Master seed.
-    pub seed: u64,
-}
-
-#[allow(deprecated)]
-impl Default for DynamicExperiment {
-    fn default() -> Self {
-        let modern = Dynamic::default();
-        DynamicExperiment {
-            n_nodes: modern.cluster.n_nodes,
-            tasks_per_process: modern.tasks_per_process,
-            chunk_size: modern.cluster.chunk_size,
-            compute_median: modern.compute_median,
-            compute_sigma: modern.compute_sigma,
-            replication: modern.cluster.replication,
-            io: modern.cluster.io,
-            seed: modern.cluster.seed,
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl DynamicExperiment {
-    fn modern(&self) -> Dynamic {
-        Dynamic {
-            cluster: ClusterSpec {
-                n_nodes: self.n_nodes,
-                chunk_size: self.chunk_size,
-                replication: self.replication,
-                io: self.io,
-                seed: self.seed,
-            },
-            tasks_per_process: self.tasks_per_process,
-            compute_median: self.compute_median,
-            compute_sigma: self.compute_sigma,
-        }
-    }
-
-    /// Runs the experiment under a strategy.
-    pub fn run(&self, strategy: DynamicStrategy) -> ExperimentRun {
-        self.modern()
-            .run(strategy.into())
-            .expect("dynamic strategies are supported")
-    }
-}
-
-/// Result of a multi-step ParaView run.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `ParaView` with the `Experiment` trait; `ExperimentRun` now carries `step_makespans`"
-)]
-#[derive(Debug, Clone, PartialEq)]
-pub struct ParaViewRunResult {
-    /// All steps chained into one trace.
-    pub combined: RunResult,
-    /// Makespan of every rendering step.
-    pub step_makespans: Vec<f64>,
-    /// Total planning seconds across steps.
-    pub planning_seconds: f64,
-}
-
-/// The Section V-B experiment with pre-trait flat fields.
-#[deprecated(since = "0.1.0", note = "use `ParaView` with the `Experiment` trait")]
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct ParaViewExperiment {
-    /// Cluster size `m`.
-    pub n_nodes: usize,
-    /// Workload shape.
-    pub workload: ParaViewConfig,
-    /// Replication factor.
-    pub replication: u32,
-    /// Hardware calibration.
-    pub io: IoParams,
-    /// Master seed.
-    pub seed: u64,
-}
-
-#[allow(deprecated)]
-impl Default for ParaViewExperiment {
-    fn default() -> Self {
-        let modern = ParaView::default();
-        ParaViewExperiment {
-            n_nodes: modern.cluster.n_nodes,
-            workload: modern.workload,
-            replication: modern.cluster.replication,
-            io: modern.cluster.io,
-            seed: modern.cluster.seed,
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl ParaViewExperiment {
-    fn modern(&self) -> ParaView {
-        ParaView {
-            cluster: ClusterSpec {
-                n_nodes: self.n_nodes,
-                chunk_size: ClusterSpec::default().chunk_size,
-                replication: self.replication,
-                io: self.io,
-                seed: self.seed,
-            },
-            workload: self.workload,
-        }
-    }
-
-    /// Runs all rendering steps under a strategy.
-    pub fn run(&self, strategy: ParaViewStrategy) -> ParaViewRunResult {
-        let run = self
-            .modern()
-            .run(strategy.into())
-            .expect("paraview strategies are supported");
-        ParaViewRunResult {
-            combined: run.result,
-            step_makespans: run.step_makespans,
-            planning_seconds: run.planning_seconds,
-        }
-    }
-}
-
-/// The rack-locality extension experiment with pre-trait flat fields.
-#[deprecated(since = "0.1.0", note = "use `Racked` with the `Experiment` trait")]
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct RackedExperiment {
-    /// Cluster size `m`.
-    pub n_nodes: usize,
-    /// Nodes per rack.
-    pub nodes_per_rack: usize,
-    /// Empty late-joining nodes per rack (hold no data).
-    pub late_per_rack: usize,
-    /// Rack uplink bandwidth per direction, bytes/second.
-    pub uplink_bandwidth: f64,
-    /// Chunks per process.
-    pub chunks_per_process: usize,
-    /// Chunk size, bytes.
-    pub chunk_size: u64,
-    /// Replication factor.
-    pub replication: u32,
-    /// Hardware calibration.
-    pub io: IoParams,
-    /// Master seed.
-    pub seed: u64,
-}
-
-#[allow(deprecated)]
-impl Default for RackedExperiment {
-    fn default() -> Self {
-        let modern = Racked::default();
-        RackedExperiment {
-            n_nodes: modern.cluster.n_nodes,
-            nodes_per_rack: modern.nodes_per_rack,
-            late_per_rack: modern.late_per_rack,
-            uplink_bandwidth: modern.uplink_bandwidth,
-            chunks_per_process: modern.chunks_per_process,
-            chunk_size: modern.cluster.chunk_size,
-            replication: modern.cluster.replication,
-            io: modern.cluster.io,
-            seed: modern.cluster.seed,
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl RackedExperiment {
-    fn modern(&self) -> Racked {
-        Racked {
-            cluster: ClusterSpec {
-                n_nodes: self.n_nodes,
-                chunk_size: self.chunk_size,
-                replication: self.replication,
-                io: self.io,
-                seed: self.seed,
-            },
-            nodes_per_rack: self.nodes_per_rack,
-            late_per_rack: self.late_per_rack,
-            uplink_bandwidth: self.uplink_bandwidth,
-            chunks_per_process: self.chunks_per_process,
-        }
-    }
-
-    /// Runs the experiment under a strategy.
-    pub fn run(&self, strategy: RackedStrategy) -> ExperimentRun {
-        self.modern()
-            .run(strategy.into())
-            .expect("racked strategies are supported")
-    }
-
-    /// Fraction of reads in `result` that crossed a rack boundary.
-    pub fn cross_rack_fraction(&self, result: &RunResult) -> f64 {
-        self.modern().cross_rack_fraction(result)
-    }
-}
-
-/// The heterogeneous-cluster extension with pre-trait flat fields.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `Heterogeneous` with the `Experiment` trait"
-)]
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct HeterogeneousExperiment {
-    /// Cluster size `m`.
-    pub n_nodes: usize,
-    /// Every `slow_every`-th node runs its disk at `slow_factor` speed.
-    pub slow_every: usize,
-    /// Disk speed multiplier of slow nodes (e.g. 0.5).
-    pub slow_factor: f64,
-    /// Chunks per process.
-    pub chunks_per_process: usize,
-    /// Chunk size, bytes.
-    pub chunk_size: u64,
-    /// Replication factor.
-    pub replication: u32,
-    /// Hardware calibration (fast-node baseline).
-    pub io: IoParams,
-    /// Master seed.
-    pub seed: u64,
-}
-
-#[allow(deprecated)]
-impl Default for HeterogeneousExperiment {
-    fn default() -> Self {
-        let modern = Heterogeneous::default();
-        HeterogeneousExperiment {
-            n_nodes: modern.cluster.n_nodes,
-            slow_every: modern.slow_every,
-            slow_factor: modern.slow_factor,
-            chunks_per_process: modern.chunks_per_process,
-            chunk_size: modern.cluster.chunk_size,
-            replication: modern.cluster.replication,
-            io: modern.cluster.io,
-            seed: modern.cluster.seed,
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl HeterogeneousExperiment {
-    fn modern(&self) -> Heterogeneous {
-        Heterogeneous {
-            cluster: ClusterSpec {
-                n_nodes: self.n_nodes,
-                chunk_size: self.chunk_size,
-                replication: self.replication,
-                io: self.io,
-                seed: self.seed,
-            },
-            slow_every: self.slow_every,
-            slow_factor: self.slow_factor,
-            chunks_per_process: self.chunks_per_process,
-        }
-    }
-
-    /// Per-node disk speed factors.
-    pub fn disk_factors(&self) -> Vec<f64> {
-        self.modern().disk_factors()
-    }
-
-    /// Runs the experiment under a strategy.
-    pub fn run(&self, strategy: HeteroStrategy) -> ExperimentRun {
-        self.modern()
-            .run(strategy.into())
-            .expect("heterogeneous strategies are supported")
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1770,35 +1233,5 @@ mod tests {
         assert_eq!(Strategy::parse("guided"), Some(Strategy::OpassGuided));
         assert_eq!(Strategy::parse("delay:nope"), None);
         assert_eq!(Strategy::parse("nonsense"), None);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_the_trait_api() {
-        let old = SingleDataExperiment {
-            n_nodes: 8,
-            chunks_per_process: 2,
-            ..Default::default()
-        };
-        let new = single(8, 2);
-        let a = old.run(SingleStrategy::Opass);
-        let b = new.run(Strategy::Opass).unwrap();
-        assert_eq!(a.result, b.result);
-
-        let old_pv = ParaViewExperiment {
-            n_nodes: 8,
-            workload: ParaViewConfig {
-                library_size: 16,
-                blocks_per_step: 8,
-                n_steps: 2,
-                block_size: 8 << 20,
-                render_seconds_per_block: 0.0,
-                reader_overhead_seconds: 0.0,
-            },
-            ..Default::default()
-        };
-        let pv = old_pv.run(ParaViewStrategy::Default);
-        assert_eq!(pv.step_makespans.len(), 2);
-        assert_eq!(pv.combined.records.len(), 16);
     }
 }

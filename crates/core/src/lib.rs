@@ -59,7 +59,10 @@ pub mod builder;
 pub mod experiment;
 pub mod planner;
 
-pub use builder::{build_locality_graph, build_matching_values, build_rack_graph};
+pub use builder::{
+    build_locality_graph, build_locality_graph_from_layout, build_matching_values,
+    build_rack_graph, capture_workload_layout,
+};
 pub use experiment::{
     ClusterSpec, Dynamic, Experiment, ExperimentRun, Heterogeneous, MultiData, ParaView, Racked,
     SingleData, Strategy, UnsupportedStrategy,

@@ -9,8 +9,11 @@
 //! * [`OpassPlanner::plan_dynamic`] — guided per-worker lists with
 //!   locality-aware stealing (Section IV-D).
 
-use crate::builder::{build_locality_graph, build_matching_values, build_rack_graph};
-use opass_dfs::{Namenode, RackMap};
+use crate::builder::{
+    build_locality_graph, build_locality_graph_from_layout, build_matching_values,
+    build_rack_graph, capture_workload_layout,
+};
+use opass_dfs::{LayoutSnapshot, Namenode, RackMap};
 use opass_matching::{
     assign_multi_data, locality_report, weighted_quotas, Assignment, FillPolicy, FlowAlgo,
     GuidedScheduler, LocalityReport, Objective, SingleDataMatcher, TwoTierOutcome,
@@ -79,7 +82,25 @@ impl OpassPlanner {
         placement: &ProcessPlacement,
         seed: u64,
     ) -> SingleDataPlan {
-        let graph = build_locality_graph(namenode, workload, placement);
+        let snapshot = capture_workload_layout(namenode, workload);
+        self.plan_single_data_layout(&snapshot, placement, seed)
+    }
+
+    /// Plans a single-input workload from an already-captured layout
+    /// snapshot (entry `i` = task `i`), without touching the namenode.
+    ///
+    /// Bit-identical to [`OpassPlanner::plan_single_data`] for a snapshot
+    /// captured from the same workload — this is the entry point a
+    /// long-lived planning service uses to re-plan against a cached
+    /// layout. Pure function of `(self, snapshot, placement, seed)`;
+    /// callable concurrently from many threads on a shared snapshot.
+    pub fn plan_single_data_layout(
+        &self,
+        snapshot: &LayoutSnapshot,
+        placement: &ProcessPlacement,
+        seed: u64,
+    ) -> SingleDataPlan {
+        let graph = build_locality_graph_from_layout(snapshot, placement);
         let matcher = SingleDataMatcher {
             algo: self.algo,
             fill: self.fill,
@@ -87,11 +108,7 @@ impl OpassPlanner {
         };
         let mut rng = StdRng::seed_from_u64(seed);
         let outcome = matcher.assign(&graph, &mut rng);
-        let sizes: Vec<u64> = workload
-            .tasks
-            .iter()
-            .map(|t| namenode.chunk(t.inputs[0]).expect("chunk exists").size)
-            .collect();
+        let sizes = snapshot.sizes();
         let locality = locality_report(&outcome.assignment, &graph, &sizes);
         SingleDataPlan {
             assignment: outcome.assignment,
@@ -286,6 +303,22 @@ mod tests {
             count += 1;
         }
         assert_eq!(count, 30);
+    }
+
+    #[test]
+    fn layout_first_plan_matches_namenode_plan() {
+        // The cached-layout path must be bit-identical to the direct path:
+        // a planning service that re-plans from a snapshot returns exactly
+        // what an in-process planner would.
+        let (nn, w) = fs(8, 80);
+        let placement = ProcessPlacement::one_per_node(8);
+        let direct = OpassPlanner::default().plan_single_data(&nn, &w, &placement, 42);
+        let snapshot = capture_workload_layout(&nn, &w);
+        let cached = OpassPlanner::default().plan_single_data_layout(&snapshot, &placement, 42);
+        assert_eq!(direct.assignment.owners(), cached.assignment.owners());
+        assert_eq!(direct.matched_files, cached.matched_files);
+        assert_eq!(direct.filled_files, cached.filled_files);
+        assert_eq!(direct.locality, cached.locality);
     }
 
     #[test]

@@ -90,7 +90,10 @@ impl Default for Config {
         // Tests participate in the bit-exactness assertions, so the
         // ordering and RNG rules apply inside them too by default.
         rules.insert("unordered-iteration".into(), deny(true, &[]));
-        rules.insert("no-wallclock".into(), deny(true, &["cli", "bench", "lint"]));
+        rules.insert(
+            "no-wallclock".into(),
+            deny(true, &["cli", "bench", "lint", "serve"]),
+        );
         rules.insert("no-ambient-rng".into(), deny(true, &[]));
         rules.insert("float-accumulation-order".into(), deny(true, &[]));
         rules.insert(
@@ -115,6 +118,7 @@ impl Default for Config {
                 "runtime",
                 "workloads",
                 "json",
+                "serve",
             ]
             .map(String::from)
             .to_vec(),

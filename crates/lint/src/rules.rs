@@ -522,6 +522,23 @@ mod tests {
     }
 
     #[test]
+    fn serve_is_wallclock_exempt_but_other_rules_still_apply() {
+        // The serving layer may time requests (latency histogram)…
+        let clock = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert_eq!(lint("crates/serve/src/x.rs", clock).len(), 0);
+        // …but it must still seed RNGs explicitly,
+        let rng = "fn f() { let mut r = rand::thread_rng(); }\n";
+        let f = lint("crates/serve/src/x.rs", rng);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "no-ambient-rng");
+        // …and as a library crate it may not unwrap outside tests.
+        let unwrap = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let f = lint("crates/serve/src/x.rs", unwrap);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "panic-in-lib");
+    }
+
+    #[test]
     fn instant_elapsed_alone_is_fine() {
         // Only the `now` constructor is a wall-clock read.
         let src = "fn f(t: std::time::Instant) -> f64 { t.elapsed().as_secs_f64() }\n";

@@ -1,0 +1,144 @@
+//! Sharded, generation-stamped cache.
+//!
+//! Entries are stamped with the [`World`](crate::spec::World) generation
+//! they were derived from; a lookup presents the *current* generation and
+//! a stamp mismatch is a miss (the stale entry is dropped on the spot).
+//! Invalidation is therefore O(1) — bump one counter — and cleanup is
+//! amortized into subsequent lookups; no sweeper thread, no global lock.
+//!
+//! Sharding keeps unrelated keys off each other's locks: the shard index
+//! is a hash of the key, each shard an ordered map behind its own mutex.
+//! Hit/miss/invalidation counters are lock-free.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of shards. A power of two well above typical worker counts so
+/// concurrent lookups rarely contend.
+const SHARDS: usize = 16;
+
+struct Entry<V> {
+    generation: u64,
+    value: V,
+}
+
+/// A sharded cache mapping `K` to generation-stamped `V`.
+pub struct ShardedCache<K, V> {
+    shards: Vec<Mutex<BTreeMap<K, Entry<V>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidated: AtomicU64,
+}
+
+impl<K: Ord + Hash, V: Clone> ShardedCache<K, V> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ShardedCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(BTreeMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<BTreeMap<K, Entry<V>>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Looks up `key` under the current `generation`. An entry stamped
+    /// with a different generation counts as a miss and is evicted.
+    pub fn get(&self, key: &K, generation: u64) -> Option<V> {
+        let mut shard = self.shard(key).lock().expect("cache shard not poisoned");
+        match shard.get(key) {
+            Some(e) if e.generation == generation => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e.value.clone())
+            }
+            Some(_) => {
+                shard.remove(key);
+                self.invalidated.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores `value` for `key` under `generation`, replacing any previous
+    /// entry.
+    pub fn insert(&self, key: K, generation: u64, value: V) {
+        let mut shard = self.shard(&key).lock().expect("cache shard not poisoned");
+        shard.insert(key, Entry { generation, value });
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far (including generation evictions).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted because their generation went stale.
+    pub fn invalidated(&self) -> u64 {
+        self.invalidated.load(Ordering::Relaxed)
+    }
+}
+
+impl<K: Ord + Hash, V: Clone> Default for ShardedCache<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn hit_miss_and_generation_eviction() {
+        let cache: ShardedCache<u64, String> = ShardedCache::new();
+        assert_eq!(cache.get(&1, 0), None);
+        cache.insert(1, 0, "a".into());
+        assert_eq!(cache.get(&1, 0), Some("a".into()));
+        // Same key, newer generation: stale entry evicted, miss counted.
+        assert_eq!(cache.get(&1, 1), None);
+        assert_eq!(cache.invalidated(), 1);
+        // Gone for good until re-inserted.
+        assert_eq!(cache.get(&1, 0), None);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 3);
+    }
+
+    #[test]
+    fn concurrent_access_keeps_counts_consistent() {
+        let cache: Arc<ShardedCache<u64, u64>> = Arc::new(ShardedCache::new());
+        for k in 0..64 {
+            cache.insert(k, 0, k * 10);
+        }
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        let k = (i + t) % 64;
+                        assert_eq!(cache.get(&k, 0), Some(k * 10));
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.hits(), 8000);
+        assert_eq!(cache.misses(), 0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Blocking client for the planning service.
+//!
+//! One [`Client`] wraps one TCP connection and issues one request at a
+//! time (the protocol is strictly request/reply per connection; open
+//! more clients for concurrency — that is what the server's connection
+//! threads are for). Server-side refusals surface as typed errors:
+//! [`ClientError::Overloaded`] for a shed request,
+//! [`ClientError::ShuttingDown`] for a draining server — callers can
+//! retry or back off without parsing strings.
+
+use crate::frame::{read_frame, write_frame, FrameError};
+use crate::protocol::{LayoutReply, PlanReply, ProtoError, Request, Response, StatsReply};
+use opass_core::Strategy;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// What can go wrong issuing a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// Transport or framing failure.
+    Frame(FrameError),
+    /// The reply did not decode or was not the expected type.
+    Protocol(String),
+    /// The server shed the request (bounded queue full).
+    Overloaded {
+        /// Queue depth the server observed when shedding.
+        queue_depth: usize,
+    },
+    /// The server is draining and refused the request.
+    ShuttingDown,
+    /// The server answered with a typed error (unknown dataset, …).
+    Server(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Frame(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Overloaded { queue_depth } => {
+                write!(f, "server overloaded (queue depth {queue_depth})")
+            }
+            ClientError::ShuttingDown => write!(f, "server is shutting down"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> ClientError {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> ClientError {
+        ClientError::Protocol(e.to_string())
+    }
+}
+
+/// A blocking connection to an `opass-serve` instance.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Frame`] if the connection fails.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| ClientError::Frame(FrameError::Io(e.to_string())))?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and reads one response.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] on transport or decode failure, and maps
+    /// server-side `overloaded` / `shutting_down` / `error` replies to
+    /// their typed variants.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &request.to_json())?;
+        let reply = read_frame(&mut self.stream)?;
+        let response = Response::from_json(&reply)?;
+        match response {
+            Response::Overloaded { queue_depth } => Err(ClientError::Overloaded { queue_depth }),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Ok(other),
+        }
+    }
+
+    /// Pings the server: `(protocol version, nodes, datasets)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] on failure or an unexpected reply type.
+    pub fn ping(&mut self) -> Result<(u64, usize, usize), ClientError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong {
+                protocol,
+                nodes,
+                datasets,
+            } => Ok((protocol, nodes, datasets)),
+            other => Err(unexpected("pong", &other)),
+        }
+    }
+
+    /// Requests a plan for `dataset` under `strategy` and `seed`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Overloaded`] when the request was shed,
+    /// [`ClientError::ShuttingDown`] when the server is draining, other
+    /// [`ClientError`] variants on transport/protocol failure.
+    pub fn plan(
+        &mut self,
+        dataset: usize,
+        strategy: Strategy,
+        seed: u64,
+    ) -> Result<PlanReply, ClientError> {
+        let request = Request::Plan {
+            dataset,
+            strategy,
+            seed,
+        };
+        match self.call(&request)? {
+            Response::Plan(p) => Ok(p),
+            Response::ShuttingDown => Err(ClientError::ShuttingDown),
+            other => Err(unexpected("plan", &other)),
+        }
+    }
+
+    /// Fetches the layout snapshot of `dataset`.
+    ///
+    /// # Errors
+    ///
+    /// Same surface as [`Client::plan`].
+    pub fn layout(&mut self, dataset: usize) -> Result<LayoutReply, ClientError> {
+        match self.call(&Request::Layout { dataset })? {
+            Response::Layout(l) => Ok(l),
+            Response::ShuttingDown => Err(ClientError::ShuttingDown),
+            other => Err(unexpected("layout", &other)),
+        }
+    }
+
+    /// Fetches service statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] on failure or an unexpected reply type.
+    pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    /// Bumps the server's invalidation generation; returns the new one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] on failure or an unexpected reply type.
+    pub fn invalidate(&mut self) -> Result<u64, ClientError> {
+        match self.call(&Request::Invalidate)? {
+            Response::Invalidated { generation } => Ok(generation),
+            other => Err(unexpected("invalidated", &other)),
+        }
+    }
+
+    /// Asks the server to shut down gracefully.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] on failure or an unexpected reply type.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("shutting_down", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ClientError {
+    ClientError::Protocol(format!("expected a {wanted} reply, got {got:?}"))
+}

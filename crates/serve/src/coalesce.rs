@@ -1,0 +1,160 @@
+//! Request coalescing: concurrent computations of the same key share one
+//! execution.
+//!
+//! When several requests for the same `(dataset, strategy, seed,
+//! generation)` key miss the cache at once — the classic stampede after
+//! an invalidation — only the first (the *leader*) runs the computation;
+//! the rest (*followers*) block on a condvar and receive a clone of the
+//! leader's result. The in-flight table holds one entry per key and the
+//! entry is removed as soon as the leader finishes, so the table stays
+//! tiny and a later request computes fresh.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+struct Flight<V> {
+    slot: Mutex<Option<V>>,
+    done: Condvar,
+}
+
+/// The coalescing table.
+pub struct Coalescer<K, V> {
+    inflight: Mutex<BTreeMap<K, Arc<Flight<V>>>>,
+    coalesced: AtomicU64,
+}
+
+impl<K: Ord + Clone, V: Clone> Coalescer<K, V> {
+    /// An empty table.
+    pub fn new() -> Self {
+        Coalescer {
+            inflight: Mutex::new(BTreeMap::new()),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    /// Runs `compute` for `key`, coalescing with any in-flight computation
+    /// of the same key. Returns the value and whether this call was a
+    /// follower (waited instead of computing).
+    pub fn run<F: FnOnce() -> V>(&self, key: K, compute: F) -> (V, bool) {
+        let (flight, leader) = {
+            let mut inflight = self.inflight.lock().expect("coalescer not poisoned");
+            match inflight.get(&key) {
+                Some(f) => (Arc::clone(f), false),
+                None => {
+                    let f = Arc::new(Flight {
+                        slot: Mutex::new(None),
+                        done: Condvar::new(),
+                    });
+                    inflight.insert(key.clone(), Arc::clone(&f));
+                    (f, true)
+                }
+            }
+        };
+        if leader {
+            let value = compute();
+            {
+                let mut slot = flight.slot.lock().expect("flight not poisoned");
+                *slot = Some(value.clone());
+            }
+            flight.done.notify_all();
+            self.inflight
+                .lock()
+                .expect("coalescer not poisoned")
+                .remove(&key);
+            (value, false)
+        } else {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            let mut slot = flight.slot.lock().expect("flight not poisoned");
+            while slot.is_none() {
+                slot = flight.done.wait(slot).expect("flight not poisoned");
+            }
+            let value = slot.clone().expect("loop exits only when filled");
+            (value, true)
+        }
+    }
+
+    /// How many calls were followers (served by another call's work).
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> Default for Coalescer<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn single_caller_computes_and_is_not_a_follower() {
+        let c: Coalescer<u32, u32> = Coalescer::new();
+        let (v, coalesced) = c.run(1, || 42);
+        assert_eq!(v, 42);
+        assert!(!coalesced);
+        assert_eq!(c.coalesced(), 0);
+    }
+
+    #[test]
+    fn stampede_computes_once() {
+        const FOLLOWERS: usize = 7;
+        let c: Arc<Coalescer<u32, u32>> = Arc::new(Coalescer::new());
+        let computes = Arc::new(AtomicUsize::new(0));
+        let (started_tx, started_rx) = std::sync::mpsc::channel::<()>();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        std::thread::scope(|scope| {
+            // Leader: enters the flight, then blocks inside its compute
+            // until the main thread releases it.
+            {
+                let c = Arc::clone(&c);
+                let computes = Arc::clone(&computes);
+                scope.spawn(move || {
+                    let (v, coalesced) = c.run(7, || {
+                        computes.fetch_add(1, Ordering::SeqCst);
+                        started_tx.send(()).expect("main thread listening");
+                        release_rx.recv().expect("main thread releases");
+                        99
+                    });
+                    assert_eq!(v, 99);
+                    assert!(!coalesced);
+                });
+            }
+            started_rx.recv().expect("leader started");
+            // Followers arrive while the flight is open: all must coalesce.
+            for _ in 0..FOLLOWERS {
+                let c = Arc::clone(&c);
+                let computes = Arc::clone(&computes);
+                scope.spawn(move || {
+                    let (v, coalesced) = c.run(7, || {
+                        computes.fetch_add(1, Ordering::SeqCst);
+                        0
+                    });
+                    assert_eq!(v, 99);
+                    assert!(coalesced);
+                });
+            }
+            // Release the leader only after every follower has registered
+            // (followers bump the counter before waiting).
+            while c.coalesced() < FOLLOWERS as u64 {
+                std::thread::yield_now();
+            }
+            release_tx.send(()).expect("leader waiting");
+        });
+        assert_eq!(computes.load(Ordering::SeqCst), 1, "one compute");
+        assert_eq!(c.coalesced() as usize, FOLLOWERS, "rest coalesced");
+    }
+
+    #[test]
+    fn sequential_calls_compute_fresh() {
+        let c: Coalescer<u32, u32> = Coalescer::new();
+        let (a, _) = c.run(1, || 1);
+        let (b, _) = c.run(1, || 2);
+        assert_eq!((a, b), (1, 2));
+        assert_eq!(c.coalesced(), 0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Length-prefixed JSON frame codec.
+//!
+//! Every protocol message is one *frame*: a 4-byte big-endian length
+//! header followed by exactly that many bytes of UTF-8 JSON. The codec
+//! guards both directions: a header larger than [`MAX_FRAME`] is rejected
+//! before any allocation (a malicious or corrupt peer cannot make the
+//! server reserve gigabytes), and a stream that ends mid-frame is
+//! reported as [`FrameError::Truncated`] rather than being silently
+//! mis-parsed as the next frame.
+
+use opass_json::Json;
+use std::io::{Read, Write};
+
+/// Maximum frame body size, bytes. Generous for plans on thousands of
+/// tasks (a few hundred KB) while bounding per-connection memory.
+pub const MAX_FRAME: usize = 4 << 20;
+
+/// Header length, bytes.
+pub const HEADER_LEN: usize = 4;
+
+/// What can go wrong reading or writing a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The peer closed the connection cleanly at a frame boundary.
+    Closed,
+    /// The stream ended (or errored) in the middle of a frame.
+    Truncated {
+        /// Bytes the header (or the codec) expected.
+        expected: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// The header announced a body larger than [`MAX_FRAME`].
+    Oversized {
+        /// Announced body length.
+        len: usize,
+        /// The cap it exceeded.
+        max: usize,
+    },
+    /// The body was not valid JSON.
+    BadJson(String),
+    /// An underlying I/O error.
+    Io(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Truncated { expected, got } => {
+                write!(f, "truncated frame: expected {expected} bytes, got {got}")
+            }
+            FrameError::Oversized { len, max } => {
+                write!(f, "oversized frame: {len} bytes exceeds the {max}-byte cap")
+            }
+            FrameError::BadJson(e) => write!(f, "frame body is not valid JSON: {e}"),
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Parses and validates a frame header against `max` body bytes.
+pub fn parse_header(header: [u8; HEADER_LEN], max: usize) -> Result<usize, FrameError> {
+    let len = u32::from_be_bytes(header) as usize;
+    if len > max {
+        return Err(FrameError::Oversized { len, max });
+    }
+    Ok(len)
+}
+
+/// Parses a frame body into JSON.
+pub fn parse_body(body: &[u8]) -> Result<Json, FrameError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|e| FrameError::BadJson(format!("invalid utf-8: {e}")))?;
+    Json::parse(text).map_err(|e| FrameError::BadJson(e.to_string()))
+}
+
+/// Encodes `value` as one frame (header + compact JSON body).
+///
+/// Returns [`FrameError::Oversized`] if the encoded body would exceed
+/// [`MAX_FRAME`] — the writer enforces the same cap readers do.
+pub fn encode_frame(value: &Json) -> Result<Vec<u8>, FrameError> {
+    let body = value.to_compact().into_bytes();
+    if body.len() > MAX_FRAME {
+        return Err(FrameError::Oversized {
+            len: body.len(),
+            max: MAX_FRAME,
+        });
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    out.extend_from_slice(&body);
+    Ok(out)
+}
+
+/// Writes `value` as one frame to `w` and flushes.
+pub fn write_frame<W: Write>(w: &mut W, value: &Json) -> Result<(), FrameError> {
+    let bytes = encode_frame(value)?;
+    w.write_all(&bytes)
+        .and_then(|_| w.flush())
+        .map_err(|e| FrameError::Io(e.to_string()))
+}
+
+/// Reads exactly `buf.len()` bytes, distinguishing a clean close before
+/// the first byte (`allow_closed`) from a mid-frame truncation.
+fn read_exact_or_truncated<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    allow_closed: bool,
+) -> Result<(), FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 && allow_closed {
+                    return Err(FrameError::Closed);
+                }
+                return Err(FrameError::Truncated {
+                    expected: buf.len(),
+                    got: filled,
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e.to_string())),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame from `r` (blocking until a full frame arrives).
+///
+/// A clean EOF before the first header byte is [`FrameError::Closed`];
+/// an EOF anywhere later is [`FrameError::Truncated`].
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Json, FrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    read_exact_or_truncated(r, &mut header, true)?;
+    let len = parse_header(header, MAX_FRAME)?;
+    let mut body = vec![0u8; len];
+    read_exact_or_truncated(r, &mut body, false)?;
+    parse_body(&body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn frame_of(text: &str) -> Vec<u8> {
+        let mut out = (text.len() as u32).to_be_bytes().to_vec();
+        out.extend_from_slice(text.as_bytes());
+        out
+    }
+
+    #[test]
+    fn round_trips_a_value() {
+        let v = Json::object([
+            ("type".into(), Json::from("ping")),
+            ("v".into(), Json::from(1u64)),
+        ]);
+        let bytes = encode_frame(&v).expect("frame encodes");
+        let back = read_frame(&mut Cursor::new(bytes)).expect("frame decodes");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn two_frames_in_sequence() {
+        let mut bytes = frame_of("{\"a\":1}");
+        bytes.extend(frame_of("{\"b\":2}"));
+        let mut cur = Cursor::new(bytes);
+        assert!(read_frame(&mut cur)
+            .expect("first frame")
+            .get("a")
+            .is_some());
+        assert!(read_frame(&mut cur)
+            .expect("second frame")
+            .get("b")
+            .is_some());
+        assert_eq!(read_frame(&mut cur), Err(FrameError::Closed));
+    }
+
+    #[test]
+    fn clean_eof_is_closed_partial_header_is_truncated() {
+        assert_eq!(
+            read_frame(&mut Cursor::new(vec![])),
+            Err(FrameError::Closed)
+        );
+        assert_eq!(
+            read_frame(&mut Cursor::new(vec![0u8, 0])),
+            Err(FrameError::Truncated {
+                expected: 4,
+                got: 2
+            })
+        );
+    }
+
+    #[test]
+    fn truncated_body_is_reported_with_counts() {
+        // Header promises 100 bytes, only 10 arrive.
+        let mut bytes = 100u32.to_be_bytes().to_vec();
+        bytes.extend_from_slice(&[b'x'; 10]);
+        assert_eq!(
+            read_frame(&mut Cursor::new(bytes)),
+            Err(FrameError::Truncated {
+                expected: 100,
+                got: 10
+            })
+        );
+    }
+
+    #[test]
+    fn oversized_header_is_rejected_before_reading_the_body() {
+        let bytes = ((MAX_FRAME + 1) as u32).to_be_bytes().to_vec();
+        assert_eq!(
+            read_frame(&mut Cursor::new(bytes)),
+            Err(FrameError::Oversized {
+                len: MAX_FRAME + 1,
+                max: MAX_FRAME
+            })
+        );
+    }
+
+    #[test]
+    fn garbage_body_is_bad_json() {
+        let bytes = frame_of("{nope");
+        match read_frame(&mut Cursor::new(bytes)) {
+            Err(FrameError::BadJson(_)) => {}
+            other => panic!("expected BadJson, got {other:?}"),
+        }
+        let invalid_utf8 = {
+            let mut b = 2u32.to_be_bytes().to_vec();
+            b.extend_from_slice(&[0xff, 0xfe]);
+            b
+        };
+        match read_frame(&mut Cursor::new(invalid_utf8)) {
+            Err(FrameError::BadJson(m)) => assert!(m.contains("utf-8")),
+            other => panic!("expected BadJson, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn writer_enforces_the_same_cap() {
+        let huge = Json::from("x".repeat(MAX_FRAME));
+        match encode_frame(&huge) {
+            Err(FrameError::Oversized { .. }) => {}
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Per-request service metrics: counters and a latency histogram.
+//!
+//! The histogram uses power-of-two microsecond buckets (the same
+//! `{lo, hi, count}` bin vocabulary the runtime's `RunMetrics` exports),
+//! recorded lock-free from worker threads and snapshotted on demand for
+//! the `stats` response. Quantiles are read off the cumulative bucket
+//! walk, so p50/p99 are upper bounds at bucket resolution — exactly what
+//! a load generator needs to gate regressions, without per-sample
+//! storage.
+
+use crate::protocol::LatencyBin;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of histogram buckets. Bucket `k > 0` covers
+/// `[2^(k-1), 2^k)` µs; bucket 0 covers `[0, 1)`. The last bucket
+/// (`2^30` µs ≈ 18 minutes) absorbs everything larger.
+const NBUCKETS: usize = 32;
+
+/// A lock-free power-of-two latency histogram, in microseconds.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; NBUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+fn bucket_of(us: u64) -> usize {
+    if us == 0 {
+        0
+    } else {
+        ((64 - us.leading_zeros()) as usize).min(NBUCKETS - 1)
+    }
+}
+
+fn bucket_lo(idx: usize) -> u64 {
+    if idx == 0 {
+        0
+    } else {
+        1u64 << (idx - 1)
+    }
+}
+
+fn bucket_hi(idx: usize) -> u64 {
+    1u64 << idx
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample of `us` microseconds.
+    pub fn record(&self, us: u64) {
+        self.buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough snapshot: `(count, mean_us, p50_us, p99_us,
+    /// non-empty bins)`. Quantiles are bucket upper bounds.
+    pub fn snapshot(&self) -> (u64, f64, f64, f64, Vec<LatencyBin>) {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        let sum = self.sum_us.load(Ordering::Relaxed);
+        let mean = if count == 0 {
+            0.0
+        } else {
+            sum as f64 / count as f64
+        };
+        let bins: Vec<LatencyBin> = counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| LatencyBin {
+                lo: bucket_lo(i) as f64,
+                hi: bucket_hi(i) as f64,
+                count: c,
+            })
+            .collect();
+        let quantile = |q: f64| -> f64 {
+            if count == 0 {
+                return 0.0;
+            }
+            let target = (q * count as f64).ceil().max(1.0) as u64;
+            let mut seen = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= target {
+                    return bucket_hi(i) as f64;
+                }
+            }
+            bucket_hi(NBUCKETS - 1) as f64
+        };
+        (count, mean, quantile(0.50), quantile(0.99), bins)
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Top-level request counters for the service.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Requests received (all types).
+    pub requests: AtomicU64,
+    /// Plans computed on the cold path (cache miss, leader flight).
+    pub planned: AtomicU64,
+    /// Latency of plan/layout request handling.
+    pub latency: LatencyHistogram,
+}
+
+impl ServeMetrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> ServeMetrics {
+        ServeMetrics::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), NBUCKETS - 1);
+        for idx in 1..NBUCKETS - 1 {
+            assert_eq!(bucket_of(bucket_lo(idx)), idx);
+            assert_eq!(bucket_of(bucket_hi(idx) - 1), idx);
+        }
+    }
+
+    #[test]
+    fn quantiles_walk_the_cumulative_counts() {
+        let h = LatencyHistogram::new();
+        // 99 fast samples at 1 µs, one slow at ~1 ms.
+        for _ in 0..99 {
+            h.record(1);
+        }
+        h.record(1000);
+        let (count, mean, p50, p99, bins) = h.snapshot();
+        assert_eq!(count, 100);
+        assert!((mean - (99.0 + 1000.0) / 100.0).abs() < 1e-9);
+        assert_eq!(p50, 2.0, "p50 lands in the 1 µs bucket (hi = 2)");
+        assert_eq!(p99, 2.0, "99 of 100 samples are in the 1 µs bucket");
+        assert_eq!(bins.len(), 2);
+        assert_eq!(bins[0].count, 99);
+        assert_eq!(bins[1].count, 1);
+    }
+
+    #[test]
+    fn empty_histogram_snapshots_zeroes() {
+        let h = LatencyHistogram::new();
+        let (count, mean, p50, p99, bins) = h.snapshot();
+        assert_eq!((count, mean, p50, p99), (0, 0.0, 0.0, 0.0));
+        assert!(bins.is_empty());
+    }
+}

@@ -1,0 +1,741 @@
+//! The wire protocol: versioned request/response messages.
+//!
+//! Every message is one JSON frame (see [`crate::frame`]) whose object
+//! carries a `"v"` version field and a `"type"` tag. The version is
+//! checked on decode: a peer speaking a different protocol version gets a
+//! typed error instead of a misinterpreted message. Unknown dataset
+//! indices, unparsable strategies, and malformed fields are all decode
+//! errors — a request that decodes successfully is structurally valid.
+
+use crate::frame::FrameError;
+use opass_core::Strategy;
+use opass_json::Json;
+
+/// The protocol version this build speaks.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// A decode failure: version mismatch or malformed message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The peer's `"v"` field differs from [`PROTOCOL_VERSION`].
+    BadVersion {
+        /// The version the peer sent (0 when absent).
+        got: u64,
+    },
+    /// Structurally invalid message.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::BadVersion { got } => write!(
+                f,
+                "protocol version mismatch: peer sent v{got}, this build speaks v{PROTOCOL_VERSION}"
+            ),
+            ProtoError::Malformed(m) => write!(f, "malformed message: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+fn check_version(v: &Json) -> Result<(), ProtoError> {
+    let got = v.get("v").and_then(Json::as_u64).unwrap_or(0);
+    if got != PROTOCOL_VERSION {
+        return Err(ProtoError::BadVersion { got });
+    }
+    Ok(())
+}
+
+fn field<'a>(v: &'a Json, name: &str) -> Result<&'a Json, ProtoError> {
+    v.get(name)
+        .ok_or_else(|| ProtoError::Malformed(format!("missing field {name:?}")))
+}
+
+fn u64_field(v: &Json, name: &str) -> Result<u64, ProtoError> {
+    field(v, name)?
+        .as_u64()
+        .ok_or_else(|| ProtoError::Malformed(format!("field {name:?} must be an unsigned integer")))
+}
+
+fn usize_field(v: &Json, name: &str) -> Result<usize, ProtoError> {
+    Ok(u64_field(v, name)? as usize)
+}
+
+fn f64_field(v: &Json, name: &str) -> Result<f64, ProtoError> {
+    field(v, name)?
+        .as_f64()
+        .ok_or_else(|| ProtoError::Malformed(format!("field {name:?} must be a number")))
+}
+
+fn str_field<'a>(v: &'a Json, name: &str) -> Result<&'a str, ProtoError> {
+    field(v, name)?
+        .as_str()
+        .ok_or_else(|| ProtoError::Malformed(format!("field {name:?} must be a string")))
+}
+
+fn bool_field(v: &Json, name: &str) -> Result<bool, ProtoError> {
+    field(v, name)?
+        .as_bool()
+        .ok_or_else(|| ProtoError::Malformed(format!("field {name:?} must be a boolean")))
+}
+
+fn envelope(ty: &str, mut fields: Vec<(String, Json)>) -> Json {
+    let mut pairs = vec![
+        ("v".to_string(), Json::from(PROTOCOL_VERSION)),
+        ("type".to_string(), Json::from(ty)),
+    ];
+    pairs.append(&mut fields);
+    Json::Object(pairs)
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness / version probe.
+    Ping,
+    /// Compute (or fetch from cache) a plan for a dataset.
+    Plan {
+        /// Dataset index (`0..spec.n_datasets`).
+        dataset: usize,
+        /// Assignment strategy (`rank_interval`, `random`, `opass`).
+        strategy: Strategy,
+        /// Seed for the strategy's random choices.
+        seed: u64,
+    },
+    /// Fetch the (possibly cached) layout snapshot of a dataset.
+    Layout {
+        /// Dataset index.
+        dataset: usize,
+    },
+    /// Fetch service counters and the latency histogram.
+    Stats,
+    /// Bump the invalidation generation (stands in for a namenode
+    /// mutation notification); all cached layouts and plans become stale.
+    Invalidate,
+    /// Ask the server to shut down gracefully (drain in-flight work).
+    Shutdown,
+}
+
+impl Request {
+    /// Encodes the request as a wire JSON object.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Ping => envelope("ping", vec![]),
+            Request::Plan {
+                dataset,
+                strategy,
+                seed,
+            } => envelope(
+                "plan",
+                vec![
+                    ("dataset".to_string(), Json::from(*dataset)),
+                    ("strategy".to_string(), Json::from(strategy.label())),
+                    ("seed".to_string(), Json::from(*seed)),
+                ],
+            ),
+            Request::Layout { dataset } => envelope(
+                "layout",
+                vec![("dataset".to_string(), Json::from(*dataset))],
+            ),
+            Request::Stats => envelope("stats", vec![]),
+            Request::Invalidate => envelope("invalidate", vec![]),
+            Request::Shutdown => envelope("shutdown", vec![]),
+        }
+    }
+
+    /// Decodes a wire JSON object, checking the protocol version first.
+    pub fn from_json(v: &Json) -> Result<Request, ProtoError> {
+        check_version(v)?;
+        match str_field(v, "type")? {
+            "ping" => Ok(Request::Ping),
+            "plan" => {
+                let label = str_field(v, "strategy")?;
+                let strategy = Strategy::parse(label)
+                    .ok_or_else(|| ProtoError::Malformed(format!("unknown strategy {label:?}")))?;
+                Ok(Request::Plan {
+                    dataset: usize_field(v, "dataset")?,
+                    strategy,
+                    seed: u64_field(v, "seed")?,
+                })
+            }
+            "layout" => Ok(Request::Layout {
+                dataset: usize_field(v, "dataset")?,
+            }),
+            "stats" => Ok(Request::Stats),
+            "invalidate" => Ok(Request::Invalidate),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(ProtoError::Malformed(format!(
+                "unknown request type {other:?}"
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// A computed (or cached) plan, as shipped over the wire.
+///
+/// For a fixed `(spec, generation, strategy, seed)` the `owners` vector is
+/// byte-identical to the in-process planner's output — the service adds
+/// caching and concurrency, never different answers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanReply {
+    /// Dataset index the plan is for.
+    pub dataset: usize,
+    /// Invalidation generation the plan was computed under.
+    pub generation: u64,
+    /// Strategy label.
+    pub strategy: String,
+    /// Seed the plan was computed with.
+    pub seed: u64,
+    /// Owning process per task, in task order.
+    pub owners: Vec<usize>,
+    /// Tasks matched to co-located processes (0 for baselines).
+    pub matched_files: usize,
+    /// Tasks placed by the fill policy (0 for baselines).
+    pub filled_files: usize,
+    /// Fraction of tasks whose data is local to their owner.
+    pub local_task_fraction: f64,
+    /// Fraction of bytes readable locally.
+    pub local_byte_fraction: f64,
+    /// True when the reply was served from the plan cache.
+    pub cached: bool,
+    /// True when this request piggybacked on another in-flight
+    /// computation of the same key.
+    pub coalesced: bool,
+}
+
+impl PlanReply {
+    /// Encodes as wire JSON.
+    pub fn to_json(&self) -> Json {
+        envelope(
+            "plan",
+            vec![
+                ("dataset".to_string(), Json::from(self.dataset)),
+                ("generation".to_string(), Json::from(self.generation)),
+                ("strategy".to_string(), Json::from(self.strategy.clone())),
+                ("seed".to_string(), Json::from(self.seed)),
+                (
+                    "owners".to_string(),
+                    Json::array(self.owners.iter().map(|&o| Json::from(o))),
+                ),
+                ("matched_files".to_string(), Json::from(self.matched_files)),
+                ("filled_files".to_string(), Json::from(self.filled_files)),
+                (
+                    "local_task_fraction".to_string(),
+                    Json::from(self.local_task_fraction),
+                ),
+                (
+                    "local_byte_fraction".to_string(),
+                    Json::from(self.local_byte_fraction),
+                ),
+                ("cached".to_string(), Json::from(self.cached)),
+                ("coalesced".to_string(), Json::from(self.coalesced)),
+            ],
+        )
+    }
+
+    fn from_json(v: &Json) -> Result<PlanReply, ProtoError> {
+        let owners = field(v, "owners")?
+            .as_array()
+            .ok_or_else(|| ProtoError::Malformed("field \"owners\" must be an array".into()))?
+            .iter()
+            .map(|o| {
+                o.as_usize()
+                    .ok_or_else(|| ProtoError::Malformed("owner must be an integer".into()))
+            })
+            .collect::<Result<Vec<usize>, ProtoError>>()?;
+        Ok(PlanReply {
+            dataset: usize_field(v, "dataset")?,
+            generation: u64_field(v, "generation")?,
+            strategy: str_field(v, "strategy")?.to_string(),
+            seed: u64_field(v, "seed")?,
+            owners,
+            matched_files: usize_field(v, "matched_files")?,
+            filled_files: usize_field(v, "filled_files")?,
+            local_task_fraction: f64_field(v, "local_task_fraction")?,
+            local_byte_fraction: f64_field(v, "local_byte_fraction")?,
+            cached: bool_field(v, "cached")?,
+            coalesced: bool_field(v, "coalesced")?,
+        })
+    }
+}
+
+/// One chunk's layout entry on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayoutEntry {
+    /// Chunk id (raw).
+    pub chunk: u64,
+    /// Size, bytes.
+    pub size: u64,
+    /// Replica holder node ids (raw), sorted.
+    pub locations: Vec<u64>,
+}
+
+/// A dataset layout snapshot, as shipped over the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayoutReply {
+    /// Dataset index.
+    pub dataset: usize,
+    /// Generation the snapshot was captured under.
+    pub generation: u64,
+    /// True when served from the layout cache.
+    pub cached: bool,
+    /// One entry per chunk, in task order.
+    pub entries: Vec<LayoutEntry>,
+}
+
+impl LayoutReply {
+    /// Encodes as wire JSON.
+    pub fn to_json(&self) -> Json {
+        envelope(
+            "layout",
+            vec![
+                ("dataset".to_string(), Json::from(self.dataset)),
+                ("generation".to_string(), Json::from(self.generation)),
+                ("cached".to_string(), Json::from(self.cached)),
+                (
+                    "entries".to_string(),
+                    Json::array(self.entries.iter().map(|e| {
+                        Json::object([
+                            ("chunk".to_string(), Json::from(e.chunk)),
+                            ("size".to_string(), Json::from(e.size)),
+                            (
+                                "locations".to_string(),
+                                Json::array(e.locations.iter().map(|&n| Json::from(n))),
+                            ),
+                        ])
+                    })),
+                ),
+            ],
+        )
+    }
+
+    fn from_json(v: &Json) -> Result<LayoutReply, ProtoError> {
+        let entries = field(v, "entries")?
+            .as_array()
+            .ok_or_else(|| ProtoError::Malformed("field \"entries\" must be an array".into()))?
+            .iter()
+            .map(|e| {
+                let locations = field(e, "locations")?
+                    .as_array()
+                    .ok_or_else(|| {
+                        ProtoError::Malformed("field \"locations\" must be an array".into())
+                    })?
+                    .iter()
+                    .map(|n| {
+                        n.as_u64().ok_or_else(|| {
+                            ProtoError::Malformed("location must be an integer".into())
+                        })
+                    })
+                    .collect::<Result<Vec<u64>, ProtoError>>()?;
+                Ok(LayoutEntry {
+                    chunk: u64_field(e, "chunk")?,
+                    size: u64_field(e, "size")?,
+                    locations,
+                })
+            })
+            .collect::<Result<Vec<LayoutEntry>, ProtoError>>()?;
+        Ok(LayoutReply {
+            dataset: usize_field(v, "dataset")?,
+            generation: u64_field(v, "generation")?,
+            cached: bool_field(v, "cached")?,
+            entries,
+        })
+    }
+}
+
+/// One latency histogram bin (same `lo`/`hi`/`count` vocabulary as the
+/// observability subsystem's `HistogramBin`), edges in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyBin {
+    /// Inclusive lower edge, microseconds.
+    pub lo: f64,
+    /// Exclusive upper edge, microseconds.
+    pub hi: f64,
+    /// Requests whose latency fell in the bin.
+    pub count: u64,
+}
+
+/// Service counters and latency distribution.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatsReply {
+    /// Current invalidation generation.
+    pub generation: u64,
+    /// Requests accepted (all types).
+    pub requests: u64,
+    /// Plans actually computed (cache misses that ran the planner).
+    pub planned: u64,
+    /// Namenode layout walks performed.
+    pub layout_walks: u64,
+    /// Plan + layout cache hits.
+    pub cache_hits: u64,
+    /// Plan + layout cache misses.
+    pub cache_misses: u64,
+    /// Cache entries dropped because their generation was stale.
+    pub cache_invalidated: u64,
+    /// Requests that piggybacked on an in-flight computation.
+    pub coalesced: u64,
+    /// Requests shed because the bounded queue was full.
+    pub shed: u64,
+    /// Planning jobs currently queued.
+    pub queue_depth: usize,
+    /// Queue capacity.
+    pub queue_capacity: usize,
+    /// Worker threads.
+    pub workers: usize,
+    /// Requests measured by the latency histogram.
+    pub latency_count: u64,
+    /// Mean service latency, microseconds.
+    pub latency_mean_us: f64,
+    /// Approximate median latency, microseconds.
+    pub latency_p50_us: f64,
+    /// Approximate 99th-percentile latency, microseconds.
+    pub latency_p99_us: f64,
+    /// Non-empty latency histogram bins.
+    pub latency_histogram: Vec<LatencyBin>,
+}
+
+impl StatsReply {
+    /// Encodes as wire JSON (counters + queue + latency sub-objects,
+    /// mirroring the `RunMetrics` JSON layout).
+    pub fn to_json(&self) -> Json {
+        envelope(
+            "stats",
+            vec![
+                ("generation".to_string(), Json::from(self.generation)),
+                (
+                    "counters".to_string(),
+                    Json::object([
+                        ("requests".to_string(), Json::from(self.requests)),
+                        ("planned".to_string(), Json::from(self.planned)),
+                        ("layout_walks".to_string(), Json::from(self.layout_walks)),
+                        ("cache_hits".to_string(), Json::from(self.cache_hits)),
+                        ("cache_misses".to_string(), Json::from(self.cache_misses)),
+                        (
+                            "cache_invalidated".to_string(),
+                            Json::from(self.cache_invalidated),
+                        ),
+                        ("coalesced".to_string(), Json::from(self.coalesced)),
+                        ("shed".to_string(), Json::from(self.shed)),
+                    ]),
+                ),
+                (
+                    "queue".to_string(),
+                    Json::object([
+                        ("depth".to_string(), Json::from(self.queue_depth)),
+                        ("capacity".to_string(), Json::from(self.queue_capacity)),
+                        ("workers".to_string(), Json::from(self.workers)),
+                    ]),
+                ),
+                (
+                    "latency_us".to_string(),
+                    Json::object([
+                        ("count".to_string(), Json::from(self.latency_count)),
+                        ("mean".to_string(), Json::from(self.latency_mean_us)),
+                        ("p50".to_string(), Json::from(self.latency_p50_us)),
+                        ("p99".to_string(), Json::from(self.latency_p99_us)),
+                        (
+                            "histogram".to_string(),
+                            Json::array(self.latency_histogram.iter().map(|b| {
+                                Json::object([
+                                    ("lo".to_string(), Json::from(b.lo)),
+                                    ("hi".to_string(), Json::from(b.hi)),
+                                    ("count".to_string(), Json::from(b.count)),
+                                ])
+                            })),
+                        ),
+                    ]),
+                ),
+            ],
+        )
+    }
+
+    fn from_json(v: &Json) -> Result<StatsReply, ProtoError> {
+        let counters = field(v, "counters")?;
+        let queue = field(v, "queue")?;
+        let latency = field(v, "latency_us")?;
+        let histogram = field(latency, "histogram")?
+            .as_array()
+            .ok_or_else(|| ProtoError::Malformed("histogram must be an array".into()))?
+            .iter()
+            .map(|b| {
+                Ok(LatencyBin {
+                    lo: f64_field(b, "lo")?,
+                    hi: f64_field(b, "hi")?,
+                    count: u64_field(b, "count")?,
+                })
+            })
+            .collect::<Result<Vec<LatencyBin>, ProtoError>>()?;
+        Ok(StatsReply {
+            generation: u64_field(v, "generation")?,
+            requests: u64_field(counters, "requests")?,
+            planned: u64_field(counters, "planned")?,
+            layout_walks: u64_field(counters, "layout_walks")?,
+            cache_hits: u64_field(counters, "cache_hits")?,
+            cache_misses: u64_field(counters, "cache_misses")?,
+            cache_invalidated: u64_field(counters, "cache_invalidated")?,
+            coalesced: u64_field(counters, "coalesced")?,
+            shed: u64_field(counters, "shed")?,
+            queue_depth: usize_field(queue, "depth")?,
+            queue_capacity: usize_field(queue, "capacity")?,
+            workers: usize_field(queue, "workers")?,
+            latency_count: u64_field(latency, "count")?,
+            latency_mean_us: f64_field(latency, "mean")?,
+            latency_p50_us: f64_field(latency, "p50")?,
+            latency_p99_us: f64_field(latency, "p99")?,
+            latency_histogram: histogram,
+        })
+    }
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Reply to [`Request::Ping`]: the server's protocol version and world
+    /// dimensions.
+    Pong {
+        /// Protocol version the server speaks.
+        protocol: u64,
+        /// Nodes in the served cluster.
+        nodes: usize,
+        /// Datasets available for planning.
+        datasets: usize,
+    },
+    /// A plan.
+    Plan(PlanReply),
+    /// A layout snapshot.
+    Layout(LayoutReply),
+    /// Service statistics.
+    Stats(StatsReply),
+    /// The generation after an invalidation.
+    Invalidated {
+        /// The new generation.
+        generation: u64,
+    },
+    /// The bounded queue was full: the request was shed, not queued. The
+    /// client may retry later; the server never blocks an accept on a
+    /// full queue.
+    Overloaded {
+        /// Queue depth observed when shedding (== capacity).
+        queue_depth: usize,
+    },
+    /// The server is draining and will close the connection.
+    ShuttingDown,
+    /// The request could not be served (unknown dataset, bad message, …).
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Encodes the response as a wire JSON object.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::Pong {
+                protocol,
+                nodes,
+                datasets,
+            } => envelope(
+                "pong",
+                vec![
+                    ("protocol".to_string(), Json::from(*protocol)),
+                    ("nodes".to_string(), Json::from(*nodes)),
+                    ("datasets".to_string(), Json::from(*datasets)),
+                ],
+            ),
+            Response::Plan(p) => p.to_json(),
+            Response::Layout(l) => l.to_json(),
+            Response::Stats(s) => s.to_json(),
+            Response::Invalidated { generation } => envelope(
+                "invalidated",
+                vec![("generation".to_string(), Json::from(*generation))],
+            ),
+            Response::Overloaded { queue_depth } => envelope(
+                "overloaded",
+                vec![("queue_depth".to_string(), Json::from(*queue_depth))],
+            ),
+            Response::ShuttingDown => envelope("shutting_down", vec![]),
+            Response::Error { message } => envelope(
+                "error",
+                vec![("message".to_string(), Json::from(message.clone()))],
+            ),
+        }
+    }
+
+    /// Decodes a wire JSON object, checking the protocol version first.
+    pub fn from_json(v: &Json) -> Result<Response, ProtoError> {
+        check_version(v)?;
+        match str_field(v, "type")? {
+            "pong" => Ok(Response::Pong {
+                protocol: u64_field(v, "protocol")?,
+                nodes: usize_field(v, "nodes")?,
+                datasets: usize_field(v, "datasets")?,
+            }),
+            "plan" => Ok(Response::Plan(PlanReply::from_json(v)?)),
+            "layout" => Ok(Response::Layout(LayoutReply::from_json(v)?)),
+            "stats" => Ok(Response::Stats(StatsReply::from_json(v)?)),
+            "invalidated" => Ok(Response::Invalidated {
+                generation: u64_field(v, "generation")?,
+            }),
+            "overloaded" => Ok(Response::Overloaded {
+                queue_depth: usize_field(v, "queue_depth")?,
+            }),
+            "shutting_down" => Ok(Response::ShuttingDown),
+            "error" => Ok(Response::Error {
+                message: str_field(v, "message")?.to_string(),
+            }),
+            other => Err(ProtoError::Malformed(format!(
+                "unknown response type {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Convenience: a protocol error rendered as a frame-layer error (used
+/// where the two layers meet in client code).
+impl From<ProtoError> for FrameError {
+    fn from(e: ProtoError) -> FrameError {
+        FrameError::BadJson(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [
+            Request::Ping,
+            Request::Plan {
+                dataset: 3,
+                strategy: Strategy::Opass,
+                seed: 99,
+            },
+            Request::Layout { dataset: 0 },
+            Request::Stats,
+            Request::Invalidate,
+            Request::Shutdown,
+        ] {
+            let back = Request::from_json(&req.to_json()).expect("round trip");
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let plan = PlanReply {
+            dataset: 1,
+            generation: 4,
+            strategy: "opass".into(),
+            seed: 7,
+            owners: vec![0, 2, 1],
+            matched_files: 2,
+            filled_files: 1,
+            local_task_fraction: 0.66,
+            local_byte_fraction: 0.5,
+            cached: true,
+            coalesced: false,
+        };
+        let stats = StatsReply {
+            generation: 4,
+            requests: 10,
+            planned: 2,
+            cache_hits: 7,
+            cache_misses: 3,
+            coalesced: 1,
+            shed: 5,
+            queue_depth: 0,
+            queue_capacity: 64,
+            workers: 4,
+            latency_count: 10,
+            latency_mean_us: 120.0,
+            latency_p50_us: 64.0,
+            latency_p99_us: 1024.0,
+            latency_histogram: vec![LatencyBin {
+                lo: 64.0,
+                hi: 128.0,
+                count: 10,
+            }],
+            ..Default::default()
+        };
+        for resp in [
+            Response::Pong {
+                protocol: PROTOCOL_VERSION,
+                nodes: 64,
+                datasets: 8,
+            },
+            Response::Plan(plan),
+            Response::Layout(LayoutReply {
+                dataset: 0,
+                generation: 1,
+                cached: false,
+                entries: vec![LayoutEntry {
+                    chunk: 5,
+                    size: 1024,
+                    locations: vec![1, 2, 3],
+                }],
+            }),
+            Response::Stats(stats),
+            Response::Invalidated { generation: 5 },
+            Response::Overloaded { queue_depth: 64 },
+            Response::ShuttingDown,
+            Response::Error {
+                message: "nope".into(),
+            },
+        ] {
+            let back = Response::from_json(&resp.to_json()).expect("round trip");
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut msg = Request::Ping.to_json();
+        if let Json::Object(pairs) = &mut msg {
+            pairs[0].1 = Json::from(2u64);
+        }
+        assert_eq!(
+            Request::from_json(&msg),
+            Err(ProtoError::BadVersion { got: 2 })
+        );
+        let missing = Json::object([("type".to_string(), Json::from("ping"))]);
+        assert_eq!(
+            Request::from_json(&missing),
+            Err(ProtoError::BadVersion { got: 0 })
+        );
+    }
+
+    #[test]
+    fn unknown_types_and_strategies_are_malformed() {
+        let bad = Json::object([
+            ("v".to_string(), Json::from(PROTOCOL_VERSION)),
+            ("type".to_string(), Json::from("frobnicate")),
+        ]);
+        assert!(matches!(
+            Request::from_json(&bad),
+            Err(ProtoError::Malformed(_))
+        ));
+        let bad_strategy = Json::object([
+            ("v".to_string(), Json::from(PROTOCOL_VERSION)),
+            ("type".to_string(), Json::from("plan")),
+            ("dataset".to_string(), Json::from(0usize)),
+            ("strategy".to_string(), Json::from("sorcery")),
+            ("seed".to_string(), Json::from(1u64)),
+        ]);
+        assert!(matches!(
+            Request::from_json(&bad_strategy),
+            Err(ProtoError::Malformed(_))
+        ));
+    }
+}

@@ -1,0 +1,454 @@
+//! The planning server: accept loop, connection threads, and the
+//! cached/coalesced planning path.
+//!
+//! One thread accepts connections; each connection gets a thread that
+//! decodes frames and answers cheap requests (`ping`, `stats`,
+//! `invalidate`) inline. Planning and layout requests go through the
+//! bounded [`WorkerPool`] — the admission valve — and inside a worker
+//! the path is: plan cache → coalesced flight → layout cache → namenode
+//! walk → planner. Every cache entry is stamped with the [`World`]
+//! generation, so one atomic bump invalidates everything.
+//!
+//! Shutdown (local [`ServerHandle::shutdown`] or a remote `shutdown`
+//! request) is graceful: stop accepting, unblock connection reads,
+//! finish every admitted planning job, then join all threads. A request
+//! that was admitted always gets its reply; one that was not gets a
+//! typed `overloaded`/`shutting_down` refusal. Nothing hangs.
+
+use crate::cache::ShardedCache;
+use crate::coalesce::Coalescer;
+use crate::frame::{read_frame, write_frame, FrameError};
+use crate::metrics::ServeMetrics;
+use crate::pool::{SubmitError, WorkerPool};
+use crate::protocol::{
+    LayoutEntry, LayoutReply, PlanReply, Request, Response, StatsReply, PROTOCOL_VERSION,
+};
+use crate::spec::{ServeSpec, World};
+use opass_core::dfs::LayoutSnapshot;
+use opass_core::matching::locality_report;
+use opass_core::runtime::baseline::{random_assignment, rank_interval};
+use opass_core::runtime::ProcessPlacement;
+use opass_core::{build_locality_graph_from_layout, OpassPlanner, Strategy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (use port 0 for an OS-assigned port).
+    pub addr: String,
+    /// Worker threads executing planning jobs.
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it are shed.
+    pub queue_depth: usize,
+    /// The world to serve.
+    pub spec: ServeSpec,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            spec: ServeSpec::default(),
+        }
+    }
+}
+
+/// Plan cache / coalescing key: `(dataset, strategy label, seed)`. The
+/// cache stamps entries with the generation; flights append it to the key.
+type PlanKey = (usize, String, u64);
+
+/// State shared by the accept loop, connection threads, and workers.
+pub(crate) struct Shared {
+    world: World,
+    placement: ProcessPlacement,
+    planner: OpassPlanner,
+    layout_cache: ShardedCache<usize, Arc<LayoutSnapshot>>,
+    plan_cache: ShardedCache<PlanKey, Arc<PlanReply>>,
+    plan_flights: Coalescer<(PlanKey, u64), Arc<PlanReply>>,
+    layout_flights: Coalescer<(usize, u64), Arc<LayoutSnapshot>>,
+    pool: WorkerPool,
+    metrics: ServeMetrics,
+    closing: AtomicBool,
+    /// Clones of accepted streams, so shutdown can unblock reads.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+impl Shared {
+    /// The layout for `dataset` under `generation`: cache hit, or a
+    /// (coalesced) namenode walk that fills the cache. The flag reports
+    /// whether the cache served it.
+    fn layout_for(&self, dataset: usize, generation: u64) -> (Arc<LayoutSnapshot>, bool) {
+        if let Some(snap) = self.layout_cache.get(&dataset, generation) {
+            return (snap, true);
+        }
+        let (snap, _) = self.layout_flights.run((dataset, generation), || {
+            let snap = Arc::new(
+                self.world
+                    .capture_layout(dataset)
+                    .expect("dataset validated before submission"),
+            );
+            self.layout_cache
+                .insert(dataset, generation, Arc::clone(&snap));
+            snap
+        });
+        (snap, false)
+    }
+
+    /// Computes (or fetches) the plan for one request key. Runs on a
+    /// worker thread. Returns the reply with `cached`/`coalesced` set for
+    /// *this* request.
+    fn plan(&self, dataset: usize, strategy: &Strategy, seed: u64) -> Response {
+        let generation = self.world.generation();
+        let key: PlanKey = (dataset, strategy.label(), seed);
+        if let Some(hit) = self.plan_cache.get(&key, generation) {
+            let mut reply = (*hit).clone();
+            reply.cached = true;
+            return Response::Plan(reply);
+        }
+        let flight_key = (key.clone(), generation);
+        let (arc, coalesced) = self.plan_flights.run(flight_key, || {
+            self.metrics.planned.fetch_add(1, Ordering::Relaxed);
+            let (snapshot, _) = self.layout_for(dataset, generation);
+            let reply = Arc::new(self.compute_plan(dataset, strategy, seed, generation, &snapshot));
+            self.plan_cache.insert(key, generation, Arc::clone(&reply));
+            reply
+        });
+        let mut reply = (*arc).clone();
+        reply.coalesced = coalesced;
+        Response::Plan(reply)
+    }
+
+    /// The cold planning path: graph + matching (or baseline) from a
+    /// layout snapshot. Pure — byte-identical for equal inputs.
+    fn compute_plan(
+        &self,
+        dataset: usize,
+        strategy: &Strategy,
+        seed: u64,
+        generation: u64,
+        snapshot: &LayoutSnapshot,
+    ) -> PlanReply {
+        let n_tasks = snapshot.len();
+        let n_procs = self.placement.n_procs();
+        let (assignment, matched, filled) = match strategy {
+            Strategy::RankInterval => (rank_interval(n_tasks, n_procs), 0, 0),
+            Strategy::RandomAssign => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                (random_assignment(n_tasks, n_procs, &mut rng), 0, 0)
+            }
+            _ => {
+                let plan = self
+                    .planner
+                    .plan_single_data_layout(snapshot, &self.placement, seed);
+                (plan.assignment, plan.matched_files, plan.filled_files)
+            }
+        };
+        let graph = build_locality_graph_from_layout(snapshot, &self.placement);
+        let locality = locality_report(&assignment, &graph, &snapshot.sizes());
+        PlanReply {
+            dataset,
+            generation,
+            strategy: strategy.label(),
+            seed,
+            owners: assignment.owners().to_vec(),
+            matched_files: matched,
+            filled_files: filled,
+            local_task_fraction: locality.task_fraction(),
+            local_byte_fraction: locality.byte_fraction(),
+            cached: false,
+            coalesced: false,
+        }
+    }
+
+    /// Fetches (or captures) the layout reply for one request. Runs on a
+    /// worker thread.
+    fn layout(&self, dataset: usize) -> Response {
+        let generation = self.world.generation();
+        let (snap, was_cached) = self.layout_for(dataset, generation);
+        let entries = snap
+            .entries()
+            .iter()
+            .map(|e| LayoutEntry {
+                chunk: e.chunk.0,
+                size: e.size,
+                locations: e.locations.iter().map(|n| u64::from(n.0)).collect(),
+            })
+            .collect();
+        Response::Layout(LayoutReply {
+            dataset,
+            generation,
+            cached: was_cached,
+            entries,
+        })
+    }
+
+    /// Snapshot of every counter the service exports.
+    fn stats(&self) -> StatsReply {
+        let (count, mean, p50, p99, bins) = self.metrics.latency.snapshot();
+        StatsReply {
+            generation: self.world.generation(),
+            requests: self.metrics.requests.load(Ordering::Relaxed),
+            planned: self.metrics.planned.load(Ordering::Relaxed),
+            layout_walks: self.world.layout_walks(),
+            cache_hits: self.plan_cache.hits() + self.layout_cache.hits(),
+            cache_misses: self.plan_cache.misses() + self.layout_cache.misses(),
+            cache_invalidated: self.plan_cache.invalidated() + self.layout_cache.invalidated(),
+            coalesced: self.plan_flights.coalesced() + self.layout_flights.coalesced(),
+            shed: self.pool.shed(),
+            queue_depth: self.pool.depth(),
+            queue_capacity: self.pool.capacity(),
+            workers: self.pool.workers(),
+            latency_count: count,
+            latency_mean_us: mean,
+            latency_p50_us: p50,
+            latency_p99_us: p99,
+            latency_histogram: bins,
+        }
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the OS-assigned port resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Initiates shutdown (idempotent) and waits for the server to drain:
+    /// in-flight planning jobs finish, connections close, threads join.
+    pub fn shutdown(&self) {
+        initiate_close(&self.shared, self.addr);
+        self.wait();
+    }
+
+    /// Waits for the server to exit (e.g. after a remote `shutdown`
+    /// request) without initiating shutdown locally.
+    pub fn wait(&self) {
+        let handle = self
+            .accept
+            .lock()
+            .expect("accept handle not poisoned")
+            .take();
+        if let Some(h) = handle {
+            h.join().expect("accept thread exits cleanly");
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Marks the server as closing and wakes the blocked accept call with a
+/// throwaway connection.
+fn initiate_close(shared: &Shared, addr: SocketAddr) {
+    if !shared.closing.swap(true, Ordering::AcqRel) {
+        // Wake the accept loop; errors are fine (listener may be gone).
+        let _ = TcpStream::connect(addr);
+    }
+}
+
+/// Binds, spawns the accept loop, and returns a handle.
+///
+/// # Errors
+///
+/// Returns the bind error message if the address cannot be bound.
+pub fn serve(config: ServerConfig) -> Result<ServerHandle, String> {
+    let listener =
+        TcpListener::bind(&config.addr).map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("cannot resolve bound address: {e}"))?;
+    let placement = config.spec.placement();
+    let shared = Arc::new(Shared {
+        world: World::new(config.spec),
+        placement,
+        planner: OpassPlanner::default(),
+        layout_cache: ShardedCache::new(),
+        plan_cache: ShardedCache::new(),
+        plan_flights: Coalescer::new(),
+        layout_flights: Coalescer::new(),
+        pool: WorkerPool::new(config.workers, config.queue_depth),
+        metrics: ServeMetrics::new(),
+        closing: AtomicBool::new(false),
+        conns: Mutex::new(Vec::new()),
+    });
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("opass-serve-accept".to_string())
+            .spawn(move || accept_loop(&listener, &shared))
+            .expect("accept thread spawns")
+    };
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Mutex::new(Some(accept)),
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => break,
+        };
+        if shared.closing.load(Ordering::Acquire) {
+            // The wake-up connection (or a late client). Refuse politely.
+            let mut stream = stream;
+            let _ = write_frame(&mut stream, &Response::ShuttingDown.to_json());
+            break;
+        }
+        if let Ok(clone) = stream.try_clone() {
+            shared
+                .conns
+                .lock()
+                .expect("conn registry not poisoned")
+                .push(clone);
+        }
+        let shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name("opass-serve-conn".to_string())
+            .spawn(move || connection_loop(stream, &shared))
+            .expect("connection thread spawns");
+        conn_threads.push(handle);
+    }
+    // Drain: unblock every connection read, let each thread finish its
+    // in-flight request (workers are still alive, so admitted jobs
+    // complete and replies flow), then stop the pool.
+    for conn in shared
+        .conns
+        .lock()
+        .expect("conn registry not poisoned")
+        .iter()
+    {
+        let _ = conn.shutdown(std::net::Shutdown::Both);
+    }
+    for handle in conn_threads {
+        handle.join().expect("connection thread exits cleanly");
+    }
+    shared.pool.shutdown();
+}
+
+fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
+    loop {
+        let msg = match read_frame(&mut stream) {
+            Ok(msg) => msg,
+            Err(FrameError::Closed) => break,
+            Err(FrameError::Truncated { .. }) | Err(FrameError::Io(_)) => break,
+            Err(e) => {
+                // Oversized or unparsable frame: tell the peer, then hang
+                // up — framing is unrecoverable after a bad frame.
+                let resp = Response::Error {
+                    message: e.to_string(),
+                };
+                let _ = write_frame(&mut stream, &resp.to_json());
+                break;
+            }
+        };
+        shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let request = match Request::from_json(&msg) {
+            Ok(r) => r,
+            Err(e) => {
+                let resp = Response::Error {
+                    message: e.to_string(),
+                };
+                if write_frame(&mut stream, &resp.to_json()).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        let response = match request {
+            Request::Ping => Response::Pong {
+                protocol: PROTOCOL_VERSION,
+                nodes: shared.world.spec().n_nodes,
+                datasets: shared.world.spec().n_datasets,
+            },
+            Request::Stats => Response::Stats(shared.stats()),
+            Request::Invalidate => Response::Invalidated {
+                generation: shared.world.invalidate(),
+            },
+            Request::Shutdown => {
+                // Reply *before* waking the accept loop: once the drain
+                // starts, this connection's socket may be closed under us.
+                let _ = write_frame(&mut stream, &Response::ShuttingDown.to_json());
+                initiate_close(
+                    shared,
+                    stream
+                        .local_addr()
+                        .expect("connected stream has an address"),
+                );
+                break;
+            }
+            Request::Plan {
+                dataset,
+                strategy,
+                seed,
+            } => dispatch(shared, dataset, move |shared| {
+                shared.plan(dataset, &strategy, seed)
+            }),
+            Request::Layout { dataset } => {
+                dispatch(shared, dataset, move |shared| shared.layout(dataset))
+            }
+        };
+        if write_frame(&mut stream, &response.to_json()).is_err() {
+            break;
+        }
+    }
+}
+
+/// Runs `work` on the worker pool and waits for its reply, converting
+/// queue refusal into a typed response. Latency (admission to reply) is
+/// recorded for served requests.
+fn dispatch<F>(shared: &Arc<Shared>, dataset: usize, work: F) -> Response
+where
+    F: FnOnce(&Shared) -> Response + Send + 'static,
+{
+    if !shared.world.has_dataset(dataset) {
+        return Response::Error {
+            message: format!(
+                "unknown dataset {dataset} (world has {})",
+                shared.world.spec().n_datasets
+            ),
+        };
+    }
+    let start = Instant::now();
+    let (tx, rx) = mpsc::channel();
+    let worker_shared = Arc::clone(shared);
+    let submitted = shared.pool.try_submit(move || {
+        let response = work(&worker_shared);
+        // The connection thread may have hung up; dropping the reply is
+        // fine.
+        let _ = tx.send(response);
+    });
+    match submitted {
+        Ok(()) => {
+            // Admitted jobs always run (the pool drains on shutdown), so
+            // this recv cannot hang.
+            let response = rx.recv().expect("admitted job always replies");
+            let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+            shared.metrics.latency.record(us);
+            response
+        }
+        Err(SubmitError::Overloaded { queue_depth }) => Response::Overloaded { queue_depth },
+        Err(SubmitError::ShuttingDown) => Response::ShuttingDown,
+    }
+}

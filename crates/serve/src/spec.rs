@@ -1,0 +1,189 @@
+//! The served world: a deterministic cluster + datasets, with a
+//! generation counter for cache invalidation.
+//!
+//! `opass-serve` is a planning service, not a storage service: it owns a
+//! [`Namenode`] built deterministically from a [`ServeSpec`] (any client
+//! that knows the spec can rebuild the identical namenode in-process and
+//! verify the service byte-for-byte). The [`World`] wraps the namenode
+//! with a monotonically increasing *generation*; every cached layout or
+//! plan is stamped with the generation it was derived from, and bumping
+//! the generation (via the `invalidate` request, standing in for a
+//! namenode mutation notification) makes all stamped entries stale at
+//! once without touching the cache shards.
+
+use opass_core::dfs::{DatasetSpec, DfsConfig, LayoutSnapshot, Namenode, Placement};
+use opass_core::runtime::ProcessPlacement;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Parameters of the served cluster. Construction is a pure function of
+/// this spec, so server and clients agree on the world by value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSpec {
+    /// Cluster size (one planning process per node).
+    pub n_nodes: usize,
+    /// Number of datasets created at startup (`ds0`, `ds1`, …).
+    pub n_datasets: usize,
+    /// Chunks per dataset.
+    pub chunks_per_dataset: usize,
+    /// Chunk size, bytes.
+    pub chunk_size: u64,
+    /// Replication factor.
+    pub replication: u32,
+    /// Master seed driving random placement.
+    pub seed: u64,
+}
+
+impl Default for ServeSpec {
+    fn default() -> Self {
+        ServeSpec {
+            n_nodes: 64,
+            n_datasets: 8,
+            chunks_per_dataset: 640,
+            chunk_size: 64 << 20,
+            replication: 3,
+            seed: 0x5E17E,
+        }
+    }
+}
+
+impl ServeSpec {
+    /// Builds the namenode this spec describes: `n_datasets` datasets of
+    /// `chunks_per_dataset` chunks each, randomly placed from `seed`.
+    /// Deterministic: equal specs yield byte-identical layouts.
+    pub fn build_namenode(&self) -> Namenode {
+        let mut nn = Namenode::new(
+            self.n_nodes,
+            DfsConfig {
+                replication: self.replication,
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        for i in 0..self.n_datasets {
+            let spec =
+                DatasetSpec::uniform(format!("ds{i}"), self.chunks_per_dataset, self.chunk_size);
+            nn.create_dataset(&spec, &Placement::Random, &mut rng);
+        }
+        nn
+    }
+
+    /// The process placement every plan uses: one process per node.
+    pub fn placement(&self) -> ProcessPlacement {
+        ProcessPlacement::one_per_node(self.n_nodes)
+    }
+}
+
+/// The server's shared world: the namenode plus the invalidation
+/// generation. Immutable after construction except for the generation
+/// counter, so it is freely shared across worker and connection threads.
+#[derive(Debug)]
+pub struct World {
+    spec: ServeSpec,
+    namenode: Namenode,
+    generation: AtomicU64,
+    /// How many times a layout was captured from the namenode (the "walk"
+    /// the layout cache exists to avoid).
+    layout_walks: AtomicU64,
+}
+
+impl World {
+    /// Builds the world from a spec.
+    pub fn new(spec: ServeSpec) -> World {
+        World {
+            namenode: spec.build_namenode(),
+            spec,
+            generation: AtomicU64::new(0),
+            layout_walks: AtomicU64::new(0),
+        }
+    }
+
+    /// The spec the world was built from.
+    pub fn spec(&self) -> &ServeSpec {
+        &self.spec
+    }
+
+    /// The current invalidation generation.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Bumps the generation, making every cached layout and plan stale.
+    /// Returns the new generation.
+    pub fn invalidate(&self) -> u64 {
+        self.generation.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Number of namenode layout walks performed so far.
+    pub fn layout_walks(&self) -> u64 {
+        self.layout_walks.load(Ordering::Relaxed)
+    }
+
+    /// Whether `dataset` is a valid dataset index.
+    pub fn has_dataset(&self, dataset: usize) -> bool {
+        dataset < self.spec.n_datasets
+    }
+
+    /// Captures the layout of dataset `dataset` from the namenode — the
+    /// expensive walk the layout cache short-circuits. Entry order is the
+    /// dataset's chunk order, which defines task indexing downstream.
+    ///
+    /// Returns `None` for an unknown dataset index.
+    pub fn capture_layout(&self, dataset: usize) -> Option<LayoutSnapshot> {
+        if !self.has_dataset(dataset) {
+            return None;
+        }
+        self.layout_walks.fetch_add(1, Ordering::Relaxed);
+        let meta = self
+            .namenode
+            .dataset(opass_core::dfs::DatasetId(dataset as u32))
+            .expect("dataset index validated against the spec");
+        Some(LayoutSnapshot::capture(&self.namenode, &meta.chunks))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn namenode_construction_is_deterministic() {
+        let spec = ServeSpec {
+            n_nodes: 8,
+            n_datasets: 2,
+            chunks_per_dataset: 24,
+            ..Default::default()
+        };
+        let a = World::new(spec);
+        let b = World::new(spec);
+        let la = a.capture_layout(1).expect("dataset 1 exists");
+        let lb = b.capture_layout(1).expect("dataset 1 exists");
+        assert_eq!(la, lb);
+        assert_eq!(a.layout_walks(), 1);
+    }
+
+    #[test]
+    fn invalidate_bumps_generation() {
+        let world = World::new(ServeSpec {
+            n_nodes: 4,
+            n_datasets: 1,
+            chunks_per_dataset: 8,
+            ..Default::default()
+        });
+        assert_eq!(world.generation(), 0);
+        assert_eq!(world.invalidate(), 1);
+        assert_eq!(world.generation(), 1);
+    }
+
+    #[test]
+    fn unknown_dataset_is_none_and_walks_nothing() {
+        let world = World::new(ServeSpec {
+            n_nodes: 4,
+            n_datasets: 1,
+            chunks_per_dataset: 8,
+            ..Default::default()
+        });
+        assert!(world.capture_layout(1).is_none());
+        assert_eq!(world.layout_walks(), 0);
+    }
+}

@@ -204,17 +204,8 @@ fn exported_files_round_trip_the_headline_numbers() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_wrappers_still_run() {
-    use opass_core::experiment::{SingleDataExperiment, SingleStrategy};
-    let old = SingleDataExperiment {
-        n_nodes: 8,
-        chunks_per_process: 3,
-        seed: 5,
-        ..Default::default()
-    };
-    let via_old = old.run(SingleStrategy::Opass);
-    let new = SingleData {
+fn unified_strategy_runs_are_deterministic() {
+    let exp = SingleData {
         cluster: ClusterSpec {
             n_nodes: 8,
             seed: 5,
@@ -222,6 +213,7 @@ fn deprecated_wrappers_still_run() {
         },
         chunks_per_process: 3,
     };
-    let via_new = new.run(Strategy::Opass).unwrap();
-    assert_eq!(via_old.result, via_new.result);
+    let a = exp.run(Strategy::Opass).unwrap();
+    let b = exp.run(Strategy::Opass).unwrap();
+    assert_eq!(a.result, b.result);
 }

@@ -1,0 +1,306 @@
+//! End-to-end tests for the planning service: a real server on localhost
+//! TCP, exercised through the blocking client.
+//!
+//! Concurrency-sensitive tests (shedding, coalescing) are built to hold
+//! on a single-core machine: they use a world large enough that one cold
+//! plan spans many scheduler slices, so overlap between requests is
+//! structural rather than a preemption-timing accident.
+
+use opass_core::OpassPlanner;
+use opass_serve::frame::{read_frame, write_frame};
+use opass_serve::{
+    serve, Client, ClientError, Response, ServeSpec, ServerConfig, Strategy, World, MAX_FRAME,
+};
+use std::io::Write;
+use std::net::TcpStream;
+
+fn spec_small() -> ServeSpec {
+    ServeSpec {
+        n_nodes: 16,
+        n_datasets: 3,
+        chunks_per_dataset: 96,
+        ..Default::default()
+    }
+}
+
+/// One cold plan on this world takes many scheduler slices, so a burst
+/// of concurrent requests reliably overlaps the in-flight computation
+/// even when every thread shares one core.
+fn spec_slow_plan() -> ServeSpec {
+    ServeSpec {
+        n_nodes: 64,
+        n_datasets: 1,
+        chunks_per_dataset: 4096,
+        ..Default::default()
+    }
+}
+
+fn boot(spec: ServeSpec, workers: usize, queue_depth: usize) -> opass_serve::ServerHandle {
+    serve(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue_depth,
+        spec,
+    })
+    .expect("server starts")
+}
+
+#[test]
+fn remote_plan_is_byte_identical_to_in_process_planner() {
+    let spec = spec_small();
+    let handle = boot(spec, 2, 32);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    for dataset in 0..spec.n_datasets {
+        for seed in [0u64, 7, 0xB17E] {
+            let remote = client
+                .plan(dataset, Strategy::Opass, seed)
+                .expect("remote plan");
+
+            // Rebuild the identical world locally and plan in-process.
+            let world = World::new(spec);
+            let snapshot = world.capture_layout(dataset).expect("dataset exists");
+            let placement = spec.placement();
+            let local =
+                OpassPlanner::default().plan_single_data_layout(&snapshot, &placement, seed);
+
+            assert_eq!(
+                remote.owners,
+                local.assignment.owners().to_vec(),
+                "dataset {dataset} seed {seed}: owners must match in-process planner"
+            );
+            assert_eq!(remote.matched_files, local.matched_files);
+            assert_eq!(remote.filled_files, local.filled_files);
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn layout_round_trip_reflects_the_served_world() {
+    let spec = spec_small();
+    let handle = boot(spec, 2, 32);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let reply = client.layout(1).expect("layout");
+    assert_eq!(reply.dataset, 1);
+    assert_eq!(reply.entries.len(), spec.chunks_per_dataset);
+    for entry in &reply.entries {
+        assert_eq!(
+            entry.locations.len(),
+            spec.replication as usize,
+            "every chunk carries one location per replica"
+        );
+        assert_eq!(entry.size, spec.chunk_size);
+        for &node in &entry.locations {
+            assert!((node as usize) < spec.n_nodes, "locations are node ids");
+        }
+    }
+
+    let err = client.layout(spec.n_datasets).expect_err("unknown dataset");
+    assert!(matches!(err, ClientError::Server(_)));
+    handle.shutdown();
+}
+
+#[test]
+fn caching_and_invalidation_follow_the_generation() {
+    let spec = spec_small();
+    let handle = boot(spec, 2, 32);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let first = client.plan(0, Strategy::Opass, 9).expect("cold plan");
+    assert!(!first.cached, "first plan computes");
+    let second = client.plan(0, Strategy::Opass, 9).expect("warm plan");
+    assert!(second.cached, "second plan hits the cache");
+    assert_eq!(first.owners, second.owners);
+
+    let generation = client.invalidate().expect("invalidate");
+    assert_eq!(generation, first.generation + 1);
+
+    let third = client.plan(0, Strategy::Opass, 9).expect("recomputed plan");
+    assert!(!third.cached, "invalidation makes the cached plan stale");
+    assert_eq!(third.generation, generation);
+    assert_eq!(
+        first.owners, third.owners,
+        "same spec and seed: recomputation is deterministic"
+    );
+
+    let stats = client.stats().expect("stats");
+    assert!(stats.cache_hits >= 1);
+    assert!(stats.cache_misses >= 2);
+    assert!(stats.cache_invalidated >= 1);
+    assert_eq!(stats.generation, generation);
+    handle.shutdown();
+}
+
+#[test]
+fn saturated_queue_sheds_with_typed_overloaded() {
+    // One worker, queue of one, and plans that take many milliseconds:
+    // a burst of eight distinct keys cannot all be admitted, and the
+    // refusals must be typed `Overloaded`, never a hang or a dropped
+    // connection.
+    let handle = boot(spec_slow_plan(), 1, 1);
+    let addr = handle.addr().to_string();
+
+    const BURST: usize = 8;
+    let mut clients: Vec<Client> = (0..BURST)
+        .map(|_| {
+            let mut c = Client::connect(&addr).expect("connect");
+            c.ping().expect("ping");
+            c
+        })
+        .collect();
+
+    let barrier = std::sync::Barrier::new(BURST);
+    let outcomes: Vec<Result<_, ClientError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = clients
+            .iter_mut()
+            .enumerate()
+            .map(|(i, c)| {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    c.plan(0, Strategy::Opass, i as u64)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("burst thread"))
+            .collect()
+    });
+
+    let served = outcomes.iter().filter(|r| r.is_ok()).count();
+    let shed = outcomes
+        .iter()
+        .filter(|r| matches!(r, Err(ClientError::Overloaded { .. })))
+        .count();
+    assert_eq!(
+        served + shed,
+        BURST,
+        "every request is either served or typed-shed: {outcomes:?}"
+    );
+    assert!(served >= 1, "the admitted request completes");
+    assert!(
+        shed >= BURST - 2,
+        "with one worker and a queue of one, at most two of {BURST} can be admitted"
+    );
+
+    let mut control = Client::connect(&addr).expect("control connect");
+    let stats = control.stats().expect("stats");
+    assert_eq!(stats.shed, shed as u64);
+    assert_eq!(stats.queue_capacity, 1);
+    assert_eq!(stats.workers, 1);
+    handle.shutdown();
+}
+
+#[test]
+fn stampede_after_invalidation_coalesces_to_one_computation() {
+    let handle = boot(spec_slow_plan(), 4, 64);
+    let addr = handle.addr().to_string();
+    let mut control = Client::connect(&addr).expect("control connect");
+
+    const BURST: usize = 8;
+    let mut coalesced = 0u64;
+    for attempt in 0..16u64 {
+        control.invalidate().expect("invalidate");
+        let seed = 500_000 + attempt;
+        let mut clients: Vec<Client> = (0..BURST)
+            .map(|_| {
+                let mut c = Client::connect(&addr).expect("connect");
+                c.ping().expect("ping");
+                c
+            })
+            .collect();
+        let barrier = std::sync::Barrier::new(BURST);
+        let replies: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = clients
+                .iter_mut()
+                .map(|c| {
+                    let barrier = &barrier;
+                    scope.spawn(move || {
+                        barrier.wait();
+                        c.plan(0, Strategy::Opass, seed).expect("burst plan")
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("burst thread"))
+                .collect()
+        });
+        let owners = &replies[0].owners;
+        assert!(
+            replies.iter().all(|r| &r.owners == owners),
+            "every stampeding client sees the same plan"
+        );
+        coalesced = control.stats().expect("stats").coalesced;
+        if coalesced > 0 {
+            break;
+        }
+    }
+    assert!(
+        coalesced > 0,
+        "concurrent same-key requests must share the leader's computation"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn garbage_frames_draw_typed_errors_without_wedging_the_server() {
+    let spec = spec_small();
+    let handle = boot(spec, 2, 32);
+    let addr = handle.addr().to_string();
+
+    // An oversized frame header is refused with a typed error reply.
+    let mut raw = TcpStream::connect(&addr).expect("raw connect");
+    let oversized = ((MAX_FRAME + 1) as u32).to_be_bytes();
+    raw.write_all(&oversized).expect("write oversized header");
+    let reply = read_frame(&mut raw).expect("error reply frame");
+    let response = Response::from_json(&reply).expect("decodes");
+    assert!(matches!(response, Response::Error { .. }));
+
+    // A well-framed body that is not JSON draws the same treatment.
+    let mut raw = TcpStream::connect(&addr).expect("raw connect");
+    let body = b"not json at all";
+    raw.write_all(&(body.len() as u32).to_be_bytes())
+        .expect("header");
+    raw.write_all(body).expect("body");
+    let reply = read_frame(&mut raw).expect("error reply frame");
+    let response = Response::from_json(&reply).expect("decodes");
+    assert!(matches!(response, Response::Error { .. }));
+
+    // A valid envelope with an unknown request type as well.
+    let mut raw = TcpStream::connect(&addr).expect("raw connect");
+    let json = opass_json::Json::parse(r#"{"v":1,"type":"frobnicate"}"#).expect("literal json");
+    write_frame(&mut raw, &json).expect("write frame");
+    let reply = read_frame(&mut raw).expect("error reply frame");
+    let response = Response::from_json(&reply).expect("decodes");
+    assert!(matches!(response, Response::Error { .. }));
+
+    // None of that wedged the server: a fresh client still gets plans.
+    let mut client = Client::connect(&addr).expect("connect");
+    let plan = client.plan(0, Strategy::Opass, 1).expect("plan");
+    assert!(!plan.owners.is_empty());
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_and_stops_accepting() {
+    let spec = spec_small();
+    let handle = boot(spec, 2, 8);
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    client.plan(0, Strategy::Opass, 3).expect("plan");
+    client.shutdown().expect("shutdown acknowledged");
+    handle.wait();
+    assert!(
+        Client::connect(&addr).is_err() || {
+            // The OS may accept briefly after close on some platforms;
+            // a request must then fail.
+            let mut c = Client::connect(&addr).expect("raced connect");
+            c.ping().is_err()
+        },
+        "a drained server accepts no new work"
+    );
+}

@@ -13,6 +13,10 @@
 #                            smoke scenario in release and fails if
 #                            events/sec regressed >30% vs the committed
 #                            BENCH_sim.json baseline
+#   check.sh --serve-smoke   planning-service smoke: runs the bench_serve
+#                            smoke scenario in release and fails if
+#                            plans/sec regressed >30% vs the committed
+#                            BENCH_serve.json baseline
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -44,6 +48,19 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
     run ./target/release/bench_sim --smoke --out - \
         --check-against BENCH_sim.json --max-regression 0.30
     echo "Bench smoke passed."
+    exit 0
+fi
+
+if [[ "${1:-}" == "--serve-smoke" ]]; then
+    if [[ ! -f BENCH_serve.json ]]; then
+        echo "error: BENCH_serve.json baseline missing; run" >&2
+        echo "  cargo run --release -p opass-bench --bin bench_serve --offline" >&2
+        exit 1
+    fi
+    run cargo build --release -p opass-bench --bin bench_serve --offline
+    run ./target/release/bench_serve --smoke --out - \
+        --check-against BENCH_serve.json --max-regression 0.30
+    echo "Serve smoke passed."
     exit 0
 fi
 
