@@ -1,0 +1,345 @@
+//! `bench_replan` — incremental re-planning throughput and regression gate.
+//!
+//! Drives a churn stream over a large cluster and measures the two ways
+//! of keeping a plan current:
+//!
+//! 1. **repair** — one long-lived [`SingleDataSession`] absorbs each
+//!    [`LayoutDelta`] by repairing the matching from the delta-touched
+//!    vertices outward.
+//! 2. **scratch** — every delta re-runs the full pipeline: graph build,
+//!    max-flow, fill.
+//!
+//! Every step asserts the two arms agree on matched-file count and both
+//! locality fractions (the repaired assignment may be a different
+//! maximum matching), so the speedup is never bought with a worse plan.
+//! Scenarios with `assert_speedup` fail unless repair is at least
+//! [`MIN_REPAIR_SPEEDUP`]× faster than scratch — `scripts/check.sh
+//! --replan-smoke` runs the smoke scenario (1024 nodes, 1% churn) under
+//! that assertion.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_replan [--out PATH] [--smoke] [--check-against PATH] [--max-regression F]
+//! ```
+//!
+//! * `--out PATH` — where to write the JSON report (default
+//!   `BENCH_replan.json`; pass `-` to skip writing).
+//! * `--smoke` — run only the smoke scenario.
+//! * `--check-against PATH` — load a committed report and exit non-zero
+//!   if repair/scratch steps-per-sec regressed by more than
+//!   `--max-regression` (default 0.30).
+
+// Printing is this binary's user interface.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
+use opass_core::dfs::{LayoutDelta, LayoutSnapshot, NodeId};
+use opass_core::OpassPlanner;
+use opass_json::Json;
+use opass_serve::{ServeSpec, World};
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// Repair must beat from-scratch re-planning by at least this factor on
+/// scenarios that assert it (the 1% churn configurations).
+const MIN_REPAIR_SPEEDUP: f64 = 10.0;
+
+struct Scenario {
+    name: &'static str,
+    n_nodes: usize,
+    chunks: usize,
+    /// Fraction of chunks touched by each delta.
+    churn_fraction: f64,
+    /// Deltas in the churn stream.
+    steps: usize,
+    /// Runs in `--smoke` mode too (gates `scripts/check.sh --replan-smoke`).
+    smoke: bool,
+    /// Enforce the >= [`MIN_REPAIR_SPEEDUP`] repair-over-scratch assertion.
+    assert_speedup: bool,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "replan_smoke",
+            n_nodes: 1024,
+            chunks: 8192,
+            churn_fraction: 0.01,
+            steps: 64,
+            smoke: true,
+            assert_speedup: true,
+        },
+        Scenario {
+            name: "churn_0p1pct",
+            n_nodes: 1024,
+            chunks: 8192,
+            churn_fraction: 0.001,
+            steps: 10,
+            smoke: false,
+            assert_speedup: false,
+        },
+        Scenario {
+            name: "churn_1pct",
+            n_nodes: 1024,
+            chunks: 8192,
+            churn_fraction: 0.01,
+            steps: 10,
+            smoke: false,
+            assert_speedup: true,
+        },
+        Scenario {
+            name: "churn_10pct",
+            n_nodes: 1024,
+            chunks: 8192,
+            churn_fraction: 0.1,
+            steps: 10,
+            smoke: false,
+            assert_speedup: false,
+        },
+    ]
+}
+
+fn next(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 16
+}
+
+/// One replica-churn delta against `snapshot`: for `churn_fraction` of
+/// the chunks, drop the first replica and add one on a fresh node.
+fn churn_delta(snapshot: &LayoutSnapshot, s: &Scenario, state: &mut u64) -> LayoutDelta {
+    let n = snapshot.entries().len();
+    let touched = ((n as f64 * s.churn_fraction) as usize).max(1);
+    let mut picked = BTreeSet::new();
+    while picked.len() < touched {
+        picked.insert((next(state) as usize) % n);
+    }
+    let mut delta = LayoutDelta::default();
+    for ci in picked {
+        let entry = &snapshot.entries()[ci];
+        if entry.locations.len() > 1 {
+            delta
+                .replicas_dropped
+                .push((entry.chunk, entry.locations[0]));
+        }
+        // Find a node not already holding a replica.
+        for _ in 0..8 {
+            let node = NodeId((next(state) as usize % s.n_nodes) as u32);
+            if !entry.locations.contains(&node) {
+                delta.replicas_added.push((entry.chunk, node));
+                break;
+            }
+        }
+    }
+    delta
+}
+
+struct Arm {
+    seconds: f64,
+    steps_per_sec: f64,
+    per_step_us: f64,
+}
+
+fn arm_json(a: &Arm) -> Json {
+    Json::object([
+        ("seconds".to_string(), Json::from(a.seconds)),
+        ("steps_per_sec".to_string(), Json::from(a.steps_per_sec)),
+        ("per_step_us".to_string(), Json::from(a.per_step_us)),
+    ])
+}
+
+/// Runs one scenario: generates the churn stream, then times the repair
+/// arm (a session replaying every delta) against the scratch arm (a full
+/// re-plan per delta), asserting plan equivalence at every step.
+fn run_scenario(s: &Scenario, seed: u64) -> (Arm, Arm) {
+    let spec = ServeSpec {
+        n_nodes: s.n_nodes,
+        n_datasets: 1,
+        chunks_per_dataset: s.chunks,
+        ..Default::default()
+    };
+    let world = World::new(spec);
+    let initial = world.capture_layout(0).expect("dataset 0 exists");
+    let placement = spec.placement();
+    let planner = OpassPlanner::default();
+
+    // Pre-generate the stream so neither arm pays for delta construction.
+    let mut state = seed | 1;
+    let mut shadow = initial.clone();
+    let mut deltas = Vec::with_capacity(s.steps);
+    for _ in 0..s.steps {
+        let mut delta = churn_delta(&shadow, s, &mut state);
+        delta.normalize();
+        shadow.apply_delta(&delta);
+        deltas.push(delta);
+    }
+
+    // Repair arm: one session absorbs the whole stream.
+    let mut session =
+        planner.start_single_data_session_from_layout(initial.clone(), &placement, seed);
+    let mut repair_plans = Vec::with_capacity(s.steps);
+    let t0 = Instant::now();
+    for delta in &deltas {
+        repair_plans.push(planner.replan_single_data(&mut session, delta));
+    }
+    let repair_secs = t0.elapsed().as_secs_f64();
+
+    // Scratch arm: full pipeline per step over the same evolving layout.
+    let mut snapshot = initial;
+    let mut scratch_secs = 0.0f64;
+    for (step, delta) in deltas.iter().enumerate() {
+        snapshot.apply_delta(delta);
+        let t = Instant::now();
+        let scratch = planner.plan_single_data_layout(&snapshot, &placement, seed);
+        scratch_secs += t.elapsed().as_secs_f64();
+        let repaired = &repair_plans[step];
+        assert_eq!(
+            repaired.matched_files, scratch.matched_files,
+            "{} step {step}: repaired and scratch plans must match the same file count",
+            s.name
+        );
+        assert_eq!(
+            repaired.locality.task_fraction(),
+            scratch.locality.task_fraction(),
+            "{} step {step}: task locality must agree",
+            s.name
+        );
+        assert_eq!(
+            repaired.locality.byte_fraction(),
+            scratch.locality.byte_fraction(),
+            "{} step {step}: byte locality must agree",
+            s.name
+        );
+    }
+
+    let arm = |secs: f64| Arm {
+        seconds: secs,
+        steps_per_sec: s.steps as f64 / secs.max(1e-9),
+        per_step_us: secs * 1e6 / s.steps as f64,
+    };
+    (arm(repair_secs), arm(scratch_secs))
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_replan.json");
+    let mut smoke = false;
+    let mut check_against: Option<String> = None;
+    let mut max_regression = 0.30f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--smoke" => smoke = true,
+            "--check-against" => {
+                check_against = Some(args.next().expect("--check-against needs a path"))
+            }
+            "--max-regression" => {
+                max_regression = args
+                    .next()
+                    .expect("--max-regression needs a value")
+                    .parse()
+                    .expect("--max-regression must be a float")
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut scenario_reports = Vec::new();
+    let mut measured: Vec<(String, f64)> = Vec::new();
+
+    for s in &scenarios() {
+        if smoke && !s.smoke {
+            continue;
+        }
+        let (repair, scratch) = run_scenario(s, 0xC0FFEE);
+        let speedup = scratch.per_step_us / repair.per_step_us.max(1e-9);
+        eprintln!(
+            "{:>12}: repair {:.0} us/step, scratch {:.0} us/step ({speedup:.1}x), \
+             {} nodes, {} chunks, {:.1}% churn",
+            s.name,
+            repair.per_step_us,
+            scratch.per_step_us,
+            s.n_nodes,
+            s.chunks,
+            s.churn_fraction * 100.0
+        );
+        if s.assert_speedup {
+            assert!(
+                speedup >= MIN_REPAIR_SPEEDUP,
+                "{}: repair only {speedup:.1}x faster than scratch (need {MIN_REPAIR_SPEEDUP}x)",
+                s.name
+            );
+        }
+        // Only the repair arm is regression-gated: scratch is the
+        // comparison baseline, and its wall time swings with machine
+        // load. The in-run speedup assertion already polices the ratio.
+        measured.push((format!("{}_repair", s.name), repair.steps_per_sec));
+        scenario_reports.push(Json::object([
+            ("name".to_string(), Json::from(s.name)),
+            ("nodes".to_string(), Json::from(s.n_nodes)),
+            ("chunks".to_string(), Json::from(s.chunks)),
+            ("churn_fraction".to_string(), Json::from(s.churn_fraction)),
+            ("steps".to_string(), Json::from(s.steps)),
+            ("repair".to_string(), arm_json(&repair)),
+            ("scratch".to_string(), arm_json(&scratch)),
+            ("speedup".to_string(), Json::from(speedup)),
+        ]));
+    }
+
+    let report = Json::object([
+        ("benchmark".to_string(), Json::from("replan")),
+        ("scenarios".to_string(), Json::array(scenario_reports)),
+    ]);
+
+    if out_path != "-" {
+        std::fs::write(&out_path, report.to_pretty()).expect("write report");
+        eprintln!("wrote {out_path}");
+    }
+
+    if let Some(baseline_path) = check_against {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        let baseline = Json::parse(&text).expect("baseline must be valid JSON");
+        let baseline_rate = |name: &str| -> Option<f64> {
+            let (scenario, phase) = name.rsplit_once('_')?;
+            baseline
+                .get("scenarios")?
+                .as_array()?
+                .iter()
+                .find(|s| s.get("name").and_then(Json::as_str) == Some(scenario))?
+                .get(phase)?
+                .get("steps_per_sec")?
+                .as_f64()
+        };
+        let mut failed = false;
+        for (name, rate) in &measured {
+            match baseline_rate(name) {
+                Some(base) if base > 0.0 => {
+                    let ratio = rate / base;
+                    let verdict = if ratio < 1.0 - max_regression {
+                        failed = true;
+                        "REGRESSED"
+                    } else {
+                        "ok"
+                    };
+                    eprintln!(
+                        "{name}: {rate:.1} steps/s vs baseline {base:.1} ({:.0}%) {verdict}",
+                        ratio * 100.0
+                    );
+                }
+                _ => eprintln!("{name}: no baseline entry, skipping"),
+            }
+        }
+        if failed {
+            eprintln!(
+                "FAIL: steps/sec regressed more than {:.0}% vs {baseline_path}",
+                max_regression * 100.0
+            );
+            std::process::exit(1);
+        }
+    }
+}

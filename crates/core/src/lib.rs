@@ -58,6 +58,7 @@
 pub mod builder;
 pub mod experiment;
 pub mod planner;
+pub mod replan;
 
 pub use builder::{
     build_locality_graph, build_locality_graph_from_layout, build_matching_values,
@@ -68,6 +69,7 @@ pub use experiment::{
     SingleData, Strategy, UnsupportedStrategy,
 };
 pub use planner::{MultiDataPlan, OpassPlanner, SingleDataPlan};
+pub use replan::{MultiDataSession, SingleDataSession};
 
 pub use opass_analysis as analysis;
 pub use opass_dfs as dfs;

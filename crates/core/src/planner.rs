@@ -199,6 +199,89 @@ impl OpassPlanner {
         }
     }
 
+    /// Starts a long-lived single-data planning session that can be
+    /// advanced by [`opass_dfs::LayoutDelta`]s via
+    /// [`crate::SingleDataSession::replan`] (or
+    /// [`OpassPlanner::replan_single_data`]) without re-walking the
+    /// namenode or re-solving from scratch.
+    ///
+    /// The initial plan is bit-identical to
+    /// [`OpassPlanner::plan_single_data`] with the same seed (the session
+    /// adopts the scratch flow solve). Repaired plans after a delta agree
+    /// with a from-scratch solve on matched-file count and — under
+    /// [`opass_matching::Objective::MatchedBytes`] — matched bytes; the
+    /// concrete assignment may be a different maximum matching.
+    pub fn start_single_data_session(
+        &self,
+        namenode: &Namenode,
+        workload: &Workload,
+        placement: &ProcessPlacement,
+        seed: u64,
+    ) -> crate::replan::SingleDataSession {
+        let snapshot = capture_workload_layout(namenode, workload);
+        self.start_single_data_session_from_layout(snapshot, placement, seed)
+    }
+
+    /// Like [`OpassPlanner::start_single_data_session`] but from an
+    /// already-captured layout snapshot (entry `i` = task `i`).
+    pub fn start_single_data_session_from_layout(
+        &self,
+        snapshot: LayoutSnapshot,
+        placement: &ProcessPlacement,
+        seed: u64,
+    ) -> crate::replan::SingleDataSession {
+        crate::replan::SingleDataSession::start(self, snapshot, placement, seed)
+    }
+
+    /// Advances a session by a layout delta, repairing the previous plan
+    /// in place. Deterministic: the same session history and delta
+    /// sequence produce bit-identical plans.
+    pub fn replan_single_data(
+        &self,
+        session: &mut crate::replan::SingleDataSession,
+        delta: &opass_dfs::LayoutDelta,
+    ) -> SingleDataPlan {
+        session.replan(delta).clone()
+    }
+
+    /// Starts a long-lived multi-data planning session; replica-level
+    /// churn is absorbed by re-auctioning only the affected tasks.
+    pub fn start_multi_data_session(
+        &self,
+        namenode: &Namenode,
+        workload: &Workload,
+        placement: &ProcessPlacement,
+    ) -> crate::replan::MultiDataSession {
+        // Distinct input chunks in first-use order, with their readers.
+        let mut order: Vec<opass_dfs::ChunkId> = Vec::new();
+        let mut readers_by_chunk: std::collections::BTreeMap<opass_dfs::ChunkId, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (t, task) in workload.tasks.iter().enumerate() {
+            for &chunk in &task.inputs {
+                let entry = readers_by_chunk.entry(chunk).or_insert_with(|| {
+                    order.push(chunk);
+                    Vec::new()
+                });
+                entry.push(t);
+            }
+        }
+        let snapshot = LayoutSnapshot::capture(namenode, &order);
+        let readers: Vec<Vec<usize>> = order
+            .iter()
+            .map(|c| readers_by_chunk.remove(c).expect("collected above"))
+            .collect();
+        crate::replan::MultiDataSession::start(snapshot, readers, placement, workload.len())
+    }
+
+    /// Advances a multi-data session by a layout delta.
+    pub fn replan_multi_data(
+        &self,
+        session: &mut crate::replan::MultiDataSession,
+        delta: &opass_dfs::LayoutDelta,
+    ) -> MultiDataPlan {
+        session.replan(delta).clone()
+    }
+
     /// Plans a dynamic run: computes a matching up front (single-data when
     /// every task has one input, Algorithm 1 otherwise) and wraps it in the
     /// guided scheduler.

@@ -6,8 +6,10 @@
 //! `getFileBlockLocations`). It also provides the inverse co-location view
 //! used to build the bipartite matching graph.
 
+use crate::delta::LayoutDelta;
 use crate::ids::{ChunkId, NodeId};
 use crate::namenode::Namenode;
+use std::collections::BTreeMap;
 
 /// One chunk's layout entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -91,6 +93,54 @@ impl LayoutSnapshot {
             .collect()
     }
 
+    /// Advances the snapshot by a normalized [`LayoutDelta`] without
+    /// re-walking the namenode: O(|delta| + n) instead of O(n · r) chunk
+    /// lookups.
+    ///
+    /// Semantics, in order: failed nodes lose every replica they held;
+    /// net replica drops and adds apply to surviving entries; removed
+    /// chunks leave (order of the remaining entries is preserved, so
+    /// surviving task indices compact predictably); added chunks append
+    /// in the delta's order. Changes referring to chunks outside the
+    /// snapshot are ignored — deltas may be projected from a wider scope.
+    ///
+    /// Determinism: a pure function of `(self, delta)`; equal inputs
+    /// yield byte-identical snapshots.
+    pub fn apply_delta(&mut self, delta: &LayoutDelta) {
+        let index: BTreeMap<ChunkId, usize> = self
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.chunk, i))
+            .collect();
+        if !delta.nodes_failed.is_empty() {
+            for entry in &mut self.entries {
+                entry
+                    .locations
+                    .retain(|n| delta.nodes_failed.binary_search(n).is_err());
+            }
+        }
+        for &(chunk, node) in &delta.replicas_dropped {
+            if let Some(&i) = index.get(&chunk) {
+                self.entries[i].locations.retain(|&n| n != node);
+            }
+        }
+        for &(chunk, node) in &delta.replicas_added {
+            if let Some(&i) = index.get(&chunk) {
+                let locs = &mut self.entries[i].locations;
+                let pos = locs.partition_point(|&n| n < node);
+                if locs.get(pos) != Some(&node) {
+                    locs.insert(pos, node);
+                }
+            }
+        }
+        if !delta.files_removed.is_empty() {
+            self.entries
+                .retain(|e| delta.files_removed.binary_search(&e.chunk).is_err());
+        }
+        self.entries.extend(delta.files_added.iter().cloned());
+    }
+
     /// Bytes stored per node among the snapshot's chunks, indexed by raw
     /// node id (`n_nodes` sizes the vector).
     pub fn bytes_per_node(&self, n_nodes: usize) -> Vec<u64> {
@@ -167,6 +217,69 @@ mod tests {
         let snap = LayoutSnapshot::capture(&nn, &chunks);
         let total: u64 = snap.bytes_per_node(nn.node_count()).iter().sum();
         assert_eq!(total, snap.total_bytes() * 3);
+    }
+
+    #[test]
+    fn apply_delta_tracks_namenode_churn_exactly() {
+        // Capture, churn the namenode (failure, repair, decommission,
+        // node add, rebalance), project the journal, apply — the advanced
+        // snapshot must equal a fresh capture.
+        let (mut nn, chunks) = setup();
+        let mut snap = LayoutSnapshot::capture(&nn, &chunks);
+        nn.take_events(); // drop the creation events: snapshot has them
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        nn.fail_node(NodeId(1)).unwrap();
+        nn.repair_under_replicated(&mut rng).unwrap();
+        nn.add_node();
+        nn.decommission(NodeId(4), &mut rng).unwrap();
+        nn.rebalance(1.25, &mut rng);
+        let events = nn.take_events();
+        assert!(nn.events().is_empty(), "drain empties the journal");
+        let scope: std::collections::BTreeSet<ChunkId> = chunks.iter().copied().collect();
+        let delta = crate::delta::LayoutDelta::from_events(&events, |c| scope.contains(&c));
+        assert!(!delta.is_empty());
+        snap.apply_delta(&delta);
+        assert_eq!(snap, LayoutSnapshot::capture(&nn, &chunks));
+    }
+
+    #[test]
+    fn apply_delta_handles_scope_changes() {
+        let (nn, chunks) = setup();
+        let mut snap = LayoutSnapshot::capture(&nn, &chunks);
+        let delta = crate::delta::LayoutDelta {
+            files_removed: vec![chunks[3], chunks[7]],
+            files_added: vec![ChunkLayout {
+                chunk: ChunkId(999),
+                size: 32,
+                locations: vec![NodeId(0), NodeId(2)],
+            }],
+            ..Default::default()
+        };
+        snap.apply_delta(&delta);
+        assert_eq!(snap.len(), 11);
+        // Survivors keep their relative order; the new chunk appends.
+        let ids: Vec<ChunkId> = snap.entries().iter().map(|e| e.chunk).collect();
+        let mut expected: Vec<ChunkId> = chunks
+            .iter()
+            .copied()
+            .filter(|&c| c != chunks[3] && c != chunks[7])
+            .collect();
+        expected.push(ChunkId(999));
+        assert_eq!(ids, expected);
+    }
+
+    #[test]
+    fn apply_delta_ignores_out_of_scope_changes() {
+        let (nn, chunks) = setup();
+        let mut snap = LayoutSnapshot::capture(&nn, &chunks);
+        let before = snap.clone();
+        let delta = crate::delta::LayoutDelta {
+            replicas_added: vec![(ChunkId(998), NodeId(0))],
+            replicas_dropped: vec![(ChunkId(997), NodeId(1))],
+            ..Default::default()
+        };
+        snap.apply_delta(&delta);
+        assert_eq!(snap, before);
     }
 
     #[test]

@@ -36,6 +36,7 @@
 
 pub mod chunk;
 pub mod datanode;
+pub mod delta;
 pub mod error;
 pub mod ids;
 pub mod layout;
@@ -45,6 +46,7 @@ pub mod reader;
 pub mod topology;
 
 pub use chunk::{ChunkMeta, DatasetMeta, DatasetSpec, DEFAULT_CHUNK_SIZE};
+pub use delta::{LayoutDelta, LayoutEvent};
 pub use error::DfsError;
 pub use ids::{ChunkId, DatasetId, NodeId};
 pub use layout::{ChunkLayout, LayoutSnapshot};

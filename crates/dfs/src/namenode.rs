@@ -9,6 +9,7 @@
 //! matchings).
 
 use crate::chunk::{ChunkMeta, DatasetMeta, DatasetSpec};
+use crate::delta::LayoutEvent;
 use crate::error::DfsError;
 use crate::ids::{ChunkId, DatasetId, NodeId};
 use crate::placement::Placement;
@@ -38,6 +39,9 @@ pub struct Namenode {
     datasets: Vec<DatasetMeta>,
     /// Per-node chunk lists (sorted by ChunkId).
     node_chunks: Vec<Vec<ChunkId>>,
+    /// Layout mutation journal since the last [`Namenode::take_events`]
+    /// drain — the change feed incremental re-planning consumes.
+    events: Vec<LayoutEvent>,
 }
 
 impl Namenode {
@@ -59,7 +63,22 @@ impl Namenode {
             chunks: Vec::new(),
             datasets: Vec::new(),
             node_chunks: vec![Vec::new(); n_nodes],
+            events: Vec::new(),
         }
+    }
+
+    /// Layout events journalled since the last [`Namenode::take_events`]
+    /// drain, in mutation order.
+    pub fn events(&self) -> &[LayoutEvent] {
+        &self.events
+    }
+
+    /// Drains the event journal: returns every event since the previous
+    /// drain and leaves the journal empty. Each consumer window projects
+    /// onto its snapshot via
+    /// [`LayoutDelta::from_events`](crate::delta::LayoutDelta::from_events).
+    pub fn take_events(&mut self) -> Vec<LayoutEvent> {
+        std::mem::take(&mut self.events)
     }
 
     /// Configuration in use.
@@ -113,6 +132,11 @@ impl Namenode {
             for &n in &locations {
                 insert_sorted(&mut self.node_chunks[n.index()], chunk_id);
             }
+            self.events.push(LayoutEvent::ChunkAdded {
+                chunk: chunk_id,
+                size,
+                locations: locations.clone(),
+            });
             self.chunks.push(ChunkMeta {
                 id: chunk_id,
                 dataset: id,
@@ -170,6 +194,11 @@ impl Namenode {
             for &n in &locs {
                 insert_sorted(&mut self.node_chunks[n.index()], chunk_id);
             }
+            self.events.push(LayoutEvent::ChunkAdded {
+                chunk: chunk_id,
+                size,
+                locations: locs.clone(),
+            });
             self.chunks.push(ChunkMeta {
                 id: chunk_id,
                 dataset: id,
@@ -243,6 +272,7 @@ impl Namenode {
         let id = NodeId(self.alive.len() as u32);
         self.alive.push(true);
         self.node_chunks.push(Vec::new());
+        self.events.push(LayoutEvent::NodeJoined { node: id });
         id
     }
 
@@ -272,11 +302,16 @@ impl Namenode {
             }
         }
         self.alive[node.index()] = false;
+        self.events.push(LayoutEvent::NodeFailed { node });
         let lost: Vec<ChunkId> = std::mem::take(&mut self.node_chunks[node.index()]);
         for chunk_id in lost {
             self.chunks[chunk_id.index()]
                 .locations
                 .retain(|&n| n != node);
+            self.events.push(LayoutEvent::ReplicaDropped {
+                chunk: chunk_id,
+                node,
+            });
         }
         Ok(())
     }
@@ -329,6 +364,10 @@ impl Namenode {
                 let pos = chunk.locations.partition_point(|&n| n < target);
                 chunk.locations.insert(pos, target);
                 insert_sorted(&mut self.node_chunks[target.index()], chunk_id);
+                self.events.push(LayoutEvent::ReplicaAdded {
+                    chunk: chunk_id,
+                    node: target,
+                });
                 created += 1;
             }
         }
@@ -357,6 +396,7 @@ impl Namenode {
             });
         }
         self.alive[node.index()] = false;
+        self.events.push(LayoutEvent::NodeFailed { node });
         let moved: Vec<ChunkId> = std::mem::take(&mut self.node_chunks[node.index()]);
         let alive = self.alive_nodes();
         for chunk_id in moved {
@@ -374,6 +414,14 @@ impl Namenode {
             let pos = chunk.locations.partition_point(|&n| n < target);
             chunk.locations.insert(pos, target);
             insert_sorted(&mut self.node_chunks[target.index()], chunk_id);
+            self.events.push(LayoutEvent::ReplicaDropped {
+                chunk: chunk_id,
+                node,
+            });
+            self.events.push(LayoutEvent::ReplicaAdded {
+                chunk: chunk_id,
+                node: target,
+            });
         }
         Ok(())
     }
@@ -429,6 +477,14 @@ impl Namenode {
                         chunk.locations.insert(pos, target);
                         self.node_chunks[src.index()].retain(|&c| c != chunk_id);
                         insert_sorted(&mut self.node_chunks[target.index()], chunk_id);
+                        self.events.push(LayoutEvent::ReplicaDropped {
+                            chunk: chunk_id,
+                            node: src,
+                        });
+                        self.events.push(LayoutEvent::ReplicaAdded {
+                            chunk: chunk_id,
+                            node: target,
+                        });
                         moved += 1;
                         done = true;
                         break 'outer;

@@ -1,0 +1,8 @@
+// Fixture: suppressed case for `unordered-iteration` in the incremental
+// module context.
+// lint:allow(unordered-iteration): probe-only set, never iterated
+use std::collections::HashSet;
+
+pub fn is_touched(touched: &HashSet<usize>, file: usize) -> bool { // lint:allow(unordered-iteration): membership probe only
+    touched.contains(&file)
+}

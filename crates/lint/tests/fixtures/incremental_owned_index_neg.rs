@@ -1,0 +1,14 @@
+// Fixture: negative case for `unordered-iteration` — the shipped owned
+// index is BTreeSet-backed, so the enumeration order the repair search
+// sees is always the ascending file order.
+use std::collections::BTreeSet;
+
+pub struct OwnedIndex {
+    owned: Vec<BTreeSet<usize>>,
+}
+
+impl OwnedIndex {
+    pub fn owned_files(&self, proc: usize) -> Vec<usize> {
+        self.owned[proc].iter().copied().collect()
+    }
+}

@@ -1,0 +1,14 @@
+// Fixture: positive case for `unordered-iteration`, shaped like the
+// incremental matcher's inverse owned index — a HashSet-backed index
+// would leak hash order into the repair search order.
+use std::collections::HashSet;
+
+pub struct OwnedIndex {
+    owned: Vec<HashSet<usize>>,
+}
+
+impl OwnedIndex {
+    pub fn owned_files(&self, proc: usize) -> Vec<usize> {
+        self.owned[proc].iter().copied().collect() // search order escapes here
+    }
+}

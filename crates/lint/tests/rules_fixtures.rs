@@ -19,13 +19,23 @@ struct Case {
     allow: (&'static str, usize),
 }
 
-const CASES: [Case; 5] = [
+const CASES: [Case; 6] = [
     Case {
         rule: "unordered-iteration",
         context: "crates/dfs/src/fixture.rs",
         pos: ("unordered_iteration_pos.rs", 3),
         neg: "unordered_iteration_neg.rs",
         allow: ("unordered_iteration_allow.rs", 2),
+    },
+    Case {
+        // Same rule, incremental-matcher shape: the inverse owned index
+        // must stay ordered because its enumeration order is the repair
+        // search order (DESIGN.md §11).
+        rule: "unordered-iteration",
+        context: "crates/matching/src/incremental_fixture.rs",
+        pos: ("incremental_owned_index_pos.rs", 2),
+        neg: "incremental_owned_index_neg.rs",
+        allow: ("incremental_owned_index_allow.rs", 2),
     },
     Case {
         rule: "no-wallclock",

@@ -10,9 +10,12 @@
 /// Weighted bipartite graph between `n_procs` processes and `n_files` files.
 ///
 /// Indices are dense (`0..n_procs`, `0..n_files`); richer identifiers are
-/// mapped by the caller. Duplicate edges are merged by taking the larger
-/// weight (a process is either co-located with a chunk or not; HDFS never
-/// stores two replicas of one chunk on a node).
+/// mapped by the caller. Re-adding an existing edge *replaces* its weight
+/// (last write wins), so replaying a layout delta is idempotent and the
+/// weight always reflects the latest chunk size. The graph is mutable in
+/// both directions — edges and vertices can be added and removed without
+/// a rebuild — and every mutation preserves the structural invariant that
+/// `proc_adj` and `file_adj` are exact sorted mirrors of each other.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BipartiteGraph {
     n_procs: usize,
@@ -49,7 +52,8 @@ impl BipartiteGraph {
         self.proc_adj.iter().map(Vec::len).sum()
     }
 
-    /// Adds (or widens) the locality edge between `proc` and `file`.
+    /// Adds the locality edge between `proc` and `file`, or updates its
+    /// weight if it already exists. Both adjacency mirrors stay sorted.
     ///
     /// # Panics
     ///
@@ -60,6 +64,141 @@ impl BipartiteGraph {
         assert!(bytes > 0, "locality edges must carry positive bytes");
         upsert(&mut self.proc_adj[proc], file, bytes);
         upsert(&mut self.file_adj[file], proc, bytes);
+    }
+
+    /// Removes the edge between `proc` and `file`. Returns whether the
+    /// edge existed. Both adjacency mirrors stay sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn remove_edge(&mut self, proc: usize, file: usize) -> bool {
+        assert!(proc < self.n_procs, "process index {proc} out of range");
+        assert!(file < self.n_files, "file index {file} out of range");
+        let row = &mut self.proc_adj[proc];
+        match row.binary_search_by_key(&file, |&(f, _)| f) {
+            Ok(i) => {
+                row.remove(i);
+                let col = &mut self.file_adj[file];
+                let j = col
+                    .binary_search_by_key(&proc, |&(p, _)| p)
+                    .expect("adjacency mirrors agree");
+                col.remove(j);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Appends a new file vertex with no edges; returns its index.
+    pub fn push_file(&mut self) -> usize {
+        self.file_adj.push(Vec::new());
+        self.n_files += 1;
+        self.n_files - 1
+    }
+
+    /// Appends a new process vertex with no edges; returns its index.
+    pub fn push_proc(&mut self) -> usize {
+        self.proc_adj.push(Vec::new());
+        self.n_procs += 1;
+        self.n_procs - 1
+    }
+
+    /// Removes file vertex `file` and all its edges; files above it shift
+    /// down by one (the same order-preserving compaction a layout snapshot
+    /// applies when a chunk leaves scope). O(n_files + edges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `file` is out of range.
+    pub fn remove_file(&mut self, file: usize) {
+        assert!(file < self.n_files, "file index {file} out of range");
+        for &(p, _) in &std::mem::take(&mut self.file_adj[file]) {
+            let row = &mut self.proc_adj[p];
+            let i = row
+                .binary_search_by_key(&file, |&(f, _)| f)
+                .expect("adjacency mirrors agree");
+            row.remove(i);
+        }
+        self.file_adj.remove(file);
+        self.n_files -= 1;
+        for row in &mut self.proc_adj {
+            for entry in row.iter_mut() {
+                if entry.0 > file {
+                    entry.0 -= 1;
+                }
+            }
+        }
+    }
+
+    /// Removes process vertex `proc` and all its edges; processes above it
+    /// shift down by one. O(n_procs + edges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is out of range.
+    pub fn remove_proc(&mut self, proc: usize) {
+        assert!(proc < self.n_procs, "process index {proc} out of range");
+        for &(f, _) in &std::mem::take(&mut self.proc_adj[proc]) {
+            let col = &mut self.file_adj[f];
+            let i = col
+                .binary_search_by_key(&proc, |&(p, _)| p)
+                .expect("adjacency mirrors agree");
+            col.remove(i);
+        }
+        self.proc_adj.remove(proc);
+        self.n_procs -= 1;
+        for col in &mut self.file_adj {
+            for entry in col.iter_mut() {
+                if entry.0 > proc {
+                    entry.0 -= 1;
+                }
+            }
+        }
+    }
+
+    /// Verifies the mirror invariant: `proc_adj` and `file_adj` describe
+    /// the same sorted edge set with equal weights. O(edges log edges);
+    /// used by tests and debug assertions.
+    pub fn check_mirror(&self) -> Result<(), String> {
+        for (p, row) in self.proc_adj.iter().enumerate() {
+            if row.windows(2).any(|w| w[0].0 >= w[1].0) {
+                return Err(format!("proc {p} adjacency not sorted/distinct"));
+            }
+            for &(f, bytes) in row {
+                if f >= self.n_files {
+                    return Err(format!("proc {p} lists out-of-range file {f}"));
+                }
+                let col = &self.file_adj[f];
+                match col.binary_search_by_key(&p, |&(q, _)| q) {
+                    Ok(i) if col[i].1 == bytes => {}
+                    Ok(i) => {
+                        return Err(format!(
+                            "edge ({p},{f}) weight mismatch: {} vs {}",
+                            bytes, col[i].1
+                        ))
+                    }
+                    Err(_) => return Err(format!("edge ({p},{f}) missing from file side")),
+                }
+            }
+        }
+        for (f, col) in self.file_adj.iter().enumerate() {
+            if col.windows(2).any(|w| w[0].0 >= w[1].0) {
+                return Err(format!("file {f} adjacency not sorted/distinct"));
+            }
+            for &(p, _) in col {
+                if p >= self.n_procs {
+                    return Err(format!("file {f} lists out-of-range proc {p}"));
+                }
+                if self.proc_adj[p]
+                    .binary_search_by_key(&f, |&(g, _)| g)
+                    .is_err()
+                {
+                    return Err(format!("edge ({p},{f}) missing from proc side"));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Bytes of `file` readable locally by `proc`, or `None` if not
@@ -105,7 +244,9 @@ impl BipartiteGraph {
 
 fn upsert(adj: &mut Vec<(usize, u64)>, key: usize, bytes: u64) {
     match adj.binary_search_by_key(&key, |&(k, _)| k) {
-        Ok(i) => adj[i].1 = adj[i].1.max(bytes),
+        // Replace, not max: a delta replay must leave the latest weight,
+        // and both mirrors see the same write so they cannot diverge.
+        Ok(i) => adj[i].1 = bytes,
         Err(i) => adj.insert(i, (key, bytes)),
     }
 }
@@ -141,13 +282,97 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_edges_keep_max_weight() {
+    fn duplicate_edges_take_latest_weight() {
+        // Last write wins: replaying a delta must leave the newest size,
+        // even when it shrinks the chunk.
         let mut g = BipartiteGraph::new(1, 1);
         g.add_edge(0, 0, 10);
         g.add_edge(0, 0, 30);
         g.add_edge(0, 0, 20);
-        assert_eq!(g.weight(0, 0), Some(30));
+        assert_eq!(g.weight(0, 0), Some(20));
         assert_eq!(g.edge_count(), 1);
+        g.check_mirror().unwrap();
+    }
+
+    #[test]
+    fn remove_edge_keeps_mirrors_in_sync() {
+        let mut g = BipartiteGraph::new(2, 3);
+        g.add_edge(0, 0, 8);
+        g.add_edge(0, 1, 8);
+        g.add_edge(1, 1, 8);
+        assert!(g.remove_edge(0, 1));
+        assert!(!g.remove_edge(0, 1), "already gone");
+        assert!(!g.remove_edge(1, 2), "never existed");
+        assert_eq!(g.files_of(0), &[(0, 8)]);
+        assert_eq!(g.procs_of(1), &[(1, 8)]);
+        assert_eq!(g.edge_count(), 2);
+        g.check_mirror().unwrap();
+    }
+
+    #[test]
+    fn vertex_mutations_preserve_mirror_and_shift_indices() {
+        let mut g = BipartiteGraph::new(3, 4);
+        for p in 0..3 {
+            for f in 0..4 {
+                if (p + f) % 2 == 0 {
+                    g.add_edge(p, f, (10 * p + f + 1) as u64);
+                }
+            }
+        }
+        g.check_mirror().unwrap();
+
+        // Removing file 1 shifts files 2..4 down; edge weights follow.
+        let w_before = g.weight(0, 2);
+        g.remove_file(1);
+        assert_eq!(g.n_files(), 3);
+        assert_eq!(g.weight(0, 1), w_before, "old file 2 is now file 1");
+        g.check_mirror().unwrap();
+
+        // Removing proc 0 shifts procs 1..3 down.
+        let w_before = g.weight(2, 2);
+        g.remove_proc(0);
+        assert_eq!(g.n_procs(), 2);
+        assert_eq!(g.weight(1, 2), w_before, "old proc 2 is now proc 1");
+        g.check_mirror().unwrap();
+
+        // Push new vertices and connect them.
+        let f = g.push_file();
+        let p = g.push_proc();
+        assert_eq!((p, f), (2, 3));
+        g.add_edge(p, f, 99);
+        assert_eq!(g.weight(2, 3), Some(99));
+        g.check_mirror().unwrap();
+    }
+
+    #[test]
+    fn mutation_sequence_matches_rebuild() {
+        // Applying a random-looking add/remove schedule must land on the
+        // same graph as building the final edge set from scratch.
+        let mut g = BipartiteGraph::new(4, 6);
+        let script: &[(bool, usize, usize, u64)] = &[
+            (true, 0, 0, 5),
+            (true, 1, 2, 7),
+            (true, 3, 5, 2),
+            (true, 0, 2, 9),
+            (false, 1, 2, 0),
+            (true, 2, 4, 4),
+            (true, 1, 2, 11),
+            (false, 0, 0, 0),
+            (true, 3, 1, 6),
+        ];
+        for &(add, p, f, b) in script {
+            if add {
+                g.add_edge(p, f, b);
+            } else {
+                g.remove_edge(p, f);
+            }
+        }
+        let mut fresh = BipartiteGraph::new(4, 6);
+        for (p, f, b) in [(0, 2, 9), (1, 2, 11), (2, 4, 4), (3, 1, 6), (3, 5, 2)] {
+            fresh.add_edge(p, f, b);
+        }
+        assert_eq!(g, fresh);
+        g.check_mirror().unwrap();
     }
 
     #[test]

@@ -1,0 +1,900 @@
+//! Incremental single-data matching: repair instead of re-solve.
+//!
+//! [`IncrementalMatcher`] keeps the residual network of the last max-flow
+//! solve — for a unit-capacity bipartite matching that is exactly the
+//! `owner` / `load` / `quota` state — and repairs it after a layout delta
+//! with augmenting / de-augmenting path searches seeded only from the
+//! delta-touched vertices. Each elementary mutation restores maximality
+//! before the next is applied, so after any delta sequence the matching
+//! has the same cardinality a from-scratch solve would produce; under
+//! [`Objective::MatchedBytes`] an exchange pass additionally restores the
+//! maximum matched-byte total among maximum matchings (matchable file sets
+//! form a transversal matroid, so the absence of any single improving
+//! exchange implies global optimality).
+//!
+//! Why seeded searches suffice: if the matching was maximum before a
+//! single edge/vertex change, any new augmenting path must use the changed
+//! element — otherwise it would have existed before, contradicting
+//! maximality. A failed seeded search is therefore a *proof* that the
+//! repaired matching is again maximum, not a heuristic give-up.
+
+use crate::graph::BipartiteGraph;
+use crate::single_data::{quotas, Objective};
+use std::collections::BTreeSet;
+
+/// A maximum bipartite matching that can be repaired in place as the
+/// underlying locality graph mutates.
+///
+/// The matcher owns its copy of the graph; callers mutate it exclusively
+/// through the methods here so the residual state never goes stale.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IncrementalMatcher {
+    graph: BipartiteGraph,
+    objective: Objective,
+    /// Per-process task quota (always `quotas(n_files, n_procs)`).
+    quota: Vec<usize>,
+    /// `owner[f]` = process matched to file `f`, if any.
+    owner: Vec<Option<usize>>,
+    /// `owned[p]` = files matched to process `p` — the inverse of
+    /// `owner`, kept in lockstep so the repair DFS can enumerate a
+    /// process's matches in O(load) instead of scanning every file.
+    owned: Vec<BTreeSet<usize>>,
+    /// `load[p]` = number of files matched to process `p`.
+    load: Vec<usize>,
+    /// DFS visited marks over processes, versioned to avoid clearing.
+    mark: Vec<u64>,
+    epoch: u64,
+}
+
+impl IncrementalMatcher {
+    /// Builds the matcher from a graph, solving the initial matching with
+    /// augmenting searches (same cardinality as max-flow).
+    pub fn new(graph: BipartiteGraph, objective: Objective) -> Self {
+        let m = graph.n_procs();
+        let n = graph.n_files();
+        assert!(m > 0, "need at least one process");
+        let mut s = IncrementalMatcher {
+            graph,
+            objective,
+            quota: quotas(n, m),
+            owner: vec![None; n],
+            owned: vec![BTreeSet::new(); m],
+            load: vec![0; m],
+            mark: vec![0; m],
+            epoch: 0,
+        };
+        for f in 0..n {
+            s.try_augment(f);
+        }
+        s.restore_bytes_optimality();
+        s.debug_check();
+        s
+    }
+
+    /// Adopts an existing matching (e.g. the one a from-scratch flow
+    /// solve produced) instead of re-solving, so a long-lived session can
+    /// start from the scratch planner's exact assignment and still repair
+    /// incrementally. The matching is topped up to maximality (a no-op
+    /// when the input is already maximum — every augmenting search fails
+    /// without mutating anything) and, under
+    /// [`Objective::MatchedBytes`], the exchange pass restores byte
+    /// optimality (again a no-op for a min-cost-flow input).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `owner` has the wrong length, names an edge absent from
+    /// the graph, or overfills a process's quota.
+    pub fn from_matching(
+        graph: BipartiteGraph,
+        objective: Objective,
+        owner: Vec<Option<usize>>,
+    ) -> Self {
+        let m = graph.n_procs();
+        let n = graph.n_files();
+        assert!(m > 0, "need at least one process");
+        assert_eq!(owner.len(), n, "one owner slot per file");
+        let quota = quotas(n, m);
+        let mut load = vec![0usize; m];
+        for (f, o) in owner.iter().enumerate() {
+            if let Some(p) = *o {
+                assert!(
+                    graph.weight(p, f).is_some(),
+                    "matched edge ({p},{f}) absent from the graph"
+                );
+                load[p] += 1;
+                assert!(load[p] <= quota[p], "process {p} above quota");
+            }
+        }
+        let mut owned = vec![BTreeSet::new(); m];
+        for (f, o) in owner.iter().enumerate() {
+            if let Some(p) = *o {
+                owned[p].insert(f);
+            }
+        }
+        let mut s = IncrementalMatcher {
+            graph,
+            objective,
+            quota,
+            owner,
+            owned,
+            load,
+            mark: vec![0; m],
+            epoch: 0,
+        };
+        for f in 0..n {
+            if s.owner[f].is_none() {
+                s.try_augment(f);
+            }
+        }
+        s.restore_bytes_optimality();
+        s.debug_check();
+        s
+    }
+
+    /// The graph as currently mutated.
+    pub fn graph(&self) -> &BipartiteGraph {
+        &self.graph
+    }
+
+    /// Current matching cardinality.
+    pub fn matched_count(&self) -> usize {
+        self.owner.iter().filter(|o| o.is_some()).count()
+    }
+
+    /// Sum of matched-edge weights (locally read bytes).
+    pub fn matched_bytes(&self) -> u64 {
+        self.owner
+            .iter()
+            .enumerate()
+            .filter_map(|(f, o)| o.map(|p| self.graph.weight(p, f).expect("matched edge exists")))
+            .sum()
+    }
+
+    /// Owner of each file, if matched locally.
+    pub fn owners(&self) -> &[Option<usize>] {
+        &self.owner
+    }
+
+    /// Per-process quotas in force.
+    pub fn quota(&self) -> &[usize] {
+        &self.quota
+    }
+
+    /// Per-process matched load.
+    pub fn load(&self) -> &[usize] {
+        &self.load
+    }
+
+    /// Adds (or reweights) a locality edge and repairs the matching.
+    pub fn add_edge(&mut self, proc: usize, file: usize, bytes: u64) {
+        let existed = self.graph.weight(proc, file).is_some();
+        self.graph.add_edge(proc, file, bytes);
+        if !existed {
+            if self.owner[file].is_none() {
+                self.try_augment(file);
+            } else {
+                self.augment_through(proc, file);
+            }
+        }
+        self.restore_bytes_optimality();
+        self.debug_check();
+    }
+
+    /// Removes a locality edge and repairs the matching.
+    pub fn remove_edge(&mut self, proc: usize, file: usize) {
+        if !self.graph.remove_edge(proc, file) {
+            return;
+        }
+        if self.owner[file] == Some(proc) {
+            self.set_owner(file, None);
+            self.load[proc] -= 1;
+            // Two independent recovery routes, each bounded by the one
+            // unit of residual capacity the removal created: rematch the
+            // file elsewhere, and refill the freed quota unit of `proc`.
+            self.try_augment(file);
+            self.try_augment_into(proc);
+        }
+        self.restore_bytes_optimality();
+        self.debug_check();
+    }
+
+    /// Appends a new file with the given locality edges `(proc, bytes)`
+    /// and repairs. Quotas grow by one unit at process `n mod m` (the
+    /// largest-remainder layout shifts in exactly one slot), so the
+    /// max-flow value can rise by at most one on each of the two new
+    /// sources of slack: the new file and the grown quota. Returns the
+    /// new file index.
+    pub fn add_file(&mut self, edges: &[(usize, u64)]) -> usize {
+        let f = self.graph.push_file();
+        self.owner.push(None);
+        for &(p, bytes) in edges {
+            self.graph.add_edge(p, f, bytes);
+        }
+        let gainer = (self.graph.n_files() - 1) % self.load.len();
+        self.quota[gainer] += 1;
+        self.try_augment(f);
+        self.try_augment_into(gainer);
+        self.restore_bytes_optimality();
+        self.debug_check();
+        f
+    }
+
+    /// Removes file `file` (files above shift down, mirroring snapshot
+    /// compaction) and repairs. The quota unit lost at process
+    /// `(n-1) mod m` de-augments a deterministic victim — the smallest
+    /// `(bytes, index)` file that process owns — which then gets one
+    /// rematch attempt; a failed rematch proves the shrunk network's flow
+    /// really is one lower.
+    pub fn remove_file(&mut self, file: usize) {
+        let freed_proc = self.owner[file];
+        self.owner.remove(file);
+        // Every file index above `file` shifted down: rebuild the
+        // inverse index (removal is already O(n) in the graph compaction).
+        for set in &mut self.owned {
+            set.clear();
+        }
+        for (f, o) in self.owner.iter().enumerate() {
+            if let Some(p) = *o {
+                self.owned[p].insert(f);
+            }
+        }
+        self.graph.remove_file(file);
+        if let Some(p) = freed_proc {
+            self.load[p] -= 1;
+        }
+        let loser = self.graph.n_files() % self.load.len();
+        self.quota[loser] -= 1;
+        let mut victim = None;
+        if self.load[loser] > self.quota[loser] {
+            let v = self
+                .owned_files(loser)
+                .into_iter()
+                .min_by_key(|&g| (self.graph.weight(loser, g).unwrap_or(0), g))
+                .expect("load > quota implies an owned file");
+            self.set_owner(v, None);
+            self.load[loser] -= 1;
+            victim = Some(v);
+        }
+        if let Some(v) = victim {
+            self.try_augment(v);
+        }
+        if let Some(p) = freed_proc {
+            self.try_augment_into(p);
+        }
+        self.restore_bytes_optimality();
+        self.debug_check();
+    }
+
+    /// Stages an edge insertion (or reweight) without repairing; pair
+    /// with [`IncrementalMatcher::repair_batch`]. Staging a whole delta
+    /// and repairing once replaces per-mutation proof searches — each up
+    /// to O(edges) — with a few shared phases for the entire batch.
+    pub fn stage_add_edge(&mut self, proc: usize, file: usize, bytes: u64) {
+        self.graph.add_edge(proc, file, bytes);
+    }
+
+    /// Stages an edge removal without repairing: if `file` was matched
+    /// across the edge it simply becomes unmatched. Pair with
+    /// [`IncrementalMatcher::repair_batch`].
+    pub fn stage_remove_edge(&mut self, proc: usize, file: usize) {
+        if !self.graph.remove_edge(proc, file) {
+            return;
+        }
+        if self.owner[file] == Some(proc) {
+            self.set_owner(file, None);
+            self.load[proc] -= 1;
+        }
+    }
+
+    /// Restores maximality after staged mutations: Kuhn phases over the
+    /// unmatched files with phase-shared visited marks (the DFS stage of
+    /// Hopcroft–Karp), repeated until a full phase augments nothing.
+    /// Sound as a stopping proof because every augmenting path begins at
+    /// an unmatched file; phase-sharing the marks only defers paths
+    /// blocked by an earlier search in the same phase to the next phase.
+    /// Finishes with the byte-optimality exchange pass.
+    pub fn repair_batch(&mut self) {
+        loop {
+            self.epoch += 1;
+            let mut progressed = false;
+            for f in 0..self.owner.len() {
+                if self.owner[f].is_none() && self.dfs_rehome(f) {
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        self.restore_bytes_optimality();
+        self.debug_check();
+    }
+
+    /// Files currently owned by `proc` (ascending index). O(load), not
+    /// O(files): the DFS searches call this for every visited process,
+    /// and a failed (proof-of-maximality) search visits a whole
+    /// component — a linear scan here made repair slower than re-solving.
+    fn owned_files(&self, proc: usize) -> Vec<usize> {
+        self.owned[proc].iter().copied().collect()
+    }
+
+    /// Points `file` at `proc`, keeping the `owned` inverse index in
+    /// lockstep. Load bookkeeping stays at the call sites — the searches
+    /// move load along paths, not per file.
+    fn set_owner(&mut self, file: usize, proc: Option<usize>) {
+        if let Some(old) = self.owner[file] {
+            self.owned[old].remove(&file);
+        }
+        if let Some(p) = proc {
+            self.owned[p].insert(file);
+        }
+        self.owner[file] = proc;
+    }
+
+    /// Repairs after inserting edge `(proc, file)` where `file` is
+    /// matched to some other process `q`. Any augmenting path must cross
+    /// the new edge, splitting into a *release* half (source capacity
+    /// reaches `proc`) and a *feed* half (`q` re-homes onto a different
+    /// unmatched file). Both halves are vertex-disjoint from each other
+    /// whenever the prior matching was maximum — a shared vertex would
+    /// splice into an augmenting path that predates the edge — so they
+    /// can be committed independently.
+    fn augment_through(&mut self, proc: usize, file: usize) {
+        if !self.release_capacity(proc) {
+            return; // no augmenting path can cross the new edge
+        }
+        let q = self.owner[file].expect("caller checked matched");
+        // Move `file` across the new edge (cardinality unchanged), then
+        // let the freed unit at q hunt for an unmatched file.
+        self.set_owner(file, Some(proc));
+        self.load[proc] += 1;
+        self.load[q] -= 1;
+        // If this fails the matching is still valid and still maximum;
+        // the move simply stands (deterministic either way).
+        self.try_augment_into(q);
+    }
+
+    /// Ensures `proc` has a spare quota unit, re-homing one of its owned
+    /// files along an alternating path if necessary (commits on success).
+    /// Failure proves no unit of source capacity can reach `proc`.
+    fn release_capacity(&mut self, proc: usize) -> bool {
+        if self.load[proc] < self.quota[proc] {
+            return true;
+        }
+        for g in self.owned_files(proc) {
+            self.epoch += 1;
+            self.mark[proc] = self.epoch; // the chain must not re-enter
+            self.set_owner(g, None);
+            self.load[proc] -= 1;
+            if self.dfs_rehome(g) {
+                return true;
+            }
+            self.set_owner(g, Some(proc));
+            self.load[proc] += 1;
+        }
+        false
+    }
+
+    /// Kuhn-style augmenting search from an unmatched file. Commits on
+    /// success; on failure the matching is untouched.
+    fn try_augment(&mut self, file: usize) -> bool {
+        if self.owner[file].is_some() {
+            return false;
+        }
+        self.epoch += 1;
+        self.dfs_rehome(file)
+    }
+
+    /// Finds a home for unmatched `file`: a co-located process with spare
+    /// quota, re-homing matched files along the way. Sorted adjacency
+    /// makes the path choice deterministic.
+    fn dfs_rehome(&mut self, file: usize) -> bool {
+        let procs: Vec<usize> = self.graph.procs_of(file).iter().map(|&(p, _)| p).collect();
+        for p in procs {
+            if self.mark[p] == self.epoch {
+                continue;
+            }
+            self.mark[p] = self.epoch;
+            if self.load[p] < self.quota[p] {
+                self.set_owner(file, Some(p));
+                self.load[p] += 1;
+                return true;
+            }
+            for g in self.owned_files(p) {
+                self.set_owner(g, None);
+                if self.dfs_rehome(g) {
+                    self.set_owner(file, Some(p)); // p trades g for file
+                    return true;
+                }
+                self.set_owner(g, Some(p));
+            }
+        }
+        false
+    }
+
+    /// Augmenting search that terminates *into* `proc` (which must have
+    /// spare quota): reach an unmatched file along an alternating path
+    /// rooted at `proc`. Commits on success.
+    fn try_augment_into(&mut self, proc: usize) -> bool {
+        if self.load[proc] >= self.quota[proc] {
+            return false;
+        }
+        self.epoch += 1;
+        self.dfs_feed(proc)
+    }
+
+    fn dfs_feed(&mut self, proc: usize) -> bool {
+        if self.mark[proc] == self.epoch {
+            return false;
+        }
+        self.mark[proc] = self.epoch;
+        let files: Vec<usize> = self.graph.files_of(proc).iter().map(|&(f, _)| f).collect();
+        for &f in &files {
+            if self.owner[f].is_none() {
+                self.set_owner(f, Some(proc));
+                self.load[proc] += 1;
+                return true;
+            }
+        }
+        for &f in &files {
+            let q = self.owner[f].expect("unmatched handled above");
+            if self.mark[q] == self.epoch {
+                continue;
+            }
+            // Tentatively steal f so the recursion cannot grab it back,
+            // then let q recover through its own adjacency.
+            self.set_owner(f, Some(proc));
+            self.load[proc] += 1;
+            self.load[q] -= 1;
+            if self.dfs_feed(q) {
+                return true;
+            }
+            self.set_owner(f, Some(q));
+            self.load[q] += 1;
+            self.load[proc] -= 1;
+        }
+        false
+    }
+
+    /// Restores byte-optimality among maximum matchings via improving
+    /// alternating-path exchanges; a no-op under `Objective::MatchCount`.
+    ///
+    /// Every unmatched file tries to enter the matching by evicting a
+    /// strictly smaller matched file reachable along an alternating path
+    /// (the transversal-matroid exchange). Each successful swap strictly
+    /// increases the byte total, so the fixpoint is reached in finitely
+    /// many steps; at the fixpoint no single improving exchange exists,
+    /// which for a matroid weight objective is global optimality.
+    fn restore_bytes_optimality(&mut self) {
+        if self.objective != Objective::MatchedBytes {
+            return;
+        }
+        loop {
+            let mut unmatched: Vec<usize> = (0..self.owner.len())
+                .filter(|&f| self.owner[f].is_none())
+                .collect();
+            // Deterministic order: biggest files first, then index.
+            unmatched.sort_by_key(|&f| (std::cmp::Reverse(self.file_size(f)), f));
+            let mut progressed = false;
+            for f in unmatched {
+                if self.owner[f].is_none() && self.try_exchange(f) {
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                return;
+            }
+        }
+    }
+
+    /// The file's chunk size: edge weights are uniform across a file's
+    /// replicas (a process reads the whole chunk locally or not at all).
+    fn file_size(&self, file: usize) -> u64 {
+        self.graph
+            .procs_of(file)
+            .first()
+            .map(|&(_, b)| b)
+            .unwrap_or(0)
+    }
+
+    /// Attempts to bring unmatched `file` into the matching by evicting a
+    /// strictly smaller matched file along an alternating path.
+    fn try_exchange(&mut self, file: usize) -> bool {
+        let size = self.file_size(file);
+        if size == 0 {
+            return false;
+        }
+        self.epoch += 1;
+        self.dfs_exchange(file, size)
+    }
+
+    /// DFS for an alternating path from unmatched `file` ending at a
+    /// victim with size < `limit`; `file` enters, the victim leaves,
+    /// cardinality is unchanged and matched bytes strictly increase.
+    /// Only mutates state on the committed success path.
+    fn dfs_exchange(&mut self, file: usize, limit: u64) -> bool {
+        let procs: Vec<usize> = self.graph.procs_of(file).iter().map(|&(p, _)| p).collect();
+        for p in procs {
+            if self.mark[p] == self.epoch {
+                continue;
+            }
+            self.mark[p] = self.epoch;
+            debug_assert!(
+                self.load[p] >= self.quota[p],
+                "spare quota next to an unmatched file contradicts maximality"
+            );
+            // Owned files smallest-first: evict the cheapest, and prefer
+            // direct eviction over deeper pass-through chains.
+            let mut owned = self.owned_files(p);
+            owned.sort_by_key(|&g| (self.graph.weight(p, g).unwrap_or(0), g));
+            for g in owned {
+                if self.graph.weight(p, g).unwrap_or(0) < limit {
+                    self.set_owner(g, None);
+                    self.set_owner(file, Some(p));
+                    return true;
+                }
+                self.set_owner(g, None);
+                if self.dfs_exchange(g, limit) {
+                    self.set_owner(file, Some(p));
+                    return true;
+                }
+                self.set_owner(g, Some(p));
+            }
+        }
+        false
+    }
+
+    #[cfg(debug_assertions)]
+    fn debug_check(&self) {
+        self.graph.check_mirror().expect("graph mirror invariant");
+        assert_eq!(
+            self.quota.iter().sum::<usize>(),
+            self.graph.n_files(),
+            "quotas sum to the file count"
+        );
+        let mut load = vec![0usize; self.load.len()];
+        for (f, o) in self.owner.iter().enumerate() {
+            if let Some(p) = *o {
+                assert!(
+                    self.graph.weight(p, f).is_some(),
+                    "matched pair ({p},{f}) must be an edge"
+                );
+                load[p] += 1;
+            }
+        }
+        assert_eq!(load, self.load, "load vector consistent with owners");
+        for (p, &l) in load.iter().enumerate() {
+            assert!(l <= self.quota[p], "process {p} over quota");
+        }
+        let mut owned = vec![BTreeSet::new(); self.load.len()];
+        for (f, o) in self.owner.iter().enumerate() {
+            if let Some(p) = *o {
+                owned[p].insert(f);
+            }
+        }
+        assert_eq!(owned, self.owned, "inverse index consistent with owners");
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn debug_check(&self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maxflow::FlowAlgo;
+    use crate::single_data::{FillPolicy, SingleDataMatcher};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Reference (cardinality, matched bytes) via the flow matcher.
+    fn flow_reference(graph: &BipartiteGraph, objective: Objective) -> (usize, u64) {
+        let matcher = SingleDataMatcher {
+            algo: FlowAlgo::Dinic,
+            fill: FillPolicy::LeastLoaded,
+            objective,
+        };
+        let out = matcher.assign(graph, &mut StdRng::seed_from_u64(0));
+        // Matched bytes = weights of owner edges that exist in the graph
+        // (fill assignments have no locality edge and contribute nothing).
+        let bytes: u64 = out
+            .assignment
+            .owners()
+            .iter()
+            .enumerate()
+            .filter_map(|(f, &p)| graph.weight(p, f))
+            .sum();
+        (out.matched_files, bytes)
+    }
+
+    fn random_graph(m: usize, n: usize, density_mod: u64, seed: u64) -> BipartiteGraph {
+        let mut g = BipartiteGraph::new(m, n);
+        let mut state = seed;
+        for f in 0..n {
+            for p in 0..m {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if state % density_mod == 0 {
+                    g.add_edge(p, f, 64);
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn initial_solve_matches_flow_cardinality() {
+        for seed in 0..8 {
+            let g = random_graph(4, 16, 3, seed);
+            let inc = IncrementalMatcher::new(g.clone(), Objective::MatchCount);
+            let (card, _) = flow_reference(&g, Objective::MatchCount);
+            assert_eq!(inc.matched_count(), card, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn edge_add_repairs_to_flow_cardinality() {
+        let mut inc = IncrementalMatcher::new(random_graph(4, 16, 4, 11), Objective::MatchCount);
+        let mut state = 99u64;
+        for _ in 0..40 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let p = (state >> 8) as usize % 4;
+            let f = (state >> 24) as usize % 16;
+            if inc.graph().weight(p, f).is_none() {
+                inc.add_edge(p, f, 64);
+                let (card, _) = flow_reference(inc.graph(), Objective::MatchCount);
+                assert_eq!(inc.matched_count(), card, "after add ({p},{f})");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_remove_repairs_to_flow_cardinality() {
+        let mut inc = IncrementalMatcher::new(random_graph(4, 16, 2, 5), Objective::MatchCount);
+        let mut state = 7u64;
+        for _ in 0..60 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let p = (state >> 8) as usize % 4;
+            let f = (state >> 24) as usize % 16;
+            if inc.graph().weight(p, f).is_some() {
+                inc.remove_edge(p, f);
+                let (card, _) = flow_reference(inc.graph(), Objective::MatchCount);
+                assert_eq!(inc.matched_count(), card, "after remove ({p},{f})");
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_churn_repairs_to_flow_cardinality() {
+        let mut inc = IncrementalMatcher::new(random_graph(5, 20, 3, 31), Objective::MatchCount);
+        let mut state = 13u64;
+        for step in 0..80 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let p = (state >> 8) as usize % 5;
+            let f = (state >> 24) as usize % inc.graph().n_files();
+            if inc.graph().weight(p, f).is_some() {
+                inc.remove_edge(p, f);
+            } else {
+                inc.add_edge(p, f, 64);
+            }
+            let (card, _) = flow_reference(inc.graph(), Objective::MatchCount);
+            assert_eq!(inc.matched_count(), card, "step {step}");
+        }
+    }
+
+    #[test]
+    fn staged_batch_repairs_to_flow_cardinality() {
+        // The staged path (mutate everything, repair once) must land on
+        // the same cardinality as both the flow reference and the
+        // per-mutation elementary path, for batches of any mix.
+        let mut state = 41u64;
+        for round in 0..6 {
+            let g = random_graph(5, 24, 3, 100 + round);
+            let mut staged = IncrementalMatcher::new(g.clone(), Objective::MatchCount);
+            let mut elementary = IncrementalMatcher::new(g, Objective::MatchCount);
+            let mut ops = Vec::new();
+            for _ in 0..12 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let p = (state >> 8) as usize % 5;
+                let f = (state >> 24) as usize % 24;
+                ops.push((p, f, staged.graph().weight(p, f).is_some()));
+            }
+            for &(p, f, present) in &ops {
+                if present {
+                    staged.stage_remove_edge(p, f);
+                    elementary.remove_edge(p, f);
+                } else {
+                    staged.stage_add_edge(p, f, 64);
+                    elementary.add_edge(p, f, 64);
+                }
+            }
+            staged.repair_batch();
+            let (card, _) = flow_reference(staged.graph(), Objective::MatchCount);
+            assert_eq!(staged.matched_count(), card, "round {round}: vs flow");
+            assert_eq!(
+                staged.matched_count(),
+                elementary.matched_count(),
+                "round {round}: staged and elementary paths must agree"
+            );
+            assert_eq!(
+                staged.graph(),
+                elementary.graph(),
+                "round {round}: both paths apply the same graph mutations"
+            );
+        }
+    }
+
+    #[test]
+    fn staged_batch_restores_byte_optimality() {
+        let sizes = [120u64, 8, 64, 5, 250, 40, 77, 13];
+        let mut g = BipartiteGraph::new(3, 8);
+        let mut state = 23u64;
+        for (f, &sz) in sizes.iter().enumerate() {
+            for p in 0..3 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if state % 2 == 0 {
+                    g.add_edge(p, f, sz);
+                }
+            }
+        }
+        let mut inc = IncrementalMatcher::new(g, Objective::MatchedBytes);
+        let mut state = 9u64;
+        for step in 0..10 {
+            // Stage a small batch, repair once, compare to min-cost flow.
+            for _ in 0..4 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let p = (state >> 8) as usize % 3;
+                let f = (state >> 24) as usize % 8;
+                if inc.graph().weight(p, f).is_some() {
+                    inc.stage_remove_edge(p, f);
+                } else {
+                    inc.stage_add_edge(p, f, sizes[f]);
+                }
+            }
+            inc.repair_batch();
+            let (card, bytes) = flow_reference(inc.graph(), Objective::MatchedBytes);
+            assert_eq!(inc.matched_count(), card, "cardinality, step {step}");
+            assert_eq!(inc.matched_bytes(), bytes, "bytes, step {step}");
+        }
+    }
+
+    #[test]
+    fn file_add_and_remove_repair_to_flow_cardinality() {
+        let g = random_graph(4, 12, 3, 21);
+        let mut inc = IncrementalMatcher::new(g, Objective::MatchCount);
+        let f = inc.add_file(&[(0, 64), (2, 64)]);
+        assert_eq!(f, 12);
+        inc.add_file(&[]); // isolated file
+        inc.add_file(&[(1, 64)]);
+        let (card, _) = flow_reference(inc.graph(), Objective::MatchCount);
+        assert_eq!(inc.matched_count(), card);
+        inc.remove_file(0);
+        inc.remove_file(7);
+        inc.remove_file(inc.graph().n_files() - 1);
+        let (card, _) = flow_reference(inc.graph(), Objective::MatchCount);
+        assert_eq!(inc.matched_count(), card);
+    }
+
+    #[test]
+    fn quota_tracks_file_count() {
+        let g = random_graph(3, 10, 2, 2);
+        let mut inc = IncrementalMatcher::new(g, Objective::MatchCount);
+        assert_eq!(inc.quota(), &quotas(10, 3)[..]);
+        inc.add_file(&[(0, 64)]);
+        assert_eq!(inc.quota(), &quotas(11, 3)[..]);
+        inc.remove_file(3);
+        inc.remove_file(0);
+        assert_eq!(inc.quota(), &quotas(9, 3)[..]);
+    }
+
+    #[test]
+    fn bytes_objective_reaches_flow_byte_total() {
+        // Mixed chunk sizes; every repair must land on the same matched
+        // byte total as min-cost flow from scratch.
+        let sizes = [100u64, 10, 64, 7, 200, 33, 50, 91];
+        let mut g = BipartiteGraph::new(3, 8);
+        let mut state = 17u64;
+        for (f, &sz) in sizes.iter().enumerate() {
+            for p in 0..3 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if state % 2 == 0 {
+                    g.add_edge(p, f, sz);
+                }
+            }
+        }
+        let mut inc = IncrementalMatcher::new(g.clone(), Objective::MatchedBytes);
+        let (card, bytes) = flow_reference(&g, Objective::MatchedBytes);
+        assert_eq!(inc.matched_count(), card);
+        assert_eq!(inc.matched_bytes(), bytes);
+        let mut state = 3u64;
+        for step in 0..30 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let p = (state >> 8) as usize % 3;
+            let f = (state >> 24) as usize % 8;
+            if inc.graph().weight(p, f).is_some() {
+                inc.remove_edge(p, f);
+            } else {
+                inc.add_edge(p, f, sizes[f]);
+            }
+            let (card, bytes) = flow_reference(inc.graph(), Objective::MatchedBytes);
+            assert_eq!(inc.matched_count(), card, "cardinality, step {step}");
+            assert_eq!(inc.matched_bytes(), bytes, "bytes, step {step}");
+        }
+    }
+
+    #[test]
+    fn repair_is_deterministic() {
+        let g = random_graph(4, 20, 3, 77);
+        let script = |inc: &mut IncrementalMatcher| {
+            inc.add_edge(0, 5, 64);
+            inc.remove_edge(1, 2);
+            inc.add_file(&[(2, 64), (3, 64)]);
+            inc.remove_file(4);
+        };
+        let mut a = IncrementalMatcher::new(g.clone(), Objective::MatchCount);
+        let mut b = IncrementalMatcher::new(g, Objective::MatchCount);
+        script(&mut a);
+        script(&mut b);
+        assert_eq!(a, b, "same delta sequence must be bit-identical");
+    }
+
+    #[test]
+    fn from_matching_adopts_flow_solve_verbatim_and_repairs() {
+        for seed in [1u64, 9, 44] {
+            let graph = random_graph(6, 40, 3, seed);
+            let scratch = SingleDataMatcher {
+                algo: FlowAlgo::Dinic,
+                fill: FillPolicy::LeastLoaded,
+                objective: Objective::MatchCount,
+            };
+            let (owners, matched) = scratch.flow_owners(&graph);
+            let mut inc = IncrementalMatcher::from_matching(
+                graph.clone(),
+                Objective::MatchCount,
+                owners.clone(),
+            );
+            assert_eq!(
+                inc.owners(),
+                &owners[..],
+                "adopting a maximum matching must not change it"
+            );
+            assert_eq!(inc.matched_count(), matched);
+            // The adopted state repairs like a freshly-solved one.
+            inc.remove_file(seed as usize % 40);
+            let (want, _) = flow_reference(inc.graph(), Objective::MatchCount);
+            assert_eq!(inc.matched_count(), want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn from_matching_tops_up_a_non_maximum_input() {
+        let graph = random_graph(5, 30, 2, 7);
+        // Empty matching in: the constructor must reach maximality.
+        let inc =
+            IncrementalMatcher::from_matching(graph.clone(), Objective::MatchCount, vec![None; 30]);
+        let (want, _) = flow_reference(&graph, Objective::MatchCount);
+        assert_eq!(inc.matched_count(), want);
+    }
+
+    #[test]
+    fn from_matching_bytes_input_stays_byte_optimal() {
+        let graph = random_graph(4, 24, 2, 123);
+        let scratch = SingleDataMatcher {
+            algo: FlowAlgo::Dinic,
+            fill: FillPolicy::LeastLoaded,
+            objective: Objective::MatchedBytes,
+        };
+        let (owners, _) = scratch.flow_owners(&graph);
+        let inc = IncrementalMatcher::from_matching(
+            graph.clone(),
+            Objective::MatchedBytes,
+            owners.clone(),
+        );
+        assert_eq!(
+            inc.owners(),
+            &owners[..],
+            "a min-cost-flow matching is already byte-optimal"
+        );
+        let (_, want_bytes) = flow_reference(&graph, Objective::MatchedBytes);
+        assert_eq!(inc.matched_bytes(), want_bytes);
+    }
+}

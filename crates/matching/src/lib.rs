@@ -9,6 +9,9 @@
 //! * [`single_data`] — the flow-network matcher for equal-quota tasks with
 //!   one input each (Section IV-B, Figure 5), with the paper's random fill
 //!   for unmatched files plus a least-loaded ablation variant;
+//! * [`incremental`] — the delta-repair matcher: keeps the residual state
+//!   of the last solve and repairs it after layout churn with searches
+//!   seeded only from the touched vertices, instead of re-solving;
 //! * [`multi_data`] — Algorithm 1 for tasks with several inputs
 //!   (Section IV-C, Figure 6): quota-constrained deferred acceptance with
 //!   strict trade-up;
@@ -40,6 +43,7 @@
 pub mod assignment;
 pub mod dynamic;
 pub mod graph;
+pub mod incremental;
 pub mod maxflow;
 pub mod multi_data;
 pub mod single_data;
@@ -50,8 +54,9 @@ pub use dynamic::{
     DelayScheduler, DynamicScheduler, FifoScheduler, GuidedScheduler, StealPolicy, StealRecord,
 };
 pub use graph::BipartiteGraph;
+pub use incremental::IncrementalMatcher;
 pub use maxflow::{FlowAlgo, FlowNetwork};
-pub use multi_data::{assign_multi_data, MatchingValues, MultiDataOutcome};
+pub use multi_data::{assign_multi_data, repair_multi_data, MatchingValues, MultiDataOutcome};
 pub use single_data::{
     quotas, weighted_quotas, FillPolicy, Objective, SingleDataMatcher, SingleDataOutcome,
     TwoTierOutcome,

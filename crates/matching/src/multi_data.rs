@@ -63,6 +63,36 @@ impl MatchingValues {
         }
     }
 
+    /// Subtracts `bytes` of co-located data between `proc` and `task`
+    /// (replica dropped or node failed); the entry disappears when it
+    /// reaches zero, keeping the table sparse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the subtraction would underflow — the caller is replaying
+    /// a layout delta, and removing bytes that were never added means the
+    /// delta and the table have diverged.
+    pub fn subtract(&mut self, proc: usize, task: usize, bytes: u64) {
+        assert!(proc < self.n_procs, "process {proc} out of range");
+        assert!(task < self.n_tasks, "task {task} out of range");
+        if bytes == 0 {
+            return;
+        }
+        let row = &mut self.values[proc];
+        let i = row
+            .binary_search_by_key(&task, |&(t, _)| t)
+            .expect("subtracting from an absent (proc, task) value");
+        assert!(
+            row[i].1 >= bytes,
+            "subtracting {bytes} from {} at ({proc},{task})",
+            row[i].1
+        );
+        row[i].1 -= bytes;
+        if row[i].1 == 0 {
+            row.remove(i);
+        }
+    }
+
     /// The matching value `m_proc^task` (0 when not co-located).
     pub fn value(&self, proc: usize, task: usize) -> u64 {
         let row = &self.values[proc];
@@ -168,6 +198,112 @@ pub fn assign_multi_data(values: &MatchingValues) -> MultiDataOutcome {
             }
             Some(current) => {
                 // Trade up only on strictly larger value (paper line 11).
+                if values.value(current, task) < values.value(p, task) {
+                    owner[task] = Some(p);
+                    load[p] += 1;
+                    load[current] -= 1;
+                    reassignments += 1;
+                    queue.push_back(current);
+                }
+            }
+        }
+        if load[p] < quota[p] {
+            queue.push_back(p);
+        }
+    }
+
+    debug_assert!(owner.iter().all(Option::is_some));
+    let owner: Vec<usize> = owner.into_iter().map(Option::unwrap).collect();
+    let assignment = Assignment::from_owners(owner, m);
+    let matched_bytes = values.total_value(&assignment);
+    MultiDataOutcome {
+        assignment,
+        matched_bytes,
+        reassignments,
+    }
+}
+
+/// Repairs a multi-data assignment after layout churn by re-running the
+/// Algorithm 1 proposal loop over `affected` tasks only.
+///
+/// Tasks outside `affected` keep their owners from `prev`; affected tasks
+/// are unassigned and re-auctioned under the (possibly updated) `values`
+/// table with the same strict trade-up rule, restricted so the repair can
+/// never disturb an unaffected task. The result is always complete and
+/// balanced, and is a pure function of `(values, prev, affected)` — the
+/// cheap mirror of the single-data residual repair, not an exactness
+/// guarantee (Algorithm 1 itself is a heuristic).
+///
+/// # Panics
+///
+/// Panics if `prev` disagrees with `values` on dimensions, or `affected`
+/// contains an out-of-range task.
+pub fn repair_multi_data(
+    values: &MatchingValues,
+    prev: &Assignment,
+    affected: &[usize],
+) -> MultiDataOutcome {
+    let m = values.n_procs();
+    let n = values.n_tasks();
+    assert!(m > 0, "need at least one process");
+    assert_eq!(prev.n_procs(), m, "process count changed; re-plan instead");
+    assert_eq!(prev.n_tasks(), n, "task count changed; re-plan instead");
+    let quota = crate::single_data::quotas(n, m);
+
+    let mut affected: Vec<usize> = affected.to_vec();
+    affected.sort_unstable();
+    affected.dedup();
+    if let Some(&t) = affected.last() {
+        assert!(t < n, "task {t} out of range");
+    }
+    let in_scope = |t: usize| affected.binary_search(&t).is_ok();
+
+    // Seed from the previous assignment with affected tasks evicted.
+    let mut owner: Vec<Option<usize>> = (0..n)
+        .map(|t| (!in_scope(t)).then(|| prev.owner_of(t)))
+        .collect();
+    let mut load = vec![0usize; m];
+    for o in owner.iter().flatten() {
+        load[*o] += 1;
+    }
+
+    // Candidate lists cover only the auctioned tasks.
+    let mut candidates: Vec<Vec<usize>> = Vec::with_capacity(m);
+    for p in 0..m {
+        let mut order = affected.clone();
+        order.sort_by(|&a, &b| values.value(p, b).cmp(&values.value(p, a)).then(a.cmp(&b)));
+        candidates.push(order);
+    }
+    let mut cursor = vec![0usize; m];
+    let mut reassignments = 0usize;
+
+    let mut queue: std::collections::VecDeque<usize> =
+        (0..m).filter(|&p| load[p] < quota[p]).collect();
+    while let Some(p) = queue.pop_front() {
+        if load[p] >= quota[p] {
+            continue;
+        }
+        if cursor[p] >= candidates[p].len() {
+            // Same liveness fallback as the full algorithm, over the
+            // auctioned set only (exactly the affected tasks can be open).
+            while load[p] < quota[p] {
+                let task = owner
+                    .iter()
+                    .position(Option::is_none)
+                    .expect("quotas sum to n, an unassigned task must exist");
+                owner[task] = Some(p);
+                load[p] += 1;
+            }
+            continue;
+        }
+        let task = candidates[p][cursor[p]];
+        cursor[p] += 1;
+        match owner[task] {
+            None => {
+                owner[task] = Some(p);
+                load[p] += 1;
+            }
+            Some(current) => {
                 if values.value(current, task) < values.value(p, task) {
                     owner[task] = Some(p);
                     load[p] += 1;
@@ -329,6 +465,80 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&s| s), "all tasks assigned");
+    }
+
+    fn random_values(m: usize, n: usize, seed: u64) -> MatchingValues {
+        let mut v = MatchingValues::new(m, n);
+        let mut state = seed;
+        for p in 0..m {
+            for t in 0..n {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if state % 3 != 0 {
+                    v.add(p, t, state % 200 + 1);
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn repair_with_no_affected_tasks_is_identity() {
+        let v = random_values(4, 12, 8);
+        let full = assign_multi_data(&v);
+        let out = repair_multi_data(&v, &full.assignment, &[]);
+        assert_eq!(out.assignment, full.assignment);
+        assert_eq!(out.reassignments, 0);
+    }
+
+    #[test]
+    fn repair_over_all_tasks_equals_full_run() {
+        // Auctioning every task restricts nothing, so the repair loop is
+        // the full algorithm: proposal order and results must coincide.
+        let v = random_values(5, 20, 44);
+        let full = assign_multi_data(&v);
+        let all: Vec<usize> = (0..20).collect();
+        let out = repair_multi_data(&v, &full.assignment, &all);
+        assert_eq!(out.assignment, full.assignment);
+        assert_eq!(out.matched_bytes, full.matched_bytes);
+    }
+
+    #[test]
+    fn repair_keeps_unaffected_owners_and_stays_balanced() {
+        let v = random_values(4, 16, 3);
+        let full = assign_multi_data(&v);
+        // Change values for two tasks (replica churn) and repair them.
+        let mut v2 = v.clone();
+        v2.add(0, 5, 10_000);
+        v2.add(3, 11, 10_000);
+        let out = repair_multi_data(&v2, &full.assignment, &[5, 11]);
+        for t in 0..16 {
+            if t != 5 && t != 11 {
+                assert_eq!(
+                    out.assignment.owner_of(t),
+                    full.assignment.owner_of(t),
+                    "unaffected task {t} must keep its owner"
+                );
+            }
+        }
+        assert!(out.assignment.is_balanced());
+        // No task duplicated or dropped across the repair.
+        let mut seen = [false; 16];
+        for p in 0..4 {
+            for &t in out.assignment.tasks_of(p) {
+                assert!(!seen[t], "task {t} duplicated");
+                seen[t] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn repair_is_deterministic() {
+        let v = random_values(3, 9, 17);
+        let full = assign_multi_data(&v);
+        let a = repair_multi_data(&v, &full.assignment, &[2, 4, 7]);
+        let b = repair_multi_data(&v, &full.assignment, &[7, 2, 4, 2]);
+        assert_eq!(a, b, "order/duplicates in the affected set are ignored");
     }
 
     #[test]

@@ -240,6 +240,22 @@ impl SingleDataMatcher {
         }
     }
 
+    /// Runs only the matching stage under the default even quotas — no
+    /// fill — returning the owner per file and the matched count. This is
+    /// exactly the matching [`Self::assign`] starts from, exposed so a
+    /// long-lived planner can adopt it into an incremental matcher (see
+    /// [`crate::IncrementalMatcher::from_matching`]) and stay
+    /// bit-identical to the from-scratch solve.
+    pub fn flow_owners(&self, graph: &BipartiteGraph) -> (Vec<Option<usize>>, usize) {
+        let m = graph.n_procs();
+        assert!(m > 0, "need at least one process");
+        let quota = quotas(graph.n_files(), m);
+        let mut owner = vec![None; graph.n_files()];
+        let mut load = vec![0usize; m];
+        let matched = self.flow_match(graph, &quota, &mut owner, &mut load);
+        (owner, matched)
+    }
+
     /// Runs max-flow over `graph` under `quota`, recording winners into
     /// `owner`/`load`. Files already owned must not appear in the graph.
     fn flow_match(

@@ -12,10 +12,10 @@
 //! * the guided dynamic scheduler dispenses every task exactly once under
 //!   arbitrary idle orders.
 
-use opass_matching::maxflow::{dinic, edmonds_karp, FlowNetwork};
+use opass_matching::maxflow::{dinic, edmonds_karp, FlowAlgo, FlowNetwork};
 use opass_matching::{
     assign_multi_data, quotas, BipartiteGraph, DynamicScheduler, FifoScheduler, FillPolicy,
-    GuidedScheduler, MatchingValues, SingleDataMatcher,
+    GuidedScheduler, IncrementalMatcher, MatchingValues, Objective, SingleDataMatcher,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -139,6 +139,73 @@ fn single_data_assignment_is_complete_balanced_and_maximum() {
         }
         let reference = edmonds_karp::max_flow(&mut net, s, t) as usize;
         assert_eq!(out.matched_files, reference);
+    }
+}
+
+#[test]
+fn all_three_matchers_agree_on_cardinality() {
+    // Dinic, Edmonds–Karp, and the incremental matcher (a Kuhn-style
+    // augmenting-path solver) are three independent routes to a maximum
+    // matching under the same quota network; their cardinalities must be
+    // identical on every instance — including after churn absorbed
+    // through the incremental repair paths.
+    let mut rng = StdRng::seed_from_u64(0xB8);
+    for case in 0..48 {
+        let (m, n, edges) = random_bipartite(&mut rng);
+        let g = build_graph(m, n, &edges);
+        let via = |algo: FlowAlgo| {
+            SingleDataMatcher {
+                algo,
+                ..Default::default()
+            }
+            .assign(&g, &mut StdRng::seed_from_u64(7))
+            .matched_files
+        };
+        let dinic_files = via(FlowAlgo::Dinic);
+        let ek_files = via(FlowAlgo::EdmondsKarp);
+        let mut inc = IncrementalMatcher::new(g.clone(), Objective::MatchCount);
+        assert_eq!(dinic_files, ek_files, "case {case}: Dinic vs Edmonds–Karp");
+        assert_eq!(
+            dinic_files,
+            inc.matched_count(),
+            "case {case}: flow vs incremental"
+        );
+
+        // Churn the instance through the repair paths, then re-check the
+        // three-way agreement on the mutated graph.
+        for i in 0..8 {
+            let p = rng.gen_range(0..m);
+            let f = rng.gen_range(0..n);
+            match (inc.graph().weight(p, f).is_some(), i % 2 == 0) {
+                (true, true) => inc.remove_edge(p, f),
+                (true, false) => inc.stage_remove_edge(p, f),
+                (false, true) => inc.add_edge(p, f, 64),
+                (false, false) => inc.stage_add_edge(p, f, 64),
+            }
+            if i % 2 != 0 {
+                inc.repair_batch();
+            }
+        }
+        let churned = inc.graph().clone();
+        let via_churned = |algo: FlowAlgo| {
+            SingleDataMatcher {
+                algo,
+                ..Default::default()
+            }
+            .assign(&churned, &mut StdRng::seed_from_u64(7))
+            .matched_files
+        };
+        let dinic_files = via_churned(FlowAlgo::Dinic);
+        assert_eq!(
+            dinic_files,
+            via_churned(FlowAlgo::EdmondsKarp),
+            "case {case}: post-churn Dinic vs Edmonds–Karp"
+        );
+        assert_eq!(
+            dinic_files,
+            inc.matched_count(),
+            "case {case}: post-churn flow vs incremental"
+        );
     }
 }
 

@@ -2,9 +2,12 @@
 //!
 //! Entries are stamped with the [`World`](crate::spec::World) generation
 //! they were derived from; a lookup presents the *current* generation and
-//! a stamp mismatch is a miss (the stale entry is dropped on the spot).
-//! Invalidation is therefore O(1) — bump one counter — and cleanup is
-//! amortized into subsequent lookups; no sweeper thread, no global lock.
+//! a stamp mismatch is a miss. Invalidation is therefore O(1) — bump one
+//! counter — with no sweeper thread and no global lock. A stale entry is
+//! *not* dropped by the lookup: it stays claimable through
+//! [`ShardedCache::take_stale`], so the planning path can repair a
+//! superseded plan in place instead of recomputing it; whoever claims it
+//! retires it (the insert of the repaired value replaces it otherwise).
 //!
 //! Sharding keeps unrelated keys off each other's locks: the shard index
 //! is a hash of the key, each shard an ordered map behind its own mutex.
@@ -51,24 +54,36 @@ impl<K: Ord + Hash, V: Clone> ShardedCache<K, V> {
     }
 
     /// Looks up `key` under the current `generation`. An entry stamped
-    /// with a different generation counts as a miss and is evicted.
+    /// with a different generation counts as a miss but is left in place
+    /// for [`ShardedCache::take_stale`] to claim.
     pub fn get(&self, key: &K, generation: u64) -> Option<V> {
-        let mut shard = self.shard(key).lock().expect("cache shard not poisoned");
+        let shard = self.shard(key).lock().expect("cache shard not poisoned");
         match shard.get(key) {
             Some(e) if e.generation == generation => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(e.value.clone())
             }
-            Some(_) => {
-                shard.remove(key);
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Removes and returns the entry for `key` *if its stamp differs from*
+    /// `generation`, together with the generation it was stamped with.
+    /// This is how the repair path claims a superseded value; the claim
+    /// counts as an invalidation whether the caller repairs or drops it.
+    /// Entries stamped with the current generation are left untouched.
+    pub fn take_stale(&self, key: &K, generation: u64) -> Option<(V, u64)> {
+        let mut shard = self.shard(key).lock().expect("cache shard not poisoned");
+        match shard.get(key) {
+            Some(e) if e.generation != generation => {
+                let e = shard.remove(key).expect("entry observed under the lock");
                 self.invalidated.fetch_add(1, Ordering::Relaxed);
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
+                Some((e.value, e.generation))
             }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
+            _ => None,
         }
     }
 
@@ -107,18 +122,30 @@ mod tests {
     use std::sync::Arc;
 
     #[test]
-    fn hit_miss_and_generation_eviction() {
+    fn hit_miss_and_stale_claim() {
         let cache: ShardedCache<u64, String> = ShardedCache::new();
         assert_eq!(cache.get(&1, 0), None);
         cache.insert(1, 0, "a".into());
         assert_eq!(cache.get(&1, 0), Some("a".into()));
-        // Same key, newer generation: stale entry evicted, miss counted.
+        // Same key, newer generation: miss, but the entry survives for
+        // the repair path to claim with its original stamp.
         assert_eq!(cache.get(&1, 1), None);
+        assert_eq!(cache.invalidated(), 0);
+        assert_eq!(cache.take_stale(&1, 1), Some(("a".into(), 0)));
         assert_eq!(cache.invalidated(), 1);
-        // Gone for good until re-inserted.
+        // Claimed: gone for good until re-inserted.
         assert_eq!(cache.get(&1, 0), None);
+        assert_eq!(cache.take_stale(&1, 1), None);
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 3);
+    }
+
+    #[test]
+    fn take_stale_leaves_current_entries_alone() {
+        let cache: ShardedCache<u64, String> = ShardedCache::new();
+        cache.insert(7, 3, "fresh".into());
+        assert_eq!(cache.take_stale(&7, 3), None, "current entry not claimable");
+        assert_eq!(cache.get(&7, 3), Some("fresh".into()));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::frame::{read_frame, write_frame, FrameError};
 use crate::protocol::{LayoutReply, PlanReply, ProtoError, Request, Response, StatsReply};
+use opass_core::dfs::LayoutDelta;
 use opass_core::Strategy;
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -160,13 +161,39 @@ impl Client {
         }
     }
 
-    /// Bumps the server's invalidation generation; returns the new one.
+    /// Bumps the server's global invalidation generation, staling every
+    /// cached plan and layout; returns the new generation.
     ///
     /// # Errors
     ///
     /// Returns [`ClientError`] on failure or an unexpected reply type.
     pub fn invalidate(&mut self) -> Result<u64, ClientError> {
-        match self.call(&Request::Invalidate)? {
+        match self.call(&Request::Invalidate {
+            dataset: None,
+            delta: None,
+        })? {
+            Response::Invalidated { generation } => Ok(generation),
+            other => Err(unexpected("invalidated", &other)),
+        }
+    }
+
+    /// Invalidates one dataset, telling the server *what* changed so it
+    /// can repair cached plans in place instead of recomputing them.
+    /// Other datasets' cached plans stay valid. Returns the dataset's new
+    /// effective generation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] on failure or an unexpected reply type.
+    pub fn invalidate_with_delta(
+        &mut self,
+        dataset: usize,
+        delta: &LayoutDelta,
+    ) -> Result<u64, ClientError> {
+        match self.call(&Request::Invalidate {
+            dataset: Some(dataset),
+            delta: Some(delta.clone()),
+        })? {
             Response::Invalidated { generation } => Ok(generation),
             other => Err(unexpected("invalidated", &other)),
         }

@@ -8,7 +8,7 @@
 //! a load generator needs to gate regressions, without per-sample
 //! storage.
 
-use crate::protocol::LatencyBin;
+use crate::protocol::{LatencyBin, LatencySummary};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of histogram buckets. Bucket `k > 0` covers
@@ -107,6 +107,18 @@ impl LatencyHistogram {
         };
         (count, mean, quantile(0.50), quantile(0.99), bins)
     }
+
+    /// The snapshot condensed to the wire's [`LatencySummary`] shape
+    /// (count / mean / p50 / p99, no bins).
+    pub fn summary(&self) -> LatencySummary {
+        let (count, mean_us, p50_us, p99_us, _) = self.snapshot();
+        LatencySummary {
+            count,
+            mean_us,
+            p50_us,
+            p99_us,
+        }
+    }
 }
 
 impl Default for LatencyHistogram {
@@ -122,8 +134,16 @@ pub struct ServeMetrics {
     pub requests: AtomicU64,
     /// Plans computed on the cold path (cache miss, leader flight).
     pub planned: AtomicU64,
+    /// Plans repaired in place from a cached predecessor via a layout
+    /// delta (a leader flight that skipped the from-scratch planner).
+    pub repaired: AtomicU64,
     /// Latency of plan/layout request handling.
     pub latency: LatencyHistogram,
+    /// Latency of delta repairs alone (the matching-repair part of a
+    /// flight, excluding queueing).
+    pub repair_latency: LatencyHistogram,
+    /// Latency of from-scratch plan computations alone.
+    pub cold_plan_latency: LatencyHistogram,
 }
 
 impl ServeMetrics {

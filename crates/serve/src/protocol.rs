@@ -8,6 +8,7 @@
 //! errors — a request that decodes successfully is structurally valid.
 
 use crate::frame::FrameError;
+use opass_core::dfs::{ChunkId, ChunkLayout, LayoutDelta, NodeId};
 use opass_core::Strategy;
 use opass_json::Json;
 
@@ -91,6 +92,132 @@ fn envelope(ty: &str, mut fields: Vec<(String, Json)>) -> Json {
 }
 
 // ---------------------------------------------------------------------------
+// Layout delta codec
+// ---------------------------------------------------------------------------
+
+fn u64_array(v: &Json, name: &str) -> Result<Vec<u64>, ProtoError> {
+    field(v, name)?
+        .as_array()
+        .ok_or_else(|| ProtoError::Malformed(format!("field {name:?} must be an array")))?
+        .iter()
+        .map(|x| {
+            x.as_u64().ok_or_else(|| {
+                ProtoError::Malformed(format!("{name} elements must be unsigned integers"))
+            })
+        })
+        .collect()
+}
+
+fn replica_pairs(v: &Json, name: &str) -> Result<Vec<(ChunkId, NodeId)>, ProtoError> {
+    field(v, name)?
+        .as_array()
+        .ok_or_else(|| ProtoError::Malformed(format!("field {name:?} must be an array")))?
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_array().filter(|p| p.len() == 2).ok_or_else(|| {
+                ProtoError::Malformed(format!("{name} elements must be [chunk, node] pairs"))
+            })?;
+            let chunk = pair[0].as_u64();
+            let node = pair[1].as_u64();
+            match (chunk, node) {
+                (Some(c), Some(n)) => Ok((ChunkId(c), NodeId(n as u32))),
+                _ => Err(ProtoError::Malformed(format!(
+                    "{name} pairs must hold unsigned integers"
+                ))),
+            }
+        })
+        .collect()
+}
+
+/// Encodes a [`LayoutDelta`] as a wire JSON object. Replica changes ride
+/// as `[chunk, node]` pairs; added files reuse the layout-entry shape.
+fn delta_to_json(delta: &LayoutDelta) -> Json {
+    let pairs = |ps: &[(ChunkId, NodeId)]| {
+        Json::array(
+            ps.iter()
+                .map(|&(c, n)| Json::array([Json::from(c.0), Json::from(u64::from(n.0))])),
+        )
+    };
+    Json::object([
+        (
+            "files_added".to_string(),
+            Json::array(delta.files_added.iter().map(|f| {
+                Json::object([
+                    ("chunk".to_string(), Json::from(f.chunk.0)),
+                    ("size".to_string(), Json::from(f.size)),
+                    (
+                        "locations".to_string(),
+                        Json::array(f.locations.iter().map(|n| Json::from(u64::from(n.0)))),
+                    ),
+                ])
+            })),
+        ),
+        (
+            "files_removed".to_string(),
+            Json::array(delta.files_removed.iter().map(|c| Json::from(c.0))),
+        ),
+        ("replicas_added".to_string(), pairs(&delta.replicas_added)),
+        (
+            "replicas_dropped".to_string(),
+            pairs(&delta.replicas_dropped),
+        ),
+        (
+            "nodes_failed".to_string(),
+            Json::array(
+                delta
+                    .nodes_failed
+                    .iter()
+                    .map(|n| Json::from(u64::from(n.0))),
+            ),
+        ),
+        (
+            "nodes_joined".to_string(),
+            Json::array(
+                delta
+                    .nodes_joined
+                    .iter()
+                    .map(|n| Json::from(u64::from(n.0))),
+            ),
+        ),
+    ])
+}
+
+fn delta_from_json(v: &Json) -> Result<LayoutDelta, ProtoError> {
+    let files_added = field(v, "files_added")?
+        .as_array()
+        .ok_or_else(|| ProtoError::Malformed("field \"files_added\" must be an array".into()))?
+        .iter()
+        .map(|f| {
+            Ok(ChunkLayout {
+                chunk: ChunkId(u64_field(f, "chunk")?),
+                size: u64_field(f, "size")?,
+                locations: u64_array(f, "locations")?
+                    .into_iter()
+                    .map(|n| NodeId(n as u32))
+                    .collect(),
+            })
+        })
+        .collect::<Result<Vec<ChunkLayout>, ProtoError>>()?;
+    Ok(LayoutDelta {
+        files_added,
+        files_removed: u64_array(v, "files_removed")?
+            .into_iter()
+            .map(ChunkId)
+            .collect(),
+        replicas_added: replica_pairs(v, "replicas_added")?,
+        replicas_dropped: replica_pairs(v, "replicas_dropped")?,
+        nodes_failed: u64_array(v, "nodes_failed")?
+            .into_iter()
+            .map(|n| NodeId(n as u32))
+            .collect(),
+        nodes_joined: u64_array(v, "nodes_joined")?
+            .into_iter()
+            .map(|n| NodeId(n as u32))
+            .collect(),
+    })
+}
+
+// ---------------------------------------------------------------------------
 // Requests
 // ---------------------------------------------------------------------------
 
@@ -116,8 +243,17 @@ pub enum Request {
     /// Fetch service counters and the latency histogram.
     Stats,
     /// Bump the invalidation generation (stands in for a namenode
-    /// mutation notification); all cached layouts and plans become stale.
-    Invalidate,
+    /// mutation notification). A bare invalidation (`dataset: None`)
+    /// stales every cached layout and plan. A dataset-scoped
+    /// invalidation carrying a [`LayoutDelta`] stales only that
+    /// dataset — and tells the server *what* changed, so cached plans
+    /// can be repaired in place instead of recomputed.
+    Invalidate {
+        /// Dataset to invalidate, or `None` for a global flush.
+        dataset: Option<usize>,
+        /// What changed. Requires `dataset`.
+        delta: Option<LayoutDelta>,
+    },
     /// Ask the server to shut down gracefully (drain in-flight work).
     Shutdown,
 }
@@ -144,7 +280,16 @@ impl Request {
                 vec![("dataset".to_string(), Json::from(*dataset))],
             ),
             Request::Stats => envelope("stats", vec![]),
-            Request::Invalidate => envelope("invalidate", vec![]),
+            Request::Invalidate { dataset, delta } => {
+                let mut fields = vec![];
+                if let Some(d) = dataset {
+                    fields.push(("dataset".to_string(), Json::from(*d)));
+                }
+                if let Some(delta) = delta {
+                    fields.push(("delta".to_string(), delta_to_json(delta)));
+                }
+                envelope("invalidate", fields)
+            }
             Request::Shutdown => envelope("shutdown", vec![]),
         }
     }
@@ -168,7 +313,26 @@ impl Request {
                 dataset: usize_field(v, "dataset")?,
             }),
             "stats" => Ok(Request::Stats),
-            "invalidate" => Ok(Request::Invalidate),
+            "invalidate" => {
+                let dataset = match v.get("dataset") {
+                    Some(d) => Some(d.as_usize().ok_or_else(|| {
+                        ProtoError::Malformed(
+                            "field \"dataset\" must be an unsigned integer".into(),
+                        )
+                    })?),
+                    None => None,
+                };
+                let delta = match v.get("delta") {
+                    Some(d) => Some(delta_from_json(d)?),
+                    None => None,
+                };
+                if delta.is_some() && dataset.is_none() {
+                    return Err(ProtoError::Malformed(
+                        "a delta invalidation must name a dataset".into(),
+                    ));
+                }
+                Ok(Request::Invalidate { dataset, delta })
+            }
             "shutdown" => Ok(Request::Shutdown),
             other => Err(ProtoError::Malformed(format!(
                 "unknown request type {other:?}"
@@ -183,9 +347,13 @@ impl Request {
 
 /// A computed (or cached) plan, as shipped over the wire.
 ///
-/// For a fixed `(spec, generation, strategy, seed)` the `owners` vector is
-/// byte-identical to the in-process planner's output — the service adds
-/// caching and concurrency, never different answers.
+/// For a fixed `(spec, generation, strategy, seed)` a plan computed from
+/// scratch has an `owners` vector byte-identical to the in-process
+/// planner's output — the service adds caching and concurrency, never
+/// different answers. A plan *repaired* from a cached predecessor after
+/// a delta invalidation (`repaired: true`) agrees with the from-scratch
+/// plan on `matched_files` and both locality fractions, but may realize
+/// them with a different maximum matching.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlanReply {
     /// Dataset index the plan is for.
@@ -211,6 +379,9 @@ pub struct PlanReply {
     /// True when this request piggybacked on another in-flight
     /// computation of the same key.
     pub coalesced: bool,
+    /// True when the plan was repaired from a cached predecessor via a
+    /// layout delta rather than computed from scratch.
+    pub repaired: bool,
 }
 
 impl PlanReply {
@@ -239,6 +410,7 @@ impl PlanReply {
                 ),
                 ("cached".to_string(), Json::from(self.cached)),
                 ("coalesced".to_string(), Json::from(self.coalesced)),
+                ("repaired".to_string(), Json::from(self.repaired)),
             ],
         )
     }
@@ -265,6 +437,7 @@ impl PlanReply {
             local_byte_fraction: f64_field(v, "local_byte_fraction")?,
             cached: bool_field(v, "cached")?,
             coalesced: bool_field(v, "coalesced")?,
+            repaired: bool_field(v, "repaired")?,
         })
     }
 }
@@ -365,6 +538,39 @@ pub struct LatencyBin {
     pub count: u64,
 }
 
+/// A compact latency summary (no bins) for one class of planning work.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencySummary {
+    /// Operations measured.
+    pub count: u64,
+    /// Mean latency, microseconds.
+    pub mean_us: f64,
+    /// Approximate median latency, microseconds.
+    pub p50_us: f64,
+    /// Approximate 99th-percentile latency, microseconds.
+    pub p99_us: f64,
+}
+
+impl LatencySummary {
+    fn to_json(self) -> Json {
+        Json::object([
+            ("count".to_string(), Json::from(self.count)),
+            ("mean".to_string(), Json::from(self.mean_us)),
+            ("p50".to_string(), Json::from(self.p50_us)),
+            ("p99".to_string(), Json::from(self.p99_us)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<LatencySummary, ProtoError> {
+        Ok(LatencySummary {
+            count: u64_field(v, "count")?,
+            mean_us: f64_field(v, "mean")?,
+            p50_us: f64_field(v, "p50")?,
+            p99_us: f64_field(v, "p99")?,
+        })
+    }
+}
+
 /// Service counters and latency distribution.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct StatsReply {
@@ -372,8 +578,11 @@ pub struct StatsReply {
     pub generation: u64,
     /// Requests accepted (all types).
     pub requests: u64,
-    /// Plans actually computed (cache misses that ran the planner).
+    /// Plans actually computed from scratch (cache misses that ran the
+    /// planner end to end).
     pub planned: u64,
+    /// Plans repaired from a cached predecessor via a layout delta.
+    pub repaired: u64,
     /// Namenode layout walks performed.
     pub layout_walks: u64,
     /// Plan + layout cache hits.
@@ -402,6 +611,10 @@ pub struct StatsReply {
     pub latency_p99_us: f64,
     /// Non-empty latency histogram bins.
     pub latency_histogram: Vec<LatencyBin>,
+    /// Latency of delta repairs of cached plans.
+    pub repair_us: LatencySummary,
+    /// Latency of from-scratch plan computations.
+    pub cold_plan_us: LatencySummary,
 }
 
 impl StatsReply {
@@ -417,6 +630,7 @@ impl StatsReply {
                     Json::object([
                         ("requests".to_string(), Json::from(self.requests)),
                         ("planned".to_string(), Json::from(self.planned)),
+                        ("repaired".to_string(), Json::from(self.repaired)),
                         ("layout_walks".to_string(), Json::from(self.layout_walks)),
                         ("cache_hits".to_string(), Json::from(self.cache_hits)),
                         ("cache_misses".to_string(), Json::from(self.cache_misses)),
@@ -455,6 +669,8 @@ impl StatsReply {
                         ),
                     ]),
                 ),
+                ("repair_us".to_string(), self.repair_us.to_json()),
+                ("cold_plan_us".to_string(), self.cold_plan_us.to_json()),
             ],
         )
     }
@@ -479,6 +695,7 @@ impl StatsReply {
             generation: u64_field(v, "generation")?,
             requests: u64_field(counters, "requests")?,
             planned: u64_field(counters, "planned")?,
+            repaired: u64_field(counters, "repaired")?,
             layout_walks: u64_field(counters, "layout_walks")?,
             cache_hits: u64_field(counters, "cache_hits")?,
             cache_misses: u64_field(counters, "cache_misses")?,
@@ -493,6 +710,8 @@ impl StatsReply {
             latency_p50_us: f64_field(latency, "p50")?,
             latency_p99_us: f64_field(latency, "p99")?,
             latency_histogram: histogram,
+            repair_us: LatencySummary::from_json(field(v, "repair_us")?)?,
+            cold_plan_us: LatencySummary::from_json(field(v, "cold_plan_us")?)?,
         })
     }
 }
@@ -624,12 +843,47 @@ mod tests {
             },
             Request::Layout { dataset: 0 },
             Request::Stats,
-            Request::Invalidate,
+            Request::Invalidate {
+                dataset: None,
+                delta: None,
+            },
+            Request::Invalidate {
+                dataset: Some(2),
+                delta: None,
+            },
+            Request::Invalidate {
+                dataset: Some(1),
+                delta: Some(LayoutDelta {
+                    files_added: vec![ChunkLayout {
+                        chunk: ChunkId(40),
+                        size: 4096,
+                        locations: vec![NodeId(1), NodeId(5)],
+                    }],
+                    files_removed: vec![ChunkId(7)],
+                    replicas_added: vec![(ChunkId(3), NodeId(2))],
+                    replicas_dropped: vec![(ChunkId(3), NodeId(0)), (ChunkId(9), NodeId(4))],
+                    nodes_failed: vec![NodeId(0)],
+                    nodes_joined: vec![NodeId(6)],
+                }),
+            },
             Request::Shutdown,
         ] {
             let back = Request::from_json(&req.to_json()).expect("round trip");
             assert_eq!(back, req);
         }
+    }
+
+    #[test]
+    fn delta_without_dataset_is_malformed() {
+        let msg = Json::object([
+            ("v".to_string(), Json::from(PROTOCOL_VERSION)),
+            ("type".to_string(), Json::from("invalidate")),
+            ("delta".to_string(), delta_to_json(&LayoutDelta::default())),
+        ]);
+        assert!(matches!(
+            Request::from_json(&msg),
+            Err(ProtoError::Malformed(_))
+        ));
     }
 
     #[test]
@@ -646,11 +900,13 @@ mod tests {
             local_byte_fraction: 0.5,
             cached: true,
             coalesced: false,
+            repaired: true,
         };
         let stats = StatsReply {
             generation: 4,
             requests: 10,
             planned: 2,
+            repaired: 1,
             cache_hits: 7,
             cache_misses: 3,
             coalesced: 1,
@@ -667,6 +923,18 @@ mod tests {
                 hi: 128.0,
                 count: 10,
             }],
+            repair_us: LatencySummary {
+                count: 1,
+                mean_us: 40.0,
+                p50_us: 32.0,
+                p99_us: 64.0,
+            },
+            cold_plan_us: LatencySummary {
+                count: 2,
+                mean_us: 900.0,
+                p50_us: 512.0,
+                p99_us: 2048.0,
+            },
             ..Default::default()
         };
         for resp in [

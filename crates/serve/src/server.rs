@@ -5,9 +5,13 @@
 //! decodes frames and answers cheap requests (`ping`, `stats`,
 //! `invalidate`) inline. Planning and layout requests go through the
 //! bounded [`WorkerPool`] — the admission valve — and inside a worker
-//! the path is: plan cache → coalesced flight → layout cache → namenode
-//! walk → planner. Every cache entry is stamped with the [`World`]
-//! generation, so one atomic bump invalidates everything.
+//! the path is: plan cache → coalesced flight → repair attempt → layout
+//! cache → namenode walk → planner. Every cache entry is stamped with
+//! the dataset's effective [`World`] generation: a bare invalidation
+//! bumps every dataset at once, while a dataset-scoped delta
+//! invalidation stales only that dataset — and because the delta says
+//! *what* changed, a superseded cached plan is repaired in place
+//! through its planning session instead of recomputed from scratch.
 //!
 //! Shutdown (local [`ServerHandle::shutdown`] or a remote `shutdown`
 //! request) is graceful: stop accepting, unblock connection reads,
@@ -28,7 +32,7 @@ use opass_core::dfs::LayoutSnapshot;
 use opass_core::matching::locality_report;
 use opass_core::runtime::baseline::{random_assignment, rank_interval};
 use opass_core::runtime::ProcessPlacement;
-use opass_core::{build_locality_graph_from_layout, OpassPlanner, Strategy};
+use opass_core::{build_locality_graph_from_layout, OpassPlanner, SingleDataSession, Strategy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -65,14 +69,24 @@ impl Default for ServerConfig {
 /// cache stamps entries with the generation; flights append it to the key.
 type PlanKey = (usize, String, u64);
 
+/// A cached plan plus — for planner-backed strategies — the live
+/// planning session that produced it, so a delta invalidation can repair
+/// the plan in place. Baselines carry no session (`None`) and always
+/// recompute. The session is `take`n by the repairing flight, so at most
+/// one repair chain ever extends a given session.
+struct CachedPlan {
+    reply: PlanReply,
+    session: Mutex<Option<SingleDataSession>>,
+}
+
 /// State shared by the accept loop, connection threads, and workers.
 pub(crate) struct Shared {
     world: World,
     placement: ProcessPlacement,
     planner: OpassPlanner,
     layout_cache: ShardedCache<usize, Arc<LayoutSnapshot>>,
-    plan_cache: ShardedCache<PlanKey, Arc<PlanReply>>,
-    plan_flights: Coalescer<(PlanKey, u64), Arc<PlanReply>>,
+    plan_cache: ShardedCache<PlanKey, Arc<CachedPlan>>,
+    plan_flights: Coalescer<(PlanKey, u64), Arc<CachedPlan>>,
     layout_flights: Coalescer<(usize, u64), Arc<LayoutSnapshot>>,
     pool: WorkerPool,
     metrics: ServeMetrics,
@@ -106,28 +120,76 @@ impl Shared {
     /// worker thread. Returns the reply with `cached`/`coalesced` set for
     /// *this* request.
     fn plan(&self, dataset: usize, strategy: &Strategy, seed: u64) -> Response {
-        let generation = self.world.generation();
+        let generation = self.world.generation_of(dataset);
         let key: PlanKey = (dataset, strategy.label(), seed);
         if let Some(hit) = self.plan_cache.get(&key, generation) {
-            let mut reply = (*hit).clone();
+            let mut reply = hit.reply.clone();
             reply.cached = true;
             return Response::Plan(reply);
         }
         let flight_key = (key.clone(), generation);
         let (arc, coalesced) = self.plan_flights.run(flight_key, || {
+            if let Some(entry) = self.try_repair(&key, generation) {
+                self.plan_cache
+                    .insert(key.clone(), generation, Arc::clone(&entry));
+                return entry;
+            }
             self.metrics.planned.fetch_add(1, Ordering::Relaxed);
             let (snapshot, _) = self.layout_for(dataset, generation);
-            let reply = Arc::new(self.compute_plan(dataset, strategy, seed, generation, &snapshot));
-            self.plan_cache.insert(key, generation, Arc::clone(&reply));
-            reply
+            let start = Instant::now();
+            let entry = Arc::new(self.compute_plan(dataset, strategy, seed, generation, &snapshot));
+            self.metrics.cold_plan_latency.record(elapsed_us(start));
+            self.plan_cache
+                .insert(key.clone(), generation, Arc::clone(&entry));
+            entry
         });
-        let mut reply = (*arc).clone();
+        let mut reply = arc.reply.clone();
         reply.coalesced = coalesced;
         Response::Plan(reply)
     }
 
+    /// Attempts to bring a superseded cached plan up to `generation` by
+    /// replaying the journalled layout deltas through its planning
+    /// session. Claiming the stale entry retires it either way; `None`
+    /// means take the cold path (no stale entry, a baseline with no
+    /// session, or an unrepairable span — bare flush or evicted journal).
+    fn try_repair(&self, key: &PlanKey, generation: u64) -> Option<Arc<CachedPlan>> {
+        let dataset = key.0;
+        let (stale, from) = self.plan_cache.take_stale(key, generation)?;
+        let deltas = self.world.deltas_since(dataset, from)?;
+        let mut session = stale
+            .session
+            .lock()
+            .expect("session slot not poisoned")
+            .take()?;
+        let start = Instant::now();
+        for delta in &deltas {
+            self.planner.replan_single_data(&mut session, delta);
+        }
+        let plan = session.plan();
+        let mut reply = stale.reply.clone();
+        reply.generation = generation;
+        reply.owners = plan.assignment.owners().to_vec();
+        reply.matched_files = plan.matched_files;
+        reply.filled_files = plan.filled_files;
+        reply.local_task_fraction = plan.locality.task_fraction();
+        reply.local_byte_fraction = plan.locality.byte_fraction();
+        reply.cached = false;
+        reply.coalesced = false;
+        reply.repaired = true;
+        self.metrics.repaired.fetch_add(1, Ordering::Relaxed);
+        self.metrics.repair_latency.record(elapsed_us(start));
+        Some(Arc::new(CachedPlan {
+            reply,
+            session: Mutex::new(Some(session)),
+        }))
+    }
+
     /// The cold planning path: graph + matching (or baseline) from a
-    /// layout snapshot. Pure — byte-identical for equal inputs.
+    /// layout snapshot. Pure — byte-identical for equal inputs. Planner
+    /// strategies start a planning session (whose initial plan is
+    /// bit-identical to the one-shot planner) and keep it alongside the
+    /// reply so later delta invalidations can repair instead of replan.
     fn compute_plan(
         &self,
         dataset: usize,
@@ -135,43 +197,69 @@ impl Shared {
         seed: u64,
         generation: u64,
         snapshot: &LayoutSnapshot,
-    ) -> PlanReply {
+    ) -> CachedPlan {
         let n_tasks = snapshot.len();
         let n_procs = self.placement.n_procs();
-        let (assignment, matched, filled) = match strategy {
-            Strategy::RankInterval => (rank_interval(n_tasks, n_procs), 0, 0),
-            Strategy::RandomAssign => {
-                let mut rng = StdRng::seed_from_u64(seed);
-                (random_assignment(n_tasks, n_procs, &mut rng), 0, 0)
-            }
-            _ => {
-                let plan = self
-                    .planner
-                    .plan_single_data_layout(snapshot, &self.placement, seed);
-                (plan.assignment, plan.matched_files, plan.filled_files)
-            }
-        };
-        let graph = build_locality_graph_from_layout(snapshot, &self.placement);
-        let locality = locality_report(&assignment, &graph, &snapshot.sizes());
-        PlanReply {
+        let reply = |owners: Vec<usize>, matched, filled, task_frac, byte_frac| PlanReply {
             dataset,
             generation,
             strategy: strategy.label(),
             seed,
-            owners: assignment.owners().to_vec(),
+            owners,
             matched_files: matched,
             filled_files: filled,
-            local_task_fraction: locality.task_fraction(),
-            local_byte_fraction: locality.byte_fraction(),
+            local_task_fraction: task_frac,
+            local_byte_fraction: byte_frac,
             cached: false,
             coalesced: false,
+            repaired: false,
+        };
+        match strategy {
+            Strategy::RankInterval | Strategy::RandomAssign => {
+                let assignment = if matches!(strategy, Strategy::RankInterval) {
+                    rank_interval(n_tasks, n_procs)
+                } else {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    random_assignment(n_tasks, n_procs, &mut rng)
+                };
+                let graph = build_locality_graph_from_layout(snapshot, &self.placement);
+                let locality = locality_report(&assignment, &graph, &snapshot.sizes());
+                CachedPlan {
+                    reply: reply(
+                        assignment.owners().to_vec(),
+                        0,
+                        0,
+                        locality.task_fraction(),
+                        locality.byte_fraction(),
+                    ),
+                    session: Mutex::new(None),
+                }
+            }
+            _ => {
+                let session = self.planner.start_single_data_session_from_layout(
+                    snapshot.clone(),
+                    &self.placement,
+                    seed,
+                );
+                let plan = session.plan();
+                CachedPlan {
+                    reply: reply(
+                        plan.assignment.owners().to_vec(),
+                        plan.matched_files,
+                        plan.filled_files,
+                        plan.locality.task_fraction(),
+                        plan.locality.byte_fraction(),
+                    ),
+                    session: Mutex::new(Some(session)),
+                }
+            }
         }
     }
 
     /// Fetches (or captures) the layout reply for one request. Runs on a
     /// worker thread.
     fn layout(&self, dataset: usize) -> Response {
-        let generation = self.world.generation();
+        let generation = self.world.generation_of(dataset);
         let (snap, was_cached) = self.layout_for(dataset, generation);
         let entries = snap
             .entries()
@@ -197,6 +285,7 @@ impl Shared {
             generation: self.world.generation(),
             requests: self.metrics.requests.load(Ordering::Relaxed),
             planned: self.metrics.planned.load(Ordering::Relaxed),
+            repaired: self.metrics.repaired.load(Ordering::Relaxed),
             layout_walks: self.world.layout_walks(),
             cache_hits: self.plan_cache.hits() + self.layout_cache.hits(),
             cache_misses: self.plan_cache.misses() + self.layout_cache.misses(),
@@ -211,8 +300,15 @@ impl Shared {
             latency_p50_us: p50,
             latency_p99_us: p99,
             latency_histogram: bins,
+            repair_us: self.metrics.repair_latency.summary(),
+            cold_plan_us: self.metrics.cold_plan_latency.summary(),
         }
     }
+}
+
+/// Elapsed microseconds since `start`, saturating.
+fn elapsed_us(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
 /// A running server. Dropping the handle shuts the server down.
@@ -383,9 +479,30 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
                 datasets: shared.world.spec().n_datasets,
             },
             Request::Stats => Response::Stats(shared.stats()),
-            Request::Invalidate => Response::Invalidated {
+            Request::Invalidate {
+                dataset: None,
+                delta: _,
+            } => Response::Invalidated {
                 generation: shared.world.invalidate(),
             },
+            Request::Invalidate {
+                dataset: Some(dataset),
+                delta,
+            } => {
+                let generation = match delta {
+                    Some(delta) => shared.world.invalidate_dataset(dataset, &delta),
+                    None => shared.world.invalidate_dataset_opaque(dataset),
+                };
+                match generation {
+                    Some(generation) => Response::Invalidated { generation },
+                    None => Response::Error {
+                        message: format!(
+                            "unknown dataset {dataset} (world has {})",
+                            shared.world.spec().n_datasets
+                        ),
+                    },
+                }
+            }
             Request::Shutdown => {
                 // Reply *before* waking the accept loop: once the drain
                 // starts, this connection's socket may be closed under us.
@@ -444,8 +561,7 @@ where
             // Admitted jobs always run (the pool drains on shutdown), so
             // this recv cannot hang.
             let response = rx.recv().expect("admitted job always replies");
-            let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
-            shared.metrics.latency.record(us);
+            shared.metrics.latency.record(elapsed_us(start));
             response
         }
         Err(SubmitError::Overloaded { queue_depth }) => Response::Overloaded { queue_depth },

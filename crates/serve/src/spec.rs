@@ -1,21 +1,34 @@
-//! The served world: a deterministic cluster + datasets, with a
-//! generation counter for cache invalidation.
+//! The served world: a deterministic cluster + datasets, with per-dataset
+//! generation counters and a layout-delta journal for fine-grained cache
+//! invalidation.
 //!
 //! `opass-serve` is a planning service, not a storage service: it owns a
 //! [`Namenode`] built deterministically from a [`ServeSpec`] (any client
 //! that knows the spec can rebuild the identical namenode in-process and
 //! verify the service byte-for-byte). The [`World`] wraps the namenode
-//! with a monotonically increasing *generation*; every cached layout or
-//! plan is stamped with the generation it was derived from, and bumping
-//! the generation (via the `invalidate` request, standing in for a
-//! namenode mutation notification) makes all stamped entries stale at
-//! once without touching the cache shards.
+//! with monotonically increasing *generations*; every cached layout or
+//! plan is stamped with the generation of the dataset it was derived
+//! from. Invalidation comes in two grains:
+//!
+//! * a bare `invalidate` bumps the global counter, staling every cached
+//!   entry at once (the original all-or-nothing semantics);
+//! * a dataset-scoped `invalidate` carrying a
+//!   [`LayoutDelta`] advances only that dataset's generation, applies the
+//!   delta to the dataset's materialized layout, and records it in a
+//!   bounded journal — so a superseded cached plan can be *repaired* by
+//!   replaying the deltas between its stamp and the current generation,
+//!   and plans for other datasets stay valid.
+//!
+//! The base namenode is never mutated; churn lives in per-dataset overlay
+//! snapshots, keeping world construction reproducible from the spec.
 
-use opass_core::dfs::{DatasetSpec, DfsConfig, LayoutSnapshot, Namenode, Placement};
+use opass_core::dfs::{DatasetSpec, DfsConfig, LayoutDelta, LayoutSnapshot, Namenode, Placement};
 use opass_core::runtime::ProcessPlacement;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Parameters of the served cluster. Construction is a pure function of
 /// this spec, so server and clients agree on the world by value.
@@ -74,14 +87,38 @@ impl ServeSpec {
     }
 }
 
-/// The server's shared world: the namenode plus the invalidation
-/// generation. Immutable after construction except for the generation
-/// counter, so it is freely shared across worker and connection threads.
+/// How many invalidations each dataset's journal remembers. A cached
+/// plan older than this many generations behind cannot be repaired and
+/// takes the cold path instead.
+const JOURNAL_CAP: usize = 64;
+
+/// Per-dataset mutable state: the materialized current layout (the base
+/// namenode stays pristine) and the recent invalidation journal.
+#[derive(Debug, Default)]
+struct DatasetState {
+    /// Current layout, captured lazily from the namenode and advanced in
+    /// place by each journalled delta.
+    layout: Option<LayoutSnapshot>,
+    /// Recent invalidations, oldest first: the effective generation each
+    /// one produced and the delta that produced it (`None` for a bare
+    /// flush, which is never repairable).
+    journal: VecDeque<(u64, Option<LayoutDelta>)>,
+}
+
+/// The server's shared world: the namenode plus per-dataset invalidation
+/// generations and delta journals. The base namenode is immutable after
+/// construction; layout churn accumulates in per-dataset overlays, so the
+/// world is freely shared across worker and connection threads.
 #[derive(Debug)]
 pub struct World {
     spec: ServeSpec,
     namenode: Namenode,
+    /// Global invalidation bumps (bare `invalidate`), included in every
+    /// dataset's effective generation.
     generation: AtomicU64,
+    /// Additional scoped bumps per dataset (delta invalidations).
+    dataset_bumps: Vec<AtomicU64>,
+    datasets: Vec<Mutex<DatasetState>>,
     /// How many times a layout was captured from the namenode (the "walk"
     /// the layout cache exists to avoid).
     layout_walks: AtomicU64,
@@ -94,6 +131,10 @@ impl World {
             namenode: spec.build_namenode(),
             spec,
             generation: AtomicU64::new(0),
+            dataset_bumps: (0..spec.n_datasets).map(|_| AtomicU64::new(0)).collect(),
+            datasets: (0..spec.n_datasets)
+                .map(|_| Mutex::new(DatasetState::default()))
+                .collect(),
             layout_walks: AtomicU64::new(0),
         }
     }
@@ -103,15 +144,116 @@ impl World {
         &self.spec
     }
 
-    /// The current invalidation generation.
+    /// The global invalidation generation (bare bumps only).
     pub fn generation(&self) -> u64 {
         self.generation.load(Ordering::Acquire)
     }
 
-    /// Bumps the generation, making every cached layout and plan stale.
-    /// Returns the new generation.
+    /// The effective generation of `dataset`: global bumps plus the
+    /// dataset's scoped bumps. This is the stamp caches key against.
+    pub fn generation_of(&self, dataset: usize) -> u64 {
+        self.generation() + self.dataset_bumps[dataset].load(Ordering::Acquire)
+    }
+
+    /// Bumps the global generation, making every cached layout and plan
+    /// stale (and unrepairable — a bare bump says "something changed"
+    /// without saying what). Returns the new global generation.
     pub fn invalidate(&self) -> u64 {
-        self.generation.fetch_add(1, Ordering::AcqRel) + 1
+        let new = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        for dataset in 0..self.spec.n_datasets {
+            let mut state = self.datasets[dataset]
+                .lock()
+                .expect("dataset state not poisoned");
+            Self::push_journal(&mut state, self.generation_of(dataset), None);
+        }
+        new
+    }
+
+    /// Advances one dataset by a layout delta: applies it to the
+    /// dataset's materialized layout, bumps only that dataset's
+    /// generation, and journals the delta so cached plans stamped with
+    /// recent generations can be repaired instead of recomputed. Plans
+    /// and layouts for other datasets stay valid.
+    ///
+    /// Returns the dataset's new effective generation, or `None` for an
+    /// unknown dataset index.
+    pub fn invalidate_dataset(&self, dataset: usize, delta: &LayoutDelta) -> Option<u64> {
+        if !self.has_dataset(dataset) {
+            return None;
+        }
+        let mut state = self.datasets[dataset]
+            .lock()
+            .expect("dataset state not poisoned");
+        if state.layout.is_none() {
+            state.layout = Some(self.capture_base(dataset));
+        }
+        let mut delta = delta.clone();
+        delta.normalize();
+        state
+            .layout
+            .as_mut()
+            .expect("materialized above")
+            .apply_delta(&delta);
+        self.dataset_bumps[dataset].fetch_add(1, Ordering::AcqRel);
+        let generation = self.generation_of(dataset);
+        Self::push_journal(&mut state, generation, Some(delta));
+        Some(generation)
+    }
+
+    /// Bumps one dataset's generation without saying what changed: its
+    /// cached plans and layouts go stale and are *not* repairable across
+    /// this bump (the journal records a `None` marker). Other datasets
+    /// stay valid. Returns the dataset's new effective generation, or
+    /// `None` for an unknown dataset index.
+    pub fn invalidate_dataset_opaque(&self, dataset: usize) -> Option<u64> {
+        if !self.has_dataset(dataset) {
+            return None;
+        }
+        let mut state = self.datasets[dataset]
+            .lock()
+            .expect("dataset state not poisoned");
+        // The overlay is not advanced: an opaque bump reports unknown
+        // churn, so the next capture re-serves the current overlay (or
+        // base) — the caches just stop trusting their stamps.
+        self.dataset_bumps[dataset].fetch_add(1, Ordering::AcqRel);
+        let generation = self.generation_of(dataset);
+        Self::push_journal(&mut state, generation, None);
+        Some(generation)
+    }
+
+    fn push_journal(state: &mut DatasetState, generation: u64, delta: Option<LayoutDelta>) {
+        state.journal.push_back((generation, delta));
+        while state.journal.len() > JOURNAL_CAP {
+            state.journal.pop_front();
+        }
+    }
+
+    /// The deltas that advance `dataset` from generation `from` to the
+    /// current one, in order — or `None` when the span is not repairable
+    /// (a bare flush in between, a journal entry already evicted, or
+    /// concurrent invalidations that left a gap). `None` means "take the
+    /// cold path", never an error.
+    pub fn deltas_since(&self, dataset: usize, from: u64) -> Option<Vec<LayoutDelta>> {
+        let to = self.generation_of(dataset);
+        if from > to {
+            return None;
+        }
+        let state = self.datasets[dataset]
+            .lock()
+            .expect("dataset state not poisoned");
+        let mut expected = from + 1;
+        let mut deltas = Vec::new();
+        for (gen, delta) in &state.journal {
+            if *gen <= from {
+                continue;
+            }
+            if *gen != expected {
+                return None;
+            }
+            deltas.push(delta.clone()?);
+            expected += 1;
+        }
+        (expected == to + 1).then_some(deltas)
     }
 
     /// Number of namenode layout walks performed so far.
@@ -124,21 +266,38 @@ impl World {
         dataset < self.spec.n_datasets
     }
 
-    /// Captures the layout of dataset `dataset` from the namenode — the
-    /// expensive walk the layout cache short-circuits. Entry order is the
-    /// dataset's chunk order, which defines task indexing downstream.
+    /// The base (churn-free) layout of `dataset`, walked from the
+    /// namenode.
+    fn capture_base(&self, dataset: usize) -> LayoutSnapshot {
+        self.layout_walks.fetch_add(1, Ordering::Relaxed);
+        let meta = self
+            .namenode
+            .dataset(opass_core::dfs::DatasetId(dataset as u32))
+            .expect("dataset index validated against the spec");
+        LayoutSnapshot::capture(&self.namenode, &meta.chunks)
+    }
+
+    /// Captures the current layout of dataset `dataset` — the expensive
+    /// walk the layout cache short-circuits, plus any journalled churn.
+    /// Entry order is the dataset's chunk order, which defines task
+    /// indexing downstream.
     ///
     /// Returns `None` for an unknown dataset index.
     pub fn capture_layout(&self, dataset: usize) -> Option<LayoutSnapshot> {
         if !self.has_dataset(dataset) {
             return None;
         }
-        self.layout_walks.fetch_add(1, Ordering::Relaxed);
-        let meta = self
-            .namenode
-            .dataset(opass_core::dfs::DatasetId(dataset as u32))
-            .expect("dataset index validated against the spec");
-        Some(LayoutSnapshot::capture(&self.namenode, &meta.chunks))
+        let mut state = self.datasets[dataset]
+            .lock()
+            .expect("dataset state not poisoned");
+        if state.layout.is_none() {
+            state.layout = Some(self.capture_base(dataset));
+        } else {
+            // Serving the overlay still counts as an authoritative fetch:
+            // the walk counter measures what the layout cache avoids.
+            self.layout_walks.fetch_add(1, Ordering::Relaxed);
+        }
+        state.layout.clone()
     }
 }
 
@@ -173,6 +332,80 @@ mod tests {
         assert_eq!(world.generation(), 0);
         assert_eq!(world.invalidate(), 1);
         assert_eq!(world.generation(), 1);
+    }
+
+    #[test]
+    fn delta_invalidation_is_scoped_and_repairable() {
+        let world = World::new(ServeSpec {
+            n_nodes: 6,
+            n_datasets: 2,
+            chunks_per_dataset: 12,
+            ..Default::default()
+        });
+        let before = world.capture_layout(0).expect("dataset 0");
+        // Drop one replica of the first chunk.
+        let victim = before.entries()[0].locations[0];
+        let delta = LayoutDelta {
+            replicas_dropped: vec![(before.entries()[0].chunk, victim)],
+            ..Default::default()
+        };
+        let gen = world.invalidate_dataset(0, &delta).expect("valid dataset");
+        assert_eq!(gen, 1);
+        assert_eq!(world.generation_of(0), 1, "dataset 0 advanced");
+        assert_eq!(world.generation_of(1), 0, "dataset 1 untouched");
+        assert_eq!(world.generation(), 0, "no global bump");
+
+        let after = world.capture_layout(0).expect("dataset 0");
+        assert!(!after.entries()[0].locations.contains(&victim));
+        assert_eq!(after.entries().len(), before.entries().len());
+
+        // The span 0 → 1 is repairable and replays the same delta.
+        let mut want = delta.clone();
+        want.normalize();
+        assert_eq!(world.deltas_since(0, 0), Some(vec![want]));
+        // Dataset 1 has no churn: an up-to-date stamp needs no deltas.
+        assert_eq!(world.deltas_since(1, 0), Some(vec![]));
+    }
+
+    #[test]
+    fn bare_invalidate_breaks_repairability() {
+        let world = World::new(ServeSpec {
+            n_nodes: 4,
+            n_datasets: 1,
+            chunks_per_dataset: 8,
+            ..Default::default()
+        });
+        world.invalidate();
+        assert_eq!(
+            world.deltas_since(0, 0),
+            None,
+            "a bare flush says 'changed' without saying what"
+        );
+        // And a stamp from the future is never repairable.
+        assert_eq!(world.deltas_since(0, 99), None);
+    }
+
+    #[test]
+    fn journal_eviction_forces_cold_path() {
+        let world = World::new(ServeSpec {
+            n_nodes: 4,
+            n_datasets: 1,
+            chunks_per_dataset: 8,
+            ..Default::default()
+        });
+        let empty = LayoutDelta::default();
+        for _ in 0..(JOURNAL_CAP + 4) {
+            world.invalidate_dataset(0, &empty).expect("valid dataset");
+        }
+        assert_eq!(world.deltas_since(0, 0), None, "gen 0 fell off the journal");
+        let recent = world.generation_of(0) - 3;
+        assert_eq!(
+            world
+                .deltas_since(0, recent)
+                .expect("recent span still journalled")
+                .len(),
+            3
+        );
     }
 
     #[test]

@@ -3,11 +3,14 @@
 //! produce balanced assignments and beat the baseline on the skewed layout.
 
 use opass_core::planner::OpassPlanner;
-use opass_dfs::{DatasetSpec, DfsConfig, Namenode, NodeId, Placement, ReplicaChoice};
+use opass_dfs::{
+    ChunkId, DatasetSpec, DfsConfig, LayoutDelta, Namenode, NodeId, Placement, ReplicaChoice,
+};
 use opass_runtime::{baseline, execute, ExecConfig, ProcessPlacement, TaskSource};
 use opass_workloads::{single, SingleDataConfig, Task, Workload};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
 
 fn skewed_cluster(seed: u64) -> (Namenode, opass_workloads::Workload) {
     // Write on 12 nodes, then decommission 2 and add 6 empty ones.
@@ -151,6 +154,67 @@ fn crash_repair_cycle_preserves_readability() {
     assert_eq!(run.records.len(), 30);
     for r in &run.records {
         assert_ne!(r.source, NodeId(4), "dead node must not serve");
+    }
+}
+
+/// Randomized equivalence: through arbitrary churn (failures + repair,
+/// node joins, rebalances) an incremental session must agree with a
+/// from-scratch plan on matched-file count, matched bytes, and both
+/// locality tallies at every step. Uniform chunks make the byte totals
+/// comparable even though the two maximum matchings may differ.
+#[test]
+fn replan_tracks_scratch_plans_through_randomized_churn() {
+    for seed in [61u64, 62, 63] {
+        let mut nn = Namenode::new(10, DfsConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ds = nn.create_dataset(
+            &DatasetSpec::uniform("churny", 60, 32 << 20),
+            &Placement::Random,
+            &mut rng,
+        );
+        let chunks = nn.dataset(ds).unwrap().chunks.clone();
+        let w = Workload::new("churny", chunks.iter().map(|&c| Task::single(c)).collect());
+        let scope: BTreeSet<ChunkId> = chunks.iter().copied().collect();
+        let placement = ProcessPlacement::one_per_node(10);
+        nn.take_events();
+        let planner = OpassPlanner::default();
+        let mut session = planner.start_single_data_session(&nn, &w, &placement, 17);
+        for step in 0..6 {
+            match rng.gen_range(0..3) {
+                0 => {
+                    let alive = nn.alive_nodes();
+                    let node = alive[rng.gen_range(0..alive.len())];
+                    nn.fail_node(node).expect("fail alive node");
+                    nn.repair_under_replicated(&mut rng).expect("repair");
+                }
+                1 => {
+                    nn.add_node();
+                    nn.rebalance(1.2, &mut rng);
+                }
+                _ => {
+                    nn.rebalance(1.1, &mut rng);
+                }
+            }
+            let delta = LayoutDelta::from_events(&nn.take_events(), |c| scope.contains(&c));
+            let repaired = planner.replan_single_data(&mut session, &delta);
+            let scratch = planner.plan_single_data(&nn, &w, &placement, 17);
+            assert_eq!(
+                repaired.matched_files, scratch.matched_files,
+                "seed {seed} step {step}: matched-file counts diverged"
+            );
+            assert_eq!(
+                repaired.locality.local_tasks, scratch.locality.local_tasks,
+                "seed {seed} step {step}: local-task tallies diverged"
+            );
+            assert_eq!(
+                repaired.locality.local_bytes, scratch.locality.local_bytes,
+                "seed {seed} step {step}: matched-byte totals diverged"
+            );
+            assert!(
+                repaired.assignment.is_balanced(),
+                "seed {seed} step {step}: repaired assignment unbalanced"
+            );
+        }
     }
 }
 

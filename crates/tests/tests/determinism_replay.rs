@@ -5,12 +5,13 @@
 //! `unordered-iteration` rule exists to protect.
 
 use opass_core::build_matching_values;
-use opass_dfs::{DatasetSpec, DfsConfig, Namenode, Placement, ReplicaChoice};
+use opass_core::planner::OpassPlanner;
+use opass_dfs::{ChunkId, DatasetSpec, DfsConfig, LayoutDelta, Namenode, Placement, ReplicaChoice};
 use opass_runtime::{execute, ExecConfig, ProcessPlacement, TaskSource};
 use opass_workloads::{Task, Workload};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::collections::BTreeMap;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
 
 fn cluster(seed: u64) -> (Namenode, Workload) {
     let mut nn = Namenode::new(8, DfsConfig::default());
@@ -116,6 +117,69 @@ fn matching_values_build_is_deterministic() {
     let a = build_matching_values(&nn, &multi, &placement);
     let b = build_matching_values(&nn, &multi, &placement);
     assert_eq!(a, b, "matching-value tables diverged across builds");
+}
+
+/// Incremental re-planning is part of the same replay contract: a
+/// session folded twice over the same seed and the same randomized delta
+/// sequence must produce bit-identical plans at every step — owners,
+/// fill, and locality alike.
+#[test]
+fn replan_session_replays_bit_identically() {
+    for world_seed in [0x1CE0u64, 0x1CE1, 0x1CE2] {
+        // Record a randomized churn script against one world...
+        let (mut nn, w) = cluster(world_seed);
+        let scope: BTreeSet<ChunkId> = w.tasks.iter().map(|t| t.inputs[0]).collect();
+        nn.take_events();
+        let mut rng = StdRng::seed_from_u64(world_seed ^ 0xFACE);
+        let mut deltas = Vec::new();
+        for _ in 0..5 {
+            match rng.gen_range(0..3) {
+                0 => {
+                    let alive = nn.alive_nodes();
+                    let node = alive[rng.gen_range(0..alive.len())];
+                    nn.fail_node(node).expect("fail alive node");
+                    nn.repair_under_replicated(&mut rng).expect("repair");
+                }
+                1 => {
+                    nn.add_node();
+                    nn.rebalance(1.2, &mut rng);
+                }
+                _ => {
+                    nn.rebalance(1.1, &mut rng);
+                }
+            }
+            deltas.push(LayoutDelta::from_events(&nn.take_events(), |c| {
+                scope.contains(&c)
+            }));
+        }
+        // ...then fold it into two fresh, identical sessions.
+        let run = || {
+            let (nn0, w0) = cluster(world_seed);
+            let planner = OpassPlanner::default();
+            let mut session = planner.start_single_data_session(
+                &nn0,
+                &w0,
+                &ProcessPlacement::one_per_node(8),
+                21,
+            );
+            deltas
+                .iter()
+                .map(|d| session.replan(d).clone())
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        let b = run();
+        for (step, (pa, pb)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(
+                pa.assignment.owners(),
+                pb.assignment.owners(),
+                "seed {world_seed:#x} step {step}: owners diverged"
+            );
+            assert_eq!(pa.matched_files, pb.matched_files, "step {step}");
+            assert_eq!(pa.filled_files, pb.filled_files, "step {step}");
+            assert_eq!(pa.locality, pb.locality, "step {step}");
+        }
+    }
 }
 
 /// End-to-end: namenode layout, planner inputs, and execution are all

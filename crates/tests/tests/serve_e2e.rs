@@ -6,6 +6,7 @@
 //! plan spans many scheduler slices, so overlap between requests is
 //! structural rather than a preemption-timing accident.
 
+use opass_core::dfs::{ChunkId, LayoutDelta, NodeId};
 use opass_core::OpassPlanner;
 use opass_serve::frame::{read_frame, write_frame};
 use opass_serve::{
@@ -130,6 +131,79 @@ fn caching_and_invalidation_follow_the_generation() {
     assert!(stats.cache_misses >= 2);
     assert!(stats.cache_invalidated >= 1);
     assert_eq!(stats.generation, generation);
+    handle.shutdown();
+}
+
+#[test]
+fn delta_invalidation_repairs_in_place_and_spares_other_datasets() {
+    let spec = spec_small();
+    let handle = boot(spec, 2, 32);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let first = client.plan(0, Strategy::Opass, 9).expect("cold plan d0");
+    let other = client.plan(1, Strategy::Opass, 9).expect("cold plan d1");
+    assert!(!first.cached && !first.repaired);
+    assert!(!other.cached);
+
+    // Drop one replica of dataset 0's first chunk, as a delta.
+    let layout = client.layout(0).expect("layout d0");
+    let delta = LayoutDelta {
+        replicas_dropped: vec![(
+            ChunkId(layout.entries[0].chunk),
+            NodeId(layout.entries[0].locations[0] as u32),
+        )],
+        ..Default::default()
+    };
+    let generation = client
+        .invalidate_with_delta(0, &delta)
+        .expect("delta invalidate");
+    assert_eq!(generation, first.generation + 1);
+
+    // Dataset 0's plan is repaired — not recomputed — and agrees with a
+    // from-scratch solve on the counts and locality the paper cares
+    // about (the concrete owners may be a different maximum matching).
+    let repaired = client.plan(0, Strategy::Opass, 9).expect("repaired plan");
+    assert!(!repaired.cached, "the delta staled the cached plan");
+    assert!(repaired.repaired, "the stale plan was repaired in place");
+    assert_eq!(repaired.generation, generation);
+    let world = World::new(spec);
+    world
+        .invalidate_dataset(0, &delta)
+        .expect("local delta applies");
+    let snapshot = world.capture_layout(0).expect("dataset exists");
+    let placement = spec.placement();
+    let scratch = OpassPlanner::default().plan_single_data_layout(&snapshot, &placement, 9);
+    assert_eq!(repaired.matched_files, scratch.matched_files);
+    assert_eq!(repaired.filled_files, scratch.filled_files);
+    assert_eq!(
+        repaired.local_task_fraction,
+        scratch.locality.task_fraction()
+    );
+    assert_eq!(
+        repaired.local_byte_fraction,
+        scratch.locality.byte_fraction()
+    );
+
+    // Dataset 1 was untouched: still a cache hit at its old generation.
+    let still_warm = client.plan(1, Strategy::Opass, 9).expect("warm plan d1");
+    assert!(still_warm.cached, "unrelated datasets are not flushed");
+    assert_eq!(still_warm.generation, other.generation);
+
+    // A second repair chains off the repaired session.
+    let generation = client
+        .invalidate_with_delta(0, &delta)
+        .expect("second delta invalidate");
+    let again = client.plan(0, Strategy::Opass, 9).expect("repaired again");
+    assert!(again.repaired);
+    assert_eq!(again.generation, generation);
+
+    let stats = client.stats().expect("stats");
+    assert!(stats.repaired >= 2, "both repairs counted");
+    assert_eq!(stats.repair_us.count, stats.repaired);
+    assert!(
+        stats.cold_plan_us.count >= 2,
+        "the two cold plans were timed"
+    );
     handle.shutdown();
 }
 

@@ -17,6 +17,12 @@
 #                            smoke scenario in release and fails if
 #                            plans/sec regressed >30% vs the committed
 #                            BENCH_serve.json baseline
+#   check.sh --replan-smoke  incremental re-planning smoke: runs the
+#                            bench_replan smoke scenario in release
+#                            (which itself asserts repair is >=10x faster
+#                            than from-scratch at 1% churn) and fails if
+#                            steps/sec regressed >50% vs the committed
+#                            BENCH_replan.json baseline
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -61,6 +67,22 @@ if [[ "${1:-}" == "--serve-smoke" ]]; then
     run ./target/release/bench_serve --smoke --out - \
         --check-against BENCH_serve.json --max-regression 0.30
     echo "Serve smoke passed."
+    exit 0
+fi
+
+if [[ "${1:-}" == "--replan-smoke" ]]; then
+    if [[ ! -f BENCH_replan.json ]]; then
+        echo "error: BENCH_replan.json baseline missing; run" >&2
+        echo "  cargo run --release -p opass-bench --bin bench_replan --offline" >&2
+        exit 1
+    fi
+    run cargo build --release -p opass-bench --bin bench_replan --offline
+    # Wider margin than the other smokes: the repair arm's absolute wall
+    # time is milliseconds and swings with host load; the binary's own
+    # >=10x repair-vs-scratch assertion is the load-independent guarantee.
+    run ./target/release/bench_replan --smoke --out - \
+        --check-against BENCH_replan.json --max-regression 0.50
+    echo "Replan smoke passed."
     exit 0
 fi
 
