@@ -5,7 +5,7 @@
 //! backends and both the single- and multi-data planners.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use opass_core::OpassPlanner;
+use opass_core::{OpassPlanner, PlanRequest};
 use opass_dfs::{DfsConfig, Namenode, Placement};
 use opass_matching::FlowAlgo;
 use opass_runtime::ProcessPlacement;
@@ -37,7 +37,7 @@ fn bench_single_plan(c: &mut Criterion) {
                     algo,
                     ..Default::default()
                 };
-                b.iter(|| planner.plan_single_data(&nn, &workload, &placement, 1))
+                b.iter(|| planner.plan(&PlanRequest::single(&nn, &workload, &placement).seed(1)))
             });
         }
     }
@@ -60,7 +60,7 @@ fn bench_multi_plan(c: &mut Criterion) {
         let placement = ProcessPlacement::one_per_node(m);
         group.bench_with_input(BenchmarkId::from_parameter(format!("m{m}")), &m, |b, _| {
             let planner = OpassPlanner::default();
-            b.iter(|| planner.plan_multi_data(&nn, &workload, &placement))
+            b.iter(|| planner.plan(&PlanRequest::multi(&nn, &workload, &placement)))
         });
     }
     group.finish();

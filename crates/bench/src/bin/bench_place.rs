@@ -1,0 +1,442 @@
+//! `bench_place` — closed-loop replica placement win and regression gate.
+//!
+//! Builds hot-spot worlds (every replica concentrated on a handful of
+//! nodes — the pathological layout Opass planning alone cannot fix,
+//! because planning only chooses *readers* against a fixed layout) and
+//! measures two arms:
+//!
+//! 1. **plan_only** — plan reads on the hot layout and execute.
+//! 2. **closed_loop** — run a [`PlacementSession`]: plan, migrate
+//!    replicas toward demand under a byte budget, replan through the
+//!    incremental delta pipeline; apply the recommended migrations to
+//!    the namenode and execute on the migrated layout.
+//!
+//! Every scenario asserts the placement loop is honest end to end:
+//!
+//! * two sessions over the same request produce **bit-identical** rounds
+//!   and final assignments (the loop is a pure fold);
+//! * the recommended deltas apply cleanly via
+//!   [`Namenode::apply_migrations`] with invariants intact (replica
+//!   counts preserved);
+//! * the incrementally repaired final plan agrees with a from-scratch
+//!   plan on the migrated layout (matched files and both locality
+//!   fractions);
+//! * hot-spot scenarios must show at least [`MIN_P99_SPEEDUP`]× better
+//!   p99 I/O time — the paper's remote-straggler tail collapses once
+//!   data sits where it is read.
+//!
+//! All I/O times are *simulated* seconds, so the reported speedups are
+//! deterministic for fixed seeds; `--check-against` gates them against a
+//! committed baseline. `scripts/check.sh --place-smoke` runs the smoke
+//! scenario under the assertions above.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_place [--out PATH] [--smoke] [--check-against PATH] [--max-regression F]
+//! ```
+
+// Printing is this binary's user interface.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
+use opass_core::dfs::{DatasetSpec, DfsConfig, Namenode, NodeId, ReplicaChoice};
+use opass_core::runtime::{execute, ExecConfig, ProcessPlacement, TaskSource};
+use opass_core::workloads::{Task, Workload};
+use opass_core::{capture_workload_layout, OpassPlanner, PlacementConfig, PlanRequest};
+use opass_json::Json;
+use std::time::Instant;
+
+/// Closed-loop placement must shrink p99 I/O time by at least this factor
+/// on scenarios that assert it (the concentrated hot spots).
+const MIN_P99_SPEEDUP: f64 = 1.5;
+
+struct Scenario {
+    name: &'static str,
+    n_nodes: usize,
+    chunks: usize,
+    /// Replication factor; every replica set is packed onto `hot_nodes`.
+    replication: u32,
+    /// Nodes the entire dataset is concentrated on.
+    hot_nodes: usize,
+    /// Placement-loop round cap.
+    rounds: usize,
+    /// Total migration-byte budget (`u64::MAX` = unbounded).
+    byte_budget: u64,
+    /// Runs in `--smoke` mode too (gates `scripts/check.sh --place-smoke`).
+    smoke: bool,
+    /// Enforce the >= [`MIN_P99_SPEEDUP`] p99 assertion.
+    assert_speedup: bool,
+}
+
+const CHUNK_SIZE: u64 = 64 << 20;
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "place_smoke",
+            n_nodes: 32,
+            chunks: 128,
+            replication: 2,
+            hot_nodes: 3,
+            rounds: 16,
+            byte_budget: u64::MAX,
+            smoke: true,
+            assert_speedup: true,
+        },
+        Scenario {
+            name: "hot_single_writer",
+            n_nodes: 64,
+            chunks: 256,
+            replication: 1,
+            hot_nodes: 1,
+            rounds: 16,
+            byte_budget: u64::MAX,
+            smoke: false,
+            assert_speedup: true,
+        },
+        Scenario {
+            name: "hot_budgeted",
+            n_nodes: 64,
+            chunks: 256,
+            replication: 2,
+            hot_nodes: 4,
+            rounds: 8,
+            // Half the remote bytes: the loop must stop at the budget.
+            byte_budget: 128 * CHUNK_SIZE / 2,
+            smoke: false,
+            assert_speedup: false,
+        },
+    ]
+}
+
+/// A cluster whose whole dataset sits on `hot_nodes` nodes: chunk `i`'s
+/// replicas land on consecutive hot nodes starting at `i % hot_nodes`.
+/// Deterministic — no RNG anywhere in the world build.
+fn build_world(s: &Scenario) -> (Namenode, Workload) {
+    let mut nn = Namenode::new(
+        s.n_nodes,
+        DfsConfig {
+            replication: s.replication,
+        },
+    );
+    let locations: Vec<Vec<NodeId>> = (0..s.chunks)
+        .map(|i| {
+            (0..s.replication as usize)
+                .map(|r| NodeId(((i + r) % s.hot_nodes) as u32))
+                .collect()
+        })
+        .collect();
+    let ds = nn.create_dataset_placed(
+        &DatasetSpec::uniform("hot", s.chunks, CHUNK_SIZE),
+        locations,
+    );
+    let chunks = nn.dataset(ds).expect("dataset just created").chunks.clone();
+    let workload = Workload::new("hot", chunks.iter().map(|&c| Task::single(c)).collect());
+    (nn, workload)
+}
+
+/// p99 over simulated I/O durations (exact rank on the sorted series).
+fn p99(mut xs: Vec<f64>) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.sort_by(f64::total_cmp);
+    let idx = ((xs.len() as f64) * 0.99).ceil() as usize;
+    xs[idx.clamp(1, xs.len()) - 1]
+}
+
+struct ArmResult {
+    p99_io: f64,
+    local_byte_fraction: f64,
+    makespan: f64,
+}
+
+struct PlaceOutcome {
+    plan_only: ArmResult,
+    closed_loop: ArmResult,
+    rounds_run: usize,
+    moves: usize,
+    migrated_bytes: u64,
+    local_bytes_before: u64,
+    local_bytes_after: u64,
+    place_seconds: f64,
+}
+
+fn run_scenario(s: &Scenario, seed: u64) -> PlaceOutcome {
+    let (nn, workload) = build_world(s);
+    let placement = ProcessPlacement::one_per_node(s.n_nodes);
+    let planner = OpassPlanner::default();
+    let exec_config = ExecConfig {
+        replica_choice: ReplicaChoice::PreferLocalRandom,
+        seed: seed ^ 0xEE,
+        ..Default::default()
+    };
+    let request = PlanRequest::single(&nn, &workload, &placement).seed(seed);
+
+    // Arm 1: plan readers against the hot layout as-is.
+    let hot_plan = planner.plan(&request).into_single().expect("single plan");
+    let hot_run = execute(
+        &nn,
+        &workload,
+        &placement,
+        TaskSource::Static(hot_plan.assignment),
+        &exec_config,
+    );
+
+    // Arm 2: close the loop — migrate replicas toward demand, replan.
+    let config = PlacementConfig {
+        max_rounds: s.rounds,
+        total_byte_budget: s.byte_budget,
+        ..PlacementConfig::default()
+    };
+    let t0 = Instant::now();
+    let mut session = planner.placement_session(&request, config);
+    let local_before = session.local_bytes();
+    let rounds = session.run();
+    let place_seconds = t0.elapsed().as_secs_f64();
+
+    // The loop is a pure fold: a second session over the same request
+    // must replay bit-identically — rounds, deltas, and final owners.
+    let mut replay = planner.placement_session(&request, config);
+    let replayed = replay.run();
+    assert_eq!(rounds.len(), replayed.len(), "{}: round counts", s.name);
+    for (a, b) in rounds.iter().zip(&replayed) {
+        assert_eq!(a.delta, b.delta, "{}: round {} delta", s.name, a.round);
+        assert_eq!(a.moves, b.moves, "{}: round {} moves", s.name, a.round);
+    }
+    assert_eq!(
+        session.plan().assignment.owners(),
+        replay.plan().assignment.owners(),
+        "{}: final assignments must be bit-identical",
+        s.name
+    );
+
+    // Each round strictly increases matched-local bytes and the byte
+    // budget is respected.
+    let mut prev = local_before;
+    for round in &rounds {
+        assert_eq!(round.local_bytes_before, prev, "{}: round chain", s.name);
+        assert!(
+            round.local_bytes_after > round.local_bytes_before,
+            "{}: round {} must gain local bytes",
+            s.name,
+            round.round
+        );
+        prev = round.local_bytes_after;
+    }
+    assert!(
+        session.migrated_bytes() <= s.byte_budget,
+        "{}: byte budget violated",
+        s.name
+    );
+
+    // Apply the recommended migrations to the real namenode; replica
+    // counts (and every other invariant) must survive.
+    let mut migrated_nn = nn.clone();
+    for round in &rounds {
+        migrated_nn
+            .apply_migrations(&round.delta)
+            .expect("recommended delta applies cleanly");
+    }
+    migrated_nn
+        .check_invariants()
+        .expect("invariants after migration");
+
+    // The incrementally repaired plan must agree with a from-scratch
+    // plan on the migrated layout.
+    let snapshot = capture_workload_layout(&migrated_nn, &workload);
+    let scratch = planner
+        .plan(&PlanRequest::single_from_layout(&snapshot, &placement).seed(seed))
+        .into_single()
+        .expect("single plan");
+    assert_eq!(
+        session.plan().matched_files,
+        scratch.matched_files,
+        "{}: repaired and scratch plans must match the same file count",
+        s.name
+    );
+    assert_eq!(
+        session.plan().locality.byte_fraction(),
+        scratch.locality.byte_fraction(),
+        "{}: byte locality must agree",
+        s.name
+    );
+
+    let cool_run = execute(
+        &migrated_nn,
+        &workload,
+        &placement,
+        TaskSource::Static(session.plan().assignment.clone()),
+        &exec_config,
+    );
+
+    let arm = |run: &opass_core::runtime::RunResult| ArmResult {
+        p99_io: p99(run.durations()),
+        local_byte_fraction: run.local_byte_fraction(),
+        makespan: run.makespan,
+    };
+    PlaceOutcome {
+        plan_only: arm(&hot_run),
+        closed_loop: arm(&cool_run),
+        rounds_run: rounds.len(),
+        moves: rounds.iter().map(|r| r.moves.len()).sum(),
+        migrated_bytes: session.migrated_bytes(),
+        local_bytes_before: local_before,
+        local_bytes_after: session.local_bytes(),
+        place_seconds,
+    }
+}
+
+fn arm_json(a: &ArmResult) -> Json {
+    Json::object([
+        ("p99_io_seconds".to_string(), Json::from(a.p99_io)),
+        (
+            "local_byte_fraction".to_string(),
+            Json::from(a.local_byte_fraction),
+        ),
+        ("makespan_seconds".to_string(), Json::from(a.makespan)),
+    ])
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_place.json");
+    let mut smoke = false;
+    let mut check_against: Option<String> = None;
+    let mut max_regression = 0.10f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--smoke" => smoke = true,
+            "--check-against" => {
+                check_against = Some(args.next().expect("--check-against needs a path"))
+            }
+            "--max-regression" => {
+                max_regression = args
+                    .next()
+                    .expect("--max-regression needs a value")
+                    .parse()
+                    .expect("--max-regression must be a float")
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut scenario_reports = Vec::new();
+    let mut measured: Vec<(String, f64)> = Vec::new();
+
+    for s in &scenarios() {
+        if smoke && !s.smoke {
+            continue;
+        }
+        let outcome = run_scenario(s, 0x9A5E);
+        let p99_speedup = outcome.plan_only.p99_io / outcome.closed_loop.p99_io.max(1e-12);
+        eprintln!(
+            "{:>18}: p99 {:.3}s -> {:.3}s ({p99_speedup:.1}x), local bytes {:.0}% -> {:.0}%, \
+             {} move(s) / {} round(s), {} MB migrated in {:.1} ms",
+            s.name,
+            outcome.plan_only.p99_io,
+            outcome.closed_loop.p99_io,
+            outcome.plan_only.local_byte_fraction * 100.0,
+            outcome.closed_loop.local_byte_fraction * 100.0,
+            outcome.moves,
+            outcome.rounds_run,
+            outcome.migrated_bytes >> 20,
+            outcome.place_seconds * 1e3,
+        );
+        if s.assert_speedup {
+            assert!(
+                p99_speedup >= MIN_P99_SPEEDUP,
+                "{}: closed loop only {p99_speedup:.2}x better p99 (need {MIN_P99_SPEEDUP}x)",
+                s.name
+            );
+        }
+        measured.push((format!("{}_p99-speedup", s.name), p99_speedup));
+        scenario_reports.push(Json::object([
+            ("name".to_string(), Json::from(s.name)),
+            ("nodes".to_string(), Json::from(s.n_nodes)),
+            ("chunks".to_string(), Json::from(s.chunks)),
+            (
+                "replication".to_string(),
+                Json::from(u64::from(s.replication)),
+            ),
+            ("hot_nodes".to_string(), Json::from(s.hot_nodes)),
+            ("rounds_run".to_string(), Json::from(outcome.rounds_run)),
+            ("moves".to_string(), Json::from(outcome.moves)),
+            (
+                "migrated_bytes".to_string(),
+                Json::from(outcome.migrated_bytes),
+            ),
+            (
+                "local_bytes_before".to_string(),
+                Json::from(outcome.local_bytes_before),
+            ),
+            (
+                "local_bytes_after".to_string(),
+                Json::from(outcome.local_bytes_after),
+            ),
+            (
+                "place_seconds".to_string(),
+                Json::from(outcome.place_seconds),
+            ),
+            ("plan_only".to_string(), arm_json(&outcome.plan_only)),
+            ("closed_loop".to_string(), arm_json(&outcome.closed_loop)),
+            ("p99-speedup".to_string(), Json::from(p99_speedup)),
+        ]));
+    }
+
+    let report = Json::object([
+        ("benchmark".to_string(), Json::from("place")),
+        ("scenarios".to_string(), Json::array(scenario_reports)),
+    ]);
+
+    if out_path != "-" {
+        std::fs::write(&out_path, report.to_pretty()).expect("write report");
+        eprintln!("wrote {out_path}");
+    }
+
+    if let Some(baseline_path) = check_against {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        let baseline = Json::parse(&text).expect("baseline must be valid JSON");
+        let baseline_value = |name: &str| -> Option<f64> {
+            let (scenario, metric) = name.rsplit_once('_')?;
+            baseline
+                .get("scenarios")?
+                .as_array()?
+                .iter()
+                .find(|s| s.get("name").and_then(Json::as_str) == Some(scenario))?
+                .get(metric)?
+                .as_f64()
+        };
+        let mut failed = false;
+        for (name, value) in &measured {
+            match baseline_value(name) {
+                Some(base) if base > 0.0 => {
+                    let ratio = value / base;
+                    let verdict = if ratio < 1.0 - max_regression {
+                        failed = true;
+                        "REGRESSED"
+                    } else {
+                        "ok"
+                    };
+                    eprintln!(
+                        "{name}: {value:.2}x vs baseline {base:.2}x ({:.0}%) {verdict}",
+                        ratio * 100.0
+                    );
+                }
+                _ => eprintln!("{name}: no baseline entry, skipping"),
+            }
+        }
+        if failed {
+            eprintln!(
+                "FAIL: p99 speedup regressed more than {:.0}% vs {baseline_path}",
+                max_regression * 100.0
+            );
+            std::process::exit(1);
+        }
+    }
+}

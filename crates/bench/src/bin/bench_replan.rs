@@ -34,7 +34,7 @@
 #![allow(clippy::print_stdout, clippy::print_stderr)]
 
 use opass_core::dfs::{LayoutDelta, LayoutSnapshot, NodeId};
-use opass_core::OpassPlanner;
+use opass_core::{OpassPlanner, PlanRequest};
 use opass_json::Json;
 use opass_serve::{ServeSpec, World};
 use std::collections::BTreeSet;
@@ -176,12 +176,14 @@ fn run_scenario(s: &Scenario, seed: u64) -> (Arm, Arm) {
     }
 
     // Repair arm: one session absorbs the whole stream.
-    let mut session =
-        planner.start_single_data_session_from_layout(initial.clone(), &placement, seed);
+    let mut session = planner
+        .session(&PlanRequest::single_from_layout(&initial, &placement).seed(seed))
+        .into_single()
+        .expect("single session");
     let mut repair_plans = Vec::with_capacity(s.steps);
     let t0 = Instant::now();
     for delta in &deltas {
-        repair_plans.push(planner.replan_single_data(&mut session, delta));
+        repair_plans.push(session.replan(delta).clone());
     }
     let repair_secs = t0.elapsed().as_secs_f64();
 
@@ -191,7 +193,10 @@ fn run_scenario(s: &Scenario, seed: u64) -> (Arm, Arm) {
     for (step, delta) in deltas.iter().enumerate() {
         snapshot.apply_delta(delta);
         let t = Instant::now();
-        let scratch = planner.plan_single_data_layout(&snapshot, &placement, seed);
+        let scratch = planner
+            .plan(&PlanRequest::single_from_layout(&snapshot, &placement).seed(seed))
+            .into_single()
+            .expect("single plan");
         scratch_secs += t.elapsed().as_secs_f64();
         let repaired = &repair_plans[step];
         assert_eq!(

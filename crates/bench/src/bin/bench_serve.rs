@@ -34,7 +34,7 @@
 // Printing is this binary's user interface.
 #![allow(clippy::print_stdout, clippy::print_stderr)]
 
-use opass_core::OpassPlanner;
+use opass_core::{OpassPlanner, PlanRequest};
 use opass_json::Json;
 use opass_serve::{serve, Client, ServeSpec, ServerConfig, Strategy, World};
 use std::time::Instant;
@@ -202,7 +202,10 @@ fn assert_byte_identical(client: &mut Client, s: &Scenario) {
     let world = World::new(s.spec);
     let snapshot = world.capture_layout(dataset).expect("dataset exists");
     let placement = s.spec.placement();
-    let local = OpassPlanner::default().plan_single_data_layout(&snapshot, &placement, seed);
+    let local = OpassPlanner::default()
+        .plan(&PlanRequest::single_from_layout(&snapshot, &placement).seed(seed))
+        .into_single()
+        .expect("single plan");
     assert_eq!(
         remote.owners,
         local.assignment.owners().to_vec(),

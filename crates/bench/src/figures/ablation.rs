@@ -11,6 +11,7 @@
 
 use crate::report::{mb, secs, CsvWriter, FigureReport};
 use opass_core::planner::OpassPlanner;
+use opass_core::request::PlanRequest;
 use opass_core::{ClusterSpec, Experiment, SingleData, Strategy};
 use opass_dfs::{DatasetSpec, DfsConfig, Namenode, Placement, ReplicaChoice};
 use opass_matching::{FillPolicy, GuidedScheduler, StealPolicy};
@@ -149,7 +150,10 @@ pub fn ablate_fill(out: &Path, seed: u64) -> FigureReport {
             fill,
             ..Default::default()
         };
-        let plan = planner.plan_single_data(&nn, &workload, &placement, seed ^ 0xF1);
+        let plan = planner
+            .plan(&PlanRequest::single(&nn, &workload, &placement).seed(seed ^ 0xF1))
+            .into_single()
+            .expect("single plan");
         let result = execute(
             &nn,
             &workload,
@@ -222,7 +226,9 @@ pub fn ablate_barrier(out: &Path, seed: u64) -> FigureReport {
         (
             "with_opass",
             OpassPlanner::default()
-                .plan_single_data(&nn, &workload, &placement, seed ^ 0xBB)
+                .plan(&PlanRequest::single(&nn, &workload, &placement).seed(seed ^ 0xBB))
+                .into_single()
+                .expect("single plan")
                 .assignment,
         ),
     ] {
@@ -284,7 +290,10 @@ pub fn ablate_steal(out: &Path, seed: u64) -> FigureReport {
         opass_workloads::dynamic::generate(&mut nn, &cfg, &Placement::Random, &mut rng);
     let placement = ProcessPlacement::one_per_node(n_nodes);
     let planner = OpassPlanner::default();
-    let plan = planner.plan_single_data(&nn, &workload, &placement, seed ^ 0x57);
+    let plan = planner
+        .plan(&PlanRequest::single(&nn, &workload, &placement).seed(seed ^ 0x57))
+        .into_single()
+        .expect("single plan");
     let values = opass_core::build_matching_values(&nn, &workload, &placement);
 
     for policy in [StealPolicy::MostColocated, StealPolicy::Head] {

@@ -11,7 +11,9 @@
 //!   the same problem; the paper cites it as related work).
 
 use crate::report::{secs, CsvWriter, FigureReport};
-use opass_core::{ClusterSpec, Dynamic, Experiment, Heterogeneous, OpassPlanner, Racked, Strategy};
+use opass_core::{
+    ClusterSpec, Dynamic, Experiment, Heterogeneous, OpassPlanner, PlanRequest, Racked, Strategy,
+};
 use opass_dfs::{DatasetSpec, DfsConfig, Namenode, Placement};
 use opass_runtime::{write_dataset, ProcessPlacement, WriteConfig};
 use opass_workloads::{single as single_wl, SingleDataConfig, Workload};
@@ -249,7 +251,10 @@ pub fn ext_matching_probability(out: &Path, seed: u64) -> FigureReport {
                 let (_, workload): (_, Workload) =
                     single_wl::generate(&mut nn, &cfg, &Placement::Random, &mut rng);
                 let placement = ProcessPlacement::one_per_node(n_nodes);
-                let plan = OpassPlanner::default().plan_single_data(&nn, &workload, &placement, t);
+                let plan = OpassPlanner::default()
+                    .plan(&PlanRequest::single(&nn, &workload, &placement).seed(t))
+                    .into_single()
+                    .expect("single plan");
                 if plan.filled_files == 0 {
                     full += 1;
                 }

@@ -9,6 +9,7 @@
 //! opass analyze --chunks 512 --replication 3 --nodes 128
 //! opass serve --addr 127.0.0.1:7455 --workers 4
 //! opass plan --remote 127.0.0.1:7455 --dataset 0 --strategy opass
+//! opass place --remote 127.0.0.1:7455 --dataset 0 --rounds 4 --apply
 //! ```
 
 // Printing is this binary's user interface.
@@ -30,8 +31,9 @@ fn main() -> ExitCode {
         Some("analyze") => cmd_analyze(&argv[1..]),
         Some("serve") => remote::cmd_serve(&argv[1..]),
         Some("plan") => remote::cmd_plan(&argv[1..]),
+        Some("place") => remote::cmd_place(&argv[1..]),
         _ => {
-            eprintln!("usage: opass <init|run|analyze|serve|plan> ...");
+            eprintln!("usage: opass <init|run|analyze|serve|plan|place> ...");
             eprintln!("  opass init <file.json>           write a template scenario");
             eprintln!(
                 "  opass run <file.json> [--json] [--parallel] [--trace-dir DIR] [--metrics DIR]"
@@ -39,6 +41,7 @@ fn main() -> ExitCode {
             eprintln!("  opass analyze --chunks N --replication R --nodes M");
             eprintln!("  {}", remote::SERVE_USAGE);
             eprintln!("  {}", remote::PLAN_USAGE);
+            eprintln!("  {}", remote::PLACE_USAGE);
             ExitCode::FAILURE
         }
     }

@@ -79,6 +79,104 @@ pub fn cmd_serve(argv: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+pub const PLACE_USAGE: &str = "usage: opass place --remote HOST:PORT [--dataset N] \
+     [--rounds N] [--budget BYTES] [--seed S] [--json] [--apply]";
+
+/// `opass place --remote`: ask a running `opass serve` for closed-loop
+/// replica-placement recommendations and print (or, with `--apply`,
+/// feed back) the per-round migration deltas.
+pub fn cmd_place(argv: &[String]) -> ExitCode {
+    let flags = match Flags::parse(
+        argv,
+        &["--json", "--apply"],
+        &["--remote", "--dataset", "--rounds", "--budget", "--seed"],
+    ) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("{PLACE_USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(addr) = flags.value("--remote") else {
+        eprintln!("opass place requires --remote HOST:PORT (start one with `opass serve`)");
+        eprintln!("{PLACE_USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let parsed = flags.value_or("--dataset", 0usize).and_then(|dataset| {
+        let rounds = flags.value_or("--rounds", 8usize)?;
+        let seed = flags.value_or("--seed", 42u64)?;
+        let budget = match flags.value("--budget") {
+            Some(_) => Some(flags.value_or("--budget", 0u64)?),
+            None => None,
+        };
+        Ok((dataset, rounds, budget, seed))
+    });
+    let (dataset, rounds, budget, seed) = match parsed {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("{PLACE_USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let reply = match client.place(dataset, rounds, budget, seed) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("place failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if flags.is_set("--json") {
+        println!("{}", reply.to_json().to_pretty());
+    } else {
+        println!(
+            "place: dataset {} seed {} (generation {})",
+            reply.dataset, reply.seed, reply.generation
+        );
+        println!(
+            "  local bytes {} -> {} after {} round(s), {} bytes migrated{}",
+            reply.local_bytes_before,
+            reply.local_bytes_after,
+            reply.rounds.len(),
+            reply.migrated_bytes,
+            if reply.converged { ", converged" } else { "" },
+        );
+        for round in &reply.rounds {
+            println!(
+                "  round {}: {} move(s), {} bytes, local {} -> {}",
+                round.round,
+                round.moves,
+                round.migrated_bytes,
+                round.local_bytes_before,
+                round.local_bytes_after,
+            );
+        }
+    }
+    if flags.is_set("--apply") {
+        for round in &reply.rounds {
+            match client.invalidate_with_delta(dataset, &round.delta) {
+                Ok(generation) => println!(
+                    "  applied round {} delta; dataset {dataset} now at generation {generation}",
+                    round.round
+                ),
+                Err(e) => {
+                    eprintln!("apply failed at round {}: {e}", round.round);
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 pub const PLAN_USAGE: &str = "usage: opass plan --remote HOST:PORT [--dataset N] \
      [--strategy NAME] [--seed S] [--json] [--stats] [--invalidate] [--shutdown]";
 

@@ -747,7 +747,11 @@ impl Experiment {
                 Strategy::RankInterval => baseline::rank_interval(workload.len(), n_nodes),
                 Strategy::Opass => {
                     opass_core::OpassPlanner::default()
-                        .plan_single_data(&nn, &workload, &placement, seed)
+                        .plan(
+                            &opass_core::PlanRequest::single(&nn, &workload, &placement).seed(seed),
+                        )
+                        .into_single()
+                        .expect("single plan")
                         .assignment
                 }
                 _ => return Err(unknown()),

@@ -24,6 +24,7 @@
 //! counters, histograms), exposed as `run.result.metrics`.
 
 use crate::planner::OpassPlanner;
+use crate::request::PlanRequest;
 use opass_dfs::{DfsConfig, Namenode, Placement, RackMap, ReplicaChoice};
 use opass_runtime::{
     baseline, execute, execute_instrumented, execute_with_recorder, ExecConfig, ProcessPlacement,
@@ -376,7 +377,9 @@ impl Experiment for SingleData {
             }
             Strategy::Opass => {
                 OpassPlanner::default()
-                    .plan_single_data(&nn, &workload, &placement, seed ^ 0x51)
+                    .plan(&PlanRequest::single(&nn, &workload, &placement).seed(seed ^ 0x51))
+                    .into_single()
+                    .expect("single plan")
                     .assignment
             }
             other => return Err(unsupported(self.name(), other, self.strategies())),
@@ -461,7 +464,9 @@ impl Experiment for MultiData {
             Strategy::RankInterval => baseline::rank_interval(workload.len(), self.cluster.n_nodes),
             Strategy::Opass => {
                 OpassPlanner::default()
-                    .plan_multi_data(&nn, &workload, &placement)
+                    .plan(&PlanRequest::multi(&nn, &workload, &placement))
+                    .into_multi()
+                    .expect("multi plan")
                     .assignment
             }
             other => return Err(unsupported(self.name(), other, self.strategies())),
@@ -565,8 +570,10 @@ impl Experiment for Dynamic {
             // `opass` means "the paper's method" everywhere; here that is
             // the guided scheduler.
             Strategy::OpassGuided | Strategy::Opass => {
-                let sched =
-                    OpassPlanner::default().plan_dynamic(&nn, &workload, &placement, seed ^ 0x6D);
+                let sched = OpassPlanner::default()
+                    .plan(&PlanRequest::dynamic(&nn, &workload, &placement).seed(seed ^ 0x6D))
+                    .into_dynamic()
+                    .expect("guided scheduler");
                 TaskSource::Dynamic(Box::new(sched))
             }
             other => return Err(unsupported(self.name(), other, self.strategies())),
@@ -653,7 +660,9 @@ impl Experiment for ParaView {
                 Strategy::RankInterval => baseline::rank_interval(step.len(), self.cluster.n_nodes),
                 _ => {
                     OpassPlanner::default()
-                        .plan_single_data(&nn, step, &placement, seed ^ (i as u64))
+                        .plan(&PlanRequest::single(&nn, step, &placement).seed(seed ^ (i as u64)))
+                        .into_single()
+                        .expect("single plan")
                         .assignment
                 }
             };
@@ -837,12 +846,20 @@ impl Experiment for Racked {
             // rack).
             Strategy::Opass => {
                 OpassPlanner::default()
-                    .plan_single_data(&nn, &workload, &placement, seed ^ 0x11)
+                    .plan(&PlanRequest::single(&nn, &workload, &placement).seed(seed ^ 0x11))
+                    .into_single()
+                    .expect("single plan")
                     .assignment
             }
             Strategy::OpassRackAware => {
                 OpassPlanner::default()
-                    .plan_single_data_rack_aware(&nn, &workload, &placement, &racks, seed ^ 0x12)
+                    .plan(
+                        &PlanRequest::single(&nn, &workload, &placement)
+                            .rack_aware(&racks)
+                            .seed(seed ^ 0x12),
+                    )
+                    .into_two_tier()
+                    .expect("two-tier outcome")
                     .assignment
             }
             other => return Err(unsupported(self.name(), other, self.strategies())),
@@ -949,12 +966,20 @@ impl Experiment for Heterogeneous {
             // Uniform quotas — the paper's homogeneity assumption.
             Strategy::Opass => {
                 OpassPlanner::default()
-                    .plan_single_data(&nn, &workload, &placement, seed ^ 0x21)
+                    .plan(&PlanRequest::single(&nn, &workload, &placement).seed(seed ^ 0x21))
+                    .into_single()
+                    .expect("single plan")
                     .assignment
             }
             Strategy::OpassWeighted => {
                 OpassPlanner::default()
-                    .plan_single_data_weighted(&nn, &workload, &placement, &factors, seed ^ 0x22)
+                    .plan(
+                        &PlanRequest::single(&nn, &workload, &placement)
+                            .weighted(&factors)
+                            .seed(seed ^ 0x22),
+                    )
+                    .into_single()
+                    .expect("single plan")
                     .assignment
             }
             other => return Err(unsupported(self.name(), other, self.strategies())),

@@ -12,13 +12,18 @@
 //! assignments by matching:
 //!
 //! * **single-data** (one input per task): max-flow over a quota network —
-//!   [`OpassPlanner::plan_single_data`];
+//!   [`PlanRequest::single`];
 //! * **multi-data** (several inputs per task): quota-constrained deferred
 //!   acceptance with strict trade-up (paper Algorithm 1) —
-//!   [`OpassPlanner::plan_multi_data`];
+//!   [`PlanRequest::multi`];
 //! * **dynamic** (master/worker, irregular compute): matching-guided
 //!   per-worker lists with locality-aware stealing —
-//!   [`OpassPlanner::plan_dynamic`].
+//!   [`PlanRequest::dynamic`].
+//!
+//! All modes share one front door — [`OpassPlanner::plan`] /
+//! [`OpassPlanner::session`] over a [`PlanRequest`] — and the loop can be
+//! closed in the other direction: [`PlacementSession`] migrates replicas
+//! *toward* demand under a byte budget (see `DESIGN.md` §12).
 //!
 //! The crate re-exports the full stack: the HDFS-model substrate
 //! ([`dfs`]), the discrete-event cluster I/O simulator ([`simio`]), the
@@ -57,8 +62,10 @@
 
 pub mod builder;
 pub mod experiment;
+pub mod place;
 pub mod planner;
 pub mod replan;
+pub mod request;
 
 pub use builder::{
     build_locality_graph, build_locality_graph_from_layout, build_matching_values,
@@ -68,8 +75,10 @@ pub use experiment::{
     ClusterSpec, Dynamic, Experiment, ExperimentRun, Heterogeneous, MultiData, ParaView, Racked,
     SingleData, Strategy, UnsupportedStrategy,
 };
+pub use place::{PlacementConfig, PlacementRound, PlacementSession};
 pub use planner::{MultiDataPlan, OpassPlanner, SingleDataPlan};
 pub use replan::{MultiDataSession, SingleDataSession};
+pub use request::{PlanOutcome, PlanRequest, Session};
 
 pub use opass_analysis as analysis;
 pub use opass_dfs as dfs;

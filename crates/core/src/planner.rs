@@ -2,26 +2,26 @@
 //!
 //! Given the file-system layout, a workload, and where the parallel
 //! processes run, the planner produces assignments that maximize local,
-//! balanced reads:
+//! balanced reads. All modes go through one front door: build a
+//! [`crate::PlanRequest`] and call [`OpassPlanner::plan`] (one-shot) or
+//! [`OpassPlanner::session`] (incremental re-planning):
 //!
-//! * [`OpassPlanner::plan_single_data`] — max-flow matching (Section IV-B);
-//! * [`OpassPlanner::plan_multi_data`] — Algorithm 1 (Section IV-C);
-//! * [`OpassPlanner::plan_dynamic`] — guided per-worker lists with
+//! * `PlanRequest::single(...)` — max-flow matching (Section IV-B), with
+//!   `.rack_aware(...)` / `.weighted(...)` refinements;
+//! * `PlanRequest::multi(...)` — Algorithm 1 (Section IV-C);
+//! * `PlanRequest::dynamic(...)` — guided per-worker lists with
 //!   locality-aware stealing (Section IV-D).
+//!
+//! The pre-redesign per-mode methods (`plan_single_data` and friends)
+//! survive as deprecated one-line wrappers over [`OpassPlanner::plan`].
 
-use crate::builder::{
-    build_locality_graph, build_locality_graph_from_layout, build_matching_values,
-    build_rack_graph, capture_workload_layout,
-};
+use crate::request::PlanRequest;
 use opass_dfs::{LayoutSnapshot, Namenode, RackMap};
 use opass_matching::{
-    assign_multi_data, locality_report, weighted_quotas, Assignment, FillPolicy, FlowAlgo,
-    GuidedScheduler, LocalityReport, Objective, SingleDataMatcher, TwoTierOutcome,
+    Assignment, FillPolicy, FlowAlgo, GuidedScheduler, LocalityReport, Objective, TwoTierOutcome,
 };
 use opass_runtime::ProcessPlacement;
 use opass_workloads::Workload;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Planner configuration.
 #[derive(Debug, Clone, Copy, Default)]
@@ -75,6 +75,7 @@ impl OpassPlanner {
     /// Plans a single-input workload with the flow-network matcher.
     ///
     /// `seed` drives only the random fill of unmatched files.
+    #[deprecated(note = "use `OpassPlanner::plan(&PlanRequest::single(...).seed(...))`")]
     pub fn plan_single_data(
         &self,
         namenode: &Namenode,
@@ -82,45 +83,33 @@ impl OpassPlanner {
         placement: &ProcessPlacement,
         seed: u64,
     ) -> SingleDataPlan {
-        let snapshot = capture_workload_layout(namenode, workload);
-        self.plan_single_data_layout(&snapshot, placement, seed)
+        self.plan(&PlanRequest::single(namenode, workload, placement).seed(seed))
+            .into_single()
+            .expect("single request yields a single plan")
     }
 
     /// Plans a single-input workload from an already-captured layout
     /// snapshot (entry `i` = task `i`), without touching the namenode.
-    ///
-    /// Bit-identical to [`OpassPlanner::plan_single_data`] for a snapshot
-    /// captured from the same workload — this is the entry point a
-    /// long-lived planning service uses to re-plan against a cached
-    /// layout. Pure function of `(self, snapshot, placement, seed)`;
-    /// callable concurrently from many threads on a shared snapshot.
+    #[deprecated(
+        note = "use `OpassPlanner::plan(&PlanRequest::single_from_layout(...).seed(...))`"
+    )]
     pub fn plan_single_data_layout(
         &self,
         snapshot: &LayoutSnapshot,
         placement: &ProcessPlacement,
         seed: u64,
     ) -> SingleDataPlan {
-        let graph = build_locality_graph_from_layout(snapshot, placement);
-        let matcher = SingleDataMatcher {
-            algo: self.algo,
-            fill: self.fill,
-            objective: self.objective,
-        };
-        let mut rng = StdRng::seed_from_u64(seed);
-        let outcome = matcher.assign(&graph, &mut rng);
-        let sizes = snapshot.sizes();
-        let locality = locality_report(&outcome.assignment, &graph, &sizes);
-        SingleDataPlan {
-            assignment: outcome.assignment,
-            matched_files: outcome.matched_files,
-            filled_files: outcome.filled_files,
-            locality,
-        }
+        self.plan(&PlanRequest::single_from_layout(snapshot, placement).seed(seed))
+            .into_single()
+            .expect("single request yields a single plan")
     }
 
     /// Plans a single-input workload on a racked cluster with two-tier
     /// matching: node-local first, rack-local for the remainder, random
     /// fill last (this repository's rack-locality extension).
+    #[deprecated(
+        note = "use `OpassPlanner::plan(&PlanRequest::single(...).rack_aware(...).seed(...))`"
+    )]
     pub fn plan_single_data_rack_aware(
         &self,
         namenode: &Namenode,
@@ -129,15 +118,13 @@ impl OpassPlanner {
         racks: &RackMap,
         seed: u64,
     ) -> TwoTierOutcome {
-        let node_graph = build_locality_graph(namenode, workload, placement);
-        let rack_graph = build_rack_graph(namenode, workload, placement, racks);
-        let matcher = SingleDataMatcher {
-            algo: self.algo,
-            fill: self.fill,
-            objective: self.objective,
-        };
-        let mut rng = StdRng::seed_from_u64(seed);
-        matcher.assign_two_tier(&node_graph, &rack_graph, &mut rng)
+        self.plan(
+            &PlanRequest::single(namenode, workload, placement)
+                .rack_aware(racks)
+                .seed(seed),
+        )
+        .into_two_tier()
+        .expect("rack-aware request yields a two-tier outcome")
     }
 
     /// Plans a single-input workload on a *heterogeneous* cluster: quotas
@@ -148,6 +135,9 @@ impl OpassPlanner {
     /// # Panics
     ///
     /// Panics unless `speeds` has one entry per process.
+    #[deprecated(
+        note = "use `OpassPlanner::plan(&PlanRequest::single(...).weighted(...).seed(...))`"
+    )]
     pub fn plan_single_data_weighted(
         &self,
         namenode: &Namenode,
@@ -156,61 +146,33 @@ impl OpassPlanner {
         speeds: &[f64],
         seed: u64,
     ) -> SingleDataPlan {
-        assert_eq!(speeds.len(), placement.n_procs(), "one speed per process");
-        let graph = build_locality_graph(namenode, workload, placement);
-        let quota = weighted_quotas(workload.len(), speeds);
-        let matcher = SingleDataMatcher {
-            algo: self.algo,
-            fill: self.fill,
-            objective: self.objective,
-        };
-        let mut rng = StdRng::seed_from_u64(seed);
-        let outcome = matcher.assign_with_quotas(&graph, &quota, &mut rng);
-        let sizes: Vec<u64> = workload
-            .tasks
-            .iter()
-            .map(|t| namenode.chunk(t.inputs[0]).expect("chunk exists").size)
-            .collect();
-        let locality = locality_report(&outcome.assignment, &graph, &sizes);
-        SingleDataPlan {
-            assignment: outcome.assignment,
-            matched_files: outcome.matched_files,
-            filled_files: outcome.filled_files,
-            locality,
-        }
+        self.plan(
+            &PlanRequest::single(namenode, workload, placement)
+                .weighted(speeds)
+                .seed(seed),
+        )
+        .into_single()
+        .expect("weighted request yields a single plan")
     }
 
     /// Plans a multi-input workload with Algorithm 1.
+    #[deprecated(note = "use `OpassPlanner::plan(&PlanRequest::multi(...))`")]
     pub fn plan_multi_data(
         &self,
         namenode: &Namenode,
         workload: &Workload,
         placement: &ProcessPlacement,
     ) -> MultiDataPlan {
-        let values = build_matching_values(namenode, workload, placement);
-        let outcome = assign_multi_data(&values);
-        let total_bytes =
-            workload.total_input_bytes(|c| namenode.chunk(c).expect("chunk exists").size);
-        MultiDataPlan {
-            assignment: outcome.assignment,
-            matched_bytes: outcome.matched_bytes,
-            total_bytes,
-            reassignments: outcome.reassignments,
-        }
+        self.plan(&PlanRequest::multi(namenode, workload, placement))
+            .into_multi()
+            .expect("multi request yields a multi plan")
     }
 
     /// Starts a long-lived single-data planning session that can be
     /// advanced by [`opass_dfs::LayoutDelta`]s via
-    /// [`crate::SingleDataSession::replan`] (or
-    /// [`OpassPlanner::replan_single_data`]) without re-walking the
+    /// [`crate::SingleDataSession::replan`] without re-walking the
     /// namenode or re-solving from scratch.
-    ///
-    /// The initial plan is bit-identical to
-    /// [`OpassPlanner::plan_single_data`] with the same seed (the session
-    /// adopts the scratch flow solve). Repaired plans after a delta agree
-    /// with a from-scratch solve on matched-file count and — under
-    /// [`opass_matching::Objective::MatchedBytes`] — matched bytes; the
-    /// concrete assignment may be a different maximum matching.
+    #[deprecated(note = "use `OpassPlanner::session(&PlanRequest::single(...).seed(...))`")]
     pub fn start_single_data_session(
         &self,
         namenode: &Namenode,
@@ -218,12 +180,16 @@ impl OpassPlanner {
         placement: &ProcessPlacement,
         seed: u64,
     ) -> crate::replan::SingleDataSession {
-        let snapshot = capture_workload_layout(namenode, workload);
-        self.start_single_data_session_from_layout(snapshot, placement, seed)
+        self.session(&PlanRequest::single(namenode, workload, placement).seed(seed))
+            .into_single()
+            .expect("single request yields a single-data session")
     }
 
-    /// Like [`OpassPlanner::start_single_data_session`] but from an
-    /// already-captured layout snapshot (entry `i` = task `i`).
+    /// Like the namenode-sourced session but from an already-captured
+    /// layout snapshot (entry `i` = task `i`).
+    #[deprecated(
+        note = "use `OpassPlanner::session(&PlanRequest::single_from_layout(...).seed(...))`"
+    )]
     pub fn start_single_data_session_from_layout(
         &self,
         snapshot: LayoutSnapshot,
@@ -234,8 +200,8 @@ impl OpassPlanner {
     }
 
     /// Advances a session by a layout delta, repairing the previous plan
-    /// in place. Deterministic: the same session history and delta
-    /// sequence produce bit-identical plans.
+    /// in place.
+    #[deprecated(note = "use `SingleDataSession::replan` (or `Session::replan`) directly")]
     pub fn replan_single_data(
         &self,
         session: &mut crate::replan::SingleDataSession,
@@ -246,34 +212,20 @@ impl OpassPlanner {
 
     /// Starts a long-lived multi-data planning session; replica-level
     /// churn is absorbed by re-auctioning only the affected tasks.
+    #[deprecated(note = "use `OpassPlanner::session(&PlanRequest::multi(...))`")]
     pub fn start_multi_data_session(
         &self,
         namenode: &Namenode,
         workload: &Workload,
         placement: &ProcessPlacement,
     ) -> crate::replan::MultiDataSession {
-        // Distinct input chunks in first-use order, with their readers.
-        let mut order: Vec<opass_dfs::ChunkId> = Vec::new();
-        let mut readers_by_chunk: std::collections::BTreeMap<opass_dfs::ChunkId, Vec<usize>> =
-            std::collections::BTreeMap::new();
-        for (t, task) in workload.tasks.iter().enumerate() {
-            for &chunk in &task.inputs {
-                let entry = readers_by_chunk.entry(chunk).or_insert_with(|| {
-                    order.push(chunk);
-                    Vec::new()
-                });
-                entry.push(t);
-            }
-        }
-        let snapshot = LayoutSnapshot::capture(namenode, &order);
-        let readers: Vec<Vec<usize>> = order
-            .iter()
-            .map(|c| readers_by_chunk.remove(c).expect("collected above"))
-            .collect();
-        crate::replan::MultiDataSession::start(snapshot, readers, placement, workload.len())
+        self.session(&PlanRequest::multi(namenode, workload, placement))
+            .into_multi()
+            .expect("multi request yields a multi-data session")
     }
 
     /// Advances a multi-data session by a layout delta.
+    #[deprecated(note = "use `MultiDataSession::replan` (or `Session::replan`) directly")]
     pub fn replan_multi_data(
         &self,
         session: &mut crate::replan::MultiDataSession,
@@ -285,6 +237,7 @@ impl OpassPlanner {
     /// Plans a dynamic run: computes a matching up front (single-data when
     /// every task has one input, Algorithm 1 otherwise) and wraps it in the
     /// guided scheduler.
+    #[deprecated(note = "use `OpassPlanner::plan(&PlanRequest::dynamic(...).seed(...))`")]
     pub fn plan_dynamic(
         &self,
         namenode: &Namenode,
@@ -292,24 +245,21 @@ impl OpassPlanner {
         placement: &ProcessPlacement,
         seed: u64,
     ) -> GuidedScheduler {
-        let single_input = workload.tasks.iter().all(|t| t.inputs.len() == 1);
-        let values = build_matching_values(namenode, workload, placement);
-        let assignment = if single_input {
-            self.plan_single_data(namenode, workload, placement, seed)
-                .assignment
-        } else {
-            assign_multi_data(&values).assignment
-        };
-        GuidedScheduler::new(&assignment, values)
+        self.plan(&PlanRequest::dynamic(namenode, workload, placement).seed(seed))
+            .into_dynamic()
+            .expect("dynamic request yields a guided scheduler")
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::capture_workload_layout;
     use opass_dfs::{DatasetSpec, DfsConfig, Placement};
-    use opass_matching::DynamicScheduler;
+    use opass_matching::{locality_report, DynamicScheduler};
     use opass_workloads::Task;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn fs(n_nodes: usize, n_chunks: usize) -> (Namenode, Workload) {
         let mut nn = Namenode::new(n_nodes, DfsConfig::default());
@@ -329,11 +279,18 @@ mod tests {
         (nn, Workload::new("w", tasks))
     }
 
+    fn single_plan(nn: &Namenode, w: &Workload, p: &ProcessPlacement, seed: u64) -> SingleDataPlan {
+        OpassPlanner::default()
+            .plan(&PlanRequest::single(nn, w, p).seed(seed))
+            .into_single()
+            .expect("single plan")
+    }
+
     #[test]
     fn single_data_plan_is_balanced_and_mostly_local() {
         let (nn, w) = fs(8, 80);
         let placement = ProcessPlacement::one_per_node(8);
-        let plan = OpassPlanner::default().plan_single_data(&nn, &w, &placement, 3);
+        let plan = single_plan(&nn, &w, &placement, 3);
         assert!(plan.assignment.is_balanced());
         assert_eq!(plan.matched_files + plan.filled_files, 80);
         // With r=3 on 8 nodes, nearly everything should match locally.
@@ -365,7 +322,10 @@ mod tests {
             (0..12).map(|i| Task::multi(vec![ca[i], cb[i]])).collect(),
         );
         let placement = ProcessPlacement::one_per_node(6);
-        let plan = OpassPlanner::default().plan_multi_data(&nn, &w, &placement);
+        let plan = OpassPlanner::default()
+            .plan(&PlanRequest::multi(&nn, &w, &placement))
+            .into_multi()
+            .expect("multi plan");
         assert!(plan.assignment.is_balanced());
         assert_eq!(plan.total_bytes, 12 * (50 << 20));
         assert!(plan.matched_bytes <= plan.total_bytes);
@@ -380,7 +340,10 @@ mod tests {
     fn dynamic_plan_dispenses_all_tasks() {
         let (nn, w) = fs(6, 30);
         let placement = ProcessPlacement::one_per_node(6);
-        let mut sched = OpassPlanner::default().plan_dynamic(&nn, &w, &placement, 1);
+        let mut sched = OpassPlanner::default()
+            .plan(&PlanRequest::dynamic(&nn, &w, &placement).seed(1))
+            .into_dynamic()
+            .expect("guided scheduler");
         let mut count = 0;
         while sched.next_task(count % 6).is_some() {
             count += 1;
@@ -395,9 +358,12 @@ mod tests {
         // what an in-process planner would.
         let (nn, w) = fs(8, 80);
         let placement = ProcessPlacement::one_per_node(8);
-        let direct = OpassPlanner::default().plan_single_data(&nn, &w, &placement, 42);
+        let direct = single_plan(&nn, &w, &placement, 42);
         let snapshot = capture_workload_layout(&nn, &w);
-        let cached = OpassPlanner::default().plan_single_data_layout(&snapshot, &placement, 42);
+        let cached = OpassPlanner::default()
+            .plan(&PlanRequest::single_from_layout(&snapshot, &placement).seed(42))
+            .into_single()
+            .expect("single plan");
         assert_eq!(direct.assignment.owners(), cached.assignment.owners());
         assert_eq!(direct.matched_files, cached.matched_files);
         assert_eq!(direct.filled_files, cached.filled_files);
@@ -425,12 +391,15 @@ mod tests {
         chunks.extend(nn.dataset(small).unwrap().chunks.clone());
         let w = Workload::new("mixed", chunks.iter().map(|&c| Task::single(c)).collect());
         let placement = ProcessPlacement::one_per_node(6);
-        let unit = OpassPlanner::default().plan_single_data(&nn, &w, &placement, 1);
-        let bytes = OpassPlanner {
+        let unit = single_plan(&nn, &w, &placement, 1);
+        let bytes_planner = OpassPlanner {
             objective: opass_matching::Objective::MatchedBytes,
             ..Default::default()
-        }
-        .plan_single_data(&nn, &w, &placement, 1);
+        };
+        let bytes = bytes_planner
+            .plan(&PlanRequest::single(&nn, &w, &placement).seed(1))
+            .into_single()
+            .expect("single plan");
         assert_eq!(unit.matched_files, bytes.matched_files, "same cardinality");
         assert!(
             bytes.locality.local_bytes >= unit.locality.local_bytes,
@@ -444,7 +413,7 @@ mod tests {
     fn planner_beats_rank_interval_locality() {
         let (nn, w) = fs(16, 160);
         let placement = ProcessPlacement::one_per_node(16);
-        let plan = OpassPlanner::default().plan_single_data(&nn, &w, &placement, 9);
+        let plan = single_plan(&nn, &w, &placement, 9);
         // Rank-interval baseline locality for comparison.
         let graph = crate::builder::build_locality_graph(&nn, &w, &placement);
         let baseline = opass_runtime::baseline::rank_interval(160, 16);

@@ -58,7 +58,8 @@ fn procs_per_node(placement: &ProcessPlacement) -> BTreeMap<NodeId, Vec<usize>> 
 }
 
 /// Long-lived single-data planning state that can be advanced by layout
-/// deltas. Created by [`OpassPlanner::start_single_data_session`].
+/// deltas. Created by [`OpassPlanner::session`] on a
+/// [`crate::PlanRequest::single`] request.
 #[derive(Debug, Clone)]
 pub struct SingleDataSession {
     snapshot: LayoutSnapshot,
@@ -116,6 +117,12 @@ impl SingleDataSession {
     /// How many deltas this session has absorbed.
     pub fn replans(&self) -> u64 {
         self.replans
+    }
+
+    /// The residual matching state (read-only) — the placement engine
+    /// simulates candidate replica moves against it.
+    pub(crate) fn matcher(&self) -> &IncrementalMatcher {
+        &self.matcher
     }
 
     /// Advances the session by `delta`, repairing the matching in place,
@@ -271,7 +278,8 @@ fn render_single_data_plan(
 }
 
 /// Long-lived multi-data planning state advanced by layout deltas.
-/// Created by [`OpassPlanner::start_multi_data_session`].
+/// Created by [`OpassPlanner::session`] on a
+/// [`crate::PlanRequest::multi`] request.
 #[derive(Debug, Clone)]
 pub struct MultiDataSession {
     /// Distinct input chunks in first-use order; locations kept current.
@@ -474,9 +482,36 @@ pub(crate) fn build_values(
 mod tests {
     use super::*;
     use crate::planner::OpassPlanner;
+    use crate::request::PlanRequest;
     use opass_dfs::{DatasetSpec, DfsConfig, Namenode, Placement};
     use opass_matching::Objective;
     use opass_workloads::{Task, Workload};
+
+    fn single_session(
+        planner: &OpassPlanner,
+        nn: &Namenode,
+        w: &Workload,
+        p: &ProcessPlacement,
+        seed: u64,
+    ) -> SingleDataSession {
+        planner
+            .session(&PlanRequest::single(nn, w, p).seed(seed))
+            .into_single()
+            .expect("single session")
+    }
+
+    fn single_scratch(
+        planner: &OpassPlanner,
+        nn: &Namenode,
+        w: &Workload,
+        p: &ProcessPlacement,
+        seed: u64,
+    ) -> SingleDataPlan {
+        planner
+            .plan(&PlanRequest::single(nn, w, p).seed(seed))
+            .into_single()
+            .expect("single plan")
+    }
 
     fn world(n_nodes: usize, n_chunks: usize) -> (Namenode, Workload, ProcessPlacement) {
         let mut nn = Namenode::new(n_nodes, DfsConfig::default());
@@ -522,8 +557,8 @@ mod tests {
             fill: FillPolicy::LeastLoaded,
             ..Default::default()
         };
-        let mut session = planner.start_single_data_session(&nn, &w, &placement, 7);
-        let initial = planner.plan_single_data(&nn, &w, &placement, 7);
+        let mut session = single_session(&planner, &nn, &w, &placement, 7);
+        let initial = single_scratch(&planner, &nn, &w, &placement, 7);
         assert_eq!(
             session.plan().assignment.owners(),
             initial.assignment.owners(),
@@ -535,8 +570,8 @@ mod tests {
             churn(&mut nn, &mut rng, step);
             let events = nn.take_events();
             let delta = LayoutDelta::from_events(&events, |c| scope.contains(&c));
-            let repaired = planner.replan_single_data(&mut session, &delta);
-            let scratch = planner.plan_single_data(&nn, &w, &placement, 7);
+            let repaired = session.replan(&delta).clone();
+            let scratch = single_scratch(&planner, &nn, &w, &placement, 7);
             assert_eq!(
                 repaired.matched_files, scratch.matched_files,
                 "step {step}: repaired matching must stay maximum"
@@ -587,14 +622,14 @@ mod tests {
             fill: FillPolicy::LeastLoaded,
             ..Default::default()
         };
-        let mut session = planner.start_single_data_session(&nn, &w, &placement, 3);
+        let mut session = single_session(&planner, &nn, &w, &placement, 3);
         let scope: BTreeSet<ChunkId> = chunks.iter().copied().collect();
         let mut rng = StdRng::seed_from_u64(0xF00);
         for step in 0..4 {
             churn(&mut nn, &mut rng, step);
             let delta = LayoutDelta::from_events(&nn.take_events(), |c| scope.contains(&c));
-            let repaired = planner.replan_single_data(&mut session, &delta);
-            let scratch = planner.plan_single_data(&nn, &w, &placement, 3);
+            let repaired = session.replan(&delta).clone();
+            let scratch = single_scratch(&planner, &nn, &w, &placement, 3);
             assert_eq!(repaired.matched_files, scratch.matched_files, "step {step}");
             assert_eq!(
                 repaired.locality.local_bytes, scratch.locality.local_bytes,
@@ -639,7 +674,7 @@ mod tests {
                     ProcessPlacement::one_per_node(8),
                 )
             };
-            let mut session = planner.start_single_data_session(&nn2, &w2, &placement2, 11);
+            let mut session = single_session(&planner, &nn2, &w2, &placement2, 11);
             let mut plans = Vec::new();
             for d in deltas {
                 plans.push(session.replan(d).clone());
@@ -680,8 +715,14 @@ mod tests {
         let placement = ProcessPlacement::one_per_node(8);
         nn.take_events();
         let planner = OpassPlanner::default();
-        let mut session = planner.start_multi_data_session(&nn, &w, &placement);
-        let baseline = planner.plan_multi_data(&nn, &w, &placement);
+        let mut session = planner
+            .session(&PlanRequest::multi(&nn, &w, &placement))
+            .into_multi()
+            .expect("multi session");
+        let baseline = planner
+            .plan(&PlanRequest::multi(&nn, &w, &placement))
+            .into_multi()
+            .expect("multi plan");
         assert_eq!(session.plan().assignment, baseline.assignment);
         assert_eq!(session.plan().matched_bytes, baseline.matched_bytes);
         assert_eq!(session.plan().total_bytes, baseline.total_bytes);
@@ -690,7 +731,7 @@ mod tests {
         // Replica-level churn: repair path.
         nn.rebalance(1.1, &mut rng);
         let delta = LayoutDelta::from_events(&nn.take_events(), |c| scope.contains(&c));
-        let plan = planner.replan_multi_data(&mut session, &delta);
+        let plan = session.replan(&delta).clone();
         assert!(plan.assignment.is_balanced());
         // Value table patched in place must equal a rebuild from scratch.
         let fresh = crate::builder::build_matching_values(&nn, &w, &placement);
@@ -701,7 +742,7 @@ mod tests {
         nn.fail_node(victim).unwrap();
         nn.repair_under_replicated(&mut rng).unwrap();
         let delta = LayoutDelta::from_events(&nn.take_events(), |c| scope.contains(&c));
-        let plan = planner.replan_multi_data(&mut session, &delta);
+        let plan = session.replan(&delta).clone();
         assert!(plan.assignment.is_balanced());
         let fresh = crate::builder::build_matching_values(&nn, &w, &placement);
         assert_eq!(
@@ -714,7 +755,7 @@ mod tests {
             files_removed: vec![ca[3]],
             ..Default::default()
         };
-        let plan = planner.replan_multi_data(&mut session, &delta);
+        let plan = session.replan(&delta).clone();
         assert!(plan.assignment.is_balanced());
         assert_eq!(session.replans(), 3);
         let _ = plan;

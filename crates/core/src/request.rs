@@ -1,0 +1,494 @@
+//! The unified planning front door: build a [`PlanRequest`], hand it to
+//! [`OpassPlanner::plan`] or [`OpassPlanner::session`].
+//!
+//! The planner grew one entry point per paper section (single-data,
+//! rack-aware, weighted, multi-data, dynamic) plus one per session kind;
+//! a request object collapses them behind a single pair of methods so a
+//! new planning mode (such as closed-loop placement,
+//! [`crate::PlacementSession`]) does not add yet another method family:
+//!
+//! ```
+//! use opass_core::{OpassPlanner, PlanRequest};
+//! use opass_core::dfs::{DfsConfig, DatasetSpec, Namenode, Placement};
+//! use opass_core::runtime::ProcessPlacement;
+//! use opass_core::workloads::{Task, Workload};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut nn = Namenode::new(8, DfsConfig::default());
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let ds = nn.create_dataset(
+//!     &DatasetSpec::uniform("d", 32, 64 << 20),
+//!     &Placement::Random,
+//!     &mut rng,
+//! );
+//! let tasks = nn.dataset(ds).unwrap().chunks.iter().map(|&c| Task::single(c)).collect();
+//! let workload = Workload::new("w", tasks);
+//! let placement = ProcessPlacement::one_per_node(8);
+//!
+//! let request = PlanRequest::single(&nn, &workload, &placement).seed(3);
+//! let plan = OpassPlanner::default()
+//!     .plan(&request)
+//!     .into_single()
+//!     .expect("single request yields a single plan");
+//! assert!(plan.assignment.is_balanced());
+//! ```
+
+use crate::builder::{
+    build_locality_graph, build_locality_graph_from_layout, build_matching_values,
+    build_rack_graph, capture_workload_layout,
+};
+use crate::planner::{MultiDataPlan, OpassPlanner, SingleDataPlan};
+use crate::replan::{MultiDataSession, SingleDataSession};
+use opass_dfs::{LayoutDelta, LayoutSnapshot, Namenode, RackMap};
+use opass_matching::{
+    assign_multi_data, locality_report, weighted_quotas, GuidedScheduler, SingleDataMatcher,
+    TwoTierOutcome,
+};
+use opass_runtime::ProcessPlacement;
+use opass_workloads::Workload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Where a request reads the chunk layout from.
+#[derive(Debug, Clone, Copy)]
+enum Source<'a> {
+    /// Walk the namenode for the workload's input chunks.
+    Namenode {
+        namenode: &'a Namenode,
+        workload: &'a Workload,
+    },
+    /// Plan against an already-captured snapshot (entry `i` = task `i`)
+    /// without touching the namenode — the planning-service path.
+    Layout(&'a LayoutSnapshot),
+}
+
+/// Which planning mode the request selects.
+#[derive(Debug, Clone, Copy)]
+enum Mode<'a> {
+    /// Max-flow single-data matching (paper Section IV-B).
+    Single,
+    /// Two-tier node-then-rack matching (this repo's rack extension).
+    SingleRackAware(&'a RackMap),
+    /// Speed-proportional quotas on a heterogeneous cluster.
+    SingleWeighted(&'a [f64]),
+    /// Algorithm 1 deferred acceptance (paper Section IV-C).
+    Multi,
+    /// Matching-guided dynamic scheduling (paper Section IV-D).
+    Dynamic,
+}
+
+/// A complete planning request: layout source, mode, process placement
+/// and fill seed, assembled with a small builder.
+///
+/// Constructed by [`PlanRequest::single`], [`PlanRequest::single_from_layout`],
+/// [`PlanRequest::multi`] or [`PlanRequest::dynamic`]; refined by
+/// [`PlanRequest::seed`], [`PlanRequest::rack_aware`] and
+/// [`PlanRequest::weighted`]. Borrowing-only: building a request copies
+/// nothing, so constructing one per plan is free.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanRequest<'a> {
+    source: Source<'a>,
+    mode: Mode<'a>,
+    placement: &'a ProcessPlacement,
+    seed: u64,
+}
+
+impl<'a> PlanRequest<'a> {
+    /// A single-data request (one input chunk per task): max-flow matching
+    /// over the process→chunk locality graph.
+    pub fn single(
+        namenode: &'a Namenode,
+        workload: &'a Workload,
+        placement: &'a ProcessPlacement,
+    ) -> Self {
+        PlanRequest {
+            source: Source::Namenode { namenode, workload },
+            mode: Mode::Single,
+            placement,
+            seed: 0,
+        }
+    }
+
+    /// A single-data request against an already-captured layout snapshot
+    /// (entry `i` = task `i`), bit-identical to [`PlanRequest::single`]
+    /// for a snapshot captured from the same workload.
+    pub fn single_from_layout(
+        snapshot: &'a LayoutSnapshot,
+        placement: &'a ProcessPlacement,
+    ) -> Self {
+        PlanRequest {
+            source: Source::Layout(snapshot),
+            mode: Mode::Single,
+            placement,
+            seed: 0,
+        }
+    }
+
+    /// A multi-data request (several inputs per task): Algorithm 1
+    /// deferred acceptance with strict trade-up.
+    pub fn multi(
+        namenode: &'a Namenode,
+        workload: &'a Workload,
+        placement: &'a ProcessPlacement,
+    ) -> Self {
+        PlanRequest {
+            source: Source::Namenode { namenode, workload },
+            mode: Mode::Multi,
+            placement,
+            seed: 0,
+        }
+    }
+
+    /// A dynamic-scheduling request: a matching computed up front wrapped
+    /// in the guided per-worker scheduler.
+    pub fn dynamic(
+        namenode: &'a Namenode,
+        workload: &'a Workload,
+        placement: &'a ProcessPlacement,
+    ) -> Self {
+        PlanRequest {
+            source: Source::Namenode { namenode, workload },
+            mode: Mode::Dynamic,
+            placement,
+            seed: 0,
+        }
+    }
+
+    /// Sets the seed driving the random fill of unmatched files
+    /// (and the guided scheduler's tie-breaking). Defaults to 0.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Upgrades a single-data request to two-tier rack-aware matching:
+    /// node-local first, rack-local for the remainder, random fill last.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the request is a plain [`PlanRequest::single`]
+    /// (namenode-sourced, not already rack-aware or weighted).
+    pub fn rack_aware(mut self, racks: &'a RackMap) -> Self {
+        assert!(
+            matches!(self.mode, Mode::Single),
+            "rack_aware applies to a plain single-data request"
+        );
+        assert!(
+            matches!(self.source, Source::Namenode { .. }),
+            "rack_aware requires a namenode-sourced request"
+        );
+        self.mode = Mode::SingleRackAware(racks);
+        self
+    }
+
+    /// Upgrades a single-data request to heterogeneous planning: task
+    /// quotas proportional to each process's `speed` (e.g. relative disk
+    /// bandwidth), with locality still maximized by max-flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the request is a plain [`PlanRequest::single`]
+    /// (namenode-sourced, not already rack-aware or weighted) and
+    /// `speeds` has one entry per process.
+    pub fn weighted(mut self, speeds: &'a [f64]) -> Self {
+        assert!(
+            matches!(self.mode, Mode::Single),
+            "weighted applies to a plain single-data request"
+        );
+        assert!(
+            matches!(self.source, Source::Namenode { .. }),
+            "weighted requires a namenode-sourced request"
+        );
+        assert_eq!(
+            speeds.len(),
+            self.placement.n_procs(),
+            "one speed per process"
+        );
+        self.mode = Mode::SingleWeighted(speeds);
+        self
+    }
+
+    pub(crate) fn placement(&self) -> &'a ProcessPlacement {
+        self.placement
+    }
+}
+
+/// The result of [`OpassPlanner::plan`] — one variant per planning mode.
+#[derive(Debug, Clone)]
+pub enum PlanOutcome {
+    /// From a plain single-data request.
+    Single(SingleDataPlan),
+    /// From a rack-aware single-data request.
+    TwoTier(TwoTierOutcome),
+    /// From a multi-data request.
+    Multi(MultiDataPlan),
+    /// From a dynamic request.
+    Dynamic(GuidedScheduler),
+}
+
+impl PlanOutcome {
+    /// The single-data plan, if this outcome is one (plain or weighted
+    /// single-data requests).
+    pub fn into_single(self) -> Option<SingleDataPlan> {
+        match self {
+            PlanOutcome::Single(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Borrows the single-data plan, if this outcome is one.
+    pub fn as_single(&self) -> Option<&SingleDataPlan> {
+        match self {
+            PlanOutcome::Single(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The two-tier outcome, if this came from a rack-aware request.
+    pub fn into_two_tier(self) -> Option<TwoTierOutcome> {
+        match self {
+            PlanOutcome::TwoTier(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The multi-data plan, if this came from a multi-data request.
+    pub fn into_multi(self) -> Option<MultiDataPlan> {
+        match self {
+            PlanOutcome::Multi(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The guided scheduler, if this came from a dynamic request.
+    pub fn into_dynamic(self) -> Option<GuidedScheduler> {
+        match self {
+            PlanOutcome::Dynamic(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A long-lived planning session from [`OpassPlanner::session`] — one
+/// variant per session-capable mode. Advance it with [`Session::replan`],
+/// or unwrap the concrete session for mode-specific accessors.
+#[derive(Debug, Clone)]
+pub enum Session {
+    /// Incremental single-data session (residual max-flow state).
+    Single(SingleDataSession),
+    /// Incremental multi-data session (patched value table).
+    Multi(MultiDataSession),
+}
+
+impl Session {
+    /// Advances the session by a layout delta and returns the repaired
+    /// plan. Deterministic: the same session history and delta sequence
+    /// produce bit-identical plans.
+    pub fn replan(&mut self, delta: &LayoutDelta) -> PlanOutcome {
+        match self {
+            Session::Single(s) => PlanOutcome::Single(s.replan(delta).clone()),
+            Session::Multi(s) => PlanOutcome::Multi(s.replan(delta).clone()),
+        }
+    }
+
+    /// How many deltas the session has absorbed.
+    pub fn replans(&self) -> u64 {
+        match self {
+            Session::Single(s) => s.replans(),
+            Session::Multi(s) => s.replans(),
+        }
+    }
+
+    /// The underlying single-data session, if this is one.
+    pub fn into_single(self) -> Option<SingleDataSession> {
+        match self {
+            Session::Single(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrows the underlying single-data session, if this is one.
+    pub fn as_single(&self) -> Option<&SingleDataSession> {
+        match self {
+            Session::Single(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The underlying multi-data session, if this is one.
+    pub fn into_multi(self) -> Option<MultiDataSession> {
+        match self {
+            Session::Multi(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl OpassPlanner {
+    /// Plans a request — the unified entry point subsuming the deprecated
+    /// `plan_single_data*`, `plan_multi_data` and `plan_dynamic` methods.
+    ///
+    /// The outcome variant is determined by the request mode; each mode is
+    /// bit-identical to the legacy method it replaces (the legacy methods
+    /// are now one-line wrappers over this one).
+    pub fn plan(&self, request: &PlanRequest<'_>) -> PlanOutcome {
+        let placement = request.placement;
+        let seed = request.seed;
+        let outcome = match (&request.mode, &request.source) {
+            (Mode::Single, Source::Namenode { namenode, workload }) => {
+                let snapshot = capture_workload_layout(namenode, workload);
+                Some(PlanOutcome::Single(
+                    self.solve_single_layout(&snapshot, placement, seed),
+                ))
+            }
+            (Mode::Single, Source::Layout(snapshot)) => Some(PlanOutcome::Single(
+                self.solve_single_layout(snapshot, placement, seed),
+            )),
+            (Mode::SingleRackAware(racks), Source::Namenode { namenode, workload }) => {
+                let node_graph = build_locality_graph(namenode, workload, placement);
+                let rack_graph = build_rack_graph(namenode, workload, placement, racks);
+                let mut rng = StdRng::seed_from_u64(seed);
+                Some(PlanOutcome::TwoTier(self.matcher().assign_two_tier(
+                    &node_graph,
+                    &rack_graph,
+                    &mut rng,
+                )))
+            }
+            (Mode::SingleWeighted(speeds), Source::Namenode { namenode, workload }) => {
+                let graph = build_locality_graph(namenode, workload, placement);
+                let quota = weighted_quotas(workload.len(), speeds);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let outcome = self.matcher().assign_with_quotas(&graph, &quota, &mut rng);
+                let sizes: Vec<u64> = workload
+                    .tasks
+                    .iter()
+                    .map(|t| namenode.chunk(t.inputs[0]).expect("chunk exists").size)
+                    .collect();
+                let locality = locality_report(&outcome.assignment, &graph, &sizes);
+                Some(PlanOutcome::Single(SingleDataPlan {
+                    assignment: outcome.assignment,
+                    matched_files: outcome.matched_files,
+                    filled_files: outcome.filled_files,
+                    locality,
+                }))
+            }
+            (Mode::Multi, Source::Namenode { namenode, workload }) => {
+                let values = build_matching_values(namenode, workload, placement);
+                let outcome = assign_multi_data(&values);
+                let total_bytes =
+                    workload.total_input_bytes(|c| namenode.chunk(c).expect("chunk exists").size);
+                Some(PlanOutcome::Multi(MultiDataPlan {
+                    assignment: outcome.assignment,
+                    matched_bytes: outcome.matched_bytes,
+                    total_bytes,
+                    reassignments: outcome.reassignments,
+                }))
+            }
+            (Mode::Dynamic, Source::Namenode { namenode, workload }) => {
+                let single_input = workload.tasks.iter().all(|t| t.inputs.len() == 1);
+                let values = build_matching_values(namenode, workload, placement);
+                let assignment = if single_input {
+                    let snapshot = capture_workload_layout(namenode, workload);
+                    self.solve_single_layout(&snapshot, placement, seed)
+                        .assignment
+                } else {
+                    assign_multi_data(&values).assignment
+                };
+                Some(PlanOutcome::Dynamic(GuidedScheduler::new(
+                    &assignment,
+                    values,
+                )))
+            }
+            // The builder only attaches rack/weighted/multi/dynamic modes
+            // to namenode-sourced requests.
+            (_, Source::Layout(_)) => None,
+        };
+        outcome.expect("builder pairs every mode with a supported source")
+    }
+
+    /// Starts a long-lived planning session for a request — the unified
+    /// entry point subsuming the deprecated `start_*_session` methods.
+    ///
+    /// Supported for plain single-data requests (either source) and
+    /// multi-data requests; the initial plan is bit-identical to
+    /// [`OpassPlanner::plan`] on the same request.
+    ///
+    /// # Panics
+    ///
+    /// Panics for rack-aware, weighted, or dynamic requests — those modes
+    /// have no incremental session.
+    pub fn session(&self, request: &PlanRequest<'_>) -> Session {
+        let placement = request.placement;
+        let seed = request.seed;
+        let session = match (&request.mode, &request.source) {
+            (Mode::Single, Source::Namenode { namenode, workload }) => {
+                let snapshot = capture_workload_layout(namenode, workload);
+                Some(Session::Single(SingleDataSession::start(
+                    self, snapshot, placement, seed,
+                )))
+            }
+            (Mode::Single, Source::Layout(snapshot)) => Some(Session::Single(
+                SingleDataSession::start(self, (*snapshot).clone(), placement, seed),
+            )),
+            (Mode::Multi, Source::Namenode { namenode, workload }) => {
+                // Distinct input chunks in first-use order, with readers.
+                let mut order: Vec<opass_dfs::ChunkId> = Vec::new();
+                let mut readers_by_chunk: std::collections::BTreeMap<
+                    opass_dfs::ChunkId,
+                    Vec<usize>,
+                > = std::collections::BTreeMap::new();
+                for (t, task) in workload.tasks.iter().enumerate() {
+                    for &chunk in &task.inputs {
+                        let entry = readers_by_chunk.entry(chunk).or_insert_with(|| {
+                            order.push(chunk);
+                            Vec::new()
+                        });
+                        entry.push(t);
+                    }
+                }
+                let snapshot = LayoutSnapshot::capture(namenode, &order);
+                let readers: Vec<Vec<usize>> = order
+                    .iter()
+                    .map(|c| readers_by_chunk.remove(c).expect("collected above"))
+                    .collect();
+                Some(Session::Multi(MultiDataSession::start(
+                    snapshot,
+                    readers,
+                    placement,
+                    workload.len(),
+                )))
+            }
+            _ => None,
+        };
+        session.expect("sessions exist for plain single- and multi-data requests only")
+    }
+
+    /// The shared single-data flow solve: graph build, matching, report.
+    fn solve_single_layout(
+        &self,
+        snapshot: &LayoutSnapshot,
+        placement: &ProcessPlacement,
+        seed: u64,
+    ) -> SingleDataPlan {
+        let graph = build_locality_graph_from_layout(snapshot, placement);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let outcome = self.matcher().assign(&graph, &mut rng);
+        let sizes = snapshot.sizes();
+        let locality = locality_report(&outcome.assignment, &graph, &sizes);
+        SingleDataPlan {
+            assignment: outcome.assignment,
+            matched_files: outcome.matched_files,
+            filled_files: outcome.filled_files,
+            locality,
+        }
+    }
+
+    fn matcher(&self) -> SingleDataMatcher {
+        SingleDataMatcher {
+            algo: self.algo,
+            fill: self.fill,
+            objective: self.objective,
+        }
+    }
+}

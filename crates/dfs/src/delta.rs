@@ -159,6 +159,60 @@ impl LayoutDelta {
         }
     }
 
+    /// A delta moving one replica of `chunk` from `from` to `to` — the
+    /// shape the placement engine emits: replica counts are preserved,
+    /// so applying it never violates the replication-factor invariant.
+    pub fn migration(chunk: ChunkId, from: NodeId, to: NodeId) -> Self {
+        Self::migrations(&[(chunk, from, to)])
+    }
+
+    /// A delta bundling several replica moves (`(chunk, from, to)` each),
+    /// normalized.
+    pub fn migrations(moves: &[(ChunkId, NodeId, NodeId)]) -> Self {
+        let mut delta = LayoutDelta {
+            replicas_dropped: moves.iter().map(|&(c, from, _)| (c, from)).collect(),
+            replicas_added: moves.iter().map(|&(c, _, to)| (c, to)).collect(),
+            ..Default::default()
+        };
+        delta.normalize();
+        delta
+    }
+
+    /// Decomposes a *migration-shaped* delta back into `(chunk, from, to)`
+    /// moves: no file or node churn, and per chunk as many replicas
+    /// dropped as added (pairing i-th drop with i-th add in node order).
+    /// Returns `None` when the delta has any other shape — the
+    /// replication-factor accounting gate used by
+    /// [`crate::Namenode::apply_migrations`].
+    pub fn migration_pairs(&self) -> Option<Vec<(ChunkId, NodeId, NodeId)>> {
+        if !self.files_added.is_empty()
+            || !self.files_removed.is_empty()
+            || !self.nodes_failed.is_empty()
+            || !self.nodes_joined.is_empty()
+        {
+            return None;
+        }
+        let mut drops: BTreeMap<ChunkId, Vec<NodeId>> = BTreeMap::new();
+        for &(c, n) in &self.replicas_dropped {
+            drops.entry(c).or_default().push(n);
+        }
+        let mut adds: BTreeMap<ChunkId, Vec<NodeId>> = BTreeMap::new();
+        for &(c, n) in &self.replicas_added {
+            adds.entry(c).or_default().push(n);
+        }
+        if drops.len() != adds.len() {
+            return None;
+        }
+        let mut pairs = Vec::new();
+        for ((dc, dn), (ac, an)) in drops.into_iter().zip(adds) {
+            if dc != ac || dn.len() != an.len() {
+                return None;
+            }
+            pairs.extend(dn.into_iter().zip(an).map(|(from, to)| (dc, from, to)));
+        }
+        Some(pairs)
+    }
+
     /// Projects a journal slice onto the scope of a prior snapshot.
     ///
     /// `in_scope` decides which chunks the snapshot covers (and which

@@ -21,6 +21,27 @@ pub enum DfsError {
         /// Alive nodes that would remain.
         available: usize,
     },
+    /// A migration source does not hold a replica of the chunk.
+    ReplicaMissing {
+        /// The chunk being migrated.
+        chunk: ChunkId,
+        /// The node expected to hold a copy.
+        node: NodeId,
+    },
+    /// A migration target already holds a replica of the chunk.
+    ReplicaExists {
+        /// The chunk being migrated.
+        chunk: ChunkId,
+        /// The node already holding a copy.
+        node: NodeId,
+    },
+    /// A delta handed to [`crate::Namenode::apply_migrations`] is not
+    /// migration-shaped (it would change replica counts, the file set,
+    /// or node membership).
+    NotMigrationShaped(
+        /// Which shape constraint the delta violates.
+        &'static str,
+    ),
 }
 
 impl fmt::Display for DfsError {
@@ -34,6 +55,15 @@ impl fmt::Display for DfsError {
                 f,
                 "operation needs {needed} alive nodes but only {available} would remain"
             ),
+            DfsError::ReplicaMissing { chunk, node } => {
+                write!(f, "{node} holds no replica of {chunk}")
+            }
+            DfsError::ReplicaExists { chunk, node } => {
+                write!(f, "{node} already holds a replica of {chunk}")
+            }
+            DfsError::NotMigrationShaped(why) => {
+                write!(f, "delta is not migration-shaped: {why}")
+            }
         }
     }
 }

@@ -9,7 +9,7 @@
 //! matchings).
 
 use crate::chunk::{ChunkMeta, DatasetMeta, DatasetSpec};
-use crate::delta::LayoutEvent;
+use crate::delta::{LayoutDelta, LayoutEvent};
 use crate::error::DfsError;
 use crate::ids::{ChunkId, DatasetId, NodeId};
 use crate::placement::Placement;
@@ -498,6 +498,113 @@ impl Namenode {
         moved
     }
 
+    /// Moves one replica of `chunk` from `from` to `to`, journalling the
+    /// paired drop+add. Replica counts are preserved, so the layout stays
+    /// within the replication-factor invariant by construction.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the chunk or either node is unknown, `to` is down,
+    /// `from` holds no replica, or `to` already holds one.
+    pub fn migrate_replica(
+        &mut self,
+        chunk_id: ChunkId,
+        from: NodeId,
+        to: NodeId,
+    ) -> Result<(), DfsError> {
+        if chunk_id.index() >= self.chunks.len() {
+            return Err(DfsError::UnknownChunk(chunk_id));
+        }
+        for node in [from, to] {
+            if node.index() >= self.alive.len() {
+                return Err(DfsError::UnknownNode(node));
+            }
+        }
+        if !self.alive[to.index()] {
+            return Err(DfsError::NodeDown(to));
+        }
+        if !self.chunks[chunk_id.index()].is_on(from) {
+            return Err(DfsError::ReplicaMissing {
+                chunk: chunk_id,
+                node: from,
+            });
+        }
+        if self.chunks[chunk_id.index()].is_on(to) {
+            return Err(DfsError::ReplicaExists {
+                chunk: chunk_id,
+                node: to,
+            });
+        }
+        let chunk = &mut self.chunks[chunk_id.index()];
+        chunk.locations.retain(|&n| n != from);
+        let pos = chunk.locations.partition_point(|&n| n < to);
+        chunk.locations.insert(pos, to);
+        self.node_chunks[from.index()].retain(|&c| c != chunk_id);
+        insert_sorted(&mut self.node_chunks[to.index()], chunk_id);
+        self.events.push(LayoutEvent::ReplicaDropped {
+            chunk: chunk_id,
+            node: from,
+        });
+        self.events.push(LayoutEvent::ReplicaAdded {
+            chunk: chunk_id,
+            node: to,
+        });
+        Ok(())
+    }
+
+    /// Applies a *migration-shaped* [`LayoutDelta`] — the recommendations
+    /// the placement engine emits — as a sequence of
+    /// [`Namenode::migrate_replica`] calls, returning how many replicas
+    /// moved. This is the replication-factor accounting gate: deltas that
+    /// would change replica counts, the file set, or node membership are
+    /// rejected whole, and nothing is applied unless every individual
+    /// move validates against the current layout.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`DfsError::NotMigrationShaped`] on a delta of the
+    /// wrong shape, or with the first per-move error otherwise (in which
+    /// case no move has been applied).
+    pub fn apply_migrations(&mut self, delta: &LayoutDelta) -> Result<usize, DfsError> {
+        let pairs = delta.migration_pairs().ok_or(DfsError::NotMigrationShaped(
+            "per-chunk drop and add counts must pair up with no file or node churn",
+        ))?;
+        // Validate every move before mutating anything: a half-applied
+        // recommendation batch would leave the journal describing a
+        // layout transition no planner proposed.
+        for &(chunk_id, from, to) in &pairs {
+            if chunk_id.index() >= self.chunks.len() {
+                return Err(DfsError::UnknownChunk(chunk_id));
+            }
+            for node in [from, to] {
+                if node.index() >= self.alive.len() {
+                    return Err(DfsError::UnknownNode(node));
+                }
+            }
+            if !self.alive[to.index()] {
+                return Err(DfsError::NodeDown(to));
+            }
+            if !self.chunks[chunk_id.index()].is_on(from) {
+                return Err(DfsError::ReplicaMissing {
+                    chunk: chunk_id,
+                    node: from,
+                });
+            }
+            if self.chunks[chunk_id.index()].is_on(to) {
+                return Err(DfsError::ReplicaExists {
+                    chunk: chunk_id,
+                    node: to,
+                });
+            }
+        }
+        let moved = pairs.len();
+        for (chunk_id, from, to) in pairs {
+            self.migrate_replica(chunk_id, from, to)
+                .expect("validated above");
+        }
+        Ok(moved)
+    }
+
     /// Verifies internal invariants (replica counts, index consistency).
     /// Used by tests and debug assertions; cheap enough for production
     /// sanity checks.
@@ -816,5 +923,91 @@ mod tests {
     #[should_panic(expected = "cannot hold")]
     fn rejects_tiny_cluster() {
         let _ = Namenode::new(2, DfsConfig::default());
+    }
+
+    #[test]
+    fn migrate_replica_preserves_counts_and_journals_the_move() {
+        let (mut nn, id) = small_fs();
+        nn.take_events();
+        let chunk = nn.dataset(id).unwrap().chunks[0];
+        let from = nn.chunk(chunk).unwrap().locations[0];
+        let to = (0..8)
+            .map(NodeId)
+            .find(|&n| !nn.chunk(chunk).unwrap().is_on(n))
+            .expect("r=3 on 8 nodes leaves a free node");
+        nn.migrate_replica(chunk, from, to).unwrap();
+        let meta = nn.chunk(chunk).unwrap();
+        assert_eq!(meta.locations.len(), 3, "replica count preserved");
+        assert!(meta.is_on(to) && !meta.is_on(from));
+        nn.check_invariants().unwrap();
+        assert_eq!(
+            nn.take_events(),
+            vec![
+                LayoutEvent::ReplicaDropped { chunk, node: from },
+                LayoutEvent::ReplicaAdded { chunk, node: to },
+            ]
+        );
+        // Invalid moves are typed errors, not mutations.
+        assert_eq!(
+            nn.migrate_replica(chunk, from, to),
+            Err(DfsError::ReplicaMissing { chunk, node: from })
+        );
+        let holder = nn.chunk(chunk).unwrap().locations[0];
+        assert_eq!(
+            nn.migrate_replica(chunk, to, holder),
+            Err(DfsError::ReplicaExists {
+                chunk,
+                node: holder
+            })
+        );
+    }
+
+    #[test]
+    fn apply_migrations_is_all_or_nothing() {
+        let (mut nn, id) = small_fs();
+        nn.take_events();
+        let chunks = nn.dataset(id).unwrap().chunks.clone();
+        let free_node = |nn: &Namenode, c: ChunkId| {
+            (0..8)
+                .map(NodeId)
+                .find(|&n| !nn.chunk(c).unwrap().is_on(n))
+                .expect("free node exists")
+        };
+        let good = (
+            chunks[0],
+            nn.chunk(chunks[0]).unwrap().locations[0],
+            free_node(&nn, chunks[0]),
+        );
+        // A migration delta built from valid moves applies whole.
+        let delta = LayoutDelta::migrations(&[good]);
+        assert_eq!(nn.apply_migrations(&delta).unwrap(), 1);
+        nn.check_invariants().unwrap();
+
+        // A batch containing one bad move applies nothing.
+        let before = nn.chunk(chunks[1]).unwrap().clone();
+        let locs = nn.chunk(chunks[2]).unwrap().locations.clone();
+        let bad = LayoutDelta::migrations(&[
+            (
+                chunks[1],
+                nn.chunk(chunks[1]).unwrap().locations[0],
+                free_node(&nn, chunks[1]),
+            ),
+            // Target already holds a replica: the whole batch must fail.
+            (chunks[2], locs[0], locs[1]),
+        ]);
+        assert!(nn.apply_migrations(&bad).is_err());
+        assert_eq!(nn.chunk(chunks[1]).unwrap(), &before, "nothing applied");
+
+        // Count-changing deltas are rejected as not migration-shaped.
+        let lopsided = LayoutDelta {
+            replicas_added: vec![(chunks[3], free_node(&nn, chunks[3]))],
+            ..Default::default()
+        };
+        assert_eq!(
+            nn.apply_migrations(&lopsided),
+            Err(DfsError::NotMigrationShaped(
+                "per-chunk drop and add counts must pair up with no file or node churn",
+            ))
+        );
     }
 }

@@ -1,0 +1,8 @@
+// Fixture: suppressed case for `unordered-iteration` in the placement
+// module context.
+// lint:allow(unordered-iteration): membership probe only, never iterated
+use std::collections::HashSet;
+
+pub fn already_moved(moved: &HashSet<usize>, file: usize) -> bool { // lint:allow(unordered-iteration): membership probe only
+    moved.contains(&file)
+}

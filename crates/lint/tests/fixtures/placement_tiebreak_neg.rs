@@ -1,0 +1,17 @@
+// Fixture: negative case for `unordered-iteration` — the shipped
+// placement engine keeps the donor load index in a BTreeMap, so ties on
+// stored bytes always resolve to the lowest node id.
+use std::collections::BTreeMap;
+
+pub struct DonorIndex {
+    stored_bytes: BTreeMap<u32, u64>,
+}
+
+impl DonorIndex {
+    pub fn pick_donor(&self) -> Option<u32> {
+        self.stored_bytes
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+            .map(|(&node, _)| node)
+    }
+}

@@ -1,0 +1,19 @@
+// Fixture: positive case for `unordered-iteration`, shaped like the
+// placement engine's donor choice — a HashMap-backed load index would
+// leak hash order into which replica holder donates a migration.
+use std::collections::HashMap;
+
+pub struct DonorIndex {
+    stored_bytes: HashMap<u32, u64>,
+}
+
+impl DonorIndex {
+    pub fn pick_donor(&self) -> Option<u32> {
+        // Ties on stored bytes resolve by whichever entry the iterator
+        // yields first — nondeterministic across runs.
+        self.stored_bytes
+            .iter()
+            .max_by_key(|(_, &bytes)| bytes)
+            .map(|(&node, _)| node)
+    }
+}

@@ -19,7 +19,7 @@ struct Case {
     allow: (&'static str, usize),
 }
 
-const CASES: [Case; 6] = [
+const CASES: [Case; 7] = [
     Case {
         rule: "unordered-iteration",
         context: "crates/dfs/src/fixture.rs",
@@ -36,6 +36,15 @@ const CASES: [Case; 6] = [
         pos: ("incremental_owned_index_pos.rs", 2),
         neg: "incremental_owned_index_neg.rs",
         allow: ("incremental_owned_index_allow.rs", 2),
+    },
+    Case {
+        // Same rule, placement-engine shape: donor choice ties on stored
+        // bytes must resolve by node id, not by hash order (DESIGN.md §12).
+        rule: "unordered-iteration",
+        context: "crates/matching/src/placement_fixture.rs",
+        pos: ("placement_tiebreak_pos.rs", 2),
+        neg: "placement_tiebreak_neg.rs",
+        allow: ("placement_tiebreak_allow.rs", 2),
     },
     Case {
         rule: "no-wallclock",

@@ -15,6 +15,9 @@
 //! * [`multi_data`] — Algorithm 1 for tasks with several inputs
 //!   (Section IV-C, Figure 6): quota-constrained deferred acceptance with
 //!   strict trade-up;
+//! * [`placement`] — the inverse problem: bounded replica-move proposals
+//!   that migrate data toward demand, scored by exact marginal
+//!   matched-byte gain on the incremental matcher's residual state;
 //! * [`dynamic`] — the guided master/worker scheduler (Section IV-D):
 //!   per-worker lists from a matching, locality-aware stealing from the
 //!   longest list, plus the FIFO baseline;
@@ -46,6 +49,7 @@ pub mod graph;
 pub mod incremental;
 pub mod maxflow;
 pub mod multi_data;
+pub mod placement;
 pub mod single_data;
 pub mod stable_marriage;
 
@@ -57,6 +61,7 @@ pub use graph::BipartiteGraph;
 pub use incremental::IncrementalMatcher;
 pub use maxflow::{FlowAlgo, FlowNetwork};
 pub use multi_data::{assign_multi_data, repair_multi_data, MatchingValues, MultiDataOutcome};
+pub use placement::{propose_moves, PlacementPolicy, ReplicaMove};
 pub use single_data::{
     quotas, weighted_quotas, FillPolicy, Objective, SingleDataMatcher, SingleDataOutcome,
     TwoTierOutcome,

@@ -9,7 +9,9 @@
 //! retry or back off without parsing strings.
 
 use crate::frame::{read_frame, write_frame, FrameError};
-use crate::protocol::{LayoutReply, PlanReply, ProtoError, Request, Response, StatsReply};
+use crate::protocol::{
+    LayoutReply, PlaceReply, PlanReply, ProtoError, Request, Response, StatsReply,
+};
 use opass_core::dfs::LayoutDelta;
 use opass_core::Strategy;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -146,6 +148,35 @@ impl Client {
             Response::Layout(l) => Ok(l),
             Response::ShuttingDown => Err(ClientError::ShuttingDown),
             other => Err(unexpected("layout", &other)),
+        }
+    }
+
+    /// Asks the placement engine for recommended replica migrations for
+    /// `dataset`: at most `rounds` rounds, at most `budget` migrated
+    /// bytes in total (`None` for unbounded). The server recommends —
+    /// nothing is applied; feed each round's delta to the namenode and
+    /// then to [`Client::invalidate_with_delta`].
+    ///
+    /// # Errors
+    ///
+    /// Same surface as [`Client::plan`].
+    pub fn place(
+        &mut self,
+        dataset: usize,
+        rounds: usize,
+        budget: Option<u64>,
+        seed: u64,
+    ) -> Result<PlaceReply, ClientError> {
+        let request = Request::Place {
+            dataset,
+            rounds,
+            budget,
+            seed,
+        };
+        match self.call(&request)? {
+            Response::Place(p) => Ok(p),
+            Response::ShuttingDown => Err(ClientError::ShuttingDown),
+            other => Err(unexpected("place", &other)),
         }
     }
 

@@ -62,8 +62,8 @@ pub use frame::{FrameError, MAX_FRAME};
 pub use metrics::{LatencyHistogram, ServeMetrics};
 pub use pool::{SubmitError, WorkerPool};
 pub use protocol::{
-    LatencyBin, LatencySummary, LayoutEntry, LayoutReply, PlanReply, ProtoError, Request, Response,
-    StatsReply, PROTOCOL_VERSION,
+    LatencyBin, LatencySummary, LayoutEntry, LayoutReply, PlaceReply, PlaceRoundReply, PlanReply,
+    ProtoError, Request, Response, StatsReply, PROTOCOL_VERSION,
 };
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use spec::{ServeSpec, World};

@@ -254,6 +254,23 @@ pub enum Request {
         /// What changed. Requires `dataset`.
         delta: Option<LayoutDelta>,
     },
+    /// Run the closed-loop replica placement engine against a dataset's
+    /// current layout and return the recommended migrations. The server
+    /// computes recommendations only — nothing is applied; the client
+    /// applies each round's delta to the real namenode and then replays
+    /// it here via a delta invalidation, so the serve caches repair in
+    /// place.
+    Place {
+        /// Dataset index.
+        dataset: usize,
+        /// Maximum migration rounds to run.
+        rounds: usize,
+        /// Total migration-byte budget across all rounds (`None` for
+        /// unbounded).
+        budget: Option<u64>,
+        /// Seed for the underlying planning session.
+        seed: u64,
+    },
     /// Ask the server to shut down gracefully (drain in-flight work).
     Shutdown,
 }
@@ -289,6 +306,22 @@ impl Request {
                     fields.push(("delta".to_string(), delta_to_json(delta)));
                 }
                 envelope("invalidate", fields)
+            }
+            Request::Place {
+                dataset,
+                rounds,
+                budget,
+                seed,
+            } => {
+                let mut fields = vec![
+                    ("dataset".to_string(), Json::from(*dataset)),
+                    ("rounds".to_string(), Json::from(*rounds)),
+                    ("seed".to_string(), Json::from(*seed)),
+                ];
+                if let Some(b) = budget {
+                    fields.push(("budget".to_string(), Json::from(*b)));
+                }
+                envelope("place", fields)
             }
             Request::Shutdown => envelope("shutdown", vec![]),
         }
@@ -332,6 +365,20 @@ impl Request {
                     ));
                 }
                 Ok(Request::Invalidate { dataset, delta })
+            }
+            "place" => {
+                let budget = match v.get("budget") {
+                    Some(b) => Some(b.as_u64().ok_or_else(|| {
+                        ProtoError::Malformed("field \"budget\" must be an unsigned integer".into())
+                    })?),
+                    None => None,
+                };
+                Ok(Request::Place {
+                    dataset: usize_field(v, "dataset")?,
+                    rounds: usize_field(v, "rounds")?,
+                    budget,
+                    seed: u64_field(v, "seed")?,
+                })
             }
             "shutdown" => Ok(Request::Shutdown),
             other => Err(ProtoError::Malformed(format!(
@@ -522,6 +569,127 @@ impl LayoutReply {
             generation: u64_field(v, "generation")?,
             cached: bool_field(v, "cached")?,
             entries,
+        })
+    }
+}
+
+/// One recommended migration round, as shipped over the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlaceRoundReply {
+    /// Round number, starting at 1.
+    pub round: usize,
+    /// Replica moves the round recommends.
+    pub moves: usize,
+    /// Bytes the round migrates.
+    pub migrated_bytes: u64,
+    /// Matched-local bytes of the plan before the round.
+    pub local_bytes_before: u64,
+    /// Matched-local bytes after replaying the round's delta.
+    pub local_bytes_after: u64,
+    /// The migration-shaped delta realizing the round — apply it to the
+    /// namenode, then replay it here via a delta invalidation.
+    pub delta: LayoutDelta,
+}
+
+/// The closed-loop placement engine's recommendation for one dataset.
+///
+/// The server computes this from the dataset's current layout without
+/// mutating anything: the deltas are *recommendations*. For a fixed
+/// `(spec, generation, seed, rounds, budget)` the reply is
+/// byte-identical to running
+/// [`opass_core::OpassPlanner::placement_session`] in-process against
+/// the same snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlaceReply {
+    /// Dataset index the recommendation is for.
+    pub dataset: usize,
+    /// Invalidation generation the layout was captured under.
+    pub generation: u64,
+    /// Seed the planning session ran with.
+    pub seed: u64,
+    /// Matched-local bytes of the initial plan (before any migration).
+    pub local_bytes_before: u64,
+    /// Matched-local bytes after every recommended round.
+    pub local_bytes_after: u64,
+    /// Total bytes the recommendation migrates.
+    pub migrated_bytes: u64,
+    /// True when the loop stopped because nothing movable gains anything
+    /// (rather than hitting the round or byte-budget cap).
+    pub converged: bool,
+    /// The executed rounds, in order.
+    pub rounds: Vec<PlaceRoundReply>,
+}
+
+impl PlaceReply {
+    /// Encodes as wire JSON.
+    pub fn to_json(&self) -> Json {
+        envelope(
+            "place",
+            vec![
+                ("dataset".to_string(), Json::from(self.dataset)),
+                ("generation".to_string(), Json::from(self.generation)),
+                ("seed".to_string(), Json::from(self.seed)),
+                (
+                    "local_bytes_before".to_string(),
+                    Json::from(self.local_bytes_before),
+                ),
+                (
+                    "local_bytes_after".to_string(),
+                    Json::from(self.local_bytes_after),
+                ),
+                (
+                    "migrated_bytes".to_string(),
+                    Json::from(self.migrated_bytes),
+                ),
+                ("converged".to_string(), Json::from(self.converged)),
+                (
+                    "rounds".to_string(),
+                    Json::array(self.rounds.iter().map(|r| {
+                        Json::object([
+                            ("round".to_string(), Json::from(r.round)),
+                            ("moves".to_string(), Json::from(r.moves)),
+                            ("migrated_bytes".to_string(), Json::from(r.migrated_bytes)),
+                            (
+                                "local_bytes_before".to_string(),
+                                Json::from(r.local_bytes_before),
+                            ),
+                            (
+                                "local_bytes_after".to_string(),
+                                Json::from(r.local_bytes_after),
+                            ),
+                            ("delta".to_string(), delta_to_json(&r.delta)),
+                        ])
+                    })),
+                ),
+            ],
+        )
+    }
+
+    fn from_json(v: &Json) -> Result<PlaceReply, ProtoError> {
+        let rounds = field(v, "rounds")?
+            .as_array()
+            .ok_or_else(|| ProtoError::Malformed("field \"rounds\" must be an array".into()))?
+            .iter()
+            .map(|r| {
+                Ok(PlaceRoundReply {
+                    round: usize_field(r, "round")?,
+                    moves: usize_field(r, "moves")?,
+                    migrated_bytes: u64_field(r, "migrated_bytes")?,
+                    local_bytes_before: u64_field(r, "local_bytes_before")?,
+                    local_bytes_after: u64_field(r, "local_bytes_after")?,
+                    delta: delta_from_json(field(r, "delta")?)?,
+                })
+            })
+            .collect::<Result<Vec<PlaceRoundReply>, ProtoError>>()?;
+        Ok(PlaceReply {
+            dataset: usize_field(v, "dataset")?,
+            generation: u64_field(v, "generation")?,
+            seed: u64_field(v, "seed")?,
+            local_bytes_before: u64_field(v, "local_bytes_before")?,
+            local_bytes_after: u64_field(v, "local_bytes_after")?,
+            migrated_bytes: u64_field(v, "migrated_bytes")?,
+            converged: bool_field(v, "converged")?,
+            rounds,
         })
     }
 }
@@ -733,6 +901,8 @@ pub enum Response {
     Plan(PlanReply),
     /// A layout snapshot.
     Layout(LayoutReply),
+    /// A replica-placement recommendation.
+    Place(PlaceReply),
     /// Service statistics.
     Stats(StatsReply),
     /// The generation after an invalidation.
@@ -774,6 +944,7 @@ impl Response {
             ),
             Response::Plan(p) => p.to_json(),
             Response::Layout(l) => l.to_json(),
+            Response::Place(p) => p.to_json(),
             Response::Stats(s) => s.to_json(),
             Response::Invalidated { generation } => envelope(
                 "invalidated",
@@ -802,6 +973,7 @@ impl Response {
             }),
             "plan" => Ok(Response::Plan(PlanReply::from_json(v)?)),
             "layout" => Ok(Response::Layout(LayoutReply::from_json(v)?)),
+            "place" => Ok(Response::Place(PlaceReply::from_json(v)?)),
             "stats" => Ok(Response::Stats(StatsReply::from_json(v)?)),
             "invalidated" => Ok(Response::Invalidated {
                 generation: u64_field(v, "generation")?,
@@ -865,6 +1037,18 @@ mod tests {
                     nodes_failed: vec![NodeId(0)],
                     nodes_joined: vec![NodeId(6)],
                 }),
+            },
+            Request::Place {
+                dataset: 4,
+                rounds: 8,
+                budget: Some(1 << 20),
+                seed: 13,
+            },
+            Request::Place {
+                dataset: 0,
+                rounds: 1,
+                budget: None,
+                seed: 0,
             },
             Request::Shutdown,
         ] {
@@ -955,6 +1139,30 @@ mod tests {
                 }],
             }),
             Response::Stats(stats),
+            Response::Place(PlaceReply {
+                dataset: 2,
+                generation: 3,
+                seed: 13,
+                local_bytes_before: 4096,
+                local_bytes_after: 8192,
+                migrated_bytes: 4096,
+                converged: true,
+                rounds: vec![PlaceRoundReply {
+                    round: 1,
+                    moves: 2,
+                    migrated_bytes: 4096,
+                    local_bytes_before: 4096,
+                    local_bytes_after: 8192,
+                    delta: LayoutDelta {
+                        files_added: vec![],
+                        files_removed: vec![],
+                        replicas_added: vec![(ChunkId(1), NodeId(4)), (ChunkId(2), NodeId(5))],
+                        replicas_dropped: vec![(ChunkId(1), NodeId(0)), (ChunkId(2), NodeId(0))],
+                        nodes_failed: vec![],
+                        nodes_joined: vec![],
+                    },
+                }],
+            }),
             Response::Invalidated { generation: 5 },
             Response::Overloaded { queue_depth: 64 },
             Response::ShuttingDown,

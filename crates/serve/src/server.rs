@@ -25,14 +25,18 @@ use crate::frame::{read_frame, write_frame, FrameError};
 use crate::metrics::ServeMetrics;
 use crate::pool::{SubmitError, WorkerPool};
 use crate::protocol::{
-    LayoutEntry, LayoutReply, PlanReply, Request, Response, StatsReply, PROTOCOL_VERSION,
+    LayoutEntry, LayoutReply, PlaceReply, PlaceRoundReply, PlanReply, Request, Response,
+    StatsReply, PROTOCOL_VERSION,
 };
 use crate::spec::{ServeSpec, World};
 use opass_core::dfs::LayoutSnapshot;
 use opass_core::matching::locality_report;
 use opass_core::runtime::baseline::{random_assignment, rank_interval};
 use opass_core::runtime::ProcessPlacement;
-use opass_core::{build_locality_graph_from_layout, OpassPlanner, SingleDataSession, Strategy};
+use opass_core::{
+    build_locality_graph_from_layout, OpassPlanner, PlacementConfig, PlanRequest,
+    SingleDataSession, Strategy,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -164,7 +168,7 @@ impl Shared {
             .take()?;
         let start = Instant::now();
         for delta in &deltas {
-            self.planner.replan_single_data(&mut session, delta);
+            session.replan(delta);
         }
         let plan = session.plan();
         let mut reply = stale.reply.clone();
@@ -236,11 +240,11 @@ impl Shared {
                 }
             }
             _ => {
-                let session = self.planner.start_single_data_session_from_layout(
-                    snapshot.clone(),
-                    &self.placement,
-                    seed,
-                );
+                let session = self
+                    .planner
+                    .session(&PlanRequest::single_from_layout(snapshot, &self.placement).seed(seed))
+                    .into_single()
+                    .expect("single-data requests always yield single-data sessions");
                 let plan = session.plan();
                 CachedPlan {
                     reply: reply(
@@ -275,6 +279,54 @@ impl Shared {
             generation,
             cached: was_cached,
             entries,
+        })
+    }
+
+    /// Runs the closed-loop placement engine against the dataset's
+    /// current layout and returns the recommended migration rounds. Runs
+    /// on a worker thread. Pure recommendation: the served world is not
+    /// mutated — the client applies the deltas to the real namenode and
+    /// replays them here through delta invalidations.
+    fn place(&self, dataset: usize, rounds: usize, budget: Option<u64>, seed: u64) -> Response {
+        let generation = self.world.generation_of(dataset);
+        let (snapshot, _) = self.layout_for(dataset, generation);
+        let config = PlacementConfig {
+            max_rounds: rounds,
+            total_byte_budget: budget.unwrap_or(u64::MAX),
+            ..PlacementConfig::default()
+        };
+        let mut session = self.planner.placement_session(
+            &PlanRequest::single_from_layout(&snapshot, &self.placement).seed(seed),
+            config,
+        );
+        let before = session.local_bytes();
+        let executed = session.run();
+        // `run` stops for one of three reasons; it converged only if
+        // neither cap was the binding constraint.
+        let under_budget = match budget {
+            Some(b) => session.migrated_bytes() < b,
+            None => true,
+        };
+        let converged = session.rounds() < rounds && under_budget;
+        Response::Place(PlaceReply {
+            dataset,
+            generation,
+            seed,
+            local_bytes_before: before,
+            local_bytes_after: session.local_bytes(),
+            migrated_bytes: session.migrated_bytes(),
+            converged,
+            rounds: executed
+                .into_iter()
+                .map(|r| PlaceRoundReply {
+                    round: r.round,
+                    moves: r.moves.len(),
+                    migrated_bytes: r.migrated_bytes,
+                    local_bytes_before: r.local_bytes_before,
+                    local_bytes_after: r.local_bytes_after,
+                    delta: r.delta,
+                })
+                .collect(),
         })
     }
 
@@ -525,6 +577,14 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
             Request::Layout { dataset } => {
                 dispatch(shared, dataset, move |shared| shared.layout(dataset))
             }
+            Request::Place {
+                dataset,
+                rounds,
+                budget,
+                seed,
+            } => dispatch(shared, dataset, move |shared| {
+                shared.place(dataset, rounds, budget, seed)
+            }),
         };
         if write_frame(&mut stream, &response.to_json()).is_err() {
             break;

@@ -3,6 +3,7 @@
 //! produce balanced assignments and beat the baseline on the skewed layout.
 
 use opass_core::planner::OpassPlanner;
+use opass_core::request::PlanRequest;
 use opass_dfs::{
     ChunkId, DatasetSpec, DfsConfig, LayoutDelta, Namenode, NodeId, Placement, ReplicaChoice,
 };
@@ -38,7 +39,10 @@ fn planner_handles_skewed_layout() {
     // Processes on every registered node, including dead/empty ones —
     // the planner must still balance; dead nodes simply have no locality.
     let placement = ProcessPlacement::one_per_node(nn.node_count());
-    let plan = OpassPlanner::default().plan_single_data(&nn, &workload, &placement, 1);
+    let plan = OpassPlanner::default()
+        .plan(&PlanRequest::single(&nn, &workload, &placement).seed(1))
+        .into_single()
+        .expect("single plan");
     assert!(plan.assignment.is_balanced());
     assert_eq!(plan.matched_files + plan.filled_files, workload.len());
     // Skew means no full matching: some files must be filled.
@@ -52,7 +56,10 @@ fn planner_handles_skewed_layout() {
 fn opass_still_beats_baseline_after_churn() {
     let (nn, workload) = skewed_cluster(32);
     let placement = ProcessPlacement::one_per_node(nn.node_count());
-    let plan = OpassPlanner::default().plan_single_data(&nn, &workload, &placement, 2);
+    let plan = OpassPlanner::default()
+        .plan(&PlanRequest::single(&nn, &workload, &placement).seed(2))
+        .into_single()
+        .expect("single plan");
     let config = ExecConfig {
         replica_choice: ReplicaChoice::PreferLocalRandom,
         seed: 3,
@@ -178,7 +185,10 @@ fn replan_tracks_scratch_plans_through_randomized_churn() {
         let placement = ProcessPlacement::one_per_node(10);
         nn.take_events();
         let planner = OpassPlanner::default();
-        let mut session = planner.start_single_data_session(&nn, &w, &placement, 17);
+        let mut session = planner
+            .session(&PlanRequest::single(&nn, &w, &placement).seed(17))
+            .into_single()
+            .expect("single session");
         for step in 0..6 {
             match rng.gen_range(0..3) {
                 0 => {
@@ -196,8 +206,11 @@ fn replan_tracks_scratch_plans_through_randomized_churn() {
                 }
             }
             let delta = LayoutDelta::from_events(&nn.take_events(), |c| scope.contains(&c));
-            let repaired = planner.replan_single_data(&mut session, &delta);
-            let scratch = planner.plan_single_data(&nn, &w, &placement, 17);
+            let repaired = session.replan(&delta).clone();
+            let scratch = planner
+                .plan(&PlanRequest::single(&nn, &w, &placement).seed(17))
+                .into_single()
+                .expect("single plan");
             assert_eq!(
                 repaired.matched_files, scratch.matched_files,
                 "seed {seed} step {step}: matched-file counts diverged"
@@ -242,13 +255,19 @@ fn balancer_improves_opass_locality_after_skewed_ingest() {
     let placement = ProcessPlacement::one_per_node(8);
 
     let (nn_before, w, _) = build();
-    let before = OpassPlanner::default().plan_single_data(&nn_before, &w, &placement, 1);
+    let before = OpassPlanner::default()
+        .plan(&PlanRequest::single(&nn_before, &w, &placement).seed(1))
+        .into_single()
+        .expect("single plan");
 
     let (mut nn_after, w2, mut rng) = build();
     let moved = nn_after.rebalance(1.2, &mut rng);
     assert!(moved > 0, "balancer should move replicas off the writer");
     nn_after.check_invariants().unwrap();
-    let after = OpassPlanner::default().plan_single_data(&nn_after, &w2, &placement, 1);
+    let after = OpassPlanner::default()
+        .plan(&PlanRequest::single(&nn_after, &w2, &placement).seed(1))
+        .into_single()
+        .expect("single plan");
 
     assert!(
         after.matched_files >= before.matched_files,

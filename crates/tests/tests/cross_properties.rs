@@ -4,6 +4,7 @@
 //! exercises the same instances.
 
 use opass_core::planner::OpassPlanner;
+use opass_core::request::PlanRequest;
 use opass_dfs::{DatasetSpec, DfsConfig, Namenode, Placement, ReplicaChoice};
 use opass_matching::Assignment;
 use opass_runtime::{execute, ExecConfig, ProcessPlacement, TaskSource};
@@ -80,7 +81,10 @@ fn planner_locality_never_below_baseline_for_same_layout() {
         let n_chunks = n_nodes * chunks_per;
         let (nn, workload) = build(n_nodes, n_chunks, 3, seed);
         let placement = ProcessPlacement::one_per_node(n_nodes);
-        let plan = OpassPlanner::default().plan_single_data(&nn, &workload, &placement, seed);
+        let plan = OpassPlanner::default()
+            .plan(&PlanRequest::single(&nn, &workload, &placement).seed(seed))
+            .into_single()
+            .expect("single plan");
         assert!(plan.assignment.is_balanced());
 
         // Matched files are an upper bound for what any balanced

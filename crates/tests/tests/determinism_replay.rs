@@ -6,6 +6,7 @@
 
 use opass_core::build_matching_values;
 use opass_core::planner::OpassPlanner;
+use opass_core::request::PlanRequest;
 use opass_dfs::{ChunkId, DatasetSpec, DfsConfig, LayoutDelta, Namenode, Placement, ReplicaChoice};
 use opass_runtime::{execute, ExecConfig, ProcessPlacement, TaskSource};
 use opass_workloads::{Task, Workload};
@@ -156,12 +157,11 @@ fn replan_session_replays_bit_identically() {
         let run = || {
             let (nn0, w0) = cluster(world_seed);
             let planner = OpassPlanner::default();
-            let mut session = planner.start_single_data_session(
-                &nn0,
-                &w0,
-                &ProcessPlacement::one_per_node(8),
-                21,
-            );
+            let placement = ProcessPlacement::one_per_node(8);
+            let mut session = planner
+                .session(&PlanRequest::single(&nn0, &w0, &placement).seed(21))
+                .into_single()
+                .expect("single session");
             deltas
                 .iter()
                 .map(|d| session.replan(d).clone())

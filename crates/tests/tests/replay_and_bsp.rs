@@ -2,6 +2,7 @@
 //! bulk-synchronous execution mode against the free-running executor.
 
 use opass_core::planner::OpassPlanner;
+use opass_core::request::PlanRequest;
 use opass_dfs::{DfsConfig, Namenode, Placement};
 use opass_runtime::{
     baseline, execute, execute_bulk_synchronous, ExecConfig, ProcessPlacement, TaskSource,
@@ -31,7 +32,10 @@ fn replayed_trace_flows_through_planner_and_executor() {
     assert_eq!(workload.len(), 32);
 
     let placement = ProcessPlacement::one_per_node(8);
-    let plan = OpassPlanner::default().plan_single_data(&nn, &workload, &placement, 2);
+    let plan = OpassPlanner::default()
+        .plan(&PlanRequest::single(&nn, &workload, &placement).seed(2))
+        .into_single()
+        .expect("single plan");
     assert!(plan.assignment.is_balanced());
 
     let run = execute(

@@ -7,7 +7,7 @@
 //! structural rather than a preemption-timing accident.
 
 use opass_core::dfs::{ChunkId, LayoutDelta, NodeId};
-use opass_core::OpassPlanner;
+use opass_core::{OpassPlanner, PlanRequest};
 use opass_serve::frame::{read_frame, write_frame};
 use opass_serve::{
     serve, Client, ClientError, Response, ServeSpec, ServerConfig, Strategy, World, MAX_FRAME,
@@ -62,8 +62,10 @@ fn remote_plan_is_byte_identical_to_in_process_planner() {
             let world = World::new(spec);
             let snapshot = world.capture_layout(dataset).expect("dataset exists");
             let placement = spec.placement();
-            let local =
-                OpassPlanner::default().plan_single_data_layout(&snapshot, &placement, seed);
+            let local = OpassPlanner::default()
+                .plan(&PlanRequest::single_from_layout(&snapshot, &placement).seed(seed))
+                .into_single()
+                .expect("single plan");
 
             assert_eq!(
                 remote.owners,
@@ -172,7 +174,10 @@ fn delta_invalidation_repairs_in_place_and_spares_other_datasets() {
         .expect("local delta applies");
     let snapshot = world.capture_layout(0).expect("dataset exists");
     let placement = spec.placement();
-    let scratch = OpassPlanner::default().plan_single_data_layout(&snapshot, &placement, 9);
+    let scratch = OpassPlanner::default()
+        .plan(&PlanRequest::single_from_layout(&snapshot, &placement).seed(9))
+        .into_single()
+        .expect("single plan");
     assert_eq!(repaired.matched_files, scratch.matched_files);
     assert_eq!(repaired.filled_files, scratch.filled_files);
     assert_eq!(

@@ -16,6 +16,7 @@
 #![allow(clippy::print_stdout, clippy::print_stderr)]
 
 use opass_core::planner::OpassPlanner;
+use opass_core::request::PlanRequest;
 use opass_dfs::datanode::{checksum_of, chunk_payload};
 use opass_dfs::{DfsConfig, Namenode, Placement, ReplicaChoice};
 use opass_runtime::baseline;
@@ -42,7 +43,10 @@ fn main() {
     );
 
     let placement = ProcessPlacement::one_per_node(n_nodes);
-    let plan = OpassPlanner::default().plan_multi_data(&namenode, &workload, &placement);
+    let plan = OpassPlanner::default()
+        .plan(&PlanRequest::multi(&namenode, &workload, &placement))
+        .into_multi()
+        .expect("multi plan");
     println!(
         "Algorithm 1: {} of {} MB co-located ({:.0}%), {} trade-up reassignments",
         plan.matched_bytes >> 20,

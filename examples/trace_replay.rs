@@ -14,6 +14,7 @@
 #![allow(clippy::print_stdout, clippy::print_stderr)]
 
 use opass_core::planner::OpassPlanner;
+use opass_core::request::PlanRequest;
 use opass_dfs::{DfsConfig, Namenode, Placement};
 use opass_matching::Objective;
 use opass_runtime::{baseline, execute, ExecConfig, ProcessPlacement, TaskSource};
@@ -61,7 +62,9 @@ fn main() {
         (
             "opass (count)",
             OpassPlanner::default()
-                .plan_single_data(&namenode, &workload, &placement, 5)
+                .plan(&PlanRequest::single(&namenode, &workload, &placement).seed(5))
+                .into_single()
+                .expect("single plan")
                 .assignment,
         ),
         (
@@ -70,7 +73,9 @@ fn main() {
                 objective: Objective::MatchedBytes,
                 ..Default::default()
             }
-            .plan_single_data(&namenode, &workload, &placement, 5)
+            .plan(&PlanRequest::single(&namenode, &workload, &placement).seed(5))
+            .into_single()
+            .expect("single plan")
             .assignment,
         ),
     ];

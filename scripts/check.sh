@@ -23,6 +23,13 @@
 #                            than from-scratch at 1% churn) and fails if
 #                            steps/sec regressed >50% vs the committed
 #                            BENCH_replan.json baseline
+#   check.sh --place-smoke   placement-loop smoke: runs the bench_place
+#                            smoke scenario in release (which itself
+#                            asserts the closed loop buys a >=1.5x p99
+#                            I/O improvement on a hot-spotted layout and
+#                            that every round's delta replays cleanly)
+#                            and fails if the p99 speedup regressed >10%
+#                            vs the committed BENCH_place.json baseline
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -86,10 +93,29 @@ if [[ "${1:-}" == "--replan-smoke" ]]; then
     exit 0
 fi
 
+if [[ "${1:-}" == "--place-smoke" ]]; then
+    if [[ ! -f BENCH_place.json ]]; then
+        echo "error: BENCH_place.json baseline missing; run" >&2
+        echo "  cargo run --release -p opass-bench --bin bench_place --offline" >&2
+        exit 1
+    fi
+    run cargo build --release -p opass-bench --bin bench_place --offline
+    # Tight margin: the gated metric is the simulated-I/O p99 speedup,
+    # which is deterministic for fixed seeds — any drift is a real
+    # behavior change in the placement loop, not host-load noise.
+    run ./target/release/bench_place --smoke --out - \
+        --check-against BENCH_place.json --max-regression 0.10
+    echo "Place smoke passed."
+    exit 0
+fi
+
 run cargo fmt --all -- --check
 lint
 run cargo clippy --workspace --all-targets --offline -- -D warnings
 run cargo build --workspace --release --offline
+# The deprecated plan_* / start_*_session wrappers must have zero
+# in-workspace users — new code goes through PlanRequest (DESIGN.md §12).
+RUSTFLAGS="-D deprecated" run cargo build --workspace --all-targets --offline
 run cargo test --workspace --quiet --offline
 
 echo "All checks passed."
