@@ -85,7 +85,8 @@ fn stage_churn(inc: &mut IncrementalMatcher, touched: usize, rng: &mut StdRng) {
     let n = inc.graph().n_files();
     for _ in 0..touched {
         let f = rng.gen_range(0..n);
-        if let Some(&(p, _)) = inc.graph().procs_of(f).first() {
+        let first = inc.graph().procs_of(f).next();
+        if let Some((p, _)) = first {
             inc.stage_remove_edge(p, f);
         }
         for _ in 0..8 {

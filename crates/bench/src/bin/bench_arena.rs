@@ -1,0 +1,352 @@
+//! `bench_arena` — sequential vs component-parallel repair on the arena
+//! solver core.
+//!
+//! Builds an island-partitioned layout (replicas never cross island
+//! boundaries, so the locality graph decomposes into many connected
+//! components — the shape the component-parallel repair engine exploits),
+//! then drives the same churn stream through two sessions:
+//!
+//! 1. **seq** — `PlanRequest::...threads(1)`, the single-threaded
+//!    reference kernel;
+//! 2. **par** — `threads(8)`, per-component repair on scoped threads
+//!    with the deterministic spawn-order merge.
+//!
+//! Every step asserts the two arms' plans are **bit-identical** — owner
+//! vectors, matched/filled counts, locality — which is the contract the
+//! parallel path is held to (not merely an equally-good matching). The
+//! speedup is reported, never asserted: it scales with the machine's
+//! cores (the report records `host_threads`; on a single-core host the
+//! parallel arm shows pure partitioning overhead), while bit-identity
+//! must hold everywhere.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_arena [--out PATH] [--smoke] [--check-against PATH] [--max-regression F]
+//! ```
+
+// Printing is this binary's user interface.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
+use opass_core::dfs::{
+    ChunkId, DatasetSpec, DfsConfig, LayoutDelta, LayoutSnapshot, Namenode, NodeId,
+};
+use opass_core::{OpassPlanner, PlanRequest, SingleDataSession};
+use opass_json::Json;
+use opass_runtime::ProcessPlacement;
+use std::time::Instant;
+
+/// Threads for the parallel arm.
+const PAR_THREADS: usize = 8;
+
+struct Scenario {
+    name: &'static str,
+    islands: usize,
+    nodes_per_island: usize,
+    chunks: usize,
+    /// Fraction of chunks churned per delta.
+    churn_fraction: f64,
+    steps: usize,
+    smoke: bool,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "islands_100k",
+            islands: 64,
+            nodes_per_island: 16,
+            chunks: 100_000,
+            churn_fraction: 0.01,
+            steps: 16,
+            smoke: true,
+        },
+        Scenario {
+            name: "islands_1m",
+            islands: 128,
+            nodes_per_island: 8,
+            chunks: 1_000_000,
+            churn_fraction: 0.0001,
+            steps: 4,
+            smoke: false,
+        },
+    ]
+}
+
+fn next(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 16
+}
+
+/// An island-partitioned world: chunk `i` lives on three distinct nodes
+/// of island `i % islands`, so the locality graph is a disjoint union of
+/// `islands` components.
+fn island_world(s: &Scenario, state: &mut u64) -> (Namenode, Vec<ChunkId>) {
+    let n_nodes = s.islands * s.nodes_per_island;
+    let mut nn = Namenode::new(n_nodes, DfsConfig { replication: 3 });
+    let locations: Vec<Vec<NodeId>> = (0..s.chunks)
+        .map(|i| {
+            let base = (i % s.islands) * s.nodes_per_island;
+            let mut picked: Vec<NodeId> = Vec::with_capacity(3);
+            while picked.len() < 3 {
+                let n = NodeId((base + (next(state) as usize % s.nodes_per_island)) as u32);
+                if !picked.contains(&n) {
+                    picked.push(n);
+                }
+            }
+            picked
+        })
+        .collect();
+    let spec = DatasetSpec::uniform("islands", s.chunks, 64 << 20);
+    let ds = nn.create_dataset_placed(&spec, locations);
+    let chunks = nn.dataset(ds).expect("dataset just created").chunks.clone();
+    (nn, chunks)
+}
+
+/// One replica-churn delta that keeps every replica inside its island:
+/// for `churn_fraction` of the chunks, drop the first replica and add
+/// one on a fresh node of the same island.
+fn churn_delta(snapshot: &LayoutSnapshot, s: &Scenario, state: &mut u64) -> LayoutDelta {
+    let n = snapshot.entries().len();
+    let touched = ((n as f64 * s.churn_fraction) as usize).max(1);
+    let mut delta = LayoutDelta::default();
+    let mut picked = std::collections::BTreeSet::new();
+    while picked.len() < touched {
+        picked.insert((next(state) as usize) % n);
+    }
+    for ci in picked {
+        let entry = &snapshot.entries()[ci];
+        let base = (ci % s.islands) * s.nodes_per_island;
+        if entry.locations.len() > 1 {
+            delta
+                .replicas_dropped
+                .push((entry.chunk, entry.locations[0]));
+        }
+        for _ in 0..8 {
+            let node = NodeId((base + (next(state) as usize % s.nodes_per_island)) as u32);
+            if !entry.locations.contains(&node) {
+                delta.replicas_added.push((entry.chunk, node));
+                break;
+            }
+        }
+    }
+    delta.normalize();
+    delta
+}
+
+struct Arm {
+    seconds: f64,
+    steps_per_sec: f64,
+    per_step_us: f64,
+}
+
+fn arm_json(a: &Arm) -> Json {
+    Json::object([
+        ("seconds".to_string(), Json::from(a.seconds)),
+        ("steps_per_sec".to_string(), Json::from(a.steps_per_sec)),
+        ("per_step_us".to_string(), Json::from(a.per_step_us)),
+    ])
+}
+
+/// Replays `deltas` through `session`, returning elapsed seconds and the
+/// per-step owner vectors for the bit-identity check.
+fn replay(session: &mut SingleDataSession, deltas: &[LayoutDelta]) -> (f64, Vec<Vec<usize>>) {
+    let mut owners = Vec::with_capacity(deltas.len());
+    let t0 = Instant::now();
+    for delta in deltas {
+        let plan = session.replan(delta);
+        owners.push(plan.assignment.owners().to_vec());
+    }
+    (t0.elapsed().as_secs_f64(), owners)
+}
+
+fn run_scenario(s: &Scenario, seed: u64) -> (Arm, Arm, f64) {
+    let mut state = seed | 1;
+    let (nn, chunks) = island_world(s, &mut state);
+    let snapshot = LayoutSnapshot::capture(&nn, &chunks);
+    let placement = ProcessPlacement::one_per_node(s.islands * s.nodes_per_island);
+    let planner = OpassPlanner::default();
+
+    // Pre-generate the stream against a shadow copy so neither arm pays
+    // for delta construction.
+    let mut shadow = snapshot.clone();
+    let mut deltas = Vec::with_capacity(s.steps);
+    for _ in 0..s.steps {
+        let delta = churn_delta(&shadow, s, &mut state);
+        shadow.apply_delta(&delta);
+        deltas.push(delta);
+    }
+
+    let start = |threads: usize| -> SingleDataSession {
+        planner
+            .session(
+                &PlanRequest::single_from_layout(&snapshot, &placement)
+                    .seed(seed)
+                    .threads(threads),
+            )
+            .into_single()
+            .expect("single session")
+    };
+
+    let mut seq_session = start(1);
+    let mut par_session = start(PAR_THREADS);
+    assert_eq!(
+        seq_session.plan().assignment.owners(),
+        par_session.plan().assignment.owners(),
+        "{}: initial plans must agree before any churn",
+        s.name
+    );
+
+    let (seq_secs, seq_owners) = replay(&mut seq_session, &deltas);
+    let (par_secs, par_owners) = replay(&mut par_session, &deltas);
+
+    // The contract: not merely equivalent matchings — identical plans.
+    for (step, (a, b)) in seq_owners.iter().zip(&par_owners).enumerate() {
+        assert_eq!(
+            a, b,
+            "{} step {step}: parallel repair must be bit-identical to sequential",
+            s.name
+        );
+    }
+    assert_eq!(
+        seq_session.plan().locality,
+        par_session.plan().locality,
+        "{}: final locality must agree",
+        s.name
+    );
+
+    let arm = |secs: f64| Arm {
+        seconds: secs,
+        steps_per_sec: s.steps as f64 / secs.max(1e-9),
+        per_step_us: secs * 1e6 / s.steps as f64,
+    };
+    let speedup = seq_secs / par_secs.max(1e-9);
+    (arm(seq_secs), arm(par_secs), speedup)
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_arena.json");
+    let mut smoke = false;
+    let mut check_against: Option<String> = None;
+    let mut max_regression = 0.50f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--smoke" => smoke = true,
+            "--check-against" => {
+                check_against = Some(args.next().expect("--check-against needs a path"))
+            }
+            "--max-regression" => {
+                max_regression = args
+                    .next()
+                    .expect("--max-regression needs a value")
+                    .parse()
+                    .expect("--max-regression must be a float")
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut scenario_reports = Vec::new();
+    let mut measured: Vec<(String, f64)> = Vec::new();
+
+    for s in &scenarios() {
+        if smoke && !s.smoke {
+            continue;
+        }
+        let (seq, par, speedup) = run_scenario(s, 0xA12E7A);
+        eprintln!(
+            "{:>12}: seq {:.0} us/step, par({PAR_THREADS}) {:.0} us/step ({speedup:.2}x), \
+             {} islands x {} nodes, {} chunks, {:.2}% churn — plans bit-identical",
+            s.name,
+            seq.per_step_us,
+            par.per_step_us,
+            s.islands,
+            s.nodes_per_island,
+            s.chunks,
+            s.churn_fraction * 100.0
+        );
+        // Only the sequential arm is regression-gated: the parallel arm's
+        // wall time depends on core count and host load, while its
+        // correctness is enforced in-run by the bit-identity assertions.
+        measured.push((format!("{}_seq", s.name), seq.steps_per_sec));
+        scenario_reports.push(Json::object([
+            ("name".to_string(), Json::from(s.name)),
+            ("islands".to_string(), Json::from(s.islands)),
+            (
+                "nodes_per_island".to_string(),
+                Json::from(s.nodes_per_island),
+            ),
+            ("chunks".to_string(), Json::from(s.chunks)),
+            ("churn_fraction".to_string(), Json::from(s.churn_fraction)),
+            ("steps".to_string(), Json::from(s.steps)),
+            ("par_threads".to_string(), Json::from(PAR_THREADS)),
+            ("seq".to_string(), arm_json(&seq)),
+            ("par".to_string(), arm_json(&par)),
+            ("speedup".to_string(), Json::from(speedup)),
+        ]));
+    }
+
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let report = Json::object([
+        ("benchmark".to_string(), Json::from("arena")),
+        ("host_threads".to_string(), Json::from(host_threads)),
+        ("scenarios".to_string(), Json::array(scenario_reports)),
+    ]);
+
+    if out_path != "-" {
+        std::fs::write(&out_path, report.to_pretty()).expect("write report");
+        eprintln!("wrote {out_path}");
+    }
+
+    if let Some(baseline_path) = check_against {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        let baseline = Json::parse(&text).expect("baseline must be valid JSON");
+        let baseline_rate = |name: &str| -> Option<f64> {
+            let (scenario, phase) = name.rsplit_once('_')?;
+            baseline
+                .get("scenarios")?
+                .as_array()?
+                .iter()
+                .find(|s| s.get("name").and_then(Json::as_str) == Some(scenario))?
+                .get(phase)?
+                .get("steps_per_sec")?
+                .as_f64()
+        };
+        let mut failed = false;
+        for (name, rate) in &measured {
+            match baseline_rate(name) {
+                Some(base) if base > 0.0 => {
+                    let ratio = rate / base;
+                    let verdict = if ratio < 1.0 - max_regression {
+                        failed = true;
+                        "REGRESSED"
+                    } else {
+                        "ok"
+                    };
+                    eprintln!(
+                        "{name}: {rate:.1} steps/s vs baseline {base:.1} ({:.0}%) {verdict}",
+                        ratio * 100.0
+                    );
+                }
+                _ => eprintln!("{name}: no baseline entry, skipping"),
+            }
+        }
+        if failed {
+            eprintln!(
+                "FAIL: steps/sec regressed more than {:.0}% vs {baseline_path}",
+                max_regression * 100.0
+            );
+            std::process::exit(1);
+        }
+    }
+}

@@ -65,11 +65,28 @@ pub fn build_locality_graph_from_layout(
     snapshot: &LayoutSnapshot,
     placement: &ProcessPlacement,
 ) -> BipartiteGraph {
-    let mut graph = BipartiteGraph::new(placement.n_procs(), snapshot.len());
+    // Procs per node, indexed by raw node id for O(1) lookups (nodes
+    // hosting no process simply have no slot or an empty one).
+    let mut procs_on: Vec<Vec<usize>> = Vec::new();
     for proc in 0..placement.n_procs() {
-        let node = placement.node_of(proc);
-        for (task_idx, size) in snapshot.colocated_with(node) {
-            graph.add_edge(proc, task_idx, size);
+        let i = placement.node_of(proc).index();
+        if i >= procs_on.len() {
+            procs_on.resize_with(i + 1, Vec::new);
+        }
+        procs_on[i].push(proc);
+    }
+    let mut graph = BipartiteGraph::new(placement.n_procs(), snapshot.len());
+    // One pass over entries × replica locations — O(edges) — instead of
+    // a per-proc `colocated_with` scan, which is O(procs × entries).
+    // The graph stores sorted adjacency spans, so the build order cannot
+    // leak into the result.
+    for (task_idx, entry) in snapshot.entries().iter().enumerate() {
+        for node in &entry.locations {
+            if let Some(procs) = procs_on.get(node.index()) {
+                for &p in procs {
+                    graph.add_edge(p, task_idx, entry.size);
+                }
+            }
         }
     }
     graph
@@ -187,12 +204,12 @@ mod tests {
         assert_eq!(g.n_files(), 12);
         for p in 0..6 {
             for (t, size) in g.files_of(p) {
-                assert_eq!(*size, 64);
-                assert!(nn.chunk(chunks[*t]).unwrap().is_on(NodeId(p as u32)));
+                assert_eq!(size, 64);
+                assert!(nn.chunk(chunks[t]).unwrap().is_on(NodeId(p as u32)));
             }
         }
         // Every chunk has r=3 co-located procs (one proc per node).
-        let total_edges: usize = (0..12).map(|f| g.procs_of(f).len()).sum();
+        let total_edges: usize = (0..12).map(|f| g.procs_of(f).count()).sum();
         assert_eq!(total_edges, 12 * 3);
     }
 
@@ -229,7 +246,10 @@ mod tests {
         let g = build_locality_graph(&nn, &w, &placement);
         // Ranks r and r+3 sit on the same node and must have equal edges.
         for r in 0..3 {
-            assert_eq!(g.files_of(r), g.files_of(r + 3));
+            assert_eq!(
+                g.files_of(r).collect::<Vec<_>>(),
+                g.files_of(r + 3).collect::<Vec<_>>()
+            );
         }
     }
 
@@ -242,7 +262,7 @@ mod tests {
         let node_g = build_locality_graph(&nn, &w, &placement);
         let rack_g = build_rack_graph(&nn, &w, &placement, &racks);
         for p in 0..8 {
-            for &(f, _) in node_g.files_of(p) {
+            for (f, _) in node_g.files_of(p) {
                 assert!(
                     rack_g.weight(p, f).is_some(),
                     "node edge ({p},{f}) missing from rack graph"

@@ -13,15 +13,10 @@
 //!   locality-aware stealing (Section IV-D).
 //!
 //! The pre-redesign per-mode methods (`plan_single_data` and friends)
-//! survive as deprecated one-line wrappers over [`OpassPlanner::plan`].
+//! are gone; [`OpassPlanner::plan`] and [`OpassPlanner::session`] are
+//! the only entry points.
 
-use crate::request::PlanRequest;
-use opass_dfs::{LayoutSnapshot, Namenode, RackMap};
-use opass_matching::{
-    Assignment, FillPolicy, FlowAlgo, GuidedScheduler, LocalityReport, Objective, TwoTierOutcome,
-};
-use opass_runtime::ProcessPlacement;
-use opass_workloads::Workload;
+use opass_matching::{Assignment, FillPolicy, FlowAlgo, LocalityReport, Objective};
 
 /// Planner configuration.
 #[derive(Debug, Clone, Copy, Default)]
@@ -71,193 +66,15 @@ impl MultiDataPlan {
     }
 }
 
-impl OpassPlanner {
-    /// Plans a single-input workload with the flow-network matcher.
-    ///
-    /// `seed` drives only the random fill of unmatched files.
-    #[deprecated(note = "use `OpassPlanner::plan(&PlanRequest::single(...).seed(...))`")]
-    pub fn plan_single_data(
-        &self,
-        namenode: &Namenode,
-        workload: &Workload,
-        placement: &ProcessPlacement,
-        seed: u64,
-    ) -> SingleDataPlan {
-        self.plan(&PlanRequest::single(namenode, workload, placement).seed(seed))
-            .into_single()
-            .expect("single request yields a single plan")
-    }
-
-    /// Plans a single-input workload from an already-captured layout
-    /// snapshot (entry `i` = task `i`), without touching the namenode.
-    #[deprecated(
-        note = "use `OpassPlanner::plan(&PlanRequest::single_from_layout(...).seed(...))`"
-    )]
-    pub fn plan_single_data_layout(
-        &self,
-        snapshot: &LayoutSnapshot,
-        placement: &ProcessPlacement,
-        seed: u64,
-    ) -> SingleDataPlan {
-        self.plan(&PlanRequest::single_from_layout(snapshot, placement).seed(seed))
-            .into_single()
-            .expect("single request yields a single plan")
-    }
-
-    /// Plans a single-input workload on a racked cluster with two-tier
-    /// matching: node-local first, rack-local for the remainder, random
-    /// fill last (this repository's rack-locality extension).
-    #[deprecated(
-        note = "use `OpassPlanner::plan(&PlanRequest::single(...).rack_aware(...).seed(...))`"
-    )]
-    pub fn plan_single_data_rack_aware(
-        &self,
-        namenode: &Namenode,
-        workload: &Workload,
-        placement: &ProcessPlacement,
-        racks: &RackMap,
-        seed: u64,
-    ) -> TwoTierOutcome {
-        self.plan(
-            &PlanRequest::single(namenode, workload, placement)
-                .rack_aware(racks)
-                .seed(seed),
-        )
-        .into_two_tier()
-        .expect("rack-aware request yields a two-tier outcome")
-    }
-
-    /// Plans a single-input workload on a *heterogeneous* cluster: quotas
-    /// proportional to each process's `speed` (e.g. relative disk
-    /// bandwidth), so fast nodes take proportionally more tasks while
-    /// locality is still maximized by max-flow.
-    ///
-    /// # Panics
-    ///
-    /// Panics unless `speeds` has one entry per process.
-    #[deprecated(
-        note = "use `OpassPlanner::plan(&PlanRequest::single(...).weighted(...).seed(...))`"
-    )]
-    pub fn plan_single_data_weighted(
-        &self,
-        namenode: &Namenode,
-        workload: &Workload,
-        placement: &ProcessPlacement,
-        speeds: &[f64],
-        seed: u64,
-    ) -> SingleDataPlan {
-        self.plan(
-            &PlanRequest::single(namenode, workload, placement)
-                .weighted(speeds)
-                .seed(seed),
-        )
-        .into_single()
-        .expect("weighted request yields a single plan")
-    }
-
-    /// Plans a multi-input workload with Algorithm 1.
-    #[deprecated(note = "use `OpassPlanner::plan(&PlanRequest::multi(...))`")]
-    pub fn plan_multi_data(
-        &self,
-        namenode: &Namenode,
-        workload: &Workload,
-        placement: &ProcessPlacement,
-    ) -> MultiDataPlan {
-        self.plan(&PlanRequest::multi(namenode, workload, placement))
-            .into_multi()
-            .expect("multi request yields a multi plan")
-    }
-
-    /// Starts a long-lived single-data planning session that can be
-    /// advanced by [`opass_dfs::LayoutDelta`]s via
-    /// [`crate::SingleDataSession::replan`] without re-walking the
-    /// namenode or re-solving from scratch.
-    #[deprecated(note = "use `OpassPlanner::session(&PlanRequest::single(...).seed(...))`")]
-    pub fn start_single_data_session(
-        &self,
-        namenode: &Namenode,
-        workload: &Workload,
-        placement: &ProcessPlacement,
-        seed: u64,
-    ) -> crate::replan::SingleDataSession {
-        self.session(&PlanRequest::single(namenode, workload, placement).seed(seed))
-            .into_single()
-            .expect("single request yields a single-data session")
-    }
-
-    /// Like the namenode-sourced session but from an already-captured
-    /// layout snapshot (entry `i` = task `i`).
-    #[deprecated(
-        note = "use `OpassPlanner::session(&PlanRequest::single_from_layout(...).seed(...))`"
-    )]
-    pub fn start_single_data_session_from_layout(
-        &self,
-        snapshot: LayoutSnapshot,
-        placement: &ProcessPlacement,
-        seed: u64,
-    ) -> crate::replan::SingleDataSession {
-        crate::replan::SingleDataSession::start(self, snapshot, placement, seed)
-    }
-
-    /// Advances a session by a layout delta, repairing the previous plan
-    /// in place.
-    #[deprecated(note = "use `SingleDataSession::replan` (or `Session::replan`) directly")]
-    pub fn replan_single_data(
-        &self,
-        session: &mut crate::replan::SingleDataSession,
-        delta: &opass_dfs::LayoutDelta,
-    ) -> SingleDataPlan {
-        session.replan(delta).clone()
-    }
-
-    /// Starts a long-lived multi-data planning session; replica-level
-    /// churn is absorbed by re-auctioning only the affected tasks.
-    #[deprecated(note = "use `OpassPlanner::session(&PlanRequest::multi(...))`")]
-    pub fn start_multi_data_session(
-        &self,
-        namenode: &Namenode,
-        workload: &Workload,
-        placement: &ProcessPlacement,
-    ) -> crate::replan::MultiDataSession {
-        self.session(&PlanRequest::multi(namenode, workload, placement))
-            .into_multi()
-            .expect("multi request yields a multi-data session")
-    }
-
-    /// Advances a multi-data session by a layout delta.
-    #[deprecated(note = "use `MultiDataSession::replan` (or `Session::replan`) directly")]
-    pub fn replan_multi_data(
-        &self,
-        session: &mut crate::replan::MultiDataSession,
-        delta: &opass_dfs::LayoutDelta,
-    ) -> MultiDataPlan {
-        session.replan(delta).clone()
-    }
-
-    /// Plans a dynamic run: computes a matching up front (single-data when
-    /// every task has one input, Algorithm 1 otherwise) and wraps it in the
-    /// guided scheduler.
-    #[deprecated(note = "use `OpassPlanner::plan(&PlanRequest::dynamic(...).seed(...))`")]
-    pub fn plan_dynamic(
-        &self,
-        namenode: &Namenode,
-        workload: &Workload,
-        placement: &ProcessPlacement,
-        seed: u64,
-    ) -> GuidedScheduler {
-        self.plan(&PlanRequest::dynamic(namenode, workload, placement).seed(seed))
-            .into_dynamic()
-            .expect("dynamic request yields a guided scheduler")
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::builder::capture_workload_layout;
-    use opass_dfs::{DatasetSpec, DfsConfig, Placement};
+    use crate::request::PlanRequest;
+    use opass_dfs::{DatasetSpec, DfsConfig, Namenode, Placement};
     use opass_matching::{locality_report, DynamicScheduler};
-    use opass_workloads::Task;
+    use opass_runtime::ProcessPlacement;
+    use opass_workloads::{Task, Workload};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

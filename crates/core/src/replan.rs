@@ -30,10 +30,10 @@
 
 use crate::builder::build_locality_graph_from_layout;
 use crate::planner::{MultiDataPlan, OpassPlanner, SingleDataPlan};
-use opass_dfs::{ChunkId, LayoutDelta, LayoutSnapshot, NodeId};
+use opass_dfs::{ChunkId, ChunkIndex, LayoutDelta, LayoutSnapshot, NodeId};
 use opass_matching::{
     assign_multi_data, locality_report, quotas, repair_multi_data, Assignment, FillPolicy,
-    IncrementalMatcher, MatchingValues, SingleDataMatcher,
+    IncrementalMatcher, LocalityReport, MatchingValues, SingleDataMatcher, NONE,
 };
 use opass_runtime::ProcessPlacement;
 use rand::rngs::StdRng;
@@ -63,11 +63,17 @@ fn procs_per_node(placement: &ProcessPlacement) -> BTreeMap<NodeId, Vec<usize>> 
 #[derive(Debug, Clone)]
 pub struct SingleDataSession {
     snapshot: LayoutSnapshot,
+    /// Chunk-id → snapshot-index map, advanced alongside `snapshot` so
+    /// replans pay O(|delta| log n) instead of an O(n log n) rebuild.
+    index: ChunkIndex,
     matcher: IncrementalMatcher,
     /// Processes per node, fixed for the session's lifetime.
     procs_on: BTreeMap<NodeId, Vec<usize>>,
     fill: FillPolicy,
     seed: u64,
+    /// Worker threads for component-parallel batch repair (1 = the
+    /// sequential reference path; the parallel path is bit-identical).
+    threads: usize,
     replans: u64,
     plan: SingleDataPlan,
 }
@@ -78,12 +84,13 @@ impl SingleDataSession {
         snapshot: LayoutSnapshot,
         placement: &ProcessPlacement,
         seed: u64,
+        threads: usize,
     ) -> Self {
         let graph = build_locality_graph_from_layout(&snapshot, placement);
         // Solve the initial matching with the same flow matcher the
         // scratch planner uses and adopt it, so the session's first plan
-        // is bit-identical to `plan_single_data_layout` — not merely an
-        // equally-good maximum matching.
+        // is bit-identical to the scratch single-data plan — not merely
+        // an equally-good maximum matching.
         let scratch = SingleDataMatcher {
             algo: planner.algo,
             fill: planner.fill,
@@ -93,12 +100,15 @@ impl SingleDataSession {
         let matcher = IncrementalMatcher::from_matching(graph, planner.objective, owners);
         let procs_on = procs_per_node(placement);
         let plan = render_single_data_plan(&matcher, &snapshot, planner.fill, seed, 0);
+        let index = ChunkIndex::build(&snapshot);
         SingleDataSession {
             snapshot,
+            index,
             matcher,
             procs_on,
             fill: planner.fill,
             seed,
+            threads: threads.max(1),
             replans: 0,
             plan,
         }
@@ -119,6 +129,18 @@ impl SingleDataSession {
         self.replans
     }
 
+    /// Worker threads used for batch repair.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Sets the batch-repair thread count for subsequent replans (clamped
+    /// to at least 1). Parallel repair is bit-identical to sequential, so
+    /// this never changes what a session plans — only how fast.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
     /// The residual matching state (read-only) — the placement engine
     /// simulates candidate replica moves against it.
     pub(crate) fn matcher(&self) -> &IncrementalMatcher {
@@ -132,7 +154,7 @@ impl SingleDataSession {
         let mut delta = delta.clone();
         delta.normalize();
         self.apply_graph_ops(&delta);
-        self.snapshot.apply_delta(&delta);
+        self.snapshot.apply_delta_indexed(&delta, &mut self.index);
         debug_assert_eq!(self.snapshot.len(), self.matcher.graph().n_files());
         self.replans += 1;
         self.plan = render_single_data_plan(
@@ -151,13 +173,8 @@ impl SingleDataSession {
     /// order (drops, adds, removals by descending index, additions in
     /// delta order) makes the fold deterministic.
     fn apply_graph_ops(&mut self, delta: &LayoutDelta) {
-        let index: BTreeMap<ChunkId, usize> = self
-            .snapshot
-            .entries()
-            .iter()
-            .enumerate()
-            .map(|(i, e)| (e.chunk, i))
-            .collect();
+        // `self.index` still describes the pre-delta snapshot here — the
+        // snapshot (and index) advance after the graph ops, in `replan`.
 
         // 1. Edge drops: replicas lost to node failures (computed against
         //    the pre-delta snapshot) plus explicit drops, deduplicated.
@@ -172,7 +189,7 @@ impl SingleDataSession {
             }
         }
         for &(chunk, node) in &delta.replicas_dropped {
-            if let (Some(&task), Some(procs)) = (index.get(&chunk), self.procs_on.get(&node)) {
+            if let (Some(task), Some(procs)) = (self.index.get(chunk), self.procs_on.get(&node)) {
                 for &p in procs {
                     drops.insert((p, task));
                 }
@@ -185,7 +202,7 @@ impl SingleDataSession {
 
         // 2. Edge adds from new replica placements.
         for &(chunk, node) in &delta.replicas_added {
-            if let (Some(&task), Some(procs)) = (index.get(&chunk), self.procs_on.get(&node)) {
+            if let (Some(task), Some(procs)) = (self.index.get(chunk), self.procs_on.get(&node)) {
                 let size = self.snapshot.entries()[task].size;
                 for &p in procs {
                     self.matcher.stage_add_edge(p, task, size);
@@ -195,9 +212,11 @@ impl SingleDataSession {
 
         // One repair pass covers every staged edge mutation: phase-shared
         // searches amortize the proof-of-maximality cost across the whole
-        // delta instead of paying a full search per edge.
+        // delta instead of paying a full search per edge. With more than
+        // one worker the repair decomposes by connected component and
+        // merges bit-identically (see `opass_matching`'s parallel repair).
         if staged {
-            self.matcher.repair_batch();
+            self.matcher.repair_batch_threads(self.threads);
         }
 
         // 3. File removals, descending index so earlier indices stay
@@ -205,7 +224,7 @@ impl SingleDataSession {
         let mut removed: Vec<usize> = delta
             .files_removed
             .iter()
-            .filter_map(|c| index.get(c).copied())
+            .filter_map(|&c| self.index.get(c))
             .collect();
         removed.sort_unstable_by(|a, b| b.cmp(a));
         for task in removed {
@@ -240,19 +259,23 @@ fn render_single_data_plan(
     let n = graph.n_files();
     let m = graph.n_procs();
     let quota = quotas(n, m);
-    let mut owner: Vec<Option<usize>> = matcher.owners().to_vec();
-    let mut load = matcher.load().to_vec();
+    // Dense arena views: `owner` uses the `NONE` sentinel and `load` is
+    // the matcher's `u32` slab — no per-render Option boxing.
+    let mut owner: Vec<u32> = matcher.owners_dense().to_vec();
+    let mut load: Vec<u32> = matcher.load().to_vec();
     let matched_files = matcher.matched_count();
     let mut rng = fill_rng(seed, replans);
     let mut filled_files = 0usize;
+    let mut candidates: Vec<usize> = Vec::with_capacity(m);
     // Indexed loop: the candidate scan reads `load` while `owner[f]` is
     // written, matching the from-scratch fill exactly.
     #[allow(clippy::needless_range_loop)]
     for f in 0..n {
-        if owner[f].is_some() {
+        if owner[f] != NONE {
             continue;
         }
-        let candidates: Vec<usize> = (0..m).filter(|&p| load[p] < quota[p]).collect();
+        candidates.clear();
+        candidates.extend((0..m).filter(|&p| (load[p] as usize) < quota[p]));
         debug_assert!(!candidates.is_empty(), "quotas sum to n");
         let chosen = match fill {
             FillPolicy::Random => candidates[rng.gen_range(0..candidates.len())],
@@ -261,20 +284,85 @@ fn render_single_data_plan(
                 .min_by_key(|&&p| (load[p], p))
                 .expect("non-empty candidates"),
         };
-        owner[f] = Some(chosen);
+        owner[f] = chosen as u32;
         load[chosen] += 1;
         filled_files += 1;
     }
-    let owner: Vec<usize> = owner.into_iter().map(|o| o.expect("all filled")).collect();
+    // The locality report follows from the matching alone: a fill target
+    // can never be co-located with its file (a co-located process with
+    // spare quota would give the "maximum" matching an augmenting path
+    // of length one), so exactly the matched files read locally, and
+    // every edge of file `f` carries `f`'s size as its weight. One pass
+    // over the snapshot replaces the per-file edge lookups of
+    // `locality_report`.
+    let mut local_bytes = 0u64;
+    let mut total_bytes = 0u64;
+    for (f, entry) in snapshot.entries().iter().enumerate() {
+        total_bytes += entry.size;
+        if matcher.owner_of(f).is_some() {
+            local_bytes += entry.size;
+        }
+    }
+    let locality = LocalityReport {
+        local_tasks: matched_files,
+        total_tasks: n,
+        local_bytes,
+        total_bytes,
+    };
+    let owner: Vec<usize> = owner.into_iter().map(|o| o as usize).collect();
     let assignment = Assignment::from_owners(owner, m);
-    let sizes = snapshot.sizes();
-    let locality = locality_report(&assignment, graph, &sizes);
+    debug_assert_eq!(
+        locality,
+        locality_report(&assignment, graph, &snapshot.sizes()),
+        "derived locality must equal the measured report"
+    );
     SingleDataPlan {
         assignment,
         matched_files,
         filled_files,
         locality,
     }
+}
+
+/// Advances every session in `sessions` by the same `delta` on up to
+/// `threads` scoped worker threads (e.g. one session per tenant dataset
+/// absorbing one cluster-wide churn event).
+///
+/// Sessions are disjoint state, so this is deterministic by
+/// construction: each session folds the delta exactly as its own
+/// [`SingleDataSession::replan`] call would — same plans, same order,
+/// bit-identical to the sequential loop. Work is split into contiguous
+/// blocks by session index (the same discipline as the Monte-Carlo
+/// parallelism in `opass-analysis`).
+pub fn replan_sessions_parallel(
+    sessions: &mut [SingleDataSession],
+    delta: &LayoutDelta,
+    threads: usize,
+) {
+    let n = sessions.len();
+    let nt = threads.clamp(1, n.max(1));
+    if nt <= 1 {
+        for s in sessions.iter_mut() {
+            s.replan(delta);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut rest = sessions;
+        for w in 0..nt {
+            // Contiguous block [lo, hi) for worker w, differing by at
+            // most one session across workers.
+            let lo = n * w / nt;
+            let hi = n * (w + 1) / nt;
+            let (block, tail) = rest.split_at_mut(hi - lo);
+            rest = tail;
+            scope.spawn(move || {
+                for s in block {
+                    s.replan(delta);
+                }
+            });
+        }
+    });
 }
 
 /// Long-lived multi-data planning state advanced by layout deltas.
@@ -690,6 +778,38 @@ mod tests {
             assert_eq!(pa.locality, pb.locality);
         }
         let _ = placement;
+    }
+
+    #[test]
+    fn parallel_session_fanout_matches_sequential_replans() {
+        // Five sessions (distinct seeds) absorb the same delta stream:
+        // the scoped-thread fan-out must leave every session bit-identical
+        // to the plain sequential loop, including one session running its
+        // own batch repair on multiple threads.
+        let (mut nn, w, placement) = world(8, 48);
+        let planner = OpassPlanner::default();
+        let scope: BTreeSet<ChunkId> = w.tasks.iter().map(|t| t.inputs[0]).collect();
+        let mut sessions: Vec<SingleDataSession> = (0..5)
+            .map(|s| single_session(&planner, &nn, &w, &placement, s as u64))
+            .collect();
+        sessions[2].set_threads(4);
+        assert_eq!(sessions[2].threads(), 4);
+        let mut reference = sessions.clone();
+        let mut rng = StdRng::seed_from_u64(0xFACE);
+        for step in 0..3 {
+            churn(&mut nn, &mut rng, step);
+            let delta = LayoutDelta::from_events(&nn.take_events(), |c| scope.contains(&c));
+            for s in reference.iter_mut() {
+                s.replan(&delta);
+            }
+            replan_sessions_parallel(&mut sessions, &delta, 3);
+        }
+        for (a, b) in sessions.iter().zip(&reference) {
+            assert_eq!(a.plan().assignment.owners(), b.plan().assignment.owners());
+            assert_eq!(a.plan().locality, b.plan().locality);
+            assert_eq!(a.snapshot(), b.snapshot());
+            assert_eq!(a.replans(), 3);
+        }
     }
 
     #[test]

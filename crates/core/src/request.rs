@@ -92,6 +92,7 @@ pub struct PlanRequest<'a> {
     mode: Mode<'a>,
     placement: &'a ProcessPlacement,
     seed: u64,
+    threads: usize,
 }
 
 impl<'a> PlanRequest<'a> {
@@ -107,6 +108,7 @@ impl<'a> PlanRequest<'a> {
             mode: Mode::Single,
             placement,
             seed: 0,
+            threads: 1,
         }
     }
 
@@ -122,6 +124,7 @@ impl<'a> PlanRequest<'a> {
             mode: Mode::Single,
             placement,
             seed: 0,
+            threads: 1,
         }
     }
 
@@ -137,6 +140,7 @@ impl<'a> PlanRequest<'a> {
             mode: Mode::Multi,
             placement,
             seed: 0,
+            threads: 1,
         }
     }
 
@@ -152,6 +156,7 @@ impl<'a> PlanRequest<'a> {
             mode: Mode::Dynamic,
             placement,
             seed: 0,
+            threads: 1,
         }
     }
 
@@ -159,6 +164,16 @@ impl<'a> PlanRequest<'a> {
     /// (and the guided scheduler's tie-breaking). Defaults to 0.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread count a session uses for batch repair
+    /// (clamped to at least 1; defaults to 1, the sequential reference
+    /// path). The component-parallel repair is bit-identical to the
+    /// sequential kernel, so this only changes speed, never plans.
+    /// One-shot `plan` calls ignore it.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 
@@ -275,10 +290,12 @@ impl PlanOutcome {
 /// or unwrap the concrete session for mode-specific accessors.
 #[derive(Debug, Clone)]
 pub enum Session {
-    /// Incremental single-data session (residual max-flow state).
-    Single(SingleDataSession),
+    /// Incremental single-data session (residual max-flow state). Both
+    /// variants are boxed: the sessions carry arena slabs and value
+    /// tables, so inline they would bloat every `Session` move.
+    Single(Box<SingleDataSession>),
     /// Incremental multi-data session (patched value table).
-    Multi(MultiDataSession),
+    Multi(Box<MultiDataSession>),
 }
 
 impl Session {
@@ -303,7 +320,7 @@ impl Session {
     /// The underlying single-data session, if this is one.
     pub fn into_single(self) -> Option<SingleDataSession> {
         match self {
-            Session::Single(s) => Some(s),
+            Session::Single(s) => Some(*s),
             _ => None,
         }
     }
@@ -319,19 +336,16 @@ impl Session {
     /// The underlying multi-data session, if this is one.
     pub fn into_multi(self) -> Option<MultiDataSession> {
         match self {
-            Session::Multi(s) => Some(s),
+            Session::Multi(s) => Some(*s),
             _ => None,
         }
     }
 }
 
 impl OpassPlanner {
-    /// Plans a request — the unified entry point subsuming the deprecated
-    /// `plan_single_data*`, `plan_multi_data` and `plan_dynamic` methods.
+    /// Plans a request — the single planning entry point.
     ///
-    /// The outcome variant is determined by the request mode; each mode is
-    /// bit-identical to the legacy method it replaces (the legacy methods
-    /// are now one-line wrappers over this one).
+    /// The outcome variant is determined by the request mode.
     pub fn plan(&self, request: &PlanRequest<'_>) -> PlanOutcome {
         let placement = request.placement;
         let seed = request.seed;
@@ -407,8 +421,7 @@ impl OpassPlanner {
         outcome.expect("builder pairs every mode with a supported source")
     }
 
-    /// Starts a long-lived planning session for a request — the unified
-    /// entry point subsuming the deprecated `start_*_session` methods.
+    /// Starts a long-lived planning session for a request.
     ///
     /// Supported for plain single-data requests (either source) and
     /// multi-data requests; the initial plan is bit-identical to
@@ -424,13 +437,23 @@ impl OpassPlanner {
         let session = match (&request.mode, &request.source) {
             (Mode::Single, Source::Namenode { namenode, workload }) => {
                 let snapshot = capture_workload_layout(namenode, workload);
-                Some(Session::Single(SingleDataSession::start(
-                    self, snapshot, placement, seed,
-                )))
+                Some(Session::Single(Box::new(SingleDataSession::start(
+                    self,
+                    snapshot,
+                    placement,
+                    seed,
+                    request.threads,
+                ))))
             }
-            (Mode::Single, Source::Layout(snapshot)) => Some(Session::Single(
-                SingleDataSession::start(self, (*snapshot).clone(), placement, seed),
-            )),
+            (Mode::Single, Source::Layout(snapshot)) => {
+                Some(Session::Single(Box::new(SingleDataSession::start(
+                    self,
+                    (*snapshot).clone(),
+                    placement,
+                    seed,
+                    request.threads,
+                ))))
+            }
             (Mode::Multi, Source::Namenode { namenode, workload }) => {
                 // Distinct input chunks in first-use order, with readers.
                 let mut order: Vec<opass_dfs::ChunkId> = Vec::new();
@@ -452,12 +475,12 @@ impl OpassPlanner {
                     .iter()
                     .map(|c| readers_by_chunk.remove(c).expect("collected above"))
                     .collect();
-                Some(Session::Multi(MultiDataSession::start(
+                Some(Session::Multi(Box::new(MultiDataSession::start(
                     snapshot,
                     readers,
                     placement,
                     workload.len(),
-                )))
+                ))))
             }
             _ => None,
         };

@@ -28,6 +28,51 @@ pub struct LayoutSnapshot {
     entries: Vec<ChunkLayout>,
 }
 
+/// Chunk-id → entry-index map maintained *across* deltas.
+///
+/// [`LayoutSnapshot::apply_delta`] rebuilds this map from scratch on
+/// every call — fine for one-shot use, O(n log n) per step for a
+/// session replaying a long churn stream. A session keeps one
+/// `ChunkIndex` alive instead and advances it together with the
+/// snapshot via [`LayoutSnapshot::apply_delta_indexed`], which only
+/// pays O(|delta| log n) for replica churn (a full rebuild happens
+/// solely when chunks are removed, because removal compacts indices).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChunkIndex {
+    map: BTreeMap<ChunkId, usize>,
+}
+
+impl ChunkIndex {
+    /// Builds the index for `snapshot`. When the snapshot holds the same
+    /// chunk id twice (scope quirks), the later entry wins — matching
+    /// what the per-call map in [`LayoutSnapshot::apply_delta`] resolves.
+    pub fn build(snapshot: &LayoutSnapshot) -> Self {
+        ChunkIndex {
+            map: snapshot
+                .entries
+                .iter()
+                .enumerate()
+                .map(|(i, e)| (e.chunk, i))
+                .collect(),
+        }
+    }
+
+    /// Entry index of `chunk` in the tracked snapshot, if present.
+    pub fn get(&self, chunk: ChunkId) -> Option<usize> {
+        self.map.get(&chunk).copied()
+    }
+
+    /// Number of indexed chunks.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
 impl LayoutSnapshot {
     /// Captures the layout of `chunks` from the namenode, in the given
     /// order (the order defines the task indexing downstream).
@@ -107,12 +152,21 @@ impl LayoutSnapshot {
     /// Determinism: a pure function of `(self, delta)`; equal inputs
     /// yield byte-identical snapshots.
     pub fn apply_delta(&mut self, delta: &LayoutDelta) {
-        let index: BTreeMap<ChunkId, usize> = self
-            .entries
-            .iter()
-            .enumerate()
-            .map(|(i, e)| (e.chunk, i))
-            .collect();
+        let mut index = ChunkIndex::build(self);
+        self.apply_delta_indexed(delta, &mut index);
+    }
+
+    /// [`apply_delta`](Self::apply_delta) with a caller-maintained
+    /// [`ChunkIndex`], for sessions replaying long churn streams: the
+    /// per-call index rebuild disappears, and `index` comes out tracking
+    /// the advanced snapshot (ready for the next delta). The index must
+    /// have been built from — or advanced alongside — this snapshot.
+    pub fn apply_delta_indexed(&mut self, delta: &LayoutDelta, index: &mut ChunkIndex) {
+        debug_assert_eq!(
+            index.map.len(),
+            self.entries.len(),
+            "index must track this snapshot"
+        );
         if !delta.nodes_failed.is_empty() {
             for entry in &mut self.entries {
                 entry
@@ -121,12 +175,12 @@ impl LayoutSnapshot {
             }
         }
         for &(chunk, node) in &delta.replicas_dropped {
-            if let Some(&i) = index.get(&chunk) {
+            if let Some(i) = index.get(chunk) {
                 self.entries[i].locations.retain(|&n| n != node);
             }
         }
         for &(chunk, node) in &delta.replicas_added {
-            if let Some(&i) = index.get(&chunk) {
+            if let Some(i) = index.get(chunk) {
                 let locs = &mut self.entries[i].locations;
                 let pos = locs.partition_point(|&n| n < node);
                 if locs.get(pos) != Some(&node) {
@@ -137,8 +191,18 @@ impl LayoutSnapshot {
         if !delta.files_removed.is_empty() {
             self.entries
                 .retain(|e| delta.files_removed.binary_search(&e.chunk).is_err());
+            // Removal compacts every index to the right of a hole; a
+            // rebuild is the only correct (and still O(n log n), same as
+            // the retain's reads) way to catch up.
+            index.map.clear();
+            index
+                .map
+                .extend(self.entries.iter().enumerate().map(|(i, e)| (e.chunk, i)));
         }
-        self.entries.extend(delta.files_added.iter().cloned());
+        for e in &delta.files_added {
+            index.map.insert(e.chunk, self.entries.len());
+            self.entries.push(e.clone());
+        }
     }
 
     /// Bytes stored per node among the snapshot's chunks, indexed by raw
@@ -266,6 +330,50 @@ mod tests {
             .collect();
         expected.push(ChunkId(999));
         assert_eq!(ids, expected);
+    }
+
+    #[test]
+    fn apply_delta_indexed_matches_per_call_rebuild() {
+        // Replay a mixed stream through both entry points: the
+        // maintained index must stay in lockstep with fresh rebuilds and
+        // both snapshots must stay byte-identical.
+        let (nn, chunks) = setup();
+        let mut plain = LayoutSnapshot::capture(&nn, &chunks);
+        let mut indexed = plain.clone();
+        let mut index = ChunkIndex::build(&indexed);
+        let deltas = vec![
+            LayoutDelta {
+                replicas_dropped: vec![(chunks[0], plain.entries()[0].locations[0])],
+                replicas_added: vec![(chunks[1], NodeId(5))],
+                ..Default::default()
+            },
+            LayoutDelta {
+                files_removed: vec![chunks[2], chunks[9]],
+                files_added: vec![ChunkLayout {
+                    chunk: ChunkId(500),
+                    size: 16,
+                    locations: vec![NodeId(1)],
+                }],
+                ..Default::default()
+            },
+            LayoutDelta {
+                nodes_failed: vec![NodeId(3)],
+                replicas_added: vec![(ChunkId(500), NodeId(0)), (ChunkId(999), NodeId(2))],
+                ..Default::default()
+            },
+        ];
+        for delta in &deltas {
+            let mut delta = delta.clone();
+            delta.normalize();
+            plain.apply_delta(&delta);
+            indexed.apply_delta_indexed(&delta, &mut index);
+            assert_eq!(plain, indexed);
+            assert_eq!(index, ChunkIndex::build(&indexed), "index tracks snapshot");
+        }
+        assert_eq!(index.len(), indexed.len());
+        assert!(!index.is_empty());
+        assert_eq!(index.get(ChunkId(500)), Some(indexed.len() - 1));
+        assert_eq!(index.get(chunks[2]), None);
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub use chunk::{ChunkMeta, DatasetMeta, DatasetSpec, DEFAULT_CHUNK_SIZE};
 pub use delta::{LayoutDelta, LayoutEvent};
 pub use error::DfsError;
 pub use ids::{ChunkId, DatasetId, NodeId};
-pub use layout::{ChunkLayout, LayoutSnapshot};
+pub use layout::{ChunkIndex, ChunkLayout, LayoutSnapshot};
 pub use namenode::{DfsConfig, Namenode};
 pub use placement::Placement;
 pub use reader::ReplicaChoice;

@@ -71,8 +71,9 @@ pub struct Config {
 }
 
 /// The names of every shipped rule, in reporting order.
-pub const RULE_NAMES: [&str; 5] = [
+pub const RULE_NAMES: [&str; 6] = [
     "unordered-iteration",
+    "unordered-parallel-merge",
     "no-wallclock",
     "no-ambient-rng",
     "float-accumulation-order",
@@ -90,6 +91,7 @@ impl Default for Config {
         // Tests participate in the bit-exactness assertions, so the
         // ordering and RNG rules apply inside them too by default.
         rules.insert("unordered-iteration".into(), deny(true, &[]));
+        rules.insert("unordered-parallel-merge".into(), deny(true, &[]));
         rules.insert(
             "no-wallclock".into(),
             deny(true, &["cli", "bench", "lint", "serve"]),

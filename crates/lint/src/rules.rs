@@ -72,6 +72,7 @@ pub fn lint_source(rel: &str, source: &str, cfg: &Config) -> Vec<Finding> {
     };
     let mut findings = Vec::new();
     unordered_iteration(&ctx, cfg, &mut findings);
+    unordered_parallel_merge(&ctx, cfg, &mut findings);
     no_wallclock(&ctx, cfg, &mut findings);
     no_ambient_rng(&ctx, cfg, &mut findings);
     float_accumulation_order(&ctx, cfg, &mut findings);
@@ -157,6 +158,63 @@ fn unordered_iteration(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Finding>) {
                  traversal order is reproducible",
             );
         }
+    }
+}
+
+/// Flags completion-order result collection next to worker spawns in
+/// deterministic crates. The workspace's parallel kernels (component
+/// repair, Monte-Carlo fanout, session fanout) are bit-identical to
+/// their sequential references *because* every merge joins worker
+/// handles in spawn order — fixed splits in, indexed results out. A
+/// channel delivers results in completion order, and a shared
+/// `Mutex`/`RwLock` accumulator commits writes in scheduling order;
+/// either one silently turns "bit-identical" into "usually identical".
+/// The heuristic: in a file that spawns workers, any mpsc channel
+/// constructor or lock-wrapped accumulator is reported.
+fn unordered_parallel_merge(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Finding>) {
+    let Some(rc) = enabled(ctx, cfg, "unordered-parallel-merge") else {
+        return;
+    };
+    if !cfg
+        .deterministic_crates
+        .iter()
+        .any(|c| c == &ctx.crate_name)
+    {
+        return;
+    }
+    let toks = &ctx.toks;
+    if !toks
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && t.text == "spawn")
+    {
+        return;
+    }
+    for t in toks {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let what = match t.text.as_str() {
+            "channel" | "sync_channel" => "an mpsc channel merges results in completion order",
+            "Mutex" | "RwLock" => {
+                "a shared lock accumulator commits worker writes in scheduling order"
+            }
+            _ => continue,
+        };
+        push(
+            out,
+            ctx,
+            rc,
+            "unordered-parallel-merge",
+            t.line,
+            format!(
+                "`{}` next to worker spawns in deterministic crate `{}`: {what}, \
+                 so the merged result varies with thread timing",
+                t.text, ctx.crate_name
+            ),
+            "give each worker a fixed input slice, return its result through \
+             its JoinHandle, and merge by joining handles in spawn order (or \
+             index results by worker id and assemble positionally)",
+        );
     }
 }
 
@@ -511,6 +569,26 @@ mod tests {
         assert_eq!(f.len(), 1);
         assert!(f[0].suppressed.is_none());
         assert!(f[0].message.contains("lacks the mandatory"));
+    }
+
+    #[test]
+    fn parallel_merge_needs_spawn_and_deterministic_crate() {
+        let merge = "fn f() { let m = std::sync::Mutex::new(Vec::new()); \
+                     std::thread::scope(|s| { s.spawn(|| m); }); }\n";
+        let f = lint("crates/matching/src/x.rs", merge);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "unordered-parallel-merge");
+        // The serving layer legitimately uses locks and channels.
+        assert!(lint("crates/serve/src/x.rs", merge).is_empty());
+        // A lock without any worker spawn is ordinary shared state.
+        let no_spawn = "fn f() { let m = std::sync::Mutex::new(Vec::new()); }\n";
+        assert!(lint("crates/matching/src/x.rs", no_spawn).is_empty());
+        // Channels next to spawns are completion-order merges too.
+        let chan = "fn f() { let (tx, rx) = std::sync::mpsc::channel::<u32>(); \
+                    std::thread::scope(|s| { s.spawn(move || tx); }); }\n";
+        let f = lint("crates/core/src/x.rs", chan);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "unordered-parallel-merge");
     }
 
     #[test]

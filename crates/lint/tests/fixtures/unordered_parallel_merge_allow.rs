@@ -1,0 +1,16 @@
+// Suppressed fixture: a channel used for a commutative reduction, with
+// the mandatory audited reason. Linted under a deterministic-crate
+// path; never compiled.
+
+fn count_total(parts: Vec<Vec<u32>>) -> usize {
+    // lint:allow(unordered-parallel-merge): integer sum is commutative, so completion order cannot change the result
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::scope(|scope| {
+        for part in &parts {
+            let tx = tx.clone();
+            scope.spawn(move || tx.send(part.len()));
+        }
+    });
+    drop(tx);
+    rx.iter().sum()
+}

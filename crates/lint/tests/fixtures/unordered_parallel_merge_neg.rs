@@ -1,0 +1,19 @@
+// Negative fixture: the deterministic merge discipline — fixed input
+// splits, results returned through JoinHandles, merged by joining in
+// spawn order. Linted under a deterministic-crate path; never compiled.
+
+fn merge_in_spawn_order(parts: Vec<Vec<u32>>) -> Vec<usize> {
+    let mut out = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for part in &parts {
+            handles.push(scope.spawn(move || part.len()));
+        }
+        // Join in spawn order: the merge must not depend on which worker
+        // finishes first.
+        for h in handles {
+            out.push(h.join().expect("worker panicked"));
+        }
+    });
+    out
+}

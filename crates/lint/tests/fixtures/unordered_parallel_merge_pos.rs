@@ -1,0 +1,28 @@
+// Positive fixture: completion-order merges next to worker spawns.
+// Linted under a deterministic-crate path; never compiled.
+
+/// Results arrive in whatever order workers finish — the output Vec's
+/// order varies with thread timing.
+fn merge_by_completion(parts: Vec<Vec<u32>>) -> Vec<usize> {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::scope(|scope| {
+        for part in &parts {
+            let tx = tx.clone();
+            scope.spawn(move || tx.send(part.len()));
+        }
+    });
+    drop(tx);
+    rx.iter().collect()
+}
+
+/// Workers extend a shared accumulator under a lock — append order is
+/// scheduling order.
+fn merge_through_shared_vec(parts: Vec<Vec<u32>>) -> Vec<u32> {
+    let merged = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for part in parts {
+            scope.spawn(|| merged.lock().expect("poisoned").extend(part));
+        }
+    });
+    merged.into_inner().expect("poisoned")
+}

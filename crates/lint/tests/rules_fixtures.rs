@@ -19,7 +19,7 @@ struct Case {
     allow: (&'static str, usize),
 }
 
-const CASES: [Case; 7] = [
+const CASES: [Case; 8] = [
     Case {
         rule: "unordered-iteration",
         context: "crates/dfs/src/fixture.rs",
@@ -45,6 +45,16 @@ const CASES: [Case; 7] = [
         pos: ("placement_tiebreak_pos.rs", 2),
         neg: "placement_tiebreak_neg.rs",
         allow: ("placement_tiebreak_allow.rs", 2),
+    },
+    Case {
+        // Parallel repair merges component results by joining handles in
+        // spawn order; channels and lock accumulators merge in completion
+        // order instead, which breaks bit-identity (DESIGN.md §13).
+        rule: "unordered-parallel-merge",
+        context: "crates/matching/src/fixture.rs",
+        pos: ("unordered_parallel_merge_pos.rs", 2),
+        neg: "unordered_parallel_merge_neg.rs",
+        allow: ("unordered_parallel_merge_allow.rs", 1),
     },
     Case {
         rule: "no-wallclock",

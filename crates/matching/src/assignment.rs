@@ -21,9 +21,16 @@ impl Assignment {
     ///
     /// Panics if any owner index is `>= n_procs`.
     pub fn from_owners(owner: Vec<usize>, n_procs: usize) -> Self {
-        let mut per_proc = vec![Vec::new(); n_procs];
+        // Counting pass first so every per-proc list is allocated exactly
+        // once — the lists are rebuilt on every incremental re-plan, and
+        // growth reallocations dominated this constructor at 10^5+ tasks.
+        let mut counts = vec![0usize; n_procs];
         for (task, &p) in owner.iter().enumerate() {
             assert!(p < n_procs, "task {task} assigned to unknown process {p}");
+            counts[p] += 1;
+        }
+        let mut per_proc: Vec<Vec<usize>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+        for (task, &p) in owner.iter().enumerate() {
             per_proc[p].push(task);
         }
         Assignment { owner, per_proc }

@@ -6,6 +6,13 @@
 //! locally (the full chunk size in HDFS, since replication is whole-chunk).
 //! Opass builds this graph from the file-system layout and feeds it to the
 //! matchers in [`crate::single_data`] and [`crate::multi_data`].
+//!
+//! Storage is struct-of-arrays: both adjacency mirrors live in pooled
+//! [`crate::arena::AdjPool`] spans (`u32` keys, `u64` weights), so the
+//! repair searches in [`crate::incremental`] iterate neighbors as dense
+//! `u32` slices instead of chasing per-vertex allocations.
+
+use crate::arena::AdjPool;
 
 /// Weighted bipartite graph between `n_procs` processes and `n_files` files.
 ///
@@ -15,41 +22,40 @@
 /// weight always reflects the latest chunk size. The graph is mutable in
 /// both directions — edges and vertices can be added and removed without
 /// a rebuild — and every mutation preserves the structural invariant that
-/// `proc_adj` and `file_adj` are exact sorted mirrors of each other.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// the proc-side and file-side pools are exact sorted mirrors of each
+/// other.
+#[derive(Debug, Clone)]
 pub struct BipartiteGraph {
-    n_procs: usize,
-    n_files: usize,
-    /// Per-process adjacency: sorted `(file, bytes)` pairs.
-    proc_adj: Vec<Vec<(usize, u64)>>,
-    /// Per-file adjacency: sorted `(proc, bytes)` pairs.
-    file_adj: Vec<Vec<(usize, u64)>>,
+    /// Per-process adjacency spans: sorted file keys with byte weights.
+    procs: AdjPool,
+    /// Per-file adjacency spans: sorted proc keys with byte weights.
+    files: AdjPool,
+    edges: usize,
 }
 
 impl BipartiteGraph {
     /// Creates an empty graph with the given vertex counts.
     pub fn new(n_procs: usize, n_files: usize) -> Self {
         BipartiteGraph {
-            n_procs,
-            n_files,
-            proc_adj: vec![Vec::new(); n_procs],
-            file_adj: vec![Vec::new(); n_files],
+            procs: AdjPool::with_vertices(n_procs),
+            files: AdjPool::with_vertices(n_files),
+            edges: 0,
         }
     }
 
     /// Number of process vertices.
     pub fn n_procs(&self) -> usize {
-        self.n_procs
+        self.procs.n_vertices()
     }
 
     /// Number of file vertices.
     pub fn n_files(&self) -> usize {
-        self.n_files
+        self.files.n_vertices()
     }
 
     /// Total number of edges.
     pub fn edge_count(&self) -> usize {
-        self.proc_adj.iter().map(Vec::len).sum()
+        self.edges
     }
 
     /// Adds the locality edge between `proc` and `file`, or updates its
@@ -59,11 +65,13 @@ impl BipartiteGraph {
     ///
     /// Panics if either index is out of range or `bytes` is zero.
     pub fn add_edge(&mut self, proc: usize, file: usize, bytes: u64) {
-        assert!(proc < self.n_procs, "process index {proc} out of range");
-        assert!(file < self.n_files, "file index {file} out of range");
+        assert!(proc < self.n_procs(), "process index {proc} out of range");
+        assert!(file < self.n_files(), "file index {file} out of range");
         assert!(bytes > 0, "locality edges must carry positive bytes");
-        upsert(&mut self.proc_adj[proc], file, bytes);
-        upsert(&mut self.file_adj[file], proc, bytes);
+        if self.procs.insert(proc, file as u32, bytes) {
+            self.edges += 1;
+        }
+        self.files.insert(file, proc as u32, bytes);
     }
 
     /// Removes the edge between `proc` and `file`. Returns whether the
@@ -73,35 +81,26 @@ impl BipartiteGraph {
     ///
     /// Panics if either index is out of range.
     pub fn remove_edge(&mut self, proc: usize, file: usize) -> bool {
-        assert!(proc < self.n_procs, "process index {proc} out of range");
-        assert!(file < self.n_files, "file index {file} out of range");
-        let row = &mut self.proc_adj[proc];
-        match row.binary_search_by_key(&file, |&(f, _)| f) {
-            Ok(i) => {
-                row.remove(i);
-                let col = &mut self.file_adj[file];
-                let j = col
-                    .binary_search_by_key(&proc, |&(p, _)| p)
-                    .expect("adjacency mirrors agree");
-                col.remove(j);
-                true
-            }
-            Err(_) => false,
+        assert!(proc < self.n_procs(), "process index {proc} out of range");
+        assert!(file < self.n_files(), "file index {file} out of range");
+        if self.procs.remove(proc, file as u32) {
+            let mirrored = self.files.remove(file, proc as u32);
+            debug_assert!(mirrored, "adjacency mirrors agree");
+            self.edges -= 1;
+            true
+        } else {
+            false
         }
     }
 
     /// Appends a new file vertex with no edges; returns its index.
     pub fn push_file(&mut self) -> usize {
-        self.file_adj.push(Vec::new());
-        self.n_files += 1;
-        self.n_files - 1
+        self.files.push_vertex()
     }
 
     /// Appends a new process vertex with no edges; returns its index.
     pub fn push_proc(&mut self) -> usize {
-        self.proc_adj.push(Vec::new());
-        self.n_procs += 1;
-        self.n_procs - 1
+        self.procs.push_vertex()
     }
 
     /// Removes file vertex `file` and all its edges; files above it shift
@@ -112,23 +111,17 @@ impl BipartiteGraph {
     ///
     /// Panics if `file` is out of range.
     pub fn remove_file(&mut self, file: usize) {
-        assert!(file < self.n_files, "file index {file} out of range");
-        for &(p, _) in &std::mem::take(&mut self.file_adj[file]) {
-            let row = &mut self.proc_adj[p];
-            let i = row
-                .binary_search_by_key(&file, |&(f, _)| f)
-                .expect("adjacency mirrors agree");
-            row.remove(i);
+        assert!(file < self.n_files(), "file index {file} out of range");
+        // The span is at most replication-factor procs; copy it out so
+        // the proc-side pool can be edited.
+        let holders: Vec<u32> = self.files.keys_of(file).to_vec();
+        for &p in &holders {
+            let removed = self.procs.remove(p as usize, file as u32);
+            debug_assert!(removed, "adjacency mirrors agree");
         }
-        self.file_adj.remove(file);
-        self.n_files -= 1;
-        for row in &mut self.proc_adj {
-            for entry in row.iter_mut() {
-                if entry.0 > file {
-                    entry.0 -= 1;
-                }
-            }
-        }
+        self.edges -= holders.len();
+        self.files.remove_vertex(file);
+        self.procs.shift_keys_above(file as u32);
     }
 
     /// Removes process vertex `proc` and all its edges; processes above it
@@ -138,62 +131,58 @@ impl BipartiteGraph {
     ///
     /// Panics if `proc` is out of range.
     pub fn remove_proc(&mut self, proc: usize) {
-        assert!(proc < self.n_procs, "process index {proc} out of range");
-        for &(f, _) in &std::mem::take(&mut self.proc_adj[proc]) {
-            let col = &mut self.file_adj[f];
-            let i = col
-                .binary_search_by_key(&proc, |&(p, _)| p)
-                .expect("adjacency mirrors agree");
-            col.remove(i);
+        assert!(proc < self.n_procs(), "process index {proc} out of range");
+        let touched: Vec<u32> = self.procs.keys_of(proc).to_vec();
+        for &f in &touched {
+            let removed = self.files.remove(f as usize, proc as u32);
+            debug_assert!(removed, "adjacency mirrors agree");
         }
-        self.proc_adj.remove(proc);
-        self.n_procs -= 1;
-        for col in &mut self.file_adj {
-            for entry in col.iter_mut() {
-                if entry.0 > proc {
-                    entry.0 -= 1;
-                }
-            }
-        }
+        self.edges -= touched.len();
+        self.procs.remove_vertex(proc);
+        self.files.shift_keys_above(proc as u32);
     }
 
-    /// Verifies the mirror invariant: `proc_adj` and `file_adj` describe
+    /// Verifies the mirror invariant: the proc and file pools describe
     /// the same sorted edge set with equal weights. O(edges log edges);
     /// used by tests and debug assertions.
     pub fn check_mirror(&self) -> Result<(), String> {
-        for (p, row) in self.proc_adj.iter().enumerate() {
-            if row.windows(2).any(|w| w[0].0 >= w[1].0) {
+        let mut counted = 0usize;
+        for p in 0..self.n_procs() {
+            let row = self.procs.keys_of(p);
+            if row.windows(2).any(|w| w[0] >= w[1]) {
                 return Err(format!("proc {p} adjacency not sorted/distinct"));
             }
-            for &(f, bytes) in row {
-                if f >= self.n_files {
+            counted += row.len();
+            for (&f, &bytes) in row.iter().zip(self.procs.wts_of(p)) {
+                if f as usize >= self.n_files() {
                     return Err(format!("proc {p} lists out-of-range file {f}"));
                 }
-                let col = &self.file_adj[f];
-                match col.binary_search_by_key(&p, |&(q, _)| q) {
-                    Ok(i) if col[i].1 == bytes => {}
-                    Ok(i) => {
-                        return Err(format!(
-                            "edge ({p},{f}) weight mismatch: {} vs {}",
-                            bytes, col[i].1
-                        ))
+                match self.files.get(f as usize, p as u32) {
+                    Some(b) if b == bytes => {}
+                    Some(b) => {
+                        return Err(format!("edge ({p},{f}) weight mismatch: {bytes} vs {b}"))
                     }
-                    Err(_) => return Err(format!("edge ({p},{f}) missing from file side")),
+                    None => return Err(format!("edge ({p},{f}) missing from file side")),
                 }
             }
         }
-        for (f, col) in self.file_adj.iter().enumerate() {
-            if col.windows(2).any(|w| w[0].0 >= w[1].0) {
+        if counted != self.edges || self.files.total_len() != self.edges {
+            return Err(format!(
+                "edge counter {} disagrees with pool totals {counted}/{}",
+                self.edges,
+                self.files.total_len()
+            ));
+        }
+        for f in 0..self.n_files() {
+            let col = self.files.keys_of(f);
+            if col.windows(2).any(|w| w[0] >= w[1]) {
                 return Err(format!("file {f} adjacency not sorted/distinct"));
             }
-            for &(p, _) in col {
-                if p >= self.n_procs {
+            for &p in col {
+                if p as usize >= self.n_procs() {
                     return Err(format!("file {f} lists out-of-range proc {p}"));
                 }
-                if self.proc_adj[p]
-                    .binary_search_by_key(&f, |&(g, _)| g)
-                    .is_err()
-                {
+                if self.procs.get(p as usize, f as u32).is_none() {
                     return Err(format!("edge ({p},{f}) missing from proc side"));
                 }
             }
@@ -204,56 +193,101 @@ impl BipartiteGraph {
     /// Bytes of `file` readable locally by `proc`, or `None` if not
     /// co-located.
     pub fn weight(&self, proc: usize, file: usize) -> Option<u64> {
-        debug_assert!(proc < self.n_procs && file < self.n_files);
-        self.proc_adj[proc]
-            .binary_search_by_key(&file, |&(f, _)| f)
-            .ok()
-            .map(|i| self.proc_adj[proc][i].1)
+        debug_assert!(proc < self.n_procs() && file < self.n_files());
+        self.procs.get(proc, file as u32)
     }
 
     /// Files co-located with `proc`, as sorted `(file, bytes)` pairs.
-    pub fn files_of(&self, proc: usize) -> &[(usize, u64)] {
-        &self.proc_adj[proc]
+    pub fn files_of(&self, proc: usize) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.procs
+            .keys_of(proc)
+            .iter()
+            .zip(self.procs.wts_of(proc))
+            .map(|(&f, &b)| (f as usize, b))
     }
 
     /// Processes co-located with `file`, as sorted `(proc, bytes)` pairs.
-    pub fn procs_of(&self, file: usize) -> &[(usize, u64)] {
-        &self.file_adj[file]
+    pub fn procs_of(&self, file: usize) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.files
+            .keys_of(file)
+            .iter()
+            .zip(self.files.wts_of(file))
+            .map(|(&p, &b)| (p as usize, b))
+    }
+
+    /// Sorted file handles adjacent to `proc`, as a dense `u32` slice —
+    /// the zero-decode view the repair searches iterate.
+    pub fn files_raw(&self, proc: usize) -> &[u32] {
+        self.procs.keys_of(proc)
+    }
+
+    /// Sorted proc handles adjacent to `file`, as a dense `u32` slice.
+    pub fn procs_raw(&self, file: usize) -> &[u32] {
+        self.files.keys_of(file)
+    }
+
+    /// Weights parallel to [`BipartiteGraph::procs_raw`].
+    pub fn procs_raw_wts(&self, file: usize) -> &[u64] {
+        self.files.wts_of(file)
+    }
+
+    /// Degree of `file` (its replica co-location count).
+    pub fn file_degree(&self, file: usize) -> usize {
+        self.files.len_of(file)
     }
 
     /// Sum of the weights of all edges incident to `proc` — the paper's
     /// `d(p_i)`, the total data available locally to the process.
     pub fn local_bytes_of(&self, proc: usize) -> u64 {
-        self.proc_adj[proc].iter().map(|&(_, b)| b).sum()
+        self.procs.wts_of(proc).iter().sum()
     }
 
     /// Files with no co-located process at all (isolated file vertices);
     /// these can never be read locally and force remote assignments.
     pub fn isolated_files(&self) -> Vec<usize> {
-        (0..self.n_files)
-            .filter(|&f| self.file_adj[f].is_empty())
+        (0..self.n_files())
+            .filter(|&f| self.files.len_of(f) == 0)
             .collect()
     }
 
     /// Upper bound on any matching: a full matching assigns every file to a
     /// co-located process, so the bound is the number of non-isolated files.
     pub fn full_matching_size(&self) -> usize {
-        self.n_files - self.isolated_files().len()
+        self.n_files() - self.isolated_files().len()
     }
 }
 
-fn upsert(adj: &mut Vec<(usize, u64)>, key: usize, bytes: u64) {
-    match adj.binary_search_by_key(&key, |&(k, _)| k) {
-        // Replace, not max: a delta replay must leave the latest weight,
-        // and both mirrors see the same write so they cannot diverge.
-        Ok(i) => adj[i].1 = bytes,
-        Err(i) => adj.insert(i, (key, bytes)),
+/// Semantic equality: same vertex counts and edge sets with equal
+/// weights. Pool layout (span offsets, capacities, garbage) is an
+/// artifact of the mutation history and deliberately ignored.
+impl PartialEq for BipartiteGraph {
+    fn eq(&self, other: &Self) -> bool {
+        if self.n_procs() != other.n_procs()
+            || self.n_files() != other.n_files()
+            || self.edges != other.edges
+        {
+            return false;
+        }
+        (0..self.n_procs()).all(|p| {
+            self.procs.keys_of(p) == other.procs.keys_of(p)
+                && self.procs.wts_of(p) == other.procs.wts_of(p)
+        })
     }
 }
+
+impl Eq for BipartiteGraph {}
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn files_vec(g: &BipartiteGraph, p: usize) -> Vec<(usize, u64)> {
+        g.files_of(p).collect()
+    }
+
+    fn procs_vec(g: &BipartiteGraph, f: usize) -> Vec<(usize, u64)> {
+        g.procs_of(f).collect()
+    }
 
     #[test]
     fn empty_graph() {
@@ -273,8 +307,10 @@ mod tests {
         g.add_edge(1, 1, 64);
         assert_eq!(g.weight(0, 1), Some(64));
         assert_eq!(g.weight(1, 0), None);
-        assert_eq!(g.files_of(0), &[(1, 64), (2, 64)]);
-        assert_eq!(g.procs_of(1), &[(0, 64), (1, 64)]);
+        assert_eq!(files_vec(&g, 0), vec![(1, 64), (2, 64)]);
+        assert_eq!(procs_vec(&g, 1), vec![(0, 64), (1, 64)]);
+        assert_eq!(g.files_raw(0), &[1, 2]);
+        assert_eq!(g.procs_raw(1), &[0, 1]);
         assert_eq!(g.edge_count(), 3);
         assert_eq!(g.local_bytes_of(0), 128);
         assert_eq!(g.isolated_files(), vec![0]);
@@ -303,8 +339,8 @@ mod tests {
         assert!(g.remove_edge(0, 1));
         assert!(!g.remove_edge(0, 1), "already gone");
         assert!(!g.remove_edge(1, 2), "never existed");
-        assert_eq!(g.files_of(0), &[(0, 8)]);
-        assert_eq!(g.procs_of(1), &[(1, 8)]);
+        assert_eq!(files_vec(&g, 0), vec![(0, 8)]);
+        assert_eq!(procs_vec(&g, 1), vec![(1, 8)]);
         assert_eq!(g.edge_count(), 2);
         g.check_mirror().unwrap();
     }
@@ -381,8 +417,38 @@ mod tests {
         for f in [7usize, 2, 9, 0, 4] {
             g.add_edge(0, f, 1);
         }
-        let files: Vec<usize> = g.files_of(0).iter().map(|&(f, _)| f).collect();
+        let files: Vec<usize> = g.files_of(0).map(|(f, _)| f).collect();
         assert_eq!(files, vec![0, 2, 4, 7, 9]);
+    }
+
+    #[test]
+    fn heavy_churn_pool_stays_consistent() {
+        // Enough edge churn across enough vertices to force span
+        // relocations and pool compactions; the mirror invariant and
+        // semantic equality with a fresh rebuild must survive.
+        let mut g = BipartiteGraph::new(32, 256);
+        let mut state = 0x5EEDu64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 16
+        };
+        for _ in 0..20_000 {
+            let p = (next() % 32) as usize;
+            let f = (next() % 256) as usize;
+            if g.weight(p, f).is_some() && next() % 3 == 0 {
+                g.remove_edge(p, f);
+            } else {
+                g.add_edge(p, f, next() % 1000 + 1);
+            }
+        }
+        g.check_mirror().unwrap();
+        let mut fresh = BipartiteGraph::new(32, 256);
+        for p in 0..32 {
+            for (f, b) in g.files_of(p).collect::<Vec<_>>() {
+                fresh.add_edge(p, f, b);
+            }
+        }
+        assert_eq!(g, fresh);
     }
 
     #[test]

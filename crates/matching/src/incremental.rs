@@ -17,34 +17,377 @@
 //! element — otherwise it would have existed before, contradicting
 //! maximality. A failed seeded search is therefore a *proof* that the
 //! repaired matching is again maximum, not a heuristic give-up.
+//!
+//! The residual state lives in dense arenas ([`MatchState`]): `u32`
+//! owner/load/quota slabs and an intrusive [`OwnedList`] inverse index,
+//! so the searches run allocation-free over the graph's raw adjacency
+//! slices. Batch repair can additionally fan out over connected
+//! components on scoped threads
+//! ([`IncrementalMatcher::repair_batch_threads`]) while staying
+//! bit-identical to the sequential reference path.
 
+use crate::arena::{OwnedList, NONE};
 use crate::graph::BipartiteGraph;
+use crate::parallel;
 use crate::single_data::{quotas, Objective};
-use std::collections::BTreeSet;
+
+fn quotas_u32(n_files: usize, n_procs: usize) -> Vec<u32> {
+    quotas(n_files, n_procs)
+        .into_iter()
+        .map(|q| u32::try_from(q).expect("quota fits u32"))
+        .collect()
+}
+
+/// The dense residual state of a quota-constrained bipartite matching:
+/// everything the repair searches touch per visit, flattened into
+/// index-addressed slabs. [`NONE`] is the unmatched sentinel throughout.
+///
+/// Kept separate from the graph so the search methods can borrow the
+/// adjacency (`&BipartiteGraph`) immutably while mutating the state —
+/// the split-borrow that lets the DFS walk raw neighbor slices with
+/// zero per-visit allocation.
+#[derive(Debug, Clone)]
+pub(crate) struct MatchState {
+    /// Per-process task quota (always `quotas(n_files, n_procs)`).
+    pub(crate) quota: Vec<u32>,
+    /// `owner[f]` = process matched to file `f`, or [`NONE`].
+    pub(crate) owner: Vec<u32>,
+    /// Inverse of `owner` (`proc -> owned files`, ascending), kept in
+    /// lockstep so the repair DFS enumerates a process's matches in
+    /// O(load) instead of scanning every file.
+    pub(crate) owned: OwnedList,
+    /// `load[p]` = number of files matched to process `p`.
+    pub(crate) load: Vec<u32>,
+    /// DFS visited marks over processes, versioned to avoid clearing.
+    mark: Vec<u64>,
+    epoch: u64,
+    /// Frame-stacked `(weight, file)` snapshots for the exchange DFS —
+    /// one reusable buffer instead of a sort allocation per visit.
+    scratch: Vec<(u64, u32)>,
+}
+
+impl MatchState {
+    /// The single shared construction path (also the parallel-repair
+    /// write-back): adopts a dense owner vector verbatim and derives
+    /// `load` and the `owned` inverse index from it. `quota.len()` is
+    /// the process count. Validation stays at the public callers.
+    pub(crate) fn adopt(owner: Vec<u32>, quota: Vec<u32>) -> Self {
+        let m = quota.len();
+        let mut load = vec![0u32; m];
+        for &p in &owner {
+            if p != NONE {
+                load[p as usize] += 1;
+            }
+        }
+        let owned = OwnedList::rebuild_from(&owner, m);
+        MatchState {
+            quota,
+            owner,
+            owned,
+            load,
+            mark: vec![0; m],
+            epoch: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Points `file` at `proc` ([`NONE`] detaches), keeping the `owned`
+    /// inverse index in lockstep. Load bookkeeping stays at the call
+    /// sites — the searches move load along paths, not per file.
+    fn set_owner(&mut self, file: u32, proc: u32) {
+        let old = self.owner[file as usize];
+        if old != NONE {
+            self.owned.remove(old, file);
+        }
+        if proc != NONE {
+            self.owned.insert(proc, file);
+        }
+        self.owner[file as usize] = proc;
+    }
+
+    /// Kuhn-style augmenting search from an unmatched file. Commits on
+    /// success; on failure the matching is untouched.
+    fn try_augment(&mut self, g: &BipartiteGraph, file: u32) -> bool {
+        if self.owner[file as usize] != NONE {
+            return false;
+        }
+        self.epoch += 1;
+        self.dfs_rehome(g, file)
+    }
+
+    /// Finds a home for unmatched `file`: a co-located process with spare
+    /// quota, re-homing matched files along the way. Sorted adjacency and
+    /// the ascending `owned` chains make the path choice deterministic.
+    fn dfs_rehome(&mut self, g: &BipartiteGraph, file: u32) -> bool {
+        for &p in g.procs_raw(file as usize) {
+            if self.mark[p as usize] == self.epoch {
+                continue;
+            }
+            self.mark[p as usize] = self.epoch;
+            if self.load[p as usize] < self.quota[p as usize] {
+                self.set_owner(file, p);
+                self.load[p as usize] += 1;
+                return true;
+            }
+            // Walk p's owned chain live: capture the successor before
+            // unlinking, and note that the recursion below cannot touch
+            // p's chain (p is marked, so no deeper frame assigns to or
+            // evicts from it) — a failed branch relinks `f2` in place and
+            // the captured successor is still the right resume point.
+            let mut f2 = self.owned.head_of(p);
+            while f2 != NONE {
+                let nxt = self.owned.next_of(f2);
+                self.set_owner(f2, NONE);
+                if self.dfs_rehome(g, f2) {
+                    self.set_owner(file, p); // p trades f2 for file
+                    return true;
+                }
+                self.set_owner(f2, p);
+                f2 = nxt;
+            }
+        }
+        false
+    }
+
+    /// Augmenting search that terminates *into* `proc` (which must have
+    /// spare quota): reach an unmatched file along an alternating path
+    /// rooted at `proc`. Commits on success.
+    fn try_augment_into(&mut self, g: &BipartiteGraph, proc: u32) -> bool {
+        if self.load[proc as usize] >= self.quota[proc as usize] {
+            return false;
+        }
+        self.epoch += 1;
+        self.dfs_feed(g, proc)
+    }
+
+    fn dfs_feed(&mut self, g: &BipartiteGraph, proc: u32) -> bool {
+        if self.mark[proc as usize] == self.epoch {
+            return false;
+        }
+        self.mark[proc as usize] = self.epoch;
+        for &f in g.files_raw(proc as usize) {
+            if self.owner[f as usize] == NONE {
+                self.set_owner(f, proc);
+                self.load[proc as usize] += 1;
+                return true;
+            }
+        }
+        for &f in g.files_raw(proc as usize) {
+            let q = self.owner[f as usize];
+            if self.mark[q as usize] == self.epoch {
+                continue;
+            }
+            // Tentatively steal f so the recursion cannot grab it back,
+            // then let q recover through its own adjacency.
+            self.set_owner(f, proc);
+            self.load[proc as usize] += 1;
+            self.load[q as usize] -= 1;
+            if self.dfs_feed(g, q) {
+                return true;
+            }
+            self.set_owner(f, q);
+            self.load[q as usize] += 1;
+            self.load[proc as usize] -= 1;
+        }
+        false
+    }
+
+    /// Repairs after inserting edge `(proc, file)` where `file` is
+    /// matched to some other process `q`. Any augmenting path must cross
+    /// the new edge, splitting into a *release* half (source capacity
+    /// reaches `proc`) and a *feed* half (`q` re-homes onto a different
+    /// unmatched file). Both halves are vertex-disjoint from each other
+    /// whenever the prior matching was maximum — a shared vertex would
+    /// splice into an augmenting path that predates the edge — so they
+    /// can be committed independently.
+    fn augment_through(&mut self, g: &BipartiteGraph, proc: u32, file: u32) {
+        if !self.release_capacity(g, proc) {
+            return; // no augmenting path can cross the new edge
+        }
+        let q = self.owner[file as usize];
+        debug_assert!(q != NONE, "caller checked matched");
+        // Move `file` across the new edge (cardinality unchanged), then
+        // let the freed unit at q hunt for an unmatched file.
+        self.set_owner(file, proc);
+        self.load[proc as usize] += 1;
+        self.load[q as usize] -= 1;
+        // If this fails the matching is still valid and still maximum;
+        // the move simply stands (deterministic either way).
+        self.try_augment_into(g, q);
+    }
+
+    /// Ensures `proc` has a spare quota unit, re-homing one of its owned
+    /// files along an alternating path if necessary (commits on success).
+    /// Failure proves no unit of source capacity can reach `proc`.
+    fn release_capacity(&mut self, g: &BipartiteGraph, proc: u32) -> bool {
+        if self.load[proc as usize] < self.quota[proc as usize] {
+            return true;
+        }
+        let mut f2 = self.owned.head_of(proc);
+        while f2 != NONE {
+            let nxt = self.owned.next_of(f2);
+            self.epoch += 1;
+            self.mark[proc as usize] = self.epoch; // the chain must not re-enter
+            self.set_owner(f2, NONE);
+            self.load[proc as usize] -= 1;
+            if self.dfs_rehome(g, f2) {
+                return true;
+            }
+            self.set_owner(f2, proc);
+            self.load[proc as usize] += 1;
+            f2 = nxt;
+        }
+        false
+    }
+
+    /// Restores maximality after staged mutations: Kuhn phases over the
+    /// unmatched files with phase-shared visited marks (the DFS stage of
+    /// Hopcroft–Karp), repeated until a full phase augments nothing.
+    /// Sound as a stopping proof because every augmenting path begins at
+    /// an unmatched file; phase-sharing the marks only defers paths
+    /// blocked by an earlier search in the same phase to the next phase.
+    /// Finishes with the byte-optimality exchange pass.
+    pub(crate) fn repair_core(&mut self, g: &BipartiteGraph, objective: Objective) {
+        loop {
+            self.epoch += 1;
+            let mut progressed = false;
+            for f in 0..self.owner.len() {
+                if self.owner[f] == NONE && self.dfs_rehome(g, f as u32) {
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        self.restore_bytes_optimality(g, objective);
+    }
+
+    /// Restores byte-optimality among maximum matchings via improving
+    /// alternating-path exchanges; a no-op under `Objective::MatchCount`.
+    ///
+    /// Every unmatched file tries to enter the matching by evicting a
+    /// strictly smaller matched file reachable along an alternating path
+    /// (the transversal-matroid exchange). Each successful swap strictly
+    /// increases the byte total, so the fixpoint is reached in finitely
+    /// many steps; at the fixpoint no single improving exchange exists,
+    /// which for a matroid weight objective is global optimality.
+    fn restore_bytes_optimality(&mut self, g: &BipartiteGraph, objective: Objective) {
+        if objective != Objective::MatchedBytes {
+            return;
+        }
+        loop {
+            let mut unmatched: Vec<(u64, u32)> = (0..self.owner.len() as u32)
+                .filter(|&f| self.owner[f as usize] == NONE)
+                .map(|f| (file_size(g, f), f))
+                .collect();
+            // Deterministic order: biggest files first, then index.
+            unmatched.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            let mut progressed = false;
+            for (size, f) in unmatched {
+                if self.owner[f as usize] == NONE && self.try_exchange(g, f, size) {
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                return;
+            }
+        }
+    }
+
+    /// Attempts to bring unmatched `file` into the matching by evicting a
+    /// strictly smaller matched file along an alternating path.
+    fn try_exchange(&mut self, g: &BipartiteGraph, file: u32, size: u64) -> bool {
+        if size == 0 {
+            return false;
+        }
+        self.epoch += 1;
+        self.dfs_exchange(g, file, size)
+    }
+
+    /// DFS for an alternating path from unmatched `file` ending at a
+    /// victim with size < `limit`; `file` enters, the victim leaves,
+    /// cardinality is unchanged and matched bytes strictly increase.
+    /// Only mutates state on the committed success path.
+    fn dfs_exchange(&mut self, g: &BipartiteGraph, file: u32, limit: u64) -> bool {
+        for &p in g.procs_raw(file as usize) {
+            if self.mark[p as usize] == self.epoch {
+                continue;
+            }
+            self.mark[p as usize] = self.epoch;
+            debug_assert!(
+                self.load[p as usize] >= self.quota[p as usize],
+                "spare quota next to an unmatched file contradicts maximality"
+            );
+            // Snapshot p's owned files smallest-first onto the scratch
+            // stack: evict the cheapest, and prefer direct eviction over
+            // deeper pass-through chains. Frames below ours push past
+            // `end` and truncate back to it, so our slots stay stable.
+            let frame = self.scratch.len();
+            let mut f2 = self.owned.head_of(p);
+            while f2 != NONE {
+                let w = g.weight(p as usize, f2 as usize).unwrap_or(0);
+                self.scratch.push((w, f2));
+                f2 = self.owned.next_of(f2);
+            }
+            self.scratch[frame..].sort_unstable();
+            let end = self.scratch.len();
+            for i in frame..end {
+                let (w, f2) = self.scratch[i];
+                if w < limit {
+                    self.set_owner(f2, NONE);
+                    self.set_owner(file, p);
+                    self.scratch.truncate(frame);
+                    return true;
+                }
+                self.set_owner(f2, NONE);
+                if self.dfs_exchange(g, f2, limit) {
+                    self.set_owner(file, p);
+                    self.scratch.truncate(frame);
+                    return true;
+                }
+                self.set_owner(f2, p);
+            }
+            self.scratch.truncate(frame);
+        }
+        false
+    }
+}
+
+/// The file's chunk size: edge weights are uniform across a file's
+/// replicas (a process reads the whole chunk locally or not at all).
+fn file_size(g: &BipartiteGraph, file: u32) -> u64 {
+    g.procs_raw_wts(file as usize).first().copied().unwrap_or(0)
+}
 
 /// A maximum bipartite matching that can be repaired in place as the
 /// underlying locality graph mutates.
 ///
 /// The matcher owns its copy of the graph; callers mutate it exclusively
 /// through the methods here so the residual state never goes stale.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct IncrementalMatcher {
     graph: BipartiteGraph,
     objective: Objective,
-    /// Per-process task quota (always `quotas(n_files, n_procs)`).
-    quota: Vec<usize>,
-    /// `owner[f]` = process matched to file `f`, if any.
-    owner: Vec<Option<usize>>,
-    /// `owned[p]` = files matched to process `p` — the inverse of
-    /// `owner`, kept in lockstep so the repair DFS can enumerate a
-    /// process's matches in O(load) instead of scanning every file.
-    owned: Vec<BTreeSet<usize>>,
-    /// `load[p]` = number of files matched to process `p`.
-    load: Vec<usize>,
-    /// DFS visited marks over processes, versioned to avoid clearing.
-    mark: Vec<u64>,
-    epoch: u64,
+    state: MatchState,
 }
+
+/// Semantic equality: same graph, objective, quotas, owners, and loads.
+/// Search scratch (visited marks, epoch counter, exchange stack) and the
+/// `owned` index — a pure function of `owner` — are excluded, so two
+/// matchers that would behave identically compare equal even if they
+/// reached the state through different repair schedules.
+impl PartialEq for IncrementalMatcher {
+    fn eq(&self, other: &Self) -> bool {
+        self.graph == other.graph
+            && self.objective == other.objective
+            && self.state.quota == other.state.quota
+            && self.state.owner == other.state.owner
+            && self.state.load == other.state.load
+    }
+}
+
+impl Eq for IncrementalMatcher {}
 
 impl IncrementalMatcher {
     /// Builds the matcher from a graph, solving the initial matching with
@@ -53,20 +396,16 @@ impl IncrementalMatcher {
         let m = graph.n_procs();
         let n = graph.n_files();
         assert!(m > 0, "need at least one process");
+        let state = MatchState::adopt(vec![NONE; n], quotas_u32(n, m));
         let mut s = IncrementalMatcher {
             graph,
             objective,
-            quota: quotas(n, m),
-            owner: vec![None; n],
-            owned: vec![BTreeSet::new(); m],
-            load: vec![0; m],
-            mark: vec![0; m],
-            epoch: 0,
+            state,
         };
-        for f in 0..n {
-            s.try_augment(f);
+        for f in 0..n as u32 {
+            s.state.try_augment(&s.graph, f);
         }
-        s.restore_bytes_optimality();
+        s.state.restore_bytes_optimality(&s.graph, s.objective);
         s.debug_check();
         s
     }
@@ -93,40 +432,35 @@ impl IncrementalMatcher {
         let n = graph.n_files();
         assert!(m > 0, "need at least one process");
         assert_eq!(owner.len(), n, "one owner slot per file");
-        let quota = quotas(n, m);
-        let mut load = vec![0usize; m];
-        for (f, o) in owner.iter().enumerate() {
-            if let Some(p) = *o {
-                assert!(
-                    graph.weight(p, f).is_some(),
-                    "matched edge ({p},{f}) absent from the graph"
-                );
-                load[p] += 1;
-                assert!(load[p] <= quota[p], "process {p} above quota");
-            }
-        }
-        let mut owned = vec![BTreeSet::new(); m];
-        for (f, o) in owner.iter().enumerate() {
-            if let Some(p) = *o {
-                owned[p].insert(f);
-            }
+        let dense: Vec<u32> = owner
+            .iter()
+            .enumerate()
+            .map(|(f, o)| match *o {
+                Some(p) => {
+                    assert!(
+                        graph.weight(p, f).is_some(),
+                        "matched edge ({p},{f}) absent from the graph"
+                    );
+                    p as u32
+                }
+                None => NONE,
+            })
+            .collect();
+        let state = MatchState::adopt(dense, quotas_u32(n, m));
+        for (p, (&l, &q)) in state.load.iter().zip(&state.quota).enumerate() {
+            assert!(l <= q, "process {p} above quota");
         }
         let mut s = IncrementalMatcher {
             graph,
             objective,
-            quota,
-            owner,
-            owned,
-            load,
-            mark: vec![0; m],
-            epoch: 0,
+            state,
         };
-        for f in 0..n {
-            if s.owner[f].is_none() {
-                s.try_augment(f);
+        for f in 0..n as u32 {
+            if s.state.owner[f as usize] == NONE {
+                s.state.try_augment(&s.graph, f);
             }
         }
-        s.restore_bytes_optimality();
+        s.state.restore_bytes_optimality(&s.graph, s.objective);
         s.debug_check();
         s
     }
@@ -138,31 +472,57 @@ impl IncrementalMatcher {
 
     /// Current matching cardinality.
     pub fn matched_count(&self) -> usize {
-        self.owner.iter().filter(|o| o.is_some()).count()
+        // The load slab is maintained on every owner change, so summing
+        // it is O(procs), not O(files).
+        self.state.load.iter().map(|&l| l as usize).sum()
     }
 
     /// Sum of matched-edge weights (locally read bytes).
     pub fn matched_bytes(&self) -> u64 {
-        self.owner
+        self.state
+            .owner
             .iter()
             .enumerate()
-            .filter_map(|(f, o)| o.map(|p| self.graph.weight(p, f).expect("matched edge exists")))
+            .filter(|&(_, &p)| p != NONE)
+            .map(|(f, &p)| {
+                self.graph
+                    .weight(p as usize, f)
+                    .expect("matched edge exists")
+            })
             .sum()
     }
 
-    /// Owner of each file, if matched locally.
-    pub fn owners(&self) -> &[Option<usize>] {
-        &self.owner
+    /// Owner of each file, if matched locally, decoded from the dense
+    /// slab (a fresh vector — use [`IncrementalMatcher::owner_of`] or
+    /// [`IncrementalMatcher::owners_dense`] on hot paths).
+    pub fn owners(&self) -> Vec<Option<usize>> {
+        self.state
+            .owner
+            .iter()
+            .map(|&p| (p != NONE).then_some(p as usize))
+            .collect()
+    }
+
+    /// Owner of `file`, if matched locally.
+    pub fn owner_of(&self, file: usize) -> Option<usize> {
+        let p = self.state.owner[file];
+        (p != NONE).then_some(p as usize)
+    }
+
+    /// The raw owner slab: one `u32` process handle per file, [`NONE`]
+    /// when unmatched. Zero-copy view for render and bench paths.
+    pub fn owners_dense(&self) -> &[u32] {
+        &self.state.owner
     }
 
     /// Per-process quotas in force.
-    pub fn quota(&self) -> &[usize] {
-        &self.quota
+    pub fn quota(&self) -> &[u32] {
+        &self.state.quota
     }
 
     /// Per-process matched load.
-    pub fn load(&self) -> &[usize] {
-        &self.load
+    pub fn load(&self) -> &[u32] {
+        &self.state.load
     }
 
     /// Adds (or reweights) a locality edge and repairs the matching.
@@ -170,13 +530,15 @@ impl IncrementalMatcher {
         let existed = self.graph.weight(proc, file).is_some();
         self.graph.add_edge(proc, file, bytes);
         if !existed {
-            if self.owner[file].is_none() {
-                self.try_augment(file);
+            if self.state.owner[file] == NONE {
+                self.state.try_augment(&self.graph, file as u32);
             } else {
-                self.augment_through(proc, file);
+                self.state
+                    .augment_through(&self.graph, proc as u32, file as u32);
             }
         }
-        self.restore_bytes_optimality();
+        self.state
+            .restore_bytes_optimality(&self.graph, self.objective);
         self.debug_check();
     }
 
@@ -185,16 +547,17 @@ impl IncrementalMatcher {
         if !self.graph.remove_edge(proc, file) {
             return;
         }
-        if self.owner[file] == Some(proc) {
-            self.set_owner(file, None);
-            self.load[proc] -= 1;
+        if self.state.owner[file] == proc as u32 {
+            self.state.set_owner(file as u32, NONE);
+            self.state.load[proc] -= 1;
             // Two independent recovery routes, each bounded by the one
             // unit of residual capacity the removal created: rematch the
             // file elsewhere, and refill the freed quota unit of `proc`.
-            self.try_augment(file);
-            self.try_augment_into(proc);
+            self.state.try_augment(&self.graph, file as u32);
+            self.state.try_augment_into(&self.graph, proc as u32);
         }
-        self.restore_bytes_optimality();
+        self.state
+            .restore_bytes_optimality(&self.graph, self.objective);
         self.debug_check();
     }
 
@@ -206,15 +569,17 @@ impl IncrementalMatcher {
     /// new file index.
     pub fn add_file(&mut self, edges: &[(usize, u64)]) -> usize {
         let f = self.graph.push_file();
-        self.owner.push(None);
+        self.state.owner.push(NONE);
+        self.state.owned.push_file();
         for &(p, bytes) in edges {
             self.graph.add_edge(p, f, bytes);
         }
-        let gainer = (self.graph.n_files() - 1) % self.load.len();
-        self.quota[gainer] += 1;
-        self.try_augment(f);
-        self.try_augment_into(gainer);
-        self.restore_bytes_optimality();
+        let gainer = (self.graph.n_files() - 1) % self.state.load.len();
+        self.state.quota[gainer] += 1;
+        self.state.try_augment(&self.graph, f as u32);
+        self.state.try_augment_into(&self.graph, gainer as u32);
+        self.state
+            .restore_bytes_optimality(&self.graph, self.objective);
         self.debug_check();
         f
     }
@@ -226,42 +591,43 @@ impl IncrementalMatcher {
     /// rematch attempt; a failed rematch proves the shrunk network's flow
     /// really is one lower.
     pub fn remove_file(&mut self, file: usize) {
-        let freed_proc = self.owner[file];
-        self.owner.remove(file);
-        // Every file index above `file` shifted down: rebuild the
-        // inverse index (removal is already O(n) in the graph compaction).
-        for set in &mut self.owned {
-            set.clear();
-        }
-        for (f, o) in self.owner.iter().enumerate() {
-            if let Some(p) = *o {
-                self.owned[p].insert(f);
-            }
-        }
+        let freed_proc = self.state.owner[file];
+        self.state.owner.remove(file);
         self.graph.remove_file(file);
-        if let Some(p) = freed_proc {
-            self.load[p] -= 1;
+        // Every file index above `file` shifted down: re-adopt the owner
+        // slab through the shared construction path, which re-derives
+        // `owned` and `load` (removal is already O(n) in the graph
+        // compaction). Quotas are still pre-shrink here.
+        let owner = std::mem::take(&mut self.state.owner);
+        let quota = std::mem::take(&mut self.state.quota);
+        self.state = MatchState::adopt(owner, quota);
+        let loser = self.graph.n_files() % self.state.load.len();
+        self.state.quota[loser] -= 1;
+        let mut victim = NONE;
+        if self.state.load[loser] > self.state.quota[loser] {
+            let mut best = (u64::MAX, NONE);
+            let mut f2 = self.state.owned.head_of(loser as u32);
+            while f2 != NONE {
+                let w = self.graph.weight(loser, f2 as usize).unwrap_or(0);
+                if (w, f2) < best {
+                    best = (w, f2);
+                }
+                f2 = self.state.owned.next_of(f2);
+            }
+            let v = best.1;
+            assert!(v != NONE, "load > quota implies an owned file");
+            self.state.set_owner(v, NONE);
+            self.state.load[loser] -= 1;
+            victim = v;
         }
-        let loser = self.graph.n_files() % self.load.len();
-        self.quota[loser] -= 1;
-        let mut victim = None;
-        if self.load[loser] > self.quota[loser] {
-            let v = self
-                .owned_files(loser)
-                .into_iter()
-                .min_by_key(|&g| (self.graph.weight(loser, g).unwrap_or(0), g))
-                .expect("load > quota implies an owned file");
-            self.set_owner(v, None);
-            self.load[loser] -= 1;
-            victim = Some(v);
+        if victim != NONE {
+            self.state.try_augment(&self.graph, victim);
         }
-        if let Some(v) = victim {
-            self.try_augment(v);
+        if freed_proc != NONE {
+            self.state.try_augment_into(&self.graph, freed_proc);
         }
-        if let Some(p) = freed_proc {
-            self.try_augment_into(p);
-        }
-        self.restore_bytes_optimality();
+        self.state
+            .restore_bytes_optimality(&self.graph, self.objective);
         self.debug_check();
     }
 
@@ -280,299 +646,76 @@ impl IncrementalMatcher {
         if !self.graph.remove_edge(proc, file) {
             return;
         }
-        if self.owner[file] == Some(proc) {
-            self.set_owner(file, None);
-            self.load[proc] -= 1;
+        if self.state.owner[file] == proc as u32 {
+            self.state.set_owner(file as u32, NONE);
+            self.state.load[proc] -= 1;
         }
     }
 
-    /// Restores maximality after staged mutations: Kuhn phases over the
-    /// unmatched files with phase-shared visited marks (the DFS stage of
-    /// Hopcroft–Karp), repeated until a full phase augments nothing.
-    /// Sound as a stopping proof because every augmenting path begins at
-    /// an unmatched file; phase-sharing the marks only defers paths
-    /// blocked by an earlier search in the same phase to the next phase.
-    /// Finishes with the byte-optimality exchange pass.
+    /// Restores maximality after staged mutations on the sequential
+    /// reference path; see [`MatchState::repair_core`] for the phase
+    /// discipline and stopping proof.
     pub fn repair_batch(&mut self) {
-        loop {
-            self.epoch += 1;
-            let mut progressed = false;
-            for f in 0..self.owner.len() {
-                if self.owner[f].is_none() && self.dfs_rehome(f) {
-                    progressed = true;
-                }
-            }
-            if !progressed {
-                break;
-            }
-        }
-        self.restore_bytes_optimality();
+        self.state.repair_core(&self.graph, self.objective);
         self.debug_check();
     }
 
-    /// Files currently owned by `proc` (ascending index). O(load), not
-    /// O(files): the DFS searches call this for every visited process,
-    /// and a failed (proof-of-maximality) search visits a whole
-    /// component — a linear scan here made repair slower than re-solving.
-    fn owned_files(&self, proc: usize) -> Vec<usize> {
-        self.owned[proc].iter().copied().collect()
-    }
-
-    /// Points `file` at `proc`, keeping the `owned` inverse index in
-    /// lockstep. Load bookkeeping stays at the call sites — the searches
-    /// move load along paths, not per file.
-    fn set_owner(&mut self, file: usize, proc: Option<usize>) {
-        if let Some(old) = self.owner[file] {
-            self.owned[old].remove(&file);
-        }
-        if let Some(p) = proc {
-            self.owned[p].insert(file);
-        }
-        self.owner[file] = proc;
-    }
-
-    /// Repairs after inserting edge `(proc, file)` where `file` is
-    /// matched to some other process `q`. Any augmenting path must cross
-    /// the new edge, splitting into a *release* half (source capacity
-    /// reaches `proc`) and a *feed* half (`q` re-homes onto a different
-    /// unmatched file). Both halves are vertex-disjoint from each other
-    /// whenever the prior matching was maximum — a shared vertex would
-    /// splice into an augmenting path that predates the edge — so they
-    /// can be committed independently.
-    fn augment_through(&mut self, proc: usize, file: usize) {
-        if !self.release_capacity(proc) {
-            return; // no augmenting path can cross the new edge
-        }
-        let q = self.owner[file].expect("caller checked matched");
-        // Move `file` across the new edge (cardinality unchanged), then
-        // let the freed unit at q hunt for an unmatched file.
-        self.set_owner(file, Some(proc));
-        self.load[proc] += 1;
-        self.load[q] -= 1;
-        // If this fails the matching is still valid and still maximum;
-        // the move simply stands (deterministic either way).
-        self.try_augment_into(q);
-    }
-
-    /// Ensures `proc` has a spare quota unit, re-homing one of its owned
-    /// files along an alternating path if necessary (commits on success).
-    /// Failure proves no unit of source capacity can reach `proc`.
-    fn release_capacity(&mut self, proc: usize) -> bool {
-        if self.load[proc] < self.quota[proc] {
-            return true;
-        }
-        for g in self.owned_files(proc) {
-            self.epoch += 1;
-            self.mark[proc] = self.epoch; // the chain must not re-enter
-            self.set_owner(g, None);
-            self.load[proc] -= 1;
-            if self.dfs_rehome(g) {
-                return true;
-            }
-            self.set_owner(g, Some(proc));
-            self.load[proc] += 1;
-        }
-        false
-    }
-
-    /// Kuhn-style augmenting search from an unmatched file. Commits on
-    /// success; on failure the matching is untouched.
-    fn try_augment(&mut self, file: usize) -> bool {
-        if self.owner[file].is_some() {
-            return false;
-        }
-        self.epoch += 1;
-        self.dfs_rehome(file)
-    }
-
-    /// Finds a home for unmatched `file`: a co-located process with spare
-    /// quota, re-homing matched files along the way. Sorted adjacency
-    /// makes the path choice deterministic.
-    fn dfs_rehome(&mut self, file: usize) -> bool {
-        let procs: Vec<usize> = self.graph.procs_of(file).iter().map(|&(p, _)| p).collect();
-        for p in procs {
-            if self.mark[p] == self.epoch {
-                continue;
-            }
-            self.mark[p] = self.epoch;
-            if self.load[p] < self.quota[p] {
-                self.set_owner(file, Some(p));
-                self.load[p] += 1;
-                return true;
-            }
-            for g in self.owned_files(p) {
-                self.set_owner(g, None);
-                if self.dfs_rehome(g) {
-                    self.set_owner(file, Some(p)); // p trades g for file
-                    return true;
-                }
-                self.set_owner(g, Some(p));
-            }
-        }
-        false
-    }
-
-    /// Augmenting search that terminates *into* `proc` (which must have
-    /// spare quota): reach an unmatched file along an alternating path
-    /// rooted at `proc`. Commits on success.
-    fn try_augment_into(&mut self, proc: usize) -> bool {
-        if self.load[proc] >= self.quota[proc] {
-            return false;
-        }
-        self.epoch += 1;
-        self.dfs_feed(proc)
-    }
-
-    fn dfs_feed(&mut self, proc: usize) -> bool {
-        if self.mark[proc] == self.epoch {
-            return false;
-        }
-        self.mark[proc] = self.epoch;
-        let files: Vec<usize> = self.graph.files_of(proc).iter().map(|&(f, _)| f).collect();
-        for &f in &files {
-            if self.owner[f].is_none() {
-                self.set_owner(f, Some(proc));
-                self.load[proc] += 1;
-                return true;
-            }
-        }
-        for &f in &files {
-            let q = self.owner[f].expect("unmatched handled above");
-            if self.mark[q] == self.epoch {
-                continue;
-            }
-            // Tentatively steal f so the recursion cannot grab it back,
-            // then let q recover through its own adjacency.
-            self.set_owner(f, Some(proc));
-            self.load[proc] += 1;
-            self.load[q] -= 1;
-            if self.dfs_feed(q) {
-                return true;
-            }
-            self.set_owner(f, Some(q));
-            self.load[q] += 1;
-            self.load[proc] -= 1;
-        }
-        false
-    }
-
-    /// Restores byte-optimality among maximum matchings via improving
-    /// alternating-path exchanges; a no-op under `Objective::MatchCount`.
-    ///
-    /// Every unmatched file tries to enter the matching by evicting a
-    /// strictly smaller matched file reachable along an alternating path
-    /// (the transversal-matroid exchange). Each successful swap strictly
-    /// increases the byte total, so the fixpoint is reached in finitely
-    /// many steps; at the fixpoint no single improving exchange exists,
-    /// which for a matroid weight objective is global optimality.
-    fn restore_bytes_optimality(&mut self) {
-        if self.objective != Objective::MatchedBytes {
+    /// Like [`IncrementalMatcher::repair_batch`], but fans the repair out
+    /// over the connected components of the locality graph on up to
+    /// `threads` scoped threads. Augmenting and exchange paths never
+    /// leave a component, and only components containing an unmatched
+    /// file can change, so each component repairs independently with the
+    /// *same* sequential kernel and the merged result is bit-identical
+    /// to the reference path — `threads <= 1`, or too few components,
+    /// simply falls back to it.
+    pub fn repair_batch_threads(&mut self, threads: usize) {
+        if threads <= 1 {
+            self.repair_batch();
             return;
         }
-        loop {
-            let mut unmatched: Vec<usize> = (0..self.owner.len())
-                .filter(|&f| self.owner[f].is_none())
-                .collect();
-            // Deterministic order: biggest files first, then index.
-            unmatched.sort_by_key(|&f| (std::cmp::Reverse(self.file_size(f)), f));
-            let mut progressed = false;
-            for f in unmatched {
-                if self.owner[f].is_none() && self.try_exchange(f) {
-                    progressed = true;
-                }
+        match parallel::repair_parallel(&self.graph, &self.state, self.objective, threads) {
+            Some(owner) => {
+                let quota = std::mem::take(&mut self.state.quota);
+                self.state = MatchState::adopt(owner, quota);
+                self.debug_check();
             }
-            if !progressed {
-                return;
-            }
+            None => self.repair_batch(),
         }
-    }
-
-    /// The file's chunk size: edge weights are uniform across a file's
-    /// replicas (a process reads the whole chunk locally or not at all).
-    fn file_size(&self, file: usize) -> u64 {
-        self.graph
-            .procs_of(file)
-            .first()
-            .map(|&(_, b)| b)
-            .unwrap_or(0)
-    }
-
-    /// Attempts to bring unmatched `file` into the matching by evicting a
-    /// strictly smaller matched file along an alternating path.
-    fn try_exchange(&mut self, file: usize) -> bool {
-        let size = self.file_size(file);
-        if size == 0 {
-            return false;
-        }
-        self.epoch += 1;
-        self.dfs_exchange(file, size)
-    }
-
-    /// DFS for an alternating path from unmatched `file` ending at a
-    /// victim with size < `limit`; `file` enters, the victim leaves,
-    /// cardinality is unchanged and matched bytes strictly increase.
-    /// Only mutates state on the committed success path.
-    fn dfs_exchange(&mut self, file: usize, limit: u64) -> bool {
-        let procs: Vec<usize> = self.graph.procs_of(file).iter().map(|&(p, _)| p).collect();
-        for p in procs {
-            if self.mark[p] == self.epoch {
-                continue;
-            }
-            self.mark[p] = self.epoch;
-            debug_assert!(
-                self.load[p] >= self.quota[p],
-                "spare quota next to an unmatched file contradicts maximality"
-            );
-            // Owned files smallest-first: evict the cheapest, and prefer
-            // direct eviction over deeper pass-through chains.
-            let mut owned = self.owned_files(p);
-            owned.sort_by_key(|&g| (self.graph.weight(p, g).unwrap_or(0), g));
-            for g in owned {
-                if self.graph.weight(p, g).unwrap_or(0) < limit {
-                    self.set_owner(g, None);
-                    self.set_owner(file, Some(p));
-                    return true;
-                }
-                self.set_owner(g, None);
-                if self.dfs_exchange(g, limit) {
-                    self.set_owner(file, Some(p));
-                    return true;
-                }
-                self.set_owner(g, Some(p));
-            }
-        }
-        false
     }
 
     #[cfg(debug_assertions)]
     fn debug_check(&self) {
         self.graph.check_mirror().expect("graph mirror invariant");
         assert_eq!(
-            self.quota.iter().sum::<usize>(),
+            self.state.quota.iter().map(|&q| q as usize).sum::<usize>(),
             self.graph.n_files(),
             "quotas sum to the file count"
         );
-        let mut load = vec![0usize; self.load.len()];
-        for (f, o) in self.owner.iter().enumerate() {
-            if let Some(p) = *o {
+        let mut load = vec![0u32; self.state.load.len()];
+        for (f, &p) in self.state.owner.iter().enumerate() {
+            if p != NONE {
                 assert!(
-                    self.graph.weight(p, f).is_some(),
+                    self.graph.weight(p as usize, f).is_some(),
                     "matched pair ({p},{f}) must be an edge"
                 );
-                load[p] += 1;
+                load[p as usize] += 1;
             }
         }
-        assert_eq!(load, self.load, "load vector consistent with owners");
-        for (p, &l) in load.iter().enumerate() {
-            assert!(l <= self.quota[p], "process {p} over quota");
+        assert_eq!(load, self.state.load, "load vector consistent with owners");
+        for (p, (&l, &q)) in load.iter().zip(&self.state.quota).enumerate() {
+            assert!(l <= q, "process {p} over quota");
         }
-        let mut owned = vec![BTreeSet::new(); self.load.len()];
-        for (f, o) in self.owner.iter().enumerate() {
-            if let Some(p) = *o {
-                owned[p].insert(f);
+        for p in 0..self.state.load.len() as u32 {
+            let mut prev = NONE;
+            let mut count = 0u32;
+            for f in self.state.owned.iter(p) {
+                assert!(prev == NONE || prev < f, "owned chain of {p} must ascend");
+                assert_eq!(self.state.owner[f as usize], p, "chain member owned by {p}");
+                prev = f;
+                count += 1;
             }
+            assert_eq!(count, load[p as usize], "chain length equals load");
         }
-        assert_eq!(owned, self.owned, "inverse index consistent with owners");
     }
 
     #[cfg(not(debug_assertions))]
@@ -776,14 +919,20 @@ mod tests {
 
     #[test]
     fn quota_tracks_file_count() {
+        let q32 = |n, m| {
+            quotas(n, m)
+                .into_iter()
+                .map(|q| q as u32)
+                .collect::<Vec<u32>>()
+        };
         let g = random_graph(3, 10, 2, 2);
         let mut inc = IncrementalMatcher::new(g, Objective::MatchCount);
-        assert_eq!(inc.quota(), &quotas(10, 3)[..]);
+        assert_eq!(inc.quota(), &q32(10, 3)[..]);
         inc.add_file(&[(0, 64)]);
-        assert_eq!(inc.quota(), &quotas(11, 3)[..]);
+        assert_eq!(inc.quota(), &q32(11, 3)[..]);
         inc.remove_file(3);
         inc.remove_file(0);
-        assert_eq!(inc.quota(), &quotas(9, 3)[..]);
+        assert_eq!(inc.quota(), &q32(9, 3)[..]);
     }
 
     #[test]
@@ -835,6 +984,7 @@ mod tests {
         script(&mut a);
         script(&mut b);
         assert_eq!(a, b, "same delta sequence must be bit-identical");
+        assert_eq!(a.owners_dense(), b.owners_dense());
     }
 
     #[test]
@@ -896,5 +1046,80 @@ mod tests {
         );
         let (_, want_bytes) = flow_reference(&graph, Objective::MatchedBytes);
         assert_eq!(inc.matched_bytes(), want_bytes);
+    }
+
+    /// A clustered world with disjoint components so the parallel path
+    /// actually partitions: `groups` islands of `m_per` procs and `n_per`
+    /// files each, randomly wired within the island only.
+    fn clustered_graph(groups: usize, m_per: usize, n_per: usize, seed: u64) -> BipartiteGraph {
+        let mut g = BipartiteGraph::new(groups * m_per, groups * n_per);
+        let mut state = seed;
+        for c in 0..groups {
+            for f in 0..n_per {
+                for p in 0..m_per {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    if state % 3 == 0 {
+                        g.add_edge(c * m_per + p, c * n_per + f, state % 500 + 1);
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn parallel_repair_is_bit_identical_to_sequential() {
+        for objective in [Objective::MatchCount, Objective::MatchedBytes] {
+            for seed in [3u64, 19, 71] {
+                let g = clustered_graph(6, 3, 9, seed);
+                let mut seq = IncrementalMatcher::new(g.clone(), objective);
+                let mut par2 = seq.clone();
+                let mut par8 = seq.clone();
+                let mut state = seed ^ 0xABCD;
+                let mut ops = Vec::new();
+                for _ in 0..30 {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let p = (state >> 8) as usize % g.n_procs();
+                    // Stay within the island so components survive churn.
+                    let island = p / 3;
+                    let f = island * 9 + (state >> 24) as usize % 9;
+                    ops.push((p, f, state % 997 + 1));
+                }
+                for m in [&mut seq, &mut par2, &mut par8] {
+                    for &(p, f, bytes) in &ops {
+                        if m.graph().weight(p, f).is_some() {
+                            m.stage_remove_edge(p, f);
+                        } else {
+                            m.stage_add_edge(p, f, bytes);
+                        }
+                    }
+                }
+                seq.repair_batch();
+                par2.repair_batch_threads(2);
+                par8.repair_batch_threads(8);
+                assert_eq!(seq, par2, "2 threads, seed {seed}");
+                assert_eq!(seq, par8, "8 threads, seed {seed}");
+                assert_eq!(seq.owners_dense(), par2.owners_dense());
+                assert_eq!(seq.owners_dense(), par8.owners_dense());
+                // And the parallel result keeps repairing identically.
+                par8.add_edge(0, 1, 42);
+                seq.add_edge(0, 1, 42);
+                assert_eq!(seq, par8, "post-merge repairs stay in lockstep");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_repair_falls_back_on_single_component() {
+        // One fully-connected component: the parallel entry point must
+        // fall back to the sequential kernel and still be identical.
+        let g = random_graph(4, 16, 2, 55);
+        let mut seq = IncrementalMatcher::new(g.clone(), Objective::MatchedBytes);
+        let mut par = seq.clone();
+        seq.stage_remove_edge(0, 0);
+        par.stage_remove_edge(0, 0);
+        seq.repair_batch();
+        par.repair_batch_threads(8);
+        assert_eq!(seq, par);
     }
 }

@@ -2,8 +2,11 @@
 //!
 //! The algorithmic heart of the Opass reproduction (paper Section IV):
 //!
+//! * [`arena`] — the flat solver arenas: pooled struct-of-arrays
+//!   adjacency spans and the intrusive owned-file lists the hot paths
+//!   run on (`u32` handles, zero per-visit allocation);
 //! * [`graph`] — the process↔chunk bipartite locality graph built from the
-//!   file-system layout (Figure 4);
+//!   file-system layout (Figure 4), stored on the arena pools;
 //! * [`maxflow`] — Edmonds–Karp (as in the paper) and Dinic implementations
 //!   over one residual network representation;
 //! * [`single_data`] — the flow-network matcher for equal-quota tasks with
@@ -43,16 +46,19 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod arena;
 pub mod assignment;
 pub mod dynamic;
 pub mod graph;
 pub mod incremental;
 pub mod maxflow;
 pub mod multi_data;
+mod parallel;
 pub mod placement;
 pub mod single_data;
 pub mod stable_marriage;
 
+pub use arena::{AdjPool, OwnedList, NONE};
 pub use assignment::{locality_report, Assignment, LocalityReport};
 pub use dynamic::{
     DelayScheduler, DynamicScheduler, FifoScheduler, GuidedScheduler, StealPolicy, StealRecord,

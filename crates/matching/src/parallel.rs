@@ -1,0 +1,221 @@
+//! Component-parallel batch repair.
+//!
+//! Augmenting, feeding, and exchange searches walk alternating paths, and
+//! paths cannot leave the connected component of the (undirected)
+//! locality graph they start in. Batch repair seeds every search at an
+//! unmatched file, so a component with no unmatched file is provably
+//! untouched by [`MatchState::repair_core`]. That makes the repair
+//! embarrassingly parallel: extract each component containing an
+//! unmatched file as a self-contained subproblem, run the *same*
+//! sequential kernel on each, and write the owners back.
+//!
+//! Determinism discipline (same as the Monte-Carlo parallelism in
+//! `opass-analysis`): components are discovered in ascending file order,
+//! split into fixed contiguous blocks by component index, workers run on
+//! scoped threads, and results are merged by joining the workers **in
+//! spawn order** — never by completion order. Because within a component
+//! the kernel sees files and processes in the same relative order as the
+//! global sequential pass (extraction is order-preserving), and because
+//! searches in different components commute (disjoint vertices, disjoint
+//! marks), the merged owner vector is bit-identical to the sequential
+//! path's — not merely equivalent. The property test in
+//! `opass-tests` drives both paths through churn schedules at 1/2/8
+//! threads to hold this line.
+
+use crate::arena::NONE;
+use crate::graph::BipartiteGraph;
+use crate::incremental::MatchState;
+use crate::single_data::Objective;
+
+/// One connected component that contains at least one unmatched file:
+/// sorted global file and process handles.
+struct Component {
+    files: Vec<u32>,
+    procs: Vec<u32>,
+}
+
+/// Discovers the connected components of `g` reachable from unmatched
+/// files, in ascending order of their smallest unmatched file. Member
+/// lists come out sorted.
+fn active_components(g: &BipartiteGraph, owner: &[u32]) -> Vec<Component> {
+    let mut file_seen = vec![false; g.n_files()];
+    let mut proc_seen = vec![false; g.n_procs()];
+    let mut comps = Vec::new();
+    let mut queue: Vec<u32> = Vec::new();
+    for seed in 0..g.n_files() {
+        if owner[seed] != NONE || file_seen[seed] {
+            continue;
+        }
+        let mut files = Vec::new();
+        let mut procs = Vec::new();
+        file_seen[seed] = true;
+        queue.push(seed as u32);
+        files.push(seed as u32);
+        // BFS alternating sides; `queue` holds file handles, process
+        // frontiers expand inline.
+        while let Some(f) = queue.pop() {
+            for &p in g.procs_raw(f as usize) {
+                if proc_seen[p as usize] {
+                    continue;
+                }
+                proc_seen[p as usize] = true;
+                procs.push(p);
+                for &f2 in g.files_raw(p as usize) {
+                    if !file_seen[f2 as usize] {
+                        file_seen[f2 as usize] = true;
+                        files.push(f2);
+                        queue.push(f2);
+                    }
+                }
+            }
+        }
+        files.sort_unstable();
+        procs.sort_unstable();
+        comps.push(Component { files, procs });
+    }
+    comps
+}
+
+/// Repairs one component as a self-contained subproblem and returns its
+/// `(global_file, new_global_owner)` pairs. Extraction renumbers the
+/// component's vertices by rank in the sorted member lists, which
+/// preserves relative order — the kernel therefore visits neighbors,
+/// owned chains, and unmatched seeds in exactly the order the global
+/// sequential pass would.
+fn repair_component(
+    g: &BipartiteGraph,
+    state: &MatchState,
+    objective: Objective,
+    comp: &Component,
+) -> Vec<(u32, u32)> {
+    let to_local_proc = |p: u32| {
+        comp.procs
+            .binary_search(&p)
+            .expect("edge endpoint in component") as u32
+    };
+    let mut local_g = BipartiteGraph::new(comp.procs.len(), comp.files.len());
+    let mut local_owner = vec![NONE; comp.files.len()];
+    for (lf, &gf) in comp.files.iter().enumerate() {
+        for (&p, &w) in g
+            .procs_raw(gf as usize)
+            .iter()
+            .zip(g.procs_raw_wts(gf as usize))
+        {
+            local_g.add_edge(to_local_proc(p) as usize, lf, w);
+        }
+        let p = state.owner[gf as usize];
+        if p != NONE {
+            local_owner[lf] = to_local_proc(p);
+        }
+    }
+    // Quotas are global per-process facts; the component inherits its
+    // processes' slices verbatim (they do not sum to the local file
+    // count, and need not — the kernel never assumes that).
+    let local_quota: Vec<u32> = comp
+        .procs
+        .iter()
+        .map(|&p| state.quota[p as usize])
+        .collect();
+    let mut local = MatchState::adopt(local_owner, local_quota);
+    local.repair_core(&local_g, objective);
+    comp.files
+        .iter()
+        .zip(&local.owner)
+        .map(|(&gf, &lp)| {
+            let gp = if lp == NONE {
+                NONE
+            } else {
+                comp.procs[lp as usize]
+            };
+            (gf, gp)
+        })
+        .collect()
+}
+
+/// Runs batch repair across components on up to `threads` scoped
+/// threads and returns the repaired global owner vector, or `None` when
+/// the problem does not decompose (fewer than two active components) and
+/// the caller should use the sequential kernel directly.
+pub(crate) fn repair_parallel(
+    g: &BipartiteGraph,
+    state: &MatchState,
+    objective: Objective,
+    threads: usize,
+) -> Option<Vec<u32>> {
+    let comps = active_components(g, &state.owner);
+    if comps.len() < 2 {
+        return None;
+    }
+    let nt = threads.min(comps.len());
+    let mut partials: Vec<Vec<(u32, u32)>> = Vec::with_capacity(nt);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nt);
+        for w in 0..nt {
+            // Contiguous component block [lo, hi) for worker w; blocks
+            // differ by at most one component.
+            let lo = comps.len() * w / nt;
+            let hi = comps.len() * (w + 1) / nt;
+            let comps = &comps[lo..hi];
+            handles.push(scope.spawn(move || {
+                let mut out = Vec::new();
+                for comp in comps {
+                    out.extend(repair_component(g, state, objective, comp));
+                }
+                out
+            }));
+        }
+        // Join in spawn order: the merge below must not depend on which
+        // worker finishes first.
+        for h in handles {
+            partials.push(h.join().expect("repair worker panicked"));
+        }
+    });
+    let mut owner = state.owner.clone();
+    for (gf, gp) in partials.into_iter().flatten() {
+        owner[gf as usize] = gp;
+    }
+    Some(owner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_discovery_skips_fully_matched_islands() {
+        // Island A: one proc, one file, matched. Island B: one proc, two
+        // files, one unmatched. Only B is active.
+        let mut g = BipartiteGraph::new(2, 3);
+        g.add_edge(0, 0, 8);
+        g.add_edge(1, 1, 8);
+        g.add_edge(1, 2, 8);
+        let owner = vec![0, 1, NONE];
+        let comps = active_components(&g, &owner);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].files, vec![1, 2]);
+        assert_eq!(comps[0].procs, vec![1]);
+    }
+
+    #[test]
+    fn component_discovery_orders_by_smallest_unmatched_file() {
+        let mut g = BipartiteGraph::new(3, 6);
+        for c in 0..3 {
+            g.add_edge(c, c * 2, 8);
+            g.add_edge(c, c * 2 + 1, 8);
+        }
+        let owner = vec![NONE; 6];
+        let comps = active_components(&g, &owner);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0].files, vec![0, 1]);
+        assert_eq!(comps[1].files, vec![2, 3]);
+        assert_eq!(comps[2].files, vec![4, 5]);
+    }
+
+    #[test]
+    fn isolated_unmatched_file_forms_singleton_component() {
+        let g = BipartiteGraph::new(1, 1);
+        let comps = active_components(&g, &[NONE]);
+        assert_eq!(comps.len(), 1);
+        assert!(comps[0].procs.is_empty());
+    }
+}

@@ -92,7 +92,7 @@ pub fn propose_moves(
     // Unmatched files, biggest first; index breaks ties so the proposal
     // order never depends on container order.
     let mut candidates: Vec<(u64, usize)> = (0..sim.graph().n_files())
-        .filter(|&f| sim.owners()[f].is_none())
+        .filter(|&f| sim.owner_of(f).is_none())
         .map(|f| (sizes[f], f))
         .collect();
     candidates.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));

@@ -220,7 +220,7 @@ impl SingleDataMatcher {
             if load[p] >= quota[p] {
                 continue;
             }
-            for &(f, bytes) in rack_graph.files_of(p) {
+            for (f, bytes) in rack_graph.files_of(p) {
                 if owner[f].is_none() {
                     rack_restricted.add_edge(p, f, bytes);
                 }
@@ -294,7 +294,7 @@ impl SingleDataMatcher {
         }
         let mut match_edges: Vec<(usize, usize, EdgeId)> = Vec::with_capacity(graph.edge_count());
         for p in 0..m {
-            for &(f, _bytes) in graph.files_of(p) {
+            for (f, _bytes) in graph.files_of(p) {
                 debug_assert!(owner[f].is_none(), "matched file {f} still in graph");
                 let e = net.add_edge(proc_v(p), file_v(f), 1);
                 match_edges.push((p, f, e));
@@ -341,7 +341,7 @@ impl SingleDataMatcher {
         }
         let mut match_edges = Vec::with_capacity(graph.edge_count());
         for p in 0..m {
-            for &(f, bytes) in graph.files_of(p) {
+            for (f, bytes) in graph.files_of(p) {
                 debug_assert!(owner[f].is_none(), "matched file {f} still in graph");
                 let cost = -i64::try_from(bytes).expect("file size fits i64");
                 let e = net.add_edge(proc_v(p), file_v(f), 1, cost);

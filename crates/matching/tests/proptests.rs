@@ -130,7 +130,7 @@ fn single_data_assignment_is_complete_balanced_and_maximum() {
             }
         }
         for p in 0..m {
-            for &(f, _) in g.files_of(p) {
+            for (f, _) in g.files_of(p) {
                 net.add_edge(1 + p, 1 + m + f, 1);
             }
         }

