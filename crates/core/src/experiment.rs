@@ -654,7 +654,7 @@ impl Experiment for ParaView {
         io.local_latency += self.workload.reader_overhead_seconds;
         io.remote_latency += self.workload.reader_overhead_seconds;
         for (i, step) in run.steps.iter().enumerate() {
-            // lint:allow(no-wallclock): observability only — planning_seconds reports real solver cost and never feeds simulated state
+            // lint:allow(no-wallclock): observability only — accumulates this step's real solver cost into planning_seconds; never feeds simulated state
             let started = Instant::now();
             let assignment = match strategy {
                 Strategy::RankInterval => baseline::rank_interval(step.len(), self.cluster.n_nodes),

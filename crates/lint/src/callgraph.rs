@@ -1,0 +1,550 @@
+//! Intra-workspace call graph: call-site extraction and best-effort
+//! resolution against the symbol table.
+//!
+//! Extraction walks each function body's token range and records two call
+//! shapes: **path calls** (`helper(…)`, `module::helper(…)`,
+//! `Type::method(…)`, turbofish included) and **method calls**
+//! (`x.helper(…)`). Resolution is name-based (no type inference): path
+//! calls resolve through the caller's module, its `use` imports (renames
+//! and globs included), and absolute `crate::` / `opass_*::` forms;
+//! method calls resolve to the caller's own `impl` type first, then to a
+//! *globally unique* method name — an ambiguous method name produces no
+//! edge rather than a speculative one.
+//!
+//! Two design choices keep the graph honest on real code:
+//!
+//! * **Unresolved means no edge.** `std`/vendored calls, enum-variant
+//!   constructors, and macros fall out naturally; taint only flows along
+//!   edges the pass can actually justify.
+//! * **Edges respect crate dependencies.** When a [`DepMap`] built from
+//!   the workspace `Cargo.toml`s is available, an edge from crate A into
+//!   crate B requires B to be in A's (transitive) dependency closure —
+//!   which is exactly what makes unique-method resolution safe: a
+//!   `matching` function can never grow an accidental edge into `serve`.
+
+use crate::lexer::{Tok, TokKind};
+use crate::symbols::{FileSymbols, FnSym};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Path segments as written (`["baseline", "rank_interval"]`; a bare
+    /// call has one segment).
+    pub path: Vec<String>,
+    /// True for `.name(…)` receiver calls.
+    pub method: bool,
+}
+
+/// Workspace crate dependency closure: crate dir name → every crate dir
+/// it (transitively) depends on, itself included.
+#[derive(Debug, Clone, Default)]
+pub struct DepMap {
+    closure: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl DepMap {
+    /// True when an edge from `caller` crate into `callee` crate is
+    /// plausible. Unknown crates (fixture contexts, top-level dirs) are
+    /// permissive — the map only *removes* impossible cross-crate edges.
+    pub fn allows(&self, caller: &str, callee: &str) -> bool {
+        if caller == callee {
+            return true;
+        }
+        match (self.closure.get(caller), self.closure.contains_key(callee)) {
+            (Some(deps), true) => deps.contains(callee),
+            _ => true,
+        }
+    }
+
+    /// Reads `crates/*/Cargo.toml` under `root` and builds the closure.
+    /// The manifest parse is deliberately crude: any dependency line
+    /// naming `opass-<dir>` counts. Missing manifests yield an empty
+    /// (fully permissive) map.
+    pub fn from_workspace(root: &Path) -> DepMap {
+        let mut direct: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        let crates_dir = root.join("crates");
+        let Ok(entries) = std::fs::read_dir(&crates_dir) else {
+            return DepMap::default();
+        };
+        let mut names: Vec<String> = entries
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().join("Cargo.toml").is_file())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        for name in &names {
+            let manifest = crates_dir.join(name).join("Cargo.toml");
+            let deps = std::fs::read_to_string(&manifest)
+                .map(|src| {
+                    src.lines()
+                        .filter_map(|l| {
+                            let key = l.split('=').next()?.trim();
+                            let dep = key.strip_prefix("opass-")?;
+                            names.iter().find(|n| n.as_str() == dep).cloned()
+                        })
+                        .collect::<BTreeSet<String>>()
+                })
+                .unwrap_or_default();
+            direct.insert(name.clone(), deps);
+        }
+        // Transitive closure (the workspace graph is tiny).
+        let mut closure = direct.clone();
+        loop {
+            let mut grew = false;
+            for name in &names {
+                let current: Vec<String> = closure[name.as_str()].iter().cloned().collect();
+                for dep in current {
+                    let indirect: Vec<String> = closure
+                        .get(&dep)
+                        .map(|s| s.iter().cloned().collect())
+                        .unwrap_or_default();
+                    let set = closure.get_mut(name.as_str()).expect("seeded above");
+                    for extra in indirect {
+                        grew |= set.insert(extra);
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        for name in &names {
+            closure
+                .get_mut(name.as_str())
+                .expect("seeded above")
+                .insert(name.clone());
+        }
+        DepMap { closure }
+    }
+}
+
+/// Identifiers that look like calls but never are.
+const NON_CALL_HEADS: [&str; 6] = ["if", "while", "for", "match", "return", "loop"];
+/// Tokens that, immediately before a name, mark a declaration.
+const DECL_BEFORE: [&str; 8] = [
+    "fn", "struct", "enum", "union", "trait", "mod", "impl", "type",
+];
+
+/// Extracts the call sites of each function in `fns` from the file's
+/// token stream. Result is parallel to `fns`.
+pub fn extract_calls(toks: &[Tok], fns: &[FnSym]) -> Vec<Vec<CallSite>> {
+    fns.iter()
+        .map(|f| {
+            let (start, end) = f.body;
+            if start > end {
+                return Vec::new();
+            }
+            let mut calls = Vec::new();
+            let mut i = start;
+            while i <= end.min(toks.len().saturating_sub(1)) {
+                if toks[i].kind == TokKind::Ident && is_call_head(toks, i) {
+                    if let Some(site) = call_at(toks, i) {
+                        calls.push(site);
+                    }
+                }
+                i += 1;
+            }
+            calls
+        })
+        .collect()
+}
+
+/// True when the ident at `i` is directly followed by `(` or by a
+/// turbofish then `(`.
+fn is_call_head(toks: &[Tok], i: usize) -> bool {
+    match toks.get(i + 1).map(|t| t.text.as_str()) {
+        Some("(") => true,
+        Some("::") if toks.get(i + 2).is_some_and(|t| t.text == "<") => {
+            // `name::<T>(…)` — find the closing `>` then require `(`.
+            let mut depth = 0i64;
+            let mut k = i + 2;
+            while let Some(t) = toks.get(k) {
+                match t.text.as_str() {
+                    "<" => depth += 1,
+                    ">" if toks[k - 1].text != "-" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return toks.get(k + 1).is_some_and(|n| n.text == "(");
+                        }
+                    }
+                    "(" | "{" | ";" => return false,
+                    _ => {}
+                }
+                k += 1;
+            }
+            false
+        }
+        _ => false,
+    }
+}
+
+/// Builds the [`CallSite`] whose final segment is the ident at `i`,
+/// walking `::`-joined segments backwards. Returns `None` for keywords,
+/// declarations, and macro bangs.
+fn call_at(toks: &[Tok], i: usize) -> Option<CallSite> {
+    let mut path = vec![toks[i].text.clone()];
+    let mut j = i;
+    while j >= 2 && toks[j - 1].text == "::" && toks[j - 2].kind == TokKind::Ident {
+        path.insert(0, toks[j - 2].text.clone());
+        j -= 2;
+    }
+    let before = j.checked_sub(1).map(|k| &toks[k]);
+    let method = before.is_some_and(|t| t.text == ".");
+    if method && path.len() > 1 {
+        return None; // `x.a::b(` is not Rust; don't guess
+    }
+    if !method {
+        let head = path[0].as_str();
+        if NON_CALL_HEADS.contains(&head) {
+            return None;
+        }
+        if before.is_some_and(|t| DECL_BEFORE.contains(&t.text.as_str())) {
+            return None;
+        }
+    }
+    Some(CallSite { path, method })
+}
+
+/// The resolved call graph over a set of analyzed files.
+#[derive(Debug, Default)]
+pub struct Graph {
+    /// For each global fn id: ids it calls (sorted, deduped).
+    pub callees: Vec<Vec<u32>>,
+    /// Reverse edges (sorted, deduped).
+    pub callers: Vec<Vec<u32>>,
+}
+
+/// Flat view of one function for graph building.
+struct Node<'a> {
+    sym: &'a FnSym,
+    crate_name: &'a str,
+}
+
+/// Builds the resolved graph. `files` pairs each file's symbols with its
+/// extracted call sites (parallel to `symbols.fns`); global fn ids number
+/// functions in file order then source order — exactly the order
+/// `lint_sources`/`lint_workspace` assemble them in.
+pub fn resolve(files: &[(&FileSymbols, &[Vec<CallSite>])], deps: Option<&DepMap>) -> Graph {
+    let mut nodes: Vec<Node<'_>> = Vec::new();
+    for (syms, _) in files {
+        for sym in &syms.fns {
+            nodes.push(Node {
+                sym,
+                crate_name: &syms.crate_name,
+            });
+        }
+    }
+    // Qualified path → ids; method name → ids-with-an-impl-type.
+    let mut by_qual: BTreeMap<&str, Vec<u32>> = BTreeMap::new();
+    let mut by_method: BTreeMap<&str, Vec<u32>> = BTreeMap::new();
+    for (id, node) in nodes.iter().enumerate() {
+        by_qual.entry(&node.sym.qual).or_default().push(id as u32);
+        if node.sym.impl_type.is_some() {
+            by_method.entry(&node.sym.name).or_default().push(id as u32);
+        }
+    }
+
+    let mut callees: Vec<Vec<u32>> = vec![Vec::new(); nodes.len()];
+    let mut id = 0usize;
+    for (syms, calls) in files {
+        for (local, sym) in syms.fns.iter().enumerate() {
+            let caller = &nodes[id];
+            let mut out: BTreeSet<u32> = BTreeSet::new();
+            for site in &calls[local] {
+                for cand in resolve_site(site, caller, syms, &by_qual, &by_method) {
+                    let callee = &nodes[cand as usize];
+                    let ok = deps
+                        .map(|d| d.allows(caller.crate_name, callee.crate_name))
+                        .unwrap_or(true);
+                    if ok && cand as usize != id {
+                        out.insert(cand);
+                    }
+                }
+            }
+            debug_assert_eq!(sym.qual, caller.sym.qual);
+            callees[id] = out.into_iter().collect();
+            id += 1;
+        }
+    }
+    let mut callers: Vec<Vec<u32>> = vec![Vec::new(); nodes.len()];
+    for (from, outs) in callees.iter().enumerate() {
+        for &to in outs {
+            callers[to as usize].push(from as u32);
+        }
+    }
+    Graph { callees, callers }
+}
+
+/// Candidate callee ids for one call site.
+fn resolve_site(
+    site: &CallSite,
+    caller: &Node<'_>,
+    file: &FileSymbols,
+    by_qual: &BTreeMap<&str, Vec<u32>>,
+    by_method: &BTreeMap<&str, Vec<u32>>,
+) -> Vec<u32> {
+    let mut out: Vec<u32> = Vec::new();
+    let lookup = |out: &mut Vec<u32>, segs: &[String]| {
+        if segs.is_empty() {
+            return;
+        }
+        let qual = segs.join("::");
+        if let Some(ids) = by_qual.get(qual.as_str()) {
+            out.extend_from_slice(ids);
+        }
+    };
+
+    if site.method {
+        let name = &site.path[0];
+        // Sibling method on the caller's own impl type.
+        if let Some(ty) = &caller.sym.impl_type {
+            let mut segs: Vec<String> = vec![caller.crate_name.to_string()];
+            segs.extend(caller.sym.module.iter().cloned());
+            segs.push(ty.clone());
+            segs.push(name.clone());
+            lookup(&mut out, &segs);
+        }
+        // Globally unique method name.
+        if out.is_empty() {
+            if let Some(ids) = by_method.get(name.as_str()) {
+                if ids.len() == 1 {
+                    out.push(ids[0]);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        return out;
+    }
+
+    // Absolute / normalized form.
+    if let Some(abs) = normalize(&site.path, caller) {
+        lookup(&mut out, &abs);
+    }
+    // Through an import: first segment is a `use` binding.
+    for imp in &file.imports {
+        if imp.local == site.path[0] {
+            let mut segs = imp.path.clone();
+            segs.extend(site.path[1..].iter().cloned());
+            if let Some(abs) = normalize(&segs, caller) {
+                lookup(&mut out, &abs);
+            }
+        }
+    }
+    // Relative to the caller's module.
+    {
+        let mut segs: Vec<String> = vec![caller.crate_name.to_string()];
+        segs.extend(caller.sym.module.iter().cloned());
+        segs.extend(site.path.iter().cloned());
+        lookup(&mut out, &segs);
+    }
+    // Through glob imports.
+    for glob in &file.globs {
+        let mut segs = glob.clone();
+        segs.extend(site.path.iter().cloned());
+        if let Some(abs) = normalize(&segs, caller) {
+            lookup(&mut out, &abs);
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Rewrites a written path into crate-dir-rooted form: `crate::` and
+/// `opass_x::` become the crate dir, `self`/`super` resolve against the
+/// caller's module, `Self` against its impl type. Returns `None` for
+/// clearly external roots (`std`, `core`, `alloc`).
+fn normalize(path: &[String], caller: &Node<'_>) -> Option<Vec<String>> {
+    let head = path.first()?.as_str();
+    let mut segs: Vec<String> = Vec::new();
+    let mut rest = &path[1..];
+    match head {
+        "std" | "alloc" => return None,
+        "core" if caller.crate_name != "core" => return None,
+        "crate" => segs.push(caller.crate_name.to_string()),
+        "self" => {
+            segs.push(caller.crate_name.to_string());
+            segs.extend(caller.sym.module.iter().cloned());
+        }
+        "super" => {
+            segs.push(caller.crate_name.to_string());
+            let mut module = caller.sym.module.to_vec();
+            module.pop();
+            rest = &path[1..];
+            // Consume any additional leading `super`s.
+            while rest.first().map(String::as_str) == Some("super") {
+                module.pop();
+                rest = &rest[1..];
+            }
+            segs.extend(module);
+        }
+        "Self" => {
+            segs.push(caller.crate_name.to_string());
+            segs.extend(caller.sym.module.iter().cloned());
+            segs.push(caller.sym.impl_type.clone()?);
+        }
+        other => {
+            let root = other.strip_prefix("opass_").unwrap_or(other);
+            segs.push(root.to_string());
+        }
+    }
+    segs.extend(rest.iter().cloned());
+    Some(segs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+    use crate::symbols;
+
+    fn analyze(files: &[(&str, &str)]) -> (Vec<FileSymbols>, Vec<Vec<Vec<CallSite>>>) {
+        let mut syms = Vec::new();
+        let mut calls = Vec::new();
+        for (rel, src) in files {
+            let crate_name = rel.split('/').nth(1).unwrap_or("root").to_string();
+            let toks = lexer::lex(src).tokens;
+            let s = symbols::extract(rel, &crate_name, &toks);
+            calls.push(extract_calls(&toks, &s.fns));
+            syms.push(s);
+        }
+        (syms, calls)
+    }
+
+    fn graph(files: &[(&str, &str)]) -> (Vec<String>, Graph) {
+        let (syms, calls) = analyze(files);
+        let pairs: Vec<(&FileSymbols, &[Vec<CallSite>])> =
+            syms.iter().zip(calls.iter().map(Vec::as_slice)).collect();
+        let g = resolve(&pairs, None);
+        let names = syms
+            .iter()
+            .flat_map(|s| s.fns.iter().map(|f| f.qual.clone()))
+            .collect();
+        (names, g)
+    }
+
+    fn edge(names: &[String], g: &Graph, from: &str, to: &str) -> bool {
+        let f = names.iter().position(|n| n == from).unwrap();
+        let t = names.iter().position(|n| n == to).unwrap() as u32;
+        g.callees[f].contains(&t)
+    }
+
+    #[test]
+    fn same_module_and_imported_calls_resolve() {
+        let (names, g) = graph(&[
+            (
+                "crates/core/src/lib.rs",
+                "use opass_runtime::stamp;\n\
+                 pub fn plan() { helper(); stamp::record(); }\n\
+                 fn helper() {}",
+            ),
+            (
+                "crates/runtime/src/stamp.rs",
+                "pub fn record() { nested(); } fn nested() {}",
+            ),
+        ]);
+        assert!(edge(&names, &g, "core::plan", "core::helper"));
+        assert!(edge(&names, &g, "core::plan", "runtime::stamp::record"));
+        assert!(edge(
+            &names,
+            &g,
+            "runtime::stamp::record",
+            "runtime::stamp::nested"
+        ));
+    }
+
+    #[test]
+    fn crate_and_opass_prefixes_resolve() {
+        let (names, g) = graph(&[
+            (
+                "crates/core/src/a.rs",
+                "pub fn go() { crate::b::f(); opass_core::b::f(); }",
+            ),
+            ("crates/core/src/b.rs", "pub fn f() {}"),
+        ]);
+        assert!(edge(&names, &g, "core::a::go", "core::b::f"));
+    }
+
+    #[test]
+    fn methods_resolve_to_own_impl_then_unique_name() {
+        let (names, g) = graph(&[(
+            "crates/matching/src/lib.rs",
+            "struct M; impl M { pub fn outer(&self) { self.inner_step(); } \
+             fn inner_step(&self) {} }",
+        )]);
+        assert!(edge(
+            &names,
+            &g,
+            "matching::M::outer",
+            "matching::M::inner_step"
+        ));
+    }
+
+    #[test]
+    fn ambiguous_method_names_make_no_edge() {
+        let (names, g) = graph(&[(
+            "crates/matching/src/lib.rs",
+            "struct A; struct B; \
+             impl A { pub fn step(&self) {} } \
+             impl B { pub fn step(&self) {} } \
+             fn go(a: &A) { a.step(); }",
+        )]);
+        let go = names.iter().position(|n| n == "matching::go").unwrap();
+        assert!(
+            g.callees[go].is_empty(),
+            "ambiguous `step` must not resolve"
+        );
+    }
+
+    #[test]
+    fn turbofish_and_macros() {
+        let (names, g) = graph(&[(
+            "crates/core/src/lib.rs",
+            "pub fn go() { helper::<u32>(); println!(\"{}\", 1); } \
+             fn helper<T>() {}",
+        )]);
+        assert!(edge(&names, &g, "core::go", "core::helper"));
+        let go = names.iter().position(|n| n == "core::go").unwrap();
+        assert_eq!(g.callees[go].len(), 1);
+    }
+
+    #[test]
+    fn dep_map_blocks_impossible_cross_crate_edges() {
+        let (syms, calls) = analyze(&[
+            (
+                "crates/core/src/lib.rs",
+                "pub fn go(h: &H) { h.observe_latency(); }",
+            ),
+            (
+                "crates/serve/src/lib.rs",
+                "pub struct H; impl H { pub fn observe_latency(&self) {} }",
+            ),
+        ]);
+        let pairs: Vec<(&FileSymbols, &[Vec<CallSite>])> =
+            syms.iter().zip(calls.iter().map(Vec::as_slice)).collect();
+        // Permissive (no dep map): the unique method name resolves.
+        let open = resolve(&pairs, None);
+        assert_eq!(open.callees[0].len(), 1);
+        // With a dep map where core does not depend on serve: no edge.
+        let mut closure = BTreeMap::new();
+        closure.insert("core".to_string(), BTreeSet::from(["core".to_string()]));
+        closure.insert("serve".to_string(), BTreeSet::from(["serve".to_string()]));
+        let deps = DepMap { closure };
+        let shut = resolve(&pairs, Some(&deps));
+        assert!(shut.callees[0].is_empty());
+    }
+
+    #[test]
+    fn workspace_dep_map_matches_cargo_layout() {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let deps = DepMap::from_workspace(&root);
+        assert!(deps.allows("core", "runtime"), "core depends on runtime");
+        assert!(!deps.allows("core", "serve"), "core must not reach serve");
+        assert!(!deps.allows("matching", "cli"));
+        // Unknown crates stay permissive.
+        assert!(deps.allows("fixture-crate", "core"));
+    }
+}

@@ -71,14 +71,21 @@ pub struct Config {
 }
 
 /// The names of every shipped rule, in reporting order.
-pub const RULE_NAMES: [&str; 6] = [
+pub const RULE_NAMES: [&str; 8] = [
     "unordered-iteration",
     "unordered-parallel-merge",
     "no-wallclock",
     "no-ambient-rng",
     "float-accumulation-order",
     "panic-in-lib",
+    "transitive-determinism",
+    "unused-suppression",
 ];
+
+/// The workspace-level rules: they need the whole call graph / directive
+/// set, not a single file, so the per-file engine never runs them and
+/// fixture suites key off this list.
+pub const GRAPH_RULE_NAMES: [&str; 2] = ["transitive-determinism", "unused-suppression"];
 
 impl Default for Config {
     fn default() -> Self {
@@ -98,6 +105,11 @@ impl Default for Config {
         );
         rules.insert("no-ambient-rng".into(), deny(true, &[]));
         rules.insert("float-accumulation-order".into(), deny(true, &[]));
+        // Test functions call tainted helpers on purpose (that is what the
+        // fixtures and property tests do), so the transitive pass only
+        // guards non-test entry points by default.
+        rules.insert("transitive-determinism".into(), deny(false, &[]));
+        rules.insert("unused-suppression".into(), deny(true, &[]));
         rules.insert(
             "panic-in-lib".into(),
             RuleCfg {

@@ -439,4 +439,62 @@ mod tests {
         lex("/* unterminated");
         lex("let c = 'u");
     }
+
+    // ---- span-hardening pins: the symbol/call-graph pass trusts that
+    // ---- literals never leak delimiters, comment markers, or directives.
+
+    #[test]
+    fn char_and_byte_literals_hide_punctuation() {
+        let l = lex("let a = '('; let b = '}'; let c = '/'; let d = b'('; done();");
+        assert!(l.comments.is_empty(), "'/' is not a comment opener");
+        let parens = l.tokens.iter().filter(|t| t.text == "(").count();
+        let closes = l.tokens.iter().filter(|t| t.text == "}").count();
+        assert_eq!(parens, 1, "only the call's paren is a token");
+        assert_eq!(closes, 0, "'}}' stays inside its literal");
+        assert!(l.tokens.iter().any(|t| t.text == "done"));
+    }
+
+    #[test]
+    fn slashes_in_char_literals_do_not_open_comments() {
+        // Two adjacent char literals forming `//` across tokens.
+        let l = lex("let s = '/'; let t = '/'; after();");
+        assert!(l.comments.is_empty());
+        assert!(l.tokens.iter().any(|t| t.text == "after"));
+    }
+
+    #[test]
+    fn raw_strings_hide_braces_and_directives() {
+        let l = lex(r###"fn f() { let s = r#"} // lint:allow(x): nope {"#; g(); }"###);
+        assert!(l.comments.is_empty(), "raw string cannot carry a directive");
+        let opens = l.tokens.iter().filter(|t| t.text == "{").count();
+        let closes = l.tokens.iter().filter(|t| t.text == "}").count();
+        assert_eq!((opens, closes), (1, 1), "body braces stay balanced");
+        assert!(l.tokens.iter().any(|t| t.text == "g"));
+    }
+
+    #[test]
+    fn escaped_quotes_and_backslashes_in_literals() {
+        let l = lex(r#"let q = '\''; let b = '\\'; let s = "a\"b // c"; end();"#);
+        assert!(l.comments.is_empty());
+        assert!(l.tokens.iter().any(|t| t.text == "end"));
+        // Exactly the three literals, nothing re-tokenized from inside.
+        let lits = l.tokens.iter().filter(|t| t.kind == TokKind::Lit).count();
+        assert_eq!(lits, 3);
+    }
+
+    #[test]
+    fn token_lines_survive_multiline_block_comments() {
+        let l = lex("/* line1\nline2 /* nested */\nstill */ fn tail() {}");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.comments[0].line, 1);
+        let t = l.tokens.iter().find(|t| t.text == "tail").unwrap();
+        assert_eq!(t.line, 3, "lines advance inside block comments");
+    }
+
+    #[test]
+    fn multiline_raw_strings_advance_lines() {
+        let l = lex("let s = r#\"line one\nline two\n\"#; fn tail() {}");
+        let t = l.tokens.iter().find(|t| t.text == "tail").unwrap();
+        assert_eq!(t.line, 3, "lines advance inside raw strings");
+    }
 }

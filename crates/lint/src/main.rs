@@ -1,8 +1,8 @@
 //! `opass-lint` binary: walk the workspace, run every rule, report.
 //!
 //! ```text
-//! opass-lint [--root DIR] [--format human|json] [--fix-hints]
-//!            [--strict] [--show-suppressed] [PATH...]
+//! opass-lint [--root DIR] [--format human|json|sarif] [--threads N]
+//!            [--fix-hints] [--strict] [--show-suppressed] [PATH...]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 deny-level findings (any finding under
@@ -10,28 +10,37 @@
 
 #![allow(clippy::print_stdout, clippy::print_stderr)]
 
-use opass_json::Json;
+use opass_lint::report::{self, HumanOpts};
 use opass_lint::rules::Finding;
 use opass_lint::{config::Severity, load_config};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
+
 struct Args {
     root: Option<PathBuf>,
-    json: bool,
+    format: Format,
+    threads: usize,
     fix_hints: bool,
     strict: bool,
     show_suppressed: bool,
     paths: Vec<String>,
 }
 
-const USAGE: &str = "usage: opass-lint [--root DIR] [--format human|json] \
-                     [--fix-hints] [--strict] [--show-suppressed] [PATH...]";
+const USAGE: &str = "usage: opass-lint [--root DIR] [--format human|json|sarif] \
+                     [--threads N] [--fix-hints] [--strict] [--show-suppressed] [PATH...]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         root: None,
-        json: false,
+        format: Format::Human,
+        threads: 1,
         fix_hints: false,
         strict: false,
         show_suppressed: false,
@@ -44,10 +53,19 @@ fn parse_args() -> Result<Args, String> {
                 args.root = Some(PathBuf::from(it.next().ok_or("--root needs a directory")?));
             }
             "--format" => match it.next().as_deref() {
-                Some("human") => args.json = false,
-                Some("json") => args.json = true,
-                other => return Err(format!("--format human|json, got {other:?}")),
+                Some("human") => args.format = Format::Human,
+                Some("json") => args.format = Format::Json,
+                Some("sarif") => args.format = Format::Sarif,
+                other => return Err(format!("--format human|json|sarif, got {other:?}")),
             },
+            "--threads" => {
+                let n = it.next().ok_or("--threads needs a count")?;
+                args.threads = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--threads needs a positive integer, got `{n}`"))?;
+            }
             "--fix-hints" => args.fix_hints = true,
             "--strict" => args.strict = true,
             "--show-suppressed" => args.show_suppressed = true,
@@ -93,7 +111,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let mut findings = match opass_lint::lint_workspace(&root, &cfg) {
+    let mut findings = match opass_lint::lint_workspace_threads(&root, &cfg, args.threads) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("opass-lint: {}: {e}", root.display());
@@ -112,10 +130,19 @@ fn main() -> ExitCode {
         .count();
     let warns = active.len() - denies;
 
-    let out = if args.json {
-        render_json(&active, &suppressed, denies, warns)
-    } else {
-        render_human(&args, &active, &suppressed, denies, warns)
+    let out = match args.format {
+        Format::Json => report::render_json(&active, &suppressed, denies, warns),
+        Format::Sarif => report::render_sarif(&active, &suppressed),
+        Format::Human => report::render_human(
+            HumanOpts {
+                fix_hints: args.fix_hints,
+                show_suppressed: args.show_suppressed,
+            },
+            &active,
+            &suppressed,
+            denies,
+            warns,
+        ),
     };
     // Ignore write errors: a closed pipe (`opass-lint | head`) must not
     // panic, and the exit code below is the contract that matters.
@@ -127,84 +154,4 @@ fn main() -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
-}
-
-fn render_human(
-    args: &Args,
-    active: &[Finding],
-    suppressed: &[Finding],
-    denies: usize,
-    warns: usize,
-) -> String {
-    use std::fmt::Write;
-    let mut out = String::new();
-    for f in active {
-        let _ = writeln!(
-            out,
-            "{}:{}: {} [{}]: {}",
-            f.file, f.line, f.rule, f.severity, f.message
-        );
-        if args.fix_hints {
-            let _ = writeln!(out, "    fix: {}", f.hint);
-        }
-    }
-    if args.show_suppressed {
-        for f in suppressed {
-            let _ = writeln!(
-                out,
-                "{}:{}: {} [suppressed]: {}",
-                f.file,
-                f.line,
-                f.rule,
-                f.suppressed.as_deref().unwrap_or("")
-            );
-        }
-    }
-    let _ = writeln!(
-        out,
-        "opass-lint: {denies} deny, {warns} warn, {} suppressed",
-        suppressed.len()
-    );
-    out
-}
-
-fn render_json(active: &[Finding], suppressed: &[Finding], denies: usize, warns: usize) -> String {
-    let finding_json = |f: &Finding| {
-        Json::object([
-            ("file".into(), Json::from(f.file.as_str())),
-            ("line".into(), Json::from(f.line as u64)),
-            ("rule".into(), Json::from(f.rule)),
-            ("severity".into(), Json::from(f.severity.to_string())),
-            ("message".into(), Json::from(f.message.as_str())),
-            ("hint".into(), Json::from(f.hint)),
-            (
-                "suppressed".into(),
-                match &f.suppressed {
-                    Some(reason) => Json::from(reason.as_str()),
-                    None => Json::Null,
-                },
-            ),
-        ])
-    };
-    let out = Json::object([
-        (
-            "findings".into(),
-            Json::array(active.iter().map(finding_json)),
-        ),
-        (
-            "suppressed".into(),
-            Json::array(suppressed.iter().map(finding_json)),
-        ),
-        (
-            "summary".into(),
-            Json::object([
-                ("deny".into(), Json::from(denies)),
-                ("warn".into(), Json::from(warns)),
-                ("suppressed".into(), Json::from(suppressed.len())),
-            ]),
-        ),
-    ]);
-    let mut s = out.to_pretty();
-    s.push('\n');
-    s
 }

@@ -14,8 +14,11 @@
 //! ignored and the finding is reported with a note, so suppressions stay
 //! auditable.
 
+use crate::callgraph::{self, CallSite};
 use crate::config::{Config, RuleCfg, Severity};
 use crate::lexer::{self, Tok, TokKind};
+use crate::symbols::{self, FileSymbols};
+use crate::taint::{self, Sink};
 
 /// One diagnostic produced by a rule.
 #[derive(Debug, Clone)]
@@ -36,11 +39,51 @@ pub struct Finding {
     pub suppressed: Option<String>,
 }
 
-/// A parsed `lint:allow` directive.
-struct Directive {
-    line: u32,
-    rules: Vec<String>,
-    reason: Option<String>,
+/// A parsed `lint:allow` directive. `used` is set by whatever the
+/// directive actually does — suppressing a finding, muting a taint sink,
+/// or excusing another directive — and audited by `unused-suppression`.
+#[derive(Debug, Clone)]
+pub struct Directive {
+    /// 1-based line of the comment carrying the directive.
+    pub line: u32,
+    /// Rule names inside `lint:allow(…)`.
+    pub rules: Vec<String>,
+    /// Mandatory reason after the closing `):`; `None` when omitted.
+    pub reason: Option<String>,
+    /// Whether the directive suppressed or muted anything.
+    pub used: bool,
+}
+
+/// Everything one file contributes to the workspace pass: its per-site
+/// findings (suppressions already applied), its directives, and the raw
+/// material for the graph rules (symbols, call sites, taint sinks).
+#[derive(Debug)]
+pub struct FileAnalysis {
+    /// Workspace-relative path.
+    pub rel: String,
+    /// Crate the path belongs to (see [`analyze_file`]).
+    pub crate_name: String,
+    /// Per-site findings, sorted by (line, rule), suppressions applied.
+    pub findings: Vec<Finding>,
+    /// Suppression directives in source order.
+    pub directives: Vec<Directive>,
+    /// The file's symbol table.
+    pub symbols: FileSymbols,
+    /// Call sites per function (parallel to `symbols.fns`).
+    pub calls: Vec<Vec<CallSite>>,
+    /// Taint sinks per function (parallel to `symbols.fns`).
+    pub sinks: Vec<Vec<Sink>>,
+    /// Line ranges of `#[test]` / `#[cfg(test)]` items.
+    pub test_lines: Vec<(u32, u32)>,
+    /// Whole file counts as test code (`tests/` / `benches/` path).
+    pub path_is_test: bool,
+}
+
+impl FileAnalysis {
+    /// True when `line` is inside test code.
+    pub fn in_tests(&self, line: u32) -> bool {
+        self.path_is_test || self.test_lines.iter().any(|&(a, b)| line >= a && line <= b)
+    }
 }
 
 /// Analysis context for one file.
@@ -58,10 +101,19 @@ impl FileCtx {
     }
 }
 
-/// Lints one file's source text. `rel` is the workspace-relative path; it
-/// determines the crate context (`crates/<name>/…` or `vendor/<name>/…`)
-/// and whether the whole file counts as test code.
+/// Lints one file's source text with the **per-site** rules only. `rel`
+/// is the workspace-relative path; it determines the crate context
+/// (`crates/<name>/…` or `vendor/<name>/…`) and whether the whole file
+/// counts as test code. The graph rules (`transitive-determinism`,
+/// `unused-suppression`) need the whole workspace — use
+/// [`crate::lint_sources`] / [`crate::lint_workspace`] for those.
 pub fn lint_source(rel: &str, source: &str, cfg: &Config) -> Vec<Finding> {
+    analyze_file(rel, source, cfg).findings
+}
+
+/// Runs the per-site rules on one file and extracts the raw material the
+/// workspace-level graph rules consume.
+pub fn analyze_file(rel: &str, source: &str, cfg: &Config) -> FileAnalysis {
     let lexed = lexer::lex(source);
     let ctx = FileCtx {
         rel: rel.to_string(),
@@ -77,9 +129,23 @@ pub fn lint_source(rel: &str, source: &str, cfg: &Config) -> Vec<Finding> {
     no_ambient_rng(&ctx, cfg, &mut findings);
     float_accumulation_order(&ctx, cfg, &mut findings);
     panic_in_lib(&ctx, cfg, &mut findings);
-    apply_suppressions(&mut findings, &lexed.comments);
+    let mut directives = parse_directives(&lexed.comments);
+    apply_suppressions(&mut findings, &mut directives);
     findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    findings
+    let sym = symbols::extract(rel, &ctx.crate_name, &ctx.toks);
+    let calls = callgraph::extract_calls(&ctx.toks, &sym.fns);
+    let sinks = taint::extract_sinks(&ctx.toks, &sym.fns);
+    FileAnalysis {
+        rel: ctx.rel,
+        crate_name: ctx.crate_name,
+        findings,
+        directives,
+        symbols: sym,
+        calls,
+        sinks,
+        test_lines: ctx.test_lines,
+        path_is_test: ctx.path_is_test,
+    }
 }
 
 /// Crate name for a workspace-relative path: the component after
@@ -475,17 +541,22 @@ fn matching_delim(toks: &[Tok], open_idx: usize, open: &str, close: &str) -> Opt
     None
 }
 
-/// Parses `lint:allow(rule[, rule…]): reason` directives out of comments
-/// and marks matching findings as suppressed. A directive applies to its
-/// own line and the line below. Directives without a reason are ignored;
-/// the nearest finding gets a note appended so the omission is visible.
-fn apply_suppressions(findings: &mut [Finding], comments: &[lexer::Comment]) {
-    let directives: Vec<Directive> = comments
+/// Parses every `lint:allow(rule[, rule…]): reason` directive out of a
+/// file's comments, in source order.
+pub fn parse_directives(comments: &[lexer::Comment]) -> Vec<Directive> {
+    comments
         .iter()
         .filter_map(|c| parse_directive(c.line, &c.text))
-        .collect();
+        .collect()
+}
+
+/// Marks findings covered by a directive as suppressed (and the directive
+/// as used). A directive applies to its own line and the line below.
+/// Directives without a reason are ignored; the nearest finding gets a
+/// note appended so the omission is visible.
+pub fn apply_suppressions(findings: &mut [Finding], directives: &mut [Directive]) {
     for f in findings.iter_mut() {
-        for d in &directives {
+        for d in directives.iter_mut() {
             if f.line != d.line && f.line != d.line + 1 {
                 continue;
             }
@@ -493,7 +564,10 @@ fn apply_suppressions(findings: &mut [Finding], comments: &[lexer::Comment]) {
                 continue;
             }
             match &d.reason {
-                Some(reason) => f.suppressed = Some(reason.clone()),
+                Some(reason) => {
+                    f.suppressed = Some(reason.clone());
+                    d.used = true;
+                }
                 None => f.message.push_str(
                     " [note: a lint:allow directive was found but lacks the \
                      mandatory `: reason` and was ignored]",
@@ -504,7 +578,16 @@ fn apply_suppressions(findings: &mut [Finding], comments: &[lexer::Comment]) {
 }
 
 fn parse_directive(line: u32, comment: &str) -> Option<Directive> {
-    let rest = comment.split("lint:allow(").nth(1)?;
+    // Only plain `//` comments that *open* with the directive count. Doc
+    // comments (`///` / `//!` — their text keeps a leading `/` or `!`)
+    // merely document the syntax, and prose mentioning `lint:allow(…)`
+    // mid-sentence is not a waiver. Without this the unused-suppression
+    // audit would flag the linter's own documentation.
+    let body = comment.trim_start();
+    if body.starts_with('/') || body.starts_with('!') {
+        return None;
+    }
+    let rest = body.strip_prefix("lint:allow(")?;
     let (rules, after) = rest.split_once(')')?;
     let rules: Vec<String> = rules
         .split(',')
@@ -524,6 +607,7 @@ fn parse_directive(line: u32, comment: &str) -> Option<Directive> {
         line,
         rules,
         reason,
+        used: false,
     })
 }
 
@@ -569,6 +653,22 @@ mod tests {
         assert_eq!(f.len(), 1);
         assert!(f[0].suppressed.is_none());
         assert!(f[0].message.contains("lacks the mandatory"));
+    }
+
+    #[test]
+    fn doc_comments_and_prose_are_not_directives() {
+        // A doc comment *documenting* the directive syntax is not a waiver…
+        let doc = "//! // lint:allow(unordered-iteration): example\n\
+                   use std::collections::HashMap;\n";
+        let f = lint("crates/dfs/src/x.rs", doc);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].suppressed.is_none(), "doc comment must not suppress");
+        // …and neither is prose that mentions it mid-sentence.
+        let prose = "// see the lint:allow(unordered-iteration): note above\n\
+                     use std::collections::HashMap;\n";
+        let f = lint("crates/dfs/src/x.rs", prose);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].suppressed.is_none(), "prose must not suppress");
     }
 
     #[test]

@@ -1,0 +1,632 @@
+//! Symbol-table pass: functions, impl blocks, modules, and imports from
+//! the token stream.
+//!
+//! The transitive-determinism rule needs to know *which function* a token
+//! belongs to and *what that function calls* — neither of which the
+//! per-site rules care about. This pass recovers just enough structure
+//! from [`crate::lexer`]'s token stream for this workspace's idioms:
+//! free functions, inherent/trait `impl` methods, inline `mod` nesting,
+//! and `use` imports (including `as` renames, `{…}` groups, and globs).
+//! It is deliberately not a parser — generic parameters, where-clauses,
+//! and attributes are skipped structurally (delimiter matching), and
+//! anything it cannot attribute is simply not a symbol. Best-effort is
+//! the right trade here: an unresolved call produces no call-graph edge,
+//! which under-approximates taint exactly the way the per-site rules
+//! under-approximate their patterns.
+//!
+//! Qualified names use the workspace crate *directory* as the root
+//! segment (`core::request::PlanRequest::seed`), so paths resolve
+//! uniformly whether code writes `opass_core::…`, `crate::…`, or a
+//! `use`-imported short form.
+
+use crate::lexer::{Tok, TokKind};
+
+/// One function (free fn or impl method) found in a file.
+#[derive(Debug, Clone)]
+pub struct FnSym {
+    /// Fully qualified name: `crate_dir::module::…::[Type::]name`.
+    pub qual: String,
+    /// Terminal name (for method-call resolution).
+    pub name: String,
+    /// `Some(type_name)` when the fn lives in an `impl` block.
+    pub impl_type: Option<String>,
+    /// Module path inside the crate (no crate segment, no type segment).
+    pub module: Vec<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Declared `pub` (any visibility restriction counts as public to the
+    /// taint pass: `pub(crate)` items are still cross-module entries).
+    pub is_pub: bool,
+    /// Token index of the `fn` keyword (the signature starts here — sink
+    /// scans include it so `fn f(m: &HashMap<…>)` taints `f`).
+    pub decl: usize,
+    /// Token index range `[start, end]` of the body braces, inclusive.
+    /// Bodiless declarations (trait signatures) have `start > end`.
+    pub body: (usize, usize),
+}
+
+/// One `use` binding: `local` resolves to `path`.
+#[derive(Debug, Clone)]
+pub struct Import {
+    /// The name the binding introduces in this file.
+    pub local: String,
+    /// Full path segments as written (normalized later, at resolution).
+    pub path: Vec<String>,
+}
+
+/// Symbols of one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileSymbols {
+    /// Crate directory name (`core`, `runtime`, …) from the file path.
+    pub crate_name: String,
+    /// Functions in source order.
+    pub fns: Vec<FnSym>,
+    /// `use` bindings (file-wide; module-local imports are attributed to
+    /// the whole file, a harmless over-approximation).
+    pub imports: Vec<Import>,
+    /// Glob imports: `use a::b::*` records `[a, b]`.
+    pub globs: Vec<Vec<String>>,
+}
+
+/// Module path a file contributes under its crate root:
+/// `crates/c/src/lib.rs` → `[]`, `crates/c/src/foo.rs` → `[foo]`,
+/// `crates/c/src/foo/mod.rs` → `[foo]`, `crates/c/src/foo/bar.rs` →
+/// `[foo, bar]`. Binary roots (`main.rs`, `src/bin/x.rs`) and paths
+/// outside `src/` map to the crate root.
+pub fn file_module(rel: &str) -> Vec<String> {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let Some(src_at) = parts.iter().position(|p| *p == "src") else {
+        return Vec::new();
+    };
+    let tail = &parts[src_at + 1..];
+    if tail.is_empty() || tail[0] == "bin" {
+        return Vec::new();
+    }
+    let mut module: Vec<String> = tail[..tail.len() - 1]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let file = tail[tail.len() - 1];
+    let stem = file.strip_suffix(".rs").unwrap_or(file);
+    if stem != "lib" && stem != "main" && stem != "mod" {
+        module.push(stem.to_string());
+    }
+    module
+}
+
+/// Scope tracking while walking the token stream.
+enum Scope {
+    Mod(String),
+    Impl(String),
+    /// Any other brace: fn body, block, match arm, struct literal, …
+    Other,
+}
+
+/// Extracts the symbol table of one file. `crate_name` comes from the
+/// workspace-relative path (see `rules::crate_of`).
+pub fn extract(rel: &str, crate_name: &str, toks: &[Tok]) -> FileSymbols {
+    let mut syms = FileSymbols {
+        crate_name: crate_name.to_string(),
+        ..FileSymbols::default()
+    };
+    let file_mod = file_module(rel);
+    // Scopes opened so far, with the brace nesting they were opened at.
+    let mut scopes: Vec<Scope> = Vec::new();
+    // A scope decided by a keyword but not yet attached to its `{`.
+    let mut pending: Option<Scope> = None;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "{") => {
+                scopes.push(pending.take().unwrap_or(Scope::Other));
+                i += 1;
+            }
+            (TokKind::Punct, "}") => {
+                scopes.pop();
+                i += 1;
+            }
+            (TokKind::Ident, "mod") => {
+                if let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                    // `mod name {` opens an inline module; `mod name;` is an
+                    // out-of-line declaration handled by that file itself.
+                    if toks.get(i + 2).is_some_and(|n| n.text == "{") {
+                        pending = Some(Scope::Mod(name.text.clone()));
+                    }
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            (TokKind::Ident, "impl") => {
+                let (ty, at) = impl_type_name(toks, i + 1);
+                pending = Some(Scope::Impl(ty));
+                i = at;
+            }
+            (TokKind::Ident, "fn") => {
+                if let Some((sym, next)) = fn_symbol(toks, i, &file_mod, &scopes, crate_name) {
+                    // Scanning resumes *inside* the body (so nested items
+                    // are seen); account for its `{` that the main loop
+                    // will never visit.
+                    if sym.body.0 <= sym.body.1 {
+                        scopes.push(Scope::Other);
+                    }
+                    syms.fns.push(sym);
+                    i = next;
+                } else {
+                    i += 1;
+                }
+            }
+            (TokKind::Ident, "use") => {
+                i = parse_use(toks, i + 1, &mut syms);
+            }
+            _ => i += 1,
+        }
+    }
+    syms
+}
+
+/// Resolves the self-type name of an `impl` header starting at `from`
+/// (just past the `impl` keyword). Returns the name and the index of the
+/// body `{` (or wherever scanning stopped). Handles leading generics
+/// (`impl<'a, T: Bound> …`), trait impls (`… for Type`), and path-typed
+/// targets (`impl opass_x::Foo`).
+fn impl_type_name(toks: &[Tok], from: usize) -> (String, usize) {
+    let mut i = from;
+    // Skip `<…>` generic parameters (angle depth; `->` cannot appear
+    // before the parameter list closes, but `Fn(…) -> T` bounds can, so
+    // `>` preceded by `-` does not close).
+    if toks.get(i).is_some_and(|t| t.text == "<") {
+        let mut depth = 0i64;
+        while let Some(t) = toks.get(i) {
+            match t.text.as_str() {
+                "<" => depth += 1,
+                ">" if i > 0 && toks[i - 1].text != "-" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    // Collect idents up to the body `{`; the self type is the last path
+    // segment after `for` when present, else the first path's last
+    // segment before any generics.
+    let mut first_path_last = String::new();
+    let mut after_for = false;
+    let mut name = String::new();
+    let mut angle = 0i64;
+    while let Some(t) = toks.get(i) {
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "{") => break,
+            (TokKind::Punct, "<") => angle += 1,
+            (TokKind::Punct, ">") if i > 0 && toks[i - 1].text != "-" => angle -= 1,
+            (TokKind::Ident, "for") if angle == 0 => after_for = true,
+            (TokKind::Ident, "where") if angle == 0 => {}
+            (TokKind::Ident, w) if angle == 0 => {
+                if after_for {
+                    name = w.to_string();
+                } else if name.is_empty() {
+                    first_path_last = w.to_string();
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if name.is_empty() {
+        name = first_path_last;
+    }
+    (name, i)
+}
+
+/// Builds the [`FnSym`] for the `fn` keyword at index `at`. Returns the
+/// symbol plus the index to resume scanning from (just *inside* the body,
+/// so nested items are still walked).
+fn fn_symbol(
+    toks: &[Tok],
+    at: usize,
+    file_mod: &[String],
+    scopes: &[Scope],
+    crate_name: &str,
+) -> Option<(FnSym, usize)> {
+    let name_tok = toks.get(at + 1)?;
+    if name_tok.kind != TokKind::Ident {
+        return None; // `fn` in a type position: `Fn(...)`, `fn()` pointers
+    }
+    let is_pub = leading_pub(toks, at);
+    // Find the parameter list: first `(` at angle depth 0 after the name.
+    let mut i = at + 2;
+    let mut angle = 0i64;
+    loop {
+        let t = toks.get(i)?;
+        match t.text.as_str() {
+            "<" => angle += 1,
+            ">" if toks[i - 1].text != "-" => angle -= 1,
+            "(" if angle == 0 => break,
+            "{" | ";" => return None, // malformed; bail without a symbol
+            _ => {}
+        }
+        i += 1;
+    }
+    let args_close = matching(toks, i, "(", ")")?;
+    // After the arguments: scan (skipping nested (), [] groups, which may
+    // contain `;` as in `-> [u8; 4]`) for the body `{` or a bare `;`.
+    let mut j = args_close + 1;
+    let body_open = loop {
+        let t = toks.get(j)?;
+        match t.text.as_str() {
+            "(" => j = matching(toks, j, "(", ")")? + 1,
+            "[" => j = matching(toks, j, "[", "]")? + 1,
+            "{" => break j,
+            ";" => {
+                // Bodiless declaration (trait signature / extern).
+                let module = module_path(file_mod, scopes);
+                let sym = make_sym(
+                    name_tok,
+                    toks[at].line,
+                    is_pub,
+                    module,
+                    scopes,
+                    crate_name,
+                    at,
+                    (1, 0),
+                );
+                return Some((sym, j + 1));
+            }
+            _ => j += 1,
+        }
+    };
+    let body_close = matching(toks, body_open, "{", "}").unwrap_or(toks.len() - 1);
+    let module = module_path(file_mod, scopes);
+    let sym = make_sym(
+        name_tok,
+        toks[at].line,
+        is_pub,
+        module,
+        scopes,
+        crate_name,
+        at,
+        (body_open, body_close),
+    );
+    // Resume just inside the body so nested fns/mods are still seen.
+    Some((sym, body_open + 1))
+}
+
+// One parameter per FnSym ingredient; bundling them into a struct would
+// just move the argument list one call deeper.
+#[allow(clippy::too_many_arguments)]
+fn make_sym(
+    name_tok: &Tok,
+    line: u32,
+    is_pub: bool,
+    module: Vec<String>,
+    scopes: &[Scope],
+    crate_name: &str,
+    decl: usize,
+    body: (usize, usize),
+) -> FnSym {
+    let impl_type = scopes.iter().rev().find_map(|s| match s {
+        Scope::Impl(t) => Some(t.clone()),
+        _ => None,
+    });
+    let mut qual = String::from(crate_name);
+    for m in &module {
+        qual.push_str("::");
+        qual.push_str(m);
+    }
+    if let Some(t) = &impl_type {
+        qual.push_str("::");
+        qual.push_str(t);
+    }
+    qual.push_str("::");
+    qual.push_str(&name_tok.text);
+    FnSym {
+        qual,
+        name: name_tok.text.clone(),
+        impl_type,
+        module,
+        line,
+        is_pub,
+        decl,
+        body,
+    }
+}
+
+/// Module path = file module + inline `mod` scopes currently open.
+fn module_path(file_mod: &[String], scopes: &[Scope]) -> Vec<String> {
+    let mut module = file_mod.to_vec();
+    for s in scopes {
+        if let Scope::Mod(m) = s {
+            module.push(m.clone());
+        }
+    }
+    module
+}
+
+/// True when the tokens just before the `fn` at `at` carry a `pub`
+/// (including `pub(crate)` / `pub(super)` / `pub(in path)`).
+fn leading_pub(toks: &[Tok], at: usize) -> bool {
+    let mut i = at;
+    while i > 0 {
+        i -= 1;
+        let t = &toks[i];
+        match (t.kind, t.text.as_str()) {
+            // Qualifiers that may sit between `pub` and `fn`.
+            (TokKind::Ident, "const" | "unsafe" | "async" | "extern") => {}
+            (TokKind::Lit, _) => {} // the "C" in `extern "C" fn`
+            (TokKind::Punct, ")") => {
+                // Possibly the close of `pub(crate)`: walk to its `(`.
+                let mut depth = 1i64;
+                while i > 0 && depth > 0 {
+                    i -= 1;
+                    match toks[i].text.as_str() {
+                        ")" => depth += 1,
+                        "(" => depth -= 1,
+                        _ => {}
+                    }
+                }
+            }
+            (TokKind::Ident, "pub") => return true,
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Index of the token closing the delimiter at `open_idx`.
+fn matching(toks: &[Tok], open_idx: usize, open: &str, close: &str) -> Option<usize> {
+    let mut depth = 0i64;
+    for (k, t) in toks.iter().enumerate().skip(open_idx) {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        if t.text == open {
+            depth += 1;
+        } else if t.text == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Parses one `use …;` starting just past the `use` keyword; records
+/// bindings into `syms` and returns the index past the terminating `;`.
+///
+/// Handles: `use a::b::c;`, `use a::b::c as d;`, `use a::b::{c, d as e};`
+/// (nested groups included), `use a::b::*;`, and `use a::b::{self, c};`
+/// (the `self` arm binds `b` itself, which only matters for module-typed
+/// call paths).
+fn parse_use(toks: &[Tok], from: usize, syms: &mut FileSymbols) -> usize {
+    let mut prefix: Vec<String> = Vec::new();
+    let mut i = from;
+    let end = parse_use_tree(toks, &mut i, &mut prefix, syms);
+    // Consume through the `;` if the tree parse stopped on it.
+    if toks.get(end).is_some_and(|t| t.text == ";") {
+        end + 1
+    } else {
+        end
+    }
+}
+
+/// Recursive-descent over one use-tree; `prefix` is the path accumulated
+/// so far. Returns the index where this tree ends (`;`, `,`, or `}`).
+fn parse_use_tree(
+    toks: &[Tok],
+    i: &mut usize,
+    prefix: &mut Vec<String>,
+    syms: &mut FileSymbols,
+) -> usize {
+    let depth_in = prefix.len();
+    while let Some(t) = toks.get(*i) {
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Ident, "self") => {
+                // `a::b::{self, …}` — bind the module name itself.
+                if let Some(last) = prefix.last().cloned() {
+                    syms.imports.push(Import {
+                        local: last,
+                        path: prefix.clone(),
+                    });
+                }
+                *i += 1;
+            }
+            (TokKind::Ident, "as") => {
+                // Rebind the just-pushed segment under the alias.
+                if let Some(alias) = toks.get(*i + 1).filter(|a| a.kind == TokKind::Ident) {
+                    if !prefix.is_empty() {
+                        // Replace the binding emitted at the path end.
+                        if let Some(imp) = syms.imports.last_mut() {
+                            imp.local = alias.text.clone();
+                        }
+                    }
+                    *i += 2;
+                } else {
+                    *i += 1;
+                }
+            }
+            (TokKind::Ident, _) => {
+                prefix.push(t.text.clone());
+                *i += 1;
+                // A terminal segment (followed by `;`, `,`, `}`, or `as`)
+                // emits a binding; `::` continues the path.
+                match toks.get(*i).map(|n| n.text.as_str()) {
+                    Some("::") => {
+                        *i += 1;
+                    }
+                    _ => syms.imports.push(Import {
+                        local: t.text.clone(),
+                        path: prefix.clone(),
+                    }),
+                }
+            }
+            (TokKind::Punct, "*") => {
+                syms.globs.push(prefix.clone());
+                *i += 1;
+            }
+            (TokKind::Punct, "{") => {
+                *i += 1;
+                loop {
+                    let before = prefix.len();
+                    parse_use_tree(toks, i, prefix, syms);
+                    prefix.truncate(before);
+                    match toks.get(*i).map(|n| n.text.as_str()) {
+                        Some(",") => *i += 1,
+                        Some("}") => {
+                            *i += 1;
+                            break;
+                        }
+                        _ => break,
+                    }
+                }
+                prefix.truncate(depth_in);
+                return *i;
+            }
+            (TokKind::Punct, "," | "}" | ";") => break,
+            _ => {
+                *i += 1;
+            }
+        }
+        // After emitting a terminal binding, stop unless the path goes on.
+        if let Some(n) = toks.get(*i) {
+            if n.text == "," || n.text == "}" || n.text == ";" {
+                break;
+            }
+        }
+    }
+    prefix.truncate(depth_in);
+    *i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+
+    fn syms(rel: &str, src: &str) -> FileSymbols {
+        let crate_name = if rel.starts_with("crates/") {
+            rel.split('/').nth(1).unwrap().to_string()
+        } else {
+            "root".to_string()
+        };
+        extract(rel, &crate_name, &lexer::lex(src).tokens)
+    }
+
+    #[test]
+    fn file_module_mapping() {
+        assert!(file_module("crates/core/src/lib.rs").is_empty());
+        assert_eq!(file_module("crates/core/src/request.rs"), ["request"]);
+        assert_eq!(file_module("crates/dfs/src/foo/mod.rs"), ["foo"]);
+        assert_eq!(file_module("crates/dfs/src/foo/bar.rs"), ["foo", "bar"]);
+        assert!(file_module("crates/cli/src/main.rs").is_empty());
+        assert!(file_module("examples/quickstart.rs").is_empty());
+    }
+
+    #[test]
+    fn free_fns_and_visibility() {
+        let s = syms(
+            "crates/core/src/planner.rs",
+            "pub fn plan() {} fn helper() {} pub(crate) fn scoped() {}",
+        );
+        let quals: Vec<(&str, bool)> = s.fns.iter().map(|f| (f.qual.as_str(), f.is_pub)).collect();
+        assert_eq!(
+            quals,
+            [
+                ("core::planner::plan", true),
+                ("core::planner::helper", false),
+                ("core::planner::scoped", true),
+            ]
+        );
+    }
+
+    #[test]
+    fn impl_methods_and_trait_impls() {
+        let s = syms(
+            "crates/matching/src/lib.rs",
+            "impl Matcher { pub fn repair(&self) {} }\n\
+             impl<'a> Iterator for Walker<'a> { fn next(&mut self) -> Option<u32> { None } }",
+        );
+        assert_eq!(s.fns[0].qual, "matching::Matcher::repair");
+        assert_eq!(s.fns[1].qual, "matching::Walker::next");
+        assert_eq!(s.fns[1].impl_type.as_deref(), Some("Walker"));
+    }
+
+    #[test]
+    fn inline_modules_nest() {
+        let s = syms(
+            "crates/dfs/src/lib.rs",
+            "mod inner { pub fn f() {} mod deeper { fn g() {} } } fn top() {}",
+        );
+        let quals: Vec<&str> = s.fns.iter().map(|f| f.qual.as_str()).collect();
+        assert_eq!(
+            quals,
+            ["dfs::inner::f", "dfs::inner::deeper::g", "dfs::top"]
+        );
+    }
+
+    #[test]
+    fn generics_and_return_types_do_not_confuse_bodies() {
+        let s = syms(
+            "crates/core/src/lib.rs",
+            "fn f<F: Fn(u32) -> u32>(g: F) -> [u8; 4] { [0; 4] } fn h() {}",
+        );
+        assert_eq!(s.fns.len(), 2);
+        assert_eq!(s.fns[0].name, "f");
+        assert_eq!(s.fns[1].name, "h");
+    }
+
+    #[test]
+    fn trait_signatures_have_empty_bodies() {
+        let s = syms(
+            "crates/core/src/lib.rs",
+            "trait T { fn sig(&self) -> u32; fn with_default(&self) -> u32 { 1 } }",
+        );
+        assert_eq!(s.fns.len(), 2);
+        assert!(s.fns[0].body.0 > s.fns[0].body.1, "bodiless");
+        assert!(s.fns[1].body.0 < s.fns[1].body.1);
+    }
+
+    #[test]
+    fn use_forms() {
+        let s = syms(
+            "crates/core/src/lib.rs",
+            "use opass_runtime::baseline;\n\
+             use opass_json::{Json, parse as parse_json};\n\
+             use opass_dfs::reader::*;\n\
+             use std::collections::{BTreeMap, BTreeSet};",
+        );
+        let find = |local: &str| {
+            s.imports
+                .iter()
+                .find(|i| i.local == local)
+                .map(|i| i.path.join("::"))
+        };
+        assert_eq!(find("baseline").as_deref(), Some("opass_runtime::baseline"));
+        assert_eq!(find("Json").as_deref(), Some("opass_json::Json"));
+        assert_eq!(find("parse_json").as_deref(), Some("opass_json::parse"));
+        assert_eq!(
+            find("BTreeMap").as_deref(),
+            Some("std::collections::BTreeMap")
+        );
+        assert_eq!(
+            s.globs,
+            [vec!["opass_dfs".to_string(), "reader".to_string()]]
+        );
+    }
+
+    #[test]
+    fn nested_fns_are_attributed_to_their_module() {
+        let s = syms(
+            "crates/core/src/lib.rs",
+            "fn outer() { fn inner() {} inner(); }",
+        );
+        let quals: Vec<&str> = s.fns.iter().map(|f| f.qual.as_str()).collect();
+        assert_eq!(quals, ["core::outer", "core::inner"]);
+    }
+}

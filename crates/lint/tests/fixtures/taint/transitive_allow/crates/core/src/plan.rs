@@ -1,0 +1,14 @@
+//! Fixture: tainted entries waived at the entry site with audited
+//! `lint:allow(transitive-determinism)` directives.
+
+use opass_serve::stamp;
+
+// lint:allow(transitive-determinism): stamp feeds the operator log only
+pub fn plan_all() -> u64 {
+    stamp::record_all()
+}
+
+// lint:allow(transitive-determinism): bucket count is diagnostics-only
+pub fn summarize() -> usize {
+    stamp::bucket_count()
+}

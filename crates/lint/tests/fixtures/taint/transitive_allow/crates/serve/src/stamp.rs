@@ -1,0 +1,19 @@
+//! Fixture helper crate: identical to the positive tree's helper.
+
+/// Hop 1: records every stage.
+pub fn record_all() -> u64 {
+    now_tag()
+}
+
+/// Hop 2: the actual wall-clock sink.
+fn now_tag() -> u64 {
+    let t = std::time::Instant::now();
+    let _ = t;
+    0
+}
+
+/// Counts buckets in hash order — an unordered-iteration sink.
+pub fn bucket_count() -> usize {
+    let m: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+    m.len()
+}

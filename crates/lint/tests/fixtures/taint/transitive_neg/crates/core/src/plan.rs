@@ -1,0 +1,14 @@
+//! Fixture: same call shape as the positive tree, but the helper crate is
+//! fully deterministic — the graph pass must stay silent.
+
+use opass_serve::stamp;
+
+/// Plans everything through a clean helper.
+pub fn plan_all() -> u64 {
+    stamp::record_all()
+}
+
+/// Summarizes buckets through an ordered container.
+pub fn summarize() -> usize {
+    stamp::bucket_count()
+}

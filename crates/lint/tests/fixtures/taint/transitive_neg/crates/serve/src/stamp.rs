@@ -1,0 +1,17 @@
+//! Fixture helper crate: deterministic twin of the positive tree.
+
+/// Hop 1: records every stage.
+pub fn record_all() -> u64 {
+    seq_tag(41)
+}
+
+/// Hop 2: pure arithmetic, no clock.
+fn seq_tag(prev: u64) -> u64 {
+    prev + 1
+}
+
+/// Counts buckets in key order.
+pub fn bucket_count() -> usize {
+    let m: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+    m.len()
+}

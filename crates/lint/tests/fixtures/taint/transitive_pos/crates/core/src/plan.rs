@@ -1,0 +1,21 @@
+//! Fixture: deterministic-crate entry points that reach sinks through a
+//! helper crate. Neither sink is visible in this file — only the graph
+//! pass can connect them.
+
+use opass_serve::stamp;
+
+/// Plans everything; unknowingly timestamps via the helper crate
+/// (two call hops away from the `Instant::now`).
+pub fn plan_all() -> u64 {
+    stamp::record_all()
+}
+
+/// Summarizes buckets; the helper iterates a `HashMap`.
+pub fn summarize() -> usize {
+    stamp::bucket_count()
+}
+
+/// Deterministic neighbor in the same file: stays clean.
+pub fn clean_total(xs: &[u64]) -> u64 {
+    xs.iter().sum()
+}

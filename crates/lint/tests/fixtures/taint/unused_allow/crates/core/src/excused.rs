@@ -1,0 +1,9 @@
+//! Fixture: a stale directive excused by a covering
+//! `lint:allow(unused-suppression)` — reported, but suppressed.
+
+// lint:allow(unused-suppression): kept as documentation of the old invariant
+// lint:allow(no-wallclock): the clock read moved behind the runtime facade
+/// Pure arithmetic now.
+pub fn total(xs: &[u64]) -> u64 {
+    xs.iter().sum()
+}

@@ -1,0 +1,10 @@
+//! Fixture: a directive that earns its keep by suppressing a live
+//! finding — the audit must stay silent.
+
+/// Timestamp for operator logs only; replay never sees it.
+pub fn log_stamp() -> u64 {
+    // lint:allow(no-wallclock): operator-facing log label, never replayed
+    let t = std::time::SystemTime::now();
+    drop(t);
+    0
+}

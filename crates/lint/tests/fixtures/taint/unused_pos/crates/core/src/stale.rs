@@ -1,0 +1,20 @@
+//! Fixture: three directives that earn nothing — stale, misspelled, and
+//! reasonless — each one an `unused-suppression` finding.
+
+// lint:allow(no-wallclock): the clock read moved to the runtime facade long ago
+/// Pure arithmetic now; the directive above it is stale.
+pub fn total(xs: &[u64]) -> u64 {
+    xs.iter().sum()
+}
+
+// lint:allow(no-such-rule): typo'd rule name never matched anything
+/// The directive above names an unknown rule.
+pub fn count(xs: &[u64]) -> usize {
+    xs.len()
+}
+
+// lint:allow(unordered-iteration)
+/// The directive above lacks its mandatory reason.
+pub fn max(xs: &[u64]) -> u64 {
+    xs.iter().copied().max().unwrap_or(0)
+}

@@ -8,7 +8,12 @@
 #   check.sh --lint          determinism & invariant linter only: runs
 #                            opass-lint over the workspace (config in
 #                            lint.toml) and fails on any unsuppressed
-#                            finding, printing fix hints
+#                            finding — including deny findings from the
+#                            transitive call-graph pass — printing fix
+#                            hints and archiving lint.sarif for CI diffing
+#   check.sh --lint-timing   lint-throughput smoke: full-workspace lint
+#                            (8 threads) must finish under the committed
+#                            wall-time budget below
 #   check.sh --bench-smoke   engine-throughput smoke: runs the bench_sim
 #                            smoke scenario in release and fails if
 #                            events/sec regressed >30% vs the committed
@@ -43,14 +48,41 @@ run() {
 
 lint() {
     run cargo build --release -p opass-lint --offline
+    # SARIF artifact first (always written, even when the gate then
+    # fails) so CI can archive and diff findings across commits. The
+    # renderers are byte-stable, so this file only changes when findings
+    # do. A deny finding makes opass-lint exit 1, which would abort under
+    # `set -e` before the human-readable run — tolerate it here and let
+    # the strict run below do the failing with readable output.
+    echo "==> ./target/release/opass-lint --root . --format sarif > lint.sarif"
+    ./target/release/opass-lint --root . --format sarif > lint.sarif || true
     # --strict: warn-level findings (panic-in-lib) also fail the gate, so
-    # "clean" means zero unsuppressed findings of any severity.
+    # "clean" means zero unsuppressed findings of any severity — per-site
+    # and graph rules (transitive-determinism, unused-suppression) alike.
     run ./target/release/opass-lint --root . --strict --fix-hints
 }
 
 if [[ "${1:-}" == "--lint" ]]; then
     lint
-    echo "Lint passed."
+    echo "Lint passed (lint.sarif written)."
+    exit 0
+fi
+
+if [[ "${1:-}" == "--lint-timing" ]]; then
+    # Committed budget for a full-workspace lint, graph pass included.
+    # Generous vs the observed time so host-load noise does not flake the
+    # gate, but tight enough to catch an accidentally quadratic pass.
+    LINT_BUDGET_SECONDS=20
+    run cargo build --release -p opass-lint --offline
+    start=$(date +%s)
+    run ./target/release/opass-lint --root . --strict --threads 8
+    elapsed=$(( $(date +%s) - start ))
+    echo "full-workspace lint took ${elapsed}s (budget ${LINT_BUDGET_SECONDS}s)"
+    if (( elapsed > LINT_BUDGET_SECONDS )); then
+        echo "error: lint exceeded its wall-time budget" >&2
+        exit 1
+    fi
+    echo "Lint timing smoke passed."
     exit 0
 fi
 
