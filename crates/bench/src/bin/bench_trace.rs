@@ -1,0 +1,345 @@
+//! `bench_trace` — trace parse + replay throughput at 1BRC scale.
+//!
+//! Each scenario generates a trace from a fixed [`TraceSpec`] seed,
+//! serializes it to the text format, then measures:
+//!
+//! 1. **parse** — the chunked parallel text parser at 8 threads, after
+//!    asserting the output is *bit-identical* to the sequential parse
+//!    (and to a 2-thread parse) — the 1BRC split/merge contract;
+//! 2. **replay** — `opass_serve::replay_local` folding the records into
+//!    planner sessions with layout churn, asserting the report
+//!    fingerprint is reproducible run-to-run.
+//!
+//! Records/sec are reported per phase and regression-gated against the
+//! committed `BENCH_trace.json`; byte-identity and determinism are
+//! asserted in-run and never waived. The committed scenario parses and
+//! replays 10M records.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_trace [--out PATH] [--smoke] [--check-against PATH] [--max-regression F]
+//! ```
+
+// Printing is this binary's user interface.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
+use opass_json::Json;
+use opass_serve::{replay_local, ReplayConfig};
+use opass_trace::{
+    generate, parse_binary_with_threads, parse_text_with_threads, write_binary, write_text,
+    BurstSpec, TraceRecord, TraceSpec,
+};
+use std::time::Instant;
+
+/// Threads for the parallel parse arm.
+const PAR_THREADS: usize = 8;
+
+struct Scenario {
+    name: &'static str,
+    records: u64,
+    datasets: u32,
+    chunks_per_dataset: u64,
+    /// Records per replay batch.
+    batch: usize,
+    /// Records replayed (a prefix; replay plans per batch and is far
+    /// slower per record than parsing).
+    replay_records: usize,
+    smoke: bool,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "trace1m",
+            records: 1_000_000,
+            datasets: 8,
+            chunks_per_dataset: 640,
+            batch: 8_192,
+            replay_records: 200_000,
+            smoke: true,
+        },
+        Scenario {
+            name: "trace10m",
+            records: 10_000_000,
+            datasets: 16,
+            chunks_per_dataset: 1_024,
+            batch: 65_536,
+            replay_records: 10_000_000,
+            smoke: false,
+        },
+    ]
+}
+
+fn spec_for(s: &Scenario) -> TraceSpec {
+    TraceSpec {
+        name: s.name.to_string(),
+        seed: 0x1B2C_0000 + s.records,
+        records: s.records,
+        duration_s: 3_600.0,
+        clients: 256,
+        datasets: s.datasets,
+        chunks_per_dataset: s.chunks_per_dataset,
+        chunk_size: 64 << 20,
+        zipf_exponent: 1.1,
+        diurnal_amplitude: 0.5,
+        diurnal_period_s: 3_600.0,
+        bursts: vec![BurstSpec {
+            start_s: 1_200.0,
+            duration_s: 300.0,
+            dataset: s.datasets - 1,
+            multiplier: 16.0,
+        }],
+    }
+}
+
+/// FNV-1a over every record field — one u64 stands in for full record
+/// equality, so the 10M-record arms don't hold three copies in memory.
+fn records_hash(records: &[TraceRecord]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |v: u64| {
+        for byte in v.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for r in records {
+        eat(r.time_us);
+        eat(u64::from(r.client));
+        eat(u64::from(r.dataset));
+        eat(r.chunk);
+        eat(r.bytes);
+    }
+    hash
+}
+
+struct Phase {
+    seconds: f64,
+    records_per_sec: f64,
+}
+
+fn phase_json(p: &Phase) -> Json {
+    Json::object([
+        ("seconds".to_string(), Json::from(p.seconds)),
+        ("records_per_sec".to_string(), Json::from(p.records_per_sec)),
+    ])
+}
+
+fn run_scenario(s: &Scenario) -> (Phase, Phase, Json) {
+    let spec = spec_for(s);
+    let records = generate(&spec);
+    let text = write_text(&records);
+    let expected_hash = records_hash(&records);
+    let text_mib = text.len() as f64 / (1024.0 * 1024.0);
+
+    // Bit-identity: sequential, 2-thread, and 8-thread parses must agree
+    // with the generated records exactly. Parse results are hashed and
+    // dropped one at a time to keep the 10M arm inside a sane footprint.
+    let t0 = Instant::now();
+    let seq = parse_text_with_threads(&text, 1).expect("sequential parse");
+    let seq_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(seq.len(), records.len(), "{}: sequential length", s.name);
+    assert_eq!(
+        records_hash(&seq),
+        expected_hash,
+        "{}: sequential parse must reproduce the generated records",
+        s.name
+    );
+    drop(seq);
+
+    for threads in [2, PAR_THREADS] {
+        let parsed = parse_text_with_threads(&text, threads).expect("parallel parse");
+        assert_eq!(
+            records_hash(&parsed),
+            expected_hash,
+            "{}: {threads}-thread parse must be bit-identical to sequential",
+            s.name
+        );
+    }
+    let t0 = Instant::now();
+    let par = parse_text_with_threads(&text, PAR_THREADS).expect("parallel parse");
+    let par_secs = t0.elapsed().as_secs_f64();
+    drop(par);
+    drop(text);
+
+    // The binary framing round-trips and decodes in parallel identically.
+    let bytes = write_binary(&records[..records.len().min(100_000)]);
+    for threads in [1, PAR_THREADS] {
+        let decoded = parse_binary_with_threads(&bytes, threads).expect("binary parse");
+        assert_eq!(
+            records_hash(&decoded),
+            records_hash(&records[..records.len().min(100_000)]),
+            "{}: binary decode must round-trip",
+            s.name
+        );
+    }
+    drop(bytes);
+
+    // Replay a prefix through planner sessions with churn; the report
+    // fingerprint must be reproducible.
+    let replayed = &records[..records.len().min(s.replay_records)];
+    let config = ReplayConfig {
+        n_nodes: 64,
+        replication: 3,
+        seed: 0x7ACE,
+        batch_records: s.batch,
+        churn: true,
+    };
+    let t0 = Instant::now();
+    let report = replay_local(replayed, &config).expect("replay");
+    let replay_secs = t0.elapsed().as_secs_f64();
+    if s.smoke {
+        let again = replay_local(replayed, &config).expect("replay rerun");
+        assert_eq!(
+            report.fingerprint(),
+            again.fingerprint(),
+            "{}: replay must be deterministic",
+            s.name
+        );
+    }
+
+    let parse = Phase {
+        seconds: par_secs,
+        records_per_sec: records.len() as f64 / par_secs.max(1e-9),
+    };
+    let replay = Phase {
+        seconds: replay_secs,
+        records_per_sec: replayed.len() as f64 / replay_secs.max(1e-9),
+    };
+    let detail = Json::object([
+        ("text_mib".to_string(), Json::from(text_mib)),
+        ("seq_parse_seconds".to_string(), Json::from(seq_secs)),
+        ("replayed_records".to_string(), Json::from(replayed.len())),
+        ("replay_batches".to_string(), Json::from(report.batches)),
+        ("migrations".to_string(), Json::from(report.migrations)),
+        (
+            "mean_session_locality".to_string(),
+            Json::from(report.mean_session_locality),
+        ),
+        (
+            "fingerprint".to_string(),
+            Json::from(format!("{:016x}", report.fingerprint())),
+        ),
+    ]);
+    (parse, replay, detail)
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_trace.json");
+    let mut smoke = false;
+    let mut check_against: Option<String> = None;
+    let mut max_regression = 0.50f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--smoke" => smoke = true,
+            "--check-against" => {
+                check_against = Some(args.next().expect("--check-against needs a path"))
+            }
+            "--max-regression" => {
+                max_regression = args
+                    .next()
+                    .expect("--max-regression needs a value")
+                    .parse()
+                    .expect("--max-regression must be a float")
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut scenario_reports = Vec::new();
+    let mut measured: Vec<(String, f64)> = Vec::new();
+
+    for s in &scenarios() {
+        if smoke && !s.smoke {
+            continue;
+        }
+        let (parse, replay, detail) = run_scenario(s);
+        eprintln!(
+            "{:>10}: parse({PAR_THREADS}t) {:.2}M rec/s, replay {:.0}k rec/s \
+             ({} records, {} datasets) — parse bit-identical at 1/2/{PAR_THREADS} threads",
+            s.name,
+            parse.records_per_sec / 1e6,
+            replay.records_per_sec / 1e3,
+            s.records,
+            s.datasets
+        );
+        measured.push((format!("{}_parse", s.name), parse.records_per_sec));
+        measured.push((format!("{}_replay", s.name), replay.records_per_sec));
+        scenario_reports.push(Json::object([
+            ("name".to_string(), Json::from(s.name)),
+            ("records".to_string(), Json::from(s.records)),
+            ("datasets".to_string(), Json::from(s.datasets)),
+            (
+                "chunks_per_dataset".to_string(),
+                Json::from(s.chunks_per_dataset),
+            ),
+            ("batch".to_string(), Json::from(s.batch)),
+            ("par_threads".to_string(), Json::from(PAR_THREADS)),
+            ("parse".to_string(), phase_json(&parse)),
+            ("replay".to_string(), phase_json(&replay)),
+            ("detail".to_string(), detail),
+        ]));
+    }
+
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let report = Json::object([
+        ("benchmark".to_string(), Json::from("trace")),
+        ("host_threads".to_string(), Json::from(host_threads)),
+        ("scenarios".to_string(), Json::array(scenario_reports)),
+    ]);
+
+    if out_path != "-" {
+        std::fs::write(&out_path, report.to_pretty()).expect("write report");
+        eprintln!("wrote {out_path}");
+    }
+
+    if let Some(baseline_path) = check_against {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        let baseline = Json::parse(&text).expect("baseline must be valid JSON");
+        let baseline_rate = |name: &str| -> Option<f64> {
+            let (scenario, phase) = name.rsplit_once('_')?;
+            baseline
+                .get("scenarios")?
+                .as_array()?
+                .iter()
+                .find(|s| s.get("name").and_then(Json::as_str) == Some(scenario))?
+                .get(phase)?
+                .get("records_per_sec")?
+                .as_f64()
+        };
+        let mut failed = false;
+        for (name, rate) in &measured {
+            match baseline_rate(name) {
+                Some(base) if base > 0.0 => {
+                    let ratio = rate / base;
+                    let verdict = if ratio < 1.0 - max_regression {
+                        failed = true;
+                        "REGRESSED"
+                    } else {
+                        "ok"
+                    };
+                    eprintln!(
+                        "{name}: {rate:.0} rec/s vs baseline {base:.0} ({:.0}%) {verdict}",
+                        ratio * 100.0
+                    );
+                }
+                _ => eprintln!("{name}: no baseline entry, skipping"),
+            }
+        }
+        if failed {
+            eprintln!(
+                "FAIL: records/sec regressed more than {:.0}% vs {baseline_path}",
+                max_regression * 100.0
+            );
+            std::process::exit(1);
+        }
+    }
+}

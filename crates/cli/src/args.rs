@@ -80,6 +80,18 @@ impl Flags {
                 .map_err(|_| format!("flag {name} expects a number, got {v:?}")),
         }
     }
+
+    /// Parses the shared `--threads N` flag: a thread count of at least 1
+    /// (defaulting to `default` when absent). Zero and non-numeric values
+    /// are rejected — every parallel path in the workspace treats the
+    /// thread count as a divisor.
+    pub fn threads(&self, default: usize) -> Result<usize, String> {
+        let n: usize = self.value_or("--threads", default)?;
+        if n == 0 {
+            return Err("flag --threads expects a positive thread count".to_string());
+        }
+        Ok(n)
+    }
 }
 
 #[cfg(test)]
@@ -120,6 +132,24 @@ mod tests {
     fn missing_value_is_an_error() {
         let err = Flags::parse(&argv(&["--metrics"]), &[], &["--metrics"]).unwrap_err();
         assert!(err.contains("--metrics"));
+    }
+
+    #[test]
+    fn threads_accepts_positive_counts_and_defaults() {
+        let f = Flags::parse(&argv(&["--threads", "8"]), &[], &["--threads"]).unwrap();
+        assert_eq!(f.threads(1).unwrap(), 8);
+        let absent = Flags::parse(&argv(&[]), &[], &["--threads"]).unwrap();
+        assert_eq!(absent.threads(4).unwrap(), 4);
+    }
+
+    #[test]
+    fn threads_rejects_zero_and_non_numeric() {
+        let zero = Flags::parse(&argv(&["--threads", "0"]), &[], &["--threads"]).unwrap();
+        assert!(zero.threads(1).unwrap_err().contains("positive"));
+        let junk = Flags::parse(&argv(&["--threads", "many"]), &[], &["--threads"]).unwrap();
+        assert!(junk.threads(1).unwrap_err().contains("--threads"));
+        let negative = Flags::parse(&argv(&["--threads", "-2"]), &[], &["--threads"]).unwrap();
+        assert!(negative.threads(1).is_err());
     }
 
     #[test]

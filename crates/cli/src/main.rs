@@ -18,6 +18,7 @@
 mod args;
 mod remote;
 mod scenario;
+mod trace;
 
 use args::Flags;
 use scenario::{ExperimentReport, ScenarioFile};
@@ -32,8 +33,9 @@ fn main() -> ExitCode {
         Some("serve") => remote::cmd_serve(&argv[1..]),
         Some("plan") => remote::cmd_plan(&argv[1..]),
         Some("place") => remote::cmd_place(&argv[1..]),
+        Some("trace") => trace::cmd_trace(&argv[1..]),
         _ => {
-            eprintln!("usage: opass <init|run|analyze|serve|plan|place> ...");
+            eprintln!("usage: opass <init|run|analyze|serve|plan|place|trace> ...");
             eprintln!("  opass init <file.json>           write a template scenario");
             eprintln!(
                 "  opass run <file.json> [--json] [--parallel] [--trace-dir DIR] [--metrics DIR]"
@@ -42,6 +44,7 @@ fn main() -> ExitCode {
             eprintln!("  {}", remote::SERVE_USAGE);
             eprintln!("  {}", remote::PLAN_USAGE);
             eprintln!("  {}", remote::PLACE_USAGE);
+            eprintln!("  {}", trace::TRACE_USAGE);
             ExitCode::FAILURE
         }
     }

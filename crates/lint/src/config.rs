@@ -120,9 +120,17 @@ impl Default for Config {
         );
         Config {
             exclude: vec!["target".into(), "vendor".into()],
-            deterministic_crates: ["simio", "dfs", "matching", "analysis", "workloads", "core"]
-                .map(String::from)
-                .to_vec(),
+            deterministic_crates: [
+                "simio",
+                "dfs",
+                "matching",
+                "analysis",
+                "workloads",
+                "core",
+                "trace",
+            ]
+            .map(String::from)
+            .to_vec(),
             library_crates: [
                 "core",
                 "matching",
@@ -133,6 +141,7 @@ impl Default for Config {
                 "workloads",
                 "json",
                 "serve",
+                "trace",
             ]
             .map(String::from)
             .to_vec(),

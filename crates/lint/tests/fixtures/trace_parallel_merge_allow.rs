@@ -1,0 +1,16 @@
+// Suppressed fixture: a completion-order channel used only for a
+// commutative total, with the mandatory audited reason. Linted under a
+// deterministic-crate path; never compiled.
+
+fn count_records(chunks: Vec<&str>) -> usize {
+    // lint:allow(unordered-parallel-merge): the merge only sums per-chunk record counts, and integer addition is commutative
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::scope(|scope| {
+        for chunk in &chunks {
+            let tx = tx.clone();
+            scope.spawn(move || tx.send(chunk.lines().count()));
+        }
+    });
+    drop(tx);
+    rx.iter().sum()
+}

@@ -19,7 +19,7 @@ struct Case {
     allow: (&'static str, usize),
 }
 
-const CASES: [Case; 8] = [
+const CASES: [Case; 9] = [
     Case {
         rule: "unordered-iteration",
         context: "crates/dfs/src/fixture.rs",
@@ -55,6 +55,17 @@ const CASES: [Case; 8] = [
         pos: ("unordered_parallel_merge_pos.rs", 2),
         neg: "unordered_parallel_merge_neg.rs",
         allow: ("unordered_parallel_merge_allow.rs", 1),
+    },
+    Case {
+        // Same rule, trace-parser shape: the 1BRC chunked parse promises
+        // byte-identical output at any thread count, so parsed chunks
+        // must be concatenated in spawn order — channel collects and
+        // lock-wrapped accumulators merge in completion order (§14).
+        rule: "unordered-parallel-merge",
+        context: "crates/trace/src/fixture.rs",
+        pos: ("trace_parallel_merge_pos.rs", 2),
+        neg: "trace_parallel_merge_neg.rs",
+        allow: ("trace_parallel_merge_allow.rs", 1),
     },
     Case {
         rule: "no-wallclock",

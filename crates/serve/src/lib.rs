@@ -52,6 +52,7 @@ pub mod frame;
 pub mod metrics;
 pub mod pool;
 pub mod protocol;
+pub mod replay;
 pub mod server;
 pub mod spec;
 
@@ -64,6 +65,9 @@ pub use pool::{SubmitError, WorkerPool};
 pub use protocol::{
     LatencyBin, LatencySummary, LayoutEntry, LayoutReply, PlaceReply, PlaceRoundReply, PlanReply,
     ProtoError, Request, Response, StatsReply, PROTOCOL_VERSION,
+};
+pub use replay::{
+    replay_local, replay_remote, BatchDigest, ReplayConfig, ReplayDriverError, ReplayReport,
 };
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use spec::{ServeSpec, World};

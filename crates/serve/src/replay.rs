@@ -1,0 +1,577 @@
+//! Trace replay: fold an `opass-trace` record stream into the planning
+//! pipeline.
+//!
+//! The driver batches records in time order and, per batch and dataset,
+//! plans the accessed chunks with a fresh [`PlanRequest::single`] while a
+//! long-lived [`Session`] per dataset absorbs the layout churn the trace
+//! implies: with churn enabled, each batch migrates one replica of its
+//! hottest chunk toward the busiest client's node
+//! ([`LayoutDelta::migration`] → [`Namenode::apply_migrations`] →
+//! [`Session::replan`]). Everything is a pure function of
+//! `(records, config)` — the [`ReplayReport::fingerprint`] is
+//! reproducible byte-for-byte.
+//!
+//! [`replay_remote`] drives the same batch loop against a running
+//! `opass serve` instance through [`Client`]: plans come from the
+//! service's cache/coalesce path and churn arrives as dataset-scoped
+//! delta invalidations, exercising the repair path end to end.
+
+use crate::client::{Client, ClientError};
+use opass_core::dfs::{
+    ChunkId, DatasetSpec, DfsConfig, DfsError, LayoutDelta, Namenode, NodeId, Placement,
+};
+use opass_core::runtime::ProcessPlacement;
+use opass_core::workloads::{Task, Workload};
+use opass_core::{OpassPlanner, PlanRequest, Session, Strategy};
+use opass_json::Json;
+use opass_trace::TraceRecord;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Replay parameters. The report is a pure function of
+/// `(records, config)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayConfig {
+    /// Cluster size for the locally built world (one planning process
+    /// per node). Clients map to nodes by `client % n_nodes`.
+    pub n_nodes: usize,
+    /// Replication factor of the locally built world.
+    pub replication: u32,
+    /// Seed for world placement and plan fills.
+    pub seed: u64,
+    /// Records per batch; each batch is planned (and optionally churns
+    /// the layout) as one unit.
+    pub batch_records: usize,
+    /// When true, each batch migrates one replica of its hottest chunk
+    /// toward its busiest client's node and replans the session.
+    pub churn: bool,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig {
+            n_nodes: 64,
+            replication: 3,
+            seed: 0x7ACE,
+            batch_records: 4096,
+            churn: true,
+        }
+    }
+}
+
+/// Replay failures.
+#[derive(Debug)]
+pub enum ReplayDriverError {
+    /// The trace has no records or the config is degenerate.
+    BadInput(&'static str),
+    /// A record refers past the world the trace implies (internal), or a
+    /// migration was rejected.
+    Dfs(DfsError),
+    /// The remote service failed.
+    Remote(ClientError),
+}
+
+impl fmt::Display for ReplayDriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayDriverError::BadInput(what) => write!(f, "bad replay input: {what}"),
+            ReplayDriverError::Dfs(e) => write!(f, "replay layout churn rejected: {e}"),
+            ReplayDriverError::Remote(e) => write!(f, "remote replay failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayDriverError {}
+
+impl From<DfsError> for ReplayDriverError {
+    fn from(e: DfsError) -> Self {
+        ReplayDriverError::Dfs(e)
+    }
+}
+
+impl From<ClientError> for ReplayDriverError {
+    fn from(e: ClientError) -> Self {
+        ReplayDriverError::Remote(e)
+    }
+}
+
+/// What one `(batch, dataset)` planning step produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchDigest {
+    /// Batch index (records arrive in time order).
+    pub batch: usize,
+    /// Dataset the step planned.
+    pub dataset: u32,
+    /// Records of this dataset in the batch.
+    pub records: u64,
+    /// Distinct chunks those records touched.
+    pub distinct_chunks: usize,
+    /// Max-flow matches in the fresh batch plan.
+    pub matched_files: usize,
+    /// Fill-policy placements in the fresh batch plan.
+    pub filled_files: usize,
+    /// Local-task fraction of the fresh batch plan.
+    pub local_task_fraction: f64,
+    /// True when this step migrated a replica.
+    pub migrated: bool,
+    /// Local-task fraction of the dataset's long-lived session after any
+    /// churn was replanned into it.
+    pub session_local_fraction: f64,
+}
+
+impl BatchDigest {
+    /// Canonical one-line form, the unit the report fingerprint hashes.
+    fn canonical(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{:.6},{},{:.6}",
+            self.batch,
+            self.dataset,
+            self.records,
+            self.distinct_chunks,
+            self.matched_files,
+            self.filled_files,
+            self.local_task_fraction,
+            u8::from(self.migrated),
+            self.session_local_fraction
+        )
+    }
+}
+
+/// The replay's aggregate outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayReport {
+    /// Records replayed.
+    pub records: u64,
+    /// Batches processed.
+    pub batches: usize,
+    /// Datasets the trace touched.
+    pub datasets: u32,
+    /// Replica migrations applied.
+    pub migrations: u64,
+    /// Mean local-task fraction across fresh batch plans.
+    pub mean_batch_locality: f64,
+    /// Mean post-churn session local-task fraction across steps.
+    pub mean_session_locality: f64,
+    /// Every `(batch, dataset)` step, in replay order.
+    pub digests: Vec<BatchDigest>,
+}
+
+impl ReplayReport {
+    /// FNV-1a hash over the canonical digest lines — equal traces and
+    /// configs yield equal fingerprints, so determinism is one `u64`
+    /// comparison.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for digest in &self.digests {
+            for byte in digest.canonical().bytes().chain([b'\n']) {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        hash
+    }
+
+    /// Summary as a JSON object (digests elided; the fingerprint covers
+    /// them).
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("records".to_string(), Json::from(self.records)),
+            ("batches".to_string(), Json::from(self.batches)),
+            ("datasets".to_string(), Json::from(self.datasets)),
+            ("migrations".to_string(), Json::from(self.migrations)),
+            (
+                "mean_batch_locality".to_string(),
+                Json::from(self.mean_batch_locality),
+            ),
+            (
+                "mean_session_locality".to_string(),
+                Json::from(self.mean_session_locality),
+            ),
+            (
+                "fingerprint".to_string(),
+                Json::from(format!("{:016x}", self.fingerprint())),
+            ),
+        ])
+    }
+}
+
+/// Replays a trace against an in-process world built from the trace
+/// itself: datasets and chunk counts are inferred from the records,
+/// placed randomly from `config.seed`.
+///
+/// # Errors
+///
+/// [`ReplayDriverError::BadInput`] on an empty trace or degenerate
+/// config; [`ReplayDriverError::Dfs`] if a churn migration is rejected
+/// (cannot happen for deltas this driver builds).
+pub fn replay_local(
+    records: &[TraceRecord],
+    config: &ReplayConfig,
+) -> Result<ReplayReport, ReplayDriverError> {
+    if records.is_empty() {
+        return Err(ReplayDriverError::BadInput("trace has no records"));
+    }
+    if config.n_nodes == 0 || config.batch_records == 0 || config.replication == 0 {
+        return Err(ReplayDriverError::BadInput(
+            "n_nodes, batch_records, and replication must be at least 1",
+        ));
+    }
+
+    // Infer the world: a dataset per distinct id, sized to the highest
+    // chunk index the trace touches.
+    let n_datasets = records.iter().map(|r| r.dataset).max().unwrap_or(0) as usize + 1;
+    let mut chunks_per_dataset = vec![1u64; n_datasets];
+    let mut chunk_size = 1u64;
+    for r in records {
+        let slot = &mut chunks_per_dataset[r.dataset as usize];
+        *slot = (*slot).max(r.chunk + 1);
+        chunk_size = chunk_size.max(r.bytes);
+    }
+    let replication = config.replication.min(config.n_nodes as u32);
+    let mut nn = Namenode::new(config.n_nodes, DfsConfig { replication });
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    for (d, &n_chunks) in chunks_per_dataset.iter().enumerate() {
+        let spec = DatasetSpec::uniform(format!("trace-ds{d}"), n_chunks as usize, chunk_size);
+        nn.create_dataset(&spec, &Placement::Random, &mut rng);
+    }
+
+    let placement = ProcessPlacement::one_per_node(config.n_nodes);
+    let planner = OpassPlanner::default();
+
+    // One long-lived session per dataset, planning the whole dataset;
+    // batch churn is replanned into it incrementally. Created lazily so
+    // a dataset the trace names but never touches costs nothing.
+    let mut sessions: BTreeMap<u32, Session> = BTreeMap::new();
+
+    let mut digests = Vec::new();
+    let mut migrations = 0u64;
+    for (batch_no, batch) in records.chunks(config.batch_records).enumerate() {
+        // Group the batch by dataset; BTreeMap keeps dataset order (and
+        // therefore digest order) deterministic.
+        let mut by_dataset: BTreeMap<u32, Vec<&TraceRecord>> = BTreeMap::new();
+        for r in batch {
+            by_dataset.entry(r.dataset).or_default().push(r);
+        }
+        for (dataset, accesses) in by_dataset {
+            let meta_chunks = nn
+                .dataset(opass_core::dfs::DatasetId(dataset))?
+                .chunks
+                .clone();
+
+            // Access histograms: per chunk index and per client.
+            let mut per_chunk: BTreeMap<u64, u64> = BTreeMap::new();
+            let mut per_client: BTreeMap<u32, u64> = BTreeMap::new();
+            let mut accessed_order: Vec<u64> = Vec::new();
+            for r in &accesses {
+                let count = per_chunk.entry(r.chunk).or_insert(0);
+                if *count == 0 {
+                    accessed_order.push(r.chunk);
+                }
+                *count += 1;
+                *per_client.entry(r.client).or_insert(0) += 1;
+            }
+
+            // Fresh plan over exactly the chunks this batch read.
+            let tasks: Vec<Task> = accessed_order
+                .iter()
+                .map(|&idx| Task::single(meta_chunks[idx as usize]))
+                .collect();
+            let workload = Workload::new(format!("batch{batch_no}-ds{dataset}"), tasks);
+            let request =
+                PlanRequest::single(&nn, &workload, &placement).seed(config.seed ^ batch_no as u64);
+            let plan = planner
+                .plan(&request)
+                .into_single()
+                .expect("single request yields single plan");
+
+            // The session must exist before this batch's churn touches
+            // the namenode: its snapshot is captured from `nn`, and the
+            // delta below is replanned into it afterwards — capturing
+            // post-migration would apply the move twice.
+            sessions.entry(dataset).or_insert_with(|| {
+                let tasks: Vec<Task> = meta_chunks.iter().map(|&c| Task::single(c)).collect();
+                let workload = Workload::new(format!("trace-ds{dataset}"), tasks);
+                let request = PlanRequest::single(&nn, &workload, &placement).seed(config.seed);
+                planner.session(&request)
+            });
+
+            // Optionally migrate one replica of the hottest chunk toward
+            // the busiest client's node, then replan the session.
+            let mut migrated = false;
+            let mut delta: Option<LayoutDelta> = None;
+            if config.churn {
+                let (&hot_chunk, _) = per_chunk
+                    .iter()
+                    .max_by_key(|&(idx, count)| (*count, std::cmp::Reverse(*idx)))
+                    .expect("batch group is non-empty");
+                let (&top_client, _) = per_client
+                    .iter()
+                    .max_by_key(|&(id, count)| (*count, std::cmp::Reverse(*id)))
+                    .expect("batch group is non-empty");
+                let target = NodeId((top_client as usize % config.n_nodes) as u32);
+                let chunk_id = meta_chunks[hot_chunk as usize];
+                let locations = nn.locate(chunk_id)?;
+                if !locations.contains(&target) {
+                    let from = locations[0];
+                    let d = LayoutDelta::migration(chunk_id, from, target);
+                    nn.apply_migrations(&d)?;
+                    migrations += 1;
+                    migrated = true;
+                    delta = Some(d);
+                }
+            }
+
+            let session = sessions
+                .get_mut(&dataset)
+                .expect("session created before churn");
+            if let Some(d) = delta {
+                session.replan(&d);
+            }
+            let session_local_fraction = session
+                .as_single()
+                .expect("single session")
+                .plan()
+                .locality
+                .task_fraction();
+
+            digests.push(BatchDigest {
+                batch: batch_no,
+                dataset,
+                records: accesses.len() as u64,
+                distinct_chunks: accessed_order.len(),
+                matched_files: plan.matched_files,
+                filled_files: plan.filled_files,
+                local_task_fraction: plan.locality.task_fraction(),
+                migrated,
+                session_local_fraction,
+            });
+        }
+    }
+
+    Ok(finish_report(
+        records.len() as u64,
+        records.chunks(config.batch_records).len(),
+        n_datasets as u32,
+        migrations,
+        digests,
+    ))
+}
+
+/// Replays a trace against a running `opass serve` instance: per batch
+/// and dataset, churn becomes a dataset-scoped delta invalidation
+/// ([`Client::invalidate_with_delta`]) and the plan is requested over the
+/// wire, exercising the service's cache, coalesce, and repair paths.
+/// Trace dataset ids are mapped onto the served world by
+/// `dataset % served_datasets`, and chunk indices by position in the
+/// served layout.
+///
+/// # Errors
+///
+/// [`ReplayDriverError::BadInput`] on an empty trace or degenerate
+/// config; [`ReplayDriverError::Remote`] when the service fails.
+pub fn replay_remote(
+    records: &[TraceRecord],
+    config: &ReplayConfig,
+    client: &mut Client,
+) -> Result<ReplayReport, ReplayDriverError> {
+    if records.is_empty() {
+        return Err(ReplayDriverError::BadInput("trace has no records"));
+    }
+    if config.batch_records == 0 {
+        return Err(ReplayDriverError::BadInput(
+            "batch_records must be at least 1",
+        ));
+    }
+    let (_, served_nodes, served_datasets) = client.ping()?;
+    if served_nodes == 0 || served_datasets == 0 {
+        return Err(ReplayDriverError::BadInput(
+            "served world has no nodes or datasets",
+        ));
+    }
+
+    let mut digests = Vec::new();
+    let mut migrations = 0u64;
+    let mut seen_datasets = 0u32;
+    for (batch_no, batch) in records.chunks(config.batch_records).enumerate() {
+        let mut by_dataset: BTreeMap<u32, Vec<&TraceRecord>> = BTreeMap::new();
+        for r in batch {
+            by_dataset
+                .entry(r.dataset % served_datasets as u32)
+                .or_default()
+                .push(r);
+        }
+        for (dataset, accesses) in by_dataset {
+            seen_datasets = seen_datasets.max(dataset + 1);
+            let mut per_chunk: BTreeMap<u64, u64> = BTreeMap::new();
+            let mut per_client: BTreeMap<u32, u64> = BTreeMap::new();
+            for r in &accesses {
+                *per_chunk.entry(r.chunk).or_insert(0) += 1;
+                *per_client.entry(r.client).or_insert(0) += 1;
+            }
+
+            let mut migrated = false;
+            if config.churn {
+                let (&hot_chunk, _) = per_chunk
+                    .iter()
+                    .max_by_key(|&(idx, count)| (*count, std::cmp::Reverse(*idx)))
+                    .expect("batch group is non-empty");
+                let (&top_client, _) = per_client
+                    .iter()
+                    .max_by_key(|&(id, count)| (*count, std::cmp::Reverse(*id)))
+                    .expect("batch group is non-empty");
+                let layout = client.layout(dataset as usize)?;
+                if !layout.entries.is_empty() {
+                    let entry = &layout.entries[hot_chunk as usize % layout.entries.len()];
+                    let target = u64::from(top_client) % served_nodes as u64;
+                    if !entry.locations.is_empty() && !entry.locations.contains(&target) {
+                        let delta = LayoutDelta::migration(
+                            ChunkId(entry.chunk),
+                            NodeId(entry.locations[0] as u32),
+                            NodeId(target as u32),
+                        );
+                        client.invalidate_with_delta(dataset as usize, &delta)?;
+                        migrations += 1;
+                        migrated = true;
+                    }
+                }
+            }
+
+            let reply = client.plan(dataset as usize, Strategy::Opass, config.seed)?;
+            digests.push(BatchDigest {
+                batch: batch_no,
+                dataset,
+                records: accesses.len() as u64,
+                distinct_chunks: per_chunk.len(),
+                matched_files: reply.matched_files,
+                filled_files: reply.filled_files,
+                local_task_fraction: reply.local_task_fraction,
+                migrated,
+                // The served plan covers the whole dataset, so its
+                // locality doubles as the session view.
+                session_local_fraction: reply.local_task_fraction,
+            });
+        }
+    }
+
+    Ok(finish_report(
+        records.len() as u64,
+        records.chunks(config.batch_records).len(),
+        seen_datasets,
+        migrations,
+        digests,
+    ))
+}
+
+/// Folds step digests into the aggregate report (sequential float
+/// accumulation, so the means are order-stable).
+fn finish_report(
+    records: u64,
+    batches: usize,
+    datasets: u32,
+    migrations: u64,
+    digests: Vec<BatchDigest>,
+) -> ReplayReport {
+    let mut batch_sum = 0.0f64;
+    let mut session_sum = 0.0f64;
+    for d in &digests {
+        batch_sum += d.local_task_fraction;
+        session_sum += d.session_local_fraction;
+    }
+    let steps = digests.len().max(1) as f64;
+    ReplayReport {
+        records,
+        batches,
+        datasets,
+        migrations,
+        mean_batch_locality: batch_sum / steps,
+        mean_session_locality: session_sum / steps,
+        digests,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opass_trace::{generate, TraceSpec};
+
+    fn small_trace() -> Vec<TraceRecord> {
+        generate(&TraceSpec {
+            records: 3_000,
+            duration_s: 30.0,
+            clients: 16,
+            datasets: 3,
+            chunks_per_dataset: 96,
+            chunk_size: 1 << 20,
+            ..TraceSpec::default()
+        })
+    }
+
+    fn small_config() -> ReplayConfig {
+        ReplayConfig {
+            n_nodes: 16,
+            batch_records: 512,
+            ..ReplayConfig::default()
+        }
+    }
+
+    #[test]
+    fn local_replay_is_deterministic() {
+        let records = small_trace();
+        let config = small_config();
+        let a = replay_local(&records, &config).unwrap();
+        let b = replay_local(&records, &config).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.records, 3_000);
+        assert_eq!(a.batches, 6);
+        assert_eq!(a.datasets, 3);
+        assert!(a.migrations > 0, "churn should migrate replicas");
+        assert!(a.mean_batch_locality > 0.0);
+    }
+
+    #[test]
+    fn churn_toggle_changes_the_run() {
+        let records = small_trace();
+        let churned = replay_local(&records, &small_config()).unwrap();
+        let quiet = replay_local(
+            &records,
+            &ReplayConfig {
+                churn: false,
+                ..small_config()
+            },
+        )
+        .unwrap();
+        assert_eq!(quiet.migrations, 0);
+        assert_ne!(churned.fingerprint(), quiet.fingerprint());
+    }
+
+    #[test]
+    fn degenerate_inputs_are_rejected() {
+        let records = small_trace();
+        assert!(matches!(
+            replay_local(&[], &small_config()),
+            Err(ReplayDriverError::BadInput(_))
+        ));
+        assert!(matches!(
+            replay_local(
+                &records,
+                &ReplayConfig {
+                    batch_records: 0,
+                    ..small_config()
+                }
+            ),
+            Err(ReplayDriverError::BadInput(_))
+        ));
+    }
+
+    #[test]
+    fn report_json_carries_the_fingerprint() {
+        let report = replay_local(&small_trace(), &small_config()).unwrap();
+        let v = report.to_json();
+        assert_eq!(v.get("records").and_then(Json::as_u64), Some(3_000));
+        let fp = v.get("fingerprint").and_then(Json::as_str).unwrap();
+        assert_eq!(fp, format!("{:016x}", report.fingerprint()));
+    }
+}

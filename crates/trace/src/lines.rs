@@ -1,0 +1,150 @@
+//! Shared line-splitting machinery: the one place in the workspace that
+//! knows how to walk a line-oriented record file (blank lines and `#`
+//! comments skipped, 1-based line numbers tracked) and how to cut a big
+//! input into seek-aligned chunks snapped to newline boundaries.
+//!
+//! Both the trace parser here and `opass_workloads::replay` iterate with
+//! [`RecordLines`], so the two formats share a single line-splitting and
+//! line-numbering path.
+
+/// Iterator over the *meaningful* lines of a record file: blank lines
+/// and `#` comments are skipped, every yielded line comes trimmed and
+/// paired with its 1-based line number (counted from `first_line`).
+///
+/// A trailing line without a final newline is still yielded — partial
+/// last lines are data, not garbage, and the parser decides whether they
+/// parse.
+#[derive(Debug, Clone)]
+pub struct RecordLines<'a> {
+    rest: &'a str,
+    next_line: usize,
+}
+
+impl<'a> RecordLines<'a> {
+    /// Walks `input` with line numbers starting at 1.
+    pub fn new(input: &'a str) -> Self {
+        RecordLines::with_base(input, 1)
+    }
+
+    /// Walks `input` with line numbers starting at `first_line` — how a
+    /// chunked parser keeps global line numbers while iterating one
+    /// chunk.
+    pub fn with_base(input: &'a str, first_line: usize) -> Self {
+        RecordLines {
+            rest: input,
+            next_line: first_line,
+        }
+    }
+}
+
+impl<'a> Iterator for RecordLines<'a> {
+    type Item = (usize, &'a str);
+
+    fn next(&mut self) -> Option<(usize, &'a str)> {
+        while !self.rest.is_empty() {
+            let (raw, rest) = match self.rest.split_once('\n') {
+                Some((raw, rest)) => (raw, rest),
+                None => (self.rest, ""),
+            };
+            let line_no = self.next_line;
+            self.rest = rest;
+            self.next_line += 1;
+            let line = raw.trim();
+            if !line.is_empty() && !line.starts_with('#') {
+                return Some((line_no, line));
+            }
+        }
+        None
+    }
+}
+
+/// Cuts `input` into at most `parts` contiguous slices whose boundaries
+/// sit immediately after a `'\n'` — the 1BRC seek-and-snap split. The
+/// slices concatenate back to `input` exactly; only the last slice can
+/// end without a newline. Returns fewer than `parts` slices when the
+/// input has too few lines to split further.
+pub fn split_at_newlines(input: &str, parts: usize) -> Vec<&str> {
+    let parts = parts.max(1);
+    let bytes = input.as_bytes();
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for i in 1..=parts {
+        if start >= bytes.len() {
+            break;
+        }
+        let end = if i == parts {
+            bytes.len()
+        } else {
+            // Seek to the naive boundary, then snap forward past the
+            // next newline so no record straddles two chunks.
+            let target = (input.len() * i / parts).max(start);
+            match bytes[target..].iter().position(|&b| b == b'\n') {
+                Some(off) => target + off + 1,
+                None => bytes.len(),
+            }
+        };
+        if end > start {
+            out.push(&input[start..end]);
+        }
+        start = end;
+    }
+    out
+}
+
+/// Number of newline bytes in `chunk` — the line-count contribution a
+/// fully newline-terminated chunk makes, used to convert chunk-relative
+/// line numbers to global ones.
+pub fn newline_count(chunk: &str) -> usize {
+    chunk.bytes().filter(|&b| b == b'\n').count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skips_comments_blanks_and_numbers_lines() {
+        let input = "# header\n\na,b\n  \n# mid\nc,d";
+        let got: Vec<(usize, &str)> = RecordLines::new(input).collect();
+        assert_eq!(got, vec![(3, "a,b"), (6, "c,d")]);
+    }
+
+    #[test]
+    fn trailing_partial_line_is_yielded() {
+        let got: Vec<(usize, &str)> = RecordLines::new("x\npartial").collect();
+        assert_eq!(got, vec![(1, "x"), (2, "partial")]);
+    }
+
+    #[test]
+    fn base_offsets_line_numbers() {
+        let got: Vec<(usize, &str)> = RecordLines::with_base("a\nb\n", 40).collect();
+        assert_eq!(got, vec![(40, "a"), (41, "b")]);
+    }
+
+    #[test]
+    fn split_concatenates_back_and_snaps_to_newlines() {
+        let input = "one\ntwo\nthree\nfour\nfive\nsix\n";
+        for parts in 1..=8 {
+            let chunks = split_at_newlines(input, parts);
+            assert_eq!(chunks.concat(), input, "parts={parts}");
+            for chunk in &chunks[..chunks.len().saturating_sub(1)] {
+                assert!(chunk.ends_with('\n'), "parts={parts}: {chunk:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_handles_no_trailing_newline_and_tiny_inputs() {
+        let chunks = split_at_newlines("a\nb\nc", 2);
+        assert_eq!(chunks.concat(), "a\nb\nc");
+        assert!(split_at_newlines("", 4).is_empty());
+        assert_eq!(split_at_newlines("only", 4), vec!["only"]);
+    }
+
+    #[test]
+    fn newline_count_counts() {
+        assert_eq!(newline_count("a\nb\n"), 2);
+        assert_eq!(newline_count("a\nb"), 1);
+        assert_eq!(newline_count(""), 0);
+    }
+}

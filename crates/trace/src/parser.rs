@@ -1,0 +1,181 @@
+//! Sequential and chunked-parallel parsing of the text trace format.
+//!
+//! The parallel path follows the 1BRC recipe: cut the body into
+//! `threads` byte ranges snapped to newline boundaries
+//! ([`crate::lines::split_at_newlines`]), parse each range on a scoped
+//! thread, then merge by joining the workers **in spawn order**. Because
+//! chunk boundaries never split a record and each worker counts its own
+//! lines, the concatenated output — and the first error, if any — is
+//! bit-identical to the sequential parse at any thread count.
+
+use crate::lines::{newline_count, split_at_newlines, RecordLines};
+use crate::record::{TraceError, TraceRecord, TEXT_HEADER};
+
+/// Parses a text trace sequentially. Equivalent to
+/// [`parse_text_with_threads`] with one thread.
+pub fn parse_text(input: &str) -> Result<Vec<TraceRecord>, TraceError> {
+    parse_text_with_threads(input, 1)
+}
+
+/// Parses a text trace on up to `threads` scoped threads.
+///
+/// Bit-identical to the sequential parse: same records in the same
+/// order, and on malformed input the same first error (with the global
+/// line number) the sequential pass would report.
+///
+/// # Errors
+///
+/// [`TraceError::BadHeader`] when the first line is not
+/// [`TEXT_HEADER`], [`TraceError::BadShape`] / [`TraceError::BadValue`]
+/// for the first malformed record, [`TraceError::Empty`] when no
+/// records remain after comments and blanks.
+pub fn parse_text_with_threads(
+    input: &str,
+    threads: usize,
+) -> Result<Vec<TraceRecord>, TraceError> {
+    let body = strip_header(input)?;
+    let chunks = split_at_newlines(body, threads.max(1));
+    // The header is line 1, so the body starts at line 2.
+    let records = if chunks.len() < 2 {
+        parse_chunk(body, 2)?
+    } else {
+        // Each worker parses its chunk with chunk-local line numbers; the
+        // spawn-order join below restores global numbering by summing the
+        // newline counts of the chunks before it.
+        let partials: Vec<Result<Vec<TraceRecord>, TraceError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| scope.spawn(|| parse_chunk(chunk, 1)))
+                .collect();
+            // Join in spawn order: the merge must not depend on which
+            // worker finishes first.
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parser worker panicked"))
+                .collect()
+        });
+        let mut records = Vec::new();
+        let mut lines_before = 1; // the header line
+        for (chunk, partial) in chunks.iter().zip(partials) {
+            match partial {
+                Ok(part) => records.extend(part),
+                // The first failing chunk in input order holds the first
+                // failing line in input order (workers stop at their
+                // first error), so this matches the sequential report.
+                Err(e) => return Err(e.offset_lines(lines_before)),
+            }
+            lines_before += newline_count(chunk);
+        }
+        records
+    };
+    if records.is_empty() {
+        return Err(TraceError::Empty);
+    }
+    Ok(records)
+}
+
+/// Serializes records to the text format, header included. The inverse
+/// of [`parse_text`]: `parse_text(&write_text(r)) == Ok(r)` for any
+/// non-empty `r`.
+pub fn write_text(records: &[TraceRecord]) -> String {
+    // ~26 bytes per typical line; headroom avoids doubling reallocations.
+    let mut out = String::with_capacity(32 * records.len() + 64);
+    out.push_str(TEXT_HEADER);
+    out.push('\n');
+    out.push_str("# columns: time_s,client,dataset,chunk,bytes\n");
+    for record in records {
+        record.write_line(&mut out);
+    }
+    out
+}
+
+/// Validates the version header and returns the body after it.
+fn strip_header(input: &str) -> Result<&str, TraceError> {
+    let (first, rest) = match input.split_once('\n') {
+        Some((first, rest)) => (first, rest),
+        None => (input, ""),
+    };
+    if first.trim_end() != TEXT_HEADER {
+        let mut found = first.trim_end().to_string();
+        found.truncate(64);
+        return Err(TraceError::BadHeader { found });
+    }
+    Ok(rest)
+}
+
+/// Parses one newline-aligned chunk, stopping at the first error
+/// (reported with a line number relative to `first_line`).
+fn parse_chunk(chunk: &str, first_line: usize) -> Result<Vec<TraceRecord>, TraceError> {
+    let mut records = Vec::new();
+    for (line_no, line) in RecordLines::with_base(chunk, first_line) {
+        records.push(TraceRecord::parse_line(line, line_no)?);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "#opass-trace v1\n# columns: time_s,client,dataset,chunk,bytes\n\
+         0.000100,1,0,5,1024\n\n# gap\n1.5,2,1,7,2048\n2,0,0,0,4096";
+
+    #[test]
+    fn parses_comments_blanks_and_partial_trailing_line() {
+        let records = parse_text(SAMPLE).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].time_us, 100);
+        assert_eq!(records[1].time_us, 1_500_000);
+        assert_eq!(records[2].time_us, 2_000_000);
+        assert_eq!(records[2].bytes, 4096);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let err = parse_text("0.1,1,0,5,1024\n").unwrap_err();
+        assert!(matches!(err, TraceError::BadHeader { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn error_line_numbers_are_global_at_any_thread_count() {
+        // Line 4 (after header + comment) is malformed.
+        let input = "#opass-trace v1\n# c\n0.1,1,0,5,1024\nbogus,1,0,5,1024\n0.2,1,0,5,1024\n";
+        let seq = parse_text(input).unwrap_err();
+        assert_eq!(
+            seq,
+            TraceError::BadValue {
+                line: 4,
+                field: "bogus".into()
+            }
+        );
+        for threads in [2, 3, 8] {
+            assert_eq!(parse_text_with_threads(input, threads).unwrap_err(), seq);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let seq = parse_text(SAMPLE).unwrap();
+        for threads in [2, 4, 8, 16] {
+            assert_eq!(parse_text_with_threads(SAMPLE, threads).unwrap(), seq);
+        }
+    }
+
+    #[test]
+    fn write_parse_round_trips() {
+        let records = parse_text(SAMPLE).unwrap();
+        let text = write_text(&records);
+        assert_eq!(parse_text(&text).unwrap(), records);
+        // And the re-serialization is a fixed point.
+        assert_eq!(write_text(&parse_text(&text).unwrap()), text);
+    }
+
+    #[test]
+    fn empty_trace_is_an_error() {
+        assert_eq!(
+            parse_text("#opass-trace v1\n# nothing\n"),
+            Err(TraceError::Empty)
+        );
+        assert_eq!(parse_text("#opass-trace v1"), Err(TraceError::Empty));
+    }
+}

@@ -1,0 +1,231 @@
+//! The access record, its errors, and the line-level text encoding.
+
+use std::fmt;
+
+/// The mandatory first line of every text trace. The version is part of
+/// the line so old parsers reject new majors instead of misreading them,
+/// and the leading `#` keeps the header a comment for tools that only
+/// know "skip `#` lines".
+pub const TEXT_HEADER: &str = "#opass-trace v1";
+
+/// One access record: client `client` read `bytes` bytes of chunk
+/// `chunk` of dataset `dataset` at `time_us` microseconds into the
+/// trace.
+///
+/// Time is stored as integer microseconds — the text field `time_s`
+/// (seconds, up to six decimals) converts to and from it exactly, so no
+/// float formatting or parsing sits on the round-trip path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceRecord {
+    /// Microseconds since the start of the trace.
+    pub time_us: u64,
+    /// Issuing client id.
+    pub client: u32,
+    /// Dataset id.
+    pub dataset: u32,
+    /// Chunk index within the dataset.
+    pub chunk: u64,
+    /// Bytes read.
+    pub bytes: u64,
+}
+
+impl TraceRecord {
+    /// Access time in seconds.
+    pub fn time_seconds(&self) -> f64 {
+        self.time_us as f64 / 1e6
+    }
+
+    /// Appends the record's text line (including the trailing newline).
+    pub fn write_line(&self, out: &mut String) {
+        use fmt::Write as _;
+        writeln!(
+            out,
+            "{}.{:06},{},{},{},{}",
+            self.time_us / 1_000_000,
+            self.time_us % 1_000_000,
+            self.client,
+            self.dataset,
+            self.chunk,
+            self.bytes
+        )
+        .expect("writing to a String cannot fail");
+    }
+
+    /// Parses one record line (already stripped of comments/blanks).
+    /// `line_no` is the 1-based line number used in errors.
+    pub fn parse_line(line: &str, line_no: usize) -> Result<TraceRecord, TraceError> {
+        let mut fields = line.split(',');
+        let (Some(time), Some(client), Some(dataset), Some(chunk), Some(bytes), None) = (
+            fields.next(),
+            fields.next(),
+            fields.next(),
+            fields.next(),
+            fields.next(),
+            fields.next(),
+        ) else {
+            return Err(TraceError::BadShape { line: line_no });
+        };
+        let bad = |field: &str| TraceError::BadValue {
+            line: line_no,
+            field: field.trim().to_string(),
+        };
+        Ok(TraceRecord {
+            time_us: parse_time_us(time.trim()).ok_or_else(|| bad(time))?,
+            client: client.trim().parse().map_err(|_| bad(client))?,
+            dataset: dataset.trim().parse().map_err(|_| bad(dataset))?,
+            chunk: chunk.trim().parse().map_err(|_| bad(chunk))?,
+            bytes: bytes.trim().parse().map_err(|_| bad(bytes))?,
+        })
+    }
+}
+
+/// Parses a `time_s` field (`12`, `12.5`, `12.345678`) to integer
+/// microseconds. At most six fractional digits; no signs, no exponents.
+fn parse_time_us(field: &str) -> Option<u64> {
+    let (secs, frac) = match field.split_once('.') {
+        Some((_, "")) => return None, // `1.` — empty fraction is malformed
+        Some((s, f)) => (s, f),
+        None => (field, ""),
+    };
+    if secs.is_empty() || frac.len() > 6 || !frac.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let secs: u64 = if secs.bytes().all(|b| b.is_ascii_digit()) {
+        secs.parse().ok()?
+    } else {
+        return None;
+    };
+    let mut micros: u64 = 0;
+    for b in frac.bytes() {
+        micros = micros * 10 + u64::from(b - b'0');
+    }
+    micros *= 10u64.pow(6 - frac.len() as u32);
+    secs.checked_mul(1_000_000)?.checked_add(micros)
+}
+
+/// Errors from parsing a trace (text or binary).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The first line was not a known `#opass-trace` header.
+    BadHeader {
+        /// What the first line actually was (truncated).
+        found: String,
+    },
+    /// A record line did not have exactly five comma-separated fields.
+    BadShape {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A field failed to parse as a number, or was out of range.
+    BadValue {
+        /// 1-based line number.
+        line: usize,
+        /// The offending field text.
+        field: String,
+    },
+    /// The binary framing was malformed.
+    BadBinary {
+        /// Byte offset where the problem was detected.
+        offset: usize,
+        /// What was wrong.
+        reason: &'static str,
+    },
+    /// The trace contained no records.
+    Empty,
+}
+
+impl TraceError {
+    /// Shifts the error's line number by `delta` lines — how a chunked
+    /// parser converts a worker's chunk-relative error into the global
+    /// line number the sequential parser would have reported.
+    pub fn offset_lines(self, delta: usize) -> TraceError {
+        match self {
+            TraceError::BadShape { line } => TraceError::BadShape { line: line + delta },
+            TraceError::BadValue { line, field } => TraceError::BadValue {
+                line: line + delta,
+                field,
+            },
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadHeader { found } => {
+                write!(f, "missing `{TEXT_HEADER}` header (first line: {found:?})")
+            }
+            TraceError::BadShape { line } => {
+                write!(
+                    f,
+                    "line {line}: expected `time_s,client,dataset,chunk,bytes`"
+                )
+            }
+            TraceError::BadValue { line, field } => {
+                write!(f, "line {line}: cannot parse {field:?}")
+            }
+            TraceError::BadBinary { offset, reason } => {
+                write!(f, "binary trace, byte {offset}: {reason}")
+            }
+            TraceError::Empty => write!(f, "trace contains no records"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_round_trips_exactly() {
+        let rec = TraceRecord {
+            time_us: 12_345_678,
+            client: 7,
+            dataset: 3,
+            chunk: 4095,
+            bytes: 64 << 20,
+        };
+        let mut line = String::new();
+        rec.write_line(&mut line);
+        assert_eq!(line, "12.345678,7,3,4095,67108864\n");
+        let parsed = TraceRecord::parse_line(line.trim_end(), 1).unwrap();
+        assert_eq!(parsed, rec);
+    }
+
+    #[test]
+    fn time_field_accepts_short_fractions() {
+        assert_eq!(parse_time_us("12"), Some(12_000_000));
+        assert_eq!(parse_time_us("12.5"), Some(12_500_000));
+        assert_eq!(parse_time_us("0.000001"), Some(1));
+        assert_eq!(parse_time_us("0"), Some(0));
+    }
+
+    #[test]
+    fn time_field_rejects_junk() {
+        for bad in ["", ".", "1.", "-1", "1.2345678", "1e3", "1.2.3", "x"] {
+            assert_eq!(parse_time_us(bad), None, "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn shape_and_value_errors_carry_line_numbers() {
+        assert_eq!(
+            TraceRecord::parse_line("1,2,3,4", 9),
+            Err(TraceError::BadShape { line: 9 })
+        );
+        assert_eq!(
+            TraceRecord::parse_line("1,2,3,4,x", 9),
+            Err(TraceError::BadValue {
+                line: 9,
+                field: "x".into()
+            })
+        );
+        assert_eq!(
+            TraceError::BadShape { line: 2 }.offset_lines(40),
+            TraceError::BadShape { line: 42 }
+        );
+    }
+}

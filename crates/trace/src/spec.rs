@@ -1,0 +1,276 @@
+//! The generator's JSON-serializable parameter block.
+
+use opass_json::Json;
+
+/// A flash-crowd burst: between `start_s` and `start_s + duration_s`,
+/// accesses to `dataset` are `multiplier`× more likely and the overall
+/// arrival rate rises with them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstSpec {
+    /// Burst start, seconds into the trace.
+    pub start_s: f64,
+    /// Burst length, seconds.
+    pub duration_s: f64,
+    /// The dataset the crowd flashes onto.
+    pub dataset: u32,
+    /// Popularity multiplier applied to that dataset while the burst is
+    /// active (≥ 1).
+    pub multiplier: f64,
+}
+
+/// Everything the trace generator needs. [`crate::generate`] is a pure
+/// function of this spec: equal specs produce byte-identical traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpec {
+    /// Human-readable name, echoed into the trace's comment header.
+    pub name: String,
+    /// Master RNG seed.
+    pub seed: u64,
+    /// Number of records to emit.
+    pub records: u64,
+    /// Trace length in seconds; arrival intensity is scaled so the
+    /// expected last arrival lands near this horizon.
+    pub duration_s: f64,
+    /// Number of distinct clients (ids `0..clients`).
+    pub clients: u32,
+    /// Number of datasets (ids `0..datasets`).
+    pub datasets: u32,
+    /// Chunks per dataset (chunk indices `0..chunks_per_dataset`).
+    pub chunks_per_dataset: u64,
+    /// Bytes read per access (one chunk).
+    pub chunk_size: u64,
+    /// Zipf exponent `s` for dataset popularity: dataset `d` has weight
+    /// `1/(d+1)^s`. `0` means uniform.
+    pub zipf_exponent: f64,
+    /// Diurnal swing amplitude in `[0, 1)`: intensity follows
+    /// `1 + amplitude · sin(2πt/period)`.
+    pub diurnal_amplitude: f64,
+    /// Diurnal period in seconds.
+    pub diurnal_period_s: f64,
+    /// Flash-crowd bursts, applied on top of the diurnal curve.
+    pub bursts: Vec<BurstSpec>,
+}
+
+impl Default for TraceSpec {
+    fn default() -> Self {
+        TraceSpec {
+            name: "example".to_string(),
+            seed: 0xACCE55,
+            records: 1_000_000,
+            duration_s: 3600.0,
+            clients: 64,
+            datasets: 8,
+            chunks_per_dataset: 640,
+            chunk_size: 64 << 20,
+            zipf_exponent: 1.1,
+            diurnal_amplitude: 0.5,
+            diurnal_period_s: 3600.0,
+            bursts: vec![BurstSpec {
+                start_s: 1200.0,
+                duration_s: 300.0,
+                dataset: 2,
+                multiplier: 8.0,
+            }],
+        }
+    }
+}
+
+impl TraceSpec {
+    /// Serializes to a JSON object (pretty-print with
+    /// [`Json::to_pretty`]).
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("name".to_string(), Json::from(self.name.as_str())),
+            ("seed".to_string(), Json::from(self.seed)),
+            ("records".to_string(), Json::from(self.records)),
+            ("duration_s".to_string(), Json::from(self.duration_s)),
+            ("clients".to_string(), Json::from(self.clients)),
+            ("datasets".to_string(), Json::from(self.datasets)),
+            (
+                "chunks_per_dataset".to_string(),
+                Json::from(self.chunks_per_dataset),
+            ),
+            ("chunk_size".to_string(), Json::from(self.chunk_size)),
+            ("zipf_exponent".to_string(), Json::from(self.zipf_exponent)),
+            (
+                "diurnal_amplitude".to_string(),
+                Json::from(self.diurnal_amplitude),
+            ),
+            (
+                "diurnal_period_s".to_string(),
+                Json::from(self.diurnal_period_s),
+            ),
+            (
+                "bursts".to_string(),
+                Json::array(self.bursts.iter().map(|b| {
+                    Json::object([
+                        ("start_s".to_string(), Json::from(b.start_s)),
+                        ("duration_s".to_string(), Json::from(b.duration_s)),
+                        ("dataset".to_string(), Json::from(b.dataset)),
+                        ("multiplier".to_string(), Json::from(b.multiplier)),
+                    ])
+                })),
+            ),
+        ])
+    }
+
+    /// Parses and validates a spec from JSON text. Missing fields fall
+    /// back to [`TraceSpec::default`], so a spec file only has to name
+    /// what it changes.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message on malformed JSON, a wrongly-typed
+    /// field, or a value [`TraceSpec::validate`] rejects.
+    pub fn from_json_str(text: &str) -> Result<TraceSpec, String> {
+        let v = Json::parse(text).map_err(|e| format!("bad spec JSON: {e}"))?;
+        let d = TraceSpec::default();
+        let u64_field = |key: &str, fallback: u64| -> Result<u64, String> {
+            match v.get(key) {
+                Some(j) => j
+                    .as_u64()
+                    .ok_or_else(|| format!("field {key:?} must be an unsigned integer")),
+                None => Ok(fallback),
+            }
+        };
+        let f64_field = |v: &Json, key: &str, fallback: f64| -> Result<f64, String> {
+            match v.get(key) {
+                Some(j) => j
+                    .as_f64()
+                    .ok_or_else(|| format!("field {key:?} must be a number")),
+                None => Ok(fallback),
+            }
+        };
+        let bursts = match v.get("bursts") {
+            Some(j) => {
+                let items = j
+                    .as_array()
+                    .ok_or_else(|| "field \"bursts\" must be an array".to_string())?;
+                items
+                    .iter()
+                    .map(|b| {
+                        Ok(BurstSpec {
+                            start_s: f64_field(b, "start_s", 0.0)?,
+                            duration_s: f64_field(b, "duration_s", 0.0)?,
+                            dataset: b
+                                .get("dataset")
+                                .and_then(Json::as_u64)
+                                .and_then(|d| u32::try_from(d).ok())
+                                .ok_or_else(|| {
+                                    "burst field \"dataset\" must be a u32".to_string()
+                                })?,
+                            multiplier: f64_field(b, "multiplier", 1.0)?,
+                        })
+                    })
+                    .collect::<Result<Vec<BurstSpec>, String>>()?
+            }
+            None => d.bursts.clone(),
+        };
+        let spec = TraceSpec {
+            name: match v.get("name") {
+                Some(j) => j
+                    .as_str()
+                    .ok_or_else(|| "field \"name\" must be a string".to_string())?
+                    .to_string(),
+                None => d.name.clone(),
+            },
+            seed: u64_field("seed", d.seed)?,
+            records: u64_field("records", d.records)?,
+            duration_s: f64_field(&v, "duration_s", d.duration_s)?,
+            clients: u64_field("clients", u64::from(d.clients))?
+                .try_into()
+                .map_err(|_| "field \"clients\" must fit in u32".to_string())?,
+            datasets: u64_field("datasets", u64::from(d.datasets))?
+                .try_into()
+                .map_err(|_| "field \"datasets\" must fit in u32".to_string())?,
+            chunks_per_dataset: u64_field("chunks_per_dataset", d.chunks_per_dataset)?,
+            chunk_size: u64_field("chunk_size", d.chunk_size)?,
+            zipf_exponent: f64_field(&v, "zipf_exponent", d.zipf_exponent)?,
+            diurnal_amplitude: f64_field(&v, "diurnal_amplitude", d.diurnal_amplitude)?,
+            diurnal_period_s: f64_field(&v, "diurnal_period_s", d.diurnal_period_s)?,
+            bursts,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Checks the spec is generatable.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.records == 0 {
+            return Err("records must be at least 1".to_string());
+        }
+        if self.clients == 0 || self.datasets == 0 || self.chunks_per_dataset == 0 {
+            return Err("clients, datasets, and chunks_per_dataset must be at least 1".to_string());
+        }
+        // NaN fails every comparison below, so NaN inputs are rejected.
+        let positive = |x: f64| x.is_finite() && x > 0.0;
+        if !positive(self.duration_s) {
+            return Err("duration_s must be positive".to_string());
+        }
+        if !(self.zipf_exponent.is_finite() && self.zipf_exponent >= 0.0) {
+            return Err("zipf_exponent must be non-negative".to_string());
+        }
+        if !(0.0..1.0).contains(&self.diurnal_amplitude) {
+            return Err("diurnal_amplitude must be in [0, 1)".to_string());
+        }
+        if !positive(self.diurnal_period_s) {
+            return Err("diurnal_period_s must be positive".to_string());
+        }
+        for b in &self.bursts {
+            if b.dataset >= self.datasets {
+                return Err(format!(
+                    "burst dataset {} out of range (datasets = {})",
+                    b.dataset, self.datasets
+                ));
+            }
+            if !(b.multiplier.is_finite() && b.multiplier >= 1.0) {
+                return Err("burst multiplier must be at least 1".to_string());
+            }
+            if !(b.start_s.is_finite() && b.start_s >= 0.0 && positive(b.duration_s)) {
+                return Err("burst start_s/duration_s must be non-negative/positive".to_string());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trips() {
+        let spec = TraceSpec::default();
+        let text = spec.to_json().to_pretty();
+        let back = TraceSpec::from_json_str(&text).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn missing_fields_fall_back_to_defaults() {
+        let spec = TraceSpec::from_json_str(r#"{"records": 42, "seed": 9}"#).unwrap();
+        assert_eq!(spec.records, 42);
+        assert_eq!(spec.seed, 9);
+        assert_eq!(spec.datasets, TraceSpec::default().datasets);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        for bad in [
+            r#"{"records": 0}"#,
+            r#"{"datasets": 0}"#,
+            r#"{"duration_s": 0}"#,
+            r#"{"diurnal_amplitude": 1.5}"#,
+            r#"{"bursts": [{"dataset": 99, "duration_s": 1, "multiplier": 2}]}"#,
+            r#"{"bursts": [{"dataset": 0, "duration_s": 1, "multiplier": 0.5}]}"#,
+        ] {
+            assert!(TraceSpec::from_json_str(bad).is_err(), "{bad}");
+        }
+        assert!(TraceSpec::from_json_str("not json").is_err());
+        assert!(TraceSpec::from_json_str(r#"{"records": "many"}"#).is_err());
+    }
+}

@@ -6,9 +6,14 @@
 //! comments. The loader creates a dataset with one chunk per task (placed
 //! under the caller's policy) and the matching workload, after which every
 //! planner and executor in the stack applies unchanged.
+//!
+//! Line walking (comment/blank skipping, 1-based line numbers) is shared
+//! with the access-trace parser via [`opass_trace::lines::RecordLines`],
+//! so both record formats split lines one way.
 
 use crate::task::{Task, Workload};
 use opass_dfs::{DatasetId, DatasetSpec, Namenode, Placement};
+use opass_trace::RecordLines;
 use rand::rngs::StdRng;
 use std::fmt;
 
@@ -60,12 +65,7 @@ pub struct TraceTask {
 /// first line starting with a non-digit is treated as a header.
 pub fn parse(csv: &str) -> Result<Vec<TraceTask>, ReplayError> {
     let mut tasks = Vec::new();
-    for (idx, raw) in csv.lines().enumerate() {
-        let line_no = idx + 1;
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
+    for (line_no, line) in RecordLines::new(csv) {
         if tasks.is_empty() && line.chars().next().is_some_and(|c| !c.is_ascii_digit()) {
             continue; // header
         }

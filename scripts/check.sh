@@ -38,6 +38,14 @@
 #                            that every round's delta replays cleanly)
 #                            and fails if the p99 speedup regressed >10%
 #                            vs the committed BENCH_place.json baseline
+#   check.sh --trace-smoke   trace-pipeline smoke: runs the bench_trace
+#                            smoke scenario in release (which itself
+#                            asserts the 1BRC-style parallel parse is
+#                            bit-identical at 1/2/8 threads and that
+#                            replay-through-planner is deterministic) and
+#                            fails if parse or replay records/sec
+#                            regressed >50% vs the committed
+#                            BENCH_trace.json baseline
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -142,6 +150,23 @@ if [[ "${1:-}" == "--place-smoke" ]]; then
     run ./target/release/bench_place --smoke --out - \
         --check-against BENCH_place.json --max-regression 0.10
     echo "Place smoke passed."
+    exit 0
+fi
+
+if [[ "${1:-}" == "--trace-smoke" ]]; then
+    if [[ ! -f BENCH_trace.json ]]; then
+        echo "error: BENCH_trace.json baseline missing; run" >&2
+        echo "  cargo run --release -p opass-bench --bin bench_trace --offline" >&2
+        exit 1
+    fi
+    run cargo build --release -p opass-bench --bin bench_trace --offline
+    # Wide margin: throughput swings with host load, while the load-
+    # independent guarantees (parse bit-identity across thread counts,
+    # replay fingerprint reproducibility) are asserted inside the binary
+    # and never waived.
+    run ./target/release/bench_trace --smoke --out - \
+        --check-against BENCH_trace.json --max-regression 0.50
+    echo "Trace smoke passed."
     exit 0
 fi
 
