@@ -13,6 +13,13 @@
 //!    sharing the leader's computation.
 //! 4. **byte-identity** — a remote plan is compared owner-for-owner
 //!    against the in-process planner on an identically rebuilt world.
+//! 5. **mux** — a 1BRC-style multiplexed loadgen: [`MUX_STREAMS`]
+//!    logical request streams replayed over a bounded set of
+//!    [`MUX_CONNS`] connections with [`MUX_WINDOW`]-deep pipelining,
+//!    run once per shard count to produce the thread-per-core scaling
+//!    curve. On a multi-core host the best multi-shard rate must beat
+//!    the 1-shard rate by [`MIN_SHARD_SPEEDUP`]×; on a single hardware
+//!    thread the curve is recorded informationally.
 //!
 //! Latency p50/p99 (power-of-two µs buckets, from the server's own
 //! histogram) land in the JSON report.
@@ -36,12 +43,25 @@
 
 use opass_core::{OpassPlanner, PlanRequest};
 use opass_json::Json;
-use opass_serve::{serve, Client, ServeSpec, ServerConfig, Strategy, World};
+use opass_serve::frame::{encode_frame, read_frame};
+use opass_serve::{serve, Client, Request, Response, ServeSpec, ServerConfig, Strategy, World};
+use std::io::Write;
+use std::net::TcpStream;
 use std::time::Instant;
 
 /// Cached plans must be at least this many times faster than cold ones
 /// (asserted on the full scenario, recorded for both).
 const MIN_HOT_OVER_COLD: f64 = 10.0;
+
+/// Logical request streams multiplexed by the mux phase.
+const MUX_STREAMS: usize = 100_000;
+/// Bounded connection set the streams are multiplexed over.
+const MUX_CONNS: usize = 64;
+/// Pipeline depth per connection: frames on the wire before the loadgen
+/// reads a reply back.
+const MUX_WINDOW: usize = 96;
+/// Required multi-shard speedup over one shard (multi-core hosts only).
+const MIN_SHARD_SPEEDUP: f64 = 1.5;
 
 struct Scenario {
     name: &'static str,
@@ -157,6 +177,7 @@ fn coalesce_phase(burst: usize) -> u64 {
         workers: 4,
         queue_depth: 64,
         spec,
+        ..ServerConfig::default()
     })
     .expect("coalesce server starts");
     let addr = handle.addr();
@@ -189,6 +210,138 @@ fn coalesce_phase(burst: usize) -> u64 {
     }
     handle.shutdown();
     coalesced
+}
+
+/// One point on the shard-scaling curve.
+struct MuxResult {
+    shards: usize,
+    requests: usize,
+    seconds: f64,
+    requests_per_sec: f64,
+    forwarded: u64,
+    shed_accept: u64,
+}
+
+/// The 1BRC-style multiplexed loadgen: `streams` logical request
+/// streams replayed over `conns` connections, each connection keeping a
+/// `window`-deep pipeline of pre-encoded frames on the wire.
+///
+/// Streams are shard-affine. The accept loop places connection `k` on
+/// shard `k % shards` in accept order (the warm-up control client takes
+/// slot 0, so loadgen connection `k` lands on shard `(k + 1) % shards`),
+/// and each connection only requests datasets owned by its home shard —
+/// so the measured rate is the zero-forwarding, zero-copy cache-hit
+/// path, which is exactly what thread-per-core sharding scales.
+fn mux_phase(shards: usize, streams: usize, conns: usize, window: usize) -> MuxResult {
+    let spec = ServeSpec {
+        n_nodes: 16,
+        n_datasets: 8,
+        chunks_per_dataset: 32,
+        ..Default::default()
+    };
+    let handle = serve(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_depth: 64,
+        shards,
+        spec,
+        ..ServerConfig::default()
+    })
+    .expect("mux server starts");
+    let addr = handle.addr().to_string();
+
+    // Pre-warm every dataset so the curve measures the shard-owned
+    // cache's hot path, not the planner.
+    let mut control = Client::connect(&addr).expect("control connects");
+    for dataset in 0..spec.n_datasets {
+        let plan = control
+            .plan(dataset, Strategy::Opass, 0)
+            .expect("warm plan");
+        assert!(!plan.cached, "first touch of dataset {dataset} is cold");
+    }
+
+    // One pre-encoded frame per dataset, replayed byte-for-byte.
+    let frames: Vec<Vec<u8>> = (0..spec.n_datasets)
+        .map(|dataset| {
+            let request = Request::Plan {
+                dataset,
+                strategy: Strategy::Opass,
+                seed: 0,
+            };
+            encode_frame(&request.to_json()).expect("request fits a frame")
+        })
+        .collect();
+    let ping = encode_frame(&Request::Ping.to_json()).expect("ping fits a frame");
+
+    // Connect (and ping) sequentially so accept order — and with it the
+    // connection-to-shard mapping — is deterministic before load starts.
+    let mut sockets = Vec::with_capacity(conns);
+    for _ in 0..conns {
+        let mut sock = TcpStream::connect(&addr).expect("mux conn connects");
+        sock.set_nodelay(true).expect("nodelay");
+        sock.write_all(&ping).expect("handshake ping");
+        let pong = Response::from_json(&read_frame(&mut sock).expect("pong frame")).expect("pong");
+        assert!(matches!(pong, Response::Pong { .. }));
+        sockets.push(sock);
+    }
+
+    let per_conn = streams / conns;
+    let extra = streams % conns;
+    let barrier = std::sync::Barrier::new(conns + 1);
+    let mut t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for (k, mut sock) in sockets.into_iter().enumerate() {
+            let frames = &frames;
+            let barrier = &barrier;
+            let n = per_conn + usize::from(k < extra);
+            scope.spawn(move || {
+                let home = (k + 1) % shards;
+                let mut owned: Vec<usize> = (0..spec.n_datasets)
+                    .filter(|d| d % shards == home)
+                    .collect();
+                if owned.is_empty() {
+                    // More shards than datasets: this shard owns nothing,
+                    // so its connections have to cross the boundary.
+                    owned = (0..spec.n_datasets).collect();
+                }
+                barrier.wait();
+                let (mut sent, mut received) = (0usize, 0usize);
+                while received < n {
+                    while sent < n && sent - received < window {
+                        sock.write_all(&frames[owned[sent % owned.len()]])
+                            .expect("mux request write");
+                        sent += 1;
+                    }
+                    let reply = read_frame(&mut sock).expect("mux reply frame");
+                    match Response::from_json(&reply).expect("mux reply decodes") {
+                        Response::Plan(p) => {
+                            assert!(p.cached, "mux streams replay warmed keys");
+                            assert_eq!(p.seed, 0);
+                        }
+                        other => panic!("unexpected mux reply {other:?}"),
+                    }
+                    received += 1;
+                }
+            });
+        }
+        barrier.wait();
+        t0 = Instant::now();
+    });
+    let seconds = t0.elapsed().as_secs_f64();
+
+    let stats = control.stats().expect("stats");
+    assert_eq!(stats.shards.len(), shards, "one stats entry per shard");
+    let forwarded = stats.shards.iter().map(|s| s.forwarded).sum();
+    let shed_accept = stats.shards.iter().map(|s| s.shed_accept).sum();
+    handle.shutdown();
+    MuxResult {
+        shards,
+        requests: streams,
+        seconds,
+        requests_per_sec: streams as f64 / seconds.max(1e-9),
+        forwarded,
+        shed_accept,
+    }
 }
 
 /// Verifies a remote plan is owner-for-owner identical to the in-process
@@ -262,6 +415,7 @@ fn main() {
             workers: 4,
             queue_depth: 256,
             spec: s.spec,
+            ..ServerConfig::default()
         })
         .expect("server starts");
         let mut client = Client::connect(handle.addr()).expect("client connects");
@@ -320,6 +474,55 @@ fn main() {
     assert!(coalesced > 0, "burst must coalesce at least one request");
     eprintln!("    coalesce: {coalesced} of 7 possible followers shared one flight");
 
+    // The shard-scaling curve: 1 shard, 2 shards (full mode), and one
+    // shard per hardware thread.
+    let host_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut shard_counts = if smoke {
+        vec![1, host_threads]
+    } else {
+        vec![1, 2, host_threads]
+    };
+    shard_counts.sort_unstable();
+    shard_counts.dedup();
+    let curve: Vec<MuxResult> = shard_counts
+        .iter()
+        .map(|&shards| {
+            let r = mux_phase(shards, MUX_STREAMS, MUX_CONNS, MUX_WINDOW);
+            eprintln!(
+                "   mux {shards:>2} shard(s): {:.0} req/s ({} streams over {} conns, \
+                 window {}, forwarded {}, shed {})",
+                r.requests_per_sec, r.requests, MUX_CONNS, MUX_WINDOW, r.forwarded, r.shed_accept
+            );
+            r
+        })
+        .collect();
+    let one_shard = curve
+        .iter()
+        .find(|r| r.shards == 1)
+        .map(|r| r.requests_per_sec)
+        .expect("curve always includes 1 shard");
+    let best_multi = curve
+        .iter()
+        .filter(|r| r.shards > 1)
+        .map(|r| r.requests_per_sec)
+        .fold(0.0f64, f64::max);
+    let speedup = best_multi / one_shard.max(1e-9);
+    if host_threads >= 2 {
+        assert!(
+            speedup >= MIN_SHARD_SPEEDUP,
+            "sharding speedup only {speedup:.2}x over 1 shard on {host_threads} hardware \
+             threads (need {MIN_SHARD_SPEEDUP}x)"
+        );
+        eprintln!("  mux scaling: {speedup:.2}x over 1 shard (asserted >= {MIN_SHARD_SPEEDUP}x)");
+    } else {
+        eprintln!(
+            "  mux scaling: single hardware thread, speedup {speedup:.2}x recorded \
+             informationally (asserted only on multi-core hosts)"
+        );
+    }
+
     let report = Json::object([
         ("benchmark".to_string(), Json::from("serve")),
         ("scenarios".to_string(), Json::array(scenario_reports)),
@@ -328,6 +531,32 @@ fn main() {
             Json::object([
                 ("burst".to_string(), Json::from(8usize)),
                 ("coalesced".to_string(), Json::from(coalesced)),
+            ]),
+        ),
+        (
+            "mux".to_string(),
+            Json::object([
+                ("streams".to_string(), Json::from(MUX_STREAMS)),
+                ("conns".to_string(), Json::from(MUX_CONNS)),
+                ("window".to_string(), Json::from(MUX_WINDOW)),
+                ("host_threads".to_string(), Json::from(host_threads)),
+                (
+                    "curve".to_string(),
+                    Json::array(curve.iter().map(|r| {
+                        Json::object([
+                            ("shards".to_string(), Json::from(r.shards)),
+                            ("requests".to_string(), Json::from(r.requests)),
+                            ("seconds".to_string(), Json::from(r.seconds)),
+                            (
+                                "requests_per_sec".to_string(),
+                                Json::from(r.requests_per_sec),
+                            ),
+                            ("forwarded".to_string(), Json::from(r.forwarded)),
+                            ("shed_accept".to_string(), Json::from(r.shed_accept)),
+                        ])
+                    })),
+                ),
+                ("speedup_over_one_shard".to_string(), Json::from(speedup)),
             ]),
         ),
     ]);

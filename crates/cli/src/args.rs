@@ -92,6 +92,19 @@ impl Flags {
         }
         Ok(n)
     }
+
+    /// Parses the `--shards N` flag for the serving reactor: a shard
+    /// count of at least 1, defaulting to the host's available
+    /// parallelism (thread-per-core) when absent. Zero and non-numeric
+    /// values are rejected, exactly like [`Flags::threads`] — the shard
+    /// count is a divisor in the dataset-affinity rule.
+    pub fn shards(&self, default: usize) -> Result<usize, String> {
+        let n: usize = self.value_or("--shards", default)?;
+        if n == 0 {
+            return Err("flag --shards expects a positive shard count".to_string());
+        }
+        Ok(n)
+    }
 }
 
 #[cfg(test)]
@@ -150,6 +163,24 @@ mod tests {
         assert!(junk.threads(1).unwrap_err().contains("--threads"));
         let negative = Flags::parse(&argv(&["--threads", "-2"]), &[], &["--threads"]).unwrap();
         assert!(negative.threads(1).is_err());
+    }
+
+    #[test]
+    fn shards_accepts_positive_counts_and_defaults() {
+        let f = Flags::parse(&argv(&["--shards", "4"]), &[], &["--shards"]).unwrap();
+        assert_eq!(f.shards(1).unwrap(), 4);
+        let absent = Flags::parse(&argv(&[]), &[], &["--shards"]).unwrap();
+        assert_eq!(absent.shards(2).unwrap(), 2);
+    }
+
+    #[test]
+    fn shards_rejects_zero_and_non_numeric() {
+        let zero = Flags::parse(&argv(&["--shards", "0"]), &[], &["--shards"]).unwrap();
+        assert!(zero.shards(1).unwrap_err().contains("positive"));
+        let junk = Flags::parse(&argv(&["--shards", "lots"]), &[], &["--shards"]).unwrap();
+        assert!(junk.shards(1).unwrap_err().contains("--shards"));
+        let negative = Flags::parse(&argv(&["--shards", "-1"]), &[], &["--shards"]).unwrap();
+        assert!(negative.shards(1).is_err());
     }
 
     #[test]

@@ -3,11 +3,12 @@
 
 use crate::args::Flags;
 use opass_json::Json;
-use opass_serve::{serve, Client, ServeSpec, ServerConfig, Strategy};
+use opass_serve::{default_shards, serve, Client, ServeSpec, ServerConfig, Strategy};
 use std::process::ExitCode;
 
 pub const SERVE_USAGE: &str = "usage: opass serve [--addr HOST:PORT] [--workers N] \
-     [--queue-depth N] [--nodes N] [--datasets N] [--chunks N] [--replication R] [--seed S]";
+     [--queue-depth N] [--shards N] [--nodes N] [--datasets N] [--chunks N] [--replication R] \
+     [--seed S]";
 
 /// `opass serve`: run the planning daemon in the foreground until a
 /// client sends `shutdown` (or the process is killed).
@@ -19,6 +20,7 @@ pub fn cmd_serve(argv: &[String]) -> ExitCode {
             "--addr",
             "--workers",
             "--queue-depth",
+            "--shards",
             "--nodes",
             "--datasets",
             "--chunks",
@@ -43,7 +45,9 @@ pub fn cmd_serve(argv: &[String]) -> ExitCode {
                 .to_string(),
             workers: flags.value_or("--workers", 4usize)?,
             queue_depth: flags.value_or("--queue-depth", 64usize)?,
+            shards: flags.shards(default_shards())?,
             spec,
+            ..ServerConfig::default()
         })
     });
     let config = match parsed {
@@ -56,6 +60,7 @@ pub fn cmd_serve(argv: &[String]) -> ExitCode {
     };
     let workers = config.workers;
     let queue_depth = config.queue_depth;
+    let shards = config.shards;
     let spec = config.spec;
     let handle = match serve(config) {
         Ok(h) => h,
@@ -65,11 +70,13 @@ pub fn cmd_serve(argv: &[String]) -> ExitCode {
         }
     };
     println!(
-        "opass-serve listening on {} ({} nodes, {} datasets x {} chunks, {} workers, queue {})",
+        "opass-serve listening on {} ({} nodes, {} datasets x {} chunks, {} shards, {} workers, \
+         queue {})",
         handle.addr(),
         spec.n_nodes,
         spec.n_datasets,
         spec.chunks_per_dataset,
+        shards,
         workers,
         queue_depth,
     );

@@ -99,10 +99,7 @@ impl Default for Config {
         // ordering and RNG rules apply inside them too by default.
         rules.insert("unordered-iteration".into(), deny(true, &[]));
         rules.insert("unordered-parallel-merge".into(), deny(true, &[]));
-        rules.insert(
-            "no-wallclock".into(),
-            deny(true, &["cli", "bench", "lint", "serve"]),
-        );
+        rules.insert("no-wallclock".into(), deny(true, &["cli", "bench", "lint"]));
         rules.insert("no-ambient-rng".into(), deny(true, &[]));
         rules.insert("float-accumulation-order".into(), deny(true, &[]));
         // Test functions call tainted helpers on purpose (that is what the

@@ -1,7 +1,7 @@
 //! Fixture: tainted entries waived at the entry site with audited
 //! `lint:allow(transitive-determinism)` directives.
 
-use opass_serve::stamp;
+use opass_cli::stamp;
 
 // lint:allow(transitive-determinism): stamp feeds the operator log only
 pub fn plan_all() -> u64 {

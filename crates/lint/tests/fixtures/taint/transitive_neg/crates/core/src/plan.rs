@@ -1,7 +1,7 @@
 //! Fixture: same call shape as the positive tree, but the helper crate is
 //! fully deterministic — the graph pass must stay silent.
 
-use opass_serve::stamp;
+use opass_cli::stamp;
 
 /// Plans everything through a clean helper.
 pub fn plan_all() -> u64 {

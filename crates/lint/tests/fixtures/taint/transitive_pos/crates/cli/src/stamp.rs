@@ -1,4 +1,4 @@
-//! Fixture helper crate: `serve` is wallclock-exempt for the *per-site*
+//! Fixture helper crate: `cli` is wallclock-exempt for the *per-site*
 //! rule and non-deterministic for `unordered-iteration`, so nothing here
 //! fires on its own — the taint only matters at the caller.
 

@@ -2,7 +2,7 @@
 //! helper crate. Neither sink is visible in this file — only the graph
 //! pass can connect them.
 
-use opass_serve::stamp;
+use opass_cli::stamp;
 
 /// Plans everything; unknowingly timestamps via the helper crate
 /// (two call hops away from the `Instant::now`).

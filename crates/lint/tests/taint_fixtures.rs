@@ -85,7 +85,7 @@ fn cross_crate_chain_is_reported_with_full_path() {
     assert!(
         wallclock.message.contains(
             "can reach a wall-clock read: tainted via core::plan::plan_all \
-             -> serve::stamp::record_all -> serve::stamp::now_tag -> Instant::now"
+             -> cli::stamp::record_all -> cli::stamp::now_tag -> Instant::now"
         ),
         "full two-hop chain in the message, got: {}",
         wallclock.message
@@ -98,7 +98,7 @@ fn cross_crate_chain_is_reported_with_full_path() {
     assert!(
         unordered.message.contains(
             "can reach unordered-container iteration: tainted via \
-             core::plan::summarize -> serve::stamp::bucket_count -> HashMap"
+             core::plan::summarize -> cli::stamp::bucket_count -> HashMap"
         ),
         "chain to the container sink, got: {}",
         unordered.message

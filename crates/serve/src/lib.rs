@@ -8,12 +8,19 @@
 //! * **Wire protocol** ([`protocol`], [`frame`]): length-prefixed JSON
 //!   frames with a versioned envelope and a max-frame guard; requests for
 //!   plans, layouts, stats, invalidation, and graceful shutdown.
-//! * **Layout & plan caches** ([`cache`]): sharded, generation-stamped.
-//!   One atomic generation bump (the `invalidate` request, standing in
-//!   for a namenode mutation event) makes every cached entry stale; stale
-//!   entries are evicted lazily on lookup.
-//! * **Request coalescing** ([`coalesce`]): concurrent requests for the
-//!   same `(dataset, strategy, seed)` share a single computation — the
+//! * **Sharded reactor** ([`server`]): thread-per-core shards running a
+//!   hand-rolled nonblocking readiness loop (no async runtime), with
+//!   dataset→shard cache affinity, zero-copy writes of pre-encoded
+//!   replies, and backpressure-aware accept. The previous blocking
+//!   thread-per-connection server survives behind the `blocking-server`
+//!   feature for A/B benchmarking.
+//! * **Generation-stamped caches**: each shard owns the plan and layout
+//!   slices for its datasets. One atomic generation bump (the
+//!   `invalidate` request, standing in for a namenode mutation event)
+//!   makes every cached entry stale; stale entries are evicted lazily on
+//!   lookup, or repaired in place from a delta journal.
+//! * **Request coalescing**: concurrent requests for the same
+//!   `(dataset, strategy, seed)` share a single computation — the
 //!   stampede after an invalidation runs the planner once.
 //! * **Admission control** ([`pool`]): a bounded worker queue; when it is
 //!   full the server replies `overloaded` immediately instead of queueing
@@ -21,7 +28,8 @@
 //!   shutdown.
 //! * **Metrics** ([`metrics`]): per-request latency histogram
 //!   (power-of-two microsecond buckets, p50/p99), cache hit/miss,
-//!   coalesce and shed counters, all exported by the `stats` request.
+//!   coalesce and shed counters — merged and per shard — all exported by
+//!   the `stats` request.
 //!
 //! Determinism is the contract: the served world is built from a
 //! [`ServeSpec`], and for a fixed `(spec, generation, strategy, seed)` a
@@ -45,31 +53,38 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+#[cfg(feature = "blocking-server")]
+pub mod blocking;
 pub mod cache;
 pub mod client;
 pub mod coalesce;
+mod conn;
 pub mod frame;
 pub mod metrics;
+mod planning;
 pub mod pool;
 pub mod protocol;
+mod reactor;
 pub mod replay;
 pub mod server;
 pub mod spec;
 
+#[cfg(feature = "blocking-server")]
+pub use blocking::{serve_blocking, BlockingServerHandle};
 pub use cache::ShardedCache;
 pub use client::{Client, ClientError};
 pub use coalesce::Coalescer;
 pub use frame::{FrameError, MAX_FRAME};
-pub use metrics::{LatencyHistogram, ServeMetrics};
+pub use metrics::{LatencyHistogram, ServeMetrics, ShardStats, Timer};
 pub use pool::{SubmitError, WorkerPool};
 pub use protocol::{
     LatencyBin, LatencySummary, LayoutEntry, LayoutReply, PlaceReply, PlaceRoundReply, PlanReply,
-    ProtoError, Request, Response, StatsReply, PROTOCOL_VERSION,
+    ProtoError, Request, Response, ShardStatsReply, StatsReply, PROTOCOL_VERSION,
 };
 pub use replay::{
     replay_local, replay_remote, BatchDigest, ReplayConfig, ReplayDriverError, ReplayReport,
 };
-pub use server::{serve, ServerConfig, ServerHandle};
+pub use server::{default_shards, serve, ServerConfig, ServerHandle};
 pub use spec::{ServeSpec, World};
 
 pub use opass_core::Strategy;

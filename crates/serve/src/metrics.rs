@@ -11,6 +11,30 @@
 use crate::protocol::{LatencyBin, LatencySummary};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// A started latency measurement.
+///
+/// Every wall-clock read in this crate goes through [`Timer::start`]:
+/// timing annotates replies and feeds the histograms below but never
+/// feeds back into what a plan contains, so determinism holds. Keeping
+/// the single `Instant::now()` here (audited with an inline waiver) lets
+/// the rest of the crate stay clean under the workspace `no-wallclock`
+/// rule instead of exempting the whole crate.
+#[derive(Debug, Clone, Copy)]
+pub struct Timer(std::time::Instant);
+
+impl Timer {
+    /// Starts measuring now.
+    pub fn start() -> Timer {
+        // lint:allow(no-wallclock): request timing feeds the latency histograms only, never plan contents
+        Timer(std::time::Instant::now())
+    }
+
+    /// Elapsed microseconds since [`Timer::start`], saturating.
+    pub fn elapsed_us(&self) -> u64 {
+        u64::try_from(self.0.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
 /// Number of histogram buckets. Bucket `k > 0` covers
 /// `[2^(k-1), 2^k)` µs; bucket 0 covers `[0, 1)`. The last bucket
 /// (`2^30` µs ≈ 18 minutes) absorbs everything larger.
@@ -151,6 +175,39 @@ impl ServeMetrics {
     pub fn new() -> ServeMetrics {
         ServeMetrics::default()
     }
+}
+
+/// Per-shard counters for the sharded reactor, updated lock-free by the
+/// owning shard thread (and the accept thread for the two accept-side
+/// counters) and snapshotted by whichever shard answers a `stats`
+/// request.
+#[derive(Debug, Default)]
+pub struct ShardStats {
+    /// Connections the accept loop assigned to this shard.
+    pub accepted: AtomicU64,
+    /// Connections shed at accept because this shard's pending queue
+    /// exceeded the backpressure bound.
+    pub shed_accept: AtomicU64,
+    /// Frames decoded on this shard's connections (all request types).
+    pub requests: AtomicU64,
+    /// Requests this shard forwarded to another shard's cache slice
+    /// (dataset affinity sent them elsewhere).
+    pub forwarded: AtomicU64,
+    /// Reply slots currently awaiting a computation (the shard's pending
+    /// queue depth — the quantity accept backpressure bounds).
+    pub pending: AtomicU64,
+    /// Plan + layout hits in this shard's cache slice.
+    pub cache_hits: AtomicU64,
+    /// Plan + layout misses in this shard's cache slice.
+    pub cache_misses: AtomicU64,
+    /// Entries claimed from this shard's slice because their generation
+    /// was stale.
+    pub cache_invalidated: AtomicU64,
+    /// Requests that joined an in-flight computation on this shard.
+    pub coalesced: AtomicU64,
+    /// Latency of plan/layout/place requests whose reply slot lived on
+    /// this shard's connections.
+    pub latency: LatencyHistogram,
 }
 
 #[cfg(test)]

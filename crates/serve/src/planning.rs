@@ -1,0 +1,218 @@
+//! Pure planning helpers shared by the sharded reactor and the
+//! feature-gated blocking server.
+//!
+//! Everything here is a function of its inputs — layout snapshot,
+//! placement, strategy, seed — so both serving frontends produce
+//! byte-identical replies for equal `(spec, generation, strategy, seed)`
+//! tuples. The frontends own caching, coalescing, and metrics; this
+//! module owns the answers.
+
+use crate::protocol::{LayoutEntry, LayoutReply, PlaceReply, PlaceRoundReply, PlanReply, Response};
+use opass_core::dfs::{LayoutDelta, LayoutSnapshot};
+use opass_core::matching::locality_report;
+use opass_core::runtime::baseline::{random_assignment, rank_interval};
+use opass_core::runtime::ProcessPlacement;
+use opass_core::{
+    build_locality_graph_from_layout, OpassPlanner, PlacementConfig, PlanRequest,
+    SingleDataSession, Strategy,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A freshly computed (or repaired) plan: the wire reply plus — for
+/// planner-backed strategies — the live planning session that produced
+/// it, so a later delta invalidation can repair the plan in place.
+/// Baselines carry no session and always recompute.
+pub(crate) struct ComputedPlan {
+    /// The canonical reply: `cached`/`coalesced` false, `repaired` set
+    /// only by [`repair_plan`]. Frontends adjust the flags per request.
+    pub reply: PlanReply,
+    /// The planning session behind the reply, when repairable.
+    pub session: Option<SingleDataSession>,
+}
+
+/// The cold planning path: graph + matching (or baseline) from a layout
+/// snapshot. Pure — byte-identical for equal inputs. Planner strategies
+/// start a planning session (whose initial plan is bit-identical to the
+/// one-shot planner) and keep it alongside the reply.
+pub(crate) fn compute_plan(
+    planner: &OpassPlanner,
+    placement: &ProcessPlacement,
+    snapshot: &LayoutSnapshot,
+    dataset: usize,
+    strategy: &Strategy,
+    seed: u64,
+    generation: u64,
+) -> ComputedPlan {
+    let n_tasks = snapshot.len();
+    let n_procs = placement.n_procs();
+    let reply = |owners: Vec<usize>, matched, filled, task_frac, byte_frac| PlanReply {
+        dataset,
+        generation,
+        strategy: strategy.label(),
+        seed,
+        owners,
+        matched_files: matched,
+        filled_files: filled,
+        local_task_fraction: task_frac,
+        local_byte_fraction: byte_frac,
+        cached: false,
+        coalesced: false,
+        repaired: false,
+    };
+    match strategy {
+        Strategy::RankInterval | Strategy::RandomAssign => {
+            let assignment = if matches!(strategy, Strategy::RankInterval) {
+                rank_interval(n_tasks, n_procs)
+            } else {
+                let mut rng = StdRng::seed_from_u64(seed);
+                random_assignment(n_tasks, n_procs, &mut rng)
+            };
+            let graph = build_locality_graph_from_layout(snapshot, placement);
+            let locality = locality_report(&assignment, &graph, &snapshot.sizes());
+            ComputedPlan {
+                reply: reply(
+                    assignment.owners().to_vec(),
+                    0,
+                    0,
+                    locality.task_fraction(),
+                    locality.byte_fraction(),
+                ),
+                session: None,
+            }
+        }
+        _ => {
+            let session = planner
+                .session(&PlanRequest::single_from_layout(snapshot, placement).seed(seed))
+                .into_single()
+                .expect("single-data requests always yield single-data sessions");
+            let plan = session.plan();
+            ComputedPlan {
+                reply: reply(
+                    plan.assignment.owners().to_vec(),
+                    plan.matched_files,
+                    plan.filled_files,
+                    plan.locality.task_fraction(),
+                    plan.locality.byte_fraction(),
+                ),
+                session: Some(session),
+            }
+        }
+    }
+}
+
+/// Brings a superseded plan up to `generation` by replaying journalled
+/// layout deltas through its planning session, rebuilding the reply
+/// around the repaired assignment (`repaired` set, fresh flags
+/// otherwise).
+pub(crate) fn repair_plan(
+    mut session: SingleDataSession,
+    deltas: &[LayoutDelta],
+    stale_reply: &PlanReply,
+    generation: u64,
+) -> ComputedPlan {
+    for delta in deltas {
+        session.replan(delta);
+    }
+    let plan = session.plan();
+    let mut reply = stale_reply.clone();
+    reply.generation = generation;
+    reply.owners = plan.assignment.owners().to_vec();
+    reply.matched_files = plan.matched_files;
+    reply.filled_files = plan.filled_files;
+    reply.local_task_fraction = plan.locality.task_fraction();
+    reply.local_byte_fraction = plan.locality.byte_fraction();
+    reply.cached = false;
+    reply.coalesced = false;
+    reply.repaired = true;
+    ComputedPlan {
+        reply,
+        session: Some(session),
+    }
+}
+
+/// Builds the wire layout reply from a snapshot.
+pub(crate) fn layout_reply(
+    dataset: usize,
+    generation: u64,
+    cached: bool,
+    snapshot: &LayoutSnapshot,
+) -> LayoutReply {
+    let entries = snapshot
+        .entries()
+        .iter()
+        .map(|e| LayoutEntry {
+            chunk: e.chunk.0,
+            size: e.size,
+            locations: e.locations.iter().map(|n| u64::from(n.0)).collect(),
+        })
+        .collect();
+    LayoutReply {
+        dataset,
+        generation,
+        cached,
+        entries,
+    }
+}
+
+/// Runs the closed-loop placement engine against a layout snapshot and
+/// returns the recommended migration rounds. Pure recommendation: the
+/// served world is not mutated — the client applies the deltas to the
+/// real namenode and replays them here through delta invalidations.
+#[allow(clippy::too_many_arguments)] // one call site per frontend; a params struct would just rename the fields
+pub(crate) fn place_reply(
+    planner: &OpassPlanner,
+    placement: &ProcessPlacement,
+    snapshot: &LayoutSnapshot,
+    dataset: usize,
+    generation: u64,
+    rounds: usize,
+    budget: Option<u64>,
+    seed: u64,
+) -> PlaceReply {
+    let config = PlacementConfig {
+        max_rounds: rounds,
+        total_byte_budget: budget.unwrap_or(u64::MAX),
+        ..PlacementConfig::default()
+    };
+    let mut session = planner.placement_session(
+        &PlanRequest::single_from_layout(snapshot, placement).seed(seed),
+        config,
+    );
+    let before = session.local_bytes();
+    let executed = session.run();
+    // `run` stops for one of three reasons; it converged only if neither
+    // cap was the binding constraint.
+    let under_budget = match budget {
+        Some(b) => session.migrated_bytes() < b,
+        None => true,
+    };
+    let converged = session.rounds() < rounds && under_budget;
+    PlaceReply {
+        dataset,
+        generation,
+        seed,
+        local_bytes_before: before,
+        local_bytes_after: session.local_bytes(),
+        migrated_bytes: session.migrated_bytes(),
+        converged,
+        rounds: executed
+            .into_iter()
+            .map(|r| PlaceRoundReply {
+                round: r.round,
+                moves: r.moves.len(),
+                migrated_bytes: r.migrated_bytes,
+                local_bytes_before: r.local_bytes_before,
+                local_bytes_after: r.local_bytes_after,
+                delta: r.delta,
+            })
+            .collect(),
+    }
+}
+
+/// The typed refusal for a dataset index outside the served world.
+pub(crate) fn unknown_dataset(dataset: usize, n_datasets: usize) -> Response {
+    Response::Error {
+        message: format!("unknown dataset {dataset} (world has {n_datasets})"),
+    }
+}

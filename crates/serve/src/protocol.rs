@@ -739,6 +739,90 @@ impl LatencySummary {
     }
 }
 
+/// Encodes histogram bins as a wire JSON array.
+fn bins_to_json(bins: &[LatencyBin]) -> Json {
+    Json::array(bins.iter().map(|b| {
+        Json::object([
+            ("lo".to_string(), Json::from(b.lo)),
+            ("hi".to_string(), Json::from(b.hi)),
+            ("count".to_string(), Json::from(b.count)),
+        ])
+    }))
+}
+
+fn bins_from_json(v: &Json) -> Result<Vec<LatencyBin>, ProtoError> {
+    v.as_array()
+        .ok_or_else(|| ProtoError::Malformed("histogram must be an array".into()))?
+        .iter()
+        .map(|b| {
+            Ok(LatencyBin {
+                lo: f64_field(b, "lo")?,
+                hi: f64_field(b, "hi")?,
+                count: u64_field(b, "count")?,
+            })
+        })
+        .collect()
+}
+
+/// Counters for one reactor shard, as shipped in the `stats` reply.
+///
+/// The server serializes the per-shard list in ascending `shard` index
+/// order — a deterministic ordering clients may rely on. The blocking
+/// (feature-gated) server ships an empty list.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ShardStatsReply {
+    /// Shard index (0-based; doubles as the affinity residue:
+    /// the shard owns datasets with `dataset % shards == shard`).
+    pub shard: usize,
+    /// Connections the accept loop assigned to the shard.
+    pub accepted: u64,
+    /// Connections shed at accept because the shard's pending queue
+    /// exceeded the backpressure bound.
+    pub shed_accept: u64,
+    /// Frames decoded on the shard's connections (all request types).
+    pub requests: u64,
+    /// Requests forwarded to another shard's cache slice.
+    pub forwarded: u64,
+    /// Reply slots awaiting a computation when the snapshot was taken
+    /// (the shard's pending queue depth).
+    pub pending: usize,
+    /// Latency summary for requests whose connection lives on the shard.
+    pub latency_us: LatencySummary,
+    /// Non-empty latency histogram bins for the shard.
+    pub latency_histogram: Vec<LatencyBin>,
+}
+
+impl ShardStatsReply {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("shard".to_string(), Json::from(self.shard)),
+            ("accepted".to_string(), Json::from(self.accepted)),
+            ("shed_accept".to_string(), Json::from(self.shed_accept)),
+            ("requests".to_string(), Json::from(self.requests)),
+            ("forwarded".to_string(), Json::from(self.forwarded)),
+            ("pending".to_string(), Json::from(self.pending)),
+            ("latency_us".to_string(), self.latency_us.to_json()),
+            (
+                "histogram".to_string(),
+                bins_to_json(&self.latency_histogram),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<ShardStatsReply, ProtoError> {
+        Ok(ShardStatsReply {
+            shard: usize_field(v, "shard")?,
+            accepted: u64_field(v, "accepted")?,
+            shed_accept: u64_field(v, "shed_accept")?,
+            requests: u64_field(v, "requests")?,
+            forwarded: u64_field(v, "forwarded")?,
+            pending: usize_field(v, "pending")?,
+            latency_us: LatencySummary::from_json(field(v, "latency_us")?)?,
+            latency_histogram: bins_from_json(field(v, "histogram")?)?,
+        })
+    }
+}
+
 /// Service counters and latency distribution.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct StatsReply {
@@ -783,6 +867,9 @@ pub struct StatsReply {
     pub repair_us: LatencySummary,
     /// Latency of from-scratch plan computations.
     pub cold_plan_us: LatencySummary,
+    /// Per-shard reactor counters, in ascending shard-index order
+    /// (deterministic). Empty on the feature-gated blocking server.
+    pub shards: Vec<ShardStatsReply>,
 }
 
 impl StatsReply {
@@ -827,18 +914,16 @@ impl StatsReply {
                         ("p99".to_string(), Json::from(self.latency_p99_us)),
                         (
                             "histogram".to_string(),
-                            Json::array(self.latency_histogram.iter().map(|b| {
-                                Json::object([
-                                    ("lo".to_string(), Json::from(b.lo)),
-                                    ("hi".to_string(), Json::from(b.hi)),
-                                    ("count".to_string(), Json::from(b.count)),
-                                ])
-                            })),
+                            bins_to_json(&self.latency_histogram),
                         ),
                     ]),
                 ),
                 ("repair_us".to_string(), self.repair_us.to_json()),
                 ("cold_plan_us".to_string(), self.cold_plan_us.to_json()),
+                (
+                    "shards".to_string(),
+                    Json::array(self.shards.iter().map(ShardStatsReply::to_json)),
+                ),
             ],
         )
     }
@@ -847,18 +932,13 @@ impl StatsReply {
         let counters = field(v, "counters")?;
         let queue = field(v, "queue")?;
         let latency = field(v, "latency_us")?;
-        let histogram = field(latency, "histogram")?
+        let histogram = bins_from_json(field(latency, "histogram")?)?;
+        let shards = field(v, "shards")?
             .as_array()
-            .ok_or_else(|| ProtoError::Malformed("histogram must be an array".into()))?
+            .ok_or_else(|| ProtoError::Malformed("field \"shards\" must be an array".into()))?
             .iter()
-            .map(|b| {
-                Ok(LatencyBin {
-                    lo: f64_field(b, "lo")?,
-                    hi: f64_field(b, "hi")?,
-                    count: u64_field(b, "count")?,
-                })
-            })
-            .collect::<Result<Vec<LatencyBin>, ProtoError>>()?;
+            .map(ShardStatsReply::from_json)
+            .collect::<Result<Vec<ShardStatsReply>, ProtoError>>()?;
         Ok(StatsReply {
             generation: u64_field(v, "generation")?,
             requests: u64_field(counters, "requests")?,
@@ -880,6 +960,7 @@ impl StatsReply {
             latency_histogram: histogram,
             repair_us: LatencySummary::from_json(field(v, "repair_us")?)?,
             cold_plan_us: LatencySummary::from_json(field(v, "cold_plan_us")?)?,
+            shards,
         })
     }
 }

@@ -1,0 +1,1252 @@
+//! The thread-per-core sharded reactor behind [`crate::serve`].
+//!
+//! N shard threads each run a small hand-rolled readiness loop over
+//! nonblocking sockets: level-triggered polling (scan every connection
+//! for readable bytes and flushable replies each sweep, spin briefly,
+//! then park with a bounded timeout), per-connection read/write state
+//! machines from [`crate::conn`], and *dataset→shard affinity* — dataset
+//! `d` is owned by shard `d % n_shards`, and only the owner touches that
+//! dataset's cache slice. The slices are plain single-threaded maps: the
+//! hot path (cache hit on an affine connection) takes zero locks and
+//! writes a pre-encoded reply frame zero-copy from a shared buffer.
+//!
+//! Cross-shard traffic rides three per-shard mailboxes (one mutex +
+//! condvar each): `routed` requests toward a dataset's owner, completed
+//! `replies` back to the connection's shard, and `done` computation
+//! results from the worker pool toward the owning slice. Singleflight
+//! coalescing is structural here: the owner shard keeps one in-flight
+//! table per slice, so a stampede of same-key requests admits exactly
+//! one pool job and every follower waits on the same completion —
+//! deterministic, no condvar races.
+//!
+//! Shutdown is a two-phase drain. Phase one: every shard observes
+//! `closing`, stops parsing new frames, and checks in on the quiesce
+//! barrier. Phase two: shards keep pumping mailboxes and write queues
+//! until every reserved reply slot in the whole process is filled, then
+//! flush and close. An admitted request always gets its reply; nothing
+//! is lost to a shard exiting while a sibling still holds a forward for
+//! it.
+
+use crate::conn::{FrameBuf, WriteProgress, WriteQueue};
+use crate::frame::{encode_frame, FrameError};
+use crate::metrics::{ServeMetrics, ShardStats, Timer};
+use crate::planning::{self, ComputedPlan};
+use crate::pool::{SubmitError, WorkerPool};
+use crate::protocol::{
+    PlanReply, Request, Response, ShardStatsReply, StatsReply, PROTOCOL_VERSION,
+};
+use crate::spec::World;
+use opass_core::dfs::LayoutSnapshot;
+use opass_core::runtime::ProcessPlacement;
+use opass_core::{OpassPlanner, SingleDataSession, Strategy};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::Read;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Plan cache / coalescing key: `(dataset, strategy label, seed)`.
+type PlanKey = (usize, String, u64);
+
+/// Empty sweeps a shard spins (yielding) before parking. Sockets have no
+/// waker, so an active connection must be caught by polling; yielding
+/// keeps a loaded shard hot while letting same-core peers run.
+const SPIN_SWEEPS: u32 = 1024;
+
+/// How long a fully idle shard parks between sweeps. Bounds the latency
+/// of the first frame after an idle period.
+const PARK: Duration = Duration::from_micros(500);
+
+/// Reply slots one connection may hold open before the shard stops
+/// reading from it (per-connection pipelining bound).
+const MAX_PIPELINE: usize = 1024;
+
+/// Bytes one connection may feed into the parser per sweep (fairness
+/// bound across a shard's connections).
+const READ_BUDGET: usize = 256 << 10;
+
+/// Sweeps the final drain flush attempts before abandoning unwritable
+/// connections (each no-progress sweep sleeps 1ms).
+const FLUSH_SWEEPS: u32 = 200;
+
+/// Identifies one reserved reply slot: connection slab index, the slab
+/// entry's reuse epoch (a late completion must not answer a recycled
+/// connection), and the slot id inside the connection's write queue.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Ticket {
+    conn: usize,
+    epoch: u64,
+    slot: u64,
+}
+
+/// A request forwarded to the shard owning its dataset's cache slice.
+enum Routed {
+    Plan {
+        origin: usize,
+        ticket: Ticket,
+        dataset: usize,
+        strategy: Strategy,
+        seed: u64,
+    },
+    Layout {
+        origin: usize,
+        ticket: Ticket,
+        dataset: usize,
+    },
+    Place {
+        origin: usize,
+        ticket: Ticket,
+        dataset: usize,
+        rounds: usize,
+        budget: Option<u64>,
+        seed: u64,
+    },
+}
+
+/// A completed reply heading back to the shard that owns the connection.
+struct RemoteReply {
+    ticket: Ticket,
+    bytes: Arc<Vec<u8>>,
+    /// Whether the slot's admission-to-reply time counts toward the
+    /// latency histograms (typed refusals do not, matching the blocking
+    /// server's accounting).
+    count_latency: bool,
+}
+
+/// A finished pool job heading back to the owning shard's cache slice.
+enum Done {
+    Plan(Box<PlanDone>),
+    Layout(Box<LayoutDone>),
+}
+
+struct PlanDone {
+    key: PlanKey,
+    generation: u64,
+    reply: PlanReply,
+    session: Option<SingleDataSession>,
+    /// Pre-encoded `cached = true` variant, stored for future hits.
+    hit_bytes: Arc<Vec<u8>>,
+    /// Pre-encoded reply for the flight leader (fresh flags).
+    leader_bytes: Arc<Vec<u8>>,
+    /// Pre-encoded `coalesced = true` variant for flight followers.
+    follower_bytes: Arc<Vec<u8>>,
+    /// A snapshot the job had to walk (cold plan without a cached
+    /// layout), offered back to the slice so later requests reuse it.
+    walked: Option<Arc<LayoutSnapshot>>,
+}
+
+struct LayoutDone {
+    dataset: usize,
+    generation: u64,
+    snapshot: Arc<LayoutSnapshot>,
+    hit_bytes: Arc<Vec<u8>>,
+    miss_bytes: Arc<Vec<u8>>,
+}
+
+/// The cross-thread face of one shard: its mailboxes and counters.
+pub(crate) struct ShardShared {
+    inbox: Mutex<Inbox>,
+    wake: Condvar,
+    /// Public counters (accept loop and `stats` requests read these).
+    pub(crate) stats: ShardStats,
+}
+
+#[derive(Default)]
+struct Inbox {
+    conns: Vec<TcpStream>,
+    routed: VecDeque<Routed>,
+    replies: VecDeque<RemoteReply>,
+    done: VecDeque<Done>,
+}
+
+impl Inbox {
+    fn is_empty(&self) -> bool {
+        self.conns.is_empty()
+            && self.routed.is_empty()
+            && self.replies.is_empty()
+            && self.done.is_empty()
+    }
+}
+
+impl ShardShared {
+    fn new() -> ShardShared {
+        ShardShared {
+            inbox: Mutex::new(Inbox::default()),
+            wake: Condvar::new(),
+            stats: ShardStats::default(),
+        }
+    }
+
+    /// Hands a freshly accepted connection to this shard.
+    pub(crate) fn push_conn(&self, stream: TcpStream) {
+        self.with_inbox(|i| i.conns.push(stream));
+    }
+
+    fn push_routed(&self, r: Routed) {
+        self.with_inbox(|i| i.routed.push_back(r));
+    }
+
+    fn push_reply(&self, r: RemoteReply) {
+        self.with_inbox(|i| i.replies.push_back(r));
+    }
+
+    fn push_done(&self, d: Done) {
+        self.with_inbox(|i| i.done.push_back(d));
+    }
+
+    fn with_inbox(&self, f: impl FnOnce(&mut Inbox)) {
+        let mut inbox = self.inbox.lock().expect("shard inbox not poisoned");
+        f(&mut inbox);
+        self.wake.notify_one();
+    }
+
+    /// Nudges the shard out of a park (used by shutdown).
+    pub(crate) fn nudge(&self) {
+        self.wake.notify_all();
+    }
+}
+
+/// State shared by the accept loop, shard threads, and pool workers.
+pub(crate) struct Ctx {
+    pub(crate) world: World,
+    pub(crate) placement: ProcessPlacement,
+    pub(crate) planner: OpassPlanner,
+    pub(crate) pool: WorkerPool,
+    pub(crate) metrics: ServeMetrics,
+    pub(crate) closing: AtomicBool,
+    quiesced: AtomicUsize,
+    shards: Vec<Arc<ShardShared>>,
+    /// Pre-encoded `pong` reply (a pure function of the spec).
+    pong: Arc<Vec<u8>>,
+    /// Accept backpressure: a shard whose pending queue exceeds this
+    /// sheds new connections with a typed `overloaded` reply.
+    pub(crate) backlog: usize,
+}
+
+impl Ctx {
+    pub(crate) fn new(
+        world: World,
+        placement: ProcessPlacement,
+        pool: WorkerPool,
+        n_shards: usize,
+        backlog: usize,
+    ) -> Arc<Ctx> {
+        let pong = encode_response(&Response::Pong {
+            protocol: PROTOCOL_VERSION,
+            nodes: world.spec().n_nodes,
+            datasets: world.spec().n_datasets,
+        });
+        Arc::new(Ctx {
+            world,
+            placement,
+            planner: OpassPlanner::default(),
+            pool,
+            metrics: ServeMetrics::new(),
+            closing: AtomicBool::new(false),
+            quiesced: AtomicUsize::new(0),
+            shards: (0..n_shards.max(1))
+                .map(|_| Arc::new(ShardShared::new()))
+                .collect(),
+            pong,
+            backlog,
+        })
+    }
+
+    pub(crate) fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub(crate) fn shard(&self, index: usize) -> &Arc<ShardShared> {
+        &self.shards[index]
+    }
+
+    /// The shard-affinity rule: dataset `d` lives on shard `d % N`.
+    fn owner_of(&self, dataset: usize) -> usize {
+        dataset % self.shards.len()
+    }
+
+    /// Reserved-but-unfilled reply slots across every shard.
+    fn total_pending(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.stats.pending.load(Ordering::Acquire))
+            .sum()
+    }
+
+    /// Marks the server as closing and wakes every blocked thread: the
+    /// accept loop via a throwaway connection, the shards via their
+    /// condvars.
+    pub(crate) fn begin_close(&self, addr: SocketAddr) {
+        if !self.closing.swap(true, Ordering::AcqRel) {
+            // Wake the accept loop; errors are fine (listener may be gone).
+            let _ = TcpStream::connect(addr);
+        }
+        for shard in &self.shards {
+            shard.nudge();
+        }
+    }
+
+    /// Snapshot of every counter the service exports: the merged view
+    /// plus one entry per shard, in ascending shard order (a guaranteed,
+    /// deterministic ordering).
+    pub(crate) fn stats_reply(&self) -> StatsReply {
+        let (count, mean, p50, p99, bins) = self.metrics.latency.snapshot();
+        let load = |v: &std::sync::atomic::AtomicU64| v.load(Ordering::Relaxed);
+        let shards = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let (_, _, _, _, shard_bins) = s.stats.latency.snapshot();
+                ShardStatsReply {
+                    shard: i,
+                    accepted: load(&s.stats.accepted),
+                    shed_accept: load(&s.stats.shed_accept),
+                    requests: load(&s.stats.requests),
+                    forwarded: load(&s.stats.forwarded),
+                    pending: load(&s.stats.pending) as usize,
+                    latency_us: s.stats.latency.summary(),
+                    latency_histogram: shard_bins,
+                }
+            })
+            .collect();
+        let sum = |f: fn(&ShardStats) -> &std::sync::atomic::AtomicU64| -> u64 {
+            self.shards.iter().map(|s| load(f(&s.stats))).sum()
+        };
+        StatsReply {
+            generation: self.world.generation(),
+            requests: self.metrics.requests.load(Ordering::Relaxed),
+            planned: self.metrics.planned.load(Ordering::Relaxed),
+            repaired: self.metrics.repaired.load(Ordering::Relaxed),
+            layout_walks: self.world.layout_walks(),
+            cache_hits: sum(|s| &s.cache_hits),
+            cache_misses: sum(|s| &s.cache_misses),
+            cache_invalidated: sum(|s| &s.cache_invalidated),
+            coalesced: sum(|s| &s.coalesced),
+            shed: self.pool.shed(),
+            queue_depth: self.pool.depth(),
+            queue_capacity: self.pool.capacity(),
+            workers: self.pool.workers(),
+            latency_count: count,
+            latency_mean_us: mean,
+            latency_p50_us: p50,
+            latency_p99_us: p99,
+            latency_histogram: bins,
+            repair_us: self.metrics.repair_latency.summary(),
+            cold_plan_us: self.metrics.cold_plan_latency.summary(),
+            shards,
+        }
+    }
+}
+
+/// A pre-encoded reply frame, shared zero-copy between the caches and
+/// every connection write queue it lands in.
+type FrameBytes = Arc<Vec<u8>>;
+
+/// Encodes a response frame, downgrading an over-cap body to a typed
+/// error so a huge reply never kills a worker or wedges a connection.
+fn encode_response(resp: &Response) -> Arc<Vec<u8>> {
+    let bytes = encode_frame(&resp.to_json()).unwrap_or_else(|e| {
+        let fallback = Response::Error {
+            message: format!("reply exceeds the frame cap: {e}"),
+        };
+        encode_frame(&fallback.to_json()).expect("error reply is tiny")
+    });
+    Arc::new(bytes)
+}
+
+/// Encodes the three per-disposition variants of one plan reply: the
+/// cache-hit form (`cached`), the flight leader's form (fresh flags),
+/// and the follower form (`coalesced`). Encoding happens once, on the
+/// worker thread; every future hit reuses the bytes zero-copy.
+fn plan_variants(reply: &PlanReply) -> (FrameBytes, FrameBytes, FrameBytes) {
+    let mut hit = reply.clone();
+    hit.cached = true;
+    let mut follower = reply.clone();
+    follower.coalesced = true;
+    (
+        encode_response(&Response::Plan(hit)),
+        encode_response(&Response::Plan(reply.clone())),
+        encode_response(&Response::Plan(follower)),
+    )
+}
+
+/// One cached plan in a shard's slice.
+struct PlanEntry {
+    generation: u64,
+    reply: PlanReply,
+    hit_bytes: Arc<Vec<u8>>,
+    session: Option<SingleDataSession>,
+}
+
+/// One cached layout in a shard's slice. `hit_bytes` is lazily filled:
+/// a snapshot walked for a cold plan is cached without wire encoding
+/// until the first `layout` request wants it.
+struct LayoutSlot {
+    generation: u64,
+    snapshot: Arc<LayoutSnapshot>,
+    hit_bytes: Option<Arc<Vec<u8>>>,
+}
+
+/// One request waiting on an in-flight computation.
+struct Waiter {
+    origin: usize,
+    ticket: Ticket,
+}
+
+/// A live connection owned by one shard.
+struct Conn {
+    stream: TcpStream,
+    epoch: u64,
+    frames: FrameBuf,
+    wq: WriteQueue,
+    close_after_flush: bool,
+    dead: bool,
+}
+
+/// One shard's private state: its connection slab and its slice of the
+/// generation-stamped caches. Everything here is single-threaded.
+struct Shard {
+    ctx: Arc<Ctx>,
+    index: usize,
+    conns: Vec<Option<Conn>>,
+    /// Reuse epoch per slab slot (bumped on reap).
+    epochs: Vec<u64>,
+    free: Vec<usize>,
+    plan_cache: BTreeMap<PlanKey, PlanEntry>,
+    layout_cache: BTreeMap<usize, LayoutSlot>,
+    plan_flights: BTreeMap<(PlanKey, u64), Vec<Waiter>>,
+    layout_flights: BTreeMap<(usize, u64), Vec<Waiter>>,
+}
+
+/// Runs one shard's event loop until drain completes.
+pub(crate) fn run_shard(ctx: Arc<Ctx>, index: usize) {
+    let mut shard = Shard {
+        ctx,
+        index,
+        conns: Vec::new(),
+        epochs: Vec::new(),
+        free: Vec::new(),
+        plan_cache: BTreeMap::new(),
+        layout_cache: BTreeMap::new(),
+        plan_flights: BTreeMap::new(),
+        layout_flights: BTreeMap::new(),
+    };
+    let mut idle_sweeps = 0u32;
+    let mut acked_close = false;
+    loop {
+        let mut progress = false;
+        let (new_conns, routed, replies, done) = {
+            let mut inbox = shard.me().inbox.lock().expect("shard inbox not poisoned");
+            (
+                std::mem::take(&mut inbox.conns),
+                std::mem::take(&mut inbox.routed),
+                std::mem::take(&mut inbox.replies),
+                std::mem::take(&mut inbox.done),
+            )
+        };
+        progress |=
+            !new_conns.is_empty() || !routed.is_empty() || !replies.is_empty() || !done.is_empty();
+        for stream in new_conns {
+            shard.register(stream);
+        }
+        for r in routed {
+            shard.handle_routed(r);
+        }
+        for d in done {
+            shard.handle_done(d);
+        }
+        for r in replies {
+            shard.fill(r.ticket, r.bytes, r.count_latency);
+        }
+
+        let closing = shard.ctx.closing.load(Ordering::Acquire);
+        if closing && !acked_close {
+            // Phase one of the drain: stop parsing new frames, check in
+            // on the quiesce barrier. Mailboxes and write queues keep
+            // pumping below until every reserved slot is answered.
+            acked_close = true;
+            shard.ctx.quiesced.fetch_add(1, Ordering::AcqRel);
+            progress = true;
+        }
+        if !closing {
+            for idx in 0..shard.conns.len() {
+                progress |= shard.pump_reads(idx);
+            }
+        }
+        for idx in 0..shard.conns.len() {
+            progress |= shard.pump_writes(idx);
+        }
+
+        if closing
+            && shard.ctx.quiesced.load(Ordering::Acquire) == shard.ctx.n_shards()
+            && shard.ctx.total_pending() == 0
+        {
+            shard.final_flush();
+            return;
+        }
+
+        if progress {
+            idle_sweeps = 0;
+        } else {
+            idle_sweeps += 1;
+            if idle_sweeps < SPIN_SWEEPS {
+                std::thread::yield_now();
+            } else {
+                let inbox = shard.me().inbox.lock().expect("shard inbox not poisoned");
+                if inbox.is_empty() {
+                    // Sockets have no waker: cap the park so newly
+                    // arrived frames are picked up within one PARK.
+                    let _ = shard
+                        .me()
+                        .wake
+                        .wait_timeout(inbox, PARK)
+                        .expect("shard inbox not poisoned");
+                }
+            }
+        }
+    }
+}
+
+impl Shard {
+    fn me(&self) -> &Arc<ShardShared> {
+        self.ctx.shard(self.index)
+    }
+
+    fn register(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let idx = match self.free.pop() {
+            Some(idx) => idx,
+            None => {
+                self.conns.push(None);
+                self.epochs.push(0);
+                self.conns.len() - 1
+            }
+        };
+        self.conns[idx] = Some(Conn {
+            stream,
+            epoch: self.epochs[idx],
+            frames: FrameBuf::new(),
+            wq: WriteQueue::new(),
+            close_after_flush: false,
+            dead: false,
+        });
+    }
+
+    /// Reads from one connection and handles every complete frame.
+    /// Returns whether any bytes moved.
+    fn pump_reads(&mut self, idx: usize) -> bool {
+        let mut frames = Vec::new();
+        let mut fatal: Option<FrameError> = None;
+        let mut progress = false;
+        {
+            let Some(conn) = self.conns[idx].as_mut() else {
+                return false;
+            };
+            if conn.dead || conn.close_after_flush || conn.wq.pending() >= MAX_PIPELINE {
+                return false;
+            }
+            let mut buf = [0u8; 16 << 10];
+            let mut budget = READ_BUDGET;
+            loop {
+                match conn.stream.read(&mut buf) {
+                    Ok(0) => {
+                        conn.dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        progress = true;
+                        conn.frames.extend(&buf[..n]);
+                        budget = budget.saturating_sub(n);
+                        if budget == 0 {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+            while let Some(parsed) = conn.frames.next_frame() {
+                match parsed {
+                    Ok(frame) => frames.push(frame),
+                    Err(e) => {
+                        fatal = Some(e);
+                        break;
+                    }
+                }
+            }
+        }
+        for frame in frames {
+            self.handle_frame(idx, frame);
+        }
+        if let Some(e) = fatal {
+            // Framing is unrecoverable after a bad frame: tell the peer,
+            // flush, hang up.
+            let bytes = encode_response(&Response::Error {
+                message: e.to_string(),
+            });
+            if let Some(conn) = self.conns[idx].as_mut() {
+                conn.wq.push_ready(bytes);
+                conn.close_after_flush = true;
+            }
+        }
+        progress
+    }
+
+    /// Flushes one connection's write queue and reaps it if dead.
+    /// Returns whether any bytes moved.
+    fn pump_writes(&mut self, idx: usize) -> bool {
+        let mut progress = false;
+        let mut reap = false;
+        if let Some(conn) = self.conns[idx].as_mut() {
+            let Conn { stream, wq, .. } = conn;
+            match wq.write_to(stream) {
+                Ok(WriteProgress::Wrote) => progress = true,
+                Ok(_) => {}
+                Err(_) => conn.dead = true,
+            }
+            if conn.dead || (conn.close_after_flush && conn.wq.is_empty()) {
+                reap = true;
+            }
+        }
+        if reap {
+            self.reap(idx);
+        }
+        progress
+    }
+
+    fn reap(&mut self, idx: usize) {
+        let Some(conn) = self.conns[idx].take() else {
+            return;
+        };
+        // Slots that died unanswered stop counting toward the drain /
+        // backpressure quantity; late completions are rejected by epoch.
+        let orphaned = conn.wq.pending() as u64;
+        if orphaned > 0 {
+            self.me()
+                .stats
+                .pending
+                .fetch_sub(orphaned, Ordering::AcqRel);
+        }
+        self.epochs[idx] += 1;
+        self.free.push(idx);
+        let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+    }
+
+    /// Reserves the next in-order reply slot on a connection.
+    fn reserve(&mut self, idx: usize) -> Ticket {
+        let conn = self.conns[idx]
+            .as_mut()
+            .expect("reserve is only called for live connections");
+        let slot = conn.wq.push_pending(Timer::start());
+        let epoch = conn.epoch;
+        self.me().stats.pending.fetch_add(1, Ordering::AcqRel);
+        Ticket {
+            conn: idx,
+            epoch,
+            slot,
+        }
+    }
+
+    /// Completes a reserved slot on one of this shard's connections.
+    fn fill(&mut self, ticket: Ticket, bytes: Arc<Vec<u8>>, count_latency: bool) {
+        let Some(Some(conn)) = self.conns.get_mut(ticket.conn) else {
+            return;
+        };
+        if conn.epoch != ticket.epoch {
+            return;
+        }
+        if let Some(timer) = conn.wq.fill(ticket.slot, bytes) {
+            self.me().stats.pending.fetch_sub(1, Ordering::AcqRel);
+            if count_latency {
+                let us = timer.elapsed_us();
+                self.me().stats.latency.record(us);
+                self.ctx.metrics.latency.record(us);
+            }
+        }
+    }
+
+    /// Sends a completed reply toward the connection that asked:
+    /// directly when the slot is local, via the origin's mailbox
+    /// otherwise.
+    fn deliver(&mut self, origin: usize, ticket: Ticket, bytes: Arc<Vec<u8>>, count_latency: bool) {
+        if origin == self.index {
+            self.fill(ticket, bytes, count_latency);
+        } else {
+            self.ctx.shard(origin).push_reply(RemoteReply {
+                ticket,
+                bytes,
+                count_latency,
+            });
+        }
+    }
+
+    fn push_inline(&mut self, idx: usize, bytes: Arc<Vec<u8>>) {
+        if let Some(conn) = self.conns[idx].as_mut() {
+            conn.wq.push_ready(bytes);
+        }
+    }
+
+    fn handle_frame(&mut self, idx: usize, frame: opass_json::Json) {
+        self.me().stats.requests.fetch_add(1, Ordering::Relaxed);
+        self.ctx.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let request = match Request::from_json(&frame) {
+            Ok(r) => r,
+            Err(e) => {
+                let bytes = encode_response(&Response::Error {
+                    message: e.to_string(),
+                });
+                self.push_inline(idx, bytes);
+                return;
+            }
+        };
+        match request {
+            Request::Ping => {
+                let pong = Arc::clone(&self.ctx.pong);
+                self.push_inline(idx, pong);
+            }
+            Request::Stats => {
+                let bytes = encode_response(&Response::Stats(self.ctx.stats_reply()));
+                self.push_inline(idx, bytes);
+            }
+            Request::Invalidate {
+                dataset: None,
+                delta: _,
+            } => {
+                let bytes = encode_response(&Response::Invalidated {
+                    generation: self.ctx.world.invalidate(),
+                });
+                self.push_inline(idx, bytes);
+            }
+            Request::Invalidate {
+                dataset: Some(dataset),
+                delta,
+            } => {
+                let generation = match delta {
+                    Some(delta) => self.ctx.world.invalidate_dataset(dataset, &delta),
+                    None => self.ctx.world.invalidate_dataset_opaque(dataset),
+                };
+                let resp = match generation {
+                    Some(generation) => Response::Invalidated { generation },
+                    None => planning::unknown_dataset(dataset, self.ctx.world.spec().n_datasets),
+                };
+                let bytes = encode_response(&resp);
+                self.push_inline(idx, bytes);
+            }
+            Request::Shutdown => {
+                let bytes = encode_response(&Response::ShuttingDown);
+                let addr = self.conns[idx]
+                    .as_ref()
+                    .and_then(|c| c.stream.local_addr().ok());
+                if let Some(conn) = self.conns[idx].as_mut() {
+                    conn.wq.push_ready(bytes);
+                    conn.close_after_flush = true;
+                }
+                if let Some(addr) = addr {
+                    // The accepted socket's local address is the
+                    // listener's address: use it to wake the accept loop.
+                    self.ctx.begin_close(addr);
+                }
+            }
+            Request::Plan {
+                dataset,
+                strategy,
+                seed,
+            } => {
+                if !self.guard_dataset(idx, dataset) {
+                    return;
+                }
+                let ticket = self.reserve(idx);
+                let owner = self.ctx.owner_of(dataset);
+                if owner == self.index {
+                    self.handle_plan(self.index, ticket, dataset, strategy, seed);
+                } else {
+                    self.me().stats.forwarded.fetch_add(1, Ordering::Relaxed);
+                    self.ctx.shard(owner).push_routed(Routed::Plan {
+                        origin: self.index,
+                        ticket,
+                        dataset,
+                        strategy,
+                        seed,
+                    });
+                }
+            }
+            Request::Layout { dataset } => {
+                if !self.guard_dataset(idx, dataset) {
+                    return;
+                }
+                let ticket = self.reserve(idx);
+                let owner = self.ctx.owner_of(dataset);
+                if owner == self.index {
+                    self.handle_layout(self.index, ticket, dataset);
+                } else {
+                    self.me().stats.forwarded.fetch_add(1, Ordering::Relaxed);
+                    self.ctx.shard(owner).push_routed(Routed::Layout {
+                        origin: self.index,
+                        ticket,
+                        dataset,
+                    });
+                }
+            }
+            Request::Place {
+                dataset,
+                rounds,
+                budget,
+                seed,
+            } => {
+                if !self.guard_dataset(idx, dataset) {
+                    return;
+                }
+                let ticket = self.reserve(idx);
+                let owner = self.ctx.owner_of(dataset);
+                if owner == self.index {
+                    self.handle_place(self.index, ticket, dataset, rounds, budget, seed);
+                } else {
+                    self.me().stats.forwarded.fetch_add(1, Ordering::Relaxed);
+                    self.ctx.shard(owner).push_routed(Routed::Place {
+                        origin: self.index,
+                        ticket,
+                        dataset,
+                        rounds,
+                        budget,
+                        seed,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Replies with a typed error for an unknown dataset. Returns whether
+    /// the dataset is valid.
+    fn guard_dataset(&mut self, idx: usize, dataset: usize) -> bool {
+        if self.ctx.world.has_dataset(dataset) {
+            return true;
+        }
+        let bytes = encode_response(&planning::unknown_dataset(
+            dataset,
+            self.ctx.world.spec().n_datasets,
+        ));
+        self.push_inline(idx, bytes);
+        false
+    }
+
+    fn handle_routed(&mut self, routed: Routed) {
+        match routed {
+            Routed::Plan {
+                origin,
+                ticket,
+                dataset,
+                strategy,
+                seed,
+            } => self.handle_plan(origin, ticket, dataset, strategy, seed),
+            Routed::Layout {
+                origin,
+                ticket,
+                dataset,
+            } => self.handle_layout(origin, ticket, dataset),
+            Routed::Place {
+                origin,
+                ticket,
+                dataset,
+                rounds,
+                budget,
+                seed,
+            } => self.handle_place(origin, ticket, dataset, rounds, budget, seed),
+        }
+    }
+
+    /// The owner-shard plan path: slice hit → flight join → repair claim
+    /// → pool submission. Only this shard touches the slice, so the hit
+    /// path is lock-free and the singleflight table needs no
+    /// synchronization.
+    fn handle_plan(
+        &mut self,
+        origin: usize,
+        ticket: Ticket,
+        dataset: usize,
+        strategy: Strategy,
+        seed: u64,
+    ) {
+        let generation = self.ctx.world.generation_of(dataset);
+        let key: PlanKey = (dataset, strategy.label(), seed);
+        if let Some(entry) = self.plan_cache.get(&key) {
+            if entry.generation == generation {
+                self.me().stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                let bytes = Arc::clone(&entry.hit_bytes);
+                self.deliver(origin, ticket, bytes, true);
+                return;
+            }
+        }
+        self.me().stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let flight_key = (key.clone(), generation);
+        if let Some(waiters) = self.plan_flights.get_mut(&flight_key) {
+            waiters.push(Waiter { origin, ticket });
+            self.me().stats.coalesced.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // Claim a stale predecessor: repairable when the journal covers
+        // the span and the entry kept its planning session. Claiming
+        // retires the entry either way.
+        let mut repair: Option<(
+            SingleDataSession,
+            Vec<opass_core::dfs::LayoutDelta>,
+            PlanReply,
+        )> = None;
+        if let Some(stale) = self.plan_cache.remove(&key) {
+            self.me()
+                .stats
+                .cache_invalidated
+                .fetch_add(1, Ordering::Relaxed);
+            if let Some(session) = stale.session {
+                if let Some(deltas) = self.ctx.world.deltas_since(dataset, stale.generation) {
+                    repair = Some((session, deltas, stale.reply));
+                }
+            }
+        }
+        // Cold plans reuse the slice's cached snapshot when it is
+        // current; otherwise the job walks (and offers the walk back).
+        let snapshot = self
+            .layout_cache
+            .get(&dataset)
+            .filter(|slot| slot.generation == generation)
+            .map(|slot| Arc::clone(&slot.snapshot));
+        let ctx = Arc::clone(&self.ctx);
+        let owner = self.index;
+        let job_key = key;
+        let submitted = self.ctx.pool.try_submit(move || {
+            let done = match repair {
+                Some((session, deltas, stale_reply)) => {
+                    let timer = Timer::start();
+                    let ComputedPlan { reply, session } =
+                        planning::repair_plan(session, &deltas, &stale_reply, generation);
+                    ctx.metrics.repaired.fetch_add(1, Ordering::Relaxed);
+                    ctx.metrics.repair_latency.record(timer.elapsed_us());
+                    let (hit_bytes, leader_bytes, follower_bytes) = plan_variants(&reply);
+                    PlanDone {
+                        key: job_key,
+                        generation,
+                        reply,
+                        session,
+                        hit_bytes,
+                        leader_bytes,
+                        follower_bytes,
+                        walked: None,
+                    }
+                }
+                None => {
+                    ctx.metrics.planned.fetch_add(1, Ordering::Relaxed);
+                    let (snapshot, walked) = match snapshot {
+                        Some(snap) => (snap, None),
+                        None => {
+                            let snap = Arc::new(
+                                ctx.world
+                                    .capture_layout(dataset)
+                                    .expect("dataset validated before submission"),
+                            );
+                            (Arc::clone(&snap), Some(snap))
+                        }
+                    };
+                    let timer = Timer::start();
+                    let ComputedPlan { reply, session } = planning::compute_plan(
+                        &ctx.planner,
+                        &ctx.placement,
+                        &snapshot,
+                        dataset,
+                        &strategy,
+                        seed,
+                        generation,
+                    );
+                    ctx.metrics.cold_plan_latency.record(timer.elapsed_us());
+                    let (hit_bytes, leader_bytes, follower_bytes) = plan_variants(&reply);
+                    PlanDone {
+                        key: job_key,
+                        generation,
+                        reply,
+                        session,
+                        hit_bytes,
+                        leader_bytes,
+                        follower_bytes,
+                        walked,
+                    }
+                }
+            };
+            ctx.shard(owner).push_done(Done::Plan(Box::new(done)));
+        });
+        match submitted {
+            Ok(()) => {
+                self.plan_flights
+                    .insert(flight_key, vec![Waiter { origin, ticket }]);
+            }
+            Err(SubmitError::Overloaded { queue_depth }) => {
+                let bytes = encode_response(&Response::Overloaded { queue_depth });
+                self.deliver(origin, ticket, bytes, false);
+            }
+            Err(SubmitError::ShuttingDown) => {
+                let bytes = encode_response(&Response::ShuttingDown);
+                self.deliver(origin, ticket, bytes, false);
+            }
+        }
+    }
+
+    /// The owner-shard layout path. A slice hit with encoded bytes is
+    /// answered zero-copy; a hit whose snapshot was walked for a plan
+    /// (no wire encoding yet) runs an encode-only flight; a miss walks.
+    fn handle_layout(&mut self, origin: usize, ticket: Ticket, dataset: usize) {
+        let generation = self.ctx.world.generation_of(dataset);
+        let cached_snapshot = match self
+            .layout_cache
+            .get(&dataset)
+            .filter(|slot| slot.generation == generation)
+        {
+            Some(slot) => {
+                self.me().stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(bytes) = &slot.hit_bytes {
+                    let bytes = Arc::clone(bytes);
+                    self.deliver(origin, ticket, bytes, true);
+                    return;
+                }
+                Some(Arc::clone(&slot.snapshot))
+            }
+            None => {
+                self.me().stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        };
+        let flight_key = (dataset, generation);
+        if let Some(waiters) = self.layout_flights.get_mut(&flight_key) {
+            waiters.push(Waiter { origin, ticket });
+            self.me().stats.coalesced.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let ctx = Arc::clone(&self.ctx);
+        let owner = self.index;
+        let submitted = self.ctx.pool.try_submit(move || {
+            let (snapshot, was_cached) = match cached_snapshot {
+                Some(snap) => (snap, true),
+                None => (
+                    Arc::new(
+                        ctx.world
+                            .capture_layout(dataset)
+                            .expect("dataset validated before submission"),
+                    ),
+                    false,
+                ),
+            };
+            let mut reply = planning::layout_reply(dataset, generation, was_cached, &snapshot);
+            reply.cached = was_cached;
+            let miss_bytes = encode_response(&Response::Layout(reply.clone()));
+            reply.cached = true;
+            let hit_bytes = encode_response(&Response::Layout(reply));
+            ctx.shard(owner)
+                .push_done(Done::Layout(Box::new(LayoutDone {
+                    dataset,
+                    generation,
+                    snapshot,
+                    hit_bytes,
+                    miss_bytes,
+                })));
+        });
+        match submitted {
+            Ok(()) => {
+                self.layout_flights
+                    .insert(flight_key, vec![Waiter { origin, ticket }]);
+            }
+            Err(SubmitError::Overloaded { queue_depth }) => {
+                let bytes = encode_response(&Response::Overloaded { queue_depth });
+                self.deliver(origin, ticket, bytes, false);
+            }
+            Err(SubmitError::ShuttingDown) => {
+                let bytes = encode_response(&Response::ShuttingDown);
+                self.deliver(origin, ticket, bytes, false);
+            }
+        }
+    }
+
+    /// The owner-shard place path: no caching or coalescing (placement
+    /// runs are rare and parameter-rich), but the slice's snapshot is
+    /// reused and the reply goes straight back to the origin shard.
+    fn handle_place(
+        &mut self,
+        origin: usize,
+        ticket: Ticket,
+        dataset: usize,
+        rounds: usize,
+        budget: Option<u64>,
+        seed: u64,
+    ) {
+        let generation = self.ctx.world.generation_of(dataset);
+        let snapshot = self
+            .layout_cache
+            .get(&dataset)
+            .filter(|slot| slot.generation == generation)
+            .map(|slot| Arc::clone(&slot.snapshot));
+        match snapshot {
+            Some(_) => self.me().stats.cache_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.me().stats.cache_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        let ctx = Arc::clone(&self.ctx);
+        let submitted = self.ctx.pool.try_submit(move || {
+            let snapshot = match snapshot {
+                Some(snap) => snap,
+                None => Arc::new(
+                    ctx.world
+                        .capture_layout(dataset)
+                        .expect("dataset validated before submission"),
+                ),
+            };
+            let reply = planning::place_reply(
+                &ctx.planner,
+                &ctx.placement,
+                &snapshot,
+                dataset,
+                generation,
+                rounds,
+                budget,
+                seed,
+            );
+            let bytes = encode_response(&Response::Place(reply));
+            ctx.shard(origin).push_reply(RemoteReply {
+                ticket,
+                bytes,
+                count_latency: true,
+            });
+        });
+        match submitted {
+            Ok(()) => {}
+            Err(SubmitError::Overloaded { queue_depth }) => {
+                let bytes = encode_response(&Response::Overloaded { queue_depth });
+                self.deliver(origin, ticket, bytes, false);
+            }
+            Err(SubmitError::ShuttingDown) => {
+                let bytes = encode_response(&Response::ShuttingDown);
+                self.deliver(origin, ticket, bytes, false);
+            }
+        }
+    }
+
+    fn handle_done(&mut self, done: Done) {
+        match done {
+            Done::Plan(done) => {
+                let PlanDone {
+                    key,
+                    generation,
+                    reply,
+                    session,
+                    hit_bytes,
+                    leader_bytes,
+                    follower_bytes,
+                    walked,
+                } = *done;
+                if let Some(snapshot) = walked {
+                    self.offer_layout(key.0, generation, snapshot, None);
+                }
+                // Completion order can invert across generations; never
+                // let an older flight overwrite a fresher entry.
+                let fresher = self
+                    .plan_cache
+                    .get(&key)
+                    .is_some_and(|e| e.generation > generation);
+                if !fresher {
+                    self.plan_cache.insert(
+                        key.clone(),
+                        PlanEntry {
+                            generation,
+                            reply,
+                            session,
+                            hit_bytes: Arc::clone(&hit_bytes),
+                        },
+                    );
+                }
+                let waiters = self
+                    .plan_flights
+                    .remove(&(key, generation))
+                    .unwrap_or_default();
+                for (i, w) in waiters.into_iter().enumerate() {
+                    let bytes = if i == 0 {
+                        Arc::clone(&leader_bytes)
+                    } else {
+                        Arc::clone(&follower_bytes)
+                    };
+                    self.deliver(w.origin, w.ticket, bytes, true);
+                }
+            }
+            Done::Layout(done) => {
+                let LayoutDone {
+                    dataset,
+                    generation,
+                    snapshot,
+                    hit_bytes,
+                    miss_bytes,
+                } = *done;
+                self.offer_layout(dataset, generation, snapshot, Some(hit_bytes));
+                let waiters = self
+                    .layout_flights
+                    .remove(&(dataset, generation))
+                    .unwrap_or_default();
+                for w in waiters {
+                    self.deliver(w.origin, w.ticket, Arc::clone(&miss_bytes), true);
+                }
+            }
+        }
+    }
+
+    /// Inserts a snapshot into the slice unless a fresher one is there.
+    /// Encoded bytes are kept when offered, and never discarded by a
+    /// same-generation offer without them.
+    fn offer_layout(
+        &mut self,
+        dataset: usize,
+        generation: u64,
+        snapshot: Arc<LayoutSnapshot>,
+        hit_bytes: Option<Arc<Vec<u8>>>,
+    ) {
+        match self.layout_cache.get_mut(&dataset) {
+            Some(slot) if slot.generation > generation => {}
+            Some(slot) if slot.generation == generation => {
+                if slot.hit_bytes.is_none() {
+                    slot.hit_bytes = hit_bytes;
+                }
+            }
+            _ => {
+                self.layout_cache.insert(
+                    dataset,
+                    LayoutSlot {
+                        generation,
+                        snapshot,
+                        hit_bytes,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Best-effort bounded flush of every write queue, then hang up.
+    fn final_flush(&mut self) {
+        for _ in 0..FLUSH_SWEEPS {
+            let mut remaining = false;
+            let mut progress = false;
+            for idx in 0..self.conns.len() {
+                progress |= self.pump_writes(idx);
+                if let Some(conn) = self.conns[idx].as_ref() {
+                    remaining |= !conn.wq.is_empty();
+                }
+            }
+            if !remaining {
+                break;
+            }
+            if !progress {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        for idx in 0..self.conns.len() {
+            self.reap(idx);
+        }
+    }
+}

@@ -1,49 +1,35 @@
-//! The planning server: accept loop, connection threads, and the
-//! cached/coalesced planning path.
+//! The planning server frontend: bind, accept, and the thread-per-core
+//! sharded reactor behind it.
 //!
-//! One thread accepts connections; each connection gets a thread that
-//! decodes frames and answers cheap requests (`ping`, `stats`,
-//! `invalidate`) inline. Planning and layout requests go through the
-//! bounded [`WorkerPool`] — the admission valve — and inside a worker
-//! the path is: plan cache → coalesced flight → repair attempt → layout
-//! cache → namenode walk → planner. Every cache entry is stamped with
-//! the dataset's effective [`World`] generation: a bare invalidation
-//! bumps every dataset at once, while a dataset-scoped delta
-//! invalidation stales only that dataset — and because the delta says
-//! *what* changed, a superseded cached plan is repaired in place
-//! through its planning session instead of recomputed from scratch.
+//! One thread accepts connections and assigns them round-robin to N
+//! shard threads (see [`crate::reactor`]); each shard runs a nonblocking
+//! readiness loop over its connections and owns the cache slice for the
+//! datasets affine to it (`dataset % shards`). Cheap requests (`ping`,
+//! `stats`, `invalidate`) are answered inline on the shard; planning,
+//! layout, and placement go through the bounded worker pool — the
+//! admission valve — exactly as before, with singleflight coalescing and
+//! delta-repair semantics unchanged from the blocking server.
+//!
+//! Backpressure is two-layered: the pool sheds *requests* with a typed
+//! `overloaded` reply when its queue is full, and the accept loop sheds
+//! *connections* with the same reply when the target shard's pending
+//! queue exceeds [`ServerConfig::shard_backlog`].
 //!
 //! Shutdown (local [`ServerHandle::shutdown`] or a remote `shutdown`
-//! request) is graceful: stop accepting, unblock connection reads,
-//! finish every admitted planning job, then join all threads. A request
-//! that was admitted always gets its reply; one that was not gets a
-//! typed `overloaded`/`shutting_down` refusal. Nothing hangs.
+//! request) is graceful: stop accepting, quiesce every shard's reads,
+//! finish every admitted job, flush every reply, then join all threads.
+//! A request that was admitted always gets its reply; one that was not
+//! gets a typed `overloaded`/`shutting_down` refusal. Nothing hangs.
 
-use crate::cache::ShardedCache;
-use crate::coalesce::Coalescer;
-use crate::frame::{read_frame, write_frame, FrameError};
-use crate::metrics::ServeMetrics;
-use crate::pool::{SubmitError, WorkerPool};
-use crate::protocol::{
-    LayoutEntry, LayoutReply, PlaceReply, PlaceRoundReply, PlanReply, Request, Response,
-    StatsReply, PROTOCOL_VERSION,
-};
+use crate::frame::write_frame;
+use crate::pool::WorkerPool;
+use crate::protocol::Response;
+use crate::reactor::{self, Ctx};
 use crate::spec::{ServeSpec, World};
-use opass_core::dfs::LayoutSnapshot;
-use opass_core::matching::locality_report;
-use opass_core::runtime::baseline::{random_assignment, rank_interval};
-use opass_core::runtime::ProcessPlacement;
-use opass_core::{
-    build_locality_graph_from_layout, OpassPlanner, PlacementConfig, PlanRequest,
-    SingleDataSession, Strategy,
-};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -54,6 +40,12 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Bounded queue capacity; submissions beyond it are shed.
     pub queue_depth: usize,
+    /// Reactor shard threads (thread-per-core; clamped to at least 1).
+    pub shards: usize,
+    /// Accept backpressure bound: a shard whose pending reply queue
+    /// exceeds this sheds new connections with a typed `overloaded`
+    /// reply at accept time.
+    pub shard_backlog: usize,
     /// The world to serve.
     pub spec: ServeSpec,
 }
@@ -64,309 +56,25 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
             queue_depth: 64,
+            shards: default_shards(),
+            shard_backlog: 1024,
             spec: ServeSpec::default(),
         }
     }
 }
 
-/// Plan cache / coalescing key: `(dataset, strategy label, seed)`. The
-/// cache stamps entries with the generation; flights append it to the key.
-type PlanKey = (usize, String, u64);
-
-/// A cached plan plus — for planner-backed strategies — the live
-/// planning session that produced it, so a delta invalidation can repair
-/// the plan in place. Baselines carry no session (`None`) and always
-/// recompute. The session is `take`n by the repairing flight, so at most
-/// one repair chain ever extends a given session.
-struct CachedPlan {
-    reply: PlanReply,
-    session: Mutex<Option<SingleDataSession>>,
-}
-
-/// State shared by the accept loop, connection threads, and workers.
-pub(crate) struct Shared {
-    world: World,
-    placement: ProcessPlacement,
-    planner: OpassPlanner,
-    layout_cache: ShardedCache<usize, Arc<LayoutSnapshot>>,
-    plan_cache: ShardedCache<PlanKey, Arc<CachedPlan>>,
-    plan_flights: Coalescer<(PlanKey, u64), Arc<CachedPlan>>,
-    layout_flights: Coalescer<(usize, u64), Arc<LayoutSnapshot>>,
-    pool: WorkerPool,
-    metrics: ServeMetrics,
-    closing: AtomicBool,
-    /// Clones of accepted streams, so shutdown can unblock reads.
-    conns: Mutex<Vec<TcpStream>>,
-}
-
-impl Shared {
-    /// The layout for `dataset` under `generation`: cache hit, or a
-    /// (coalesced) namenode walk that fills the cache. The flag reports
-    /// whether the cache served it.
-    fn layout_for(&self, dataset: usize, generation: u64) -> (Arc<LayoutSnapshot>, bool) {
-        if let Some(snap) = self.layout_cache.get(&dataset, generation) {
-            return (snap, true);
-        }
-        let (snap, _) = self.layout_flights.run((dataset, generation), || {
-            let snap = Arc::new(
-                self.world
-                    .capture_layout(dataset)
-                    .expect("dataset validated before submission"),
-            );
-            self.layout_cache
-                .insert(dataset, generation, Arc::clone(&snap));
-            snap
-        });
-        (snap, false)
-    }
-
-    /// Computes (or fetches) the plan for one request key. Runs on a
-    /// worker thread. Returns the reply with `cached`/`coalesced` set for
-    /// *this* request.
-    fn plan(&self, dataset: usize, strategy: &Strategy, seed: u64) -> Response {
-        let generation = self.world.generation_of(dataset);
-        let key: PlanKey = (dataset, strategy.label(), seed);
-        if let Some(hit) = self.plan_cache.get(&key, generation) {
-            let mut reply = hit.reply.clone();
-            reply.cached = true;
-            return Response::Plan(reply);
-        }
-        let flight_key = (key.clone(), generation);
-        let (arc, coalesced) = self.plan_flights.run(flight_key, || {
-            if let Some(entry) = self.try_repair(&key, generation) {
-                self.plan_cache
-                    .insert(key.clone(), generation, Arc::clone(&entry));
-                return entry;
-            }
-            self.metrics.planned.fetch_add(1, Ordering::Relaxed);
-            let (snapshot, _) = self.layout_for(dataset, generation);
-            let start = Instant::now();
-            let entry = Arc::new(self.compute_plan(dataset, strategy, seed, generation, &snapshot));
-            self.metrics.cold_plan_latency.record(elapsed_us(start));
-            self.plan_cache
-                .insert(key.clone(), generation, Arc::clone(&entry));
-            entry
-        });
-        let mut reply = arc.reply.clone();
-        reply.coalesced = coalesced;
-        Response::Plan(reply)
-    }
-
-    /// Attempts to bring a superseded cached plan up to `generation` by
-    /// replaying the journalled layout deltas through its planning
-    /// session. Claiming the stale entry retires it either way; `None`
-    /// means take the cold path (no stale entry, a baseline with no
-    /// session, or an unrepairable span — bare flush or evicted journal).
-    fn try_repair(&self, key: &PlanKey, generation: u64) -> Option<Arc<CachedPlan>> {
-        let dataset = key.0;
-        let (stale, from) = self.plan_cache.take_stale(key, generation)?;
-        let deltas = self.world.deltas_since(dataset, from)?;
-        let mut session = stale
-            .session
-            .lock()
-            .expect("session slot not poisoned")
-            .take()?;
-        let start = Instant::now();
-        for delta in &deltas {
-            session.replan(delta);
-        }
-        let plan = session.plan();
-        let mut reply = stale.reply.clone();
-        reply.generation = generation;
-        reply.owners = plan.assignment.owners().to_vec();
-        reply.matched_files = plan.matched_files;
-        reply.filled_files = plan.filled_files;
-        reply.local_task_fraction = plan.locality.task_fraction();
-        reply.local_byte_fraction = plan.locality.byte_fraction();
-        reply.cached = false;
-        reply.coalesced = false;
-        reply.repaired = true;
-        self.metrics.repaired.fetch_add(1, Ordering::Relaxed);
-        self.metrics.repair_latency.record(elapsed_us(start));
-        Some(Arc::new(CachedPlan {
-            reply,
-            session: Mutex::new(Some(session)),
-        }))
-    }
-
-    /// The cold planning path: graph + matching (or baseline) from a
-    /// layout snapshot. Pure — byte-identical for equal inputs. Planner
-    /// strategies start a planning session (whose initial plan is
-    /// bit-identical to the one-shot planner) and keep it alongside the
-    /// reply so later delta invalidations can repair instead of replan.
-    fn compute_plan(
-        &self,
-        dataset: usize,
-        strategy: &Strategy,
-        seed: u64,
-        generation: u64,
-        snapshot: &LayoutSnapshot,
-    ) -> CachedPlan {
-        let n_tasks = snapshot.len();
-        let n_procs = self.placement.n_procs();
-        let reply = |owners: Vec<usize>, matched, filled, task_frac, byte_frac| PlanReply {
-            dataset,
-            generation,
-            strategy: strategy.label(),
-            seed,
-            owners,
-            matched_files: matched,
-            filled_files: filled,
-            local_task_fraction: task_frac,
-            local_byte_fraction: byte_frac,
-            cached: false,
-            coalesced: false,
-            repaired: false,
-        };
-        match strategy {
-            Strategy::RankInterval | Strategy::RandomAssign => {
-                let assignment = if matches!(strategy, Strategy::RankInterval) {
-                    rank_interval(n_tasks, n_procs)
-                } else {
-                    let mut rng = StdRng::seed_from_u64(seed);
-                    random_assignment(n_tasks, n_procs, &mut rng)
-                };
-                let graph = build_locality_graph_from_layout(snapshot, &self.placement);
-                let locality = locality_report(&assignment, &graph, &snapshot.sizes());
-                CachedPlan {
-                    reply: reply(
-                        assignment.owners().to_vec(),
-                        0,
-                        0,
-                        locality.task_fraction(),
-                        locality.byte_fraction(),
-                    ),
-                    session: Mutex::new(None),
-                }
-            }
-            _ => {
-                let session = self
-                    .planner
-                    .session(&PlanRequest::single_from_layout(snapshot, &self.placement).seed(seed))
-                    .into_single()
-                    .expect("single-data requests always yield single-data sessions");
-                let plan = session.plan();
-                CachedPlan {
-                    reply: reply(
-                        plan.assignment.owners().to_vec(),
-                        plan.matched_files,
-                        plan.filled_files,
-                        plan.locality.task_fraction(),
-                        plan.locality.byte_fraction(),
-                    ),
-                    session: Mutex::new(Some(session)),
-                }
-            }
-        }
-    }
-
-    /// Fetches (or captures) the layout reply for one request. Runs on a
-    /// worker thread.
-    fn layout(&self, dataset: usize) -> Response {
-        let generation = self.world.generation_of(dataset);
-        let (snap, was_cached) = self.layout_for(dataset, generation);
-        let entries = snap
-            .entries()
-            .iter()
-            .map(|e| LayoutEntry {
-                chunk: e.chunk.0,
-                size: e.size,
-                locations: e.locations.iter().map(|n| u64::from(n.0)).collect(),
-            })
-            .collect();
-        Response::Layout(LayoutReply {
-            dataset,
-            generation,
-            cached: was_cached,
-            entries,
-        })
-    }
-
-    /// Runs the closed-loop placement engine against the dataset's
-    /// current layout and returns the recommended migration rounds. Runs
-    /// on a worker thread. Pure recommendation: the served world is not
-    /// mutated — the client applies the deltas to the real namenode and
-    /// replays them here through delta invalidations.
-    fn place(&self, dataset: usize, rounds: usize, budget: Option<u64>, seed: u64) -> Response {
-        let generation = self.world.generation_of(dataset);
-        let (snapshot, _) = self.layout_for(dataset, generation);
-        let config = PlacementConfig {
-            max_rounds: rounds,
-            total_byte_budget: budget.unwrap_or(u64::MAX),
-            ..PlacementConfig::default()
-        };
-        let mut session = self.planner.placement_session(
-            &PlanRequest::single_from_layout(&snapshot, &self.placement).seed(seed),
-            config,
-        );
-        let before = session.local_bytes();
-        let executed = session.run();
-        // `run` stops for one of three reasons; it converged only if
-        // neither cap was the binding constraint.
-        let under_budget = match budget {
-            Some(b) => session.migrated_bytes() < b,
-            None => true,
-        };
-        let converged = session.rounds() < rounds && under_budget;
-        Response::Place(PlaceReply {
-            dataset,
-            generation,
-            seed,
-            local_bytes_before: before,
-            local_bytes_after: session.local_bytes(),
-            migrated_bytes: session.migrated_bytes(),
-            converged,
-            rounds: executed
-                .into_iter()
-                .map(|r| PlaceRoundReply {
-                    round: r.round,
-                    moves: r.moves.len(),
-                    migrated_bytes: r.migrated_bytes,
-                    local_bytes_before: r.local_bytes_before,
-                    local_bytes_after: r.local_bytes_after,
-                    delta: r.delta,
-                })
-                .collect(),
-        })
-    }
-
-    /// Snapshot of every counter the service exports.
-    fn stats(&self) -> StatsReply {
-        let (count, mean, p50, p99, bins) = self.metrics.latency.snapshot();
-        StatsReply {
-            generation: self.world.generation(),
-            requests: self.metrics.requests.load(Ordering::Relaxed),
-            planned: self.metrics.planned.load(Ordering::Relaxed),
-            repaired: self.metrics.repaired.load(Ordering::Relaxed),
-            layout_walks: self.world.layout_walks(),
-            cache_hits: self.plan_cache.hits() + self.layout_cache.hits(),
-            cache_misses: self.plan_cache.misses() + self.layout_cache.misses(),
-            cache_invalidated: self.plan_cache.invalidated() + self.layout_cache.invalidated(),
-            coalesced: self.plan_flights.coalesced() + self.layout_flights.coalesced(),
-            shed: self.pool.shed(),
-            queue_depth: self.pool.depth(),
-            queue_capacity: self.pool.capacity(),
-            workers: self.pool.workers(),
-            latency_count: count,
-            latency_mean_us: mean,
-            latency_p50_us: p50,
-            latency_p99_us: p99,
-            latency_histogram: bins,
-            repair_us: self.metrics.repair_latency.summary(),
-            cold_plan_us: self.metrics.cold_plan_latency.summary(),
-        }
-    }
-}
-
-/// Elapsed microseconds since `start`, saturating.
-fn elapsed_us(start: Instant) -> u64 {
-    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+/// The default shard count: the host's available parallelism (1 when it
+/// cannot be determined).
+pub fn default_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 /// A running server. Dropping the handle shuts the server down.
 pub struct ServerHandle {
     addr: SocketAddr,
-    shared: Arc<Shared>,
+    ctx: Arc<Ctx>,
     accept: Mutex<Option<JoinHandle<()>>>,
 }
 
@@ -377,9 +85,10 @@ impl ServerHandle {
     }
 
     /// Initiates shutdown (idempotent) and waits for the server to drain:
-    /// in-flight planning jobs finish, connections close, threads join.
+    /// in-flight planning jobs finish, every reply flushes, connections
+    /// close, threads join.
     pub fn shutdown(&self) {
-        initiate_close(&self.shared, self.addr);
+        self.ctx.begin_close(self.addr);
         self.wait();
     }
 
@@ -403,16 +112,8 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Marks the server as closing and wakes the blocked accept call with a
-/// throwaway connection.
-fn initiate_close(shared: &Shared, addr: SocketAddr) {
-    if !shared.closing.swap(true, Ordering::AcqRel) {
-        // Wake the accept loop; errors are fine (listener may be gone).
-        let _ = TcpStream::connect(addr);
-    }
-}
-
-/// Binds, spawns the accept loop, and returns a handle.
+/// Binds, spawns the shard threads and the accept loop, and returns a
+/// handle.
 ///
 /// # Errors
 ///
@@ -423,208 +124,85 @@ pub fn serve(config: ServerConfig) -> Result<ServerHandle, String> {
     let addr = listener
         .local_addr()
         .map_err(|e| format!("cannot resolve bound address: {e}"))?;
+    let n_shards = config.shards.max(1);
     let placement = config.spec.placement();
-    let shared = Arc::new(Shared {
-        world: World::new(config.spec),
+    let pool = WorkerPool::new(config.workers, config.queue_depth);
+    let ctx = Ctx::new(
+        World::new(config.spec),
         placement,
-        planner: OpassPlanner::default(),
-        layout_cache: ShardedCache::new(),
-        plan_cache: ShardedCache::new(),
-        plan_flights: Coalescer::new(),
-        layout_flights: Coalescer::new(),
-        pool: WorkerPool::new(config.workers, config.queue_depth),
-        metrics: ServeMetrics::new(),
-        closing: AtomicBool::new(false),
-        conns: Mutex::new(Vec::new()),
-    });
+        pool,
+        n_shards,
+        config.shard_backlog,
+    );
+    let mut shard_threads = Vec::with_capacity(n_shards);
+    for index in 0..n_shards {
+        let ctx = Arc::clone(&ctx);
+        shard_threads.push(
+            std::thread::Builder::new()
+                .name(format!("opass-serve-shard-{index}"))
+                .spawn(move || reactor::run_shard(ctx, index))
+                .expect("shard thread spawns"),
+        );
+    }
     let accept = {
-        let shared = Arc::clone(&shared);
+        let ctx = Arc::clone(&ctx);
         std::thread::Builder::new()
             .name("opass-serve-accept".to_string())
-            .spawn(move || accept_loop(&listener, &shared))
+            .spawn(move || accept_loop(&listener, &ctx, shard_threads))
             .expect("accept thread spawns")
     };
     Ok(ServerHandle {
         addr,
-        shared,
+        ctx,
         accept: Mutex::new(Some(accept)),
     })
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
-    let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
+fn accept_loop(listener: &TcpListener, ctx: &Arc<Ctx>, shard_threads: Vec<JoinHandle<()>>) {
+    // Round-robin over *accepted* connections: the k-th successfully
+    // accepted connection lands on shard `k % shards` — a deterministic
+    // mapping clients (and the loadgen) can align with dataset affinity.
+    let mut next = 0usize;
     loop {
         let (stream, _) = match listener.accept() {
             Ok(pair) => pair,
             Err(_) => break,
         };
-        if shared.closing.load(Ordering::Acquire) {
+        if ctx.closing.load(Ordering::Acquire) {
             // The wake-up connection (or a late client). Refuse politely.
             let mut stream = stream;
             let _ = write_frame(&mut stream, &Response::ShuttingDown.to_json());
             break;
         }
-        if let Ok(clone) = stream.try_clone() {
-            shared
-                .conns
-                .lock()
-                .expect("conn registry not poisoned")
-                .push(clone);
-        }
-        let shared = Arc::clone(shared);
-        let handle = std::thread::Builder::new()
-            .name("opass-serve-conn".to_string())
-            .spawn(move || connection_loop(stream, &shared))
-            .expect("connection thread spawns");
-        conn_threads.push(handle);
-    }
-    // Drain: unblock every connection read, let each thread finish its
-    // in-flight request (workers are still alive, so admitted jobs
-    // complete and replies flow), then stop the pool.
-    for conn in shared
-        .conns
-        .lock()
-        .expect("conn registry not poisoned")
-        .iter()
-    {
-        let _ = conn.shutdown(std::net::Shutdown::Both);
-    }
-    for handle in conn_threads {
-        handle.join().expect("connection thread exits cleanly");
-    }
-    shared.pool.shutdown();
-}
-
-fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
-    loop {
-        let msg = match read_frame(&mut stream) {
-            Ok(msg) => msg,
-            Err(FrameError::Closed) => break,
-            Err(FrameError::Truncated { .. }) | Err(FrameError::Io(_)) => break,
-            Err(e) => {
-                // Oversized or unparsable frame: tell the peer, then hang
-                // up — framing is unrecoverable after a bad frame.
-                let resp = Response::Error {
-                    message: e.to_string(),
-                };
-                let _ = write_frame(&mut stream, &resp.to_json());
-                break;
-            }
-        };
-        shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
-        let request = match Request::from_json(&msg) {
-            Ok(r) => r,
-            Err(e) => {
-                let resp = Response::Error {
-                    message: e.to_string(),
-                };
-                if write_frame(&mut stream, &resp.to_json()).is_err() {
-                    break;
+        let shard = ctx.shard(next % ctx.n_shards());
+        let pending = shard.stats.pending.load(Ordering::Acquire) as usize;
+        if pending > ctx.backlog {
+            // Backpressure-aware accept: shed the connection before it
+            // can queue work the shard cannot absorb.
+            shard.stats.shed_accept.fetch_add(1, Ordering::Relaxed);
+            let mut stream = stream;
+            let _ = write_frame(
+                &mut stream,
+                &Response::Overloaded {
+                    queue_depth: pending,
                 }
-                continue;
-            }
-        };
-        let response = match request {
-            Request::Ping => Response::Pong {
-                protocol: PROTOCOL_VERSION,
-                nodes: shared.world.spec().n_nodes,
-                datasets: shared.world.spec().n_datasets,
-            },
-            Request::Stats => Response::Stats(shared.stats()),
-            Request::Invalidate {
-                dataset: None,
-                delta: _,
-            } => Response::Invalidated {
-                generation: shared.world.invalidate(),
-            },
-            Request::Invalidate {
-                dataset: Some(dataset),
-                delta,
-            } => {
-                let generation = match delta {
-                    Some(delta) => shared.world.invalidate_dataset(dataset, &delta),
-                    None => shared.world.invalidate_dataset_opaque(dataset),
-                };
-                match generation {
-                    Some(generation) => Response::Invalidated { generation },
-                    None => Response::Error {
-                        message: format!(
-                            "unknown dataset {dataset} (world has {})",
-                            shared.world.spec().n_datasets
-                        ),
-                    },
-                }
-            }
-            Request::Shutdown => {
-                // Reply *before* waking the accept loop: once the drain
-                // starts, this connection's socket may be closed under us.
-                let _ = write_frame(&mut stream, &Response::ShuttingDown.to_json());
-                initiate_close(
-                    shared,
-                    stream
-                        .local_addr()
-                        .expect("connected stream has an address"),
-                );
-                break;
-            }
-            Request::Plan {
-                dataset,
-                strategy,
-                seed,
-            } => dispatch(shared, dataset, move |shared| {
-                shared.plan(dataset, &strategy, seed)
-            }),
-            Request::Layout { dataset } => {
-                dispatch(shared, dataset, move |shared| shared.layout(dataset))
-            }
-            Request::Place {
-                dataset,
-                rounds,
-                budget,
-                seed,
-            } => dispatch(shared, dataset, move |shared| {
-                shared.place(dataset, rounds, budget, seed)
-            }),
-        };
-        if write_frame(&mut stream, &response.to_json()).is_err() {
-            break;
+                .to_json(),
+            );
+            continue;
         }
+        next += 1;
+        shard.stats.accepted.fetch_add(1, Ordering::Relaxed);
+        shard.push_conn(stream);
     }
-}
-
-/// Runs `work` on the worker pool and waits for its reply, converting
-/// queue refusal into a typed response. Latency (admission to reply) is
-/// recorded for served requests.
-fn dispatch<F>(shared: &Arc<Shared>, dataset: usize, work: F) -> Response
-where
-    F: FnOnce(&Shared) -> Response + Send + 'static,
-{
-    if !shared.world.has_dataset(dataset) {
-        return Response::Error {
-            message: format!(
-                "unknown dataset {dataset} (world has {})",
-                shared.world.spec().n_datasets
-            ),
-        };
+    // Drain: make sure every shard observes the close (a listener error
+    // can land here without `begin_close` having run), let them answer
+    // everything admitted and flush, then stop the pool.
+    ctx.closing.store(true, Ordering::Release);
+    for index in 0..ctx.n_shards() {
+        ctx.shard(index).nudge();
     }
-    let start = Instant::now();
-    let (tx, rx) = mpsc::channel();
-    let worker_shared = Arc::clone(shared);
-    let submitted = shared.pool.try_submit(move || {
-        let response = work(&worker_shared);
-        // The connection thread may have hung up; dropping the reply is
-        // fine.
-        let _ = tx.send(response);
-    });
-    match submitted {
-        Ok(()) => {
-            // Admitted jobs always run (the pool drains on shutdown), so
-            // this recv cannot hang.
-            let response = rx.recv().expect("admitted job always replies");
-            shared.metrics.latency.record(elapsed_us(start));
-            response
-        }
-        Err(SubmitError::Overloaded { queue_depth }) => Response::Overloaded { queue_depth },
-        Err(SubmitError::ShuttingDown) => Response::ShuttingDown,
+    for handle in shard_threads {
+        handle.join().expect("shard thread exits cleanly");
     }
+    ctx.pool.shutdown();
 }

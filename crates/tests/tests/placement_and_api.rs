@@ -223,7 +223,9 @@ fn remote_place_matches_in_process_loop_and_applies_cleanly() {
         addr: "127.0.0.1:0".to_string(),
         workers: 2,
         queue_depth: 32,
+        shards: 2,
         spec,
+        ..ServerConfig::default()
     })
     .expect("server starts");
     let mut client = Client::connect(handle.addr()).expect("connect");

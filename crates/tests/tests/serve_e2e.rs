@@ -8,9 +8,10 @@
 
 use opass_core::dfs::{ChunkId, LayoutDelta, NodeId};
 use opass_core::{OpassPlanner, PlanRequest};
-use opass_serve::frame::{read_frame, write_frame};
+use opass_serve::frame::{encode_frame, read_frame, write_frame};
 use opass_serve::{
-    serve, Client, ClientError, Response, ServeSpec, ServerConfig, Strategy, World, MAX_FRAME,
+    serve, Client, ClientError, Request, Response, ServeSpec, ServerConfig, Strategy, World,
+    MAX_FRAME,
 };
 use std::io::Write;
 use std::net::TcpStream;
@@ -37,11 +38,24 @@ fn spec_slow_plan() -> ServeSpec {
 }
 
 fn boot(spec: ServeSpec, workers: usize, queue_depth: usize) -> opass_serve::ServerHandle {
+    // Two shards everywhere: every contract below must hold when
+    // requests are forwarded across the dataset→shard affinity boundary.
+    boot_sharded(spec, workers, queue_depth, 2)
+}
+
+fn boot_sharded(
+    spec: ServeSpec,
+    workers: usize,
+    queue_depth: usize,
+    shards: usize,
+) -> opass_serve::ServerHandle {
     serve(ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         workers,
         queue_depth,
+        shards,
         spec,
+        ..ServerConfig::default()
     })
     .expect("server starts")
 }
@@ -361,6 +375,170 @@ fn garbage_frames_draw_typed_errors_without_wedging_the_server() {
     let mut client = Client::connect(&addr).expect("connect");
     let plan = client.plan(0, Strategy::Opass, 1).expect("plan");
     assert!(!plan.owners.is_empty());
+    handle.shutdown();
+}
+
+#[test]
+fn frames_delivered_one_byte_at_a_time_still_serve() {
+    let spec = spec_small();
+    let handle = boot(spec, 2, 32);
+    let addr = handle.addr().to_string();
+
+    // Dribble a ping and then a plan request one byte per segment. The
+    // reactor's frame buffer must reassemble across arbitrarily many
+    // partial reads without consuming a thread per stalled connection.
+    let mut raw = TcpStream::connect(&addr).expect("raw connect");
+    raw.set_nodelay(true).expect("nodelay");
+    for request in [
+        Request::Ping,
+        Request::Plan {
+            dataset: 0,
+            strategy: Strategy::Opass,
+            seed: 42,
+        },
+    ] {
+        let bytes = encode_frame(&request.to_json()).expect("encode request");
+        for byte in bytes {
+            raw.write_all(&[byte]).expect("write one byte");
+            raw.flush().expect("flush");
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+        let reply = read_frame(&mut raw).expect("reply frame");
+        let response = Response::from_json(&reply).expect("decodes");
+        match response {
+            Response::Pong { .. } => {}
+            Response::Plan(p) => assert_eq!(p.seed, 42),
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_requests_reply_in_request_order() {
+    let spec = spec_small();
+    let handle = boot(spec, 2, 32);
+    let addr = handle.addr().to_string();
+
+    // One burst write carrying interleaved pings and plans with distinct
+    // seeds. Replies complete out of order inside the server (cache hits
+    // beat cold plans, pings beat everything) but must leave the
+    // connection strictly in request order — the protocol has no ids.
+    let seeds: Vec<u64> = (0..12).map(|i| 9_000 + i).collect();
+    let mut burst = Vec::new();
+    for &seed in &seeds {
+        burst.extend(encode_frame(&Request::Ping.to_json()).expect("encode ping"));
+        burst.extend(
+            encode_frame(
+                &Request::Plan {
+                    dataset: (seed as usize) % spec.n_datasets,
+                    strategy: Strategy::Opass,
+                    seed,
+                }
+                .to_json(),
+            )
+            .expect("encode plan"),
+        );
+    }
+    let mut raw = TcpStream::connect(&addr).expect("raw connect");
+    raw.write_all(&burst).expect("write burst");
+    for &seed in &seeds {
+        let pong = Response::from_json(&read_frame(&mut raw).expect("pong frame")).expect("pong");
+        assert!(
+            matches!(pong, Response::Pong { .. }),
+            "seed {seed}: pong first"
+        );
+        let plan = Response::from_json(&read_frame(&mut raw).expect("plan frame")).expect("plan");
+        match plan {
+            Response::Plan(p) => assert_eq!(p.seed, seed, "replies keep request order"),
+            other => panic!("expected plan for seed {seed}, got {other:?}"),
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn slow_reader_does_not_stall_its_shard() {
+    // Layout replies on this world are hundreds of kilobytes; a reader
+    // that never drains them fills the kernel send buffer, forcing the
+    // shard's write state machine to park the connection mid-frame.
+    let spec = ServeSpec {
+        n_nodes: 16,
+        n_datasets: 2,
+        chunks_per_dataset: 8192,
+        ..Default::default()
+    };
+    // A single shard: the slow reader and the live client share it, so
+    // any blocking write in the reactor would stall the client below.
+    let handle = boot_sharded(spec, 2, 64, 1);
+    let addr = handle.addr().to_string();
+
+    let mut slow = TcpStream::connect(&addr).expect("slow connect");
+    let layout_req = encode_frame(&Request::Layout { dataset: 0 }.to_json()).expect("encode");
+    let mut backlog = Vec::new();
+    for _ in 0..48 {
+        backlog.extend_from_slice(&layout_req);
+    }
+    // Tens of megabytes of replies now owe this connection; read none.
+    slow.write_all(&backlog).expect("write layout burst");
+
+    let mut live = Client::connect(&addr).expect("live connect");
+    let first = live.plan(1, Strategy::Opass, 1).expect("cold plan");
+    for _ in 0..100 {
+        live.ping().expect("ping while slow reader is parked");
+        let warm = live.plan(1, Strategy::Opass, 1).expect("warm plan");
+        assert!(warm.cached, "the shard keeps serving its cache slice");
+        assert_eq!(warm.owners, first.owners);
+    }
+
+    // The slow reader eventually drains one reply intact: the write
+    // queue resumed mid-frame across however many short writes it took.
+    let reply =
+        Response::from_json(&read_frame(&mut slow).expect("first layout frame")).expect("decodes");
+    match reply {
+        Response::Layout(l) => assert_eq!(l.entries.len(), spec.chunks_per_dataset),
+        other => panic!("expected layout, got {other:?}"),
+    }
+    drop(slow);
+    handle.shutdown();
+}
+
+#[test]
+fn stats_expose_per_shard_counters_in_order() {
+    let spec = spec_small();
+    let handle = boot(spec, 2, 32);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // Datasets 0 and 1 live on different shards (dataset % 2); a single
+    // connection exercises both the affine and the forwarded path.
+    client.plan(0, Strategy::Opass, 5).expect("plan d0");
+    client.plan(1, Strategy::Opass, 5).expect("plan d1");
+    client.layout(0).expect("layout d0");
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.shards.len(), 2, "one entry per shard");
+    for (i, shard) in stats.shards.iter().enumerate() {
+        assert_eq!(shard.shard, i, "ascending shard order is guaranteed");
+    }
+    assert_eq!(
+        stats.shards.iter().map(|s| s.accepted).sum::<u64>(),
+        1,
+        "one connection accepted"
+    );
+    assert!(
+        stats.shards.iter().map(|s| s.requests).sum::<u64>() >= 4,
+        "frames counted on the owning shard"
+    );
+    assert!(
+        stats.shards.iter().map(|s| s.forwarded).sum::<u64>() >= 1,
+        "a request crossed the affinity boundary"
+    );
+    assert_eq!(
+        stats.shards.iter().map(|s| s.latency_us.count).sum::<u64>(),
+        stats.latency_count,
+        "per-shard latency histograms partition the merged one"
+    );
+    assert_eq!(stats.shards.iter().map(|s| s.pending).sum::<usize>(), 0);
     handle.shutdown();
 }
 

@@ -19,7 +19,12 @@
 #                            events/sec regressed >30% vs the committed
 #                            BENCH_sim.json baseline
 #   check.sh --serve-smoke   planning-service smoke: runs the bench_serve
-#                            smoke scenario in release and fails if
+#                            smoke scenarios in release — including the
+#                            100k-stream multiplexed loadgen, which on a
+#                            multi-core host asserts the sharded reactor
+#                            sustains >=1.5x the 1-shard rate (on a
+#                            single hardware thread the scaling curve is
+#                            recorded informationally) — and fails if
 #                            plans/sec regressed >30% vs the committed
 #                            BENCH_serve.json baseline
 #   check.sh --replan-smoke  incremental re-planning smoke: runs the
@@ -176,5 +181,8 @@ run cargo clippy --workspace --all-targets --offline -- -D warnings
 run cargo build --workspace --release --offline
 run cargo build --workspace --all-targets --offline
 run cargo test --workspace --quiet --offline
+# The retired thread-per-connection frontend only builds behind its
+# feature gate; keep it honest (it A/B-checks itself against the reactor).
+run cargo test -p opass-serve --features blocking-server --quiet --offline
 
 echo "All checks passed."
